@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! economizer on/off energy, de-dup window sensitivity, delta-vs-level
+//! features, and cascades with/without the clock tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mira_bench::{print_rows, simulation};
+use mira_core::{
+    CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
+};
+use mira_facility::{ClockTree, RackId};
+use mira_predictor::pipeline::pooled_dataset;
+use mira_predictor::FeatureMode;
+use mira_ras::FailureDeduplicator;
+use mira_timeseries::{Date, SimTime};
+
+/// Economizer contribution: what the chillers would cost if the
+/// waterside economizer did not exist (the free-cooling fraction forced
+/// to zero is equivalent to charging the avoided power as spent).
+fn economizer_ablation(c: &mut Criterion) {
+    let sim = simulation();
+    let summary = sim.summarize_span(
+        SimTime::from_date(Date::new(2015, 1, 1)),
+        SimTime::from_date(Date::new(2016, 1, 1)),
+        Duration::from_hours(1),
+    );
+    let report = mira_core::analysis::free_cooling_report(&summary);
+    let with = report.chiller_by_year[0].1.value();
+    let without = with + report.saved_by_year[0].1.value();
+    print_rows(
+        "Ablation: 2015 chiller energy (kWh)",
+        [
+            ("with economizer", with),
+            ("without", without),
+            ("saved", without - with),
+        ],
+    );
+    println!(
+        "economizer cuts chiller energy by {:.0}% over the year",
+        (1.0 - with / without) * 100.0
+    );
+    let mut group = c.benchmark_group("economizer");
+    group.sample_size(10);
+    group.bench_function("one_year_energy_accounting", |b| {
+        b.iter(|| {
+            let s = sim.summarize_span(
+                SimTime::from_date(Date::new(2015, 1, 1)),
+                SimTime::from_date(Date::new(2015, 3, 1)),
+                Duration::from_hours(2),
+            );
+            mira_core::analysis::free_cooling_report(&s).total_saved
+        })
+    });
+    group.finish();
+}
+
+/// De-dup window sensitivity: the counted failure total as the CMF
+/// suppression window varies (the paper's 6 h is the rack recovery
+/// time; shorter windows over-count storms).
+fn dedup_window_ablation(c: &mut Criterion) {
+    let sim = simulation();
+    let raw = sim.ras_log().raw();
+    let counts: Vec<(String, f64)> = [1i64, 3, 6, 12, 24]
+        .into_iter()
+        .map(|hours| {
+            let mut dedup = FailureDeduplicator::new(
+                Duration::from_hours(hours),
+                Duration::from_hours(1),
+            );
+            let cmfs = dedup
+                .filter(raw)
+                .into_iter()
+                .filter(|e| e.kind.is_cmf())
+                .count();
+            (format!("{hours} h window"), cmfs as f64)
+        })
+        .collect();
+    print_rows(
+        "Ablation: counted CMFs vs de-dup window [paper: 361 at 6 h]",
+        counts,
+    );
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    group.bench_function("filter_full_raw_log", |b| {
+        b.iter(|| FailureDeduplicator::mira().filter(raw).len())
+    });
+    group.finish();
+}
+
+/// Change-features vs level-features (the "thresholds are not enough"
+/// argument) at a long lead time.
+fn feature_ablation(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(120);
+    let config = PredictorConfig {
+        epochs: 25,
+        ..PredictorConfig::default()
+    };
+    let accuracy = |mode: FeatureMode| {
+        let features = FeatureConfig {
+            mode,
+            ..FeatureConfig::mira()
+        };
+        let builder = DatasetBuilder::new(features, cmfs.clone(), sim.config().span());
+        let data = pooled_dataset(
+            sim.telemetry(),
+            &builder,
+            &[Duration::from_hours(5), Duration::from_hours(6)],
+        );
+        let folds = CmfPredictor::cross_validate(&data, 5, &config);
+        folds.iter().map(|m| m.accuracy()).sum::<f64>() / folds.len() as f64
+    };
+    let deltas = accuracy(FeatureMode::Deltas);
+    let levels = accuracy(FeatureMode::Levels);
+    print_rows(
+        "Ablation: 5-fold accuracy at 5-6 h lead",
+        [("delta features", deltas), ("level features", levels)],
+    );
+
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs.clone(), sim.config().span());
+    let data = pooled_dataset(sim.telemetry(), &builder, &[Duration::from_hours(5)]);
+    let mut group = c.benchmark_group("features_ablation");
+    group.sample_size(10);
+    group.bench_function("cv_delta_features", |b| {
+        b.iter(|| CmfPredictor::cross_validate(&data, 5, &config))
+    });
+    group.finish();
+}
+
+/// Cascade scope with and without the clock-dependency tree: how many
+/// racks a single epicenter failure takes down.
+fn clock_tree_ablation(c: &mut Criterion) {
+    let tree = ClockTree::mira();
+    let with: f64 = RackId::all()
+        .map(|r| tree.affected_by(r).len() as f64)
+        .sum::<f64>()
+        / 48.0;
+    // Without the shared tree every rack would have its own clock card.
+    let without = 1.0;
+    print_rows(
+        "Ablation: mean racks lost per epicenter failure",
+        [
+            ("with clock tree", with),
+            ("isolated clocks", without),
+            ("master failure", tree.affected_by(tree.master()).len() as f64),
+        ],
+    );
+    c.bench_function("clock_tree_affected_by_all", |b| {
+        b.iter(|| {
+            RackId::all()
+                .map(|r| tree.affected_by(r).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    economizer_ablation,
+    dedup_window_ablation,
+    feature_ablation,
+    clock_tree_ablation
+);
+criterion_main!(benches);

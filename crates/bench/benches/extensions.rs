@@ -1,0 +1,171 @@
+//! Benches (and printed mini-reports) for the extension features built
+//! from the paper's "Opportunity" paragraphs: the threshold baseline,
+//! failure localization, hazard-shape analysis, elastic hole-filling,
+//! and checkpoint economics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mira_bench::{print_rows, simulation};
+use mira_core::{
+    compare_policies, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, MitigationCosts,
+    PredictorConfig,
+};
+use mira_predictor::{LocationPredictor, ThresholdDetector};
+use mira_ras::{PhaseRates, WeibullFit};
+use mira_timeseries::SimTime;
+use mira_workload::{hole_filling_experiment, ElasticPool};
+
+fn threshold_vs_network(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(150);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let (predictor, _) = CmfPredictor::train(
+        sim.telemetry(),
+        &builder,
+        &PredictorConfig {
+            epochs: 30,
+            ..PredictorConfig::default()
+        },
+    );
+    let detector = ThresholdDetector::mira();
+
+    println!("\n--- threshold baseline vs neural predictor (accuracy) ---");
+    println!("lead (h) | thresholds | network");
+    for hours in [6, 4, 2, 1] {
+        let lead = Duration::from_hours(hours);
+        let thr = detector.evaluate_at(sim.telemetry(), &builder, lead, 3);
+        let net = predictor.evaluate_at(sim.telemetry(), &builder, lead);
+        println!(
+            "  {hours:>4}   |   {:>5.1}%   | {:>5.1}%",
+            thr.accuracy() * 100.0,
+            net.accuracy() * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("threshold");
+    group.sample_size(10);
+    group.bench_function("evaluate_at_3h", |b| {
+        b.iter(|| detector.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(3), 3))
+    });
+    group.finish();
+}
+
+fn localization(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(120);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let (predictor, _) = CmfPredictor::train(
+        sim.telemetry(),
+        &builder,
+        &PredictorConfig {
+            epochs: 30,
+            ..PredictorConfig::default()
+        },
+    );
+    let loc = LocationPredictor::new(&predictor, &builder);
+
+    println!("\n--- failure localization (which rack?) ---");
+    for (k, lead_h) in [(1, 2), (3, 2), (3, 5)] {
+        let acc = loc.top_k_accuracy(
+            sim.telemetry(),
+            Duration::from_hours(lead_h),
+            k,
+            60,
+        );
+        println!(
+            "top-{k} at {lead_h} h lead: hit rate {:.0}% (mean rank {:.1} of 48)",
+            acc.hit_rate * 100.0,
+            acc.mean_rank
+        );
+    }
+
+    let mut group = c.benchmark_group("localization");
+    group.sample_size(10);
+    let t = builder.cmfs()[30].0 - Duration::from_hours(2);
+    group.bench_function("rank_all_48_racks", |b| {
+        b.iter(|| loc.rank_at(sim.telemetry(), t))
+    });
+    group.finish();
+}
+
+fn hazard_shape(c: &mut Criterion) {
+    let sim = simulation();
+    let times: Vec<SimTime> = sim.schedule().incidents().iter().map(|i| i.time).collect();
+    let gaps: Vec<Duration> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let fit = WeibullFit::fit(&gaps).expect("enough gaps");
+    let (start, end) = sim.config().span();
+    let rates = PhaseRates::compute(&times, start, end, 6);
+    println!(
+        "\n--- hazard shape: Weibull k = {:.2} (k<1: clustered, no wear-out) ---",
+        fit.shape
+    );
+    print_rows(
+        "failure rate per lifetime phase (per day) [paper: no bathtub]",
+        rates
+            .per_day
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (format!("phase {i}"), *r)),
+    );
+    println!("bathtub? {}", rates.is_bathtub());
+
+    c.bench_function("weibull_fit_incident_gaps", |b| {
+        b.iter(|| WeibullFit::fit(&gaps))
+    });
+}
+
+fn elastic_filling(c: &mut Criterion) {
+    let report = hole_filling_experiment(7, 14, ElasticPool::mira());
+    println!("\n--- elastic hole-filling (paper Opportunity 1) ---");
+    print_rows(
+        "two-week trace with a capability drain",
+        [
+            ("rigid mean", report.rigid_utilization),
+            ("elastic mean", report.elastic_utilization),
+            ("rigid min", report.rigid_minimum),
+            ("elastic min", report.elastic_minimum),
+            ("uplift", report.uplift()),
+        ],
+    );
+    let mut group = c.benchmark_group("elastic");
+    group.sample_size(10);
+    group.bench_function("one_week_trace", |b| {
+        b.iter(|| hole_filling_experiment(7, 7, ElasticPool::mira()))
+    });
+    group.finish();
+}
+
+fn checkpoint_economics(c: &mut Criterion) {
+    let sim = simulation();
+    let metrics = mira_nn::BinaryMetrics {
+        tp: 97,
+        fn_: 3,
+        fp: 1,
+        tn: 99,
+    };
+    let costs = MitigationCosts::mira();
+    let report = compare_policies(sim, Duration::from_hours(4), metrics, &costs);
+    print_rows(
+        "checkpoint policies: total node-hours (lost + overhead)",
+        [
+            ("none", report.none.total()),
+            ("periodic 4h", report.periodic.total()),
+            ("gated", report.gated.total()),
+        ],
+    );
+    c.bench_function("policy_comparison", |b| {
+        b.iter(|| compare_policies(sim, Duration::from_hours(4), metrics, &costs))
+    });
+}
+
+criterion_group!(
+    benches,
+    threshold_vs_network,
+    localization,
+    hazard_shape,
+    elastic_filling,
+    checkpoint_economics
+);
+criterion_main!(benches);

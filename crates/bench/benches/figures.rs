@@ -1,0 +1,305 @@
+//! One bench group per paper figure. Each group first *prints* the
+//! regenerated series (the rows/curves the paper reports), then times
+//! the analysis.
+//!
+//! Run with `cargo bench --bench figures`. The printed output is the
+//! reproduction record that EXPERIMENTS.md quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mira_bench::{print_rows, simulation, six_year_summary};
+use mira_core::{analysis, Duration, PredictorConfig};
+
+fn fig02(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig2_yearly_trends(summary);
+    print_rows(
+        "Fig. 2a: system power by year (MW) [paper: 2.5 -> 2.9]",
+        fig.power_by_year.iter().map(|r| (r.year, r.mean)),
+    );
+    print_rows(
+        "Fig. 2b: utilization by year (%) [paper: ~80 -> ~93]",
+        fig.utilization_by_year.iter().map(|r| (r.year, r.mean)),
+    );
+    if let (Some(p), Some(u)) = (fig.power_fit, fig.utilization_fit) {
+        println!(
+            "trend slopes: power {:+.4} MW/yr, utilization {:+.2} %/yr",
+            p.slope * 365.25,
+            u.slope * 365.25
+        );
+    }
+    c.bench_function("fig02_yearly_trends", |b| {
+        b.iter(|| analysis::fig2_yearly_trends(summary))
+    });
+}
+
+fn fig03(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig3_coolant_trends(summary);
+    print_rows(
+        "Fig. 3a: loop flow by year (GPM) [paper: 1250 -> 1300 at Theta]",
+        fig.flow_by_year.iter().map(|r| (r.year, r.mean)),
+    );
+    println!(
+        "flow step: {:.0} -> {:.0} GPM | sigmas: flow {:.1} (41), inlet {:.2} (0.61), outlet {:.2} (0.71)",
+        fig.flow_before_theta,
+        fig.flow_after_theta,
+        fig.flow_stddev,
+        fig.inlet_stddev,
+        fig.outlet_stddev
+    );
+    c.bench_function("fig03_coolant_trends", |b| {
+        b.iter(|| analysis::fig3_coolant_trends(summary))
+    });
+}
+
+fn fig04(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig4_monthly_profile(summary);
+    print_rows(
+        "Fig. 4a: monthly power median (MW) [paper: peak December]",
+        fig.power.iter().map(|r| (r.month, r.median)),
+    );
+    print_rows(
+        "Fig. 4d: monthly inlet median (F) [paper: higher Dec-Mar]",
+        fig.inlet.iter().map(|r| (r.month, r.median)),
+    );
+    c.bench_function("fig04_monthly_profile", |b| {
+        b.iter(|| analysis::fig4_monthly_profile(summary))
+    });
+}
+
+fn fig05(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig5_weekday_profile(summary);
+    print_rows(
+        "Fig. 5a: power by weekday (MW) [paper: Monday lowest]",
+        fig.power.iter().map(|r| (r.weekday, r.mean)),
+    );
+    println!(
+        "non-Monday uplifts: power {:+.1}% (paper ~6), util {:+.1}% (~1.5), outlet {:+.1}% (~2), flow {:+.2}%, inlet {:+.2}%",
+        fig.power_uplift * 100.0,
+        fig.utilization_uplift * 100.0,
+        fig.outlet_uplift * 100.0,
+        fig.flow_uplift * 100.0,
+        fig.inlet_uplift * 100.0
+    );
+    c.bench_function("fig05_weekday_profile", |b| {
+        b.iter(|| analysis::fig5_weekday_profile(summary))
+    });
+}
+
+fn fig06(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig6_rack_power_util(summary);
+    println!(
+        "\nFig. 6: power leader {} [paper (0, D)], util leader {} [(0, A)], floor {} [(2, D)]",
+        fig.power_leader, fig.utilization_leader, fig.utilization_floor
+    );
+    println!(
+        "power spread {:.1}% [<=15%], power-util correlation {:.2} [0.45]",
+        fig.power_spread * 100.0,
+        fig.power_utilization_correlation
+    );
+    c.bench_function("fig06_rack_power_util", |b| {
+        b.iter(|| analysis::fig6_rack_power_util(summary))
+    });
+}
+
+fn fig07(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig7_rack_coolant(summary);
+    println!(
+        "\nFig. 7 spreads: flow {:.1}% [<=11%], inlet {:.1}% [<=1%], outlet {:.1}% [<=3%]",
+        fig.flow_spread * 100.0,
+        fig.inlet_spread * 100.0,
+        fig.outlet_spread * 100.0
+    );
+    c.bench_function("fig07_rack_coolant", |b| {
+        b.iter(|| analysis::fig7_rack_coolant(summary))
+    });
+}
+
+fn fig08(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig8_ambient_trends(summary);
+    println!(
+        "\nFig. 8: DC temp sigma {:.2} F [2.48], range {:.0}-{:.0} [76-90]; humidity sigma {:.2} [3.66], range {:.0}-{:.0} [28-37]",
+        fig.temperature_stddev,
+        fig.temperature_range.0,
+        fig.temperature_range.1,
+        fig.humidity_stddev,
+        fig.humidity_range.0,
+        fig.humidity_range.1
+    );
+    print_rows(
+        "Fig. 8b: monthly humidity median (%RH) [paper: summer bulge]",
+        fig.humidity_monthly.iter().map(|r| (r.month, r.median)),
+    );
+    c.bench_function("fig08_ambient_trends", |b| {
+        b.iter(|| analysis::fig8_ambient_trends(summary))
+    });
+}
+
+fn fig09(c: &mut Criterion) {
+    let summary = six_year_summary();
+    let fig = analysis::fig9_rack_ambient(summary);
+    println!(
+        "\nFig. 9: humidity hotspot {} [paper (1, 8)], spreads: humidity {:.0}% [36%], temp {:.0}% [11%]",
+        fig.humidity_hotspot,
+        fig.humidity_spread * 100.0,
+        fig.temperature_spread * 100.0
+    );
+    c.bench_function("fig09_rack_ambient", |b| {
+        b.iter(|| analysis::fig9_rack_ambient(summary))
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    let sim = simulation();
+    let fig = analysis::fig10_cmf_timeline(sim);
+    print_rows(
+        "Fig. 10: CMFs per year [paper: 361 total, 40% in 2016]",
+        fig.by_year.iter().map(|(y, n)| (*y, f64::from(*n))),
+    );
+    println!(
+        "total {} | 2016 share {:.0}% | longest gap {:.0} days",
+        fig.total,
+        fig.share_2016 * 100.0,
+        fig.longest_gap_days
+    );
+    c.bench_function("fig10_cmf_timeline", |b| {
+        b.iter(|| analysis::fig10_cmf_timeline(sim))
+    });
+}
+
+fn fig11(c: &mut Criterion) {
+    let sim = simulation();
+    let summary = six_year_summary();
+    let fig = analysis::fig11_cmf_by_rack(sim, summary);
+    println!(
+        "\nFig. 11: max {} at {} [paper: 14 at (1, 8)], min {} at {} [5 at (2, 7)]",
+        fig.max_count, fig.max_rack, fig.min_count, fig.min_rack
+    );
+    println!(
+        "correlations: util {:.2} [-0.21], outlet {:.2} [-0.06], humidity {:.2} [0.06]",
+        fig.correlation_utilization, fig.correlation_outlet, fig.correlation_humidity
+    );
+    c.bench_function("fig11_cmf_by_rack", |b| {
+        b.iter(|| analysis::fig11_cmf_by_rack(sim, summary))
+    });
+}
+
+fn fig12(c: &mut Criterion) {
+    let sim = simulation();
+    let leads: Vec<Duration> = (0..=12).map(|k| Duration::from_minutes(k * 30)).collect();
+    let fig = analysis::fig12_cmf_leadup(sim, &leads, usize::MAX);
+    println!("\nFig. 12: telemetry lead-up over {} failures", fig.events);
+    println!("lead (h) |  flow  | inlet | outlet  (relative to baseline)");
+    for p in fig.points.iter().rev() {
+        println!(
+            "  {:>5.1}  | {:+5.1}% | {:+5.1}% | {:+5.1}%",
+            p.lead.as_hours(),
+            (p.flow_rel - 1.0) * 100.0,
+            (p.inlet_rel - 1.0) * 100.0,
+            (p.outlet_rel - 1.0) * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("cmf_leadup_100_events", |b| {
+        b.iter(|| analysis::fig12_cmf_leadup(sim, &leads, 100))
+    });
+    group.finish();
+}
+
+fn fig13(c: &mut Criterion) {
+    let sim = simulation();
+    let leads = [
+        Duration::from_hours(6),
+        Duration::from_hours(5),
+        Duration::from_hours(4),
+        Duration::from_hours(3),
+        Duration::from_hours(2),
+        Duration::from_hours(1),
+        Duration::from_minutes(30),
+    ];
+    let config = PredictorConfig::default();
+    let fig = analysis::fig13_predictor_sweep(sim, &leads, usize::MAX, &config);
+    println!(
+        "\nFig. 13: predictor over {} failures (test accuracy {:.1}%)",
+        fig.events,
+        fig.test_accuracy * 100.0
+    );
+    println!("lead (h) | accuracy | precision | recall |  f1   |  fpr");
+    for p in &fig.points {
+        let m = p.metrics;
+        println!(
+            "  {:>5.1}  |  {:>5.1}%  |  {:>5.1}%   | {:>5.1}% | {:>4.1}% | {:>4.1}%",
+            p.lead.as_hours(),
+            m.accuracy() * 100.0,
+            m.precision() * 100.0,
+            m.recall() * 100.0,
+            m.f1() * 100.0,
+            m.false_positive_rate() * 100.0
+        );
+    }
+    println!("paper: ~87% at 6 h -> ~97% at 30 min; fpr 6% -> 1.2%");
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    let quick = PredictorConfig {
+        epochs: 10,
+        ..PredictorConfig::default()
+    };
+    group.bench_function("predictor_sweep_80_events", |b| {
+        b.iter(|| analysis::fig13_predictor_sweep(sim, &leads[..2], 80, &quick))
+    });
+    group.finish();
+}
+
+fn fig14(c: &mut Criterion) {
+    let sim = simulation();
+    let fig = analysis::fig14_post_cmf(sim);
+    print_rows(
+        "Fig. 14a: non-CMF failure rate after a CMF (per hour)",
+        fig.rate_windows
+            .iter()
+            .map(|(h, r)| (format!("{h:.0} h"), *r)),
+    );
+    println!(
+        "ratios: 6h/3h {:.2} [<0.75], 48h/3h {:.2} [~0.10]",
+        fig.ratio_6h_over_3h, fig.ratio_48h_over_3h
+    );
+    print_rows(
+        "Fig. 14b: follow-on failure mix [paper: AC-DC ~50%]",
+        fig.type_mix
+            .iter()
+            .map(|(k, share)| (k.to_string(), share * 100.0)),
+    );
+    c.bench_function("fig14_post_cmf", |b| b.iter(|| analysis::fig14_post_cmf(sim)));
+}
+
+fn fig15(c: &mut Criterion) {
+    let sim = simulation();
+    let examples = analysis::fig15_storm_examples(sim, 3);
+    println!("\nFig. 15: three largest storms");
+    for ex in &examples {
+        println!(
+            "  {} epicenter {} | {} racks | {} follow-ons, mean distance {:.1}",
+            ex.time,
+            ex.epicenter,
+            ex.cascade.len(),
+            ex.followons.len(),
+            ex.mean_followon_distance
+        );
+    }
+    c.bench_function("fig15_storm_examples", |b| {
+        b.iter(|| analysis::fig15_storm_examples(sim, 3))
+    });
+}
+
+criterion_group!(
+    figures, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    fig13, fig14, fig15
+);
+criterion_main!(figures);

@@ -1,0 +1,141 @@
+//! CMF-predictor pipeline costs: feature extraction, training, and
+//! inference — the numbers that decide whether the paper's "low-overhead
+//! operationally useful" claim holds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mira_bench::simulation;
+use mira_core::{
+    CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
+};
+use mira_nn::{Activation, Mlp, TrainConfig};
+use mira_predictor::pipeline::pooled_dataset;
+
+fn features(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(50);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs.clone(), sim.config().span());
+    let (cmf_time, rack) = cmfs[10];
+
+    let mut group = c.benchmark_group("features");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("six_hour_window_extraction", |b| {
+        b.iter(|| builder.window_features(sim.telemetry(), rack, cmf_time))
+    });
+    group.sample_size(10);
+    group.bench_function("balanced_dataset_50_events", |b| {
+        b.iter(|| builder.build(sim.telemetry(), Duration::from_minutes(30)))
+    });
+    group.finish();
+}
+
+fn training(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(100);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let data = pooled_dataset(
+        sim.telemetry(),
+        &builder,
+        &[Duration::from_minutes(30), Duration::from_hours(3)],
+    );
+    println!(
+        "training set: {} windows x {} features",
+        data.len(),
+        data.width()
+    );
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("paper_12_12_6_50_epochs", |b| {
+        b.iter(|| {
+            CmfPredictor::train_on(
+                &data,
+                &PredictorConfig {
+                    epochs: 50,
+                    ..PredictorConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("five_fold_cv_10_epochs", |b| {
+        b.iter(|| {
+            CmfPredictor::cross_validate(
+                &data,
+                5,
+                &PredictorConfig {
+                    epochs: 10,
+                    ..PredictorConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn inference(c: &mut Criterion) {
+    let sim = simulation();
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(100);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let data = pooled_dataset(sim.telemetry(), &builder, &[Duration::from_hours(1)]);
+    let (predictor, _) = CmfPredictor::train_on(
+        &data,
+        &PredictorConfig {
+            epochs: 20,
+            ..PredictorConfig::default()
+        },
+    );
+    let row = data.features()[0].clone();
+
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_window_probability", |b| {
+        b.iter(|| predictor.predict(&row))
+    });
+    // Whole-machine scoring: one decision per rack per 300 s tick.
+    group.throughput(Throughput::Elements(48));
+    group.bench_function("score_all_48_racks", |b| {
+        b.iter(|| {
+            data.features()
+                .iter()
+                .take(48)
+                .map(|f| predictor.predict(f))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn raw_network(c: &mut Criterion) {
+    // The bare MLP, without the pipeline: forward and one epoch.
+    let x: Vec<Vec<f64>> = (0..256)
+        .map(|i| (0..36).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+        .collect();
+    let y: Vec<f64> = (0..256).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+    let net = Mlp::new(&[36, 12, 12, 6, 1], Activation::Relu, Activation::Sigmoid, 1);
+
+    let mut group = c.benchmark_group("mlp");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("forward_12_12_6", |b| b.iter(|| net.predict(&x[0])));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("one_epoch_256_samples", |b| {
+        b.iter(|| {
+            let mut n = net.clone();
+            n.train(
+                &x,
+                &y,
+                &TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, features, training, inference, raw_network);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Simulator throughput: what it costs to regenerate the six-year
+//! telemetry archive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mira_bench::simulation;
+use mira_core::{Date, Duration, RackId, SimConfig, SimTime, Simulation, TelemetryProvider};
+
+fn world_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    group.sample_size(10);
+    group.bench_function("build_simulation", |b| {
+        b.iter(|| Simulation::new(SimConfig::with_seed(7)))
+    });
+    group.finish();
+}
+
+fn snapshots(c: &mut Criterion) {
+    let sim = simulation();
+    let t = SimTime::from_date(Date::new(2017, 5, 10));
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(48));
+    group.bench_function("observe_all_48_racks", |b| {
+        b.iter(|| sim.telemetry().observe_all(t))
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("random_access_sample", |b| {
+        b.iter(|| sim.telemetry().sample(RackId::new(1, 8), t))
+    });
+    group.finish();
+}
+
+fn sweeps(c: &mut Criterion) {
+    let sim = simulation();
+    let from = SimTime::from_date(Date::new(2015, 6, 1));
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    // One week at the coolant monitor's native 300 s cadence:
+    // 2016 steps x 48 racks.
+    group.throughput(Throughput::Elements(7 * 288 * 48));
+    group.bench_function("one_week_at_300s", |b| {
+        b.iter(|| {
+            sim.summarize_span(
+                from,
+                from + Duration::from_days(7),
+                Duration::from_minutes(5),
+            )
+        })
+    });
+    // One year at 1 h (the resolution the figure harness uses).
+    group.throughput(Throughput::Elements(365 * 24 * 48));
+    group.bench_function("one_year_at_1h", |b| {
+        b.iter(|| {
+            sim.summarize_span(
+                from,
+                from + Duration::from_days(365),
+                Duration::from_hours(1),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ras_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ras");
+    group.sample_size(10);
+    group.bench_function("generate_schedule", |b| {
+        b.iter(|| mira_ras::CmfSchedule::generate(7))
+    });
+    let schedule = mira_ras::CmfSchedule::generate(7);
+    group.bench_function("assemble_log_with_storms", |b| {
+        b.iter(|| mira_ras::RasLog::assemble(&schedule, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, world_construction, snapshots, sweeps, ras_assembly);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared setup for the benchmark harness.
+//!
+//! Every figure bench needs the same expensive artifacts: a built
+//! [`Simulation`] and a telemetry [`SweepSummary`]. They are constructed
+//! once per process via [`std::sync::OnceLock`] so Criterion's timing
+//! loops measure the analyses, not world construction.
+
+use std::sync::OnceLock;
+
+use mira_core::{Duration, SimConfig, Simulation, SweepSummary};
+
+/// The benchmark seed: fixed so printed figures are reproducible.
+pub const BENCH_SEED: u64 = 2014;
+
+/// The shared simulation.
+pub fn simulation() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::new(SimConfig::with_seed(BENCH_SEED)))
+}
+
+/// A full six-year telemetry summary at 1 h resolution (sufficient for
+/// every temporal/spatial figure; the paper's native 300 s cadence is
+/// benchmarked separately in the `simulation` bench).
+pub fn six_year_summary() -> &'static SweepSummary {
+    static SUMMARY: OnceLock<SweepSummary> = OnceLock::new();
+    SUMMARY.get_or_init(|| simulation().summarize(Duration::from_hours(1)))
+}
+
+/// Pretty-prints a labelled series of `(label, value)` rows.
+pub fn print_rows<L: std::fmt::Display>(
+    title: &str,
+    rows: impl IntoIterator<Item = (L, f64)>,
+) {
+    println!("\n--- {title} ---");
+    for (label, value) in rows {
+        println!("{label:>12} | {value:10.3}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal `--key value` argument parsing and date handling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mira_timeseries::{Date, DateTime, SimTime};
+
+/// A user-facing CLI error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Convenience constructor.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` flags plus positional arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgMap {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+    switches: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parses raw arguments (after the subcommand).
+    ///
+    /// `--key value` populates flags; `--key` followed by another flag
+    /// or nothing is a boolean switch; everything else is positional.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today, but returns `Result` so future validation can.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut out = ArgMap::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.flags.insert(key.to_string(), value);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--key`, if given.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean `--switch` was given.
+    #[must_use]
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Positional arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A required flag, with a helpful error.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| err(format!("missing --{key}")))
+    }
+
+    /// A flag parsed to a type, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+}
+
+/// Parses `YYYY-MM-DD`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the malformed component.
+pub fn parse_date(s: &str) -> Result<Date, CliError> {
+    let parts: Vec<&str> = s.trim().split('-').collect();
+    if parts.len() != 3 {
+        return Err(err(format!("expected YYYY-MM-DD, got {s}")));
+    }
+    let year: i32 = parts[0].parse().map_err(|_| err("bad year"))?;
+    let month: u8 = parts[1].parse().map_err(|_| err("bad month"))?;
+    let day: u8 = parts[2].parse().map_err(|_| err("bad day"))?;
+    if !(1..=12).contains(&month) {
+        return Err(err(format!("month out of range: {month}")));
+    }
+    let m = mira_timeseries::Month::from_number(month);
+    if day < 1 || day > m.days(year) {
+        return Err(err(format!("day out of range: {day}")));
+    }
+    Ok(Date::new(year, month, day))
+}
+
+/// Parses `YYYY-MM-DD` or `YYYY-MM-DD HH:MM[:SS]` (also accepts a `T`
+/// separator) into a [`SimTime`].
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed input.
+pub fn parse_datetime(s: &str) -> Result<SimTime, CliError> {
+    let s = s.trim();
+    let (date_part, time_part) = match s.split_once([' ', 'T']) {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let date = parse_date(date_part)?;
+    let Some(time) = time_part else {
+        return Ok(SimTime::from_date(date));
+    };
+    let parts: Vec<&str> = time.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(err(format!("expected HH:MM[:SS], got {time}")));
+    }
+    let hour: u8 = parts[0].parse().map_err(|_| err("bad hour"))?;
+    let minute: u8 = parts[1].parse().map_err(|_| err("bad minute"))?;
+    let second: u8 = if parts.len() == 3 {
+        parts[2].parse().map_err(|_| err("bad second"))?
+    } else {
+        0
+    };
+    if hour > 23 || minute > 59 || second > 59 {
+        return Err(err(format!("time out of range: {time}")));
+    }
+    Ok(SimTime::from_datetime(DateTime::new(date, hour, minute, second)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ArgMap {
+        ArgMap::parse(args.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn flags_switches_positional() {
+        // Positionals come before flags; `--key value` binds greedily,
+        // so a trailing or flag-adjacent `--switch` is boolean.
+        let a = parse(&["extra", "--seed", "7", "--fast", "--out", "x.csv"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("out"), Some("x.csv"));
+        assert!(a.switch("fast"));
+        assert!(!a.switch("slow"));
+        assert_eq!(a.positional(), &["extra".to_string()]);
+    }
+
+    #[test]
+    fn value_binding_is_greedy() {
+        // `--fast extra` binds "extra" as the value of --fast.
+        let a = parse(&["--fast", "extra"]);
+        assert_eq!(a.get("fast"), Some("extra"));
+        assert!(!a.switch("fast"));
+        assert!(a.positional().is_empty());
+    }
+
+    #[test]
+    fn adjacent_switches() {
+        let a = parse(&["--fast", "--verbose"]);
+        assert!(a.switch("fast") && a.switch("verbose"));
+    }
+
+    #[test]
+    fn require_and_parsed() {
+        let a = parse(&["--seed", "42"]);
+        assert_eq!(a.require("seed").unwrap(), "42");
+        assert!(a.require("missing").is_err());
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parsed("other", 9u64).unwrap(), 9);
+        let bad = parse(&["--seed", "xyz"]);
+        assert!(bad.get_parsed("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn date_parsing() {
+        let d = parse_date("2016-07-01").unwrap();
+        assert_eq!(d, Date::new(2016, 7, 1));
+        assert!(parse_date("2016-13-01").is_err());
+        assert!(parse_date("2015-02-29").is_err());
+        assert!(parse_date("nope").is_err());
+    }
+
+    #[test]
+    fn datetime_parsing() {
+        let t = parse_datetime("2016-07-01 09:30").unwrap();
+        assert_eq!(t.to_datetime().hour(), 9);
+        assert_eq!(t.to_datetime().minute(), 30);
+        let t2 = parse_datetime("2016-07-01T09:30:15").unwrap();
+        assert_eq!(t2.to_datetime().second(), 15);
+        let midnight = parse_datetime("2016-07-01").unwrap();
+        assert_eq!(midnight.to_datetime().hour(), 0);
+        assert!(parse_datetime("2016-07-01 25:00").is_err());
+        assert!(parse_datetime("2016-07-01 09").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(err("boom").to_string(), "boom");
+    }
+}

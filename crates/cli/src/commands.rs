@@ -1,0 +1,296 @@
+//! The `mira-ops` subcommands.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use mira_core::{
+    analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
+    RackId, SimConfig, Simulation, TelemetryProvider,
+};
+
+use crate::args::{err, parse_datetime, ArgMap, CliError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mira-ops — liquid-cooled large-scale system simulator (HPCA'21 reproduction)
+
+USAGE: mira-ops <command> [flags]
+
+COMMANDS:
+  failures                         CMF timeline and per-rack distribution
+  sample   --rack \"(1, 8)\" --time \"2016-07-04 12:00\"
+                                   one coolant-monitor record
+  export   --from 2015-01-01 --to 2015-01-08 [--step-min 5] [--out telemetry.csv]
+                                   telemetry sweep as CSV
+  ras      [--out ras.csv] [--raw] counted (or raw) RAS events as CSV
+  predict  [--lead-hours 3] [--events 150] [--epochs 30]
+                                   train the CMF predictor, print metrics
+  report   [--fast]                regenerate every figure (paper vs measured)
+
+GLOBAL FLAGS:
+  --seed <u64>                     world seed (default 2014)
+";
+
+fn simulation(args: &ArgMap) -> Result<Simulation, CliError> {
+    let seed = args.get_parsed("seed", 2014u64)?;
+    Ok(Simulation::new(SimConfig::with_seed(seed)))
+}
+
+/// `mira-ops failures`
+pub fn failures(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    writeln!(out, "coolant monitor failures by year:").map_err(io_err)?;
+    for (year, count) in &fig10.by_year {
+        writeln!(out, "  {year}: {count:>3}  {}", "#".repeat(*count as usize / 4))
+            .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "total {} | 2016 share {:.0}% | longest quiet gap {:.0} days",
+        fig10.total,
+        fig10.share_2016 * 100.0,
+        fig10.longest_gap_days
+    )
+    .map_err(io_err)?;
+
+    let counts = sim.ras_log().cmf_by_rack();
+    writeln!(out, "\nper-rack counts (rows 0-2, columns 0-F):").map_err(io_err)?;
+    for row in 0..3u8 {
+        let cells: Vec<String> = (0..16u8)
+            .map(|c| format!("{:>2}", counts[RackId::new(row, c).index()]))
+            .collect();
+        writeln!(out, "  row {row}: {}", cells.join(" ")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `mira-ops sample --rack "(1, 8)" --time "2016-07-04 12:00"`
+pub fn sample(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let rack = RackId::parse(args.require("rack")?)
+        .map_err(|e| err(format!("bad --rack: {e}")))?;
+    let t = parse_datetime(args.require("time")?)?;
+    let s = TelemetryProvider::sample(sim.telemetry(), rack, t);
+    writeln!(out, "coolant monitor sample, rack {rack} at {t}:").map_err(io_err)?;
+    writeln!(out, "  dc temperature : {}", s.dc_temperature).map_err(io_err)?;
+    writeln!(out, "  dc humidity    : {}", s.dc_humidity).map_err(io_err)?;
+    writeln!(out, "  coolant flow   : {}", s.flow).map_err(io_err)?;
+    writeln!(out, "  inlet coolant  : {}", s.inlet).map_err(io_err)?;
+    writeln!(out, "  outlet coolant : {}", s.outlet).map_err(io_err)?;
+    writeln!(out, "  power          : {}", s.power).map_err(io_err)?;
+    writeln!(out, "  condensation margin: {}", s.condensation_margin()).map_err(io_err)?;
+    Ok(())
+}
+
+/// `mira-ops export --from ... --to ... [--step-min 5] [--out file]`
+pub fn export(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let from = parse_datetime(args.require("from")?)?;
+    let to = parse_datetime(args.require("to")?)?;
+    if from >= to {
+        return Err(err("--from must precede --to"));
+    }
+    let step_min: i64 = args.get_parsed("step-min", 5i64)?;
+    if step_min <= 0 {
+        return Err(err("--step-min must be positive"));
+    }
+    let step = Duration::from_minutes(step_min);
+
+    let rows = match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
+            archive::export_sweep(sim.telemetry(), from, to, step, BufWriter::new(file))
+                .map_err(|e| err(e.to_string()))?
+        }
+        None => archive::export_sweep(sim.telemetry(), from, to, step, &mut *out)
+            .map_err(|e| err(e.to_string()))?,
+    };
+    if args.get("out").is_some() {
+        writeln!(out, "wrote {rows} telemetry rows").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `mira-ops ras [--out file] [--raw]`
+pub fn ras(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let events: Vec<_> = if args.switch("raw") {
+        sim.ras_log().raw().to_vec()
+    } else {
+        sim.ras_log().counted().to_vec()
+    };
+    let rows = match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
+            archive::write_ras_csv(BufWriter::new(file), events.iter())
+                .map_err(|e| err(e.to_string()))?
+        }
+        None => archive::write_ras_csv(&mut *out, events.iter())
+            .map_err(|e| err(e.to_string()))?,
+    };
+    if args.get("out").is_some() {
+        writeln!(out, "wrote {rows} RAS events").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `mira-ops predict [--lead-hours 3] [--events 150] [--epochs 30]`
+pub fn predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let events: usize = args.get_parsed("events", 150usize)?;
+    let epochs: usize = args.get_parsed("epochs", 30usize)?;
+    let lead_hours: i64 = args.get_parsed("lead-hours", 3i64)?;
+
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(events.max(10));
+    writeln!(out, "training on {} failures, {epochs} epochs...", cmfs.len()).map_err(io_err)?;
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let config = PredictorConfig {
+        epochs,
+        ..PredictorConfig::default()
+    };
+    let (predictor, test) = CmfPredictor::train(sim.telemetry(), &builder, &config);
+    writeln!(out, "held-out test: {test}").map_err(io_err)?;
+    let metrics =
+        predictor.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(lead_hours));
+    writeln!(out, "at {lead_hours} h lead: {metrics}").map_err(io_err)?;
+    Ok(())
+}
+
+/// `mira-ops report [--fast]`
+pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let step = if args.switch("fast") {
+        Duration::from_hours(6)
+    } else {
+        Duration::from_hours(1)
+    };
+    writeln!(out, "sweeping six years at {} h steps...", step.as_hours()).map_err(io_err)?;
+    let summary = sim.summarize(step);
+
+    let fig2 = analysis::fig2_yearly_trends(&summary);
+    writeln!(
+        out,
+        "[Fig 2] power {:.2} -> {:.2} MW | utilization {:.1} -> {:.1} %",
+        fig2.power_by_year[0].mean,
+        fig2.power_by_year[5].mean,
+        fig2.utilization_by_year[0].mean,
+        fig2.utilization_by_year[5].mean
+    )
+    .map_err(io_err)?;
+    let fig3 = analysis::fig3_coolant_trends(&summary);
+    writeln!(
+        out,
+        "[Fig 3] flow {:.0} -> {:.0} GPM | sigmas {:.1} GPM / {:.2} F / {:.2} F",
+        fig3.flow_before_theta,
+        fig3.flow_after_theta,
+        fig3.flow_stddev,
+        fig3.inlet_stddev,
+        fig3.outlet_stddev
+    )
+    .map_err(io_err)?;
+    let fig6 = analysis::fig6_rack_power_util(&summary);
+    writeln!(
+        out,
+        "[Fig 6] leaders {} / {} | spread {:.1}% | corr {:.2}",
+        fig6.power_leader,
+        fig6.utilization_leader,
+        fig6.power_spread * 100.0,
+        fig6.power_utilization_correlation
+    )
+    .map_err(io_err)?;
+    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    writeln!(
+        out,
+        "[Fig 10] {} CMFs | 2016 share {:.0}% | gap {:.0} d",
+        fig10.total,
+        fig10.share_2016 * 100.0,
+        fig10.longest_gap_days
+    )
+    .map_err(io_err)?;
+    writeln!(out, "(run the reproduce_all example for the full report)").map_err(io_err)?;
+    Ok(())
+}
+
+/// Dispatches a subcommand.
+pub fn run(command: &str, args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        "failures" => failures(args, out),
+        "sample" => sample(args, out),
+        "export" => export(args, out),
+        "ras" => ras(args, out),
+        "predict" => predict(args, out),
+        "report" => report(args, out),
+        other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    err(format!("output error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(command: &str, args: &[&str]) -> Result<String, CliError> {
+        let map = ArgMap::parse(args.iter().map(ToString::to_string))?;
+        let mut out = Vec::new();
+        run(command, &map, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn failures_prints_361() {
+        let text = run_cmd("failures", &[]).unwrap();
+        assert!(text.contains("total 361"));
+        assert!(text.contains("row 0:"));
+    }
+
+    #[test]
+    fn sample_prints_channels() {
+        let text = run_cmd("sample", &["--rack", "(1, 8)", "--time", "2016-07-04 12:00"])
+            .unwrap();
+        assert!(text.contains("inlet coolant"));
+        assert!(text.contains("GPM"));
+    }
+
+    #[test]
+    fn sample_requires_rack() {
+        let e = run_cmd("sample", &["--time", "2016-07-04"]).unwrap_err();
+        assert!(e.to_string().contains("--rack"));
+    }
+
+    #[test]
+    fn export_streams_csv_to_stdout() {
+        let text = run_cmd(
+            "export",
+            &["--from", "2015-03-01", "--to", "2015-03-01 01:00", "--step-min", "30"],
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], archive::TELEMETRY_HEADER);
+        assert_eq!(lines.len(), 1 + 2 * 48);
+    }
+
+    #[test]
+    fn export_validates_span() {
+        let e = run_cmd("export", &["--from", "2015-03-02", "--to", "2015-03-01"])
+            .unwrap_err();
+        assert!(e.to_string().contains("precede"));
+    }
+
+    #[test]
+    fn ras_emits_header() {
+        let text = run_cmd("ras", &[]).unwrap();
+        assert!(text.starts_with(archive::RAS_HEADER));
+        assert!(text.lines().count() > 361);
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let e = run_cmd("frobnicate", &[]).unwrap_err();
+        assert!(e.to_string().contains("USAGE"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Command-line interface logic for the `mira-ops` binary.
+//!
+//! Hand-rolled argument parsing (the workspace carries no CLI
+//! dependency): a small [`args::ArgMap`] splitting `--key value` flags,
+//! date parsing, and one function per subcommand in [`commands`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_date, parse_datetime, ArgMap, CliError};

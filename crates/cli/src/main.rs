@@ -1,0 +1,31 @@
+//! The `mira-ops` binary.
+
+use std::process::ExitCode;
+
+use mira_ops_cli::{ArgMap, CliError};
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        println!("{}", mira_ops_cli::commands::USAGE);
+        return Ok(());
+    };
+    if command == "--help" || command == "help" || command == "-h" {
+        println!("{}", mira_ops_cli::commands::USAGE);
+        return Ok(());
+    }
+    let args = ArgMap::parse(argv)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    mira_ops_cli::commands::run(&command, &args, &mut out)
+}

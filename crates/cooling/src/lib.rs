@@ -1,0 +1,48 @@
+//! Chilled-water-plant and rack cooling-loop thermo-hydraulic model.
+//!
+//! Mira's compute racks are liquid-cooled by a closed process loop fed
+//! from the Argonne Chilled Water Plant (CWP): two 1,500-ton chillers with
+//! a waterside economizer for free cooling, an external loop under the
+//! data-center floor, and a heat exchanger (HX) under every rack coupling
+//! the external loop to the rack's internal loop.
+//!
+//! - [`plant`] — the CWP: supply-temperature control, chiller/economizer
+//!   duty split, free-cooling energy accounting.
+//! - [`network`] — hydraulic flow distribution: loop setpoint (raised
+//!   from 1,250 to 1,300 GPM when Theta joined in July 2016), per-rack
+//!   blockage factors, solenoid valves, and conservation of flow.
+//! - [`exchanger`] — the per-rack HX: heat load → coolant ΔT.
+//! - [`monitor`] — the coolant monitor: per-rack sensors, calibration,
+//!   the 300 s telemetry record ([`CoolantMonitorSample`]), and alarm
+//!   thresholds.
+//! - [`precursor`] — the empirically-shaped telemetry signature in the
+//!   hours before a coolant monitor failure (Fig. 12).
+//!
+//! # Example
+//!
+//! ```
+//! use mira_cooling::{HeatExchanger, network::FlowNetwork};
+//! use mira_units::{Fahrenheit, Gpm};
+//!
+//! let hx = HeatExchanger::mira();
+//! // ≈53 kW of rack heat at 26 GPM warms the coolant ≈15 °F.
+//! let outlet = hx.outlet_temperature(Fahrenheit::new(64.0), Gpm::new(26.0), 53_000.0);
+//! assert!((outlet.value() - 79.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exchanger;
+pub mod monitor;
+pub mod network;
+pub mod plant;
+pub mod precursor;
+pub mod pump;
+
+pub use exchanger::HeatExchanger;
+pub use pump::{LoopHydraulics, PumpCurve};
+pub use monitor::{AlarmThresholds, CoolantMonitor, CoolantMonitorSample, MonitorAlarm};
+pub use network::FlowNetwork;
+pub use plant::{ChilledWaterPlant, PlantLoad};
+pub use precursor::PrecursorSignature;

@@ -1,0 +1,396 @@
+//! The per-rack coolant monitor: sensors, calibration, telemetry record,
+//! and alarm thresholds.
+//!
+//! Every rack carries a coolant monitor beside its internal loop's inlet
+//! and outlet lines. Every 300 s it records: data-center temperature and
+//! humidity near the rack, coolant flow, inlet and outlet coolant
+//! temperature, and aggregate rack power. Sensor readings pass through a
+//! per-device calibration and carry measurement noise. Threshold alarms
+//! on the readings are what raise coolant monitor failure (CMF) events in
+//! the RAS log.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::{Duration, SimTime};
+use mira_units::{condensation_margin, Fahrenheit, Gpm, Kilowatts, RelHumidity};
+
+/// The coolant monitor's sampling interval (300 s).
+pub const SAMPLE_INTERVAL: Duration = Duration::from_seconds(300);
+
+/// One 300-second telemetry record from a rack's coolant monitor — the
+/// row format of the whole study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolantMonitorSample {
+    /// Sample timestamp.
+    pub time: SimTime,
+    /// Rack the monitor is attached to.
+    pub rack: RackId,
+    /// Data-center ambient temperature near the rack.
+    pub dc_temperature: Fahrenheit,
+    /// Data-center relative humidity near the rack.
+    pub dc_humidity: RelHumidity,
+    /// Coolant flow through the rack's internal loop.
+    pub flow: Gpm,
+    /// Inlet coolant temperature.
+    pub inlet: Fahrenheit,
+    /// Outlet coolant temperature.
+    pub outlet: Fahrenheit,
+    /// Aggregate power of the rack's four power enclosures.
+    pub power: Kilowatts,
+}
+
+impl CoolantMonitorSample {
+    /// The six telemetry channels as a fixed array, in [`Channel`] order —
+    /// the feature vector layout used by the CMF predictor.
+    #[must_use]
+    pub fn channels(&self) -> [f64; 6] {
+        [
+            self.dc_temperature.value(),
+            self.dc_humidity.value(),
+            self.flow.value(),
+            self.inlet.value(),
+            self.outlet.value(),
+            self.power.value(),
+        ]
+    }
+
+    /// Condensation margin between the (cold) inlet line and the local
+    /// dew point — the composite quantity the CMF alarm is defined over.
+    #[must_use]
+    pub fn condensation_margin(&self) -> Fahrenheit {
+        condensation_margin(self.inlet, self.dc_temperature, self.dc_humidity)
+    }
+}
+
+/// Identifies one of the six telemetry channels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Channel {
+    DcTemperature = 0,
+    DcHumidity = 1,
+    Flow = 2,
+    Inlet = 3,
+    Outlet = 4,
+    Power = 5,
+}
+
+impl Channel {
+    /// All channels in array order.
+    pub const ALL: [Channel; 6] = [
+        Channel::DcTemperature,
+        Channel::DcHumidity,
+        Channel::Flow,
+        Channel::Inlet,
+        Channel::Outlet,
+        Channel::Power,
+    ];
+
+    /// Dense index in `0..6`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Channel::DcTemperature => "dc-temperature",
+            Channel::DcHumidity => "dc-humidity",
+            Channel::Flow => "coolant-flow",
+            Channel::Inlet => "inlet-temperature",
+            Channel::Outlet => "outlet-temperature",
+            Channel::Power => "power",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Alarm levels a coolant monitor can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitorAlarm {
+    /// Dew point approaching the inlet-line temperature: condensation
+    /// risk. This is the fatal CMF trigger.
+    CondensationRisk,
+    /// Coolant flow below the safe minimum.
+    LowFlow,
+    /// Outlet coolant temperature above the safe maximum.
+    OverTemperature,
+}
+
+impl fmt::Display for MonitorAlarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MonitorAlarm::CondensationRisk => "condensation-risk",
+            MonitorAlarm::LowFlow => "low-flow",
+            MonitorAlarm::OverTemperature => "over-temperature",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Alarm thresholds configured on every monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlarmThresholds {
+    /// Minimum allowed condensation margin before a fatal alarm.
+    pub min_condensation_margin: Fahrenheit,
+    /// Minimum allowed coolant flow.
+    pub min_flow: Gpm,
+    /// Maximum allowed outlet temperature.
+    pub max_outlet: Fahrenheit,
+}
+
+impl AlarmThresholds {
+    /// The Mira production thresholds.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            min_condensation_margin: Fahrenheit::new(3.0),
+            min_flow: Gpm::new(12.0),
+            max_outlet: Fahrenheit::new(95.0),
+        }
+    }
+
+    /// Checks a sample against the thresholds; returns the first alarm
+    /// tripped (condensation dominates, then flow, then temperature).
+    #[must_use]
+    pub fn check(&self, sample: &CoolantMonitorSample) -> Option<MonitorAlarm> {
+        if sample.condensation_margin() < self.min_condensation_margin {
+            return Some(MonitorAlarm::CondensationRisk);
+        }
+        if sample.flow < self.min_flow {
+            return Some(MonitorAlarm::LowFlow);
+        }
+        if sample.outlet > self.max_outlet {
+            return Some(MonitorAlarm::OverTemperature);
+        }
+        None
+    }
+}
+
+impl Default for AlarmThresholds {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+/// A rack's coolant monitor: applies per-device calibration and
+/// measurement noise to ground-truth conditions.
+///
+/// The monitors were regularly validated at ALCF (only one sensor was
+/// replaced in six years), so calibration offsets are small and gains are
+/// near unity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolantMonitor {
+    rack: RackId,
+    seed: u64,
+    /// Per-channel additive calibration offsets.
+    offsets: [f64; 6],
+    /// Per-channel measurement-noise scale (1 σ).
+    noise: [f64; 6],
+}
+
+impl CoolantMonitor {
+    /// Creates the monitor for a rack with deterministic calibration
+    /// derived from the seed.
+    #[must_use]
+    pub fn new(rack: RackId, seed: u64) -> Self {
+        let mut offsets = [0.0; 6];
+        // Channel-appropriate calibration scales: temperatures ±0.15 F,
+        // humidity ±0.3 RH, flow ±0.25 GPM, power ±0.4 kW.
+        let scales = [0.15, 0.30, 0.25, 0.15, 0.15, 0.40];
+        for (i, offset) in offsets.iter_mut().enumerate() {
+            *offset = unit_noise(seed, rack.index() as u64, i as u64, 0) * scales[i];
+        }
+        let noise = [0.12, 0.25, 0.18, 0.08, 0.10, 0.35];
+        Self {
+            rack,
+            seed,
+            offsets,
+            noise,
+        }
+    }
+
+    /// The rack this monitor instruments.
+    #[must_use]
+    pub fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    /// Produces the telemetry record for ground-truth conditions at `t`.
+    ///
+    /// One argument per physical channel: this mirrors the sensor wiring
+    /// and keeps the channels' units type-checked at the call site.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn observe(
+        &self,
+        t: SimTime,
+        dc_temperature: Fahrenheit,
+        dc_humidity: RelHumidity,
+        flow: Gpm,
+        inlet: Fahrenheit,
+        outlet: Fahrenheit,
+        power: Kilowatts,
+    ) -> CoolantMonitorSample {
+        let tick = t.epoch_seconds() as u64;
+        let read = |i: usize, truth: f64| {
+            truth
+                + self.offsets[i]
+                + unit_noise(self.seed, self.rack.index() as u64, i as u64, tick)
+                    * self.noise[i]
+        };
+        CoolantMonitorSample {
+            time: t,
+            rack: self.rack,
+            dc_temperature: Fahrenheit::new(read(0, dc_temperature.value())),
+            dc_humidity: RelHumidity::new(read(1, dc_humidity.value())),
+            flow: Gpm::new(read(2, flow.value()).max(0.0)),
+            inlet: Fahrenheit::new(read(3, inlet.value())),
+            outlet: Fahrenheit::new(read(4, outlet.value())),
+            power: Kilowatts::new(read(5, power.value()).max(0.0)),
+        }
+    }
+}
+
+/// Deterministic white noise in `[-1, 1]` keyed by (seed, rack, channel,
+/// tick) — sensor noise that is reproducible across runs.
+fn unit_noise(seed: u64, rack: u64, channel: u64, tick: u64) -> f64 {
+    let mut z = seed ^ rack.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= channel.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = z.wrapping_add(tick.wrapping_mul(0x1656_67B1_9E37_79F9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    fn truth_sample(monitor: &CoolantMonitor, t: SimTime) -> CoolantMonitorSample {
+        monitor.observe(
+            t,
+            Fahrenheit::new(80.0),
+            RelHumidity::new(33.0),
+            Gpm::new(26.0),
+            Fahrenheit::new(64.0),
+            Fahrenheit::new(79.0),
+            Kilowatts::new(58.0),
+        )
+    }
+
+    #[test]
+    fn observation_is_close_to_truth() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = truth_sample(&m, SimTime::from_date(Date::new(2015, 5, 1)));
+        assert!((s.dc_temperature.value() - 80.0).abs() < 1.0);
+        assert!((s.flow.value() - 26.0).abs() < 1.5);
+        assert!((s.inlet.value() - 64.0).abs() < 0.8);
+        assert!((s.power.value() - 58.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn observation_is_deterministic() {
+        let m = CoolantMonitor::new(RackId::new(1, 4), 7);
+        let t = SimTime::from_date(Date::new(2015, 5, 1));
+        assert_eq!(truth_sample(&m, t), truth_sample(&m, t));
+    }
+
+    #[test]
+    fn noise_varies_over_time() {
+        let m = CoolantMonitor::new(RackId::new(1, 4), 7);
+        let t = SimTime::from_date(Date::new(2015, 5, 1));
+        let a = truth_sample(&m, t);
+        let b = truth_sample(&m, t + SAMPLE_INTERVAL);
+        assert_ne!(a.inlet, b.inlet);
+    }
+
+    #[test]
+    fn calibration_differs_per_rack() {
+        let a = CoolantMonitor::new(RackId::new(0, 1), 7);
+        let b = CoolantMonitor::new(RackId::new(0, 2), 7);
+        assert_ne!(a.offsets, b.offsets);
+    }
+
+    #[test]
+    fn channels_array_matches_fields() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = truth_sample(&m, SimTime::from_date(Date::new(2015, 5, 1)));
+        let c = s.channels();
+        assert_eq!(c[Channel::Flow.index()], s.flow.value());
+        assert_eq!(c[Channel::Power.index()], s.power.value());
+        assert_eq!(Channel::ALL.len(), 6);
+    }
+
+    #[test]
+    fn healthy_sample_raises_no_alarm() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = truth_sample(&m, SimTime::from_date(Date::new(2015, 5, 1)));
+        assert_eq!(AlarmThresholds::mira().check(&s), None);
+    }
+
+    #[test]
+    fn condensation_alarm_trips_on_humid_air_and_cold_inlet() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = m.observe(
+            SimTime::from_date(Date::new(2015, 7, 1)),
+            Fahrenheit::new(82.0),
+            RelHumidity::new(60.0),
+            Gpm::new(26.0),
+            Fahrenheit::new(58.0),
+            Fahrenheit::new(73.0),
+            Kilowatts::new(58.0),
+        );
+        assert_eq!(
+            AlarmThresholds::mira().check(&s),
+            Some(MonitorAlarm::CondensationRisk)
+        );
+    }
+
+    #[test]
+    fn low_flow_alarm() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = m.observe(
+            SimTime::from_date(Date::new(2015, 7, 1)),
+            Fahrenheit::new(80.0),
+            RelHumidity::new(30.0),
+            Gpm::new(5.0),
+            Fahrenheit::new(64.0),
+            Fahrenheit::new(79.0),
+            Kilowatts::new(58.0),
+        );
+        assert_eq!(AlarmThresholds::mira().check(&s), Some(MonitorAlarm::LowFlow));
+    }
+
+    #[test]
+    fn over_temperature_alarm() {
+        let m = CoolantMonitor::new(RackId::new(0, 0), 7);
+        let s = m.observe(
+            SimTime::from_date(Date::new(2015, 7, 1)),
+            Fahrenheit::new(80.0),
+            RelHumidity::new(30.0),
+            Gpm::new(26.0),
+            Fahrenheit::new(64.0),
+            Fahrenheit::new(98.0),
+            Kilowatts::new(58.0),
+        );
+        assert_eq!(
+            AlarmThresholds::mira().check(&s),
+            Some(MonitorAlarm::OverTemperature)
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Channel::Inlet.to_string(), "inlet-temperature");
+        assert_eq!(MonitorAlarm::CondensationRisk.to_string(), "condensation-risk");
+    }
+}

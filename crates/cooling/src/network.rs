@@ -1,0 +1,186 @@
+//! Hydraulic flow distribution across the 48 rack heat exchangers.
+//!
+//! Underfloor piping from the CWP to the racks suffers partial blockage —
+//! complex cable layout, space constraints, filter fouling — so the flow
+//! each rack's monitor measures varies by up to 11 % even though the loop
+//! setpoint is uniform (Fig. 7a). The network model distributes the loop
+//! setpoint across racks in proportion to per-rack conductance, conserving
+//! total flow, and drops a rack to zero when its solenoid valve closes
+//! (the Blue Gene/Q control action on a fatal coolant event).
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::SimTime;
+use mira_units::Gpm;
+use mira_weather::ValueNoise;
+
+/// The external-loop flow network.
+///
+/// ```
+/// use mira_cooling::FlowNetwork;
+/// use mira_facility::RackId;
+/// use mira_timeseries::{Date, SimTime};
+/// use mira_units::Gpm;
+///
+/// let net = FlowNetwork::mira(11);
+/// let t = SimTime::from_date(Date::new(2015, 3, 1));
+/// let open = [true; 48];
+/// let flows = net.distribute(t, Gpm::new(1250.0), &open);
+/// let total: f64 = flows.iter().map(|f| f.value()).sum();
+/// assert!((total - 1250.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowNetwork {
+    /// Static per-rack hydraulic conductance from the pipe layout.
+    conductance: Vec<f64>,
+    /// Slow drift of each rack's conductance (fouling, maintenance).
+    drift: ValueNoise,
+}
+
+impl FlowNetwork {
+    /// Builds the Mira network with deterministic per-rack blockage.
+    #[must_use]
+    pub fn mira(seed: u64) -> Self {
+        let conductance = RackId::all()
+            .map(|rack| {
+                // Fixed wiring: hash, not RNG, so topology is stable
+                // across runs with different stochastic seeds.
+                let h = (rack.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+                let u = ((h >> 16) & 0xFFFF) as f64 / 65_535.0; // [0, 1]
+                // Conductance in [0.90, 1.00]: an 11 % max/min spread.
+                0.90 + 0.10 * u
+            })
+            .collect();
+        Self {
+            conductance,
+            drift: ValueNoise::new(seed ^ 0xF10D_0000, 45.0 * 86_400.0),
+        }
+    }
+
+    /// Effective conductance of a rack at `t` (static layout plus slow
+    /// fouling/maintenance drift).
+    #[must_use]
+    pub fn conductance(&self, rack: RackId, t: SimTime) -> f64 {
+        let phase = t.epoch_seconds() as f64 + rack.index() as f64 * 8.64e6;
+        let drift = self.drift.sample(phase) * 0.012;
+        (self.conductance[rack.index()] + drift).max(0.05)
+    }
+
+    /// Distributes the loop setpoint across racks in proportion to
+    /// conductance. `valve_open[i]` gates rack `i`; closed valves get
+    /// zero flow and their share is redistributed.
+    ///
+    /// Returns 48 per-rack flows summing to `setpoint` (or all zero if
+    /// every valve is closed).
+    #[must_use]
+    pub fn distribute(
+        &self,
+        t: SimTime,
+        setpoint: Gpm,
+        valve_open: &[bool; RackId::COUNT],
+    ) -> Vec<Gpm> {
+        let weights: Vec<f64> = RackId::all()
+            .map(|r| {
+                if valve_open[r.index()] {
+                    self.conductance(r, t)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return vec![Gpm::new(0.0); RackId::COUNT];
+        }
+        weights
+            .iter()
+            .map(|w| setpoint * (w / total))
+            .collect()
+    }
+
+    /// The relative spread `(max − min) / min` of per-rack flow with all
+    /// valves open at `t`.
+    #[must_use]
+    pub fn spread(&self, t: SimTime, setpoint: Gpm) -> f64 {
+        let flows = self.distribute(t, setpoint, &[true; RackId::COUNT]);
+        let min = flows
+            .iter()
+            .map(|f| f.value())
+            .fold(f64::INFINITY, f64::min);
+        let max = flows
+            .iter()
+            .map(|f| f.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        (max - min) / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::new(2016, 1, 1))
+    }
+
+    #[test]
+    fn conserves_total_flow() {
+        let net = FlowNetwork::mira(1);
+        let flows = net.distribute(t0(), Gpm::new(1300.0), &[true; 48]);
+        let total: f64 = flows.iter().map(|f| f.value()).sum();
+        assert!((total - 1300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spread_matches_fig7_band() {
+        let net = FlowNetwork::mira(1);
+        let s = net.spread(t0(), Gpm::new(1250.0));
+        assert!((0.07..=0.15).contains(&s), "spread {s} outside Fig. 7 band");
+    }
+
+    #[test]
+    fn per_rack_flow_near_26_gpm() {
+        let net = FlowNetwork::mira(1);
+        let flows = net.distribute(t0(), Gpm::new(1250.0), &[true; 48]);
+        for f in &flows {
+            assert!((23.0..30.0).contains(&f.value()), "flow {f}");
+        }
+    }
+
+    #[test]
+    fn closed_valve_redistributes() {
+        let net = FlowNetwork::mira(1);
+        let mut open = [true; 48];
+        open[RackId::new(1, 8).index()] = false;
+        let flows = net.distribute(t0(), Gpm::new(1250.0), &open);
+        assert_eq!(flows[RackId::new(1, 8).index()].value(), 0.0);
+        let total: f64 = flows.iter().map(|f| f.value()).sum();
+        assert!((total - 1250.0).abs() < 1e-6);
+        // Everyone else gets a bit more than before.
+        let before = net.distribute(t0(), Gpm::new(1250.0), &[true; 48]);
+        let r = RackId::new(0, 0).index();
+        assert!(flows[r].value() > before[r].value());
+    }
+
+    #[test]
+    fn all_valves_closed_is_zero_everywhere() {
+        let net = FlowNetwork::mira(1);
+        let flows = net.distribute(t0(), Gpm::new(1250.0), &[false; 48]);
+        assert!(flows.iter().all(|f| f.value() == 0.0));
+    }
+
+    #[test]
+    fn drift_is_slow_and_bounded() {
+        let net = FlowNetwork::mira(1);
+        let rack = RackId::new(2, 3);
+        let c0 = net.conductance(rack, t0());
+        let c1 = net.conductance(
+            rack,
+            t0() + mira_timeseries::Duration::from_hours(6),
+        );
+        assert!((c0 - c1).abs() < 0.01, "drift too fast: {c0} vs {c1}");
+        assert!((0.85..1.05).contains(&c0));
+    }
+}

@@ -1,0 +1,241 @@
+//! The Argonne Chilled Water Plant: chillers, waterside economizer, and
+//! the free-cooling energy ledger.
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::{Duration, SimTime};
+use mira_units::{Fahrenheit, KilowattHours, Kilowatts};
+use mira_weather::ValueNoise;
+
+/// Cooling capacity of one chiller tower in refrigeration tons.
+pub const CHILLER_TONS: f64 = 1500.0;
+
+/// Number of chiller towers built for Mira.
+pub const CHILLER_COUNT: u32 = 2;
+
+/// kW of heat removal per refrigeration ton.
+const KW_PER_TON: f64 = 3.517;
+
+/// Electrical draw of the chillers at 100 % CWP output, in kW.
+///
+/// Back-computed from the paper's headline number: running the economizer
+/// at 100 % of CWP capacity saves 17,820 kWh per day, i.e. 742.5 kW of
+/// chiller electrical load avoided.
+pub const CHILLER_FULL_LOAD_KW: f64 = 17_820.0 / 24.0;
+
+/// The plant's response at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantLoad {
+    /// Chilled-water supply temperature delivered to the external loop.
+    pub supply_temperature: Fahrenheit,
+    /// Fraction of the heat load carried by the waterside economizer.
+    pub free_cooling_fraction: f64,
+    /// Electrical draw of the chillers at this instant.
+    pub chiller_power: Kilowatts,
+    /// Electrical draw that the economizer is currently avoiding.
+    pub avoided_power: Kilowatts,
+}
+
+/// The chilled water plant.
+///
+/// Supply temperature is held at the 64 °F setpoint by the chillers; when
+/// the economizer carries part of the load (cold Chicago months) the
+/// supply runs slightly warmer — environmental cooling is not as precise
+/// as mechanical chilling, which is exactly the inlet-temperature bump the
+/// paper observes December–March (Fig. 4d). Operational uplifts (the
+/// Theta integration transient of 2016) are applied by the caller via
+/// `supply_uplift`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChilledWaterPlant {
+    setpoint: Fahrenheit,
+    /// Extra supply temperature at 100 % free cooling.
+    economizer_penalty: Fahrenheit,
+    control_noise: ValueNoise,
+}
+
+impl ChilledWaterPlant {
+    /// The Mira CWP calibration (64 °F setpoint).
+    #[must_use]
+    pub fn mira(seed: u64) -> Self {
+        Self {
+            setpoint: Fahrenheit::new(64.0),
+            economizer_penalty: Fahrenheit::new(1.25),
+            control_noise: ValueNoise::new(seed ^ 0xC001_CAFE, 6.0 * 3600.0),
+        }
+    }
+
+    /// The chilled-water setpoint.
+    #[must_use]
+    pub fn setpoint(&self) -> Fahrenheit {
+        self.setpoint
+    }
+
+    /// Total heat-removal capacity of the plant in kW.
+    #[must_use]
+    pub fn capacity_kw(&self) -> f64 {
+        CHILLER_TONS * f64::from(CHILLER_COUNT) * KW_PER_TON
+    }
+
+    /// Computes the plant state at `t`.
+    ///
+    /// * `free_cooling_fraction` — how much of the load the economizer
+    ///   can carry (from the weather model), clamped to `[0, 1]`.
+    /// * `heat_load_watts` — heat arriving from the data center.
+    /// * `supply_uplift` — operational supply-temperature offset (e.g.
+    ///   the 2016 Theta integration transient).
+    #[must_use]
+    pub fn respond(
+        &self,
+        t: SimTime,
+        free_cooling_fraction: f64,
+        heat_load_watts: f64,
+        supply_uplift: Fahrenheit,
+    ) -> PlantLoad {
+        let free = free_cooling_fraction.clamp(0.0, 1.0);
+        let load_kw = (heat_load_watts / 1000.0).max(0.0);
+        let utilization = (load_kw / self.capacity_kw()).clamp(0.0, 1.0);
+
+        // Chillers carry the remainder of the load; electrical draw
+        // scales with carried load relative to full CWP output.
+        let chiller_power =
+            Kilowatts::new(CHILLER_FULL_LOAD_KW * utilization * (1.0 - free));
+        let avoided_power = Kilowatts::new(CHILLER_FULL_LOAD_KW * utilization * free);
+
+        let noise = self.control_noise.sample(t.epoch_seconds() as f64) * 0.2;
+        let supply = self.setpoint
+            + self.economizer_penalty * free
+            + supply_uplift
+            + Fahrenheit::new(noise);
+
+        PlantLoad {
+            supply_temperature: supply,
+            free_cooling_fraction: free,
+            chiller_power,
+            avoided_power,
+        }
+    }
+}
+
+/// Accumulates economizer savings over time — the ledger behind the
+/// paper's "2,174,040 kWh per free-cooling season" figure.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FreeCoolingLedger {
+    saved: KilowattHours,
+    chiller_energy: KilowattHours,
+}
+
+impl FreeCoolingLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one plant interval.
+    pub fn record(&mut self, load: &PlantLoad, dt: Duration) {
+        let hours = dt.as_hours();
+        self.saved += load.avoided_power.for_hours(hours);
+        self.chiller_energy += load.chiller_power.for_hours(hours);
+    }
+
+    /// Total chiller energy avoided by the economizer.
+    #[must_use]
+    pub fn saved(&self) -> KilowattHours {
+        self.saved
+    }
+
+    /// Total chiller energy actually spent.
+    #[must_use]
+    pub fn chiller_energy(&self) -> KilowattHours {
+        self.chiller_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::new(2015, 1, 15))
+    }
+
+    #[test]
+    fn capacity_matches_two_towers() {
+        let p = ChilledWaterPlant::mira(0);
+        assert!((p.capacity_kw() - 10_551.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_free_cooling_idles_the_chillers() {
+        let p = ChilledWaterPlant::mira(0);
+        let load = p.respond(t0(), 1.0, 3.0e6, Fahrenheit::new(0.0));
+        assert_eq!(load.chiller_power.value(), 0.0);
+        assert!(load.avoided_power.value() > 0.0);
+    }
+
+    #[test]
+    fn summer_runs_chillers() {
+        let p = ChilledWaterPlant::mira(0);
+        let load = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
+        assert!(load.chiller_power.value() > 0.0);
+        assert_eq!(load.avoided_power.value(), 0.0);
+    }
+
+    #[test]
+    fn economizer_supply_runs_warmer() {
+        let p = ChilledWaterPlant::mira(0);
+        let winter = p.respond(t0(), 1.0, 3.0e6, Fahrenheit::new(0.0));
+        let summer = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
+        assert!(
+            winter.supply_temperature.value() > summer.supply_temperature.value() + 0.8,
+            "winter {} vs summer {}",
+            winter.supply_temperature,
+            summer.supply_temperature
+        );
+    }
+
+    #[test]
+    fn uplift_passes_through() {
+        let p = ChilledWaterPlant::mira(0);
+        let base = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
+        let lifted = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(2.0));
+        assert!(
+            (lifted.supply_temperature.value() - base.supply_temperature.value() - 2.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn paper_daily_saving_at_full_capacity() {
+        let p = ChilledWaterPlant::mira(0);
+        // Full CWP output covered entirely by the economizer.
+        let load = p.respond(t0(), 1.0, p.capacity_kw() * 1000.0, Fahrenheit::new(0.0));
+        let mut ledger = FreeCoolingLedger::new();
+        ledger.record(&load, Duration::from_days(1));
+        assert!(
+            (ledger.saved().value() - 17_820.0).abs() < 1.0,
+            "daily saving {}",
+            ledger.saved()
+        );
+    }
+
+    #[test]
+    fn seasonal_saving_matches_paper_order() {
+        // 122 days of December-March at full free cooling and capacity.
+        let p = ChilledWaterPlant::mira(0);
+        let load = p.respond(t0(), 1.0, p.capacity_kw() * 1000.0, Fahrenheit::new(0.0));
+        let mut ledger = FreeCoolingLedger::new();
+        ledger.record(&load, Duration::from_days(122));
+        assert!((ledger.saved().value() - 2_174_040.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let p = ChilledWaterPlant::mira(0);
+        let load = p.respond(t0(), 7.0, 3.0e6, Fahrenheit::new(0.0));
+        assert_eq!(load.free_cooling_fraction, 1.0);
+        let load = p.respond(t0(), -2.0, 3.0e6, Fahrenheit::new(0.0));
+        assert_eq!(load.free_cooling_fraction, 0.0);
+    }
+}

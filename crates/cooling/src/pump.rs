@@ -1,0 +1,193 @@
+//! Loop pumps: impeller curves, system resistance, and pumping energy.
+//!
+//! The paper, on the Theta integration: "to prevent accidental shutdowns
+//! of Mira, the impellers on the coolant loop were upgraded when Theta
+//! was added to the loop and the flow rate of coolant to Mira was
+//! increased." This module models why that upgrade was necessary:
+//!
+//! - a centrifugal pump delivers along a falling head–flow curve
+//!   `H(Q) = H₀ − a·Q²`;
+//! - the piping network resists along a rising system curve
+//!   `H(Q) = k·Q²` (plus Theta's added branch lowering `k`'s share of
+//!   the head available to Mira);
+//! - the loop settles where the curves cross.
+//!
+//! With the original impeller, adding Theta's parallel branch would have
+//! dropped Mira's share of the flow below its safe minimum — the
+//! upgraded impeller restores the operating point at 1,300 GPM.
+
+use serde::{Deserialize, Serialize};
+
+use mira_units::{Gpm, Kilowatts};
+
+/// A centrifugal pump's quadratic head–flow curve, `H(Q) = H₀ − a·Q²`,
+/// with head in feet of water and flow in GPM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PumpCurve {
+    /// Shut-off head (feet of water at zero flow).
+    pub shutoff_head_ft: f64,
+    /// Quadratic droop coefficient (ft per GPM²).
+    pub droop: f64,
+    /// Wire-to-water efficiency at the design point.
+    pub efficiency: f64,
+}
+
+impl PumpCurve {
+    /// The original Mira loop impeller: designed to cross the bare-loop
+    /// system curve at ≈1,250 GPM.
+    #[must_use]
+    pub fn original() -> Self {
+        Self {
+            shutoff_head_ft: 150.0,
+            droop: 150.0 * 0.5 / (1250.0 * 1250.0),
+            efficiency: 0.78,
+        }
+    }
+
+    /// The upgraded (2016) impeller: higher shut-off head, crossing the
+    /// heavier Mira+Theta system curve at ≈1,300 GPM for Mira's branch.
+    #[must_use]
+    pub fn upgraded() -> Self {
+        Self {
+            shutoff_head_ft: 195.0,
+            droop: 195.0 * 0.5 / (1430.0 * 1430.0),
+            efficiency: 0.80,
+        }
+    }
+
+    /// Delivered head at a flow (clamped at zero past runout).
+    #[must_use]
+    pub fn head_at(&self, flow: Gpm) -> f64 {
+        (self.shutoff_head_ft - self.droop * flow.value() * flow.value()).max(0.0)
+    }
+
+    /// Solves the operating point against a system curve `H = k·Q²`:
+    /// `Q* = sqrt(H₀ / (a + k))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive.
+    #[must_use]
+    pub fn operating_point(&self, system_k: f64) -> Gpm {
+        assert!(system_k > 0.0, "system resistance must be positive");
+        Gpm::new((self.shutoff_head_ft / (self.droop + system_k)).sqrt())
+    }
+
+    /// Electrical power to drive the pump at a flow, from the hydraulic
+    /// power `ρ·g·Q·H` over the efficiency.
+    #[must_use]
+    pub fn electrical_power(&self, flow: Gpm) -> Kilowatts {
+        let head_ft = self.head_at(flow);
+        // 1 GPM·ft of water = 0.1885 / 1000 kW hydraulic... use SI:
+        // Q [m³/s] · H [m] · ρg [9810 N/m³].
+        let q_m3s = flow.to_litres_per_minute() / 1000.0 / 60.0;
+        let h_m = head_ft * 0.3048;
+        let hydraulic_kw = q_m3s * h_m * 9.81;
+        Kilowatts::new(hydraulic_kw / self.efficiency)
+    }
+}
+
+/// The external loop's hydraulic picture before and after Theta.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopHydraulics {
+    /// System-curve coefficient of Mira's branch alone (ft/GPM²).
+    pub mira_k: f64,
+    /// Effective system-curve coefficient once Theta's parallel branch
+    /// draws from the same header (Mira's branch sees a heavier system:
+    /// shared header losses rise).
+    pub with_theta_k: f64,
+}
+
+impl LoopHydraulics {
+    /// The Mira loop calibration: the original pump × bare loop crosses
+    /// at ≈1,250 GPM; the upgraded pump × Theta-era loop crosses at
+    /// ≈1,300 GPM on Mira's branch.
+    #[must_use]
+    pub fn mira() -> Self {
+        let original = PumpCurve::original();
+        // Solve k from the known operating points.
+        let k_bare = original.shutoff_head_ft / (1250.0 * 1250.0) - original.droop;
+        let upgraded = PumpCurve::upgraded();
+        let k_theta = upgraded.shutoff_head_ft / (1300.0 * 1300.0) - upgraded.droop;
+        Self {
+            mira_k: k_bare,
+            with_theta_k: k_theta,
+        }
+    }
+
+    /// Mira's branch flow for a pump before Theta.
+    #[must_use]
+    pub fn flow_before_theta(&self, pump: &PumpCurve) -> Gpm {
+        pump.operating_point(self.mira_k)
+    }
+
+    /// Mira's branch flow for a pump with Theta on the loop.
+    #[must_use]
+    pub fn flow_with_theta(&self, pump: &PumpCurve) -> Gpm {
+        pump.operating_point(self.with_theta_k)
+    }
+}
+
+impl Default for LoopHydraulics {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_pump_crosses_at_1250() {
+        let loop_h = LoopHydraulics::mira();
+        let q = loop_h.flow_before_theta(&PumpCurve::original());
+        assert!((q.value() - 1250.0).abs() < 1.0, "{q}");
+    }
+
+    #[test]
+    fn upgraded_pump_restores_1300_with_theta() {
+        let loop_h = LoopHydraulics::mira();
+        let q = loop_h.flow_with_theta(&PumpCurve::upgraded());
+        assert!((q.value() - 1300.0).abs() < 1.0, "{q}");
+    }
+
+    #[test]
+    fn theta_without_upgrade_starves_mira() {
+        // The accidental-shutdown scenario the operators avoided: the
+        // old impeller against the heavier Theta-era loop loses flow.
+        let loop_h = LoopHydraulics::mira();
+        let starved = loop_h.flow_with_theta(&PumpCurve::original());
+        assert!(
+            starved.value() < 1200.0,
+            "old impeller with Theta: {starved}"
+        );
+        assert!(starved.value() > 900.0, "but not absurdly low: {starved}");
+    }
+
+    #[test]
+    fn head_falls_with_flow() {
+        let p = PumpCurve::original();
+        assert!(p.head_at(Gpm::new(0.0)) > p.head_at(Gpm::new(800.0)));
+        assert!(p.head_at(Gpm::new(800.0)) > p.head_at(Gpm::new(1500.0)));
+        assert_eq!(p.head_at(Gpm::new(1.0e5)), 0.0, "clamped past runout");
+    }
+
+    #[test]
+    fn pump_power_is_plausible() {
+        // A 1,250 GPM, ~75 ft pump is tens of kW — real but small next
+        // to the megawatt compute load.
+        let p = PumpCurve::original();
+        let kw = p.electrical_power(Gpm::new(1250.0)).value();
+        assert!((10.0..60.0).contains(&kw), "pump power {kw} kW");
+        // Upgraded pump at higher flow draws more.
+        let up = PumpCurve::upgraded().electrical_power(Gpm::new(1300.0)).value();
+        assert!(up > kw);
+    }
+
+    #[test]
+    #[should_panic(expected = "system resistance must be positive")]
+    fn rejects_nonpositive_resistance() {
+        let _ = PumpCurve::original().operating_point(0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Per-figure analyses: one function per table/figure of the paper.
+//!
+//! Each function returns a typed row set mirroring what the paper plots,
+//! so the bench harness (and EXPERIMENTS.md) can print the same series
+//! the authors report:
+//!
+//! | Paper | Function |
+//! |---|---|
+//! | Fig. 2  | [`fig2_yearly_trends`] |
+//! | Fig. 3  | [`fig3_coolant_trends`] |
+//! | Fig. 4  | [`fig4_monthly_profile`] |
+//! | Fig. 5  | [`fig5_weekday_profile`] |
+//! | Fig. 6  | [`fig6_rack_power_util`] |
+//! | Fig. 7  | [`fig7_rack_coolant`] |
+//! | Fig. 8  | [`fig8_ambient_trends`] |
+//! | Fig. 9  | [`fig9_rack_ambient`] |
+//! | Fig. 10 | [`fig10_cmf_timeline`] |
+//! | Fig. 11 | [`fig11_cmf_by_rack`] |
+//! | Fig. 12 | [`fig12_cmf_leadup`] |
+//! | Fig. 13 | [`fig13_predictor_sweep`] |
+//! | Fig. 14 | [`fig14_post_cmf`] |
+//! | Fig. 15 | [`fig15_storm_examples`] |
+
+mod failures;
+mod prediction;
+mod spatial;
+mod temporal;
+
+pub use failures::{
+    fig10_cmf_timeline, fig12_cmf_leadup, fig14_post_cmf, fig15_storm_examples, Fig10, Fig12,
+    Fig14, Fig15StormExample, LeadupPoint,
+};
+pub use prediction::{fig13_predictor_sweep, Fig13};
+pub use spatial::{
+    fig11_cmf_by_rack, fig6_rack_power_util, fig7_rack_coolant, fig9_rack_ambient, Fig11, Fig6,
+    Fig7, Fig9,
+};
+pub use temporal::{
+    fig2_yearly_trends, fig3_coolant_trends, fig4_monthly_profile, fig5_weekday_profile,
+    fig8_ambient_trends, free_cooling_report, Fig2, Fig3, Fig4, Fig5, Fig8, FreeCoolingReport,
+};

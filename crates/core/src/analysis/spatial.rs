@@ -1,0 +1,330 @@
+//! Spatial (rack-level) analyses: Figs. 6, 7, 9 and 11.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::spearman;
+
+use crate::simulation::Simulation;
+use crate::summary::SweepSummary;
+
+fn spread(values: &[f64]) -> f64 {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if min <= 0.0 {
+        0.0
+    } else {
+        (max - min) / min
+    }
+}
+
+fn argmax(values: &[f64]) -> RackId {
+    let idx = values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("48 racks");
+    RackId::from_index(idx)
+}
+
+fn argmin(values: &[f64]) -> RackId {
+    let idx = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("48 racks");
+    RackId::from_index(idx)
+}
+
+/// Fig. 6: rack-level power and utilization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Mean power per rack (kW), rack-index order.
+    pub power_kw: Vec<f64>,
+    /// Mean utilization per rack (fraction), rack-index order.
+    pub utilization: Vec<f64>,
+    /// Relative power spread across racks (paper: up to 15 %).
+    pub power_spread: f64,
+    /// Rack with the highest mean power (paper: `(0, D)`).
+    pub power_leader: RackId,
+    /// Rack with the highest mean utilization (paper: `(0, A)`).
+    pub utilization_leader: RackId,
+    /// Rack with the lowest mean utilization (paper: `(2, D)`).
+    pub utilization_floor: RackId,
+    /// Rank correlation between rack power and utilization (paper:
+    /// 0.45).
+    pub power_utilization_correlation: f64,
+    /// Mean utilization per row.
+    pub row_utilization: [f64; 3],
+}
+
+/// Fig. 6.
+#[must_use]
+pub fn fig6_rack_power_util(summary: &SweepSummary) -> Fig6 {
+    let power_kw = summary.rack_means(|r| &r.power);
+    let utilization = summary.rack_means(|r| &r.utilization);
+    let mut row_utilization = [0.0; 3];
+    for rack in RackId::all() {
+        row_utilization[rack.row() as usize] += utilization[rack.index()] / 16.0;
+    }
+    Fig6 {
+        power_spread: spread(&power_kw),
+        power_leader: argmax(&power_kw),
+        utilization_leader: argmax(&utilization),
+        utilization_floor: argmin(&utilization),
+        power_utilization_correlation: spearman(&power_kw, &utilization).unwrap_or(0.0),
+        row_utilization,
+        power_kw,
+        utilization,
+    }
+}
+
+/// Fig. 7: rack-level coolant telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// Mean flow per rack (GPM).
+    pub flow_gpm: Vec<f64>,
+    /// Mean inlet temperature per rack (F).
+    pub inlet_f: Vec<f64>,
+    /// Mean outlet temperature per rack (F).
+    pub outlet_f: Vec<f64>,
+    /// Relative flow spread (paper: up to 11 %).
+    pub flow_spread: f64,
+    /// Relative inlet spread (paper: ≈1 %).
+    pub inlet_spread: f64,
+    /// Relative outlet spread (paper: ≈3 %).
+    pub outlet_spread: f64,
+}
+
+/// Fig. 7.
+#[must_use]
+pub fn fig7_rack_coolant(summary: &SweepSummary) -> Fig7 {
+    let flow_gpm = summary.rack_means(|r| &r.flow);
+    let inlet_f = summary.rack_means(|r| &r.inlet);
+    let outlet_f = summary.rack_means(|r| &r.outlet);
+    Fig7 {
+        flow_spread: spread(&flow_gpm),
+        inlet_spread: spread(&inlet_f),
+        outlet_spread: spread(&outlet_f),
+        flow_gpm,
+        inlet_f,
+        outlet_f,
+    }
+}
+
+/// Fig. 9: rack-level ambient temperature and humidity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// Mean ambient temperature per rack (F).
+    pub temperature_f: Vec<f64>,
+    /// Mean ambient humidity per rack (%RH).
+    pub humidity_rh: Vec<f64>,
+    /// Relative temperature spread (paper: up to 11 %).
+    pub temperature_spread: f64,
+    /// Relative humidity spread (paper: up to 36 %).
+    pub humidity_spread: f64,
+    /// The humidity hotspot rack (paper: `(1, 8)`).
+    pub humidity_hotspot: RackId,
+    /// Mean humidity of row-end racks (distance < 4) vs row-center
+    /// racks: ends run drier.
+    pub end_vs_center_humidity: (f64, f64),
+}
+
+/// Fig. 9.
+#[must_use]
+pub fn fig9_rack_ambient(summary: &SweepSummary) -> Fig9 {
+    let temperature_f = summary.rack_means(|r| &r.ambient_temperature);
+    let humidity_rh = summary.rack_means(|r| &r.ambient_humidity);
+
+    let mut ends = Vec::new();
+    let mut centers = Vec::new();
+    for rack in RackId::all() {
+        if rack.distance_from_row_end() < 4 {
+            ends.push(humidity_rh[rack.index()]);
+        } else {
+            centers.push(humidity_rh[rack.index()]);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    Fig9 {
+        temperature_spread: spread(&temperature_f),
+        humidity_spread: spread(&humidity_rh),
+        humidity_hotspot: argmax(&humidity_rh),
+        end_vs_center_humidity: (mean(&ends), mean(&centers)),
+        temperature_f,
+        humidity_rh,
+    }
+}
+
+/// Fig. 11: CMFs per rack and their (lack of) correlation with the usual
+/// suspects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Counted CMFs per rack, rack-index order.
+    pub counts: Vec<u32>,
+    /// Rack with the most CMFs (paper: `(1, 8)` with 14).
+    pub max_rack: RackId,
+    /// Its count.
+    pub max_count: u32,
+    /// Rack with the fewest CMFs (paper: `(2, 7)` with 5).
+    pub min_rack: RackId,
+    /// Its count.
+    pub min_count: u32,
+    /// Rank correlation with rack utilization (paper: −0.21).
+    pub correlation_utilization: f64,
+    /// Rank correlation with rack outlet temperature (paper: −0.06).
+    pub correlation_outlet: f64,
+    /// Rank correlation with rack humidity (paper: 0.06).
+    pub correlation_humidity: f64,
+    /// Permutation p-values for the three correlations (utilization,
+    /// outlet, humidity): over 48 racks, none of these weak
+    /// correlations should clear conventional significance — the
+    /// statistical form of "none of these markers can be used to
+    /// predict where CMFs occur".
+    pub permutation_p: [f64; 3],
+}
+
+/// Fig. 11.
+#[must_use]
+pub fn fig11_cmf_by_rack(sim: &Simulation, summary: &SweepSummary) -> Fig11 {
+    let counts_arr = sim.ras_log().cmf_by_rack();
+    let counts: Vec<u32> = counts_arr.to_vec();
+    let counts_f: Vec<f64> = counts.iter().map(|&c| f64::from(c)).collect();
+
+    let utilization = summary.rack_means(|r| &r.utilization);
+    let outlet = summary.rack_means(|r| &r.outlet);
+    let humidity = summary.rack_means(|r| &r.ambient_humidity);
+
+    let max_rack = argmax(&counts_f);
+    let min_rack = argmin(&counts_f);
+    let pvalue = |other: &[f64], seed: u64| {
+        mira_timeseries::spearman_permutation_pvalue(&counts_f, other, 500, seed)
+            .unwrap_or(1.0)
+    };
+    Fig11 {
+        max_count: counts[max_rack.index()],
+        min_count: counts[min_rack.index()],
+        max_rack,
+        min_rack,
+        correlation_utilization: spearman(&counts_f, &utilization).unwrap_or(0.0),
+        correlation_outlet: spearman(&counts_f, &outlet).unwrap_or(0.0),
+        correlation_humidity: spearman(&counts_f, &humidity).unwrap_or(0.0),
+        permutation_p: [
+            pvalue(&utilization, 11),
+            pvalue(&outlet, 12),
+            pvalue(&humidity, 13),
+        ],
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimConfig;
+    use mira_timeseries::{Date, Duration, SimTime};
+
+    fn sim_and_summary() -> (Simulation, SweepSummary) {
+        let sim = Simulation::new(SimConfig::with_seed(42));
+        // Spatial structure is time-invariant: three months at 4 h steps
+        // is plenty for rack means.
+        let summary = sim.summarize_span(
+            SimTime::from_date(Date::new(2015, 2, 1)),
+            SimTime::from_date(Date::new(2015, 5, 1)),
+            Duration::from_hours(4),
+        );
+        (sim, summary)
+    }
+
+    #[test]
+    fn fig6_anchors() {
+        let (_, summary) = sim_and_summary();
+        let fig6 = fig6_rack_power_util(&summary);
+        assert_eq!(fig6.power_leader, RackId::new(0, 13), "(0, D) leads power");
+        assert_eq!(
+            fig6.utilization_leader,
+            RackId::new(0, 10),
+            "(0, A) leads utilization"
+        );
+        assert_eq!(fig6.utilization_floor, RackId::new(2, 13), "(2, D) floor");
+        assert!(
+            (0.05..0.20).contains(&fig6.power_spread),
+            "power spread {}",
+            fig6.power_spread
+        );
+        assert!(
+            (0.25..0.65).contains(&fig6.power_utilization_correlation),
+            "corr {}",
+            fig6.power_utilization_correlation
+        );
+        assert!(fig6.row_utilization[0] > fig6.row_utilization[1]);
+        assert!(fig6.row_utilization[0] > fig6.row_utilization[2]);
+    }
+
+    #[test]
+    fn fig7_spreads() {
+        let (_, summary) = sim_and_summary();
+        let fig7 = fig7_rack_coolant(&summary);
+        assert!(
+            (0.06..0.16).contains(&fig7.flow_spread),
+            "flow spread {}",
+            fig7.flow_spread
+        );
+        assert!(fig7.inlet_spread < 0.02, "inlet spread {}", fig7.inlet_spread);
+        assert!(
+            (0.005..0.06).contains(&fig7.outlet_spread),
+            "outlet spread {}",
+            fig7.outlet_spread
+        );
+        assert!(fig7.flow_spread > fig7.outlet_spread);
+        assert!(fig7.outlet_spread > fig7.inlet_spread);
+    }
+
+    #[test]
+    fn fig9_hotspot_and_ends() {
+        let (_, summary) = sim_and_summary();
+        let fig9 = fig9_rack_ambient(&summary);
+        assert_eq!(fig9.humidity_hotspot, RackId::new(1, 8));
+        assert!(
+            (0.18..0.45).contains(&fig9.humidity_spread),
+            "humidity spread {}",
+            fig9.humidity_spread
+        );
+        assert!(
+            (0.02..0.15).contains(&fig9.temperature_spread),
+            "temperature spread {}",
+            fig9.temperature_spread
+        );
+        let (ends, centers) = fig9.end_vs_center_humidity;
+        assert!(ends < centers, "ends {ends} centers {centers}");
+    }
+
+    #[test]
+    fn fig11_distribution_and_correlations() {
+        let (sim, summary) = sim_and_summary();
+        let fig11 = fig11_cmf_by_rack(&sim, &summary);
+        assert_eq!(fig11.max_rack, RackId::new(1, 8));
+        assert_eq!(fig11.max_count, 14);
+        assert_eq!(fig11.min_rack, RackId::new(2, 7));
+        assert_eq!(fig11.min_count, 5);
+        assert_eq!(fig11.counts.iter().sum::<u32>(), 361);
+        for corr in [
+            fig11.correlation_utilization,
+            fig11.correlation_outlet,
+            fig11.correlation_humidity,
+        ] {
+            assert!(corr.abs() < 0.45, "weak correlation expected, got {corr}");
+        }
+        // Humidity should look like pure chance; the others may be
+        // borderline but none should be overwhelming evidence.
+        assert!(fig11.permutation_p[2] > 0.05, "{:?}", fig11.permutation_p);
+        assert!(
+            fig11.permutation_p.iter().all(|&p| p > 0.001),
+            "{:?}",
+            fig11.permutation_p
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Proactive-mitigation economics: what is a CMF predictor worth?
+//!
+//! The paper's Sec. VI-B/D: a prediction three-to-six hours out "can be
+//! used to checkpoint active jobs, alert data center users, and kick
+//! off backup and restorative actions", but "any proactive measure … is
+//! likely to incur high overhead since a CMF impacts the whole rack, at
+//! minimum. Therefore, the false positives need to be minimized."
+//!
+//! This module makes that trade-off computable. Three policies are
+//! priced in lost plus spent node-hours over the six-year failure
+//! record:
+//!
+//! - **no checkpointing** — every rack failure loses all progress since
+//!   job start;
+//! - **periodic checkpointing** — bounded loss, but the whole machine
+//!   pays the write overhead all the time (the "high overhead … not
+//!   practical for production" option);
+//! - **predictor-gated** — checkpoint a rack only when the predictor
+//!   alerts: true alerts bound the loss on that rack, false alerts
+//!   charge the overhead needlessly, misses pay the full loss.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::{RackId, NODES_PER_RACK};
+use mira_nn::BinaryMetrics;
+use mira_timeseries::Duration;
+
+use crate::simulation::Simulation;
+
+/// Cost-model parameters, all in node-hours unless noted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationCosts {
+    /// Mean job progress lost when an unprotected rack dies (the paper's
+    /// job mix runs several hours to a day; half a mean runtime).
+    pub unprotected_loss_hours: f64,
+    /// Wall-clock cost of writing one rack's checkpoint, in hours
+    /// (incremental application-level checkpoints; ≈6 minutes).
+    pub checkpoint_write_hours: f64,
+    /// Mean utilization of a rack (busy nodes pay checkpoint overhead).
+    pub utilization: f64,
+    /// How often a fresh alert decision is made per rack. Alerts
+    /// suppress re-fires within the prediction horizon, so one decision
+    /// per rack per few hours, not per monitor sample.
+    pub decisions_per_rack_per_hour: f64,
+}
+
+impl MitigationCosts {
+    /// Mira-plausible defaults.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            unprotected_loss_hours: 6.0,
+            checkpoint_write_hours: 0.1,
+            utilization: 0.87,
+            decisions_per_rack_per_hour: 0.25,
+        }
+    }
+
+    fn nodes(&self) -> f64 {
+        f64::from(NODES_PER_RACK) * self.utilization
+    }
+}
+
+/// A checkpointing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint.
+    None,
+    /// Checkpoint every rack every `interval`.
+    Periodic {
+        /// Time between checkpoints.
+        interval: Duration,
+    },
+    /// Checkpoint a rack when the predictor (with the given quality at
+    /// its operating lead time) raises an alert.
+    PredictorGated {
+        /// Predictor quality at the chosen lead time (from Fig. 13).
+        metrics: BinaryMetrics,
+    },
+}
+
+/// The priced outcome of one policy over the failure record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Node-hours of job progress lost to failures.
+    pub lost_node_hours: f64,
+    /// Node-hours spent writing checkpoints.
+    pub overhead_node_hours: f64,
+    /// Number of checkpoints written.
+    pub checkpoints: f64,
+}
+
+impl PolicyOutcome {
+    /// Total cost: lost plus spent.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.lost_node_hours + self.overhead_node_hours
+    }
+}
+
+/// Prices a policy over a simulation's failure record and span.
+#[must_use]
+pub fn evaluate_policy(
+    sim: &Simulation,
+    policy: CheckpointPolicy,
+    costs: &MitigationCosts,
+) -> PolicyOutcome {
+    let failures = f64::from(sim.schedule().total_rack_failures());
+    let (start, end) = sim.config().span();
+    let span_hours = (end - start).as_hours();
+    let nodes = costs.nodes();
+
+    match policy {
+        CheckpointPolicy::None => PolicyOutcome {
+            lost_node_hours: failures * nodes * costs.unprotected_loss_hours,
+            overhead_node_hours: 0.0,
+            checkpoints: 0.0,
+        },
+        CheckpointPolicy::Periodic { interval } => {
+            let per_rack = span_hours / interval.as_hours();
+            let checkpoints = per_rack * RackId::COUNT as f64;
+            PolicyOutcome {
+                // Expected progress since the last checkpoint: half the
+                // interval (capped by the unprotected loss).
+                lost_node_hours: failures
+                    * nodes
+                    * (interval.as_hours() / 2.0).min(costs.unprotected_loss_hours),
+                overhead_node_hours: checkpoints * nodes * costs.checkpoint_write_hours,
+                checkpoints,
+            }
+        }
+        CheckpointPolicy::PredictorGated { metrics } => {
+            let recall = metrics.recall();
+            let fpr = metrics.false_positive_rate();
+            // True alerts bound the loss to roughly the final approach
+            // (the last half hour the paper says flow collapses in);
+            // misses pay the unprotected loss.
+            let caught = failures * recall;
+            let missed = failures - caught;
+            let lost = caught * nodes * 0.5 + missed * nodes * costs.unprotected_loss_hours;
+            // Every healthy rack-decision false-fires at the FPR.
+            let decisions =
+                span_hours * costs.decisions_per_rack_per_hour * RackId::COUNT as f64;
+            let false_alerts = decisions * fpr;
+            let checkpoints = caught + false_alerts;
+            PolicyOutcome {
+                lost_node_hours: lost,
+                overhead_node_hours: checkpoints * nodes * costs.checkpoint_write_hours,
+                checkpoints,
+            }
+        }
+    }
+}
+
+/// Side-by-side comparison of the three policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationReport {
+    /// No checkpointing.
+    pub none: PolicyOutcome,
+    /// Periodic checkpointing at the given interval.
+    pub periodic: PolicyOutcome,
+    /// Predictor-gated checkpointing.
+    pub gated: PolicyOutcome,
+}
+
+/// Evaluates all three policies with one call.
+#[must_use]
+pub fn compare_policies(
+    sim: &Simulation,
+    periodic_interval: Duration,
+    predictor_metrics: BinaryMetrics,
+    costs: &MitigationCosts,
+) -> MitigationReport {
+    MitigationReport {
+        none: evaluate_policy(sim, CheckpointPolicy::None, costs),
+        periodic: evaluate_policy(
+            sim,
+            CheckpointPolicy::Periodic {
+                interval: periodic_interval,
+            },
+            costs,
+        ),
+        gated: evaluate_policy(
+            sim,
+            CheckpointPolicy::PredictorGated {
+                metrics: predictor_metrics,
+            },
+            costs,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimConfig;
+
+    fn sim() -> Simulation {
+        Simulation::new(SimConfig::with_seed(9))
+    }
+
+    fn good_predictor() -> BinaryMetrics {
+        // Fig. 13-like operating point at a 3 h lead.
+        BinaryMetrics {
+            tp: 97,
+            fn_: 3,
+            fp: 1,
+            tn: 99,
+        }
+    }
+
+    #[test]
+    fn none_loses_the_most_progress() {
+        let s = sim();
+        let costs = MitigationCosts::mira();
+        let report = compare_policies(&s, Duration::from_hours(4), good_predictor(), &costs);
+        assert!(report.none.lost_node_hours > report.periodic.lost_node_hours);
+        assert!(report.none.lost_node_hours > report.gated.lost_node_hours);
+        assert_eq!(report.none.overhead_node_hours, 0.0);
+    }
+
+    #[test]
+    fn good_predictor_beats_both_alternatives() {
+        let s = sim();
+        let costs = MitigationCosts::mira();
+        let report = compare_policies(&s, Duration::from_hours(4), good_predictor(), &costs);
+        assert!(
+            report.gated.total() < report.none.total(),
+            "gated {} vs none {}",
+            report.gated.total(),
+            report.none.total()
+        );
+        assert!(
+            report.gated.total() < report.periodic.total(),
+            "gated {} vs periodic {}",
+            report.gated.total(),
+            report.periodic.total()
+        );
+    }
+
+    #[test]
+    fn high_false_positive_rate_destroys_the_advantage() {
+        // The paper's warning: false positives must be minimized.
+        let s = sim();
+        let costs = MitigationCosts::mira();
+        let sloppy = BinaryMetrics {
+            tp: 97,
+            fn_: 3,
+            fp: 40,
+            tn: 60,
+        };
+        let good = evaluate_policy(
+            &s,
+            CheckpointPolicy::PredictorGated {
+                metrics: good_predictor(),
+            },
+            &costs,
+        );
+        let bad = evaluate_policy(
+            &s,
+            CheckpointPolicy::PredictorGated { metrics: sloppy },
+            &costs,
+        );
+        assert!(bad.overhead_node_hours > good.overhead_node_hours * 10.0);
+        let none = evaluate_policy(&s, CheckpointPolicy::None, &costs);
+        assert!(
+            bad.total() > none.total(),
+            "a sloppy predictor ({} node-h) is worse than no protection at all ({})",
+            bad.total(),
+            none.total()
+        );
+    }
+
+    #[test]
+    fn periodic_interval_trade_off() {
+        let s = sim();
+        let costs = MitigationCosts::mira();
+        let tight = evaluate_policy(
+            &s,
+            CheckpointPolicy::Periodic {
+                interval: Duration::from_hours(1),
+            },
+            &costs,
+        );
+        let loose = evaluate_policy(
+            &s,
+            CheckpointPolicy::Periodic {
+                interval: Duration::from_hours(12),
+            },
+            &costs,
+        );
+        assert!(tight.lost_node_hours < loose.lost_node_hours);
+        assert!(tight.overhead_node_hours > loose.overhead_node_hours);
+    }
+}

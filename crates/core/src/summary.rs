@@ -1,0 +1,316 @@
+//! One-pass aggregation of a telemetry sweep: everything the paper's
+//! figures need, in bounded memory.
+
+use serde::{Deserialize, Serialize};
+
+use mira_cooling::plant::FreeCoolingLedger;
+use mira_facility::RackId;
+use mira_timeseries::{CalendarBins, Duration, SimTime, TimeSeries, Welford};
+use mira_units::KilowattHours;
+
+use crate::telemetry::{SystemSnapshot, TelemetryEngine};
+
+/// Calendar bins plus a weekly-mean series for one system-level channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelAggregate {
+    /// Calendar-keyed statistics (yearly/monthly/weekday bins).
+    pub bins: CalendarBins,
+    /// Weekly-mean time series (for trend fits and plotting).
+    pub weekly: TimeSeries,
+    week_acc: Welford,
+    week_start: Option<SimTime>,
+}
+
+impl Default for ChannelAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChannelAggregate {
+    /// Creates an empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bins: CalendarBins::new(),
+            weekly: TimeSeries::new(),
+            week_acc: Welford::new(),
+            week_start: None,
+        }
+    }
+
+    fn push(&mut self, t: SimTime, value: f64) {
+        self.bins.push(t, value);
+        let week = SimTime::from_epoch_seconds(
+            t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400,
+        );
+        match self.week_start {
+            Some(ws) if ws == week => {}
+            Some(ws) => {
+                if !self.week_acc.is_empty() {
+                    self.weekly.push(ws, self.week_acc.mean());
+                }
+                self.week_acc = Welford::new();
+                self.week_start = Some(week);
+            }
+            None => self.week_start = Some(week),
+        }
+        self.week_acc.push(value);
+    }
+
+    fn finish(&mut self) {
+        if let (Some(ws), false) = (self.week_start, self.week_acc.is_empty()) {
+            self.weekly.push(ws, self.week_acc.mean());
+            self.week_acc = Welford::new();
+            self.week_start = None;
+        }
+    }
+}
+
+/// Per-rack lifetime statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RackAggregate {
+    /// Rack power (kW).
+    pub power: Welford,
+    /// Rack utilization (fraction).
+    pub utilization: Welford,
+    /// Rack coolant flow (GPM).
+    pub flow: Welford,
+    /// Inlet coolant temperature (F).
+    pub inlet: Welford,
+    /// Outlet coolant temperature (F).
+    pub outlet: Welford,
+    /// Ambient temperature at the rack (F).
+    pub ambient_temperature: Welford,
+    /// Ambient humidity at the rack (%RH).
+    pub ambient_humidity: Welford,
+}
+
+/// The full six-year (or any-span) sweep summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Sampling step used.
+    pub step: Duration,
+    /// Sweep span.
+    pub span: (SimTime, SimTime),
+    /// System power in MW.
+    pub power_mw: ChannelAggregate,
+    /// System utilization in percent of nodes.
+    pub utilization_pct: ChannelAggregate,
+    /// Total loop flow in GPM (sum of rack monitors).
+    pub flow_gpm: ChannelAggregate,
+    /// Mean inlet coolant temperature across racks (F).
+    pub inlet_f: ChannelAggregate,
+    /// Mean outlet coolant temperature across racks (F).
+    pub outlet_f: ChannelAggregate,
+    /// Mean data-center ambient temperature across racks (F).
+    pub dc_temp_f: ChannelAggregate,
+    /// Mean data-center ambient humidity across racks (%RH).
+    pub dc_rh: ChannelAggregate,
+    /// Ambient temperature pooled over *all* rack samples (spatial +
+    /// temporal variation together — the population Fig. 8's σ
+    /// describes).
+    pub dc_temp_all_racks: Welford,
+    /// Ambient humidity pooled over all rack samples.
+    pub dc_rh_all_racks: Welford,
+    /// Per-rack lifetime statistics.
+    pub racks: Vec<RackAggregate>,
+    /// Free-cooling ledger per calendar year.
+    pub yearly_energy: Vec<(i32, FreeCoolingLedger)>,
+    /// Economizer savings during December–March months only.
+    pub season_saved: KilowattHours,
+}
+
+impl SweepSummary {
+    /// Runs a sweep over `[from, to)` at `step` and aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is empty or the step non-positive.
+    #[must_use]
+    pub fn sweep(
+        engine: &TelemetryEngine,
+        from: SimTime,
+        to: SimTime,
+        step: Duration,
+    ) -> Self {
+        assert!(from < to, "empty sweep span");
+        assert!(step.as_seconds() > 0, "step must be positive");
+
+        let mut summary = Self {
+            step,
+            span: (from, to),
+            power_mw: ChannelAggregate::new(),
+            utilization_pct: ChannelAggregate::new(),
+            flow_gpm: ChannelAggregate::new(),
+            inlet_f: ChannelAggregate::new(),
+            outlet_f: ChannelAggregate::new(),
+            dc_temp_f: ChannelAggregate::new(),
+            dc_rh: ChannelAggregate::new(),
+            dc_temp_all_racks: Welford::new(),
+            dc_rh_all_racks: Welford::new(),
+            racks: (0..RackId::COUNT).map(|_| RackAggregate::default()).collect(),
+            yearly_energy: Vec::new(),
+            season_saved: KilowattHours::new(0.0),
+        };
+
+        let mut t = from;
+        while t < to {
+            let snap = engine.snapshot(t);
+            summary.ingest(engine, &snap);
+            t += step;
+        }
+        summary.power_mw.finish();
+        summary.utilization_pct.finish();
+        summary.flow_gpm.finish();
+        summary.inlet_f.finish();
+        summary.outlet_f.finish();
+        summary.dc_temp_f.finish();
+        summary.dc_rh.finish();
+        summary
+    }
+
+    fn ingest(&mut self, engine: &TelemetryEngine, snap: &SystemSnapshot) {
+        let t = snap.time;
+        let mut power_kw = 0.0;
+        let mut util = 0.0;
+        let mut flow = 0.0;
+        let mut inlet = 0.0;
+        let mut outlet = 0.0;
+        let mut dc_t = 0.0;
+        let mut dc_h = 0.0;
+
+        for rack in RackId::all() {
+            let truth = engine.rack_truth(rack, snap);
+            let sample = engine.observe(rack, snap);
+            let agg = &mut self.racks[rack.index()];
+            agg.power.push(sample.power.value());
+            agg.utilization.push(truth.utilization);
+            agg.flow.push(sample.flow.value());
+            agg.inlet.push(sample.inlet.value());
+            agg.outlet.push(sample.outlet.value());
+            agg.ambient_temperature.push(sample.dc_temperature.value());
+            agg.ambient_humidity.push(sample.dc_humidity.value());
+            self.dc_temp_all_racks.push(sample.dc_temperature.value());
+            self.dc_rh_all_racks.push(sample.dc_humidity.value());
+
+            power_kw += sample.power.value();
+            util += truth.utilization;
+            flow += sample.flow.value();
+            inlet += sample.inlet.value();
+            outlet += sample.outlet.value();
+            dc_t += sample.dc_temperature.value();
+            dc_h += sample.dc_humidity.value();
+        }
+        let n = RackId::COUNT as f64;
+        self.power_mw.push(t, power_kw / 1000.0);
+        self.utilization_pct.push(t, util / n * 100.0);
+        self.flow_gpm.push(t, flow);
+        self.inlet_f.push(t, inlet / n);
+        self.outlet_f.push(t, outlet / n);
+        self.dc_temp_f.push(t, dc_t / n);
+        self.dc_rh.push(t, dc_h / n);
+
+        // Energy accounting.
+        let year = t.date().year();
+        let idx = match self.yearly_energy.iter().position(|(y, _)| *y == year) {
+            Some(i) => i,
+            None => {
+                self.yearly_energy.push((year, FreeCoolingLedger::new()));
+                self.yearly_energy.sort_by_key(|(y, _)| *y);
+                self.yearly_energy
+                    .iter()
+                    .position(|(y, _)| *y == year)
+                    .expect("just inserted")
+            }
+        };
+        let ledger = &mut self.yearly_energy[idx].1;
+        let plant_load = mira_cooling::PlantLoad {
+            supply_temperature: snap.supply_temperature,
+            free_cooling_fraction: snap.free_cooling_fraction,
+            chiller_power: snap.chiller_power,
+            avoided_power: snap.avoided_power,
+        };
+        ledger.record(&plant_load, self.step);
+        if t.date().month().is_free_cooling_season() {
+            self.season_saved += snap.avoided_power.for_hours(self.step.as_hours());
+        }
+    }
+
+    /// Per-rack mean of a channel selected by `f`, in rack-index order.
+    #[must_use]
+    pub fn rack_means<F: Fn(&RackAggregate) -> &Welford>(&self, f: F) -> Vec<f64> {
+        self.racks.iter().map(|r| f(r).mean()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_ras::{CmfSchedule, RasLog};
+    use mira_timeseries::Date;
+
+    fn small_summary() -> SweepSummary {
+        let schedule = CmfSchedule::generate(31);
+        let log = RasLog::assemble(&schedule, 31);
+        let engine = TelemetryEngine::new(31, &schedule, &log);
+        SweepSummary::sweep(
+            &engine,
+            SimTime::from_date(Date::new(2015, 3, 1)),
+            SimTime::from_date(Date::new(2015, 5, 1)),
+            Duration::from_hours(2),
+        )
+    }
+
+    #[test]
+    fn aggregates_cover_the_span() {
+        let s = small_summary();
+        // 61 days x 12 samples/day.
+        assert_eq!(s.power_mw.bins.overall().count(), 61 * 12);
+        assert!(!s.power_mw.weekly.is_empty());
+        assert!(s.racks.iter().all(|r| r.power.count() == 61 * 12));
+    }
+
+    #[test]
+    fn system_levels_are_sane() {
+        let s = small_summary();
+        let mw = s.power_mw.bins.overall().mean();
+        assert!((2.2..3.0).contains(&mw), "power {mw} MW");
+        let util = s.utilization_pct.bins.overall().mean();
+        assert!((70.0..92.0).contains(&util), "util {util} %");
+        let flow = s.flow_gpm.bins.overall().mean();
+        assert!((1200.0..1320.0).contains(&flow), "flow {flow} GPM");
+        let inlet = s.inlet_f.bins.overall().mean();
+        assert!((62.0..67.0).contains(&inlet), "inlet {inlet} F");
+        let outlet = s.outlet_f.bins.overall().mean();
+        assert!((75.0..84.0).contains(&outlet), "outlet {outlet} F");
+    }
+
+    #[test]
+    fn weekly_series_is_weekly() {
+        let s = small_summary();
+        let times = s.weekly_power_times();
+        for pair in times.windows(2) {
+            assert_eq!((pair[1] - pair[0]).as_days(), 7.0);
+        }
+    }
+
+    #[test]
+    fn energy_ledger_accumulates() {
+        let s = small_summary();
+        assert_eq!(s.yearly_energy.len(), 1);
+        assert_eq!(s.yearly_energy[0].0, 2015);
+        let ledger = &s.yearly_energy[0].1;
+        // March has free cooling; total saved energy must be positive.
+        assert!(ledger.saved().value() > 0.0);
+        assert!(s.season_saved.value() > 0.0);
+        // April-May run chillers.
+        assert!(ledger.chiller_energy().value() > 0.0);
+    }
+
+    impl SweepSummary {
+        fn weekly_power_times(&self) -> Vec<SimTime> {
+            self.power_mw.weekly.times().to_vec()
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The ground-truth telemetry engine: weather × workload × hydraulics ×
+//! failures → coolant-monitor samples.
+//!
+//! Every quantity here is a deterministic function of `(seed, rack,
+//! time)`, which is what makes the rest of the workspace cheap: analyses
+//! can random-access any instant (the CMF predictor samples six-hour
+//! windows around failures without replaying history), and two
+//! simulations with the same seed agree bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use mira_cooling::{
+    ChilledWaterPlant, CoolantMonitor, CoolantMonitorSample, FlowNetwork, HeatExchanger,
+    PrecursorSignature,
+};
+use mira_facility::{BulkPowerModule, Machine, RackId};
+use mira_predictor::TelemetryProvider;
+use mira_ras::schedule::CmfSchedule;
+use mira_ras::{RackAvailability, RasLog};
+use mira_timeseries::{Duration, SimTime};
+use mira_units::{Fahrenheit, Gpm, Kilowatts, RelHumidity};
+use mira_weather::{ChicagoClimate, WeatherSample};
+use mira_workload::{SystemDemand, WorkloadModel};
+
+use crate::timeline::OperationalTimeline;
+
+/// The physical (pre-sensor) state of one rack at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackTruth {
+    /// Fraction of the rack's nodes running jobs (0 while the rack is
+    /// down).
+    pub utilization: f64,
+    /// CPU intensity of the rack's job mix.
+    pub intensity: f64,
+    /// Ambient temperature at the rack (room + airflow offset).
+    pub ambient_temperature: Fahrenheit,
+    /// Ambient humidity at the rack.
+    pub ambient_humidity: RelHumidity,
+    /// Coolant flow through the rack.
+    pub flow: Gpm,
+    /// Inlet coolant temperature.
+    pub inlet: Fahrenheit,
+    /// Outlet coolant temperature.
+    pub outlet: Fahrenheit,
+    /// Rack electrical draw.
+    pub power: Kilowatts,
+    /// Whether the rack is up.
+    pub is_up: bool,
+}
+
+/// Shared per-instant state, computed once per step and reused across
+/// the 48 racks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// The instant this snapshot describes.
+    pub time: SimTime,
+    /// Weather and room conditions.
+    pub weather: WeatherSample,
+    /// System-level demand.
+    pub demand: SystemDemand,
+    /// Chilled-water supply temperature delivered to the loop.
+    pub supply_temperature: Fahrenheit,
+    /// Fraction of the load the economizer carries.
+    pub free_cooling_fraction: f64,
+    /// Chiller electrical draw.
+    pub chiller_power: Kilowatts,
+    /// Chiller draw avoided by the economizer.
+    pub avoided_power: Kilowatts,
+    /// Per-rack coolant flows (index = [`RackId::index`]).
+    pub flows: Vec<Gpm>,
+    /// Per-rack up/down state.
+    pub rack_up: Vec<bool>,
+}
+
+/// The telemetry engine.
+#[derive(Debug)]
+pub struct TelemetryEngine {
+    /// Memoized floor medians (differential features ask for the same
+    /// instant once per rack; telemetry is pure, so caching is safe).
+    median_cache: std::sync::Mutex<std::collections::HashMap<i64, [f64; 6]>>,
+    seed: u64,
+    climate: ChicagoClimate,
+    workload: WorkloadModel,
+    machine: Machine,
+    plant: ChilledWaterPlant,
+    network: FlowNetwork,
+    exchanger: HeatExchanger,
+    bpm: BulkPowerModule,
+    timeline: OperationalTimeline,
+    signature: PrecursorSignature,
+    flow_ops_noise: mira_weather::ValueNoise,
+    monitors: Vec<CoolantMonitor>,
+    availability: RackAvailability,
+    /// Per-rack, time-sorted CMF instants (every rack in an incident's
+    /// cascade records its own failure).
+    cmf_times: Vec<Vec<SimTime>>,
+}
+
+impl TelemetryEngine {
+    /// Builds the engine from the models and the failure ground truth.
+    #[must_use]
+    pub fn new(seed: u64, schedule: &CmfSchedule, ras_log: &RasLog) -> Self {
+        let mut availability = RackAvailability::new();
+        let mut cmf_times: Vec<Vec<SimTime>> = vec![Vec::new(); RackId::COUNT];
+        for incident in schedule.incidents() {
+            for &rack in &incident.affected {
+                availability.mark_cmf(rack, incident.time);
+                cmf_times[rack.index()].push(incident.time);
+            }
+        }
+        for event in ras_log.counted_non_cmfs() {
+            availability.mark_non_cmf(event.rack, event.time);
+        }
+        for times in &mut cmf_times {
+            times.sort();
+        }
+
+        Self {
+            median_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+            seed,
+            climate: ChicagoClimate::new(seed),
+            workload: WorkloadModel::new(seed),
+            machine: Machine::mira(),
+            plant: ChilledWaterPlant::mira(seed),
+            network: FlowNetwork::mira(seed),
+            exchanger: HeatExchanger::mira(),
+            bpm: BulkPowerModule::mira(),
+            timeline: OperationalTimeline::mira(),
+            signature: PrecursorSignature::mira(),
+            flow_ops_noise: mira_weather::ValueNoise::new(seed ^ 0x0F10_A7E5, 18.0 * 86_400.0),
+            monitors: RackId::all().map(|r| CoolantMonitor::new(r, seed)).collect(),
+            availability,
+            cmf_times,
+        }
+    }
+
+    /// The machine description.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The operational timeline.
+    #[must_use]
+    pub fn timeline(&self) -> &OperationalTimeline {
+        &self.timeline
+    }
+
+    /// The workload model.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadModel {
+        &self.workload
+    }
+
+    /// The climate model.
+    #[must_use]
+    pub fn climate(&self) -> &ChicagoClimate {
+        &self.climate
+    }
+
+    /// Rack availability derived from the failure ground truth.
+    #[must_use]
+    pub fn availability(&self) -> &RackAvailability {
+        &self.availability
+    }
+
+    /// The next CMF on `rack` at or after `t`, if any.
+    #[must_use]
+    pub fn next_cmf(&self, rack: RackId, t: SimTime) -> Option<SimTime> {
+        let times = &self.cmf_times[rack.index()];
+        let idx = times.partition_point(|&ct| ct < t);
+        times.get(idx).copied()
+    }
+
+    /// Computes the shared per-instant state.
+    #[must_use]
+    pub fn snapshot(&self, t: SimTime) -> SystemSnapshot {
+        let weather = self.climate.sample(t);
+        let demand = self.workload.system_demand(t);
+
+        let rack_up: Vec<bool> = RackId::all()
+            .map(|r| self.availability.is_up(r, t))
+            .collect();
+        let mut valve_open = [true; RackId::COUNT];
+        for (i, up) in rack_up.iter().enumerate() {
+            valve_open[i] = *up;
+        }
+
+        // System heat load drives the plant.
+        let heat_watts = self.bpm.heat_to_coolant_watts(demand.utilization, demand.intensity)
+            * RackId::COUNT as f64;
+        let free = self.climate.free_cooling_fraction(t);
+        let plant = self.plant.respond(t, free, heat_watts, self.timeline.supply_uplift(t));
+
+        let flows = self
+            .network
+            .distribute(t, self.effective_setpoint(t, &demand), &valve_open);
+
+        SystemSnapshot {
+            time: t,
+            weather,
+            demand,
+            supply_temperature: plant.supply_temperature,
+            free_cooling_fraction: plant.free_cooling_fraction,
+            chiller_power: plant.chiller_power,
+            avoided_power: plant.avoided_power,
+            flows,
+            rack_up,
+        }
+    }
+
+    /// The operator-trimmed loop setpoint: the structural 1,250/1,300
+    /// GPM level, a small seasonal uplift tracking the second-half
+    /// utilization surge (Fig. 4c), and slow operator adjustments.
+    #[must_use]
+    pub fn effective_setpoint(&self, t: SimTime, demand: &SystemDemand) -> Gpm {
+        let base = self.timeline.flow_setpoint(t);
+        // Operators conservatively raise flow as utilization climbs:
+        // ≈ +1 % at peak-season load.
+        let seasonal = 1.0 + 0.013 * (demand.utilization - 0.80).max(0.0) / 0.13;
+        let ops = self.flow_ops_noise.fractal(t.epoch_seconds() as f64, 2) * 30.0;
+        (base * seasonal + Gpm::new(ops)).saturating()
+    }
+
+    /// Ground-truth physical state of `rack` given a snapshot at the
+    /// same instant.
+    #[must_use]
+    pub fn rack_truth(&self, rack: RackId, snap: &SystemSnapshot) -> RackTruth {
+        let t = snap.time;
+        let air = self.machine.airflow().at(rack);
+        let ambient_temperature =
+            snap.weather.indoor_temperature + air.temperature_offset;
+        let ambient_humidity =
+            RelHumidity::new(snap.weather.indoor_humidity.value() * air.humidity_factor);
+
+        let up = snap.rack_up[rack.index()];
+        let load = if up {
+            self.workload.rack_load_with(t, rack, &snap.demand)
+        } else {
+            mira_workload::RackLoad {
+                utilization: 0.0,
+                intensity: 0.0,
+            }
+        };
+
+        let mut flow = snap.flows[rack.index()];
+        let mut inlet = snap.supply_temperature;
+
+        // Pre-failure signature on racks with an impending CMF, scaled
+        // by the event's severity (not every incident telegraphs
+        // equally hard).
+        if let Some(cmf_at) = self.next_cmf(rack, t) {
+            let lead = cmf_at - t;
+            if lead <= self.signature.horizon() {
+                let severity = self
+                    .signature
+                    .event_severity(rack.index(), cmf_at.epoch_seconds());
+                inlet = inlet
+                    * PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
+                flow = flow
+                    * PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
+            }
+        }
+
+        let power = if up {
+            self.bpm.draw(load.utilization, load.intensity)
+        } else {
+            // Power enclosure is off; monitors report only standby draw.
+            Kilowatts::new(1.5)
+        };
+        let heat = if up {
+            self.bpm.heat_to_coolant_watts(load.utilization, load.intensity)
+        } else {
+            0.0
+        };
+        // The outlet dip of Fig. 12 needs no separate injection: the
+        // sagging inlet propagates through the heat exchanger, producing
+        // the ≈5 % outlet drop the paper reports (a 7 % drop on 64 F in,
+        // unchanged ΔT, is ≈5.7 % on 79 F out).
+        let outlet = self.exchanger.outlet_temperature(inlet, flow, heat);
+
+        RackTruth {
+            utilization: load.utilization,
+            intensity: load.intensity,
+            ambient_temperature,
+            ambient_humidity,
+            flow,
+            inlet,
+            outlet,
+            power,
+            is_up: up,
+        }
+    }
+
+    /// The coolant-monitor record for `rack` given a snapshot.
+    #[must_use]
+    pub fn observe(&self, rack: RackId, snap: &SystemSnapshot) -> CoolantMonitorSample {
+        let truth = self.rack_truth(rack, snap);
+        self.monitors[rack.index()].observe(
+            snap.time,
+            truth.ambient_temperature,
+            truth.ambient_humidity,
+            truth.flow,
+            truth.inlet,
+            truth.outlet,
+            truth.power,
+        )
+    }
+
+    /// Samples all 48 racks at `t` (one snapshot, 48 observations).
+    #[must_use]
+    pub fn observe_all(&self, t: SimTime) -> (SystemSnapshot, Vec<CoolantMonitorSample>) {
+        let snap = self.snapshot(t);
+        let samples = RackId::all().map(|r| self.observe(r, &snap)).collect();
+        (snap, samples)
+    }
+
+    /// The seed the engine was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl TelemetryProvider for TelemetryEngine {
+    fn sample(&self, rack: RackId, t: SimTime) -> CoolantMonitorSample {
+        let snap = self.snapshot(t);
+        self.observe(rack, &snap)
+    }
+
+    fn interval(&self) -> Duration {
+        mira_cooling::monitor::SAMPLE_INTERVAL
+    }
+
+    fn floor_median(&self, t: SimTime) -> [f64; 6] {
+        let key = t.epoch_seconds();
+        if let Some(hit) = self
+            .median_cache
+            .lock()
+            .expect("median cache poisoned")
+            .get(&key)
+        {
+            return *hit;
+        }
+        // One snapshot for all 48 racks instead of 48 snapshots.
+        let (_, samples) = self.observe_all(t);
+        let mut columns: [Vec<f64>; 6] = Default::default();
+        for s in &samples {
+            for (col, v) in columns.iter_mut().zip(s.channels()) {
+                col.push(v);
+            }
+        }
+        let mut out = [0.0; 6];
+        for (o, col) in out.iter_mut().zip(columns.iter_mut()) {
+            col.sort_by(|a, b| a.total_cmp(b));
+            *o = col[col.len() / 2];
+        }
+        let mut cache = self.median_cache.lock().expect("median cache poisoned");
+        // Bounded: the whole six years at 300 s is ~630k instants; cap
+        // well below that and reset rather than evict.
+        if cache.len() > 400_000 {
+            cache.clear();
+        }
+        cache.insert(key, out);
+        out
+    }
+}
+
+impl Clone for TelemetryEngine {
+    fn clone(&self) -> Self {
+        Self {
+            median_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+            seed: self.seed,
+            climate: self.climate,
+            workload: self.workload.clone(),
+            machine: self.machine.clone(),
+            plant: self.plant.clone(),
+            network: self.network.clone(),
+            exchanger: self.exchanger,
+            bpm: self.bpm,
+            timeline: self.timeline,
+            signature: self.signature.clone(),
+            flow_ops_noise: self.flow_ops_noise,
+            monitors: self.monitors.clone(),
+            availability: self.availability.clone(),
+            cmf_times: self.cmf_times.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    fn engine() -> TelemetryEngine {
+        let schedule = CmfSchedule::generate(21);
+        let log = RasLog::assemble(&schedule, 21);
+        TelemetryEngine::new(21, &schedule, &log)
+    }
+
+    fn quiet_time() -> SimTime {
+        // 2017 had zero CMFs: telemetry is clean.
+        SimTime::from_date(Date::new(2017, 5, 10)) + Duration::from_hours(14)
+    }
+
+    #[test]
+    fn healthy_sample_is_in_nominal_ranges() {
+        let e = engine();
+        let (_, samples) = e.observe_all(quiet_time());
+        assert_eq!(samples.len(), 48);
+        for s in &samples {
+            assert!((55.0..75.0).contains(&s.inlet.value()), "inlet {}", s.inlet);
+            assert!((70.0..95.0).contains(&s.outlet.value()), "outlet {}", s.outlet);
+            assert!((20.0..32.0).contains(&s.flow.value()), "flow {}", s.flow);
+            assert!((40.0..75.0).contains(&s.power.value()), "power {}", s.power);
+            assert!((70.0..95.0).contains(&s.dc_temperature.value()));
+            assert!((20.0..45.0).contains(&s.dc_humidity.value()));
+        }
+    }
+
+    #[test]
+    fn system_power_in_paper_band() {
+        let e = engine();
+        let (_, samples) = e.observe_all(quiet_time());
+        let mw: f64 = samples.iter().map(|s| s.power.value()).sum::<f64>() / 1000.0;
+        assert!((2.3..3.2).contains(&mw), "system power {mw} MW");
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let a = engine();
+        let b = engine();
+        let t = quiet_time();
+        assert_eq!(a.observe_all(t).1, b.observe_all(t).1);
+    }
+
+    #[test]
+    fn random_access_matches_snapshot_path() {
+        let e = engine();
+        let t = quiet_time();
+        let (snap, samples) = e.observe_all(t);
+        let rack = RackId::new(1, 8);
+        assert_eq!(e.observe(rack, &snap), samples[rack.index()]);
+        assert_eq!(TelemetryProvider::sample(&e, rack, t), samples[rack.index()]);
+    }
+
+    #[test]
+    fn downed_rack_reads_dark() {
+        let e = engine();
+        let schedule = CmfSchedule::generate(21);
+        let incident = &schedule.incidents()[0];
+        let during = incident.time + Duration::from_hours(1);
+        let snap = e.snapshot(during);
+        let truth = e.rack_truth(incident.epicenter, &snap);
+        assert!(!truth.is_up);
+        assert_eq!(truth.utilization, 0.0);
+        assert!(truth.power.value() < 5.0);
+        assert_eq!(truth.flow.value(), 0.0, "valve closed");
+    }
+
+    #[test]
+    fn precursor_shows_in_epicenter_telemetry() {
+        let e = engine();
+        let schedule = CmfSchedule::generate(21);
+        let incident = &schedule.incidents()[0];
+        let rack = incident.epicenter;
+        // Trough of the inlet sag ~2 h before failure.
+        let trough = incident.time - Duration::from_hours(2);
+        let healthy = incident.time - Duration::from_hours(30);
+        let s_trough = TelemetryProvider::sample(&e, rack, trough);
+        let s_healthy = TelemetryProvider::sample(&e, rack, healthy);
+        let drop = (s_healthy.inlet.value() - s_trough.inlet.value()) / s_healthy.inlet.value();
+        assert!(
+            (0.03..0.10).contains(&drop),
+            "inlet sag {drop} (healthy {}, trough {})",
+            s_healthy.inlet,
+            s_trough.inlet
+        );
+    }
+
+    #[test]
+    fn next_cmf_lookup() {
+        let e = engine();
+        let schedule = CmfSchedule::generate(21);
+        let incident = &schedule.incidents()[0];
+        let before = incident.time - Duration::from_hours(5);
+        assert_eq!(e.next_cmf(incident.epicenter, before), Some(incident.time));
+    }
+
+    #[test]
+    fn winter_inlet_warmer_than_summer() {
+        // Free cooling makes winter supply slightly warmer (Fig. 4d).
+        let e = engine();
+        let mean_inlet = |y: i32, m: u8| {
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for d in [3u8, 9, 15, 21] {
+                for h in [2i64, 8, 14, 20] {
+                    let t = SimTime::from_date(Date::new(y, m, d)) + Duration::from_hours(h);
+                    let (_, samples) = e.observe_all(t);
+                    total += samples.iter().map(|s| s.inlet.value()).sum::<f64>() / 48.0;
+                    n += 1;
+                }
+            }
+            total / f64::from(n)
+        };
+        let feb = mean_inlet(2015, 2);
+        let aug = mean_inlet(2015, 8);
+        assert!(feb > aug + 0.5, "feb {feb} aug {aug}");
+    }
+}

@@ -1,0 +1,124 @@
+//! The operational timeline: facility events that changed the loop.
+//!
+//! The one structural event of Mira's six years is the **Theta
+//! integration** of July 2016: the 12 PFlops Theta system was plumbed
+//! into Mira's cooling loop. To keep Mira safe, the loop impellers were
+//! upgraded and the flow setpoint raised from ≈1,250 to ≈1,300 GPM
+//! (Fig. 3a); Theta's early-testing heat load pushed both coolant
+//! temperatures up from June 2016 until early 2017 (Fig. 3b–c); and the
+//! integration work owns the 2016 burst of coolant monitor failures
+//! (Fig. 10).
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::{Date, SimTime};
+use mira_units::{Fahrenheit, Gpm};
+
+/// Facility operational timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperationalTimeline {
+    theta_added: SimTime,
+    theta_settled: SimTime,
+}
+
+impl OperationalTimeline {
+    /// Mira's timeline.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            theta_added: SimTime::from_date(Date::new(2016, 7, 1)),
+            theta_settled: SimTime::from_date(Date::new(2017, 3, 1)),
+        }
+    }
+
+    /// When Theta joined the loop.
+    #[must_use]
+    pub fn theta_added(&self) -> SimTime {
+        self.theta_added
+    }
+
+    /// The external-loop flow setpoint at `t`.
+    #[must_use]
+    pub fn flow_setpoint(&self, t: SimTime) -> Gpm {
+        if t >= self.theta_added {
+            Gpm::new(1300.0)
+        } else {
+            Gpm::new(1250.0)
+        }
+    }
+
+    /// Supply-temperature uplift from Theta's unbalanced early heat
+    /// load: ramps in over June–August 2016 and decays to zero by
+    /// March 2017.
+    #[must_use]
+    pub fn supply_uplift(&self, t: SimTime) -> Fahrenheit {
+        let onset = self.theta_added - mira_timeseries::Duration::from_days(21);
+        if t < onset || t >= self.theta_settled {
+            return Fahrenheit::new(0.0);
+        }
+        let peak = 2.1;
+        let ramp_end = self.theta_added + mira_timeseries::Duration::from_days(45);
+        let v = if t < ramp_end {
+            // Ramp up.
+            let num = (t - onset).as_seconds() as f64;
+            let den = (ramp_end - onset).as_seconds() as f64;
+            peak * num / den
+        } else {
+            // Decay toward settled.
+            let num = (self.theta_settled - t).as_seconds() as f64;
+            let den = (self.theta_settled - ramp_end).as_seconds() as f64;
+            peak * num / den
+        };
+        Fahrenheit::new(v.max(0.0))
+    }
+}
+
+impl Default for OperationalTimeline {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_steps_at_theta() {
+        let tl = OperationalTimeline::mira();
+        let before = SimTime::from_date(Date::new(2016, 6, 30));
+        let after = SimTime::from_date(Date::new(2016, 7, 2));
+        assert_eq!(tl.flow_setpoint(before), Gpm::new(1250.0));
+        assert_eq!(tl.flow_setpoint(after), Gpm::new(1300.0));
+        assert_eq!(
+            tl.flow_setpoint(SimTime::from_date(Date::new(2014, 1, 1))),
+            Gpm::new(1250.0)
+        );
+        assert_eq!(
+            tl.flow_setpoint(SimTime::from_date(Date::new(2019, 12, 31))),
+            Gpm::new(1300.0)
+        );
+    }
+
+    #[test]
+    fn uplift_ramps_and_decays() {
+        let tl = OperationalTimeline::mira();
+        let zero_before = tl.supply_uplift(SimTime::from_date(Date::new(2016, 5, 1)));
+        assert_eq!(zero_before.value(), 0.0);
+        let mid = tl.supply_uplift(SimTime::from_date(Date::new(2016, 9, 1)));
+        assert!(mid.value() > 1.0, "mid-integration uplift {mid}");
+        let late = tl.supply_uplift(SimTime::from_date(Date::new(2017, 1, 15)));
+        assert!(late.value() > 0.0 && late.value() < mid.value());
+        let settled = tl.supply_uplift(SimTime::from_date(Date::new(2017, 4, 1)));
+        assert_eq!(settled.value(), 0.0);
+    }
+
+    #[test]
+    fn uplift_is_continuous_at_peak() {
+        let tl = OperationalTimeline::mira();
+        let peak_t = tl.theta_added + mira_timeseries::Duration::from_days(45);
+        let before = tl.supply_uplift(peak_t - mira_timeseries::Duration::from_hours(1));
+        let after = tl.supply_uplift(peak_t + mira_timeseries::Duration::from_hours(1));
+        assert!((before.value() - after.value()).abs() < 0.05);
+    }
+}

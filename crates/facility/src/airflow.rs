@@ -1,0 +1,200 @@
+//! The underfloor airflow map.
+//!
+//! The spatial analysis of the paper (Fig. 9) traced rack-to-rack ambient
+//! differences to underfloor airflow: flow is obstructed near the ends of
+//! each row (the last three or four racks run drier and hotter), and
+//! airflow-blocking objects — plumbing pipes, air-cooling vents, torus
+//! cables — create localized humidity hotspots such as rack `(1, 8)`.
+//!
+//! [`AirflowMap`] encodes those per-rack modifiers: a humidity
+//! multiplier and an ambient-temperature offset applied on top of the
+//! room-level conditions produced by the weather model.
+
+use serde::{Deserialize, Serialize};
+
+use mira_units::Fahrenheit;
+
+use crate::rack::RackId;
+
+/// Per-rack ambient modifiers induced by underfloor airflow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackAirflow {
+    /// Relative underfloor airflow at this rack (1 = unobstructed).
+    pub airflow: f64,
+    /// Multiplier applied to the room-level relative humidity.
+    pub humidity_factor: f64,
+    /// Offset added to the room-level ambient temperature.
+    pub temperature_offset: Fahrenheit,
+}
+
+/// Map from rack to its airflow-induced ambient modifiers.
+///
+/// ```
+/// use mira_facility::{AirflowMap, RackId};
+///
+/// let map = AirflowMap::mira();
+/// let end = map.at(RackId::new(0, 0));
+/// let center = map.at(RackId::new(0, 7));
+/// // Row ends are drier and hotter than row centers.
+/// assert!(end.humidity_factor < center.humidity_factor);
+/// assert!(end.temperature_offset > center.temperature_offset);
+/// // (1, 8) is the paper's humidity hotspot.
+/// let hotspot = map.at(RackId::parse("(1, 8)").unwrap());
+/// assert!(hotspot.humidity_factor > 1.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirflowMap {
+    racks: Vec<RackAirflow>,
+}
+
+impl AirflowMap {
+    /// Builds the Mira underfloor map: row-end obstruction plus the
+    /// `(1, 8)` hotspot, with mild deterministic per-rack variation from
+    /// cable-layout differences.
+    #[must_use]
+    pub fn mira() -> Self {
+        let racks = RackId::all()
+            .map(|rack| {
+                // Row-end effect: the last 3-4 racks on either side sit
+                // behind obstructive surfaces.
+                let d = rack.distance_from_row_end();
+                let (end_airflow_penalty, end_temp, end_humidity) = match d {
+                    0 => (0.35, 6.0, -0.16),
+                    1 => (0.28, 4.5, -0.13),
+                    2 => (0.20, 3.0, -0.09),
+                    3 => (0.12, 1.8, -0.05),
+                    _ => (0.0, 0.0, 0.0),
+                };
+
+                // Deterministic per-rack jitter from the cable layout
+                // (fixed wiring, so a hash, not an RNG).
+                let h = (rack.index() as u64).wrapping_mul(0xD131_0BA6_98DF_B5AC);
+                let jitter = ((h >> 16) & 0xFFFF) as f64 / 65_535.0 - 0.5; // [-0.5, 0.5]
+
+                let mut airflow = 1.0 - end_airflow_penalty + jitter * 0.06;
+                let mut humidity_factor = 1.0 + end_humidity + jitter * 0.04;
+                let mut temperature_offset = end_temp + jitter * 0.8;
+
+                // Localized obstructions under specific racks: (1, 8) is
+                // the paper's humidity hotspot (plumbing + torus cables).
+                if rack == RackId::new(1, 8) {
+                    airflow -= 0.30;
+                    humidity_factor = 1.14;
+                    temperature_offset += 1.0;
+                }
+                // A couple of milder documented obstructions.
+                if rack == RackId::new(2, 2) {
+                    airflow -= 0.12;
+                    humidity_factor += 0.05;
+                }
+                if rack == RackId::new(0, 6) {
+                    airflow -= 0.10;
+                    humidity_factor += 0.04;
+                }
+
+                RackAirflow {
+                    airflow: airflow.clamp(0.2, 1.0),
+                    humidity_factor: humidity_factor.clamp(0.7, 1.25),
+                    temperature_offset: Fahrenheit::new(temperature_offset),
+                }
+            })
+            .collect();
+        Self { racks }
+    }
+
+    /// The modifiers for one rack.
+    #[must_use]
+    pub fn at(&self, rack: RackId) -> RackAirflow {
+        self.racks[rack.index()]
+    }
+
+    /// Iterates over `(rack, modifiers)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RackId, RackAirflow)> + '_ {
+        RackId::all().map(move |r| (r, self.racks[r.index()]))
+    }
+
+    /// The rack with the highest humidity factor (the hotspot).
+    #[must_use]
+    pub fn humidity_hotspot(&self) -> RackId {
+        RackId::all()
+            .max_by(|a, b| {
+                self.at(*a)
+                    .humidity_factor
+                    .partial_cmp(&self.at(*b).humidity_factor)
+                    .expect("factors are finite")
+            })
+            .expect("there are racks")
+    }
+}
+
+impl Default for AirflowMap {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_is_one_eight() {
+        let map = AirflowMap::mira();
+        assert_eq!(map.humidity_hotspot(), RackId::new(1, 8));
+    }
+
+    #[test]
+    fn row_ends_are_drier_and_hotter() {
+        let map = AirflowMap::mira();
+        for row in 0..3 {
+            let end = map.at(RackId::new(row, 15));
+            let center = map.at(RackId::new(row, 7));
+            assert!(end.humidity_factor < center.humidity_factor, "row {row}");
+            assert!(
+                end.temperature_offset.value() > center.temperature_offset.value() + 2.0,
+                "row {row}"
+            );
+            assert!(end.airflow < center.airflow, "row {row}");
+        }
+    }
+
+    #[test]
+    fn humidity_spread_matches_fig9_scale() {
+        let map = AirflowMap::mira();
+        let factors: Vec<f64> = map.iter().map(|(_, a)| a.humidity_factor).collect();
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let spread = (max - min) / min;
+        // Paper: humidity differs by up to 36 % across racks.
+        assert!(
+            (0.25..=0.45).contains(&spread),
+            "humidity spread {spread} outside Fig. 9 band"
+        );
+    }
+
+    #[test]
+    fn temperature_offsets_bounded() {
+        let map = AirflowMap::mira();
+        for (rack, a) in map.iter() {
+            assert!(
+                (-2.0..=8.0).contains(&a.temperature_offset.value()),
+                "{rack} offset {}",
+                a.temperature_offset
+            );
+        }
+    }
+
+    #[test]
+    fn airflow_in_physical_range() {
+        let map = AirflowMap::mira();
+        for (_, a) in map.iter() {
+            assert!((0.2..=1.0).contains(&a.airflow));
+            assert!((0.7..=1.25).contains(&a.humidity_factor));
+        }
+    }
+
+    #[test]
+    fn map_is_deterministic() {
+        assert_eq!(AirflowMap::mira(), AirflowMap::mira());
+    }
+}

@@ -1,0 +1,50 @@
+//! Mira Blue Gene/Q machine topology, power system, and airflow map.
+//!
+//! This crate is the *static* description of the machine the paper
+//! studied: 48 liquid-cooled compute racks in 3 rows of 16 (plus
+//! air-cooled I/O racks), each rack with two midplanes, 16 node boards per
+//! midplane, 32 compute cards per node board — 1,024 nodes per rack,
+//! 49,152 nodes system-wide.
+//!
+//! - [`rack`] — [`RackId`] addressing in the paper's `(row, column)`
+//!   notation with hexadecimal columns, e.g. `(0, D)` or `(1, 8)`.
+//! - [`topology`] — machine constants and the [`Machine`] description.
+//! - [`clock`] — the clock-signal distribution tree: rack `(1, 4)` feeds
+//!   every clock domain, `(0, 9)` hangs off `(0, A)`, and failures
+//!   propagate along these edges without spatial locality.
+//! - [`power`] — the per-rack bulk power module (BPM) model mapping
+//!   utilization and job CPU-intensity to electrical draw.
+//! - [`airflow`] — the underfloor airflow map that creates the rack-level
+//!   ambient temperature and humidity variation of Fig. 9.
+//! - [`queues`] — scheduling queues and their row affinities (`prod-long`
+//!   runs on row 0).
+//!
+//! # Example
+//!
+//! ```
+//! use mira_facility::{Machine, RackId};
+//!
+//! let machine = Machine::mira();
+//! assert_eq!(machine.compute_racks().count(), 48);
+//! assert_eq!(machine.total_nodes(), 49_152);
+//! let epicenter = RackId::parse("(1, 4)").unwrap();
+//! // The clock master takes the whole system down with it.
+//! assert_eq!(machine.clock_tree().affected_by(epicenter).len(), 48);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airflow;
+pub mod clock;
+pub mod power;
+pub mod queues;
+pub mod rack;
+pub mod topology;
+
+pub use airflow::AirflowMap;
+pub use clock::ClockTree;
+pub use power::BulkPowerModule;
+pub use queues::{Queue, QueueMap};
+pub use rack::{RackId, ParseRackIdError, COLUMNS, ROWS};
+pub use topology::{Machine, NODES_PER_RACK, TOTAL_NODES};

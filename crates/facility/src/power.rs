@@ -1,0 +1,208 @@
+//! The per-rack bulk power module (BPM) model.
+//!
+//! Each rack's BPM converts 480 V three-phase AC from the 13.2 kV
+//! substations into DC for the two midplanes, over four 60 A line cords.
+//! The coolant monitor's "power" channel is the aggregate draw of the
+//! rack's four power enclosures — compute load plus fans plus conversion
+//! loss. This module maps (utilization, job CPU-intensity) to that
+//! aggregate draw.
+
+use serde::{Deserialize, Serialize};
+
+use mira_units::Kilowatts;
+
+/// Per-rack AC→DC bulk power module.
+///
+/// The model is affine in compute activity:
+///
+/// `P = (idle + span · utilization · intensity) / efficiency`
+///
+/// - `idle` — draw of an empty, powered rack (fans, DC house-keeping,
+///   leakage). Mira racks never fully idle in production, and burner jobs
+///   keep them warm during maintenance.
+/// - `span` — additional draw between idle and a fully-busy rack running
+///   maximally CPU-intensive work.
+/// - `intensity` — how hard the running jobs drive the cores (`0..=1`);
+///   this is what decorrelates power from plain utilization (the paper
+///   measured only 0.45 correlation).
+/// - `efficiency` — AC→DC conversion efficiency of the BPM.
+///
+/// ```
+/// use mira_facility::BulkPowerModule;
+///
+/// let bpm = BulkPowerModule::mira();
+/// let idle = bpm.draw(0.0, 0.5);
+/// let busy = bpm.draw(1.0, 1.0);
+/// assert!(busy.value() > idle.value());
+/// // 48 busy racks stay within the 6 MW provisioning.
+/// assert!(busy.value() * 48.0 <= 6_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BulkPowerModule {
+    idle_kw: f64,
+    span_kw: f64,
+    efficiency: f64,
+}
+
+/// Number of 480 V line cords feeding each rack's BPM.
+pub const LINE_CORDS_PER_RACK: u32 = 4;
+
+/// Line-cord current rating in amperes.
+pub const LINE_CORD_AMPS: f64 = 60.0;
+
+impl BulkPowerModule {
+    /// The Mira BPM calibration.
+    ///
+    /// Chosen so the 48-rack aggregate reproduces the paper's trajectory:
+    /// ≈2.5 MW at 2014 utilization/intensity and ≈2.9 MW at 2019 levels,
+    /// with headroom to the 6 MW provisioning limit.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            idle_kw: 27.0,
+            span_kw: 42.0,
+            efficiency: 0.94,
+        }
+    }
+
+    /// Creates a custom BPM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `idle_kw >= 0`, `span_kw >= 0`, and
+    /// `0 < efficiency <= 1`.
+    #[must_use]
+    pub fn new(idle_kw: f64, span_kw: f64, efficiency: f64) -> Self {
+        assert!(idle_kw >= 0.0, "idle draw must be non-negative");
+        assert!(span_kw >= 0.0, "span must be non-negative");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Self {
+            idle_kw,
+            span_kw,
+            efficiency,
+        }
+    }
+
+    /// AC-side draw for a rack at `utilization` (fraction of nodes busy)
+    /// running jobs of the given mean CPU `intensity` (both clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn draw(&self, utilization: f64, intensity: f64) -> Kilowatts {
+        let u = utilization.clamp(0.0, 1.0);
+        let i = intensity.clamp(0.0, 1.0);
+        Kilowatts::new((self.idle_kw + self.span_kw * u * i) / self.efficiency)
+    }
+
+    /// Heat dissipated into the rack's coolant loop, in watts.
+    ///
+    /// All DC power becomes heat in the rack; conversion loss heats the
+    /// BPM enclosure (air-side) and is excluded from the liquid loop.
+    #[must_use]
+    pub fn heat_to_coolant_watts(&self, utilization: f64, intensity: f64) -> f64 {
+        self.draw(utilization, intensity).value() * self.efficiency * 1000.0
+    }
+
+    /// Idle (zero-utilization) AC draw.
+    #[must_use]
+    pub fn idle_draw(&self) -> Kilowatts {
+        self.draw(0.0, 0.0)
+    }
+
+    /// Maximum AC draw (full utilization, maximal intensity).
+    #[must_use]
+    pub fn max_draw(&self) -> Kilowatts {
+        self.draw(1.0, 1.0)
+    }
+
+    /// AC→DC conversion efficiency.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Theoretical line-cord capacity at 480 V three-phase, in kW.
+    #[must_use]
+    pub fn line_capacity_kw(&self) -> f64 {
+        // P = √3 · V · I per cord.
+        f64::from(LINE_CORDS_PER_RACK) * 3f64.sqrt() * 480.0 * LINE_CORD_AMPS / 1000.0
+    }
+}
+
+impl Default for BulkPowerModule {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mira_power_trajectory_brackets_paper() {
+        let bpm = BulkPowerModule::mira();
+        // 2014: ~80 % utilization, moderate intensity.
+        let early = bpm.draw(0.80, 0.72).value() * 48.0 / 1000.0;
+        // 2019: ~93 % utilization, higher intensity mix.
+        let late = bpm.draw(0.93, 0.80).value() * 48.0 / 1000.0;
+        assert!((2.3..2.7).contains(&early), "2014 ≈ 2.5 MW, got {early}");
+        assert!((2.7..3.1).contains(&late), "2019 ≈ 2.9 MW, got {late}");
+    }
+
+    #[test]
+    fn draw_clamps_inputs() {
+        let bpm = BulkPowerModule::mira();
+        assert_eq!(bpm.draw(-1.0, 0.5), bpm.draw(0.0, 0.5));
+        assert_eq!(bpm.draw(2.0, 1.5), bpm.draw(1.0, 1.0));
+    }
+
+    #[test]
+    fn max_draw_within_line_capacity() {
+        let bpm = BulkPowerModule::mira();
+        assert!(bpm.max_draw().value() < bpm.line_capacity_kw());
+    }
+
+    #[test]
+    fn heat_excludes_conversion_loss() {
+        let bpm = BulkPowerModule::mira();
+        let heat = bpm.heat_to_coolant_watts(1.0, 1.0);
+        let ac = bpm.max_draw().value() * 1000.0;
+        assert!(heat < ac);
+        assert!((heat / ac - bpm.efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in (0, 1]")]
+    fn rejects_bad_efficiency() {
+        let _ = BulkPowerModule::new(10.0, 10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle draw must be non-negative")]
+    fn rejects_negative_idle() {
+        let _ = BulkPowerModule::new(-1.0, 10.0, 0.9);
+    }
+
+    proptest! {
+        #[test]
+        fn draw_is_monotone_in_utilization(
+            a in 0.0f64..1.0, b in 0.0f64..1.0, i in 0.01f64..1.0,
+        ) {
+            let bpm = BulkPowerModule::mira();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bpm.draw(lo, i).value() <= bpm.draw(hi, i).value());
+        }
+
+        #[test]
+        fn draw_bounded(u in -2.0f64..2.0, i in -2.0f64..2.0) {
+            let bpm = BulkPowerModule::mira();
+            let p = bpm.draw(u, i);
+            prop_assert!(p.value() >= bpm.idle_draw().value() - 1e-12);
+            prop_assert!(p.value() <= bpm.max_draw().value() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Scheduling queues and their rack affinities.
+//!
+//! Mira's Cobalt scheduler routed jobs by queue: `prod-long` jobs (the
+//! multi-day capability runs) were placed on row 0, which is why row 0
+//! shows the highest utilization *and* power in Fig. 6. `prod-short` and
+//! `backfill` fill the remaining rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rack::{RackId, COLUMNS};
+
+/// A scheduling queue.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Queue {
+    /// Long-running capability jobs (row 0).
+    ProdLong,
+    /// Standard production jobs.
+    ProdShort,
+    /// Backfill jobs squeezed into drain windows.
+    Backfill,
+}
+
+impl Queue {
+    /// All queues.
+    pub const ALL: [Queue; 3] = [Queue::ProdLong, Queue::ProdShort, Queue::Backfill];
+
+    /// The queue's Cobalt name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Queue::ProdLong => "prod-long",
+            Queue::ProdShort => "prod-short",
+            Queue::Backfill => "backfill",
+        }
+    }
+}
+
+impl fmt::Display for Queue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps queues to the racks they may occupy.
+///
+/// ```
+/// use mira_facility::{Queue, QueueMap, RackId};
+///
+/// let map = QueueMap::mira();
+/// assert!(map.racks(Queue::ProdLong).iter().all(|r| r.row() == 0));
+/// assert_eq!(map.queue_for(RackId::new(0, 3)), Queue::ProdLong);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueMap {
+    prod_long: Vec<RackId>,
+    prod_short: Vec<RackId>,
+    backfill: Vec<RackId>,
+}
+
+impl QueueMap {
+    /// Mira's production queue layout: `prod-long` on all of row 0,
+    /// `prod-short` on rows 1–2, `backfill` overlapping rows 1–2.
+    #[must_use]
+    pub fn mira() -> Self {
+        let prod_long = (0..COLUMNS).map(|c| RackId::new(0, c)).collect();
+        let prod_short = (1..3)
+            .flat_map(|row| (0..COLUMNS).map(move |c| RackId::new(row, c)))
+            .collect();
+        let backfill = (1..3)
+            .flat_map(|row| (0..COLUMNS).map(move |c| RackId::new(row, c)))
+            .collect();
+        Self {
+            prod_long,
+            prod_short,
+            backfill,
+        }
+    }
+
+    /// Racks a queue may occupy.
+    #[must_use]
+    pub fn racks(&self, queue: Queue) -> &[RackId] {
+        match queue {
+            Queue::ProdLong => &self.prod_long,
+            Queue::ProdShort => &self.prod_short,
+            Queue::Backfill => &self.backfill,
+        }
+    }
+
+    /// The primary queue owning a rack (`prod-long` for row 0, otherwise
+    /// `prod-short`).
+    #[must_use]
+    pub fn queue_for(&self, rack: RackId) -> Queue {
+        if rack.row() == 0 {
+            Queue::ProdLong
+        } else {
+            Queue::ProdShort
+        }
+    }
+}
+
+impl Default for QueueMap {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prod_long_is_row_zero() {
+        let map = QueueMap::mira();
+        let racks = map.racks(Queue::ProdLong);
+        assert_eq!(racks.len(), 16);
+        assert!(racks.iter().all(|r| r.row() == 0));
+    }
+
+    #[test]
+    fn short_and_backfill_cover_other_rows() {
+        let map = QueueMap::mira();
+        assert_eq!(map.racks(Queue::ProdShort).len(), 32);
+        assert_eq!(map.racks(Queue::Backfill).len(), 32);
+        assert!(map
+            .racks(Queue::ProdShort)
+            .iter()
+            .all(|r| r.row() == 1 || r.row() == 2));
+    }
+
+    #[test]
+    fn queue_for_maps_rows() {
+        let map = QueueMap::mira();
+        assert_eq!(map.queue_for(RackId::new(0, 9)), Queue::ProdLong);
+        assert_eq!(map.queue_for(RackId::new(2, 1)), Queue::ProdShort);
+    }
+
+    #[test]
+    fn queue_names() {
+        assert_eq!(Queue::ProdLong.to_string(), "prod-long");
+        assert_eq!(Queue::Backfill.name(), "backfill");
+    }
+}

@@ -1,0 +1,116 @@
+//! Activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — the paper's hidden-layer
+    /// activation.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^{-x})` — the paper's output
+    /// activation for binary classification.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output, for regression heads).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[must_use]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of its *output*
+    /// `y = f(x)` (cheap for all four variants).
+    #[must_use]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a slice in place.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-6;
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            for &x in &[-2.0f64, -0.5, 0.3, 1.7] {
+                if act == Activation::Relu && x.abs() < eps {
+                    continue; // kink
+                }
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(act.apply(x));
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut xs = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_is_bounded_and_monotone(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+            let s = Activation::Sigmoid;
+            prop_assert!((0.0..=1.0).contains(&s.apply(a)));
+            if a < b {
+                prop_assert!(s.apply(a) <= s.apply(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Gaussian-process Bayesian optimization.
+//!
+//! The paper tunes its predictor's architecture ("number of neurons per
+//! layer") with Bayesian optimization. This module implements the
+//! standard machinery at the scale that task needs: an exact Gaussian
+//! process with an RBF kernel over normalized configuration vectors, and
+//! expected improvement as the acquisition function over a finite
+//! candidate set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Exact Gaussian-process regressor with an RBF kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    length_scale: f64,
+    signal_variance: f64,
+    noise_variance: f64,
+    x: Vec<Vec<f64>>,
+    /// Cholesky factor L of K + σ²I (lower triangular, row-major).
+    chol: Vec<f64>,
+    /// α = (K + σ²I)⁻¹ y.
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted GP.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all hyper-parameters are positive.
+    #[must_use]
+    pub fn new(length_scale: f64, signal_variance: f64, noise_variance: f64) -> Self {
+        assert!(length_scale > 0.0, "length scale must be positive");
+        assert!(signal_variance > 0.0, "signal variance must be positive");
+        assert!(noise_variance > 0.0, "noise variance must be positive");
+        Self {
+            length_scale,
+            signal_variance,
+            noise_variance,
+            x: Vec::new(),
+            chol: Vec::new(),
+            alpha: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&ai, &bi)| (ai - bi) * (ai - bi))
+            .sum();
+        self.signal_variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Fits the GP on observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, inputs are empty, or the kernel matrix
+    /// is not positive definite (should not happen with positive noise).
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on no observations");
+        let n = x.len();
+        self.x = x.to_vec();
+        self.y_mean = y.iter().sum::<f64>() / n as f64;
+
+        // K + σ²I.
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = self.kernel(&x[i], &x[j]);
+            }
+            k[i * n + i] += self.noise_variance;
+        }
+        // Cholesky decomposition.
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = k[i * n + j];
+                for p in 0..j {
+                    sum -= l[i * n + p] * l[j * n + p];
+                }
+                if i == j {
+                    assert!(sum > 0.0, "kernel matrix not positive definite");
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Solve L z = (y - mean), then Lᵀ α = z.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = y[i] - self.y_mean;
+            for p in 0..i {
+                sum -= l[i * n + p] * z[p];
+            }
+            z[i] = sum / l[i * n + i];
+        }
+        let mut alpha = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for p in (i + 1)..n {
+                sum -= l[p * n + i] * alpha[p];
+            }
+            alpha[i] = sum / l[i * n + i];
+        }
+        self.chol = l;
+        self.alpha = alpha;
+    }
+
+    /// Posterior mean and variance at a query point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GP has not been fitted.
+    #[must_use]
+    pub fn predict(&self, query: &[f64]) -> (f64, f64) {
+        assert!(!self.x.is_empty(), "predict before fit");
+        let n = self.x.len();
+        let ks: Vec<f64> = self.x.iter().map(|xi| self.kernel(xi, query)).collect();
+        let mean = self.y_mean
+            + ks.iter()
+                .zip(&self.alpha)
+                .map(|(&k, &a)| k * a)
+                .sum::<f64>();
+        // v = L⁻¹ k* (forward substitution over the packed triangular
+        // factor; index arithmetic is the clearest spelling here).
+        #[allow(clippy::needless_range_loop)]
+        let v = {
+            let mut v = vec![0.0; n];
+            for i in 0..n {
+                let mut sum = ks[i];
+                for p in 0..i {
+                    sum -= self.chol[i * n + p] * v[p];
+                }
+                v[i] = sum / self.chol[i * n + i];
+            }
+            v
+        };
+        let var = (self.kernel(query, query) - v.iter().map(|x| x * x).sum::<f64>())
+            .max(1e-12);
+        (mean, var)
+    }
+}
+
+/// Expected improvement of a point with posterior `(mean, var)` over the
+/// incumbent best (for *maximization*).
+#[must_use]
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / sigma;
+    (mean - best) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+fn normal_cdf(z: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26 via erf approximation.
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let tail = normal_pdf(z.abs()) * poly;
+    if z >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Bayesian optimizer over a finite candidate set (e.g. layer-size
+/// grids).
+///
+/// ```
+/// use mira_nn::BayesianOptimizer;
+///
+/// // Maximize a concave score over widths.
+/// let space: Vec<Vec<f64>> = (1..=24).map(|w| vec![w as f64]).collect();
+/// let mut bo = BayesianOptimizer::new(space, 7);
+/// let best = bo.optimize(|cfg| -(cfg[0] - 12.0).powi(2), 12);
+/// assert!((best[0] - 12.0).abs() <= 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BayesianOptimizer {
+    space: Vec<Vec<f64>>,
+    observed_x: Vec<Vec<f64>>,
+    observed_y: Vec<f64>,
+    rng: StdRng,
+}
+
+impl BayesianOptimizer {
+    /// Creates an optimizer over a candidate space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty.
+    #[must_use]
+    pub fn new(space: Vec<Vec<f64>>, seed: u64) -> Self {
+        assert!(!space.is_empty(), "empty search space");
+        Self {
+            space,
+            observed_x: Vec::new(),
+            observed_y: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs up to `budget` objective evaluations (maximization) and
+    /// returns the best configuration found.
+    pub fn optimize<F: FnMut(&[f64]) -> f64>(&mut self, mut objective: F, budget: usize) -> Vec<f64> {
+        let budget = budget.min(self.space.len()).max(1);
+        // Two random seeds points, then GP-guided.
+        let n_init = 2.min(budget);
+        for _ in 0..n_init {
+            let cfg = self.pick_random_unobserved();
+            let y = objective(&cfg);
+            self.observed_x.push(cfg);
+            self.observed_y.push(y);
+        }
+        while self.observed_x.len() < budget {
+            let cfg = self.next_candidate();
+            let y = objective(&cfg);
+            self.observed_x.push(cfg);
+            self.observed_y.push(y);
+        }
+        let best_idx = self
+            .observed_y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("observations exist");
+        self.observed_x[best_idx].clone()
+    }
+
+    /// The `(configuration, score)` observations so far.
+    #[must_use]
+    pub fn observations(&self) -> Vec<(Vec<f64>, f64)> {
+        self.observed_x
+            .iter()
+            .cloned()
+            .zip(self.observed_y.iter().copied())
+            .collect()
+    }
+
+    fn pick_random_unobserved(&mut self) -> Vec<f64> {
+        loop {
+            let idx = self.rng.random_range(0..self.space.len());
+            let cfg = &self.space[idx];
+            if !self.observed_x.contains(cfg) {
+                return cfg.clone();
+            }
+        }
+    }
+
+    fn next_candidate(&mut self) -> Vec<f64> {
+        let mut gp = GaussianProcess::new(2.0, 1.0, 1e-4);
+        // Normalize y for GP conditioning.
+        let ymax = self
+            .observed_y
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ymin = self.observed_y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let scale = (ymax - ymin).max(1e-9);
+        let ys: Vec<f64> = self.observed_y.iter().map(|y| (y - ymin) / scale).collect();
+        gp.fit(&self.observed_x, &ys);
+        let best = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        self.space
+            .iter()
+            .filter(|cfg| !self.observed_x.contains(cfg))
+            .map(|cfg| {
+                let (mean, var) = gp.predict(cfg);
+                (cfg.clone(), expected_improvement(mean, var, best))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(cfg, _)| cfg)
+            .unwrap_or_else(|| self.pick_random_unobserved())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-6);
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0.0, 1.0, 4.0];
+        gp.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (mean, var) = gp.predict(xi);
+            assert!((mean - yi).abs() < 1e-2, "at {xi:?}: {mean} vs {yi}");
+            assert!(var < 0.01);
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-6);
+        gp.fit(&[vec![0.0]], &[1.0]);
+        let (_, var_near) = gp.predict(&[0.1]);
+        let (_, var_far) = gp.predict(&[5.0]);
+        assert!(var_far > var_near * 10.0);
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(3.0) > 0.995);
+        assert!(normal_cdf(-3.0) < 0.005);
+    }
+
+    #[test]
+    fn ei_zero_when_certainly_worse() {
+        assert_eq!(expected_improvement(0.0, 0.0, 1.0), 0.0);
+        assert!(expected_improvement(2.0, 1e-13, 1.0) > 0.9);
+    }
+
+    #[test]
+    fn optimizer_finds_quadratic_peak() {
+        let space: Vec<Vec<f64>> = (0..=30).map(|w| vec![f64::from(w)]).collect();
+        let mut bo = BayesianOptimizer::new(space, 3);
+        let best = bo.optimize(|cfg| -(cfg[0] - 17.0).powi(2), 14);
+        assert!(
+            (best[0] - 17.0).abs() <= 3.0,
+            "best {best:?} (14 evals of 31 candidates)"
+        );
+        assert_eq!(bo.observations().len(), 14);
+    }
+
+    #[test]
+    fn optimizer_beats_budget_exhaustion_gracefully() {
+        let space: Vec<Vec<f64>> = (0..4).map(|w| vec![f64::from(w)]).collect();
+        let mut bo = BayesianOptimizer::new(space, 1);
+        // Budget larger than the space: evaluates everything.
+        let best = bo.optimize(|cfg| cfg[0], 10);
+        assert_eq!(best, vec![3.0]);
+    }
+
+    #[test]
+    fn optimizer_on_2d_layer_grid() {
+        // Mimic the paper's use: pick (layer1, layer2) sizes.
+        let mut space = Vec::new();
+        for a in [4, 8, 12, 16, 20] {
+            for b in [3, 6, 9, 12] {
+                space.push(vec![f64::from(a), f64::from(b)]);
+            }
+        }
+        let mut bo = BayesianOptimizer::new(space, 5);
+        // Peak at (12, 6) — the paper's chosen sizes.
+        let best = bo.optimize(
+            |cfg| -((cfg[0] - 12.0).powi(2) + (cfg[1] - 6.0).powi(2)),
+            12,
+        );
+        let d = (best[0] - 12.0).abs() + (best[1] - 6.0).abs();
+        assert!(d <= 7.0, "best {best:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty search space")]
+    fn empty_space_rejected() {
+        let _ = BayesianOptimizer::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_requires_fit() {
+        let gp = GaussianProcess::new(1.0, 1.0, 1e-6);
+        let _ = gp.predict(&[0.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Dataset handling: splits, standardization, k-fold cross validation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: feature rows plus 0/1 targets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or rows have inconsistent widths.
+    #[must_use]
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<f64>) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        if let Some(first) = features.first() {
+            let w = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == w),
+                "inconsistent feature widths"
+            );
+        }
+        Self { features, labels }
+    }
+
+    /// Creates an empty dataset.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Appends one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from existing rows.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature widths");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature width (0 when empty).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// The feature rows.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels.
+    #[must_use]
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Count of positive (label ≥ 0.5) examples.
+    #[must_use]
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l >= 0.5).count()
+    }
+
+    /// Returns a seeded shuffle of this dataset.
+    #[must_use]
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        self.select(&order)
+    }
+
+    /// Builds a dataset from a subset of row indices.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Splits by ratios, e.g. `&[3.0, 1.0, 1.0]` for the paper's
+    /// train : test : validation split. The final part absorbs rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratios` is empty or any ratio is non-positive.
+    #[must_use]
+    pub fn split(&self, ratios: &[f64]) -> Vec<Dataset> {
+        assert!(!ratios.is_empty(), "need at least one ratio");
+        assert!(ratios.iter().all(|&r| r > 0.0), "ratios must be positive");
+        let total: f64 = ratios.iter().sum();
+        let mut out = Vec::with_capacity(ratios.len());
+        let mut start = 0usize;
+        for (k, &r) in ratios.iter().enumerate() {
+            let end = if k + 1 == ratios.len() {
+                self.len()
+            } else {
+                start + ((r / total) * self.len() as f64).round() as usize
+            }
+            .min(self.len());
+            let idx: Vec<usize> = (start..end).collect();
+            out.push(self.select(&idx));
+            start = end;
+        }
+        out
+    }
+}
+
+/// Z-score feature standardizer fitted on training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per feature column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        let w = data.width();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; w];
+        for row in data.features() {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; w];
+        for row in data.features() {
+            for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(row) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Standardizes one feature row.
+    #[must_use]
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole dataset.
+    #[must_use]
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            features: data
+                .features()
+                .iter()
+                .map(|r| self.transform_row(r))
+                .collect(),
+            labels: data.labels().to_vec(),
+        }
+    }
+}
+
+/// K-fold cross-validation splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Creates a `k`-fold splitter (the paper uses `k = 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "need at least two folds");
+        Self { k, seed }
+    }
+
+    /// Produces `(train, test)` dataset pairs, one per fold.
+    #[must_use]
+    pub fn splits(&self, data: &Dataset) -> Vec<(Dataset, Dataset)> {
+        let shuffled = data.shuffled(self.seed);
+        let n = shuffled.len();
+        let mut out = Vec::with_capacity(self.k);
+        for fold in 0..self.k {
+            let lo = n * fold / self.k;
+            let hi = n * (fold + 1) / self.k;
+            let test_idx: Vec<usize> = (lo..hi).collect();
+            let train_idx: Vec<usize> = (0..lo).chain(hi..n).collect();
+            out.push((shuffled.select(&train_idx), shuffled.select(&test_idx)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let features = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let labels = (0..n).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+        Dataset::new(features, labels)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.positives(), 5);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature widths")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn split_three_one_one() {
+        let d = toy(100);
+        let parts = d.split(&[3.0, 1.0, 1.0]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 60);
+        assert_eq!(parts[1].len(), 20);
+        assert_eq!(parts[2].len(), 20);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairs() {
+        let d = toy(50);
+        let s = d.shuffled(9);
+        assert_eq!(s.len(), 50);
+        // Every (feature, label) pair must still be consistent:
+        // label = 1 iff feature[0] is even.
+        for (f, &l) in s.features().iter().zip(s.labels()) {
+            let expected = f64::from(u8::from((f[0] as usize).is_multiple_of(2)));
+            assert_eq!(l, expected);
+        }
+        // And it actually permutes.
+        assert_ne!(s.features()[0..5], d.features()[0..5]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let d = toy(200);
+        let std = Standardizer::fit(&d);
+        let t = std.transform(&d);
+        for col in 0..t.width() {
+            let vals: Vec<f64> = t.features().iter().map(|r| r[col]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var: f64 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-9, "col {col} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "col {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_column() {
+        let d = Dataset::new(vec![vec![5.0], vec![5.0], vec![5.0]], vec![0.0, 1.0, 0.0]);
+        let std = Standardizer::fit(&d);
+        let t = std.transform(&d);
+        assert!(t.features().iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let d = toy(53);
+        let folds = KFold::new(5, 1).splits(&d);
+        assert_eq!(folds.len(), 5);
+        let total_test: usize = folds.iter().map(|(_, te)| te.len()).sum();
+        assert_eq!(total_test, 53);
+        for (tr, te) in &folds {
+            assert_eq!(tr.len() + te.len(), 53);
+            assert!(te.len() >= 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two folds")]
+    fn kfold_rejects_k1() {
+        let _ = KFold::new(1, 0);
+    }
+
+    #[test]
+    fn push_grows_dataset() {
+        let mut d = Dataset::empty();
+        d.push(vec![1.0, 2.0], 1.0);
+        d.push(vec![3.0, 4.0], 0.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.width(), 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Fully-connected layers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// A dense (fully-connected) layer with an activation.
+///
+/// Weights are stored row-major: `weights[o * inputs + i]` connects input
+/// `i` to output `o`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    inputs: usize,
+    outputs: usize,
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Creates a layer with He initialization (appropriate for ReLU;
+    /// close enough to Xavier for the small sigmoid head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` is zero.
+    #[must_use]
+    pub fn new(inputs: usize, outputs: usize, activation: Activation, seed: u64) -> Self {
+        assert!(inputs > 0, "layer needs at least one input");
+        assert!(outputs > 0, "layer needs at least one output");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| gaussian(&mut rng) * scale)
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The layer's activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+
+    /// Forward pass: returns the activated outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.inputs()`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // row-major weight indexing
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs, "input size mismatch");
+        let mut out = self.biases.clone();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = 0.0;
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out[o] += acc;
+        }
+        self.activation.apply_slice(&mut out);
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// Given this layer's cached `input` and `output` (from forward) and
+    /// `grad_out` = ∂L/∂(activated output), accumulates parameter
+    /// gradients into `grads` and returns ∂L/∂input.
+    #[must_use]
+    pub fn backward(
+        &self,
+        input: &[f64],
+        output: &[f64],
+        grad_out: &[f64],
+        grads: &mut DenseGrads,
+    ) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            // δ = ∂L/∂pre-activation.
+            let delta = grad_out[o] * self.activation.derivative_from_output(output[o]);
+            grads.biases[o] += delta;
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let grow = &mut grads.weights[o * self.inputs..(o + 1) * self.inputs];
+            for i in 0..self.inputs {
+                grow[i] += delta * input[i];
+                grad_in[i] += delta * row[i];
+            }
+        }
+        grad_in
+    }
+
+    /// Applies a parameter update: `w -= step[k]` element-wise (the
+    /// optimizer computes the steps).
+    pub fn apply_update(&mut self, weight_step: &[f64], bias_step: &[f64]) {
+        for (w, s) in self.weights.iter_mut().zip(weight_step) {
+            *w -= s;
+        }
+        for (b, s) in self.biases.iter_mut().zip(bias_step) {
+            *b -= s;
+        }
+    }
+
+    /// Read-only view of the weights (row-major).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Read-only view of the biases.
+    #[must_use]
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Creates a zeroed gradient buffer shaped like this layer.
+    #[must_use]
+    pub fn zero_grads(&self) -> DenseGrads {
+        DenseGrads {
+            weights: vec![0.0; self.weights.len()],
+            biases: vec![0.0; self.biases.len()],
+        }
+    }
+}
+
+/// Gradient accumulation buffer for one [`Dense`] layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseGrads {
+    /// ∂L/∂weights, row-major like the layer.
+    pub weights: Vec<f64>,
+    /// ∂L/∂biases.
+    pub biases: Vec<f64>,
+}
+
+impl DenseGrads {
+    /// Scales all gradients (e.g. by 1/batch-size).
+    pub fn scale(&mut self, k: f64) {
+        for w in &mut self.weights {
+            *w *= k;
+        }
+        for b in &mut self.biases {
+            *b *= k;
+        }
+    }
+
+    /// Resets all gradients to zero.
+    pub fn zero(&mut self) {
+        self.weights.fill(0.0);
+        self.biases.fill(0.0);
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_plus_activation() {
+        let mut layer = Dense::new(2, 1, Activation::Identity, 0);
+        // Overwrite with known weights.
+        layer.weights = vec![2.0, -1.0];
+        layer.biases = vec![0.5];
+        assert_eq!(layer.forward(&[3.0, 4.0]), vec![2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut layer = Dense::new(1, 1, Activation::Relu, 0);
+        layer.weights = vec![1.0];
+        layer.biases = vec![-5.0];
+        assert_eq!(layer.forward(&[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let layer = Dense::new(3, 2, Activation::Tanh, 42);
+        let input = [0.3, -0.7, 1.1];
+        // L = sum of outputs, so grad_out = 1s.
+        let loss = |l: &Dense| l.forward(&input).iter().sum::<f64>();
+
+        let output = layer.forward(&input);
+        let mut grads = layer.zero_grads();
+        let grad_in = layer.backward(&input, &output, &[1.0, 1.0], &mut grads);
+
+        let eps = 1e-6;
+        // Check a few weight gradients.
+        for k in [0usize, 2, 5] {
+            let mut plus = layer.clone();
+            plus.weights[k] += eps;
+            let mut minus = layer.clone();
+            minus.weights[k] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (numeric - grads.weights[k]).abs() < 1e-5,
+                "weight {k}: {numeric} vs {}",
+                grads.weights[k]
+            );
+        }
+        // Check input gradient.
+        for i in 0..3 {
+            let mut xp = input;
+            xp[i] += eps;
+            let mut xm = input;
+            xm[i] -= eps;
+            let numeric = (layer.forward(&xp).iter().sum::<f64>()
+                - layer.forward(&xm).iter().sum::<f64>())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "input {i}: {numeric} vs {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count() {
+        let layer = Dense::new(12, 6, Activation::Relu, 0);
+        assert_eq!(layer.parameter_count(), 12 * 6 + 6);
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = Dense::new(4, 4, Activation::Relu, 9);
+        let b = Dense::new(4, 4, Activation::Relu, 9);
+        let c = Dense::new(4, 4, Activation::Relu, 10);
+        assert_eq!(a.weights(), b.weights());
+        assert_ne!(a.weights(), c.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn forward_rejects_wrong_size() {
+        let layer = Dense::new(3, 1, Activation::Relu, 0);
+        let _ = layer.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_rejected() {
+        let _ = Dense::new(0, 1, Activation::Relu, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! From-scratch dense neural network, evaluation metrics, and Bayesian
+//! hyper-parameter optimization.
+//!
+//! The paper's CMF predictor is a small binary classifier: a multi-layer
+//! perceptron with three hidden layers (12, 12 and 6 neurons — sizes
+//! chosen by Bayesian optimization), ReLU activations, a sigmoid output,
+//! trained for 50 epochs on a 3 : 1 : 1 train/test/validation split and
+//! evaluated with 5-fold cross validation. This crate implements that
+//! entire stack with no external ML dependency:
+//!
+//! - [`network`] — [`Mlp`]: dense layers, forward/backward, training
+//!   loop ([`TrainConfig`]).
+//! - [`layer`] / [`activation`] — the building blocks, with He/Xavier
+//!   initialization.
+//! - [`optimizer`] — SGD with momentum and Adam.
+//! - [`loss`] — binary cross-entropy and MSE.
+//! - [`metrics`] — confusion-matrix metrics: accuracy, precision,
+//!   recall, F1, false-positive rate.
+//! - [`data`] — [`Dataset`]: shuffling, ratio splits, z-score
+//!   standardization, k-fold cross validation.
+//! - [`bayesopt`] — Gaussian-process Bayesian optimization (RBF kernel,
+//!   expected improvement) over small discrete search spaces.
+//!
+//! # Example
+//!
+//! ```
+//! use mira_nn::{Activation, Mlp, TrainConfig};
+//!
+//! // Learn XOR.
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ];
+//! let y = vec![0.0, 1.0, 1.0, 0.0];
+//! let mut net = Mlp::new(&[2, 8, 8, 1], Activation::Relu, Activation::Sigmoid, 7);
+//! net.train(&x, &y, &TrainConfig { epochs: 800, ..TrainConfig::default() });
+//! assert!(net.predict(&x[0]) < 0.5);
+//! assert!(net.predict(&x[1]) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod bayesopt;
+pub mod data;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use bayesopt::{BayesianOptimizer, GaussianProcess};
+pub use data::{Dataset, KFold, Standardizer};
+pub use layer::Dense;
+pub use loss::Loss;
+pub use metrics::{roc_auc, BinaryMetrics};
+pub use network::{Mlp, TrainConfig};
+pub use optimizer::Optimizer;

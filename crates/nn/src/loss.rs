@@ -1,0 +1,112 @@
+//! Loss functions.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar loss over predictions and targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Binary cross-entropy (targets in {0, 1}, predictions in (0, 1)).
+    BinaryCrossEntropy,
+    /// Mean squared error.
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Loss for a single (prediction, target) pair.
+    #[must_use]
+    pub fn value(self, prediction: f64, target: f64) -> f64 {
+        match self {
+            Loss::BinaryCrossEntropy => {
+                let p = prediction.clamp(1e-12, 1.0 - 1e-12);
+                -(target * p.ln() + (1.0 - target) * (1.0 - p).ln())
+            }
+            Loss::MeanSquaredError => {
+                let d = prediction - target;
+                d * d
+            }
+        }
+    }
+
+    /// ∂loss/∂prediction for a single pair.
+    #[must_use]
+    pub fn gradient(self, prediction: f64, target: f64) -> f64 {
+        match self {
+            Loss::BinaryCrossEntropy => {
+                let p = prediction.clamp(1e-12, 1.0 - 1e-12);
+                (p - target) / (p * (1.0 - p))
+            }
+            Loss::MeanSquaredError => 2.0 * (prediction - target),
+        }
+    }
+
+    /// Mean loss over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    #[must_use]
+    pub fn mean(self, predictions: &[f64], targets: &[f64]) -> f64 {
+        assert_eq!(predictions.len(), targets.len(), "length mismatch");
+        assert!(!predictions.is_empty(), "empty batch");
+        predictions
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f64>()
+            / predictions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bce_is_zero_on_perfect_prediction() {
+        let l = Loss::BinaryCrossEntropy;
+        assert!(l.value(1.0, 1.0) < 1e-9);
+        assert!(l.value(0.0, 0.0) < 1e-9);
+        assert!(l.value(0.01, 1.0) > 4.0);
+    }
+
+    #[test]
+    fn mse_quadratic() {
+        let l = Loss::MeanSquaredError;
+        assert_eq!(l.value(3.0, 1.0), 4.0);
+        assert_eq!(l.gradient(3.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let eps = 1e-7;
+        for loss in [Loss::BinaryCrossEntropy, Loss::MeanSquaredError] {
+            for &(p, t) in &[(0.3, 1.0), (0.7, 0.0), (0.5, 0.5)] {
+                let numeric = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
+                assert!(
+                    (numeric - loss.gradient(p, t)).abs() < 1e-4,
+                    "{loss:?} at ({p}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_averages() {
+        let l = Loss::MeanSquaredError;
+        assert_eq!(l.mean(&[1.0, 3.0], &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mean_rejects_mismatch() {
+        let _ = Loss::MeanSquaredError.mean(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn bce_non_negative(p in 0.0f64..1.0, t in 0.0f64..1.0) {
+            prop_assert!(Loss::BinaryCrossEntropy.value(p, t) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Streaming drift detection: EWMA baselines + two-sided CUSUM.
+//!
+//! Between the static thresholds the paper criticizes and the neural
+//! network it proposes sits the classical statistical-process-control
+//! answer: track each channel's baseline with an exponentially weighted
+//! moving average and accumulate standardized deviations with a CUSUM —
+//! raising an alarm when a *sustained drift* (not a level) exceeds a
+//! decision interval. This is deployable on the monitor itself (O(1)
+//! state per channel per rack) and makes a strong middle baseline for
+//! Fig. 13-style evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use mira_cooling::CoolantMonitorSample;
+use mira_nn::BinaryMetrics;
+use mira_timeseries::Duration;
+
+use crate::dataset::{DatasetBuilder, TelemetryProvider};
+
+/// Two-sided CUSUM over one telemetry channel with an EWMA baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumChannel {
+    /// EWMA smoothing factor for the baseline (slow: tracks season, not
+    /// drift).
+    pub baseline_alpha: f64,
+    /// Assumed channel noise scale (1 σ) for standardization.
+    pub sigma: f64,
+    /// Slack `k` in σ units (drifts below this are ignored).
+    pub slack: f64,
+    /// Decision interval `h` in σ units.
+    pub decision: f64,
+    baseline: f64,
+    hi: f64,
+    lo: f64,
+    primed: bool,
+}
+
+impl CusumChannel {
+    /// Creates a channel detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma > 0`, `0 < baseline_alpha < 1`, and the
+    /// slack/decision parameters are positive.
+    #[must_use]
+    pub fn new(baseline_alpha: f64, sigma: f64, slack: f64, decision: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(
+            baseline_alpha > 0.0 && baseline_alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(slack > 0.0 && decision > 0.0, "k and h must be positive");
+        Self {
+            baseline_alpha,
+            sigma,
+            slack,
+            decision,
+            baseline: 0.0,
+            hi: 0.0,
+            lo: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Feeds one reading; returns whether the CUSUM crossed the
+    /// decision interval (alarm).
+    pub fn push(&mut self, x: f64) -> bool {
+        if !self.primed {
+            self.baseline = x;
+            self.primed = true;
+            return false;
+        }
+        let z = (x - self.baseline) / self.sigma;
+        self.hi = (self.hi + z - self.slack).max(0.0);
+        self.lo = (self.lo - z - self.slack).max(0.0);
+        // Baseline adapts slowly so genuine drifts accumulate before
+        // being absorbed.
+        self.baseline += self.baseline_alpha * (x - self.baseline);
+        self.hi > self.decision || self.lo > self.decision
+    }
+
+    /// Current CUSUM magnitudes `(hi, lo)`.
+    #[must_use]
+    pub fn state(&self) -> (f64, f64) {
+        (self.hi, self.lo)
+    }
+
+    /// Resets the accumulators (after an alarm was handled).
+    pub fn reset(&mut self) {
+        self.hi = 0.0;
+        self.lo = 0.0;
+    }
+}
+
+/// A per-rack drift detector over the inlet/outlet/flow channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumDetector {
+    /// Inlet-temperature channel.
+    pub inlet: CusumChannel,
+    /// Outlet-temperature channel.
+    pub outlet: CusumChannel,
+    /// Flow channel.
+    pub flow: CusumChannel,
+}
+
+impl CusumDetector {
+    /// A Mira-plausible tuning: σ from the sensor-noise scales, slack
+    /// 0.5 σ, decision interval 8 σ of accumulated drift.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            inlet: CusumChannel::new(0.01, 0.12, 0.5, 8.0),
+            outlet: CusumChannel::new(0.01, 0.25, 0.5, 8.0),
+            flow: CusumChannel::new(0.01, 0.30, 0.5, 10.0),
+        }
+    }
+
+    /// Feeds one coolant-monitor sample; true if any channel alarms.
+    pub fn push(&mut self, sample: &CoolantMonitorSample) -> bool {
+        let a = self.inlet.push(sample.inlet.value());
+        let b = self.outlet.push(sample.outlet.value());
+        let c = self.flow.push(sample.flow.value());
+        a || b || c
+    }
+
+    /// Evaluates the detector like the other baselines: replay the
+    /// trailing window ending at each balanced sample point and predict
+    /// positive if any sample alarms.
+    #[must_use]
+    pub fn evaluate_at<P: TelemetryProvider>(
+        provider: &P,
+        builder: &DatasetBuilder,
+        lead: Duration,
+    ) -> BinaryMetrics {
+        let step = provider.interval();
+        let window = builder.features().window;
+        let n = (window.as_seconds() / step.as_seconds()).max(2);
+        let mut metrics = BinaryMetrics::new();
+        for (rack, end, positive) in builder.sample_points(lead) {
+            // Warm the baseline on the preceding (healthy) stretch, then
+            // watch the window.
+            let mut det = Self::mira();
+            let warm_start = end - window - window;
+            for k in 0..n {
+                det.push(&provider.sample(rack, warm_start + step * k));
+            }
+            det.inlet.reset();
+            det.outlet.reset();
+            det.flow.reset();
+            let start = end - window;
+            let predicted =
+                (0..n).any(|k| det.push(&provider.sample(rack, start + step * k)));
+            metrics.record(predicted, positive);
+        }
+        metrics
+    }
+}
+
+impl Default for CusumDetector {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_quiet_on_noise() {
+        let mut ch = CusumChannel::new(0.02, 0.1, 0.5, 8.0);
+        // Deterministic pseudo-noise around 64.
+        let mut alarms = 0;
+        for k in 0..2000u64 {
+            let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let noise = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.2;
+            if ch.push(64.0 + noise) {
+                alarms += 1;
+                ch.reset();
+            }
+        }
+        assert!(alarms <= 1, "{alarms} false alarms on pure noise");
+    }
+
+    #[test]
+    fn catches_a_slow_drift() {
+        let mut ch = CusumChannel::new(0.01, 0.1, 0.5, 8.0);
+        for _ in 0..200 {
+            assert!(!ch.push(64.0));
+        }
+        // A 0.02 F/sample downward drift: far below any plausible static
+        // threshold but 0.2 σ per step of sustained signal.
+        let mut fired = false;
+        let mut x = 64.0;
+        for _ in 0..200 {
+            x -= 0.02;
+            if ch.push(x) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "CUSUM must catch a sustained drift");
+    }
+
+    #[test]
+    fn step_change_fires_fast() {
+        let mut ch = CusumChannel::new(0.01, 0.1, 0.5, 8.0);
+        for _ in 0..100 {
+            ch.push(64.0);
+        }
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if ch.push(62.0) {
+                break;
+            }
+            assert!(steps < 20, "step change took too long");
+        }
+        assert!(steps <= 2, "20 σ step should fire almost immediately");
+    }
+
+    #[test]
+    fn two_sided_detection() {
+        let mut up = CusumChannel::new(0.01, 0.1, 0.5, 8.0);
+        let mut down = up;
+        for _ in 0..100 {
+            up.push(64.0);
+            down.push(64.0);
+        }
+        let mut fired_up = false;
+        let mut fired_down = false;
+        for k in 0..100 {
+            let d = f64::from(k) * 0.03;
+            fired_up |= up.push(64.0 + d);
+            fired_down |= down.push(64.0 - d);
+        }
+        assert!(fired_up && fired_down);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ch = CusumChannel::new(0.01, 0.1, 0.5, 8.0);
+        ch.push(64.0);
+        for _ in 0..50 {
+            ch.push(63.0);
+        }
+        assert!(ch.state().1 > 0.0);
+        ch.reset();
+        assert_eq!(ch.state(), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_bad_sigma() {
+        let _ = CusumChannel::new(0.01, 0.0, 0.5, 8.0);
+    }
+}

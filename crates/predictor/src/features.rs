@@ -1,0 +1,229 @@
+//! Windowed change-features over the coolant-monitor channels.
+//!
+//! The paper's key observation (Sec. VI-D) is that *levels* of the
+//! coolant metrics are not informative — they stay high through perfectly
+//! healthy high-utilization periods — while their *changes* over the
+//! trailing hours are. The default feature mode therefore encodes
+//! relative changes across segments of the trailing window; the
+//! levels-only mode exists to reproduce the ablation showing why
+//! threshold-based monitoring falls short.
+
+use serde::{Deserialize, Serialize};
+
+use mira_cooling::CoolantMonitorSample;
+use mira_timeseries::Duration;
+
+/// How raw channel values become features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureMode {
+    /// Relative changes of each window segment from the window's start —
+    /// the paper's approach.
+    Deltas,
+    /// Delta features over rack-vs-floor-median channel *ratios*.
+    ///
+    /// A failure precursor moves one rack's coolant; an economizer or
+    /// weather swing moves all 48 together. Dividing each channel by
+    /// the floor median before taking deltas cancels that common mode —
+    /// the feature-engineering step that makes the predictor deployable
+    /// through transitional-season weather (and a concrete instance of
+    /// the paper's "use the overall coolant telemetry" suggestion).
+    DifferentialDeltas,
+    /// Only the *current* channel readings (the final segment's means) —
+    /// what a threshold-based monitor inspects. The paper's Sec. VI-D
+    /// argues this is insufficient: levels stay high through healthy
+    /// high-utilization periods and drift with season and calibration,
+    /// masking the faint early signatures that changes expose.
+    Levels,
+}
+
+/// Feature-extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Length of the trailing telemetry window (the paper uses 6 h).
+    pub window: Duration,
+    /// Number of segments the window is divided into; features are
+    /// per-channel per-segment.
+    pub segments: usize,
+    /// Feature mode.
+    pub mode: FeatureMode,
+}
+
+impl FeatureConfig {
+    /// The paper's configuration: six hours, six segments, delta
+    /// features — 36 features over the 6 channels.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            window: Duration::from_hours(6),
+            segments: 6,
+            mode: FeatureMode::Deltas,
+        }
+    }
+
+    /// Number of features produced.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        match self.mode {
+            FeatureMode::Deltas | FeatureMode::DifferentialDeltas => 6 * self.segments,
+            FeatureMode::Levels => 6,
+        }
+    }
+
+    /// Extracts the feature vector from a time-ordered window of
+    /// samples (all from one rack). [`FeatureMode::DifferentialDeltas`]
+    /// needs the floor medians too — use
+    /// [`FeatureConfig::extract_rows`] (or
+    /// [`crate::DatasetBuilder::window_features`], which handles it).
+    ///
+    /// Returns `None` when there are too few samples to fill every
+    /// segment (at least one sample per segment is required).
+    #[must_use]
+    pub fn extract(&self, window: &[CoolantMonitorSample]) -> Option<Vec<f64>> {
+        let rows: Vec<[f64; 6]> = window.iter().map(CoolantMonitorSample::channels).collect();
+        self.extract_rows(&rows)
+    }
+
+    /// Extracts features from pre-assembled channel rows (one `[f64; 6]`
+    /// per timestep). For [`FeatureMode::DifferentialDeltas`] the rows
+    /// must already be rack-over-median ratios.
+    #[must_use]
+    pub fn extract_rows(&self, window: &[[f64; 6]]) -> Option<Vec<f64>> {
+        if window.len() < self.segments.max(2) {
+            return None;
+        }
+        // Segment means per channel.
+        let seg_len = window.len() as f64 / self.segments as f64;
+        let mut seg_means = vec![[0.0f64; 6]; self.segments];
+        let mut seg_counts = vec![0u32; self.segments];
+        for (i, ch) in window.iter().enumerate() {
+            let seg = ((i as f64 / seg_len) as usize).min(self.segments - 1);
+            for c in 0..6 {
+                seg_means[seg][c] += ch[c];
+            }
+            seg_counts[seg] += 1;
+        }
+        for (seg, count) in seg_means.iter_mut().zip(&seg_counts) {
+            if *count == 0 {
+                return None;
+            }
+            for v in seg.iter_mut() {
+                *v /= f64::from(*count);
+            }
+        }
+
+        let mut features = Vec::with_capacity(self.feature_count());
+        match self.mode {
+            FeatureMode::Deltas | FeatureMode::DifferentialDeltas => {
+                // Relative change of each segment mean from the window's
+                // first segment (the "healthy baseline"), per channel.
+                for c in 0..6 {
+                    let base = seg_means[0][c];
+                    let denom = base.abs().max(1e-6);
+                    for seg in seg_means.iter() {
+                        features.push((seg[c] - base) / denom);
+                    }
+                }
+            }
+            FeatureMode::Levels => {
+                let last = seg_means.last().expect("segments exist");
+                features.extend_from_slice(last);
+            }
+        }
+        Some(features)
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_facility::RackId;
+    use mira_timeseries::{Date, SimTime};
+    use mira_units::{Fahrenheit, Gpm, Kilowatts, RelHumidity};
+
+    fn sample(t_offset: i64, inlet: f64) -> CoolantMonitorSample {
+        CoolantMonitorSample {
+            time: SimTime::from_date(Date::new(2016, 5, 1))
+                + Duration::from_seconds(t_offset * 300),
+            rack: RackId::new(0, 0),
+            dc_temperature: Fahrenheit::new(80.0),
+            dc_humidity: RelHumidity::new(33.0),
+            flow: Gpm::new(26.0),
+            inlet: Fahrenheit::new(inlet),
+            outlet: Fahrenheit::new(79.0),
+            power: Kilowatts::new(58.0),
+        }
+    }
+
+    #[test]
+    fn mira_config_produces_36_features() {
+        let cfg = FeatureConfig::mira();
+        assert_eq!(cfg.feature_count(), 36);
+        let window: Vec<CoolantMonitorSample> = (0..72).map(|i| sample(i, 64.0)).collect();
+        let f = cfg.extract(&window).expect("full window");
+        assert_eq!(f.len(), 36);
+    }
+
+    #[test]
+    fn flat_telemetry_gives_zero_deltas() {
+        let cfg = FeatureConfig::mira();
+        let window: Vec<CoolantMonitorSample> = (0..72).map(|i| sample(i, 64.0)).collect();
+        let f = cfg.extract(&window).unwrap();
+        assert!(f.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn inlet_drop_shows_in_inlet_features_only() {
+        let cfg = FeatureConfig::mira();
+        // Inlet sags 7 % over the window; everything else flat.
+        let window: Vec<CoolantMonitorSample> = (0..72)
+            .map(|i| sample(i, 64.0 * (1.0 - 0.07 * i as f64 / 71.0)))
+            .collect();
+        let f = cfg.extract(&window).unwrap();
+        // Channels are [dc_temp, dc_rh, flow, inlet, outlet, power]; 6
+        // segment features each. Inlet occupies indices 18..24.
+        let inlet_last = f[23];
+        assert!(inlet_last < -0.04, "inlet delta {inlet_last}");
+        for (i, v) in f.iter().enumerate() {
+            if !(18..24).contains(&i) {
+                assert!(v.abs() < 1e-9, "leak at {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_mode_reports_current_readings_only() {
+        let cfg = FeatureConfig {
+            mode: FeatureMode::Levels,
+            ..FeatureConfig::mira()
+        };
+        assert_eq!(cfg.feature_count(), 6);
+        let window: Vec<CoolantMonitorSample> = (0..72).map(|i| sample(i, 64.0)).collect();
+        let f = cfg.extract(&window).unwrap();
+        assert_eq!(f.len(), 6);
+        // Channel order: [dc_temp, dc_rh, flow, inlet, outlet, power].
+        assert!((f[3] - 64.0).abs() < 1e-9, "inlet level {}", f[3]);
+        assert!((f[2] - 26.0).abs() < 1e-9, "flow level {}", f[2]);
+    }
+
+    #[test]
+    fn short_window_is_rejected() {
+        let cfg = FeatureConfig::mira();
+        let window: Vec<CoolantMonitorSample> = (0..3).map(|i| sample(i, 64.0)).collect();
+        assert!(cfg.extract(&window).is_none());
+    }
+
+    #[test]
+    fn uneven_segment_fill_still_works() {
+        let cfg = FeatureConfig::mira();
+        // 71 samples across 6 segments: not divisible.
+        let window: Vec<CoolantMonitorSample> = (0..71).map(|i| sample(i, 64.0)).collect();
+        let f = cfg.extract(&window).unwrap();
+        assert_eq!(f.len(), 36);
+    }
+}

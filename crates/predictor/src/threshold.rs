@@ -1,0 +1,153 @@
+//! The threshold-detector baseline — Sec. VI-D's strawman, implemented.
+//!
+//! "Typical data center monitoring infrastructure monitors temperature,
+//! pressure and humidity levels ... there are set threshold levels and
+//! the system throws off warnings when the corresponding threshold
+//! levels are crossed. However ... not only the level of cooling
+//! metrics, but more importantly the change in their values are key
+//! features for detecting abnormalities."
+//!
+//! [`ThresholdDetector`] is that typical infrastructure: static warning
+//! thresholds on the *current* readings, checked once per sample. It is
+//! a genuine, tunable baseline — evaluated on exactly the same balanced
+//! sample points as the neural predictor — and it loses exactly where
+//! the paper says it must: at long lead times, where the precursor is a
+//! sub-percent drift that no safe static threshold can separate from
+//! healthy variation.
+
+use serde::{Deserialize, Serialize};
+
+use mira_nn::BinaryMetrics;
+use mira_timeseries::Duration;
+use mira_units::{Fahrenheit, Gpm};
+
+use crate::dataset::{DatasetBuilder, TelemetryProvider};
+
+/// Static warning thresholds on current coolant readings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdDetector {
+    /// Warn when the inlet runs colder than this (over-chilled loop —
+    /// the condensation precursor).
+    pub min_inlet: Fahrenheit,
+    /// Warn when the inlet runs hotter than this.
+    pub max_inlet: Fahrenheit,
+    /// Warn when the outlet runs hotter than this.
+    pub max_outlet: Fahrenheit,
+    /// Warn when flow drops below this.
+    pub min_flow: Gpm,
+    /// Warn when the condensation margin falls below this.
+    pub min_margin: Fahrenheit,
+}
+
+impl ThresholdDetector {
+    /// A production-plausible tuning: tight enough to catch the visible
+    /// (−7 %) inlet sag, loose enough not to fire on seasonal variation
+    /// (the winter economizer runs the inlet ≈1.3 °F warm, and control
+    /// noise adds ≈±0.5 °F).
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            min_inlet: Fahrenheit::new(62.0),
+            max_inlet: Fahrenheit::new(68.0),
+            max_outlet: Fahrenheit::new(86.0),
+            min_flow: Gpm::new(20.0),
+            min_margin: Fahrenheit::new(6.0),
+        }
+    }
+
+    /// Whether a sample trips any warning threshold.
+    #[must_use]
+    pub fn warns(&self, sample: &mira_cooling::CoolantMonitorSample) -> bool {
+        sample.inlet < self.min_inlet
+            || sample.inlet > self.max_inlet
+            || sample.outlet > self.max_outlet
+            || sample.flow < self.min_flow
+            || sample.condensation_margin() < self.min_margin
+    }
+
+    /// Evaluates the detector at a lead time on the same balanced
+    /// points the neural predictor uses: positive if any of the last
+    /// `probe_samples` readings before the window end warns.
+    #[must_use]
+    pub fn evaluate_at<P: TelemetryProvider>(
+        &self,
+        provider: &P,
+        builder: &DatasetBuilder,
+        lead: Duration,
+        probe_samples: usize,
+    ) -> BinaryMetrics {
+        let step = provider.interval();
+        let mut metrics = BinaryMetrics::new();
+        for (rack, end, positive) in builder.sample_points(lead) {
+            let predicted = (0..probe_samples.max(1)).any(|k| {
+                let sample = provider.sample(rack, end - step * k as i64);
+                self.warns(&sample)
+            });
+            metrics.record(predicted, positive);
+        }
+        metrics
+    }
+}
+
+impl Default for ThresholdDetector {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_cooling::CoolantMonitorSample;
+    use mira_facility::RackId;
+    use mira_timeseries::{Date, SimTime};
+    use mira_units::{Kilowatts, RelHumidity};
+
+    fn sample(inlet: f64, flow: f64, outlet: f64) -> CoolantMonitorSample {
+        CoolantMonitorSample {
+            time: SimTime::from_date(Date::new(2016, 5, 1)),
+            rack: RackId::new(0, 0),
+            dc_temperature: Fahrenheit::new(80.0),
+            dc_humidity: RelHumidity::new(33.0),
+            flow: Gpm::new(flow),
+            inlet: Fahrenheit::new(inlet),
+            outlet: Fahrenheit::new(outlet),
+            power: Kilowatts::new(58.0),
+        }
+    }
+
+    #[test]
+    fn healthy_readings_stay_quiet() {
+        let det = ThresholdDetector::mira();
+        assert!(!det.warns(&sample(64.0, 26.0, 79.0)));
+        // Winter economizer uplift does not fire it.
+        assert!(!det.warns(&sample(65.5, 26.0, 80.5)));
+    }
+
+    #[test]
+    fn deep_inlet_sag_warns() {
+        let det = ThresholdDetector::mira();
+        // The -7 % trough: 64 -> 59.5 F.
+        assert!(det.warns(&sample(59.5, 26.0, 74.0)));
+    }
+
+    #[test]
+    fn faint_early_drift_does_not_warn() {
+        let det = ThresholdDetector::mira();
+        // The sub-1 % drift 5-6 h out: 64 -> 63.5 F. Invisible to a
+        // threshold that must tolerate 62-68 F as normal.
+        assert!(!det.warns(&sample(63.5, 26.0, 78.5)));
+    }
+
+    #[test]
+    fn flow_collapse_warns() {
+        let det = ThresholdDetector::mira();
+        assert!(det.warns(&sample(64.0, 14.0, 79.0)));
+    }
+
+    #[test]
+    fn hot_outlet_warns() {
+        let det = ThresholdDetector::mira();
+        assert!(det.warns(&sample(64.0, 26.0, 88.0)));
+    }
+}

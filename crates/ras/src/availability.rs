@@ -1,0 +1,186 @@
+//! Rack up/down bookkeeping.
+//!
+//! A rack that trips on a fatal coolant event has its solenoid valve
+//! closed and its power cut; bringing it back takes up to six hours. A
+//! rack hit by a non-CMF fatal recovers in about an hour. The tracker
+//! stores per-rack outage *intervals* (merging overlaps), so the
+//! simulator can ask "was this rack up at time t?" for any instant, past
+//! or future.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::{Duration, SimTime};
+
+/// Tracks per-rack outage intervals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RackAvailability {
+    /// Per-rack outage intervals `[start, end)`, sorted and disjoint.
+    outages: Vec<Vec<(SimTime, SimTime)>>,
+}
+
+/// Worst-case recovery after a coolant monitor failure.
+pub const CMF_RECOVERY: Duration = Duration::from_hours(6);
+
+/// Typical recovery after a non-CMF fatal failure.
+pub const NON_CMF_RECOVERY: Duration = Duration::from_hours(1);
+
+impl RackAvailability {
+    /// Creates a tracker with every rack up.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            outages: vec![Vec::new(); RackId::COUNT],
+        }
+    }
+
+    /// Records an outage of `rack` over `[from, from + outage)`,
+    /// merging with any overlapping intervals.
+    pub fn mark_down(&mut self, rack: RackId, from: SimTime, outage: Duration) {
+        let mut start = from;
+        let mut end = from + outage;
+        let intervals = &mut self.outages[rack.index()];
+        // Remove every interval overlapping [start, end) and absorb it.
+        intervals.retain(|&(s, e)| {
+            let overlaps = s <= end && e >= start;
+            if overlaps {
+                if s < start {
+                    start = s;
+                }
+                if e > end {
+                    end = e;
+                }
+            }
+            !overlaps
+        });
+        let pos = intervals.partition_point(|&(s, _)| s < start);
+        intervals.insert(pos, (start, end));
+    }
+
+    /// Marks a CMF outage (6 h recovery).
+    pub fn mark_cmf(&mut self, rack: RackId, at: SimTime) {
+        self.mark_down(rack, at, CMF_RECOVERY);
+    }
+
+    /// Marks a non-CMF fatal outage (1 h recovery).
+    pub fn mark_non_cmf(&mut self, rack: RackId, at: SimTime) {
+        self.mark_down(rack, at, NON_CMF_RECOVERY);
+    }
+
+    /// Whether `rack` is up at `t`.
+    #[must_use]
+    pub fn is_up(&self, rack: RackId, t: SimTime) -> bool {
+        let intervals = &self.outages[rack.index()];
+        let idx = intervals.partition_point(|&(s, _)| s <= t);
+        if idx == 0 {
+            return true;
+        }
+        let (_, end) = intervals[idx - 1];
+        t >= end
+    }
+
+    /// Number of racks up at `t`.
+    #[must_use]
+    pub fn racks_up(&self, t: SimTime) -> usize {
+        RackId::all().filter(|&r| self.is_up(r, t)).count()
+    }
+
+    /// Total downtime accumulated by `rack`.
+    #[must_use]
+    pub fn total_downtime(&self, rack: RackId) -> Duration {
+        self.outages[rack.index()]
+            .iter()
+            .fold(Duration::ZERO, |acc, &(s, e)| acc + (e - s))
+    }
+
+    /// The outage intervals of `rack`, sorted and disjoint.
+    #[must_use]
+    pub fn outages(&self, rack: RackId) -> &[(SimTime, SimTime)] {
+        &self.outages[rack.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::new(2016, 3, 1))
+    }
+
+    #[test]
+    fn fresh_tracker_is_all_up() {
+        let a = RackAvailability::new();
+        assert_eq!(a.racks_up(t0()), 48);
+        assert!(a.is_up(RackId::new(1, 4), t0()));
+    }
+
+    #[test]
+    fn cmf_takes_rack_down_for_six_hours() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(0, 3);
+        a.mark_cmf(r, t0());
+        assert!(!a.is_up(r, t0()));
+        assert!(!a.is_up(r, t0() + Duration::from_hours(5)));
+        assert!(a.is_up(r, t0() + Duration::from_hours(6)));
+        assert_eq!(a.racks_up(t0()), 47);
+    }
+
+    #[test]
+    fn up_before_and_between_outages() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(0, 4);
+        a.mark_cmf(r, t0());
+        a.mark_cmf(r, t0() + Duration::from_days(30));
+        // Before the first outage.
+        assert!(a.is_up(r, t0() - Duration::from_hours(1)));
+        // Between the two outages — the regression that motivated the
+        // interval representation.
+        assert!(a.is_up(r, t0() + Duration::from_days(10)));
+        // During the second.
+        assert!(!a.is_up(r, t0() + Duration::from_days(30) + Duration::from_hours(2)));
+    }
+
+    #[test]
+    fn non_cmf_recovers_in_an_hour() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(2, 9);
+        a.mark_non_cmf(r, t0());
+        assert!(!a.is_up(r, t0() + Duration::from_minutes(59)));
+        assert!(a.is_up(r, t0() + Duration::from_hours(1)));
+    }
+
+    #[test]
+    fn overlapping_outages_merge_and_extend() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(1, 1);
+        a.mark_cmf(r, t0());
+        a.mark_cmf(r, t0() + Duration::from_hours(3));
+        assert!(!a.is_up(r, t0() + Duration::from_hours(8)));
+        assert!(a.is_up(r, t0() + Duration::from_hours(9)));
+        assert_eq!(a.total_downtime(r), Duration::from_hours(9));
+        assert_eq!(a.outages(r).len(), 1, "merged into one interval");
+    }
+
+    #[test]
+    fn contained_outage_does_not_shrink() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(1, 2);
+        a.mark_cmf(r, t0());
+        a.mark_non_cmf(r, t0() + Duration::from_hours(1));
+        assert!(!a.is_up(r, t0() + Duration::from_hours(5)));
+        assert_eq!(a.total_downtime(r), Duration::from_hours(6));
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_fine() {
+        let mut a = RackAvailability::new();
+        let r = RackId::new(0, 15);
+        a.mark_non_cmf(r, t0() + Duration::from_days(3));
+        a.mark_non_cmf(r, t0());
+        assert_eq!(a.total_downtime(r), Duration::from_hours(2));
+        assert_eq!(a.outages(r).len(), 2);
+        assert!(a.is_up(r, t0() + Duration::from_days(1)));
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's failure-counting methodology.
+//!
+//! A RAS storm logs thousands of messages for one physical event, and a
+//! tripped rack keeps re-logging until it is recovered. The paper counts
+//! failures per rack with a suppression window: after the first fatal
+//! CMF on a rack, further CMFs on the *same rack* within **six hours**
+//! (the worst-case recovery time) are the same failure; for non-CMF
+//! fatals the window is **one hour** (typical recovery). The window is
+//! per-rack, not global, precisely so a storm that takes down eight racks
+//! counts as eight failures.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::{Duration, SimTime};
+
+use crate::event::{RasEvent, Severity};
+
+/// Streaming de-duplicator implementing the per-rack suppression windows.
+///
+/// ```
+/// use mira_facility::RackId;
+/// use mira_ras::{FailureDeduplicator, FailureKind, RasEvent};
+/// use mira_timeseries::{Date, Duration, SimTime};
+///
+/// let mut dedup = FailureDeduplicator::mira();
+/// let t = SimTime::from_date(Date::new(2016, 3, 1));
+/// let r = RackId::new(0, 0);
+/// let first = RasEvent::fatal(t, r, FailureKind::CoolantMonitor);
+/// let echo = RasEvent::fatal(t + Duration::from_hours(2), r, FailureKind::CoolantMonitor);
+/// assert!(dedup.admit(&first));
+/// assert!(!dedup.admit(&echo), "same rack within six hours");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDeduplicator {
+    cmf_window: Duration,
+    non_cmf_window: Duration,
+    last_cmf: Vec<Option<SimTime>>,
+    last_non_cmf: Vec<Option<SimTime>>,
+}
+
+impl FailureDeduplicator {
+    /// The paper's windows: 6 h for CMFs, 1 h for other failures.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self::new(Duration::from_hours(6), Duration::from_hours(1))
+    }
+
+    /// Creates a de-duplicator with custom windows (for the
+    /// window-sensitivity ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is negative.
+    #[must_use]
+    pub fn new(cmf_window: Duration, non_cmf_window: Duration) -> Self {
+        assert!(!cmf_window.is_negative(), "CMF window must be non-negative");
+        assert!(
+            !non_cmf_window.is_negative(),
+            "non-CMF window must be non-negative"
+        );
+        Self {
+            cmf_window,
+            non_cmf_window,
+            last_cmf: vec![None; RackId::COUNT],
+            last_non_cmf: vec![None; RackId::COUNT],
+        }
+    }
+
+    /// Feeds one event (must be fed in time order); returns whether the
+    /// event counts as a *new* failure under the methodology.
+    ///
+    /// Warn-severity events never count.
+    pub fn admit(&mut self, event: &RasEvent) -> bool {
+        if event.severity != Severity::Fatal {
+            return false;
+        }
+        let idx = event.rack.index();
+        let (window, slot) = if event.kind.is_cmf() {
+            (self.cmf_window, &mut self.last_cmf[idx])
+        } else {
+            (self.non_cmf_window, &mut self.last_non_cmf[idx])
+        };
+        if let Some(last) = *slot {
+            if event.time - last < window {
+                return false;
+            }
+        }
+        *slot = Some(event.time);
+        true
+    }
+
+    /// Applies the methodology to a time-ordered event stream, returning
+    /// the counted failures.
+    #[must_use]
+    pub fn filter(&mut self, events: &[RasEvent]) -> Vec<RasEvent> {
+        events
+            .iter()
+            .filter(|e| self.admit(e))
+            .copied()
+            .collect()
+    }
+}
+
+impl Default for FailureDeduplicator {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FailureKind;
+    use mira_timeseries::Date;
+    use proptest::prelude::*;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::new(2016, 3, 1))
+    }
+
+    #[test]
+    fn warns_never_count() {
+        let mut d = FailureDeduplicator::mira();
+        let e = RasEvent::warn(t0(), RackId::new(0, 0), FailureKind::CoolantMonitor);
+        assert!(!d.admit(&e));
+        // And they do not open a suppression window.
+        let f = RasEvent::fatal(t0(), RackId::new(0, 0), FailureKind::CoolantMonitor);
+        assert!(d.admit(&f));
+    }
+
+    #[test]
+    fn per_rack_windows_are_independent() {
+        let mut d = FailureDeduplicator::mira();
+        let a = RasEvent::fatal(t0(), RackId::new(0, 0), FailureKind::CoolantMonitor);
+        let b = RasEvent::fatal(
+            t0() + Duration::from_minutes(5),
+            RackId::new(0, 1),
+            FailureKind::CoolantMonitor,
+        );
+        assert!(d.admit(&a));
+        assert!(d.admit(&b), "different rack is a different failure");
+    }
+
+    #[test]
+    fn cmf_window_is_six_hours() {
+        let mut d = FailureDeduplicator::mira();
+        let r = RackId::new(1, 8);
+        assert!(d.admit(&RasEvent::fatal(t0(), r, FailureKind::CoolantMonitor)));
+        assert!(!d.admit(&RasEvent::fatal(
+            t0() + Duration::from_hours(5),
+            r,
+            FailureKind::CoolantMonitor
+        )));
+        assert!(d.admit(&RasEvent::fatal(
+            t0() + Duration::from_hours(6),
+            r,
+            FailureKind::CoolantMonitor
+        )));
+    }
+
+    #[test]
+    fn non_cmf_window_is_one_hour() {
+        let mut d = FailureDeduplicator::mira();
+        let r = RackId::new(2, 2);
+        assert!(d.admit(&RasEvent::fatal(t0(), r, FailureKind::AcToDcPower)));
+        assert!(!d.admit(&RasEvent::fatal(
+            t0() + Duration::from_minutes(30),
+            r,
+            FailureKind::AcToDcPower
+        )));
+        assert!(d.admit(&RasEvent::fatal(
+            t0() + Duration::from_minutes(61),
+            r,
+            FailureKind::AcToDcPower
+        )));
+    }
+
+    #[test]
+    fn cmf_and_non_cmf_windows_are_separate() {
+        let mut d = FailureDeduplicator::mira();
+        let r = RackId::new(0, 5);
+        assert!(d.admit(&RasEvent::fatal(t0(), r, FailureKind::CoolantMonitor)));
+        // A power failure on the same rack right after still counts.
+        assert!(d.admit(&RasEvent::fatal(
+            t0() + Duration::from_minutes(10),
+            r,
+            FailureKind::AcToDcPower
+        )));
+    }
+
+    #[test]
+    fn storm_counts_one_failure_per_rack() {
+        // 1000 CMFs across 8 racks within minutes: the paper's example —
+        // eight failures, not one, not a thousand.
+        let mut events = Vec::new();
+        for k in 0..1000u32 {
+            let rack = RackId::from_index((k % 8) as usize);
+            events.push(RasEvent::fatal(
+                t0() + Duration::from_seconds(i64::from(k)),
+                rack,
+                FailureKind::CoolantMonitor,
+            ));
+        }
+        let mut d = FailureDeduplicator::mira();
+        assert_eq!(d.filter(&events).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "CMF window must be non-negative")]
+    fn rejects_negative_window() {
+        let _ = FailureDeduplicator::new(Duration::from_hours(-1), Duration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn dedup_is_idempotent(offsets in proptest::collection::vec(0i64..100_000, 1..80)) {
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            let events: Vec<RasEvent> = sorted
+                .iter()
+                .map(|&s| RasEvent::fatal(
+                    t0() + Duration::from_seconds(s),
+                    RackId::new(1, 1),
+                    FailureKind::CoolantMonitor,
+                ))
+                .collect();
+            let first = FailureDeduplicator::mira().filter(&events);
+            let second = FailureDeduplicator::mira().filter(&first);
+            prop_assert_eq!(first, second);
+        }
+
+        #[test]
+        fn admitted_events_respect_window(offsets in proptest::collection::vec(0i64..500_000, 1..100)) {
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            let events: Vec<RasEvent> = sorted
+                .iter()
+                .map(|&s| RasEvent::fatal(
+                    t0() + Duration::from_seconds(s),
+                    RackId::new(0, 7),
+                    FailureKind::CoolantMonitor,
+                ))
+                .collect();
+            let kept = FailureDeduplicator::mira().filter(&events);
+            for pair in kept.windows(2) {
+                prop_assert!(pair[1].time - pair[0].time >= Duration::from_hours(6));
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Hazard-shape analysis: is the failure process a bathtub?
+//!
+//! The paper's Sec. VI-A observes that CMFs "do not exhibit traditional
+//! bathtub-like behavior" — failures neither concentrate in an infant-
+//! mortality phase nor in a wear-out phase; they cluster around an
+//! operational event (the 2016 Theta integration). This module provides
+//! the tooling to *test* that claim on a failure record: a Weibull
+//! maximum-likelihood fit over inter-failure times (shape k < 1 means
+//! decreasing hazard, k > 1 increasing — a bathtub needs both phases),
+//! plus a phase-rate comparison.
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::{Duration, SimTime};
+
+/// A fitted Weibull distribution over inter-failure gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullFit {
+    /// Shape parameter `k` (1 = memoryless/exponential).
+    pub shape: f64,
+    /// Scale parameter `λ`, in hours.
+    pub scale_hours: f64,
+    /// Number of gaps fitted.
+    pub samples: usize,
+}
+
+impl WeibullFit {
+    /// Fits a Weibull distribution to positive gap durations by maximum
+    /// likelihood (Newton iteration on the shape's profile likelihood).
+    ///
+    /// Returns `None` with fewer than three positive gaps.
+    #[must_use]
+    pub fn fit(gaps: &[Duration]) -> Option<Self> {
+        let x: Vec<f64> = gaps
+            .iter()
+            .map(|d| d.as_hours())
+            .filter(|&h| h > 0.0)
+            .collect();
+        if x.len() < 3 {
+            return None;
+        }
+        // Normalize by the geometric mean so the profile-likelihood
+        // equation becomes f(k) = Σ z^k ln z / Σ z^k − 1/k = 0, which is
+        // scale-free and monotone in k — solvable by bisection even for
+        // near-degenerate gap sets.
+        let ln_raw: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        let mean_ln = ln_raw.iter().sum::<f64>() / ln_raw.len() as f64;
+        let ln: Vec<f64> = ln_raw.iter().map(|l| l - mean_ln).collect();
+
+        let f = |k: f64| {
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            for &li in &ln {
+                // z^k computed in log space to avoid overflow.
+                let p = (k * li).exp();
+                s0 += p;
+                s1 += p * li;
+            }
+            s1 / s0 - 1.0 / k
+        };
+
+        // Bracket the root: f is negative for tiny k; expand upward
+        // until positive (capped — near-constant gaps push k very high).
+        let mut lo = 1e-3;
+        let mut hi = 1.0;
+        let cap = 1e4;
+        while f(hi) < 0.0 && hi < cap {
+            lo = hi;
+            hi *= 2.0;
+        }
+        let k = if f(hi) < 0.0 {
+            cap
+        } else {
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if f(mid) < 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+
+        // Scale back on the original data, in log space.
+        let sk = ln_raw
+            .iter()
+            .map(|&l| (k * (l - mean_ln)).exp())
+            .sum::<f64>()
+            / x.len() as f64;
+        let scale_hours = (mean_ln + sk.ln() / k).exp();
+        Some(Self {
+            shape: k,
+            scale_hours,
+            samples: x.len(),
+        })
+    }
+
+    /// Whether the fitted hazard is increasing (wear-out regime).
+    #[must_use]
+    pub fn hazard_increasing(&self) -> bool {
+        self.shape > 1.0
+    }
+}
+
+/// Rates of failure over equal phases of a lifetime — the coarse bathtub
+/// test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRates {
+    /// Failures per day in each consecutive phase.
+    pub per_day: Vec<f64>,
+}
+
+impl PhaseRates {
+    /// Splits `[start, end)` into `phases` equal spans and computes the
+    /// failure rate in each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0` or the span is empty.
+    #[must_use]
+    pub fn compute(times: &[SimTime], start: SimTime, end: SimTime, phases: usize) -> Self {
+        assert!(phases > 0, "need at least one phase");
+        assert!(start < end, "empty lifetime span");
+        let span = (end - start).as_seconds();
+        let mut counts = vec![0u32; phases];
+        for &t in times {
+            if t >= start && t < end {
+                let idx = ((t - start).as_seconds() * phases as i64 / span) as usize;
+                counts[idx.min(phases - 1)] += 1;
+            }
+        }
+        let phase_days = span as f64 / 86_400.0 / phases as f64;
+        Self {
+            per_day: counts.iter().map(|&c| f64::from(c) / phase_days).collect(),
+        }
+    }
+
+    /// A bathtub has its extremes at the edges: first and last phases
+    /// both above every interior phase. Returns whether that holds.
+    #[must_use]
+    pub fn is_bathtub(&self) -> bool {
+        if self.per_day.len() < 3 {
+            return false;
+        }
+        let first = self.per_day[0];
+        let last = *self.per_day.last().expect("non-empty");
+        let interior_max = self.per_day[1..self.per_day.len() - 1]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        first > interior_max && last > interior_max
+    }
+
+    /// Index of the phase with the highest rate.
+    #[must_use]
+    pub fn peak_phase(&self) -> usize {
+        self.per_day
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::CmfSchedule;
+    use mira_timeseries::Date;
+
+    #[test]
+    fn weibull_recovers_exponential_shape() {
+        // Exponential gaps (k = 1): inverse-CDF with deterministic
+        // stratified uniforms.
+        let gaps: Vec<Duration> = (1..200)
+            .map(|i| {
+                let u = f64::from(i) / 200.0;
+                Duration::from_seconds((-u.ln() * 10.0 * 3600.0) as i64)
+            })
+            .collect();
+        let fit = WeibullFit::fit(&gaps).expect("fit");
+        assert!((0.85..1.15).contains(&fit.shape), "shape {}", fit.shape);
+        assert!((7.0..13.0).contains(&fit.scale_hours), "scale {}", fit.scale_hours);
+    }
+
+    #[test]
+    fn weibull_detects_increasing_hazard() {
+        // Near-constant gaps: strongly increasing hazard (large k).
+        let gaps: Vec<Duration> = (0..100)
+            .map(|i| Duration::from_seconds(36_000 + i % 7))
+            .collect();
+        let fit = WeibullFit::fit(&gaps).expect("fit");
+        assert!(fit.shape > 3.0, "shape {}", fit.shape);
+        assert!(fit.hazard_increasing());
+    }
+
+    #[test]
+    fn weibull_needs_samples() {
+        assert!(WeibullFit::fit(&[Duration::from_hours(1)]).is_none());
+        assert!(WeibullFit::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn mira_cmf_record_is_not_a_bathtub() {
+        let schedule = CmfSchedule::generate(3);
+        let times: Vec<SimTime> = schedule.incidents().iter().map(|i| i.time).collect();
+        let rates = PhaseRates::compute(
+            &times,
+            SimTime::from_date(Date::new(2014, 1, 1)),
+            SimTime::from_date(Date::new(2020, 1, 1)),
+            6,
+        );
+        assert!(!rates.is_bathtub(), "rates {:?}", rates.per_day);
+        // The peak is the Theta year (phase 2 = 2016), not the edges.
+        assert_eq!(rates.peak_phase(), 2, "rates {:?}", rates.per_day);
+    }
+
+    #[test]
+    fn clustered_failures_give_sub_exponential_shape() {
+        // Mira's gaps mix short (burst) and very long (quiet years):
+        // over-dispersed, so the Weibull shape is well below 1.
+        let schedule = CmfSchedule::generate(3);
+        let times: Vec<SimTime> = schedule.incidents().iter().map(|i| i.time).collect();
+        let gaps: Vec<Duration> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let fit = WeibullFit::fit(&gaps).expect("fit");
+        assert!(fit.shape < 1.0, "shape {} (clustering!)", fit.shape);
+    }
+
+    #[test]
+    fn synthetic_bathtub_is_detected() {
+        // High rates at both ends, quiet middle.
+        let start = SimTime::from_date(Date::new(2014, 1, 1));
+        let mut times = Vec::new();
+        for d in 0..50 {
+            times.push(start + Duration::from_days(d * 2)); // infancy
+            times.push(start + Duration::from_days(2100 + d * 2)); // wear-out
+        }
+        times.push(start + Duration::from_days(1000)); // sparse middle
+        times.sort();
+        let rates = PhaseRates::compute(
+            &times,
+            start,
+            SimTime::from_date(Date::new(2020, 1, 1)),
+            6,
+        );
+        assert!(rates.is_bathtub(), "rates {:?}", rates.per_day);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one phase")]
+    fn zero_phases_rejected() {
+        let _ = PhaseRates::compute(
+            &[],
+            SimTime::from_date(Date::new(2014, 1, 1)),
+            SimTime::from_date(Date::new(2015, 1, 1)),
+            0,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! RAS event log, coolant-monitor-failure engine, and storm cascades.
+//!
+//! Mira's RAS (reliability, availability, serviceability) subsystem logs
+//! every anomalous event with a severity of `warn` or `fatal`. This crate
+//! reproduces the failure phenomenology of the paper's Sec. VI:
+//!
+//! - [`event`] — the RAS record model: [`RasEvent`], [`FailureKind`]
+//!   (coolant monitor, AC-to-DC power, BQC, BQL, clock card, software,
+//!   process), and [`Severity`].
+//! - [`schedule`] — the six-year coolant-monitor-failure (CMF) ground
+//!   truth: 361 rack-level failures, 40 % of them during the 2016 Theta
+//!   integration, a two-year quiet stretch afterwards (no bathtub curve),
+//!   and the Fig. 11 per-rack distribution (14 at `(1, 8)`, 5 at
+//!   `(2, 7)`, nobody else above 9).
+//! - [`cascade`] — RAS storms: one fatal coolant event floods the log
+//!   with thousands of messages across racks linked by the clock tree,
+//!   without spatial locality.
+//! - [`aftermath`] — the elevated non-CMF hazard in the 48 hours after a
+//!   CMF (Fig. 14), with the paper's failure-type mix.
+//! - [`dedup`] — the paper's counting methodology: per-rack 6 h windows
+//!   for CMFs, 1 h for non-CMF failures.
+//! - [`availability`] — rack up/down bookkeeping (up to 6 h to recover a
+//!   rack after a CMF, ≈1 h after other failures).
+//!
+//! # Example
+//!
+//! ```
+//! use mira_ras::CmfSchedule;
+//!
+//! let schedule = CmfSchedule::generate(42);
+//! assert_eq!(schedule.total_rack_failures(), 361);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aftermath;
+pub mod availability;
+pub mod cascade;
+pub mod dedup;
+pub mod event;
+pub mod hazard;
+pub mod log;
+pub mod schedule;
+
+pub use aftermath::AftermathModel;
+pub use hazard::{PhaseRates, WeibullFit};
+pub use availability::RackAvailability;
+pub use cascade::{CascadePlanner, StormIncident};
+pub use dedup::FailureDeduplicator;
+pub use event::{FailureKind, RasEvent, Severity};
+pub use log::RasLog;
+pub use schedule::CmfSchedule;

@@ -1,0 +1,175 @@
+//! The assembled RAS log: raw storms, follow-on failures, and the
+//! counted (de-duplicated) failure record.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::{Duration, SimTime};
+
+use crate::aftermath::AftermathModel;
+use crate::cascade::CascadePlanner;
+use crate::dedup::FailureDeduplicator;
+use crate::event::{FailureKind, RasEvent};
+use crate::schedule::CmfSchedule;
+
+/// The six-year RAS log: every raw message plus the counted failures
+/// under the paper's methodology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RasLog {
+    raw: Vec<RasEvent>,
+    counted: Vec<RasEvent>,
+}
+
+impl RasLog {
+    /// Assembles the full log from a CMF schedule: renders every storm,
+    /// draws the post-CMF follow-on failures, merges, and applies the
+    /// counting methodology.
+    #[must_use]
+    pub fn assemble(schedule: &CmfSchedule, seed: u64) -> Self {
+        let planner = CascadePlanner::new(seed ^ 0x57_0AD5);
+        let aftermath = AftermathModel::new(seed ^ 0xAF_7E12);
+
+        let mut raw = Vec::new();
+        for incident in schedule.incidents() {
+            raw.extend(planner.render(incident).messages);
+            raw.extend(aftermath.events_after(incident));
+        }
+        raw.sort_by_key(|e| e.time);
+
+        let counted = FailureDeduplicator::mira().filter(&raw);
+        Self { raw, counted }
+    }
+
+    /// Every raw RAS message, time-ordered.
+    #[must_use]
+    pub fn raw(&self) -> &[RasEvent] {
+        &self.raw
+    }
+
+    /// The counted failures (fatal, de-duplicated), time-ordered.
+    #[must_use]
+    pub fn counted(&self) -> &[RasEvent] {
+        &self.counted
+    }
+
+    /// Counted CMFs.
+    pub fn counted_cmfs(&self) -> impl Iterator<Item = &RasEvent> {
+        self.counted.iter().filter(|e| e.kind.is_cmf())
+    }
+
+    /// Counted non-CMF failures.
+    pub fn counted_non_cmfs(&self) -> impl Iterator<Item = &RasEvent> {
+        self.counted.iter().filter(|e| !e.kind.is_cmf())
+    }
+
+    /// Counted CMFs per rack.
+    #[must_use]
+    pub fn cmf_by_rack(&self) -> [u32; RackId::COUNT] {
+        let mut counts = [0u32; RackId::COUNT];
+        for e in self.counted_cmfs() {
+            counts[e.rack.index()] += 1;
+        }
+        counts
+    }
+
+    /// Counted CMFs per calendar year over `years`.
+    #[must_use]
+    pub fn cmf_by_year(&self, years: std::ops::RangeInclusive<i32>) -> Vec<(i32, u32)> {
+        years
+            .map(|y| {
+                let n = self
+                    .counted_cmfs()
+                    .filter(|e| e.time.date().year() == y)
+                    .count() as u32;
+                (y, n)
+            })
+            .collect()
+    }
+
+    /// Share of counted non-CMF failures by kind.
+    #[must_use]
+    pub fn non_cmf_type_mix(&self) -> Vec<(FailureKind, f64)> {
+        let total = self.counted_non_cmfs().count() as f64;
+        FailureKind::ALL
+            .into_iter()
+            .filter(|k| !k.is_cmf())
+            .map(|k| {
+                let n = self.counted_non_cmfs().filter(|e| e.kind == k).count() as f64;
+                (k, if total > 0.0 { n / total } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Counted non-CMF failures occurring within `window` after `t`.
+    #[must_use]
+    pub fn non_cmfs_within(&self, t: SimTime, window: Duration) -> usize {
+        self.counted_non_cmfs()
+            .filter(|e| e.time >= t && e.time - t < window)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::TOTAL_FAILURES;
+
+    #[test]
+    fn counted_cmfs_match_schedule() {
+        let schedule = CmfSchedule::generate(11);
+        let log = RasLog::assemble(&schedule, 11);
+        assert_eq!(log.counted_cmfs().count() as u32, TOTAL_FAILURES);
+    }
+
+    #[test]
+    fn raw_log_is_a_flood() {
+        let schedule = CmfSchedule::generate(11);
+        let log = RasLog::assemble(&schedule, 11);
+        assert!(
+            log.raw().len() > 50_000,
+            "raw log has {} messages",
+            log.raw().len()
+        );
+        assert!(log.counted().len() < log.raw().len() / 50);
+    }
+
+    #[test]
+    fn per_rack_counts_survive_assembly() {
+        let schedule = CmfSchedule::generate(12);
+        let log = RasLog::assemble(&schedule, 12);
+        assert_eq!(log.cmf_by_rack(), schedule.failures_by_rack());
+    }
+
+    #[test]
+    fn follow_on_failures_exist_and_mix_is_right() {
+        let schedule = CmfSchedule::generate(13);
+        let log = RasLog::assemble(&schedule, 13);
+        let non_cmf = log.counted_non_cmfs().count();
+        assert!(non_cmf > 100, "follow-ons: {non_cmf}");
+        let mix = log.non_cmf_type_mix();
+        let ac_dc = mix
+            .iter()
+            .find(|(k, _)| *k == FailureKind::AcToDcPower)
+            .unwrap()
+            .1;
+        assert!((0.42..0.58).contains(&ac_dc), "AC-DC share {ac_dc}");
+    }
+
+    #[test]
+    fn yearly_cmf_counts() {
+        let schedule = CmfSchedule::generate(14);
+        let log = RasLog::assemble(&schedule, 14);
+        let by_year = log.cmf_by_year(2014..=2019);
+        assert_eq!(by_year.iter().map(|(_, n)| n).sum::<u32>(), TOTAL_FAILURES);
+        assert_eq!(by_year.iter().find(|(y, _)| *y == 2017).unwrap().1, 0);
+    }
+
+    #[test]
+    fn raw_is_time_ordered() {
+        let schedule = CmfSchedule::generate(15);
+        let log = RasLog::assemble(&schedule, 15);
+        for pair in log.raw().windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! An append-only timestamped series of `f64` readings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{linear_fit, LinearFit, Welford};
+use crate::time::{Duration, SimTime};
+
+/// A time series of `f64` readings with strictly increasing timestamps.
+///
+/// This is the in-memory shape of one telemetry channel (e.g. one rack's
+/// inlet coolant temperature) after recording or resampling.
+///
+/// ```
+/// use mira_timeseries::{Duration, SimTime, TimeSeries};
+///
+/// let t0 = SimTime::from_epoch_seconds(0);
+/// let mut s = TimeSeries::new();
+/// for i in 0..10 {
+///     s.push(t0 + Duration::from_minutes(5 * i), f64::from(i as i32));
+/// }
+/// assert_eq!(s.len(), 10);
+/// assert_eq!(s.mean(), 4.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty series with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            times: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not after the last timestamp.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "timestamps must be strictly increasing");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of readings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The timestamps, in order.
+    #[must_use]
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// The readings, in timestamp order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The first reading, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.first()?, *self.values.first()?))
+    }
+
+    /// The last reading, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Readings with timestamps in `[from, to)`, as a new series.
+    #[must_use]
+    pub fn slice(&self, from: SimTime, to: SimTime) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < from);
+        let end = self.times.partition_point(|&t| t < to);
+        TimeSeries {
+            times: self.times[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// The reading at or immediately before `t`, if any (sample-and-hold).
+    #[must_use]
+    pub fn at_or_before(&self, t: SimTime) -> Option<(SimTime, f64)> {
+        let idx = self.times.partition_point(|&ts| ts <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some((self.times[idx - 1], self.values[idx - 1]))
+        }
+    }
+
+    /// Mean of all readings (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.summary().mean()
+    }
+
+    /// Population standard deviation of all readings.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.summary().stddev()
+    }
+
+    /// Summary statistics over all readings.
+    #[must_use]
+    pub fn summary(&self) -> Welford {
+        self.values.iter().copied().collect()
+    }
+
+    /// OLS trend of value against time-in-days since the first reading.
+    ///
+    /// Returns `None` with fewer than two readings. The slope is in
+    /// value-units per day — the paper's Fig. 2 trend lines.
+    #[must_use]
+    pub fn trend_per_day(&self) -> Option<LinearFit> {
+        let t0 = self.times.first()?;
+        let x: Vec<f64> = self
+            .times
+            .iter()
+            .map(|&t| (t - *t0).as_days())
+            .collect();
+        linear_fit(&x, &self.values)
+    }
+
+    /// Downsamples by averaging readings into consecutive buckets of
+    /// width `bucket`, timestamped at each bucket's start.
+    ///
+    /// Empty buckets are skipped, so the result may be irregular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is not positive.
+    #[must_use]
+    pub fn resample_mean(&self, bucket: Duration) -> TimeSeries {
+        assert!(bucket.as_seconds() > 0, "bucket must be positive");
+        let mut out = TimeSeries::new();
+        let Some(&start) = self.times.first() else {
+            return out;
+        };
+        let width = bucket.as_seconds();
+        let origin = start.epoch_seconds();
+        let mut bucket_idx = 0i64;
+        let mut acc = Welford::new();
+        for (t, v) in self.iter() {
+            let idx = (t.epoch_seconds() - origin).div_euclid(width);
+            if idx != bucket_idx {
+                if !acc.is_empty() {
+                    out.push(
+                        SimTime::from_epoch_seconds(origin + bucket_idx * width),
+                        acc.mean(),
+                    );
+                }
+                acc = Welford::new();
+                bucket_idx = idx;
+            }
+            acc.push(v);
+        }
+        if !acc.is_empty() {
+            out.push(
+                SimTime::from_epoch_seconds(origin + bucket_idx * width),
+                acc.mean(),
+            );
+        }
+        out
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = (SimTime, f64)>>(iter: T) -> Self {
+        let mut s = TimeSeries::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp(n: i64) -> TimeSeries {
+        (0..n)
+            .map(|i| {
+                (
+                    SimTime::from_epoch_seconds(i * 300),
+                    i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let s = ramp(5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.first().unwrap().1, 0.0);
+        assert_eq!(s.last().unwrap().1, 4.0);
+        assert_eq!(s.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_out_of_order() {
+        let mut s = ramp(2);
+        s.push(SimTime::from_epoch_seconds(0), 9.0);
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let s = ramp(10);
+        let sl = s.slice(
+            SimTime::from_epoch_seconds(300),
+            SimTime::from_epoch_seconds(900),
+        );
+        assert_eq!(sl.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn at_or_before_sample_and_hold() {
+        let s = ramp(3);
+        assert_eq!(
+            s.at_or_before(SimTime::from_epoch_seconds(450)).unwrap().1,
+            1.0
+        );
+        assert_eq!(
+            s.at_or_before(SimTime::from_epoch_seconds(300)).unwrap().1,
+            1.0
+        );
+        assert!(s.at_or_before(SimTime::from_epoch_seconds(-1)).is_none());
+    }
+
+    #[test]
+    fn trend_recovers_ramp() {
+        let s = ramp(100);
+        let fit = s.trend_per_day().expect("fit");
+        // 1 unit per 300 s = 288 units per day.
+        assert!((fit.slope - 288.0).abs() < 1e-6);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_mean_averages_buckets() {
+        let s = ramp(6);
+        let r = s.resample_mean(Duration::from_seconds(600));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.values(), &[0.5, 2.5, 4.5]);
+        assert_eq!(r.times()[1].epoch_seconds(), 600);
+    }
+
+    #[test]
+    fn resample_empty_is_empty() {
+        let s = TimeSeries::new();
+        assert!(s.resample_mean(Duration::from_hours(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket must be positive")]
+    fn resample_rejects_zero_bucket() {
+        let _ = ramp(2).resample_mean(Duration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn resample_preserves_global_mean_for_full_buckets(n in 2usize..200) {
+            // Bucket width divides the sample count exactly.
+            let s = ramp(n as i64 * 4);
+            let r = s.resample_mean(Duration::from_seconds(1200));
+            prop_assert!((r.mean() - s.mean()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn slice_never_exceeds_bounds(n in 0i64..100, a in 0i64..30_000, b in 0i64..30_000) {
+            let s = ramp(n);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let sl = s.slice(
+                SimTime::from_epoch_seconds(lo),
+                SimTime::from_epoch_seconds(hi),
+            );
+            for (t, _) in sl.iter() {
+                prop_assert!(t.epoch_seconds() >= lo && t.epoch_seconds() < hi);
+            }
+        }
+    }
+}

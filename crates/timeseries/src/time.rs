@@ -1,0 +1,308 @@
+//! Simulation clock vocabulary: instants and durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::civil::{Date, DateTime};
+
+/// An instant on the facility clock, stored as whole seconds since the
+/// Unix epoch.
+///
+/// The coolant monitor samples every 300 s, so second resolution is ample.
+///
+/// ```
+/// use mira_timeseries::{Date, DateTime, Duration, SimTime};
+/// let t = SimTime::from_datetime(DateTime::midnight(Date::new(2014, 1, 1)));
+/// let later = t + Duration::from_hours(6);
+/// assert_eq!((later - t).as_hours(), 6.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(i64);
+
+/// A span of time in whole seconds (may be negative for lead-times).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(i64);
+
+impl SimTime {
+    /// Creates an instant from raw epoch seconds.
+    #[must_use]
+    pub const fn from_epoch_seconds(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates an instant from a civil date-time.
+    #[must_use]
+    pub fn from_datetime(dt: DateTime) -> Self {
+        Self(dt.seconds_since_epoch())
+    }
+
+    /// Midnight at the start of `date`.
+    #[must_use]
+    pub fn from_date(date: Date) -> Self {
+        Self::from_datetime(DateTime::midnight(date))
+    }
+
+    /// Raw epoch seconds.
+    #[must_use]
+    pub const fn epoch_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The civil date-time of this instant.
+    #[must_use]
+    pub fn to_datetime(self) -> DateTime {
+        DateTime::from_seconds_since_epoch(self.0)
+    }
+
+    /// The civil date of this instant.
+    #[must_use]
+    pub fn date(self) -> Date {
+        self.to_datetime().date()
+    }
+
+    /// Seconds elapsed since `earlier` (negative if `self` is earlier).
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Fraction of the year elapsed at this instant, in `[0, 1)`.
+    ///
+    /// Drives the seasonal components of the weather model.
+    #[must_use]
+    pub fn year_fraction(self) -> f64 {
+        let dt = self.to_datetime();
+        let date = dt.date();
+        let year_start = SimTime::from_date(Date::new(date.year(), 1, 1));
+        let year_end = SimTime::from_date(Date::new(date.year() + 1, 1, 1));
+        let span = (year_end.0 - year_start.0) as f64;
+        ((self.0 - year_start.0) as f64 / span).clamp(0.0, 1.0 - f64::EPSILON)
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_seconds(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub const fn from_minutes(mins: i64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(hours: i64) -> Self {
+        Self(hours * 3600)
+    }
+
+    /// Creates a duration from whole days.
+    #[must_use]
+    pub const fn from_days(days: i64) -> Self {
+        Self(days * 86_400)
+    }
+
+    /// The duration as whole seconds.
+    #[must_use]
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The duration as fractional minutes.
+    #[must_use]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// The duration as fractional hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The duration as fractional days.
+    #[must_use]
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+
+    /// Whether the duration is negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<Duration> for SimTime {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_datetime())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let (d, rem) = (total / 86_400, total % 86_400);
+        let (h, rem) = (rem / 3600, rem % 3600);
+        let (m, s) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{sign}{d}d {h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{sign}{h:02}:{m:02}:{s:02}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_date(Date::new(2014, 1, 1));
+        assert_eq!(t.date(), Date::new(2014, 1, 1));
+        assert_eq!(t.to_datetime().hour(), 0);
+    }
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let t = SimTime::from_date(Date::new(2016, 7, 1));
+        let dt = Duration::from_minutes(5);
+        assert_eq!((t + dt) - t, dt);
+        assert_eq!((t - dt) + dt, t);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_hours(6).as_minutes(), 360.0);
+        assert_eq!(Duration::from_days(2).as_hours(), 48.0);
+        assert_eq!(Duration::from_minutes(30).as_seconds(), 1800);
+        assert!(Duration::from_seconds(-60).is_negative());
+        assert_eq!(Duration::from_seconds(-60).abs().as_seconds(), 60);
+    }
+
+    #[test]
+    fn year_fraction_boundaries() {
+        let start = SimTime::from_date(Date::new(2015, 1, 1));
+        assert_eq!(start.year_fraction(), 0.0);
+        let mid = SimTime::from_date(Date::new(2015, 7, 2));
+        assert!((mid.year_fraction() - 0.5).abs() < 0.01);
+        let end = SimTime::from_date(Date::new(2015, 12, 31)) + Duration::from_hours(23);
+        assert!(end.year_fraction() < 1.0);
+    }
+
+    #[test]
+    fn display_duration() {
+        assert_eq!(Duration::from_hours(30).to_string(), "1d 06:00:00");
+        assert_eq!(Duration::from_minutes(-90).to_string(), "-01:30:00");
+        assert_eq!(Duration::from_seconds(61).to_string(), "00:01:01");
+    }
+
+    proptest! {
+        #[test]
+        fn since_is_inverse_of_add(base in -1_000_000_000i64..1_000_000_000, delta in -1_000_000i64..1_000_000) {
+            let t = SimTime::from_epoch_seconds(base);
+            let d = Duration::from_seconds(delta);
+            prop_assert_eq!((t + d).since(t), d);
+        }
+
+        #[test]
+        fn year_fraction_in_range(secs in 1_380_000_000i64..1_600_000_000) {
+            let f = SimTime::from_epoch_seconds(secs).year_fraction();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Electrical energy, used by the free-cooling efficiency accounting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Energy in kilowatt-hours.
+///
+/// The paper's headline efficiency numbers are energies: 17,820 kWh can be
+/// saved per day when the waterside economizer covers 100 % of the chilled
+/// water plant's load, and 2,174,040 kWh per December–March free-cooling
+/// season.
+///
+/// ```
+/// use mira_units::KilowattHours;
+/// let per_day = KilowattHours::new(17_820.0);
+/// let season = per_day * 122.0; // December through March
+/// assert!((season.value() - 2_174_040.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct KilowattHours(f64);
+
+impl KilowattHours {
+    /// Creates an energy value from raw kilowatt-hours.
+    #[must_use]
+    pub const fn new(kwh: f64) -> Self {
+        Self(kwh)
+    }
+
+    /// Returns the raw value in kilowatt-hours.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to megawatt-hours.
+    #[must_use]
+    pub fn to_megawatt_hours(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Converts to joules (1 kWh = 3.6 MJ).
+    #[must_use]
+    pub fn to_joules(self) -> f64 {
+        self.0 * 3.6e6
+    }
+}
+
+impl Add for KilowattHours {
+    type Output = KilowattHours;
+    fn add(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours(self.0 + rhs.0)
+    }
+}
+
+impl Sub for KilowattHours {
+    type Output = KilowattHours;
+    fn sub(self, rhs: KilowattHours) -> KilowattHours {
+        KilowattHours(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for KilowattHours {
+    fn add_assign(&mut self, rhs: KilowattHours) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for KilowattHours {
+    fn sub_assign(&mut self, rhs: KilowattHours) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for KilowattHours {
+    type Output = KilowattHours;
+    fn mul(self, rhs: f64) -> KilowattHours {
+        KilowattHours(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for KilowattHours {
+    type Output = KilowattHours;
+    fn div(self, rhs: f64) -> KilowattHours {
+        KilowattHours(self.0 / rhs)
+    }
+}
+
+impl Sum for KilowattHours {
+    fn sum<I: Iterator<Item = KilowattHours>>(iter: I) -> KilowattHours {
+        KilowattHours(iter.map(|v| v.0).sum())
+    }
+}
+
+impl fmt::Display for KilowattHours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} kWh", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joule_conversion() {
+        assert_eq!(KilowattHours::new(1.0).to_joules(), 3.6e6);
+    }
+
+    #[test]
+    fn mwh_conversion() {
+        assert_eq!(KilowattHours::new(2_500.0).to_megawatt_hours(), 2.5);
+    }
+
+    #[test]
+    fn seasonal_accumulation() {
+        let mut season = KilowattHours::new(0.0);
+        for _ in 0..122 {
+            season += KilowattHours::new(17_820.0);
+        }
+        assert!((season.value() - 2_174_040.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_rounds_to_whole_kwh() {
+        assert_eq!(KilowattHours::new(17_820.4).to_string(), "17820 kWh");
+    }
+}

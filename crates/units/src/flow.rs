@@ -1,0 +1,166 @@
+//! Coolant volumetric flow rate.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A volumetric flow rate in US gallons per minute (GPM).
+///
+/// Mira's external loop ran at ≈1250 GPM (≈26 GPM per rack) until the Theta
+/// system joined the loop in July 2016, after which the setpoint was raised
+/// to ≈1300 GPM.
+///
+/// ```
+/// use mira_units::Gpm;
+/// let loop_flow = Gpm::new(1250.0);
+/// let per_rack = loop_flow / 48.0;
+/// assert!((per_rack.value() - 26.04).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Gpm(f64);
+
+impl Gpm {
+    /// Creates a flow rate from a raw GPM reading.
+    #[must_use]
+    pub const fn new(gpm: f64) -> Self {
+        Self(gpm)
+    }
+
+    /// Returns the raw value in gallons per minute.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to litres per minute (1 US gal = 3.785411784 L).
+    #[must_use]
+    pub fn to_litres_per_minute(self) -> f64 {
+        self.0 * 3.785_411_784
+    }
+
+    /// Coolant mass flow in kg/s, assuming water density 0.997 kg/L.
+    ///
+    /// Used by the heat-exchanger model to convert heat load into a coolant
+    /// temperature delta via `Q = m· · c_p · ΔT`.
+    #[must_use]
+    pub fn mass_flow_kg_per_s(self) -> f64 {
+        self.to_litres_per_minute() * 0.997 / 60.0
+    }
+
+    /// Returns the smaller of two readings.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two readings.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps the flow to be non-negative; a pump cannot reverse the loop.
+    #[must_use]
+    pub fn saturating(self) -> Self {
+        Self(self.0.max(0.0))
+    }
+}
+
+impl Add for Gpm {
+    type Output = Gpm;
+    fn add(self, rhs: Gpm) -> Gpm {
+        Gpm(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Gpm {
+    type Output = Gpm;
+    fn sub(self, rhs: Gpm) -> Gpm {
+        Gpm(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Gpm {
+    fn add_assign(&mut self, rhs: Gpm) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Gpm {
+    fn sub_assign(&mut self, rhs: Gpm) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Gpm {
+    type Output = Gpm;
+    fn mul(self, rhs: f64) -> Gpm {
+        Gpm(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Gpm {
+    type Output = Gpm;
+    fn div(self, rhs: f64) -> Gpm {
+        Gpm(self.0 / rhs)
+    }
+}
+
+impl Sum for Gpm {
+    fn sum<I: Iterator<Item = Gpm>>(iter: I) -> Gpm {
+        Gpm(iter.map(|v| v.0).sum())
+    }
+}
+
+impl fmt::Display for Gpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GPM", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn per_rack_split_matches_paper() {
+        let per_rack = Gpm::new(1250.0) / 48.0;
+        assert!((per_rack.value() - 26.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mass_flow_is_physical() {
+        // 26 GPM of water is roughly 1.6 kg/s.
+        let m = Gpm::new(26.0).mass_flow_kg_per_s();
+        assert!((m - 1.636).abs() < 0.01, "got {m}");
+    }
+
+    #[test]
+    fn saturating_floors_at_zero() {
+        assert_eq!((Gpm::new(5.0) - Gpm::new(9.0)).saturating().value(), 0.0);
+        assert_eq!(Gpm::new(5.0).saturating().value(), 5.0);
+    }
+
+    #[test]
+    fn sum_over_racks() {
+        let total: Gpm = (0..48).map(|_| Gpm::new(26.0)).sum();
+        assert!((total.value() - 1248.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_unit() {
+        assert_eq!(Gpm::new(1300.0).to_string(), "1300.0 GPM");
+    }
+
+    proptest! {
+        #[test]
+        fn litre_conversion_scales_linearly(g in 0.0f64..5000.0, k in 0.1f64..10.0) {
+            let a = Gpm::new(g).to_litres_per_minute();
+            let b = Gpm::new(g * k).to_litres_per_minute();
+            prop_assert!((b - a * k).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Relative humidity and the psychrometric helpers behind the paper's
+//! coolant-monitor-failure trigger.
+//!
+//! A CMF fires when condensation risk appears: the dew-point temperature of
+//! the air near a rack approaches the temperature of cold surfaces (inlet
+//! coolant lines). [`dew_point`] implements the Magnus–Tetens
+//! approximation; [`condensation_margin`] is the distance between a surface
+//! temperature and the dew point, the quantity the monitor's alarm
+//! threshold is defined over.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::temperature::{Celsius, Fahrenheit};
+
+/// Relative humidity in percent (0–100 %RH).
+///
+/// Mira's data-center ambient ranged 28–37 %RH over the six years, with a
+/// strong summer seasonality inherited from Chicago's outdoor humidity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct RelHumidity(f64);
+
+impl RelHumidity {
+    /// Creates a relative-humidity reading, clamped to the physical
+    /// `[0, 100]` range.
+    #[must_use]
+    pub fn new(percent: f64) -> Self {
+        Self(percent.clamp(0.0, 100.0))
+    }
+
+    /// Returns the raw value in %RH.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// Returns the larger of two readings.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two readings.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Add for RelHumidity {
+    type Output = RelHumidity;
+    fn add(self, rhs: RelHumidity) -> RelHumidity {
+        RelHumidity::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for RelHumidity {
+    type Output = RelHumidity;
+    fn sub(self, rhs: RelHumidity) -> RelHumidity {
+        RelHumidity::new(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for RelHumidity {
+    fn add_assign(&mut self, rhs: RelHumidity) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for RelHumidity {
+    fn sub_assign(&mut self, rhs: RelHumidity) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for RelHumidity {
+    type Output = RelHumidity;
+    fn mul(self, rhs: f64) -> RelHumidity {
+        RelHumidity::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for RelHumidity {
+    type Output = RelHumidity;
+    fn div(self, rhs: f64) -> RelHumidity {
+        RelHumidity::new(self.0 / rhs)
+    }
+}
+
+impl Sum for RelHumidity {
+    fn sum<I: Iterator<Item = RelHumidity>>(iter: I) -> RelHumidity {
+        RelHumidity::new(iter.map(|v| v.0).sum())
+    }
+}
+
+impl fmt::Display for RelHumidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} %RH", self.0)
+    }
+}
+
+/// Magnus–Tetens coefficients (Alduchov & Eskridge 1996), valid for
+/// −40 °C … +50 °C, the full range a data center can see.
+const MAGNUS_A: f64 = 17.625;
+const MAGNUS_B: f64 = 243.04;
+
+/// Computes the dew-point temperature from ambient temperature and
+/// relative humidity using the Magnus–Tetens approximation.
+///
+/// The dew point is the temperature at which the air would become
+/// saturated; any surface colder than it collects condensation. It is the
+/// composite metric the Blue Gene/Q coolant monitor alarms on.
+///
+/// ```
+/// use mira_units::{dew_point, Fahrenheit, RelHumidity};
+/// // 80 F at 35 %RH gives a dew point around 48-50 F.
+/// let dp = dew_point(Fahrenheit::new(80.0), RelHumidity::new(35.0));
+/// assert!(dp.value() > 45.0 && dp.value() < 52.0);
+/// ```
+#[must_use]
+pub fn dew_point(ambient: Fahrenheit, humidity: RelHumidity) -> Fahrenheit {
+    let t = ambient.to_celsius().value();
+    // Guard against ln(0): treat totally dry air as an extremely low dew
+    // point rather than a NaN.
+    let rh = humidity.fraction().max(1e-6);
+    let gamma = rh.ln() + MAGNUS_A * t / (MAGNUS_B + t);
+    let dp = MAGNUS_B * gamma / (MAGNUS_A - gamma);
+    Celsius::new(dp).to_fahrenheit()
+}
+
+/// Margin between a cold surface (typically the inlet coolant line) and the
+/// local dew point.
+///
+/// Positive margins are safe; as the margin approaches zero condensation
+/// begins to form on the surface and the coolant monitor raises a fatal
+/// CMF, closing the rack's solenoid valve and cutting power.
+#[must_use]
+pub fn condensation_margin(
+    surface: Fahrenheit,
+    ambient: Fahrenheit,
+    humidity: RelHumidity,
+) -> Fahrenheit {
+    surface - dew_point(ambient, humidity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn saturated_air_dew_point_equals_ambient() {
+        let t = Fahrenheit::new(75.0);
+        let dp = dew_point(t, RelHumidity::new(100.0));
+        assert!((dp.value() - t.value()).abs() < 0.05, "dp = {dp}");
+    }
+
+    #[test]
+    fn drier_air_has_lower_dew_point() {
+        let t = Fahrenheit::new(80.0);
+        let humid = dew_point(t, RelHumidity::new(60.0));
+        let dry = dew_point(t, RelHumidity::new(25.0));
+        assert!(dry < humid);
+    }
+
+    #[test]
+    fn typical_mira_conditions_are_safe() {
+        // 64 F inlet lines in an 80 F / 35 %RH room: > 10 F of margin.
+        let m = condensation_margin(
+            Fahrenheit::new(64.0),
+            Fahrenheit::new(80.0),
+            RelHumidity::new(35.0),
+        );
+        assert!(m.value() > 10.0, "margin = {m}");
+    }
+
+    #[test]
+    fn high_humidity_erodes_margin() {
+        let cold = Fahrenheit::new(55.0);
+        let ambient = Fahrenheit::new(80.0);
+        let m = condensation_margin(cold, ambient, RelHumidity::new(85.0));
+        assert!(m.value() < 0.0, "cold line in humid air condenses: {m}");
+    }
+
+    #[test]
+    fn humidity_is_clamped() {
+        assert_eq!(RelHumidity::new(150.0).value(), 100.0);
+        assert_eq!(RelHumidity::new(-5.0).value(), 0.0);
+    }
+
+    #[test]
+    fn zero_humidity_is_finite() {
+        let dp = dew_point(Fahrenheit::new(80.0), RelHumidity::new(0.0));
+        assert!(dp.value().is_finite());
+        assert!(dp.value() < -100.0);
+    }
+
+    #[test]
+    fn display_has_unit() {
+        assert_eq!(RelHumidity::new(32.25).to_string(), "32.2 %RH");
+    }
+
+    proptest! {
+        #[test]
+        fn dew_point_below_ambient(t in 40.0f64..100.0, rh in 1.0f64..99.9) {
+            let dp = dew_point(Fahrenheit::new(t), RelHumidity::new(rh));
+            prop_assert!(dp.value() <= t + 1e-9);
+        }
+
+        #[test]
+        fn dew_point_monotonic_in_humidity(
+            t in 40.0f64..100.0,
+            rh in 2.0f64..98.0,
+        ) {
+            let lo = dew_point(Fahrenheit::new(t), RelHumidity::new(rh - 1.0));
+            let hi = dew_point(Fahrenheit::new(t), RelHumidity::new(rh + 1.0));
+            prop_assert!(lo < hi);
+        }
+
+        #[test]
+        fn dew_point_monotonic_in_temperature(
+            t in 40.0f64..99.0,
+            rh in 5.0f64..95.0,
+        ) {
+            let lo = dew_point(Fahrenheit::new(t), RelHumidity::new(rh));
+            let hi = dew_point(Fahrenheit::new(t + 1.0), RelHumidity::new(rh));
+            prop_assert!(lo < hi);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Electrical power quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::KilowattHours;
+
+/// Power in kilowatts — the scale of a single rack's bulk power module.
+///
+/// Each of Mira's 48 racks draws 50–90 kW depending on load; the coolant
+/// monitor reports the aggregate of the rack's four power enclosures.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Kilowatts(f64);
+
+/// Power in megawatts — the scale of the whole system.
+///
+/// Mira is provisioned for 6 MW and averaged ≈4 MW total load; the
+/// compute-rack aggregate analyzed by the paper moved from ≈2.5 MW (2014)
+/// to ≈2.9 MW (2019).
+///
+/// ```
+/// use mira_units::{Kilowatts, Megawatts};
+/// let rack = Kilowatts::new(60.0);
+/// let system: Megawatts = (rack * 48.0).to_megawatts();
+/// assert!((system.value() - 2.88).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Megawatts(f64);
+
+impl Kilowatts {
+    /// Creates a power value from raw kilowatts.
+    #[must_use]
+    pub const fn new(kw: f64) -> Self {
+        Self(kw)
+    }
+
+    /// Returns the raw value in kilowatts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to megawatts.
+    #[must_use]
+    pub fn to_megawatts(self) -> Megawatts {
+        Megawatts(self.0 / 1000.0)
+    }
+
+    /// Heat dissipated into the coolant in watts (electrical power is
+    /// assumed fully converted to heat, the standard data-center
+    /// assumption).
+    #[must_use]
+    pub fn heat_watts(self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// Energy delivered when this power is sustained for `hours`.
+    #[must_use]
+    pub fn for_hours(self, hours: f64) -> KilowattHours {
+        KilowattHours::new(self.0 * hours)
+    }
+
+    /// Returns the larger of two readings.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two readings.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Megawatts {
+    /// Creates a power value from raw megawatts.
+    #[must_use]
+    pub const fn new(mw: f64) -> Self {
+        Self(mw)
+    }
+
+    /// Returns the raw value in megawatts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kilowatts.
+    #[must_use]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts(self.0 * 1000.0)
+    }
+}
+
+impl From<Kilowatts> for Megawatts {
+    fn from(kw: Kilowatts) -> Self {
+        kw.to_megawatts()
+    }
+}
+
+impl From<Megawatts> for Kilowatts {
+    fn from(mw: Megawatts) -> Self {
+        mw.to_kilowatts()
+    }
+}
+
+macro_rules! impl_power_ops {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+impl_power_ops!(Kilowatts);
+impl_power_ops!(Megawatts);
+
+impl fmt::Display for Kilowatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} kW", self.0)
+    }
+}
+
+impl fmt::Display for Megawatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} MW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kw_mw_round_trip() {
+        let kw = Kilowatts::new(2500.0);
+        assert_eq!(kw.to_megawatts().value(), 2.5);
+        assert_eq!(kw.to_megawatts().to_kilowatts(), kw);
+    }
+
+    #[test]
+    fn energy_integration() {
+        // 742.5 kW sustained for 24 h is the paper's 17,820 kWh/day
+        // free-cooling saving.
+        let saved = Kilowatts::new(742.5).for_hours(24.0);
+        assert!((saved.value() - 17_820.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heat_watts_matches_electrical() {
+        assert_eq!(Kilowatts::new(60.0).heat_watts(), 60_000.0);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let total: Kilowatts = (0..48).map(|_| Kilowatts::new(55.0)).sum();
+        assert!((total.to_megawatts().value() - 2.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Megawatts::new(2.5).to_string(), "2.500 MW");
+        assert_eq!(Kilowatts::new(60.04).to_string(), "60.0 kW");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_lossless(kw in 0.0f64..1e7) {
+            let k = Kilowatts::new(kw);
+            prop_assert!((Megawatts::from(k).to_kilowatts().value() - kw).abs() < 1e-6);
+        }
+    }
+}

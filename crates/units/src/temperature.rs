@@ -1,0 +1,259 @@
+//! Temperature quantities in the two scales the facility uses.
+//!
+//! Coolant-monitor telemetry is reported in Fahrenheit (the scale used by
+//! the paper and by ALCF operations); the psychrometric formulas are
+//! defined over Celsius. Both are thin `f64` newtypes with explicit,
+//! loss-less conversions.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Fahrenheit.
+///
+/// This is the native scale of Mira's coolant monitor: inlet coolant around
+/// 64 °F, outlet around 79 °F, data-center ambient 76–90 °F.
+///
+/// ```
+/// use mira_units::Fahrenheit;
+/// let inlet = Fahrenheit::new(64.0);
+/// assert!((inlet.to_celsius().value() - 17.777).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Fahrenheit(f64);
+
+/// A temperature in degrees Celsius, used by the psychrometric math.
+///
+/// ```
+/// use mira_units::Celsius;
+/// let freezing = Celsius::new(0.0);
+/// assert_eq!(freezing.to_fahrenheit().value(), 32.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Celsius(f64);
+
+impl Fahrenheit {
+    /// Creates a temperature from a raw Fahrenheit reading.
+    #[must_use]
+    pub const fn new(degrees: f64) -> Self {
+        Self(degrees)
+    }
+
+    /// Returns the raw value in degrees Fahrenheit.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to Celsius (`(F − 32) × 5⁄9`).
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius((self.0 - 32.0) * 5.0 / 9.0)
+    }
+
+    /// Returns the smaller of two readings.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two readings.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps the reading into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo.0 <= hi.0, "invalid clamp range");
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Linear interpolation between `self` and `other` at parameter `t`.
+    ///
+    /// `t = 0` yields `self`; `t = 1` yields `other`. Values of `t` outside
+    /// `[0, 1]` extrapolate.
+    #[must_use]
+    pub fn lerp(self, other: Self, t: f64) -> Self {
+        Self(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl Celsius {
+    /// Creates a temperature from a raw Celsius value.
+    #[must_use]
+    pub const fn new(degrees: f64) -> Self {
+        Self(degrees)
+    }
+
+    /// Returns the raw value in degrees Celsius.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to Fahrenheit (`C × 9⁄5 + 32`).
+    #[must_use]
+    pub fn to_fahrenheit(self) -> Fahrenheit {
+        Fahrenheit(self.0 * 9.0 / 5.0 + 32.0)
+    }
+}
+
+impl From<Celsius> for Fahrenheit {
+    fn from(c: Celsius) -> Self {
+        c.to_fahrenheit()
+    }
+}
+
+impl From<Fahrenheit> for Celsius {
+    fn from(f: Fahrenheit) -> Self {
+        f.to_celsius()
+    }
+}
+
+macro_rules! impl_linear_ops {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+impl_linear_ops!(Fahrenheit);
+impl_linear_ops!(Celsius);
+
+impl fmt::Display for Fahrenheit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} F", self.0)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} C", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fahrenheit_celsius_known_points() {
+        assert!((Fahrenheit::new(32.0).to_celsius().value()).abs() < 1e-12);
+        assert!((Fahrenheit::new(212.0).to_celsius().value() - 100.0).abs() < 1e-12);
+        assert!((Celsius::new(-40.0).to_fahrenheit().value() + 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_behaves_linearly() {
+        let a = Fahrenheit::new(60.0);
+        let b = Fahrenheit::new(20.0);
+        assert_eq!((a + b).value(), 80.0);
+        assert_eq!((a - b).value(), 40.0);
+        assert_eq!((a * 0.5).value(), 30.0);
+        assert_eq!((a / 2.0).value(), 30.0);
+        assert_eq!((-b).value(), -20.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Fahrenheit::new(64.0);
+        let b = Fahrenheit::new(79.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert!((a.lerp(b, 0.5).value() - 71.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let t = Fahrenheit::new(95.0);
+        let clamped = t.clamp(Fahrenheit::new(60.0), Fahrenheit::new(90.0));
+        assert_eq!(clamped.value(), 90.0);
+        assert_eq!(t.min(clamped), clamped);
+        assert_eq!(t.max(clamped), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn clamp_rejects_inverted_range() {
+        let _ = Fahrenheit::new(0.0).clamp(Fahrenheit::new(10.0), Fahrenheit::new(5.0));
+    }
+
+    #[test]
+    fn sum_of_readings() {
+        let total: Fahrenheit = [1.0, 2.0, 3.0].iter().map(|&v| Fahrenheit::new(v)).sum();
+        assert_eq!(total.value(), 6.0);
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(Fahrenheit::new(64.1).to_string(), "64.10 F");
+        assert_eq!(Celsius::new(17.0).to_string(), "17.00 C");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_is_lossless(deg in -200.0f64..400.0) {
+            let f = Fahrenheit::new(deg);
+            let back = f.to_celsius().to_fahrenheit();
+            prop_assert!((back.value() - deg).abs() < 1e-9);
+        }
+
+        #[test]
+        fn conversion_is_monotonic(a in -100.0f64..200.0, b in -100.0f64..200.0) {
+            let (fa, fb) = (Fahrenheit::new(a), Fahrenheit::new(b));
+            prop_assert_eq!(a < b, fa.to_celsius().value() < fb.to_celsius().value());
+        }
+    }
+}

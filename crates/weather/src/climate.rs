@@ -1,0 +1,261 @@
+//! The Chicago climate and the building ambient it induces.
+
+use std::f64::consts::TAU;
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::SimTime;
+use mira_units::{dew_point, Fahrenheit, RelHumidity};
+
+use crate::noise::ValueNoise;
+
+/// Outdoor and indoor conditions at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherSample {
+    /// Outdoor dry-bulb temperature.
+    pub outdoor_temperature: Fahrenheit,
+    /// Outdoor relative humidity.
+    pub outdoor_humidity: RelHumidity,
+    /// Outdoor dew point (drives the economizer and indoor moisture).
+    pub outdoor_dew_point: Fahrenheit,
+    /// Room-level data-center ambient temperature (before per-rack
+    /// airflow offsets).
+    pub indoor_temperature: Fahrenheit,
+    /// Room-level data-center relative humidity (before per-rack airflow
+    /// factors).
+    pub indoor_humidity: RelHumidity,
+}
+
+/// Deterministic Chicago climate model.
+///
+/// All outputs are pure functions of `(seed, time)`:
+///
+/// - outdoor temperature = annual harmonic (coldest mid-January, hottest
+///   mid-July) + diurnal harmonic + multi-day synoptic noise;
+/// - outdoor humidity = seasonal moisture cycle + noise;
+/// - indoor temperature = regulated ≈80 °F with drift, plus rare
+///   excursions (air-handler faults, extreme weather);
+/// - indoor humidity = winter-dry/summer-humid cycle spanning the paper's
+///   28–37 %RH band (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChicagoClimate {
+    seed: u64,
+    synoptic: ValueNoise,
+    moisture: ValueNoise,
+    indoor_drift: ValueNoise,
+    excursion: ValueNoise,
+}
+
+/// Outdoor temperature below which the waterside economizer can carry the
+/// full chilled-water load.
+pub const FULL_FREE_COOLING_BELOW: Fahrenheit = Fahrenheit::new(38.0);
+
+/// Outdoor temperature above which the economizer contributes nothing.
+pub const NO_FREE_COOLING_ABOVE: Fahrenheit = Fahrenheit::new(52.0);
+
+impl ChicagoClimate {
+    /// Creates the climate model for a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            synoptic: ValueNoise::new(seed ^ 0x5EA5_0000, 4.0 * 86_400.0),
+            moisture: ValueNoise::new(seed ^ 0x0151_7AD0, 3.0 * 86_400.0),
+            indoor_drift: ValueNoise::new(seed ^ 0xDA7A_CE17, 30.0 * 86_400.0),
+            excursion: ValueNoise::new(seed ^ 0x0DD1_7135, 5.0 * 86_400.0),
+        }
+    }
+
+    /// Samples the full weather state at `t`.
+    #[must_use]
+    pub fn sample(&self, t: SimTime) -> WeatherSample {
+        let outdoor_temperature = self.outdoor_temperature(t);
+        let outdoor_humidity = self.outdoor_humidity(t);
+        WeatherSample {
+            outdoor_temperature,
+            outdoor_humidity,
+            outdoor_dew_point: dew_point(outdoor_temperature, outdoor_humidity),
+            indoor_temperature: self.indoor_temperature(t),
+            indoor_humidity: self.indoor_humidity(t),
+        }
+    }
+
+    /// Outdoor dry-bulb temperature at `t`.
+    #[must_use]
+    pub fn outdoor_temperature(&self, t: SimTime) -> Fahrenheit {
+        let yf = t.year_fraction();
+        // Coldest around Jan 20 (yf ≈ 0.055), hottest around Jul 20.
+        let seasonal = 51.0 - 26.0 * (TAU * (yf - 0.055)).cos();
+        let hod = t.to_datetime().hour_of_day();
+        // Diurnal trough near 5 AM, peak near 3 PM.
+        let diurnal = 8.0 * (TAU * (hod - 9.0) / 24.0).sin();
+        let synoptic = self.synoptic.fractal(t.epoch_seconds() as f64, 3) * 12.0;
+        Fahrenheit::new(seasonal + diurnal + synoptic)
+    }
+
+    /// Outdoor relative humidity at `t`.
+    #[must_use]
+    pub fn outdoor_humidity(&self, t: SimTime) -> RelHumidity {
+        let yf = t.year_fraction();
+        // Chicago's RH is moderately higher in winter mornings, but the
+        // *absolute* moisture (dew point) peaks in summer. We model RH
+        // around 68 % with noise; the seasonal moisture shows up via the
+        // dew point computed against the warm summer air.
+        let seasonal = 3.0 * (TAU * (yf - 0.10)).cos();
+        let noise = self.moisture.fractal(t.epoch_seconds() as f64, 3) * 14.0;
+        RelHumidity::new(68.0 + seasonal + noise)
+    }
+
+    /// Regulated room-level ambient temperature at `t`.
+    #[must_use]
+    pub fn indoor_temperature(&self, t: SimTime) -> Fahrenheit {
+        let secs = t.epoch_seconds() as f64;
+        let yf = t.year_fraction();
+        // Air handlers hold ≈80-81 °F with a small summer rise.
+        let base = 80.3 + 1.2 * (TAU * (yf - 0.57)).cos();
+        let drift = self.indoor_drift.sample(secs) * 1.6;
+        let jitter = self.synoptic.fractal(secs * 1.7 + 1.0e7, 2) * 0.9;
+        // Rare excursions: air-cooling faults and extreme weather push the
+        // room several degrees up for a few days.
+        let e = self.excursion.sample(secs);
+        let excursion = if e > 0.72 { (e - 0.72) / 0.28 * 7.5 } else { 0.0 };
+        Fahrenheit::new(base + drift + jitter + excursion)
+    }
+
+    /// Room-level relative humidity at `t` (the Fig. 8 28–37 %RH band).
+    #[must_use]
+    pub fn indoor_humidity(&self, t: SimTime) -> RelHumidity {
+        let secs = t.epoch_seconds() as f64;
+        let yf = t.year_fraction();
+        // Summer peak: outdoor moisture infiltrates; winter air is dry.
+        let seasonal = 32.3 + 3.4 * (TAU * (yf - 0.55)).cos();
+        let noise = self.moisture.fractal(secs + 3.0e8, 3) * 1.9;
+        RelHumidity::new(seasonal + noise)
+    }
+
+    /// Fraction of the chilled-water load the waterside economizer can
+    /// carry at `t`, in `[0, 1]`: 1 in deep winter, 0 in summer, linear
+    /// in between.
+    #[must_use]
+    pub fn free_cooling_fraction(&self, t: SimTime) -> f64 {
+        let temp = self.outdoor_temperature(t).value();
+        let lo = FULL_FREE_COOLING_BELOW.value();
+        let hi = NO_FREE_COOLING_ABOVE.value();
+        ((hi - temp) / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::{Date, Duration};
+
+    fn at(date: Date) -> SimTime {
+        SimTime::from_date(date) + Duration::from_hours(12)
+    }
+
+    #[test]
+    fn seasons_order_correctly() {
+        let c = ChicagoClimate::new(3);
+        let jan = c.outdoor_temperature(at(Date::new(2015, 1, 15)));
+        let apr = c.outdoor_temperature(at(Date::new(2015, 4, 15)));
+        let jul = c.outdoor_temperature(at(Date::new(2015, 7, 15)));
+        assert!(jan < apr && apr < jul, "{jan} {apr} {jul}");
+    }
+
+    #[test]
+    fn winter_enables_free_cooling_summer_disables() {
+        let c = ChicagoClimate::new(3);
+        // Average over a month to wash out synoptic noise.
+        let avg_fraction = |y: i32, m: u8| {
+            let mut total = 0.0;
+            let mut n = 0;
+            let mut t = SimTime::from_date(Date::new(y, m, 1));
+            for _ in 0..(28 * 8) {
+                total += c.free_cooling_fraction(t);
+                n += 1;
+                t += Duration::from_hours(3);
+            }
+            total / f64::from(n)
+        };
+        assert!(avg_fraction(2015, 1) > 0.7, "January mostly free-cooled");
+        assert!(avg_fraction(2015, 7) < 0.05, "July has no free cooling");
+        assert!(
+            (0.05..0.95).contains(&avg_fraction(2015, 4)),
+            "April is transitional"
+        );
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_in_afternoon() {
+        let c = ChicagoClimate::new(3);
+        let day = Date::new(2015, 6, 10);
+        let dawn = c.outdoor_temperature(SimTime::from_date(day) + Duration::from_hours(5));
+        let apex = c.outdoor_temperature(SimTime::from_date(day) + Duration::from_hours(15));
+        assert!(apex.value() > dawn.value() + 8.0, "{dawn} vs {apex}");
+    }
+
+    #[test]
+    fn indoor_humidity_in_fig8_band() {
+        let c = ChicagoClimate::new(3);
+        let mut t = SimTime::from_date(Date::new(2014, 1, 1));
+        let end = SimTime::from_date(Date::new(2020, 1, 1));
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        while t < end {
+            let rh = c.indoor_humidity(t).value();
+            min = min.min(rh);
+            max = max.max(rh);
+            t += Duration::from_hours(6);
+        }
+        assert!((25.0..30.0).contains(&min), "min RH {min}");
+        assert!((35.0..41.0).contains(&max), "max RH {max}");
+    }
+
+    #[test]
+    fn indoor_humidity_summer_seasonality() {
+        let c = ChicagoClimate::new(3);
+        let feb = c.indoor_humidity(at(Date::new(2016, 2, 1)));
+        let aug = c.indoor_humidity(at(Date::new(2016, 8, 1)));
+        assert!(aug.value() > feb.value() + 3.0, "{feb} vs {aug}");
+    }
+
+    #[test]
+    fn indoor_temperature_regulated_with_excursions() {
+        let c = ChicagoClimate::new(3);
+        let mut t = SimTime::from_date(Date::new(2014, 1, 1));
+        let end = SimTime::from_date(Date::new(2020, 1, 1));
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        while t < end {
+            let v = c.indoor_temperature(t).value();
+            min = min.min(v);
+            max = max.max(v);
+            t += Duration::from_hours(6);
+        }
+        // Paper band: 76-90 F.
+        assert!((74.0..79.0).contains(&min), "min {min}");
+        assert!((85.0..92.0).contains(&max), "max {max}");
+    }
+
+    #[test]
+    fn sample_is_consistent() {
+        let c = ChicagoClimate::new(3);
+        let t = at(Date::new(2017, 5, 5));
+        let s = c.sample(t);
+        assert_eq!(s.outdoor_temperature, c.outdoor_temperature(t));
+        assert!(s.outdoor_dew_point <= s.outdoor_temperature);
+    }
+
+    #[test]
+    fn seeds_differ_but_are_deterministic() {
+        let a = ChicagoClimate::new(1);
+        let b = ChicagoClimate::new(2);
+        let t = at(Date::new(2018, 3, 3));
+        assert_eq!(a.sample(t), ChicagoClimate::new(1).sample(t));
+        assert_ne!(
+            a.sample(t).outdoor_temperature,
+            b.sample(t).outdoor_temperature
+        );
+    }
+}

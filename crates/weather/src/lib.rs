@@ -1,0 +1,31 @@
+//! Chicago climate model driving free cooling and data-center humidity.
+//!
+//! The Theory and Computational Sciences building sits in Chicago's
+//! climate: cold, dry winters (when the waterside economizer can carry the
+//! chilled-water load for free) and hot, humid summers (when the
+//! data-center ambient humidity rises — the red band of the paper's
+//! Fig. 8). The model is a *pure function of time*: seasonal and diurnal
+//! harmonics plus seeded multi-octave value noise for synoptic weather
+//! systems, so any instant can be sampled independently and two simulators
+//! with the same seed see identical weather.
+//!
+//! # Example
+//!
+//! ```
+//! use mira_timeseries::{Date, SimTime};
+//! use mira_weather::ChicagoClimate;
+//!
+//! let climate = ChicagoClimate::new(7);
+//! let january = climate.sample(SimTime::from_date(Date::new(2015, 1, 15)));
+//! let july = climate.sample(SimTime::from_date(Date::new(2015, 7, 15)));
+//! assert!(january.outdoor_temperature < july.outdoor_temperature);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod climate;
+pub mod noise;
+
+pub use climate::{ChicagoClimate, WeatherSample};
+pub use noise::ValueNoise;

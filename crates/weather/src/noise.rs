@@ -1,0 +1,159 @@
+//! Seeded, time-indexed smooth noise.
+//!
+//! Weather systems arrive on multi-day timescales and are smooth; white
+//! noise per sample would be wrong and an AR(1) stepper would make the
+//! model order-dependent. [`ValueNoise`] is stateless: it hashes integer
+//! lattice points of the time axis and interpolates between them with a
+//! smoothstep, so `noise(t)` is a deterministic, C¹-continuous function of
+//! `t` alone.
+
+use serde::{Deserialize, Serialize};
+
+/// One-dimensional, seeded value noise over a time axis measured in
+/// seconds.
+///
+/// ```
+/// use mira_weather::ValueNoise;
+///
+/// let n = ValueNoise::new(42, 86_400.0); // one-day lattice
+/// let a = n.sample(1_000.0);
+/// assert_eq!(a, n.sample(1_000.0));       // pure function
+/// assert!((-1.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueNoise {
+    seed: u64,
+    /// Lattice spacing in seconds: the correlation time of the noise.
+    period: f64,
+}
+
+impl ValueNoise {
+    /// Creates a noise source with lattice spacing `period_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period_seconds` is positive and finite.
+    #[must_use]
+    pub fn new(seed: u64, period_seconds: f64) -> Self {
+        assert!(
+            period_seconds.is_finite() && period_seconds > 0.0,
+            "noise period must be positive"
+        );
+        Self {
+            seed,
+            period: period_seconds,
+        }
+    }
+
+    /// Uniform value in `[-1, 1]` at integer lattice point `i`.
+    fn lattice(&self, i: i64) -> f64 {
+        // SplitMix64-style avalanche of (seed, i).
+        let mut z = (i as u64).wrapping_add(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    /// Samples the noise at time `t` seconds; smooth, in `[-1, 1]`.
+    #[must_use]
+    pub fn sample(&self, t: f64) -> f64 {
+        let x = t / self.period;
+        let i = x.floor();
+        let frac = x - i;
+        let i = i as i64;
+        // Smoothstep interpolation keeps the derivative continuous.
+        let s = frac * frac * (3.0 - 2.0 * frac);
+        self.lattice(i) * (1.0 - s) + self.lattice(i + 1) * s
+    }
+
+    /// Sum of `octaves` noise layers, each halving the period and the
+    /// amplitude, normalized back into `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is zero.
+    #[must_use]
+    pub fn fractal(&self, t: f64, octaves: u32) -> f64 {
+        assert!(octaves > 0, "need at least one octave");
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            let layer = ValueNoise {
+                seed: self.seed.wrapping_add(u64::from(o).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                period: self.period / f64::from(1u32 << o),
+            };
+            total += layer.sample(t) * amplitude;
+            norm += amplitude;
+            amplitude *= 0.5;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ValueNoise::new(1, 3600.0);
+        let b = ValueNoise::new(1, 3600.0);
+        let c = ValueNoise::new(2, 3600.0);
+        assert_eq!(a.sample(12_345.6), b.sample(12_345.6));
+        assert_ne!(a.sample(12_345.6), c.sample(12_345.6));
+    }
+
+    #[test]
+    fn interpolates_lattice_values_exactly() {
+        let n = ValueNoise::new(9, 100.0);
+        // At lattice points the sample equals the lattice value.
+        for i in -3i64..4 {
+            let t = i as f64 * 100.0;
+            assert!((n.sample(t) - n.lattice(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn is_smooth_between_lattice_points() {
+        let n = ValueNoise::new(5, 1000.0);
+        let mut prev = n.sample(0.0);
+        for k in 1..=1000 {
+            let cur = n.sample(k as f64);
+            assert!((cur - prev).abs() < 0.02, "jump at {k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise period must be positive")]
+    fn rejects_zero_period() {
+        let _ = ValueNoise::new(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one octave")]
+    fn fractal_rejects_zero_octaves() {
+        let _ = ValueNoise::new(0, 1.0).fractal(0.0, 0);
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let n = ValueNoise::new(11, 500.0);
+        let mean: f64 = (0..10_000).map(|k| n.sample(k as f64 * 137.0)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn bounded(seed in 0u64..1000, t in -1e9f64..1e9) {
+            let n = ValueNoise::new(seed, 7200.0);
+            let v = n.sample(t);
+            prop_assert!((-1.0..=1.0).contains(&v));
+            let f = n.fractal(t, 4);
+            prop_assert!((-1.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Elastic hole-filling — the paper's Opportunity 1, implemented.
+//!
+//! "There is a need to develop more robust methods to 'fill in' the idle
+//! nodes waiting for a large job to start. State-of-the-art back-filling
+//! job scheduling strategies may not be able to fill all such holes …
+//! an opportunity for making traditional HPC jobs more elastic to fill
+//! such holes exists."
+//!
+//! [`ElasticPool`] models that opportunity: a reservoir of malleable,
+//! instantly-preemptible work (parameter sweeps, serverless-style
+//! tasks) that occupies whatever midplanes the rigid scheduler leaves
+//! free and vacates the moment a rigid job needs them. Because elastic
+//! work never blocks a rigid allocation, it can only raise utilization.
+//! [`hole_filling_experiment`] quantifies the uplift over a driven
+//! scheduler trace — including a capability-drain event, the exact hole
+//! the paper describes.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::Queue;
+use mira_timeseries::{Duration, SimTime};
+
+use crate::job::{Job, JobGenerator, Program};
+use crate::scheduler::{BackfillScheduler, TOTAL_MIDPLANES};
+
+/// A reservoir of preemptible elastic work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticPool {
+    /// Fraction of free midplanes the pool is allowed to occupy
+    /// (operators keep headroom for instant rigid starts).
+    pub fill_fraction: f64,
+    /// CPU intensity of elastic work (typically lighter than capability
+    /// jobs).
+    pub intensity: f64,
+}
+
+impl ElasticPool {
+    /// A conservative production pool: fill 85 % of free midplanes with
+    /// light tasks.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            fill_fraction: 0.85,
+            intensity: 0.5,
+        }
+    }
+
+    /// Midplanes the pool would occupy given the rigid scheduler's
+    /// current occupancy.
+    #[must_use]
+    pub fn occupied(&self, scheduler: &BackfillScheduler) -> u32 {
+        let busy = (scheduler.utilization() * f64::from(TOTAL_MIDPLANES)).round() as u32;
+        let free = TOTAL_MIDPLANES - busy.min(TOTAL_MIDPLANES);
+        (f64::from(free) * self.fill_fraction.clamp(0.0, 1.0)).floor() as u32
+    }
+
+    /// Combined utilization with elastic fill.
+    #[must_use]
+    pub fn combined_utilization(&self, scheduler: &BackfillScheduler) -> f64 {
+        let busy = scheduler.utilization() * f64::from(TOTAL_MIDPLANES);
+        (busy + f64::from(self.occupied(scheduler))) / f64::from(TOTAL_MIDPLANES)
+    }
+}
+
+impl Default for ElasticPool {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+/// Outcome of the hole-filling experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoleFillingReport {
+    /// Mean rigid-only utilization over the trace.
+    pub rigid_utilization: f64,
+    /// Mean utilization with the elastic pool filling holes.
+    pub elastic_utilization: f64,
+    /// Minimum rigid utilization observed (the drain hole's depth).
+    pub rigid_minimum: f64,
+    /// Minimum combined utilization (how well the hole was filled).
+    pub elastic_minimum: f64,
+    /// Hours simulated.
+    pub hours: u32,
+}
+
+impl HoleFillingReport {
+    /// Utilization uplift from elastic filling.
+    #[must_use]
+    pub fn uplift(&self) -> f64 {
+        self.elastic_utilization - self.rigid_utilization
+    }
+}
+
+/// Drives the FCFS+backfill scheduler for `days`, injects a
+/// near-full-machine capability job mid-trace (forcing the drain the
+/// paper describes), and measures utilization with and without the
+/// elastic pool.
+#[must_use]
+pub fn hole_filling_experiment(seed: u64, days: u32, pool: ElasticPool) -> HoleFillingReport {
+    let mut scheduler = BackfillScheduler::new();
+    let mut generator = JobGenerator::new(seed);
+    let start = SimTime::from_epoch_seconds(1_420_000_000);
+    let hours = days * 24;
+
+    let mut rigid_sum = 0.0;
+    let mut elastic_sum = 0.0;
+    let mut rigid_min = f64::INFINITY;
+    let mut elastic_min = f64::INFINITY;
+
+    for h in 0..hours {
+        let t = start + Duration::from_hours(i64::from(h));
+        for job in generator.submissions(t, Duration::from_hours(1)) {
+            scheduler.submit(job);
+        }
+        // Mid-trace: a near-full-machine capability run arrives and the
+        // queue must drain for it.
+        if h == hours / 2 {
+            scheduler.submit(Job {
+                id: u64::MAX,
+                program: Program::Incite,
+                queue: Queue::ProdLong,
+                midplanes: 32,
+                walltime: Duration::from_hours(10),
+                intensity: 0.9,
+                submitted: t,
+            });
+        }
+        scheduler.step(t);
+
+        let rigid = scheduler.utilization();
+        let elastic = pool.combined_utilization(&scheduler);
+        rigid_sum += rigid;
+        elastic_sum += elastic;
+        rigid_min = rigid_min.min(rigid);
+        elastic_min = elastic_min.min(elastic);
+    }
+
+    HoleFillingReport {
+        rigid_utilization: rigid_sum / f64::from(hours),
+        elastic_utilization: elastic_sum / f64::from(hours),
+        rigid_minimum: rigid_min,
+        elastic_minimum: elastic_min,
+        hours,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_fills_free_midplanes_only() {
+        let scheduler = BackfillScheduler::new();
+        let pool = ElasticPool::mira();
+        // Empty machine: 85 % of 96 midplanes.
+        assert_eq!(pool.occupied(&scheduler), 81);
+        assert!((pool.combined_utilization(&scheduler) - 81.0 / 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_fraction_is_clamped() {
+        let scheduler = BackfillScheduler::new();
+        let pool = ElasticPool {
+            fill_fraction: 2.0,
+            intensity: 0.5,
+        };
+        assert_eq!(pool.occupied(&scheduler), 96);
+        assert!(pool.combined_utilization(&scheduler) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn experiment_shows_uplift_and_fills_the_drain() {
+        let report = hole_filling_experiment(7, 14, ElasticPool::mira());
+        assert!(
+            report.rigid_utilization > 0.4,
+            "rigid {}",
+            report.rigid_utilization
+        );
+        assert!(
+            report.uplift() > 0.03,
+            "elastic uplift {} over rigid {}",
+            report.uplift(),
+            report.rigid_utilization
+        );
+        // The drain hole is substantially shallower with elastic fill.
+        assert!(
+            report.elastic_minimum > report.rigid_minimum + 0.1,
+            "hole: rigid min {} vs elastic min {}",
+            report.rigid_minimum,
+            report.elastic_minimum
+        );
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = hole_filling_experiment(3, 7, ElasticPool::mira());
+        let b = hole_filling_experiment(3, 7, ElasticPool::mira());
+        assert_eq!(a, b);
+    }
+}

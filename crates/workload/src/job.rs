@@ -1,0 +1,284 @@
+//! Discrete jobs and the job generator.
+//!
+//! Mira ran INCITE and ALCC capability jobs in Blue Gene/Q partitions:
+//! powers of two of midplanes (512 nodes each). The generator reproduces
+//! the allocation-year pressure — submission rates climb as each
+//! program's deadline approaches.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mira_facility::Queue;
+use mira_timeseries::{Duration, Month, SimTime};
+
+/// Allocation program a job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Program {
+    /// INCITE: allocation year January–December; highest priority and
+    /// largest allocations.
+    Incite,
+    /// ALCC: allocation year July–June.
+    Alcc,
+    /// Director's discretionary projects.
+    Discretionary,
+}
+
+impl Program {
+    /// Deadline pressure for this program in `month`: how close the
+    /// month is to the end of the program's allocation year, in
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn deadline_pressure(self, month: Month) -> f64 {
+        // Months remaining in the allocation year (0 in the final month).
+        let pos = f64::from(match self {
+            // Jan (1) is month 0 of the INCITE year.
+            Program::Incite => month.number() - 1,
+            // Jul (7) is month 0 of the ALCC year.
+            Program::Alcc => (month.number() + 5) % 12,
+            Program::Discretionary => return 0.3,
+        });
+        pos / 11.0
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Program::Incite => "INCITE",
+            Program::Alcc => "ALCC",
+            Program::Discretionary => "discretionary",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A batch job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Monotonically increasing id.
+    pub id: u64,
+    /// Owning allocation program.
+    pub program: Program,
+    /// Target queue.
+    pub queue: Queue,
+    /// Requested midplanes (512 nodes each), a power of two.
+    pub midplanes: u32,
+    /// Requested walltime.
+    pub walltime: Duration,
+    /// CPU intensity of the job, `[0, 1]`.
+    pub intensity: f64,
+    /// Submission time.
+    pub submitted: SimTime,
+}
+
+impl Job {
+    /// Requested node count.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.midplanes * 512
+    }
+}
+
+/// Generates a stream of jobs with Mira-like size/walltime/mix
+/// distributions and allocation-year submission pressure.
+#[derive(Debug)]
+pub struct JobGenerator {
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl JobGenerator {
+    /// Creates a seeded generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 1,
+        }
+    }
+
+    /// Expected submissions per hour at `t` (rises toward allocation
+    /// deadlines).
+    #[must_use]
+    pub fn arrival_rate(&self, t: SimTime) -> f64 {
+        let month = t.date().month();
+        let incite = Program::Incite.deadline_pressure(month);
+        let alcc = Program::Alcc.deadline_pressure(month);
+        // Base ≈6 jobs/hour, up to ≈10 near stacked deadlines.
+        6.0 * (1.0 + 0.45 * incite + 0.25 * alcc)
+    }
+
+    /// Draws the jobs submitted during `[t, t + dt)` (Poisson thinning at
+    /// hourly granularity).
+    pub fn submissions(&mut self, t: SimTime, dt: Duration) -> Vec<Job> {
+        let expected = self.arrival_rate(t) * dt.as_hours();
+        // Poisson sample via inversion for small means, normal approx
+        // otherwise.
+        let count = if expected < 30.0 {
+            let l = (-expected).exp();
+            let mut k = 0u32;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.random::<f64>();
+                if p <= l {
+                    break k;
+                }
+                k += 1;
+            }
+        } else {
+            let g: f64 = self.sample_gaussian();
+            (expected + g * expected.sqrt()).max(0.0).round() as u32
+        };
+        (0..count).map(|_| self.draw_job(t)).collect()
+    }
+
+    fn sample_gaussian(&mut self) -> f64 {
+        // Box-Muller.
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws a single job submitted at `t`.
+    pub fn draw_job(&mut self, t: SimTime) -> Job {
+        let month = t.date().month();
+        let program = {
+            let r: f64 = self.rng.random();
+            // INCITE dominates H2, ALCC H1; discretionary is a thin tail.
+            let incite_share = 0.45 + 0.25 * Program::Incite.deadline_pressure(month);
+            if r < incite_share {
+                Program::Incite
+            } else if r < 0.93 {
+                Program::Alcc
+            } else {
+                Program::Discretionary
+            }
+        };
+
+        // Partition sizes are powers of two of midplanes, skewed small
+        // but with a capability tail (occasionally near-full-machine).
+        let size_class: f64 = self.rng.random();
+        let midplanes = if size_class < 0.42 {
+            1
+        } else if size_class < 0.70 {
+            2
+        } else if size_class < 0.86 {
+            4
+        } else if size_class < 0.95 {
+            8
+        } else if size_class < 0.99 {
+            16
+        } else {
+            // Occasional near-full-machine capability run.
+            64
+        };
+
+        let long = midplanes >= 8 || self.rng.random::<f64>() < 0.2;
+        let queue = if long { Queue::ProdLong } else { Queue::ProdShort };
+        let hours = if long {
+            6.0 + self.rng.random::<f64>() * 18.0
+        } else {
+            0.5 + self.rng.random::<f64>() * 5.5
+        };
+        let intensity = 0.45 + self.rng.random::<f64>() * 0.5;
+
+        let job = Job {
+            id: self.next_id,
+            program,
+            queue,
+            midplanes,
+            walltime: Duration::from_seconds((hours * 3600.0) as i64),
+            intensity,
+            submitted: t,
+        };
+        self.next_id += 1;
+        job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::Date;
+
+    #[test]
+    fn deadline_pressure_shapes() {
+        assert_eq!(Program::Incite.deadline_pressure(Month::January), 0.0);
+        assert_eq!(Program::Incite.deadline_pressure(Month::December), 1.0);
+        assert_eq!(Program::Alcc.deadline_pressure(Month::July), 0.0);
+        assert_eq!(Program::Alcc.deadline_pressure(Month::June), 1.0);
+        assert!((0.0..=1.0).contains(&Program::Discretionary.deadline_pressure(Month::May)));
+    }
+
+    #[test]
+    fn arrival_rate_rises_toward_december() {
+        let g = JobGenerator::new(1);
+        let jan = g.arrival_rate(SimTime::from_date(Date::new(2015, 1, 15)));
+        let dec = g.arrival_rate(SimTime::from_date(Date::new(2015, 12, 15)));
+        assert!(dec > jan * 1.2, "jan {jan} dec {dec}");
+    }
+
+    #[test]
+    fn jobs_are_wellformed() {
+        let mut g = JobGenerator::new(2);
+        let t = SimTime::from_date(Date::new(2016, 9, 1));
+        for _ in 0..500 {
+            let j = g.draw_job(t);
+            assert!(j.midplanes.is_power_of_two());
+            assert!(j.midplanes <= 96);
+            assert!(j.nodes() == j.midplanes * 512);
+            assert!(j.walltime.as_hours() > 0.0 && j.walltime.as_hours() <= 24.0);
+            assert!((0.0..=1.0).contains(&j.intensity));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut g = JobGenerator::new(3);
+        let t = SimTime::from_date(Date::new(2016, 9, 1));
+        let a = g.draw_job(t);
+        let b = g.draw_job(t);
+        assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn submissions_scale_with_window() {
+        let mut g = JobGenerator::new(4);
+        let t = SimTime::from_date(Date::new(2015, 3, 1));
+        let short: usize = (0..50)
+            .map(|i| {
+                g.submissions(t + Duration::from_hours(i), Duration::from_minutes(30))
+                    .len()
+            })
+            .sum();
+        let mut g2 = JobGenerator::new(4);
+        let long: usize = (0..50)
+            .map(|i| {
+                g2.submissions(t + Duration::from_hours(i), Duration::from_hours(2))
+                    .len()
+            })
+            .sum();
+        assert!(long > short * 2, "short {short} long {long}");
+    }
+
+    #[test]
+    fn large_jobs_use_prod_long() {
+        let mut g = JobGenerator::new(5);
+        let t = SimTime::from_date(Date::new(2016, 9, 1));
+        for _ in 0..500 {
+            let j = g.draw_job(t);
+            if j.midplanes >= 8 {
+                assert_eq!(j.queue, Queue::ProdLong);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Program::Incite.to_string(), "INCITE");
+        assert_eq!(Program::Discretionary.to_string(), "discretionary");
+    }
+}

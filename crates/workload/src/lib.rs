@@ -1,0 +1,41 @@
+//! Job generator and rack-level workload model with allocation-year
+//! cycles.
+//!
+//! Mira's utilization structure comes from policy, not physics:
+//!
+//! - **Allocation years** — INCITE projects run January–December, ALCC
+//!   July–June, and users burn their remaining core-hours near their
+//!   deadline, so utilization (and with it power) is higher in the second
+//!   half of the calendar year, peaking in December (Fig. 4).
+//! - **Monday maintenance** — scheduled windows start 9 AM Mondays and
+//!   run 6–10 hours; user jobs drain and low-intensity *burner jobs*
+//!   keep the racks warm (cold inlet coolant damages idle CPUs), so
+//!   utilization dips slightly but power dips harder (Fig. 5).
+//! - **Queue geometry** — `prod-long` capability jobs land on row 0,
+//!   making it the hottest row; per-rack job mix (CPU intensity)
+//!   decorrelates power from utilization down to the paper's 0.45
+//!   (Fig. 6).
+//!
+//! The crate offers two layers: the statistical [`WorkloadModel`] the
+//! six-year telemetry simulator runs on, and a genuine job-level
+//! [`scheduler::BackfillScheduler`] (FCFS + EASY backfill over the rack
+//! grid) for experiments that need discrete jobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod elastic;
+pub mod job;
+pub mod maintenance;
+pub mod model;
+pub mod scheduler;
+pub mod spatial;
+
+pub use demand::{DemandModel, SystemDemand};
+pub use elastic::{hole_filling_experiment, ElasticPool, HoleFillingReport};
+pub use job::{Job, JobGenerator, Program};
+pub use maintenance::MaintenanceSchedule;
+pub use model::{RackLoad, WorkloadModel};
+pub use scheduler::{BackfillScheduler, SchedulerStats};
+pub use spatial::RackUsageProfile;

@@ -1,0 +1,175 @@
+//! The Monday maintenance schedule.
+//!
+//! ALCF scheduled Mira maintenance on Mondays starting at 9 AM, lasting
+//! 6–10 hours — not every week, but often enough that Mondays are visibly
+//! the lightest day in the telemetry (Fig. 5). During a window, user jobs
+//! are drained and *burner jobs* run instead: no useful computation, just
+//! enough load to keep CPUs warm, because cold inlet coolant against idle
+//! silicon caused node damage and post-reboot crashes.
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::{Date, Duration, SimTime, Weekday};
+
+/// Deterministic biweekly Monday maintenance windows.
+///
+/// ```
+/// use mira_timeseries::{Date, Duration, SimTime};
+/// use mira_workload::MaintenanceSchedule;
+///
+/// let sched = MaintenanceSchedule::mira();
+/// // Maintenance only ever happens on Mondays during working hours.
+/// let t = SimTime::from_date(Date::new(2015, 6, 3)); // a Wednesday
+/// assert!(!sched.in_window(t));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceSchedule {
+    /// A window starts this many hours after Monday midnight (9 AM).
+    start_hour: i64,
+    /// Only Mondays whose week index satisfies the cadence get a window.
+    cadence_weeks: i64,
+}
+
+impl MaintenanceSchedule {
+    /// The Mira schedule: every other Monday, 9 AM start.
+    #[must_use]
+    pub fn mira() -> Self {
+        Self {
+            start_hour: 9,
+            cadence_weeks: 2,
+        }
+    }
+
+    /// Whether the Monday of the week containing `date` is a maintenance
+    /// Monday.
+    #[must_use]
+    pub fn is_maintenance_monday(&self, date: Date) -> bool {
+        if date.weekday() != Weekday::Monday {
+            return false;
+        }
+        // Weeks since the epoch Monday (1970-01-05 was a Monday).
+        let week = (date.days_since_epoch() - 4).div_euclid(7);
+        week % self.cadence_weeks == 0
+    }
+
+    /// Duration of the window starting on the given maintenance Monday:
+    /// 6–10 h, varying deterministically week to week.
+    #[must_use]
+    pub fn window_duration(&self, monday: Date) -> Duration {
+        let week = (monday.days_since_epoch() - 4).div_euclid(7) as u64;
+        let h = week
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .rotate_left(23)
+            % 5; // 0..=4
+        Duration::from_hours(6 + h as i64)
+    }
+
+    /// Whether `t` falls inside a maintenance window.
+    #[must_use]
+    pub fn in_window(&self, t: SimTime) -> bool {
+        let date = t.date();
+        if !self.is_maintenance_monday(date) {
+            return false;
+        }
+        let start = SimTime::from_date(date) + Duration::from_hours(self.start_hour);
+        let end = start + self.window_duration(date);
+        t >= start && t < end
+    }
+
+    /// Long-run fraction of all time spent in maintenance windows.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        // Mean window of 8 h on every cadence-th Monday.
+        8.0 / (24.0 * 7.0 * self.cadence_weeks as f64)
+    }
+}
+
+impl Default for MaintenanceSchedule {
+    fn default() -> Self {
+        Self::mira()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mondays_qualify() {
+        let s = MaintenanceSchedule::mira();
+        let mut d = Date::new(2015, 3, 1);
+        for _ in 0..60 {
+            if s.is_maintenance_monday(d) {
+                assert_eq!(d.weekday(), Weekday::Monday);
+            }
+            d = d.plus_days(1);
+        }
+    }
+
+    #[test]
+    fn cadence_is_every_other_monday() {
+        let s = MaintenanceSchedule::mira();
+        let mut monday = Date::new(2015, 1, 5); // a Monday
+        assert_eq!(monday.weekday(), Weekday::Monday);
+        let mut pattern = Vec::new();
+        for _ in 0..8 {
+            pattern.push(s.is_maintenance_monday(monday));
+            monday = monday.plus_days(7);
+        }
+        let count = pattern.iter().filter(|&&b| b).count();
+        assert_eq!(count, 4, "half of Mondays: {pattern:?}");
+        // Alternating pattern.
+        for w in pattern.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn window_duration_in_paper_band() {
+        let s = MaintenanceSchedule::mira();
+        let mut monday = Date::new(2014, 1, 6);
+        for _ in 0..100 {
+            let d = s.window_duration(monday).as_hours();
+            assert!((6.0..=10.0).contains(&d), "duration {d}");
+            monday = monday.plus_days(14);
+        }
+    }
+
+    #[test]
+    fn window_times_respected() {
+        let s = MaintenanceSchedule::mira();
+        // Find a maintenance Monday.
+        let mut monday = Date::new(2015, 1, 5);
+        while !s.is_maintenance_monday(monday) {
+            monday = monday.plus_days(7);
+        }
+        let base = SimTime::from_date(monday);
+        assert!(!s.in_window(base + Duration::from_hours(8)));
+        assert!(s.in_window(base + Duration::from_hours(10)));
+        let dur = s.window_duration(monday);
+        assert!(!s.in_window(base + Duration::from_hours(9) + dur));
+    }
+
+    #[test]
+    fn duty_cycle_matches_structure() {
+        let s = MaintenanceSchedule::mira();
+        // Empirical duty cycle over two years of 5-minute samples.
+        let mut t = SimTime::from_date(Date::new(2015, 1, 1));
+        let end = SimTime::from_date(Date::new(2017, 1, 1));
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        while t < end {
+            if s.in_window(t) {
+                hits += 1;
+            }
+            total += 1;
+            t += Duration::from_minutes(30);
+        }
+        let empirical = hits as f64 / total as f64;
+        assert!(
+            (empirical - s.duty_cycle()).abs() < 0.005,
+            "empirical {empirical} vs nominal {}",
+            s.duty_cycle()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The combined rack-level workload model.
+
+use serde::{Deserialize, Serialize};
+
+use mira_facility::RackId;
+use mira_timeseries::SimTime;
+
+use crate::demand::{DemandModel, SystemDemand};
+use crate::spatial::RackUsageProfile;
+
+/// The workload state of one rack at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackLoad {
+    /// Fraction of the rack's 1,024 nodes running jobs.
+    pub utilization: f64,
+    /// Mean CPU intensity of the jobs on the rack.
+    pub intensity: f64,
+}
+
+/// System demand × spatial profile = per-rack load.
+///
+/// ```
+/// use mira_facility::RackId;
+/// use mira_timeseries::{Date, SimTime};
+/// use mira_workload::WorkloadModel;
+///
+/// let wl = WorkloadModel::new(42);
+/// let t = SimTime::from_date(Date::new(2017, 10, 5));
+/// let load = wl.rack_load(t, RackId::new(0, 10));
+/// assert!(load.utilization > 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    demand: DemandModel,
+    profile: RackUsageProfile,
+}
+
+impl WorkloadModel {
+    /// Creates the workload model for a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            demand: DemandModel::new(seed),
+            profile: RackUsageProfile::mira(seed),
+        }
+    }
+
+    /// The system-level demand component.
+    #[must_use]
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The spatial usage profile.
+    #[must_use]
+    pub fn profile(&self) -> &RackUsageProfile {
+        &self.profile
+    }
+
+    /// Samples the system demand at `t`.
+    #[must_use]
+    pub fn system_demand(&self, t: SimTime) -> SystemDemand {
+        self.demand.sample(t)
+    }
+
+    /// The load on `rack` at `t`, given an already-sampled system demand
+    /// (lets one demand sample be shared across all 48 racks per step).
+    #[must_use]
+    pub fn rack_load_with(&self, t: SimTime, rack: RackId, demand: &SystemDemand) -> RackLoad {
+        let f = self.profile.factors(rack);
+        let wobble = self.profile.placement_wobble(rack, t);
+        let utilization =
+            (demand.utilization * f.utilization_factor * wobble).clamp(0.0, 1.0);
+        // During maintenance every rack runs the same burner mix, so the
+        // per-rack intensity structure disappears.
+        let intensity = if demand.in_maintenance {
+            demand.intensity
+        } else {
+            (demand.intensity * f.intensity_factor).clamp(0.0, 1.0)
+        };
+        RackLoad {
+            utilization,
+            intensity,
+        }
+    }
+
+    /// The load on `rack` at `t` (samples the system demand internally).
+    #[must_use]
+    pub fn rack_load(&self, t: SimTime, rack: RackId) -> RackLoad {
+        let demand = self.system_demand(t);
+        self.rack_load_with(t, rack, &demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_timeseries::{Date, Duration};
+
+    #[test]
+    fn rack_load_bounded() {
+        let wl = WorkloadModel::new(9);
+        let mut t = SimTime::from_date(Date::new(2014, 1, 1));
+        let end = SimTime::from_date(Date::new(2014, 3, 1));
+        while t < end {
+            for rack in [RackId::new(0, 0), RackId::new(1, 8), RackId::new(2, 15)] {
+                let l = wl.rack_load(t, rack);
+                assert!((0.0..=1.0).contains(&l.utilization));
+                assert!((0.0..=1.0).contains(&l.intensity));
+            }
+            t += Duration::from_hours(7);
+        }
+    }
+
+    #[test]
+    fn shared_demand_matches_internal_sampling() {
+        let wl = WorkloadModel::new(9);
+        let t = SimTime::from_date(Date::new(2018, 6, 1));
+        let d = wl.system_demand(t);
+        let r = RackId::new(1, 3);
+        assert_eq!(wl.rack_load_with(t, r, &d), wl.rack_load(t, r));
+    }
+
+    #[test]
+    fn mean_rack_utilization_tracks_system_demand() {
+        let wl = WorkloadModel::new(9);
+        let t = SimTime::from_date(Date::new(2017, 2, 10)) + Duration::from_hours(14);
+        let d = wl.system_demand(t);
+        let mean: f64 = RackId::all()
+            .map(|r| wl.rack_load_with(t, r, &d).utilization)
+            .sum::<f64>()
+            / 48.0;
+        assert!(
+            (mean - d.utilization).abs() < 0.05,
+            "rack mean {mean} vs system {}",
+            d.utilization
+        );
+    }
+
+    #[test]
+    fn maintenance_flattens_intensity_structure() {
+        let wl = WorkloadModel::new(9);
+        // Find a maintenance instant.
+        let mut t = SimTime::from_date(Date::new(2016, 1, 1));
+        loop {
+            let d = wl.system_demand(t);
+            if d.in_maintenance {
+                let a = wl.rack_load_with(t, RackId::new(0, 13), &d);
+                let b = wl.rack_load_with(t, RackId::new(2, 0), &d);
+                assert_eq!(a.intensity, b.intensity);
+                break;
+            }
+            t += Duration::from_minutes(30);
+        }
+    }
+}

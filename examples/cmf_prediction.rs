@@ -1,0 +1,77 @@
+//! Train the paper's CMF predictor and print the Fig. 13 lead-time
+//! table — with an honest event-level split (train on 60 % of the
+//! failures, evaluate on the held-out 40 % with a decorrelated negative
+//! grid), plus the differential-feature upgrade.
+//!
+//! Run with `cargo run --release --example cmf_prediction`.
+
+use mira_core::{
+    analysis, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
+    SimConfig, Simulation,
+};
+use mira_predictor::FeatureMode;
+
+const LEADS: [Duration; 7] = [
+    Duration::from_hours(6),
+    Duration::from_hours(5),
+    Duration::from_hours(4),
+    Duration::from_hours(3),
+    Duration::from_hours(2),
+    Duration::from_hours(1),
+    Duration::from_minutes(30),
+];
+
+fn print_table(points: &[mira_predictor::LeadTimePoint]) {
+    println!("lead time | accuracy | precision | recall |   f1   |  fpr");
+    println!("----------+----------+-----------+--------+--------+------");
+    for point in points {
+        let m = point.metrics;
+        println!(
+            "   {:>4.1} h |  {:>5.1}%  |  {:>5.1}%   | {:>5.1}% | {:>5.1}% | {:>4.1}%",
+            point.lead.as_hours(),
+            m.accuracy() * 100.0,
+            m.precision() * 100.0,
+            m.recall() * 100.0,
+            m.f1() * 100.0,
+            m.false_positive_rate() * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let sim = Simulation::new(SimConfig::with_seed(7));
+
+    println!("== CMF prediction (Fig. 13 reproduction) ==\n");
+    println!(
+        "ground truth: {} rack-level CMFs; training on 60% of events,",
+        sim.cmf_ground_truth().len()
+    );
+    println!("evaluating on the held-out 40% (unseen failures, fresh negatives).\n");
+
+    let config = PredictorConfig {
+        hard_negatives: true,
+        ..PredictorConfig::default()
+    };
+    println!(
+        "architecture: {:?} hidden (ReLU) + sigmoid head, {} epochs, Adam\n",
+        config.hidden, config.epochs
+    );
+
+    println!("--- paper features: per-rack six-hour deltas ---");
+    let fig13 = analysis::fig13_predictor_sweep(&sim, &LEADS, usize::MAX, &config);
+    print_table(&fig13.points);
+    println!("paper anchors: ~87% at 6 h -> ~97% at 30 min; fpr 6% -> 1.2%\n");
+
+    println!("--- upgraded features: rack-over-floor-median deltas ---");
+    println!("(cancels economizer/weather common-mode swings; the paper's");
+    println!(" 'use the overall coolant telemetry' suggestion, implemented)");
+    let features = FeatureConfig {
+        mode: FeatureMode::DifferentialDeltas,
+        ..FeatureConfig::mira()
+    };
+    let builder = DatasetBuilder::new(features, sim.cmf_ground_truth(), sim.config().span());
+    let (train_builder, eval_builder) = builder.split_events(0.6, 7);
+    let (predictor, _) = CmfPredictor::train(sim.telemetry(), &train_builder, &config);
+    let points = predictor.lead_time_sweep(sim.telemetry(), &eval_builder, &LEADS);
+    print_table(&points);
+}

@@ -1,0 +1,78 @@
+//! The deployed operator console: replay a stretch of the machine's
+//! life through the trained predictor with operational blackouts, and
+//! grade the alerts against the failure record.
+//!
+//! Run with `cargo run --release --example operations_console`.
+
+use mira_core::{
+    CmfPredictor, ConsoleConfig, DatasetBuilder, Duration, FeatureConfig, OperatorConsole,
+    PredictorConfig, SimConfig, Simulation,
+};
+use mira_predictor::FeatureMode;
+
+fn main() {
+    let sim = Simulation::new(SimConfig::with_seed(7));
+
+    println!("== operations console replay ==\n");
+    println!("training the deployable model (differential features, hard negatives)...");
+    let features = FeatureConfig {
+        mode: FeatureMode::DifferentialDeltas,
+        ..FeatureConfig::mira()
+    };
+    let builder = DatasetBuilder::new(features, sim.cmf_ground_truth(), sim.config().span());
+    let (train_builder, _) = builder.split_events(0.6, 7);
+    let (predictor, test) = CmfPredictor::train(
+        sim.telemetry(),
+        &train_builder,
+        &PredictorConfig {
+            hard_negatives: true,
+            ..PredictorConfig::default()
+        },
+    );
+    println!("held-out test: {test}\n");
+
+    // Replay two eventful weeks of 2016 (the Theta integration burst).
+    let incidents = sim.schedule().incidents();
+    let mid_2016 = incidents
+        .iter()
+        .position(|i| i.time.date().year() == 2016)
+        .expect("2016 incidents exist");
+    let from = incidents[mid_2016].time - Duration::from_days(3);
+    let to = from + Duration::from_days(14);
+    println!("replaying {from} .. {to}");
+    println!("cadence 30 min, threshold 0.8, 6 h debounce, maintenance/outage blackouts\n");
+
+    let console = OperatorConsole::new(&predictor, &builder, ConsoleConfig::default());
+    let log = console.replay_masked(sim.telemetry(), from, to, sim.blackout_mask());
+    let score = log.score_against(&sim, Duration::from_hours(12));
+
+    println!("alerts raised: {}", log.alerts.len());
+    println!(
+        "failures in span: {} | warned: {} ({:.0}% coverage) | missed: {}",
+        score.warned.len() + score.missed.len(),
+        score.warned.len(),
+        score.coverage() * 100.0,
+        score.missed.len()
+    );
+    println!(
+        "mean warning time: {:.1} h | false alerts/week: {:.1}",
+        score.mean_warning.as_hours(),
+        score.false_alerts_per_week(log.span)
+    );
+
+    println!("\nwarned failures (rack, warning lead):");
+    for (t, rack, lead) in score.warned.iter().take(10) {
+        println!("  {t}  {rack}  warned {:.1} h ahead", lead.as_hours());
+    }
+    if !score.missed.is_empty() {
+        println!("\nmissed failures:");
+        for (t, rack) in score.missed.iter().take(5) {
+            println!("  {t}  {rack}");
+        }
+    }
+    println!(
+        "\nthe paper's pitch, demonstrated: hours of warning to checkpoint jobs,\n\
+         alert users, and pre-stage recovery — without drowning operators in\n\
+         false alarms."
+    );
+}

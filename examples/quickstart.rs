@@ -1,0 +1,83 @@
+//! Quickstart: build the six-year world and reproduce a few headline
+//! numbers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mira_core::{analysis, Date, Duration, SimConfig, SimTime, Simulation};
+
+fn main() {
+    let sim = Simulation::new(SimConfig::with_seed(7));
+
+    println!("== mira-ops quickstart ==\n");
+    println!(
+        "machine: {} racks, {} nodes, {} cores",
+        mira_core::RackId::COUNT,
+        sim.machine().total_nodes(),
+        sim.machine().total_cores(),
+    );
+
+    // The failure record needs no telemetry sweep.
+    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    println!("\ncoolant monitor failures (Fig. 10):");
+    for (year, count) in &fig10.by_year {
+        println!("  {year}: {count:>3}  {}", "#".repeat(*count as usize / 4));
+    }
+    println!(
+        "  total {} | 2016 share {:.0}% | longest quiet gap {:.0} days",
+        fig10.total,
+        fig10.share_2016 * 100.0,
+        fig10.longest_gap_days
+    );
+
+    // Sweep one quarter of telemetry and look at the system channels.
+    println!("\nsweeping 2015 Q1 telemetry (300 s coolant-monitor cadence)...");
+    let summary = sim.summarize_span(
+        SimTime::from_date(Date::new(2015, 1, 1)),
+        SimTime::from_date(Date::new(2015, 4, 1)),
+        Duration::from_minutes(5),
+    );
+    let power = summary.power_mw.bins.overall();
+    let flow = summary.flow_gpm.bins.overall();
+    let inlet = summary.inlet_f.bins.overall();
+    let outlet = summary.outlet_f.bins.overall();
+    println!(
+        "  system power : {:.2} MW mean ({:.2}..{:.2})",
+        power.mean(),
+        power.min(),
+        power.max()
+    );
+    println!(
+        "  loop flow    : {:.0} GPM mean, sigma {:.1}",
+        flow.mean(),
+        flow.stddev()
+    );
+    println!(
+        "  inlet coolant: {:.1} F mean, sigma {:.2}",
+        inlet.mean(),
+        inlet.stddev()
+    );
+    println!(
+        "  outlet       : {:.1} F mean, sigma {:.2}",
+        outlet.mean(),
+        outlet.stddev()
+    );
+
+    // One rack's live telemetry, the paper's data model.
+    let rack = mira_core::RackId::parse("(1, 8)").expect("valid rack");
+    let t = SimTime::from_date(Date::new(2015, 2, 10)) + Duration::from_hours(14);
+    let sample = mira_core::TelemetryProvider::sample(sim.telemetry(), rack, t);
+    println!("\ncoolant monitor sample, rack {rack} at {t}:");
+    println!(
+        "  dc temp {}, humidity {}",
+        sample.dc_temperature, sample.dc_humidity
+    );
+    println!(
+        "  flow {}, inlet {}, outlet {}",
+        sample.flow, sample.inlet, sample.outlet
+    );
+    println!("  power {}", sample.power);
+    println!(
+        "  condensation margin {} (alarm below 3 F)",
+        sample.condensation_margin()
+    );
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the features built from the paper's
+//! "Opportunity" paragraphs, run against the real simulated world.
+
+use mira_core::{
+    compare_policies, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, MitigationCosts,
+    PredictorConfig, SimConfig, SimTime, Simulation,
+};
+use mira_predictor::{LocationPredictor, ThresholdDetector};
+use mira_ras::{PhaseRates, WeibullFit};
+use mira_workload::{hole_filling_experiment, ElasticPool};
+
+fn trained(sim: &Simulation, events: usize) -> (CmfPredictor, DatasetBuilder) {
+    let mut cmfs = sim.cmf_ground_truth();
+    cmfs.truncate(events);
+    let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
+    let (predictor, _) = CmfPredictor::train(
+        sim.telemetry(),
+        &builder,
+        &PredictorConfig {
+            epochs: 30,
+            seed: 5,
+            ..PredictorConfig::default()
+        },
+    );
+    (predictor, builder)
+}
+
+#[test]
+fn thresholds_collapse_at_long_leads_network_does_not() {
+    // The quantitative version of Sec. VI-D: a static-threshold monitor
+    // is near chance six hours out, while the change-feature network
+    // still works.
+    let sim = Simulation::new(SimConfig::with_seed(101));
+    let (predictor, builder) = trained(&sim, 140);
+    let detector = ThresholdDetector::mira();
+
+    let lead = Duration::from_hours(6);
+    let thr = detector.evaluate_at(sim.telemetry(), &builder, lead, 3);
+    let net = predictor.evaluate_at(sim.telemetry(), &builder, lead);
+    assert!(
+        thr.accuracy() < 0.65,
+        "thresholds at 6 h should be near chance: {}",
+        thr.accuracy()
+    );
+    assert!(
+        net.accuracy() > thr.accuracy() + 0.15,
+        "network {} vs thresholds {}",
+        net.accuracy(),
+        thr.accuracy()
+    );
+
+    // Close in, the visible sag makes even thresholds useful — but the
+    // network stays ahead.
+    let near = Duration::from_hours(1);
+    let thr_near = detector.evaluate_at(sim.telemetry(), &builder, near, 3);
+    let net_near = predictor.evaluate_at(sim.telemetry(), &builder, near);
+    assert!(thr_near.accuracy() > 0.8, "{}", thr_near.accuracy());
+    assert!(net_near.accuracy() >= thr_near.accuracy() - 0.02);
+}
+
+#[test]
+fn localization_beats_chance_by_an_order_of_magnitude() {
+    let sim = Simulation::new(SimConfig::with_seed(102));
+    let (predictor, builder) = trained(&sim, 120);
+    let loc = LocationPredictor::new(&predictor, &builder);
+
+    let acc = loc.top_k_accuracy(sim.telemetry(), Duration::from_hours(2), 3, 50);
+    assert!(acc.events >= 40);
+    // Random top-3 over 48 racks is 6.25 %; anything above ~3x chance
+    // is a real localization signal (weak-severity events cap it well
+    // below 1 — exactly the paper's "location accuracy needs further
+    // improvement" caveat).
+    assert!(
+        acc.hit_rate > 0.2,
+        "top-3 hit rate {} (chance 0.0625)",
+        acc.hit_rate
+    );
+    assert!(acc.mean_rank < 15.0, "mean rank {}", acc.mean_rank);
+}
+
+#[test]
+fn failure_record_is_clustered_not_bathtub() {
+    let sim = Simulation::new(SimConfig::with_seed(103));
+    let times: Vec<SimTime> = sim.schedule().incidents().iter().map(|i| i.time).collect();
+    let gaps: Vec<Duration> = times.windows(2).map(|w| w[1] - w[0]).collect();
+
+    let fit = WeibullFit::fit(&gaps).expect("fit");
+    assert!(
+        fit.shape < 1.0,
+        "clustered gaps give sub-exponential shape, got {}",
+        fit.shape
+    );
+
+    let (start, end) = sim.config().span();
+    let rates = PhaseRates::compute(&times, start, end, 6);
+    assert!(!rates.is_bathtub());
+    // The Theta phase (2016 = phase 2 of 6) is the peak or near it.
+    let peak = rates.peak_phase();
+    assert!(peak == 2 || peak == 5, "peak phase {peak}: {:?}", rates.per_day);
+}
+
+#[test]
+fn elastic_pool_fills_capability_drains() {
+    let report = hole_filling_experiment(11, 10, ElasticPool::mira());
+    assert!(report.uplift() > 0.03, "uplift {}", report.uplift());
+    assert!(
+        report.elastic_minimum > report.rigid_minimum,
+        "the drain hole must be shallower"
+    );
+    assert!(report.elastic_utilization <= 1.0 + 1e-9);
+}
+
+#[test]
+fn checkpoint_economics_reward_the_real_predictor() {
+    let sim = Simulation::new(SimConfig::with_seed(104));
+    let (predictor, builder) = trained(&sim, 150);
+    let metrics = predictor.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(3));
+    assert!(metrics.recall() > 0.8, "recall {}", metrics.recall());
+
+    let report = compare_policies(
+        &sim,
+        Duration::from_hours(4),
+        metrics,
+        &MitigationCosts::mira(),
+    );
+    assert!(
+        report.gated.total() < report.none.total(),
+        "gated {} vs none {}",
+        report.gated.total(),
+        report.none.total()
+    );
+    assert!(report.gated.total() < report.periodic.total());
+}

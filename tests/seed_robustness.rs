@@ -1,0 +1,74 @@
+//! Seed robustness: the paper's qualitative shapes must hold for *any*
+//! seed, not just the calibrated demo seed. A quick (6 h step) sweep per
+//! seed checks the load-bearing anchors.
+
+use mira_core::{analysis, Duration, RackId, SimConfig, Simulation};
+
+fn check_seed(seed: u64) {
+    let sim = Simulation::new(SimConfig::with_seed(seed));
+    let summary = sim.summarize(Duration::from_hours(6));
+
+    // Fig. 2 directions.
+    let fig2 = analysis::fig2_yearly_trends(&summary);
+    assert!(
+        fig2.power_by_year[5].mean > fig2.power_by_year[0].mean,
+        "seed {seed}: power must rise"
+    );
+    assert!(
+        fig2.utilization_by_year[5].mean > fig2.utilization_by_year[0].mean + 5.0,
+        "seed {seed}: utilization must rise"
+    );
+
+    // Fig. 3 Theta step.
+    let fig3 = analysis::fig3_coolant_trends(&summary);
+    assert!(
+        fig3.flow_after_theta > fig3.flow_before_theta + 30.0,
+        "seed {seed}: Theta flow step"
+    );
+
+    // Fig. 5 Monday effect, power harder than utilization.
+    let fig5 = analysis::fig5_weekday_profile(&summary);
+    assert!(fig5.power_uplift > 0.02, "seed {seed}: {}", fig5.power_uplift);
+    assert!(
+        fig5.power_uplift > fig5.utilization_uplift,
+        "seed {seed}: power dips harder"
+    );
+
+    // Fig. 6 anchors are wiring, not luck.
+    let fig6 = analysis::fig6_rack_power_util(&summary);
+    assert_eq!(fig6.power_leader, RackId::new(0, 13), "seed {seed}");
+    assert_eq!(fig6.utilization_leader, RackId::new(0, 10), "seed {seed}");
+    assert!(
+        (0.2..0.7).contains(&fig6.power_utilization_correlation),
+        "seed {seed}: corr {}",
+        fig6.power_utilization_correlation
+    );
+
+    // Fig. 10/11 calibrated ground truth.
+    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    assert_eq!(fig10.total, 361, "seed {seed}");
+    assert!((0.38..0.42).contains(&fig10.share_2016), "seed {seed}");
+    let counts = sim.ras_log().cmf_by_rack();
+    assert_eq!(counts[RackId::new(1, 8).index()], 14, "seed {seed}");
+    assert_eq!(counts[RackId::new(2, 7).index()], 5, "seed {seed}");
+
+    // Fig. 14 decay.
+    let fig14 = analysis::fig14_post_cmf(&sim);
+    assert!(fig14.ratio_6h_over_3h < 0.9, "seed {seed}");
+    assert!(fig14.ratio_48h_over_3h < 0.25, "seed {seed}");
+}
+
+#[test]
+fn shapes_hold_for_seed_1() {
+    check_seed(1);
+}
+
+#[test]
+fn shapes_hold_for_seed_777() {
+    check_seed(777);
+}
+
+#[test]
+fn shapes_hold_for_seed_max_entropy() {
+    check_seed(0xDEAD_BEEF_CAFE_F00D);
+}

@@ -1,0 +1,238 @@
+//! The headline validation: one full 2014–2019 sweep, checked against
+//! every quantitative anchor the paper reports.
+//!
+//! Shape, not absolute equality: our substrate is a simulator, so each
+//! assertion is a band around the paper's number wide enough for seed
+//! noise but tight enough that a broken model fails.
+
+use mira_core::{analysis, Duration, RackId, SimConfig, Simulation};
+use mira_timeseries::Month;
+
+/// One shared world + six-year summary for every check in this file.
+fn world() -> (Simulation, mira_core::SweepSummary) {
+    let sim = Simulation::new(SimConfig::with_seed(2014));
+    let summary = sim.summarize(Duration::from_hours(1));
+    (sim, summary)
+}
+
+#[test]
+fn six_year_anchor_suite() {
+    let (sim, summary) = world();
+
+    // ---- Fig. 2: power 2.5 -> 2.9 MW, utilization 80 -> 93 %. ----
+    let fig2 = analysis::fig2_yearly_trends(&summary);
+    assert_eq!(fig2.power_by_year.len(), 6);
+    let p2014 = fig2.power_by_year[0].mean;
+    let p2019 = fig2.power_by_year[5].mean;
+    assert!((2.3..2.7).contains(&p2014), "2014 power {p2014} MW");
+    assert!((2.7..3.1).contains(&p2019), "2019 power {p2019} MW");
+    let u2014 = fig2.utilization_by_year[0].mean;
+    let u2019 = fig2.utilization_by_year[5].mean;
+    assert!((76.0..84.0).contains(&u2014), "2014 utilization {u2014}%");
+    assert!((88.0..96.0).contains(&u2019), "2019 utilization {u2019}%");
+    assert!(fig2.power_fit.expect("fit").slope > 0.0);
+    assert!(fig2.utilization_fit.expect("fit").slope > 0.0);
+
+    // ---- Fig. 3: flow step at Theta; stability sigmas. ----
+    let fig3 = analysis::fig3_coolant_trends(&summary);
+    assert!(
+        (1240.0..1265.0).contains(&fig3.flow_before_theta),
+        "pre-Theta flow {}",
+        fig3.flow_before_theta
+    );
+    assert!(
+        (1290.0..1320.0).contains(&fig3.flow_after_theta),
+        "post-Theta flow {}",
+        fig3.flow_after_theta
+    );
+    assert!(
+        (20.0..55.0).contains(&fig3.flow_stddev),
+        "flow sigma {} (paper 41 GPM)",
+        fig3.flow_stddev
+    );
+    assert!(
+        (0.3..1.1).contains(&fig3.inlet_stddev),
+        "inlet sigma {} (paper 0.61 F)",
+        fig3.inlet_stddev
+    );
+    assert!(
+        (0.3..1.4).contains(&fig3.outlet_stddev),
+        "outlet sigma {} (paper 0.71 F)",
+        fig3.outlet_stddev
+    );
+    // Inlet ~64 F, outlet ~79 F throughout.
+    for row in &fig3.inlet_by_year {
+        assert!((62.5..67.5).contains(&row.mean), "inlet {} in {}", row.mean, row.year);
+    }
+    for row in &fig3.outlet_by_year {
+        assert!((76.0..83.0).contains(&row.mean), "outlet {} in {}", row.mean, row.year);
+    }
+    // The 2016 Theta heat bump: inlet mean 2016 above 2015.
+    assert!(fig3.inlet_by_year[2].mean > fig3.inlet_by_year[1].mean);
+
+    // ---- Fig. 4: monthly shapes. ----
+    let fig4 = analysis::fig4_monthly_profile(&summary);
+    let med = |rows: &[mira_timeseries::MonthProfile], m: Month| {
+        rows.iter().find(|r| r.month == m).unwrap().median
+    };
+    assert!(med(&fig4.power, Month::December) > med(&fig4.power, Month::April));
+    assert!(med(&fig4.utilization, Month::December) > med(&fig4.utilization, Month::May));
+    // Inlet warmer in free-cooling months than mid-summer.
+    assert!(med(&fig4.inlet, Month::January) > med(&fig4.inlet, Month::August));
+    // Flow/inlet/outlet move less than ~2 % from January (paper: 1.5 %).
+    for changes in [
+        fig4.flow_change_from_january.as_ref().unwrap(),
+        fig4.inlet_change_from_january.as_ref().unwrap(),
+        fig4.outlet_change_from_january.as_ref().unwrap(),
+    ] {
+        assert!(changes.iter().all(|c| c.abs() < 0.025), "{changes:?}");
+    }
+
+    // ---- Fig. 5: Monday maintenance. ----
+    let fig5 = analysis::fig5_weekday_profile(&summary);
+    assert!(
+        (0.02..0.10).contains(&fig5.power_uplift),
+        "non-Monday power uplift {} (paper ~6 %)",
+        fig5.power_uplift
+    );
+    assert!(
+        (0.004..0.035).contains(&fig5.utilization_uplift),
+        "non-Monday utilization uplift {} (paper ~1.5 %)",
+        fig5.utilization_uplift
+    );
+    assert!(fig5.power_uplift > 2.0 * fig5.utilization_uplift);
+    assert!(
+        (0.0..0.05).contains(&fig5.outlet_uplift),
+        "outlet uplift {} (paper ~2 %)",
+        fig5.outlet_uplift
+    );
+    assert!(fig5.flow_uplift.abs() < 0.008, "flow flat across weekdays");
+    assert!(fig5.inlet_uplift.abs() < 0.008, "inlet flat across weekdays");
+
+    // ---- Fig. 6: rack power/utilization. ----
+    let fig6 = analysis::fig6_rack_power_util(&summary);
+    assert_eq!(fig6.power_leader, RackId::new(0, 13), "(0, D) leads power");
+    assert_eq!(fig6.utilization_leader, RackId::new(0, 10), "(0, A) leads util");
+    assert_eq!(fig6.utilization_floor, RackId::new(2, 13), "(2, D) floor");
+    assert!(
+        (0.06..0.20).contains(&fig6.power_spread),
+        "power spread {} (paper up to 15 %)",
+        fig6.power_spread
+    );
+    assert!(
+        (0.25..0.65).contains(&fig6.power_utilization_correlation),
+        "power-util correlation {} (paper 0.45)",
+        fig6.power_utilization_correlation
+    );
+    assert!(fig6.row_utilization[0] > fig6.row_utilization[1]);
+
+    // ---- Fig. 7: rack coolant. ----
+    let fig7 = analysis::fig7_rack_coolant(&summary);
+    assert!(
+        (0.06..0.16).contains(&fig7.flow_spread),
+        "flow spread {} (paper up to 11 %)",
+        fig7.flow_spread
+    );
+    assert!(fig7.inlet_spread < 0.02, "inlet spread {}", fig7.inlet_spread);
+    assert!(
+        (0.005..0.06).contains(&fig7.outlet_spread),
+        "outlet spread {} (paper up to 3 %)",
+        fig7.outlet_spread
+    );
+
+    // ---- Fig. 8: ambient variability. ----
+    let fig8 = analysis::fig8_ambient_trends(&summary);
+    assert!(
+        (1.2..3.8).contains(&fig8.temperature_stddev),
+        "DC temp sigma {} (paper 2.48 F)",
+        fig8.temperature_stddev
+    );
+    assert!(
+        (2.2..5.2).contains(&fig8.humidity_stddev),
+        "DC humidity sigma {} (paper 3.66 RH)",
+        fig8.humidity_stddev
+    );
+    let (tmin, tmax) = fig8.temperature_range;
+    assert!(tmin > 70.0 && tmax < 95.0, "temp range {tmin}..{tmax}");
+    let aug = fig8.humidity_monthly.iter().find(|r| r.month == Month::August).unwrap();
+    let feb = fig8.humidity_monthly.iter().find(|r| r.month == Month::February).unwrap();
+    assert!(aug.median > feb.median + 2.0, "summer humidity bulge");
+
+    // ---- Fig. 9: rack ambient. ----
+    let fig9 = analysis::fig9_rack_ambient(&summary);
+    assert_eq!(fig9.humidity_hotspot, RackId::new(1, 8));
+    assert!(
+        (0.2..0.45).contains(&fig9.humidity_spread),
+        "humidity spread {} (paper up to 36 %)",
+        fig9.humidity_spread
+    );
+    assert!(
+        (0.02..0.13).contains(&fig9.temperature_spread),
+        "temperature spread {} (paper up to 11 %)",
+        fig9.temperature_spread
+    );
+
+    // ---- Fig. 10: the CMF timeline. ----
+    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    assert_eq!(fig10.total, 361);
+    assert!((0.38..0.42).contains(&fig10.share_2016));
+    assert!(fig10.longest_gap_days > 730.0, "two-year quiet gap");
+
+    // ---- Fig. 11: per-rack CMFs and weak correlations. ----
+    let fig11 = analysis::fig11_cmf_by_rack(&sim, &summary);
+    assert_eq!(fig11.max_rack, RackId::new(1, 8));
+    assert_eq!(fig11.max_count, 14);
+    assert_eq!(fig11.min_rack, RackId::new(2, 7));
+    assert_eq!(fig11.min_count, 5);
+    assert!(fig11
+        .counts
+        .iter()
+        .enumerate()
+        .all(|(i, &c)| c <= 9
+            || RackId::from_index(i) == RackId::new(1, 8)));
+    assert!(fig11.correlation_utilization < 0.1, "util corr {}", fig11.correlation_utilization);
+    assert!(fig11.correlation_outlet.abs() < 0.4);
+    assert!(fig11.correlation_humidity.abs() < 0.4);
+
+    // ---- Fig. 14: post-CMF hazard. ----
+    let fig14 = analysis::fig14_post_cmf(&sim);
+    assert!(fig14.ratio_6h_over_3h < 0.85);
+    assert!((0.05..0.2).contains(&fig14.ratio_48h_over_3h));
+
+    // ---- Free cooling: seasonal savings exist and are plausibly sized. ----
+    let energy = analysis::free_cooling_report(&summary);
+    assert!(energy.season_saved.value() > 5.0e5, "{}", energy.season_saved);
+    assert!(energy.total_saved.value() > energy.season_saved.value() * 0.9);
+}
+
+#[test]
+fn fig12_leadup_full_population() {
+    let sim = Simulation::new(SimConfig::with_seed(2014));
+    let leads = [
+        Duration::from_hours(6),
+        Duration::from_hours(4),
+        Duration::from_hours(3),
+        Duration::from_hours(2),
+        Duration::from_hours(1),
+        Duration::from_minutes(30),
+        Duration::ZERO,
+    ];
+    // All 361 failures.
+    let fig12 = analysis::fig12_cmf_leadup(&sim, &leads, usize::MAX);
+    assert_eq!(fig12.events, 361);
+    let at = |h: f64| {
+        *fig12
+            .points
+            .iter()
+            .find(|p| (p.lead.as_hours() - h).abs() < 1e-9)
+            .unwrap()
+    };
+    // Inlet: ~-7 % trough hours before, recovery at the event.
+    assert!((0.91..0.95).contains(&at(2.0).inlet_rel), "{}", at(2.0).inlet_rel);
+    assert!(at(0.0).inlet_rel > at(1.0).inlet_rel, "late snap-back");
+    // Outlet: ~-5 % three hours out.
+    assert!((0.93..0.97).contains(&at(3.0).outlet_rel), "{}", at(3.0).outlet_rel);
+    // Flow: flat until late, collapsing at the event.
+    assert!((0.98..1.02).contains(&at(1.0).flow_rel), "{}", at(1.0).flow_rel);
+    assert!(at(0.0).flow_rel < 0.8, "{}", at(0.0).flow_rel);
+}
