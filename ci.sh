@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The tier-1 gate, in the order fastest-feedback-first:
+#   formatting -> clippy (workspace lints, warnings fatal) -> mira-lint
+#   (domain invariants) -> the test suite.
+# Run from the workspace root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> mira-lint"
+cargo run -q -p mira-lint
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ci: all gates green"

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mira_bench::{print_rows, simulation};
-use mira_core::{
-    CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
-};
+use mira_core::{CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig};
 use mira_facility::{ClockTree, RackId};
 use mira_predictor::pipeline::pooled_dataset;
 use mira_predictor::FeatureMode;
@@ -48,8 +46,8 @@ fn economizer_ablation(c: &mut Criterion) {
                 SimTime::from_date(Date::new(2015, 3, 1)),
                 Duration::from_hours(2),
             );
-            mira_core::analysis::free_cooling_report(&s).total_saved
-        })
+            let _ = mira_core::analysis::free_cooling_report(&s).total_saved;
+        });
     });
     group.finish();
 }
@@ -63,10 +61,8 @@ fn dedup_window_ablation(c: &mut Criterion) {
     let counts: Vec<(String, f64)> = [1i64, 3, 6, 12, 24]
         .into_iter()
         .map(|hours| {
-            let mut dedup = FailureDeduplicator::new(
-                Duration::from_hours(hours),
-                Duration::from_hours(1),
-            );
+            let mut dedup =
+                FailureDeduplicator::new(Duration::from_hours(hours), Duration::from_hours(1));
             let cmfs = dedup
                 .filter(raw)
                 .into_iter()
@@ -82,7 +78,7 @@ fn dedup_window_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dedup");
     group.sample_size(10);
     group.bench_function("filter_full_raw_log", |b| {
-        b.iter(|| FailureDeduplicator::mira().filter(raw).len())
+        b.iter(|| FailureDeduplicator::mira().filter(raw).len());
     });
     group.finish();
 }
@@ -109,7 +105,11 @@ fn feature_ablation(c: &mut Criterion) {
             &[Duration::from_hours(5), Duration::from_hours(6)],
         );
         let folds = CmfPredictor::cross_validate(&data, 5, &config);
-        folds.iter().map(|m| m.accuracy()).sum::<f64>() / folds.len() as f64
+        folds
+            .iter()
+            .map(mira_nn::metrics::BinaryMetrics::accuracy)
+            .sum::<f64>()
+            / folds.len() as f64
     };
     let deltas = accuracy(FeatureMode::Deltas);
     let levels = accuracy(FeatureMode::Levels);
@@ -123,7 +123,7 @@ fn feature_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("features_ablation");
     group.sample_size(10);
     group.bench_function("cv_delta_features", |b| {
-        b.iter(|| CmfPredictor::cross_validate(&data, 5, &config))
+        b.iter(|| CmfPredictor::cross_validate(&data, 5, &config));
     });
     group.finish();
 }
@@ -143,15 +143,18 @@ fn clock_tree_ablation(c: &mut Criterion) {
         [
             ("with clock tree", with),
             ("isolated clocks", without),
-            ("master failure", tree.affected_by(tree.master()).len() as f64),
+            (
+                "master failure",
+                tree.affected_by(tree.master()).len() as f64,
+            ),
         ],
     );
     c.bench_function("clock_tree_affected_by_all", |b| {
         b.iter(|| {
-            RackId::all()
+            let _ = RackId::all()
                 .map(|r| tree.affected_by(r).len())
-                .sum::<usize>()
-        })
+                .sum::<usize>();
+        });
     });
 }
 

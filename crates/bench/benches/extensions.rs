@@ -46,7 +46,7 @@ fn threshold_vs_network(c: &mut Criterion) {
     let mut group = c.benchmark_group("threshold");
     group.sample_size(10);
     group.bench_function("evaluate_at_3h", |b| {
-        b.iter(|| detector.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(3), 3))
+        b.iter(|| detector.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(3), 3));
     });
     group.finish();
 }
@@ -68,12 +68,7 @@ fn localization(c: &mut Criterion) {
 
     println!("\n--- failure localization (which rack?) ---");
     for (k, lead_h) in [(1, 2), (3, 2), (3, 5)] {
-        let acc = loc.top_k_accuracy(
-            sim.telemetry(),
-            Duration::from_hours(lead_h),
-            k,
-            60,
-        );
+        let acc = loc.top_k_accuracy(sim.telemetry(), Duration::from_hours(lead_h), k, 60);
         println!(
             "top-{k} at {lead_h} h lead: hit rate {:.0}% (mean rank {:.1} of 48)",
             acc.hit_rate * 100.0,
@@ -85,7 +80,7 @@ fn localization(c: &mut Criterion) {
     group.sample_size(10);
     let t = builder.cmfs()[30].0 - Duration::from_hours(2);
     group.bench_function("rank_all_48_racks", |b| {
-        b.iter(|| loc.rank_at(sim.telemetry(), t))
+        b.iter(|| loc.rank_at(sim.telemetry(), t));
     });
     group.finish();
 }
@@ -112,7 +107,7 @@ fn hazard_shape(c: &mut Criterion) {
     println!("bathtub? {}", rates.is_bathtub());
 
     c.bench_function("weibull_fit_incident_gaps", |b| {
-        b.iter(|| WeibullFit::fit(&gaps))
+        b.iter(|| WeibullFit::fit(&gaps));
     });
 }
 
@@ -132,7 +127,7 @@ fn elastic_filling(c: &mut Criterion) {
     let mut group = c.benchmark_group("elastic");
     group.sample_size(10);
     group.bench_function("one_week_trace", |b| {
-        b.iter(|| hole_filling_experiment(7, 7, ElasticPool::mira()))
+        b.iter(|| hole_filling_experiment(7, 7, ElasticPool::mira()));
     });
     group.finish();
 }
@@ -156,7 +151,7 @@ fn checkpoint_economics(c: &mut Criterion) {
         ],
     );
     c.bench_function("policy_comparison", |b| {
-        b.iter(|| compare_policies(sim, Duration::from_hours(4), metrics, &costs))
+        b.iter(|| compare_policies(sim, Duration::from_hours(4), metrics, &costs));
     });
 }
 

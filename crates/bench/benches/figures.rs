@@ -29,7 +29,7 @@ fn fig02(c: &mut Criterion) {
         );
     }
     c.bench_function("fig02_yearly_trends", |b| {
-        b.iter(|| analysis::fig2_yearly_trends(summary))
+        b.iter(|| analysis::fig2_yearly_trends(summary));
     });
 }
 
@@ -49,7 +49,7 @@ fn fig03(c: &mut Criterion) {
         fig.outlet_stddev
     );
     c.bench_function("fig03_coolant_trends", |b| {
-        b.iter(|| analysis::fig3_coolant_trends(summary))
+        b.iter(|| analysis::fig3_coolant_trends(summary));
     });
 }
 
@@ -65,7 +65,7 @@ fn fig04(c: &mut Criterion) {
         fig.inlet.iter().map(|r| (r.month, r.median)),
     );
     c.bench_function("fig04_monthly_profile", |b| {
-        b.iter(|| analysis::fig4_monthly_profile(summary))
+        b.iter(|| analysis::fig4_monthly_profile(summary));
     });
 }
 
@@ -85,7 +85,7 @@ fn fig05(c: &mut Criterion) {
         fig.inlet_uplift * 100.0
     );
     c.bench_function("fig05_weekday_profile", |b| {
-        b.iter(|| analysis::fig5_weekday_profile(summary))
+        b.iter(|| analysis::fig5_weekday_profile(summary));
     });
 }
 
@@ -102,7 +102,7 @@ fn fig06(c: &mut Criterion) {
         fig.power_utilization_correlation
     );
     c.bench_function("fig06_rack_power_util", |b| {
-        b.iter(|| analysis::fig6_rack_power_util(summary))
+        b.iter(|| analysis::fig6_rack_power_util(summary));
     });
 }
 
@@ -116,7 +116,7 @@ fn fig07(c: &mut Criterion) {
         fig.outlet_spread * 100.0
     );
     c.bench_function("fig07_rack_coolant", |b| {
-        b.iter(|| analysis::fig7_rack_coolant(summary))
+        b.iter(|| analysis::fig7_rack_coolant(summary));
     });
 }
 
@@ -137,7 +137,7 @@ fn fig08(c: &mut Criterion) {
         fig.humidity_monthly.iter().map(|r| (r.month, r.median)),
     );
     c.bench_function("fig08_ambient_trends", |b| {
-        b.iter(|| analysis::fig8_ambient_trends(summary))
+        b.iter(|| analysis::fig8_ambient_trends(summary));
     });
 }
 
@@ -151,7 +151,7 @@ fn fig09(c: &mut Criterion) {
         fig.temperature_spread * 100.0
     );
     c.bench_function("fig09_rack_ambient", |b| {
-        b.iter(|| analysis::fig9_rack_ambient(summary))
+        b.iter(|| analysis::fig9_rack_ambient(summary));
     });
 }
 
@@ -169,7 +169,7 @@ fn fig10(c: &mut Criterion) {
         fig.longest_gap_days
     );
     c.bench_function("fig10_cmf_timeline", |b| {
-        b.iter(|| analysis::fig10_cmf_timeline(sim))
+        b.iter(|| analysis::fig10_cmf_timeline(sim));
     });
 }
 
@@ -186,7 +186,7 @@ fn fig11(c: &mut Criterion) {
         fig.correlation_utilization, fig.correlation_outlet, fig.correlation_humidity
     );
     c.bench_function("fig11_cmf_by_rack", |b| {
-        b.iter(|| analysis::fig11_cmf_by_rack(sim, summary))
+        b.iter(|| analysis::fig11_cmf_by_rack(sim, summary));
     });
 }
 
@@ -208,7 +208,7 @@ fn fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     group.bench_function("cmf_leadup_100_events", |b| {
-        b.iter(|| analysis::fig12_cmf_leadup(sim, &leads, 100))
+        b.iter(|| analysis::fig12_cmf_leadup(sim, &leads, 100));
     });
     group.finish();
 }
@@ -252,7 +252,7 @@ fn fig13(c: &mut Criterion) {
         ..PredictorConfig::default()
     };
     group.bench_function("predictor_sweep_80_events", |b| {
-        b.iter(|| analysis::fig13_predictor_sweep(sim, &leads[..2], 80, &quick))
+        b.iter(|| analysis::fig13_predictor_sweep(sim, &leads[..2], 80, &quick));
     });
     group.finish();
 }
@@ -276,7 +276,9 @@ fn fig14(c: &mut Criterion) {
             .iter()
             .map(|(k, share)| (k.to_string(), share * 100.0)),
     );
-    c.bench_function("fig14_post_cmf", |b| b.iter(|| analysis::fig14_post_cmf(sim)));
+    c.bench_function("fig14_post_cmf", |b| {
+        b.iter(|| analysis::fig14_post_cmf(sim));
+    });
 }
 
 fn fig15(c: &mut Criterion) {
@@ -294,12 +296,12 @@ fn fig15(c: &mut Criterion) {
         );
     }
     c.bench_function("fig15_storm_examples", |b| {
-        b.iter(|| analysis::fig15_storm_examples(sim, 3))
+        b.iter(|| analysis::fig15_storm_examples(sim, 3));
     });
 }
 
 criterion_group!(
-    figures, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
-    fig13, fig14, fig15
+    figures, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13,
+    fig14, fig15
 );
 criterion_main!(figures);

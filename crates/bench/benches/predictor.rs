@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use mira_bench::simulation;
-use mira_core::{
-    CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
-};
+use mira_core::{CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig};
 use mira_nn::{Activation, Mlp, TrainConfig};
 use mira_predictor::pipeline::pooled_dataset;
 
@@ -21,11 +19,11 @@ fn features(c: &mut Criterion) {
     let mut group = c.benchmark_group("features");
     group.throughput(Throughput::Elements(1));
     group.bench_function("six_hour_window_extraction", |b| {
-        b.iter(|| builder.window_features(sim.telemetry(), rack, cmf_time))
+        b.iter(|| builder.window_features(sim.telemetry(), rack, cmf_time));
     });
     group.sample_size(10);
     group.bench_function("balanced_dataset_50_events", |b| {
-        b.iter(|| builder.build(sim.telemetry(), Duration::from_minutes(30)))
+        b.iter(|| builder.build(sim.telemetry(), Duration::from_minutes(30)));
     });
     group.finish();
 }
@@ -57,7 +55,7 @@ fn training(c: &mut Criterion) {
                     ..PredictorConfig::default()
                 },
             )
-        })
+        });
     });
     group.bench_function("five_fold_cv_10_epochs", |b| {
         b.iter(|| {
@@ -69,7 +67,7 @@ fn training(c: &mut Criterion) {
                     ..PredictorConfig::default()
                 },
             )
-        })
+        });
     });
     group.finish();
 }
@@ -92,7 +90,7 @@ fn inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.throughput(Throughput::Elements(1));
     group.bench_function("single_window_probability", |b| {
-        b.iter(|| predictor.predict(&row))
+        b.iter(|| predictor.predict(&row));
     });
     // Whole-machine scoring: one decision per rack per 300 s tick.
     group.throughput(Throughput::Elements(48));
@@ -103,7 +101,7 @@ fn inference(c: &mut Criterion) {
                 .take(48)
                 .map(|f| predictor.predict(f))
                 .sum::<f64>()
-        })
+        });
     });
     group.finish();
 }
@@ -111,10 +109,19 @@ fn inference(c: &mut Criterion) {
 fn raw_network(c: &mut Criterion) {
     // The bare MLP, without the pipeline: forward and one epoch.
     let x: Vec<Vec<f64>> = (0..256)
-        .map(|i| (0..36).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+        .map(|i| {
+            (0..36)
+                .map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     let y: Vec<f64> = (0..256).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
-    let net = Mlp::new(&[36, 12, 12, 6, 1], Activation::Relu, Activation::Sigmoid, 1);
+    let net = Mlp::new(
+        &[36, 12, 12, 6, 1],
+        Activation::Relu,
+        Activation::Sigmoid,
+        1,
+    );
 
     let mut group = c.benchmark_group("mlp");
     group.throughput(Throughput::Elements(1));
@@ -132,7 +139,7 @@ fn raw_network(c: &mut Criterion) {
                     ..TrainConfig::default()
                 },
             )
-        })
+        });
     });
     group.finish();
 }

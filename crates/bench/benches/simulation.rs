@@ -10,7 +10,7 @@ fn world_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("world");
     group.sample_size(10);
     group.bench_function("build_simulation", |b| {
-        b.iter(|| Simulation::new(SimConfig::with_seed(7)))
+        b.iter(|| Simulation::new(SimConfig::with_seed(7)));
     });
     group.finish();
 }
@@ -21,11 +21,11 @@ fn snapshots(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry");
     group.throughput(Throughput::Elements(48));
     group.bench_function("observe_all_48_racks", |b| {
-        b.iter(|| sim.telemetry().observe_all(t))
+        b.iter(|| sim.telemetry().observe_all(t));
     });
     group.throughput(Throughput::Elements(1));
     group.bench_function("random_access_sample", |b| {
-        b.iter(|| sim.telemetry().sample(RackId::new(1, 8), t))
+        b.iter(|| sim.telemetry().sample(RackId::new(1, 8), t));
     });
     group.finish();
 }
@@ -40,23 +40,23 @@ fn sweeps(c: &mut Criterion) {
     group.throughput(Throughput::Elements(7 * 288 * 48));
     group.bench_function("one_week_at_300s", |b| {
         b.iter(|| {
-            sim.summarize_span(
+            let _ = sim.summarize_span(
                 from,
                 from + Duration::from_days(7),
                 Duration::from_minutes(5),
-            )
-        })
+            );
+        });
     });
     // One year at 1 h (the resolution the figure harness uses).
     group.throughput(Throughput::Elements(365 * 24 * 48));
     group.bench_function("one_year_at_1h", |b| {
         b.iter(|| {
-            sim.summarize_span(
+            let _ = sim.summarize_span(
                 from,
                 from + Duration::from_days(365),
                 Duration::from_hours(1),
-            )
-        })
+            );
+        });
     });
     group.finish();
 }
@@ -65,11 +65,11 @@ fn ras_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("ras");
     group.sample_size(10);
     group.bench_function("generate_schedule", |b| {
-        b.iter(|| mira_ras::CmfSchedule::generate(7))
+        b.iter(|| mira_ras::CmfSchedule::generate(7));
     });
     let schedule = mira_ras::CmfSchedule::generate(7);
     group.bench_function("assemble_log_with_storms", |b| {
-        b.iter(|| mira_ras::RasLog::assemble(&schedule, 7))
+        b.iter(|| mira_ras::RasLog::assemble(&schedule, 7));
     });
     group.finish();
 }

@@ -27,10 +27,7 @@ pub fn six_year_summary() -> &'static SweepSummary {
 }
 
 /// Pretty-prints a labelled series of `(label, value)` rows.
-pub fn print_rows<L: std::fmt::Display>(
-    title: &str,
-    rows: impl IntoIterator<Item = (L, f64)>,
-) {
+pub fn print_rows<L: std::fmt::Display>(title: &str, rows: impl IntoIterator<Item = (L, f64)>) {
     println!("\n--- {title} ---");
     for (label, value) in rows {
         println!("{label:>12} | {value:10.3}");

@@ -82,11 +82,7 @@ impl ArgMap {
     }
 
     /// A flag parsed to a type, with a default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, CliError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -149,7 +145,9 @@ pub fn parse_datetime(s: &str) -> Result<SimTime, CliError> {
     if hour > 23 || minute > 59 || second > 59 {
         return Err(err(format!("time out of range: {time}")));
     }
-    Ok(SimTime::from_datetime(DateTime::new(date, hour, minute, second)))
+    Ok(SimTime::from_datetime(DateTime::new(
+        date, hour, minute, second,
+    )))
 }
 
 #[cfg(test)]

@@ -42,8 +42,12 @@ pub fn failures(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let fig10 = analysis::fig10_cmf_timeline(&sim);
     writeln!(out, "coolant monitor failures by year:").map_err(io_err)?;
     for (year, count) in &fig10.by_year {
-        writeln!(out, "  {year}: {count:>3}  {}", "#".repeat(*count as usize / 4))
-            .map_err(io_err)?;
+        writeln!(
+            out,
+            "  {year}: {count:>3}  {}",
+            "#".repeat(*count as usize / 4)
+        )
+        .map_err(io_err)?;
     }
     writeln!(
         out,
@@ -68,8 +72,7 @@ pub fn failures(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
 /// `mira-ops sample --rack "(1, 8)" --time "2016-07-04 12:00"`
 pub fn sample(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(args)?;
-    let rack = RackId::parse(args.require("rack")?)
-        .map_err(|e| err(format!("bad --rack: {e}")))?;
+    let rack = RackId::parse(args.require("rack")?).map_err(|e| err(format!("bad --rack: {e}")))?;
     let t = parse_datetime(args.require("time")?)?;
     let s = TelemetryProvider::sample(sim.telemetry(), rack, t);
     writeln!(out, "coolant monitor sample, rack {rack} at {t}:").map_err(io_err)?;
@@ -126,8 +129,7 @@ pub fn ras(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
             archive::write_ras_csv(BufWriter::new(file), events.iter())
                 .map_err(|e| err(e.to_string()))?
         }
-        None => archive::write_ras_csv(&mut *out, events.iter())
-            .map_err(|e| err(e.to_string()))?,
+        None => archive::write_ras_csv(&mut *out, events.iter()).map_err(|e| err(e.to_string()))?,
     };
     if args.get("out").is_some() {
         writeln!(out, "wrote {rows} RAS events").map_err(io_err)?;
@@ -144,7 +146,12 @@ pub fn predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut cmfs = sim.cmf_ground_truth();
     cmfs.truncate(events.max(10));
-    writeln!(out, "training on {} failures, {epochs} epochs...", cmfs.len()).map_err(io_err)?;
+    writeln!(
+        out,
+        "training on {} failures, {epochs} epochs...",
+        cmfs.len()
+    )
+    .map_err(io_err)?;
     let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
     let config = PredictorConfig {
         epochs,
@@ -250,8 +257,11 @@ mod tests {
 
     #[test]
     fn sample_prints_channels() {
-        let text = run_cmd("sample", &["--rack", "(1, 8)", "--time", "2016-07-04 12:00"])
-            .unwrap();
+        let text = run_cmd(
+            "sample",
+            &["--rack", "(1, 8)", "--time", "2016-07-04 12:00"],
+        )
+        .unwrap();
         assert!(text.contains("inlet coolant"));
         assert!(text.contains("GPM"));
     }
@@ -266,7 +276,14 @@ mod tests {
     fn export_streams_csv_to_stdout() {
         let text = run_cmd(
             "export",
-            &["--from", "2015-03-01", "--to", "2015-03-01 01:00", "--step-min", "30"],
+            &[
+                "--from",
+                "2015-03-01",
+                "--to",
+                "2015-03-01 01:00",
+                "--step-min",
+                "30",
+            ],
         )
         .unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -276,8 +293,7 @@ mod tests {
 
     #[test]
     fn export_validates_span() {
-        let e = run_cmd("export", &["--from", "2015-03-02", "--to", "2015-03-01"])
-            .unwrap_err();
+        let e = run_cmd("export", &["--from", "2015-03-02", "--to", "2015-03-01"]).unwrap_err();
         assert!(e.to_string().contains("precede"));
     }
 

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mira_units::{Fahrenheit, Gpm};
+use mira_units::{Fahrenheit, Gpm, Watts};
 
 /// Specific heat of water in J/(kg·K).
 const WATER_CP: f64 = 4186.0;
@@ -42,6 +42,7 @@ impl HeatExchanger {
     ///
     /// Panics unless `0 < effectiveness <= 1`.
     #[must_use]
+    // Dimensionless effectiveness in (0, 1]. mira-lint: allow(raw-f64-in-public-api)
     pub fn new(effectiveness: f64) -> Self {
         assert!(
             effectiveness > 0.0 && effectiveness <= 1.0,
@@ -52,44 +53,40 @@ impl HeatExchanger {
 
     /// Exchanger effectiveness.
     #[must_use]
+    // Dimensionless effectiveness in (0, 1]. mira-lint: allow(raw-f64-in-public-api)
     pub fn effectiveness(&self) -> f64 {
         self.effectiveness
     }
 
-    /// Coolant temperature rise across the rack for `heat_watts` of load
+    /// Coolant temperature rise across the rack for `heat` watts of load
     /// at the given flow.
     ///
     /// Returns a zero rise for non-positive flow (valve closed): with no
     /// coolant movement the monitor reads no ΔT (and the rack is about to
     /// trip on temperature instead).
     #[must_use]
-    pub fn delta_t(&self, flow: Gpm, heat_watts: f64) -> Fahrenheit {
+    pub fn delta_t(&self, flow: Gpm, heat: Watts) -> Fahrenheit {
         let m_dot = flow.mass_flow_kg_per_s();
-        if m_dot <= 1e-9 || heat_watts <= 0.0 {
+        if m_dot <= 1e-9 || heat.value() <= 0.0 {
             return Fahrenheit::new(0.0);
         }
-        let dt_kelvin = heat_watts / (m_dot * WATER_CP * self.effectiveness);
+        let dt_kelvin = heat.value() / (m_dot * WATER_CP * self.effectiveness);
         // A kelvin step is 1.8 Fahrenheit steps.
         Fahrenheit::new(dt_kelvin * 1.8)
     }
 
     /// Outlet coolant temperature for a given inlet, flow and heat load.
     #[must_use]
-    pub fn outlet_temperature(
-        &self,
-        inlet: Fahrenheit,
-        flow: Gpm,
-        heat_watts: f64,
-    ) -> Fahrenheit {
-        inlet + self.delta_t(flow, heat_watts)
+    pub fn outlet_temperature(&self, inlet: Fahrenheit, flow: Gpm, heat: Watts) -> Fahrenheit {
+        inlet + self.delta_t(flow, heat)
     }
 
     /// The heat load implied by an observed ΔT at a given flow — the
     /// inverse model, useful for validating telemetry.
     #[must_use]
-    pub fn implied_heat_watts(&self, delta_t: Fahrenheit, flow: Gpm) -> f64 {
+    pub fn implied_heat(&self, delta_t: Fahrenheit, flow: Gpm) -> Watts {
         let m_dot = flow.mass_flow_kg_per_s();
-        (delta_t.value() / 1.8) * m_dot * WATER_CP * self.effectiveness
+        Watts::new((delta_t.value() / 1.8) * m_dot * WATER_CP * self.effectiveness)
     }
 }
 
@@ -108,7 +105,8 @@ mod tests {
     fn paper_operating_point_closes() {
         let hx = HeatExchanger::mira();
         // 26 GPM, ~57 kW -> outlet ~79 F from 64 F inlet.
-        let out = hx.outlet_temperature(Fahrenheit::new(64.0), Gpm::new(26.0), 57_000.0);
+        let out =
+            hx.outlet_temperature(Fahrenheit::new(64.0), Gpm::new(26.0), Watts::new(57_000.0));
         assert!(
             (78.0..80.5).contains(&out.value()),
             "outlet {out} off the paper's ≈79 F"
@@ -118,17 +116,17 @@ mod tests {
     #[test]
     fn zero_flow_gives_zero_delta() {
         let hx = HeatExchanger::mira();
-        assert_eq!(hx.delta_t(Gpm::new(0.0), 50_000.0).value(), 0.0);
-        assert_eq!(hx.delta_t(Gpm::new(26.0), -5.0).value(), 0.0);
+        assert_eq!(hx.delta_t(Gpm::new(0.0), Watts::new(50_000.0)).value(), 0.0);
+        assert_eq!(hx.delta_t(Gpm::new(26.0), Watts::new(-5.0)).value(), 0.0);
     }
 
     #[test]
     fn inverse_model_round_trips() {
         let hx = HeatExchanger::mira();
         let flow = Gpm::new(27.5);
-        let q = 61_000.0;
+        let q = Watts::new(61_000.0);
         let dt = hx.delta_t(flow, q);
-        assert!((hx.implied_heat_watts(dt, flow) - q).abs() < 1.0);
+        assert!((hx.implied_heat(dt, flow).value() - q.value()).abs() < 1.0);
     }
 
     #[test]
@@ -136,7 +134,9 @@ mod tests {
         let good = HeatExchanger::new(0.95);
         let fouled = HeatExchanger::new(0.75);
         let flow = Gpm::new(26.0);
-        assert!(fouled.delta_t(flow, 50_000.0) > good.delta_t(flow, 50_000.0));
+        assert!(
+            fouled.delta_t(flow, Watts::new(50_000.0)) > good.delta_t(flow, Watts::new(50_000.0))
+        );
     }
 
     #[test]
@@ -151,7 +151,7 @@ mod tests {
             let hx = HeatExchanger::mira();
             let flow = Gpm::new(26.0);
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(hx.delta_t(flow, lo).value() <= hx.delta_t(flow, hi).value());
+            prop_assert!(hx.delta_t(flow, Watts::new(lo)).value() <= hx.delta_t(flow, Watts::new(hi)).value());
         }
 
         #[test]
@@ -159,8 +159,8 @@ mod tests {
             let hx = HeatExchanger::mira();
             let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
             prop_assert!(
-                hx.delta_t(Gpm::new(hi), 50_000.0).value()
-                    <= hx.delta_t(Gpm::new(lo), 50_000.0).value() + 1e-12
+                hx.delta_t(Gpm::new(hi), Watts::new(50_000.0)).value()
+                    <= hx.delta_t(Gpm::new(lo), Watts::new(50_000.0)).value() + 1e-12
             );
         }
     }

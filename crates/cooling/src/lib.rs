@@ -22,11 +22,11 @@
 //!
 //! ```
 //! use mira_cooling::{HeatExchanger, network::FlowNetwork};
-//! use mira_units::{Fahrenheit, Gpm};
+//! use mira_units::{Fahrenheit, Gpm, Watts};
 //!
 //! let hx = HeatExchanger::mira();
 //! // ≈53 kW of rack heat at 26 GPM warms the coolant ≈15 °F.
-//! let outlet = hx.outlet_temperature(Fahrenheit::new(64.0), Gpm::new(26.0), 53_000.0);
+//! let outlet = hx.outlet_temperature(Fahrenheit::new(64.0), Gpm::new(26.0), Watts::new(53_000.0));
 //! assert!((outlet.value() - 79.0).abs() < 1.0);
 //! ```
 
@@ -41,8 +41,8 @@ pub mod precursor;
 pub mod pump;
 
 pub use exchanger::HeatExchanger;
-pub use pump::{LoopHydraulics, PumpCurve};
 pub use monitor::{AlarmThresholds, CoolantMonitor, CoolantMonitorSample, MonitorAlarm};
 pub use network::FlowNetwork;
 pub use plant::{ChilledWaterPlant, PlantLoad};
 pub use precursor::PrecursorSignature;
+pub use pump::{LoopHydraulics, PumpCurve};

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::{Duration, SimTime};
-use mira_units::{condensation_margin, Fahrenheit, Gpm, Kilowatts, RelHumidity};
+use mira_units::{condensation_margin, convert, Fahrenheit, Gpm, Kilowatts, RelHumidity};
 
 /// The coolant monitor's sampling interval (300 s).
 pub const SAMPLE_INTERVAL: Duration = Duration::from_seconds(300);
@@ -46,6 +46,7 @@ impl CoolantMonitorSample {
     /// The six telemetry channels as a fixed array, in [`Channel`] order —
     /// the feature vector layout used by the CMF predictor.
     #[must_use]
+    // Raw NN feature vector; channel order is the unit contract. mira-lint: allow(raw-f64-in-public-api)
     pub fn channels(&self) -> [f64; 6] {
         [
             self.dc_temperature.value(),
@@ -66,9 +67,7 @@ impl CoolantMonitorSample {
 }
 
 /// Identifies one of the six telemetry channels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Channel {
     DcTemperature = 0,
@@ -93,6 +92,7 @@ impl Channel {
     /// Dense index in `0..6`.
     #[must_use]
     pub fn index(self) -> usize {
+        // Dense unit-only enum discriminant. mira-lint: allow(lossy-cast)
         self as usize
     }
 }
@@ -242,8 +242,7 @@ impl CoolantMonitor {
         let read = |i: usize, truth: f64| {
             truth
                 + self.offsets[i]
-                + unit_noise(self.seed, self.rack.index() as u64, i as u64, tick)
-                    * self.noise[i]
+                + unit_noise(self.seed, self.rack.index() as u64, i as u64, tick) * self.noise[i]
         };
         CoolantMonitorSample {
             time: t,
@@ -267,7 +266,9 @@ fn unit_noise(seed: u64, rack: u64, channel: u64, tick: u64) -> f64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    (z >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+    // 2^53 = 9_007_199_254_740_992: top 53 bits map exactly onto the
+    // f64 mantissa.
+    convert::f64_from_u64(z >> 11) / 9_007_199_254_740_992.0 * 2.0 - 1.0
 }
 
 #[cfg(test)]
@@ -367,7 +368,10 @@ mod tests {
             Fahrenheit::new(79.0),
             Kilowatts::new(58.0),
         );
-        assert_eq!(AlarmThresholds::mira().check(&s), Some(MonitorAlarm::LowFlow));
+        assert_eq!(
+            AlarmThresholds::mira().check(&s),
+            Some(MonitorAlarm::LowFlow)
+        );
     }
 
     #[test]
@@ -391,6 +395,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Channel::Inlet.to_string(), "inlet-temperature");
-        assert_eq!(MonitorAlarm::CondensationRisk.to_string(), "condensation-risk");
+        assert_eq!(
+            MonitorAlarm::CondensationRisk.to_string(),
+            "condensation-risk"
+        );
     }
 }

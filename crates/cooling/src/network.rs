@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::SimTime;
-use mira_units::Gpm;
+use mira_units::{convert, Gpm};
 use mira_weather::ValueNoise;
 
 /// The external-loop flow network.
@@ -47,8 +47,8 @@ impl FlowNetwork {
                 // Fixed wiring: hash, not RNG, so topology is stable
                 // across runs with different stochastic seeds.
                 let h = (rack.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
-                let u = ((h >> 16) & 0xFFFF) as f64 / 65_535.0; // [0, 1]
-                // Conductance in [0.90, 1.00]: an 11 % max/min spread.
+                let u = convert::f64_from_u64((h >> 16) & 0xFFFF) / 65_535.0; // [0, 1]
+                                                                              // Conductance in [0.90, 1.00]: an 11 % max/min spread.
                 0.90 + 0.10 * u
             })
             .collect();
@@ -61,8 +61,10 @@ impl FlowNetwork {
     /// Effective conductance of a rack at `t` (static layout plus slow
     /// fouling/maintenance drift).
     #[must_use]
+    // Dimensionless relative conductance. mira-lint: allow(raw-f64-in-public-api)
     pub fn conductance(&self, rack: RackId, t: SimTime) -> f64 {
-        let phase = t.epoch_seconds() as f64 + rack.index() as f64 * 8.64e6;
+        let phase = convert::f64_from_i64(t.epoch_seconds())
+            + convert::f64_from_usize(rack.index()) * 8.64e6;
         let drift = self.drift.sample(phase) * 0.012;
         (self.conductance[rack.index()] + drift).max(0.05)
     }
@@ -93,15 +95,13 @@ impl FlowNetwork {
         if total <= 0.0 {
             return vec![Gpm::new(0.0); RackId::COUNT];
         }
-        weights
-            .iter()
-            .map(|w| setpoint * (w / total))
-            .collect()
+        weights.iter().map(|w| setpoint * (w / total)).collect()
     }
 
     /// The relative spread `(max − min) / min` of per-rack flow with all
     /// valves open at `t`.
     #[must_use]
+    // Dimensionless relative spread. mira-lint: allow(raw-f64-in-public-api)
     pub fn spread(&self, t: SimTime, setpoint: Gpm) -> f64 {
         let flows = self.distribute(t, setpoint, &[true; RackId::COUNT]);
         let min = flows
@@ -176,10 +176,7 @@ mod tests {
         let net = FlowNetwork::mira(1);
         let rack = RackId::new(2, 3);
         let c0 = net.conductance(rack, t0());
-        let c1 = net.conductance(
-            rack,
-            t0() + mira_timeseries::Duration::from_hours(6),
-        );
+        let c1 = net.conductance(rack, t0() + mira_timeseries::Duration::from_hours(6));
         assert!((c0 - c1).abs() < 0.01, "drift too fast: {c0} vs {c1}");
         assert!((0.85..1.05).contains(&c0));
     }

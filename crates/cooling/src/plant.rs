@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Duration, SimTime};
-use mira_units::{Fahrenheit, KilowattHours, Kilowatts};
+use mira_units::{convert, Fahrenheit, KilowattHours, Kilowatts, Watts};
 use mira_weather::ValueNoise;
 
 /// Cooling capacity of one chiller tower in refrigeration tons.
@@ -70,42 +70,43 @@ impl ChilledWaterPlant {
         self.setpoint
     }
 
-    /// Total heat-removal capacity of the plant in kW.
+    /// Total heat-removal capacity of the plant.
     #[must_use]
-    pub fn capacity_kw(&self) -> f64 {
-        CHILLER_TONS * f64::from(CHILLER_COUNT) * KW_PER_TON
+    pub fn capacity_kw(&self) -> Kilowatts {
+        Kilowatts::new(CHILLER_TONS * f64::from(CHILLER_COUNT) * KW_PER_TON)
     }
 
     /// Computes the plant state at `t`.
     ///
     /// * `free_cooling_fraction` — how much of the load the economizer
     ///   can carry (from the weather model), clamped to `[0, 1]`.
-    /// * `heat_load_watts` — heat arriving from the data center.
+    /// * `heat_load` — heat arriving from the data center.
     /// * `supply_uplift` — operational supply-temperature offset (e.g.
     ///   the 2016 Theta integration transient).
     #[must_use]
+    // Dimensionless economizer fraction. mira-lint: allow(raw-f64-in-public-api)
     pub fn respond(
         &self,
         t: SimTime,
         free_cooling_fraction: f64,
-        heat_load_watts: f64,
+        heat_load: Watts,
         supply_uplift: Fahrenheit,
     ) -> PlantLoad {
         let free = free_cooling_fraction.clamp(0.0, 1.0);
-        let load_kw = (heat_load_watts / 1000.0).max(0.0);
-        let utilization = (load_kw / self.capacity_kw()).clamp(0.0, 1.0);
+        let load_kw = heat_load.to_kilowatts().value().max(0.0);
+        let utilization = (load_kw / self.capacity_kw().value()).clamp(0.0, 1.0);
 
         // Chillers carry the remainder of the load; electrical draw
         // scales with carried load relative to full CWP output.
-        let chiller_power =
-            Kilowatts::new(CHILLER_FULL_LOAD_KW * utilization * (1.0 - free));
+        let chiller_power = Kilowatts::new(CHILLER_FULL_LOAD_KW * utilization * (1.0 - free));
         let avoided_power = Kilowatts::new(CHILLER_FULL_LOAD_KW * utilization * free);
 
-        let noise = self.control_noise.sample(t.epoch_seconds() as f64) * 0.2;
-        let supply = self.setpoint
-            + self.economizer_penalty * free
-            + supply_uplift
-            + Fahrenheit::new(noise);
+        let noise = self
+            .control_noise
+            .sample(convert::f64_from_i64(t.epoch_seconds()))
+            * 0.2;
+        let supply =
+            self.setpoint + self.economizer_penalty * free + supply_uplift + Fahrenheit::new(noise);
 
         PlantLoad {
             supply_temperature: supply,
@@ -163,13 +164,13 @@ mod tests {
     #[test]
     fn capacity_matches_two_towers() {
         let p = ChilledWaterPlant::mira(0);
-        assert!((p.capacity_kw() - 10_551.0).abs() < 1.0);
+        assert!((p.capacity_kw().value() - 10_551.0).abs() < 1.0);
     }
 
     #[test]
     fn full_free_cooling_idles_the_chillers() {
         let p = ChilledWaterPlant::mira(0);
-        let load = p.respond(t0(), 1.0, 3.0e6, Fahrenheit::new(0.0));
+        let load = p.respond(t0(), 1.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
         assert_eq!(load.chiller_power.value(), 0.0);
         assert!(load.avoided_power.value() > 0.0);
     }
@@ -177,7 +178,7 @@ mod tests {
     #[test]
     fn summer_runs_chillers() {
         let p = ChilledWaterPlant::mira(0);
-        let load = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
+        let load = p.respond(t0(), 0.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
         assert!(load.chiller_power.value() > 0.0);
         assert_eq!(load.avoided_power.value(), 0.0);
     }
@@ -185,8 +186,8 @@ mod tests {
     #[test]
     fn economizer_supply_runs_warmer() {
         let p = ChilledWaterPlant::mira(0);
-        let winter = p.respond(t0(), 1.0, 3.0e6, Fahrenheit::new(0.0));
-        let summer = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
+        let winter = p.respond(t0(), 1.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
+        let summer = p.respond(t0(), 0.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
         assert!(
             winter.supply_temperature.value() > summer.supply_temperature.value() + 0.8,
             "winter {} vs summer {}",
@@ -198,8 +199,8 @@ mod tests {
     #[test]
     fn uplift_passes_through() {
         let p = ChilledWaterPlant::mira(0);
-        let base = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(0.0));
-        let lifted = p.respond(t0(), 0.0, 3.0e6, Fahrenheit::new(2.0));
+        let base = p.respond(t0(), 0.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
+        let lifted = p.respond(t0(), 0.0, Watts::new(3.0e6), Fahrenheit::new(2.0));
         assert!(
             (lifted.supply_temperature.value() - base.supply_temperature.value() - 2.0).abs()
                 < 1e-9
@@ -210,7 +211,12 @@ mod tests {
     fn paper_daily_saving_at_full_capacity() {
         let p = ChilledWaterPlant::mira(0);
         // Full CWP output covered entirely by the economizer.
-        let load = p.respond(t0(), 1.0, p.capacity_kw() * 1000.0, Fahrenheit::new(0.0));
+        let load = p.respond(
+            t0(),
+            1.0,
+            Watts::new(p.capacity_kw().value() * 1000.0),
+            Fahrenheit::new(0.0),
+        );
         let mut ledger = FreeCoolingLedger::new();
         ledger.record(&load, Duration::from_days(1));
         assert!(
@@ -224,7 +230,12 @@ mod tests {
     fn seasonal_saving_matches_paper_order() {
         // 122 days of December-March at full free cooling and capacity.
         let p = ChilledWaterPlant::mira(0);
-        let load = p.respond(t0(), 1.0, p.capacity_kw() * 1000.0, Fahrenheit::new(0.0));
+        let load = p.respond(
+            t0(),
+            1.0,
+            Watts::new(p.capacity_kw().value() * 1000.0),
+            Fahrenheit::new(0.0),
+        );
         let mut ledger = FreeCoolingLedger::new();
         ledger.record(&load, Duration::from_days(122));
         assert!((ledger.saved().value() - 2_174_040.0).abs() < 10.0);
@@ -233,9 +244,9 @@ mod tests {
     #[test]
     fn fractions_are_clamped() {
         let p = ChilledWaterPlant::mira(0);
-        let load = p.respond(t0(), 7.0, 3.0e6, Fahrenheit::new(0.0));
+        let load = p.respond(t0(), 7.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
         assert_eq!(load.free_cooling_fraction, 1.0);
-        let load = p.respond(t0(), -2.0, 3.0e6, Fahrenheit::new(0.0));
+        let load = p.respond(t0(), -2.0, Watts::new(3.0e6), Fahrenheit::new(0.0));
         assert_eq!(load.free_cooling_fraction, 0.0);
     }
 }

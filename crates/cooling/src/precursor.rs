@@ -96,18 +96,21 @@ impl PrecursorSignature {
 
     /// Inlet-temperature factor at `lead` before the failure.
     #[must_use]
+    // Dimensionless multiplier on the healthy channel value. mira-lint: allow(raw-f64-in-public-api)
     pub fn inlet_factor(&self, lead: Duration) -> f64 {
         interp(&self.inlet_knots, lead.as_hours().max(0.0))
     }
 
     /// Outlet-temperature factor at `lead` before the failure.
     #[must_use]
+    // Dimensionless multiplier on the healthy channel value. mira-lint: allow(raw-f64-in-public-api)
     pub fn outlet_factor(&self, lead: Duration) -> f64 {
         interp(&self.outlet_knots, lead.as_hours().max(0.0))
     }
 
     /// Flow factor at `lead` before the failure.
     #[must_use]
+    // Dimensionless multiplier on the healthy channel value. mira-lint: allow(raw-f64-in-public-api)
     pub fn flow_factor(&self, lead: Duration) -> f64 {
         interp(&self.flow_knots, lead.as_hours().max(0.0))
     }
@@ -130,18 +133,21 @@ impl PrecursorSignature {
     /// accuracy *curve* a curve — weak events are missed at long leads
     /// and caught close in — instead of a step.
     #[must_use]
+    // Dimensionless severity in [0.5, 1.2]. mira-lint: allow(raw-f64-in-public-api)
     pub fn event_severity(&self, rack_index: usize, failure_at_epoch: i64) -> f64 {
         let mut z = (failure_at_epoch as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add((rack_index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
         z = (z ^ (z >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z ^= z >> 32;
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // 2^53: top 53 bits map exactly onto the f64 mantissa.
+        let u = mira_units::convert::f64_from_u64(z >> 11) / 9_007_199_254_740_992.0;
         0.5 + 0.7 * u
     }
 
     /// Scales a factor's deviation from 1.0 by an event severity.
     #[must_use]
+    // Dimensionless factors in, dimensionless factor out. mira-lint: allow(raw-f64-in-public-api)
     pub fn scale(factor: f64, severity: f64) -> f64 {
         1.0 + (factor - 1.0) * severity
     }

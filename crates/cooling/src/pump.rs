@@ -57,6 +57,7 @@ impl PumpCurve {
 
     /// Delivered head at a flow (clamped at zero past runout).
     #[must_use]
+    // Hydraulic head in feet; no mira-units newtype exists for head. mira-lint: allow(raw-f64-in-public-api)
     pub fn head_at(&self, flow: Gpm) -> f64 {
         (self.shutoff_head_ft - self.droop * flow.value() * flow.value()).max(0.0)
     }
@@ -68,6 +69,7 @@ impl PumpCurve {
     ///
     /// Panics if `k` is not positive.
     #[must_use]
+    // System-curve coefficient ft/GPM^2, a fit constant. mira-lint: allow(raw-f64-in-public-api)
     pub fn operating_point(&self, system_k: f64) -> Gpm {
         assert!(system_k > 0.0, "system resistance must be positive");
         Gpm::new((self.shutoff_head_ft / (self.droop + system_k)).sqrt())
@@ -181,7 +183,9 @@ mod tests {
         let kw = p.electrical_power(Gpm::new(1250.0)).value();
         assert!((10.0..60.0).contains(&kw), "pump power {kw} kW");
         // Upgraded pump at higher flow draws more.
-        let up = PumpCurve::upgraded().electrical_power(Gpm::new(1300.0)).value();
+        let up = PumpCurve::upgraded()
+            .electrical_power(Gpm::new(1300.0))
+            .value();
         assert!(up > kw);
     }
 

@@ -6,6 +6,7 @@ use mira_facility::RackId;
 use mira_predictor::TelemetryProvider;
 use mira_ras::FailureKind;
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 use crate::simulation::Simulation;
 
@@ -31,14 +32,9 @@ pub fn fig10_cmf_timeline(sim: &Simulation) -> Fig10 {
     let y2016 = by_year
         .iter()
         .find(|(y, _)| *y == 2016)
-        .map(|(_, n)| *n)
-        .unwrap_or(0);
+        .map_or(0, |(_, n)| *n);
 
-    let mut times: Vec<SimTime> = sim
-        .ras_log()
-        .counted_cmfs()
-        .map(|e| e.time)
-        .collect();
+    let mut times: Vec<SimTime> = sim.ras_log().counted_cmfs().map(|e| e.time).collect();
     times.sort();
     let longest_gap_days = times
         .windows(2)
@@ -136,12 +132,12 @@ pub fn fig14_post_cmf(sim: &Simulation) -> Fig14 {
     let incidents = sim.schedule().incidents();
     let mut rate_windows = Vec::with_capacity(windows_h.len());
     for &w in &windows_h {
-        let window = Duration::from_seconds((w * 3600.0) as i64);
+        let window = Duration::from_seconds(convert::i64_from_f64_floor(w * 3600.0));
         let total: usize = incidents
             .iter()
             .map(|i| sim.ras_log().non_cmfs_within(i.time, window))
             .sum();
-        let rate = total as f64 / incidents.len() as f64 / w;
+        let rate = convert::f64_from_usize(total) / convert::f64_from_usize(incidents.len()) / w;
         rate_windows.push((w, rate));
     }
     let rate3 = rate_windows[0].1.max(1e-12);
@@ -184,8 +180,7 @@ pub fn fig15_storm_examples(sim: &Simulation, n: usize) -> Vec<Fig15StormExample
                 .ras_log()
                 .counted_non_cmfs()
                 .filter(|e| {
-                    e.time >= incident.time
-                        && e.time - incident.time <= Duration::from_hours(48)
+                    e.time >= incident.time && e.time - incident.time <= Duration::from_hours(48)
                 })
                 .map(|e| (e.rack, e.kind, (e.time - incident.time).as_hours()))
                 .collect();
@@ -196,7 +191,7 @@ pub fn fig15_storm_examples(sim: &Simulation, n: usize) -> Vec<Fig15StormExample
                     .iter()
                     .map(|(r, _, _)| f64::from(r.grid_distance(incident.epicenter)))
                     .sum::<f64>()
-                    / followons.len() as f64
+                    / convert::f64_from_usize(followons.len())
             };
             Fig15StormExample {
                 time: incident.time,
@@ -222,7 +217,11 @@ mod tests {
     fn fig10_anchors() {
         let fig10 = fig10_cmf_timeline(&sim());
         assert_eq!(fig10.total, 361);
-        assert!((0.38..0.42).contains(&fig10.share_2016), "{}", fig10.share_2016);
+        assert!(
+            (0.38..0.42).contains(&fig10.share_2016),
+            "{}",
+            fig10.share_2016
+        );
         assert!(fig10.longest_gap_days > 700.0, "{}", fig10.longest_gap_days);
         // No bathtub: first and last years are not the max.
         let max_year = fig10
@@ -264,7 +263,11 @@ mod tests {
             at(3.0).outlet_rel
         );
         // Flow stable at 2 h, collapsing at the event.
-        assert!((0.97..1.03).contains(&at(2.0).flow_rel), "{}", at(2.0).flow_rel);
+        assert!(
+            (0.97..1.03).contains(&at(2.0).flow_rel),
+            "{}",
+            at(2.0).flow_rel
+        );
         assert!(at(0.0).flow_rel < 0.8, "collapse {}", at(0.0).flow_rel);
     }
 

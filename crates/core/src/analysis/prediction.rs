@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mira_predictor::{
-    CmfPredictor, DatasetBuilder, FeatureConfig, LeadTimePoint, PredictorConfig,
-};
+use mira_predictor::{CmfPredictor, DatasetBuilder, FeatureConfig, LeadTimePoint, PredictorConfig};
 use mira_timeseries::Duration;
 
 use crate::simulation::Simulation;
@@ -42,7 +40,7 @@ pub fn fig13_predictor_sweep(
     cmfs.truncate(max_events);
     let events = cmfs.len();
     let builder = DatasetBuilder::new(FeatureConfig::mira(), cmfs, sim.config().span());
-    let (train_builder, eval_builder) = builder.split_events(0.6, config.seed ^ 0xF16_13);
+    let (train_builder, eval_builder) = builder.split_events(0.6, config.seed ^ 0xF_1613);
     let telemetry = sim.telemetry();
 
     let (predictor, test_metrics) = CmfPredictor::train(telemetry, &train_builder, config);

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::spearman;
+use mira_units::convert;
 
 use crate::simulation::Simulation;
 use crate::summary::SweepSummary;
@@ -23,8 +24,7 @@ fn argmax(values: &[f64]) -> RackId {
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("48 racks");
+        .map_or(0, |(i, _)| i);
     RackId::from_index(idx)
 }
 
@@ -33,8 +33,7 @@ fn argmin(values: &[f64]) -> RackId {
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("48 racks");
+        .map_or(0, |(i, _)| i);
     RackId::from_index(idx)
 }
 
@@ -67,7 +66,7 @@ pub fn fig6_rack_power_util(summary: &SweepSummary) -> Fig6 {
     let utilization = summary.rack_means(|r| &r.utilization);
     let mut row_utilization = [0.0; 3];
     for rack in RackId::all() {
-        row_utilization[rack.row() as usize] += utilization[rack.index()] / 16.0;
+        row_utilization[usize::from(rack.row())] += utilization[rack.index()] / 16.0;
     }
     Fig6 {
         power_spread: spread(&power_kw),
@@ -147,7 +146,7 @@ pub fn fig9_rack_ambient(summary: &SweepSummary) -> Fig9 {
             centers.push(humidity_rh[rack.index()]);
         }
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / convert::f64_from_usize(v.len());
 
     Fig9 {
         temperature_spread: spread(&temperature_f),
@@ -201,8 +200,7 @@ pub fn fig11_cmf_by_rack(sim: &Simulation, summary: &SweepSummary) -> Fig11 {
     let max_rack = argmax(&counts_f);
     let min_rack = argmin(&counts_f);
     let pvalue = |other: &[f64], seed: u64| {
-        mira_timeseries::spearman_permutation_pvalue(&counts_f, other, 500, seed)
-            .unwrap_or(1.0)
+        mira_timeseries::spearman_permutation_pvalue(&counts_f, other, 500, seed).unwrap_or(1.0)
     };
     Fig11 {
         max_count: counts[max_rack.index()],
@@ -273,7 +271,11 @@ mod tests {
             "flow spread {}",
             fig7.flow_spread
         );
-        assert!(fig7.inlet_spread < 0.02, "inlet spread {}", fig7.inlet_spread);
+        assert!(
+            fig7.inlet_spread < 0.02,
+            "inlet spread {}",
+            fig7.inlet_spread
+        );
         assert!(
             (0.005..0.06).contains(&fig7.outlet_spread),
             "outlet spread {}",

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use mira_timeseries::{
     Date, LinearFit, MonthProfile, SimTime, Weekday, WeekdayProfile, YearProfile,
 };
-use mira_units::KilowattHours;
+use mira_units::{convert, KilowattHours};
 
 use crate::summary::{ChannelAggregate, SweepSummary};
 
@@ -139,19 +139,20 @@ pub struct Fig5 {
 
 /// Mean-based non-Monday uplift over weekday rows.
 fn mean_uplift(rows: &[WeekdayProfile]) -> f64 {
-    let monday = rows
-        .iter()
-        .find(|r| r.weekday == Weekday::Monday)
-        .expect("Monday row");
+    let Some(monday) = rows.iter().find(|r| r.weekday == Weekday::Monday) else {
+        return 0.0;
+    };
+    // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
     if monday.count == 0 || monday.mean == 0.0 {
         return 0.0;
     }
     let mut num = 0.0;
     let mut den = 0.0;
     for r in rows.iter().filter(|r| r.weekday != Weekday::Monday) {
-        num += r.mean * r.count as f64;
-        den += r.count as f64;
+        num += r.mean * convert::f64_from_u64(r.count);
+        den += convert::f64_from_u64(r.count);
     }
+    // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
     if den == 0.0 {
         return 0.0;
     }

@@ -59,8 +59,7 @@ impl From<io::Error> for ArchiveError {
 }
 
 /// The telemetry CSV header.
-pub const TELEMETRY_HEADER: &str =
-    "time,rack,dc_temp_f,dc_rh,flow_gpm,inlet_f,outlet_f,power_kw";
+pub const TELEMETRY_HEADER: &str = "time,rack,dc_temp_f,dc_rh,flow_gpm,inlet_f,outlet_f,power_kw";
 
 /// The RAS CSV header.
 pub const RAS_HEADER: &str = "time,rack,kind,severity";
@@ -122,8 +121,8 @@ pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>,
             return Err(parse_err(lineno, "expected 9 comma fields"));
         }
         let rack_str = format!("{},{}", fields[1], fields[2]);
-        let rack = RackId::parse(&rack_str)
-            .map_err(|e| parse_err(lineno, &format!("bad rack: {e}")))?;
+        let rack =
+            RackId::parse(&rack_str).map_err(|e| parse_err(lineno, &format!("bad rack: {e}")))?;
         let num = |i: usize| -> Result<f64, ArchiveError> {
             fields[i]
                 .trim()

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use mira_facility::{RackId, NODES_PER_RACK};
 use mira_nn::BinaryMetrics;
 use mira_timeseries::Duration;
+use mira_units::convert;
 
 use crate::simulation::Simulation;
 
@@ -118,7 +119,7 @@ pub fn evaluate_policy(
         },
         CheckpointPolicy::Periodic { interval } => {
             let per_rack = span_hours / interval.as_hours();
-            let checkpoints = per_rack * RackId::COUNT as f64;
+            let checkpoints = per_rack * convert::f64_from_usize(RackId::COUNT);
             PolicyOutcome {
                 // Expected progress since the last checkpoint: half the
                 // interval (capped by the unprotected loss).
@@ -139,8 +140,9 @@ pub fn evaluate_policy(
             let missed = failures - caught;
             let lost = caught * nodes * 0.5 + missed * nodes * costs.unprotected_loss_hours;
             // Every healthy rack-decision false-fires at the FPR.
-            let decisions =
-                span_hours * costs.decisions_per_rack_per_hour * RackId::COUNT as f64;
+            let decisions = span_hours
+                * costs.decisions_per_rack_per_hour
+                * convert::f64_from_usize(RackId::COUNT);
             let false_alerts = decisions * fpr;
             let checkpoints = caught + false_alerts;
             PolicyOutcome {

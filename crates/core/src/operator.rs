@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use mira_facility::RackId;
 use mira_predictor::{CmfPredictor, DatasetBuilder, TelemetryProvider};
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 use crate::simulation::Simulation;
 
@@ -43,7 +44,7 @@ pub struct ConsoleConfig {
 impl Default for ConsoleConfig {
     fn default() -> Self {
         Self {
-            alert_threshold: 0.8,
+            alert_threshold: 0.9,
             cadence: Duration::from_minutes(30),
             debounce: Duration::from_hours(6),
         }
@@ -81,7 +82,7 @@ impl ConsoleScore {
         if total == 0 {
             0.0
         } else {
-            self.warned.len() as f64 / total as f64
+            convert::f64_from_usize(self.warned.len()) / convert::f64_from_usize(total)
         }
     }
 
@@ -89,7 +90,7 @@ impl ConsoleScore {
     #[must_use]
     pub fn false_alerts_per_week(&self, span: (SimTime, SimTime)) -> f64 {
         let weeks = (span.1 - span.0).as_days() / 7.0;
-        self.false_alerts as f64 / weeks.max(1e-9)
+        convert::f64_from_usize(self.false_alerts) / weeks.max(1e-9)
     }
 }
 
@@ -124,7 +125,12 @@ impl<'a> OperatorConsole<'a> {
     ///
     /// Panics if the span is empty.
     #[must_use]
-    pub fn replay<P: TelemetryProvider>(&self, provider: &P, from: SimTime, to: SimTime) -> AlertLog {
+    pub fn replay<P: TelemetryProvider>(
+        &self,
+        provider: &P,
+        from: SimTime,
+        to: SimTime,
+    ) -> AlertLog {
         self.replay_masked(provider, from, to, |_, _| false)
     }
 
@@ -224,9 +230,9 @@ impl AlertLog {
             .enumerate()
             .filter(|(idx, a)| {
                 !used[*idx]
-                    && !failures.iter().any(|&(ft, fr)| {
-                        fr == a.rack && ft >= a.time && ft - a.time <= horizon
-                    })
+                    && !failures
+                        .iter()
+                        .any(|&(ft, fr)| fr == a.rack && ft >= a.time && ft - a.time <= horizon)
             })
             .count();
 
@@ -235,7 +241,7 @@ impl AlertLog {
         } else {
             Duration::from_seconds(
                 warned.iter().map(|(_, _, d)| d.as_seconds()).sum::<i64>()
-                    / warned.len() as i64,
+                    / i64::try_from(warned.len()).unwrap_or(i64::MAX),
             )
         };
         ConsoleScore {

@@ -129,7 +129,6 @@ impl Simulation {
     /// `(rack, t)` is blacked out while the trailing feature window
     /// overlaps scheduled maintenance (burner-job transitions swing
     /// power and outlet benignly) or the rack's own outage/recovery.
-    #[must_use]
     pub fn blackout_mask(&self) -> impl Fn(RackId, SimTime) -> bool + '_ {
         let maintenance = *self.engine.workload().demand().maintenance();
         move |rack: RackId, t: SimTime| {
@@ -205,6 +204,9 @@ mod tests {
         let b = Simulation::new(SimConfig::with_seed(5));
         assert_eq!(a.schedule(), b.schedule());
         let t = SimTime::from_date(Date::new(2018, 4, 1));
-        assert_eq!(a.telemetry().observe_all(t).1, b.telemetry().observe_all(t).1);
+        assert_eq!(
+            a.telemetry().observe_all(t).1,
+            b.telemetry().observe_all(t).1
+        );
     }
 }

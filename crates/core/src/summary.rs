@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use mira_cooling::plant::FreeCoolingLedger;
 use mira_facility::RackId;
 use mira_timeseries::{CalendarBins, Duration, SimTime, TimeSeries, Welford};
-use mira_units::KilowattHours;
+use mira_units::{convert, KilowattHours};
 
 use crate::telemetry::{SystemSnapshot, TelemetryEngine};
 
@@ -41,9 +41,8 @@ impl ChannelAggregate {
 
     fn push(&mut self, t: SimTime, value: f64) {
         self.bins.push(t, value);
-        let week = SimTime::from_epoch_seconds(
-            t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400,
-        );
+        let week =
+            SimTime::from_epoch_seconds(t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400);
         match self.week_start {
             Some(ws) if ws == week => {}
             Some(ws) => {
@@ -128,12 +127,7 @@ impl SweepSummary {
     ///
     /// Panics if the span is empty or the step non-positive.
     #[must_use]
-    pub fn sweep(
-        engine: &TelemetryEngine,
-        from: SimTime,
-        to: SimTime,
-        step: Duration,
-    ) -> Self {
+    pub fn sweep(engine: &TelemetryEngine, from: SimTime, to: SimTime, step: Duration) -> Self {
         assert!(from < to, "empty sweep span");
         assert!(step.as_seconds() > 0, "step must be positive");
 
@@ -149,7 +143,9 @@ impl SweepSummary {
             dc_rh: ChannelAggregate::new(),
             dc_temp_all_racks: Welford::new(),
             dc_rh_all_racks: Welford::new(),
-            racks: (0..RackId::COUNT).map(|_| RackAggregate::default()).collect(),
+            racks: (0..RackId::COUNT)
+                .map(|_| RackAggregate::default())
+                .collect(),
             yearly_energy: Vec::new(),
             season_saved: KilowattHours::new(0.0),
         };
@@ -202,7 +198,7 @@ impl SweepSummary {
             dc_t += sample.dc_temperature.value();
             dc_h += sample.dc_humidity.value();
         }
-        let n = RackId::COUNT as f64;
+        let n = convert::f64_from_usize(RackId::COUNT);
         self.power_mw.push(t, power_kw / 1000.0);
         self.utilization_pct.push(t, util / n * 100.0);
         self.flow_gpm.push(t, flow);
@@ -216,12 +212,12 @@ impl SweepSummary {
         let idx = match self.yearly_energy.iter().position(|(y, _)| *y == year) {
             Some(i) => i,
             None => {
-                self.yearly_energy.push((year, FreeCoolingLedger::new()));
-                self.yearly_energy.sort_by_key(|(y, _)| *y);
+                // Insert in sorted position so the index is known without
+                // a second search.
+                let at = self.yearly_energy.partition_point(|(y, _)| *y < year);
                 self.yearly_energy
-                    .iter()
-                    .position(|(y, _)| *y == year)
-                    .expect("just inserted")
+                    .insert(at, (year, FreeCoolingLedger::new()));
+                at
             }
         };
         let ledger = &mut self.yearly_energy[idx].1;

@@ -18,7 +18,7 @@ use mira_predictor::TelemetryProvider;
 use mira_ras::schedule::CmfSchedule;
 use mira_ras::{RackAvailability, RasLog};
 use mira_timeseries::{Duration, SimTime};
-use mira_units::{Fahrenheit, Gpm, Kilowatts, RelHumidity};
+use mira_units::{convert, Fahrenheit, Gpm, Kilowatts, RelHumidity, Watts};
 use mira_weather::{ChicagoClimate, WeatherSample};
 use mira_workload::{SystemDemand, WorkloadModel};
 
@@ -128,7 +128,9 @@ impl TelemetryEngine {
             timeline: OperationalTimeline::mira(),
             signature: PrecursorSignature::mira(),
             flow_ops_noise: mira_weather::ValueNoise::new(seed ^ 0x0F10_A7E5, 18.0 * 86_400.0),
-            monitors: RackId::all().map(|r| CoolantMonitor::new(r, seed)).collect(),
+            monitors: RackId::all()
+                .map(|r| CoolantMonitor::new(r, seed))
+                .collect(),
             availability,
             cmf_times,
         }
@@ -187,10 +189,14 @@ impl TelemetryEngine {
         }
 
         // System heat load drives the plant.
-        let heat_watts = self.bpm.heat_to_coolant_watts(demand.utilization, demand.intensity)
-            * RackId::COUNT as f64;
+        let heat_watts = self
+            .bpm
+            .heat_to_coolant_watts(demand.utilization, demand.intensity)
+            * convert::f64_from_usize(RackId::COUNT);
         let free = self.climate.free_cooling_fraction(t);
-        let plant = self.plant.respond(t, free, heat_watts, self.timeline.supply_uplift(t));
+        let plant = self
+            .plant
+            .respond(t, free, heat_watts, self.timeline.supply_uplift(t));
 
         let flows = self
             .network
@@ -218,7 +224,10 @@ impl TelemetryEngine {
         // Operators conservatively raise flow as utilization climbs:
         // ≈ +1 % at peak-season load.
         let seasonal = 1.0 + 0.013 * (demand.utilization - 0.80).max(0.0) / 0.13;
-        let ops = self.flow_ops_noise.fractal(t.epoch_seconds() as f64, 2) * 30.0;
+        let ops = self
+            .flow_ops_noise
+            .fractal(convert::f64_from_i64(t.epoch_seconds()), 2)
+            * 30.0;
         (base * seasonal + Gpm::new(ops)).saturating()
     }
 
@@ -228,8 +237,7 @@ impl TelemetryEngine {
     pub fn rack_truth(&self, rack: RackId, snap: &SystemSnapshot) -> RackTruth {
         let t = snap.time;
         let air = self.machine.airflow().at(rack);
-        let ambient_temperature =
-            snap.weather.indoor_temperature + air.temperature_offset;
+        let ambient_temperature = snap.weather.indoor_temperature + air.temperature_offset;
         let ambient_humidity =
             RelHumidity::new(snap.weather.indoor_humidity.value() * air.humidity_factor);
 
@@ -255,10 +263,9 @@ impl TelemetryEngine {
                 let severity = self
                     .signature
                     .event_severity(rack.index(), cmf_at.epoch_seconds());
-                inlet = inlet
-                    * PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
-                flow = flow
-                    * PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
+                inlet =
+                    inlet * PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
+                flow = flow * PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
             }
         }
 
@@ -269,9 +276,10 @@ impl TelemetryEngine {
             Kilowatts::new(1.5)
         };
         let heat = if up {
-            self.bpm.heat_to_coolant_watts(load.utilization, load.intensity)
+            self.bpm
+                .heat_to_coolant_watts(load.utilization, load.intensity)
         } else {
-            0.0
+            Watts::new(0.0)
         };
         // The outlet dip of Fig. 12 needs no separate injection: the
         // sagging inlet propagates through the heat exchanger, producing
@@ -337,7 +345,7 @@ impl TelemetryProvider for TelemetryEngine {
         if let Some(hit) = self
             .median_cache
             .lock()
-            .expect("median cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             return *hit;
@@ -352,10 +360,13 @@ impl TelemetryProvider for TelemetryEngine {
         }
         let mut out = [0.0; 6];
         for (o, col) in out.iter_mut().zip(columns.iter_mut()) {
-            col.sort_by(|a, b| a.total_cmp(b));
+            col.sort_by(f64::total_cmp);
             *o = col[col.len() / 2];
         }
-        let mut cache = self.median_cache.lock().expect("median cache poisoned");
+        let mut cache = self
+            .median_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Bounded: the whole six years at 300 s is ~630k instants; cap
         // well below that and reset rather than evict.
         if cache.len() > 400_000 {
@@ -411,7 +422,11 @@ mod tests {
         assert_eq!(samples.len(), 48);
         for s in &samples {
             assert!((55.0..75.0).contains(&s.inlet.value()), "inlet {}", s.inlet);
-            assert!((70.0..95.0).contains(&s.outlet.value()), "outlet {}", s.outlet);
+            assert!(
+                (70.0..95.0).contains(&s.outlet.value()),
+                "outlet {}",
+                s.outlet
+            );
             assert!((20.0..32.0).contains(&s.flow.value()), "flow {}", s.flow);
             assert!((40.0..75.0).contains(&s.power.value()), "power {}", s.power);
             assert!((70.0..95.0).contains(&s.dc_temperature.value()));
@@ -442,7 +457,10 @@ mod tests {
         let (snap, samples) = e.observe_all(t);
         let rack = RackId::new(1, 8);
         assert_eq!(e.observe(rack, &snap), samples[rack.index()]);
-        assert_eq!(TelemetryProvider::sample(&e, rack, t), samples[rack.index()]);
+        assert_eq!(
+            TelemetryProvider::sample(&e, rack, t),
+            samples[rack.index()]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Date, SimTime};
-use mira_units::{Fahrenheit, Gpm};
+use mira_units::{convert, Fahrenheit, Gpm};
 
 /// Facility operational timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,13 +60,13 @@ impl OperationalTimeline {
         let ramp_end = self.theta_added + mira_timeseries::Duration::from_days(45);
         let v = if t < ramp_end {
             // Ramp up.
-            let num = (t - onset).as_seconds() as f64;
-            let den = (ramp_end - onset).as_seconds() as f64;
+            let num = convert::f64_from_i64((t - onset).as_seconds());
+            let den = convert::f64_from_i64((ramp_end - onset).as_seconds());
             peak * num / den
         } else {
             // Decay toward settled.
-            let num = (self.theta_settled - t).as_seconds() as f64;
-            let den = (self.theta_settled - ramp_end).as_seconds() as f64;
+            let num = convert::f64_from_i64((self.theta_settled - t).as_seconds());
+            let den = convert::f64_from_i64((self.theta_settled - ramp_end).as_seconds());
             peak * num / den
         };
         Fahrenheit::new(v.max(0.0))

@@ -120,10 +120,9 @@ impl AirflowMap {
             .max_by(|a, b| {
                 self.at(*a)
                     .humidity_factor
-                    .partial_cmp(&self.at(*b).humidity_factor)
-                    .expect("factors are finite")
+                    .total_cmp(&self.at(*b).humidity_factor)
             })
-            .expect("there are racks")
+            .unwrap_or_else(|| RackId::from_index(0))
     }
 }
 

@@ -206,9 +206,8 @@ mod tests {
         // At least one follower must be assigned to a leader in a
         // different row: the paper stresses links are not proximity-based.
         let t = ClockTree::mira();
-        let cross_row = RackId::all().any(|r| {
-            matches!(t.parent(r), Some(p) if p != t.master() && p.row() != r.row())
-        });
+        let cross_row = RackId::all()
+            .any(|r| matches!(t.parent(r), Some(p) if p != t.master() && p.row() != r.row()));
         assert!(cross_row);
     }
 

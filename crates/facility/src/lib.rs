@@ -46,5 +46,5 @@ pub use airflow::AirflowMap;
 pub use clock::ClockTree;
 pub use power::BulkPowerModule;
 pub use queues::{Queue, QueueMap};
-pub use rack::{RackId, ParseRackIdError, COLUMNS, ROWS};
+pub use rack::{ParseRackIdError, RackId, COLUMNS, ROWS};
 pub use topology::{Machine, NODES_PER_RACK, TOTAL_NODES};

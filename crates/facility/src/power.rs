@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mira_units::Kilowatts;
+use mira_units::{Kilowatts, Watts};
 
 /// Per-rack AC→DC bulk power module.
 ///
@@ -101,8 +101,9 @@ impl BulkPowerModule {
     /// All DC power becomes heat in the rack; conversion loss heats the
     /// BPM enclosure (air-side) and is excluded from the liquid loop.
     #[must_use]
-    pub fn heat_to_coolant_watts(&self, utilization: f64, intensity: f64) -> f64 {
-        self.draw(utilization, intensity).value() * self.efficiency * 1000.0
+    // Dimensionless utilization/intensity fractions. mira-lint: allow(raw-f64-in-public-api)
+    pub fn heat_to_coolant_watts(&self, utilization: f64, intensity: f64) -> Watts {
+        Watts::new(self.draw(utilization, intensity).value() * self.efficiency * 1000.0)
     }
 
     /// Idle (zero-utilization) AC draw.
@@ -125,9 +126,11 @@ impl BulkPowerModule {
 
     /// Theoretical line-cord capacity at 480 V three-phase, in kW.
     #[must_use]
-    pub fn line_capacity_kw(&self) -> f64 {
+    pub fn line_capacity_kw(&self) -> Kilowatts {
         // P = √3 · V · I per cord.
-        f64::from(LINE_CORDS_PER_RACK) * 3f64.sqrt() * 480.0 * LINE_CORD_AMPS / 1000.0
+        Kilowatts::new(
+            f64::from(LINE_CORDS_PER_RACK) * 3f64.sqrt() * 480.0 * LINE_CORD_AMPS / 1000.0,
+        )
     }
 }
 
@@ -163,13 +166,13 @@ mod tests {
     #[test]
     fn max_draw_within_line_capacity() {
         let bpm = BulkPowerModule::mira();
-        assert!(bpm.max_draw().value() < bpm.line_capacity_kw());
+        assert!(bpm.max_draw().value() < bpm.line_capacity_kw().value());
     }
 
     #[test]
     fn heat_excludes_conversion_loss() {
         let bpm = BulkPowerModule::mira();
-        let heat = bpm.heat_to_coolant_watts(1.0, 1.0);
+        let heat = bpm.heat_to_coolant_watts(1.0, 1.0).value();
         let ac = bpm.max_draw().value() * 1000.0;
         assert!(heat < ac);
         assert!((heat / ac - bpm.efficiency()).abs() < 1e-12);

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::rack::{RackId, COLUMNS};
 
 /// A scheduling queue.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Queue {
     /// Long-running capability jobs (row 0).
     ProdLong,

@@ -27,9 +27,7 @@ pub const COLUMNS: u8 = 16;
 /// assert_eq!(RackId::parse("(0, D)").unwrap().column(), 13);
 /// assert_eq!(RackId::from_index(r.index()), r);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RackId {
     row: u8,
     column: u8,

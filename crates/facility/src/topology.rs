@@ -17,8 +17,7 @@ pub const NODE_BOARDS_PER_MIDPLANE: u32 = 16;
 pub const NODES_PER_BOARD: u32 = 32;
 
 /// Nodes per rack (2 × 16 × 32).
-pub const NODES_PER_RACK: u32 =
-    MIDPLANES_PER_RACK * NODE_BOARDS_PER_MIDPLANE * NODES_PER_BOARD;
+pub const NODES_PER_RACK: u32 = MIDPLANES_PER_RACK * NODE_BOARDS_PER_MIDPLANE * NODES_PER_BOARD;
 
 /// Nodes in the whole system (48 racks).
 pub const TOTAL_NODES: u32 = NODES_PER_RACK * RackId::COUNT as u32;

@@ -1,0 +1,361 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! `mira-lint` must run with zero registry dependencies, so instead of
+//! `syn` it works from a line-oriented view of each file produced here:
+//! comment bodies and string/char literal contents are blanked out
+//! (so pattern matches never fire inside prose), while the raw text is
+//! kept alongside for escape-hatch comments. A second pass tracks brace
+//! depth to mark `#[cfg(test)]` regions, which most rules exempt.
+//!
+//! This is deliberately *not* a full parser: it only needs to be exact
+//! about what can confuse substring matching — comments, strings
+//! (including raw strings), char literals vs. lifetimes — and about
+//! brace nesting for test-module tracking.
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The original text, comments included.
+    pub raw: String,
+    /// The text with comment bodies and literal contents blanked to
+    /// spaces; rule patterns match against this.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` region.
+    pub in_test_context: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    CharLit,
+}
+
+/// Blank out comments and literal bodies, preserving length and
+/// newlines so byte offsets and line numbers survive.
+fn scrub(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' && !prev_is_ident(&out) {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u8;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        while i <= j {
+                            out.push(bytes[i]);
+                            i += 1;
+                        }
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
+                    let next = bytes.get(i + 1).copied();
+                    let after = bytes.get(i + 2).copied();
+                    let is_lifetime = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                        && after != Some(b'\'');
+                    if is_lifetime {
+                        out.push(b);
+                        i += 1;
+                    } else {
+                        state = State::CharLit;
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    let depth = depth - 1;
+                    state = if depth == 0 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u8;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        while i < j {
+                            out.push(bytes[i]);
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' || b == b'\n' {
+                    // Newline: bail out — it was not a char literal
+                    // after all (e.g. a stray quote); stay safe.
+                    state = State::Code;
+                    out.push(b);
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Blanking is byte-for-byte, so the scrubbed text is ASCII-safe
+    // wherever we wrote spaces and untouched UTF-8 elsewhere.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Mark, per byte-line, whether it falls inside a `#[cfg(test)]`
+/// brace region of the scrubbed source.
+fn test_region_lines(code: &str) -> Vec<bool> {
+    let line_count = code.lines().count();
+    let mut in_test = vec![false; line_count.max(1)];
+
+    let bytes = code.as_bytes();
+    let mut depth: i64 = 0;
+    let mut line = 0usize;
+    let mut pending_attr = false;
+    let mut region_depths: Vec<i64> = Vec::new();
+    let needle = b"#[cfg(test)]";
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i..].starts_with(needle) {
+            pending_attr = true;
+            i += needle.len();
+            continue;
+        }
+        match b {
+            b'{' => {
+                depth += 1;
+                if pending_attr {
+                    region_depths.push(depth);
+                    pending_attr = false;
+                }
+            }
+            b'}' => {
+                if region_depths.last() == Some(&depth) {
+                    region_depths.pop();
+                }
+                depth -= 1;
+            }
+            b';' => {
+                // `#[cfg(test)] mod tests;` or an attribute on a
+                // braceless item: the attribute never gets a block.
+                pending_attr = false;
+            }
+            _ => {}
+        }
+        if !region_depths.is_empty() && line < in_test.len() {
+            in_test[line] = true;
+        }
+        i += 1;
+    }
+
+    // A line is "in test context" if any region covered it, including
+    // the attribute/brace lines themselves.
+    in_test
+}
+
+/// Analyze a file into per-line records.
+#[must_use]
+pub fn analyze(source: &str) -> Vec<SourceLine> {
+    let code = scrub(source);
+    let test_lines = test_region_lines(&code);
+
+    source
+        .lines()
+        .zip(code.lines())
+        .enumerate()
+        .map(|(idx, (raw, code_line))| SourceLine {
+            number: idx + 1,
+            raw: raw.to_owned(),
+            code: code_line.to_owned(),
+            in_test_context: test_lines.get(idx).copied().unwrap_or(false),
+        })
+        .collect()
+}
+
+/// True when `code[idx..idx + len]` is delimited by non-identifier
+/// characters on both sides (a whole-token match).
+#[must_use]
+pub fn token_bounded(code: &str, idx: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let before_ok = idx == 0 || {
+        let c = bytes[idx - 1];
+        !(c == b'_' || c.is_ascii_alphanumeric())
+    };
+    let after_ok = idx + len >= bytes.len() || {
+        let c = bytes[idx + len];
+        !(c == b'_' || c.is_ascii_alphanumeric())
+    };
+    before_ok && after_ok
+}
+
+/// All whole-token occurrences of `needle` in `code`.
+pub fn token_matches<'h>(code: &'h str, needle: &str) -> impl Iterator<Item = usize> + 'h {
+    let needle_len = needle.len();
+    let mut positions = Vec::new();
+    let mut start = 0;
+    while let Some(found) = code[start..].find(needle) {
+        let idx = start + found;
+        if token_bounded(code, idx, needle_len) {
+            positions.push(idx);
+        }
+        start = idx + needle_len.max(1);
+    }
+    positions.into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap()\"; // .unwrap() here\nlet y = 1;\n";
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].raw.contains(".unwrap() here"));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"panic!(\"boom\")\"#;\nlet q = 2;";
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("panic"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lines = analyze(src);
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "\
+fn real() {}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+
+fn also_real() {}
+";
+        let lines = analyze(src);
+        assert!(!lines[0].in_test_context);
+        assert!(lines[3].in_test_context, "mod tests line");
+        assert!(lines[4].in_test_context, "helper line");
+        assert!(!lines[7].in_test_context, "code after region");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ still comment */ fn f() {}";
+        let lines = analyze(src);
+        assert!(lines[0].code.contains("fn f()"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn token_bounded_rejects_substrings() {
+        let code = "let unwrapped = expect_err();";
+        assert!(token_matches(code, "unwrap").next().is_none());
+        assert!(token_matches(code, "expect").next().is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! `mira-lint`: workspace-wide domain-invariant static analysis.
+//!
+//! The paper's conclusions rest on six years of trustworthy telemetry;
+//! a single unit mix-up, silent `NaN`, or nondeterministic RNG call
+//! invalidates every downstream figure. This crate machine-enforces the
+//! conventions the workspace relies on, with zero registry dependencies
+//! (a hand-rolled scanner in [`lexer`], not `syn`):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `raw-f64-in-public-api` | physics-crate public `fn`s use `mira-units` newtypes |
+//! | `no-unwrap-in-lib` | no `unwrap()` / `expect(..)` / `panic!` in library code |
+//! | `lossy-cast` | no `as f64` / `as usize` / `as u32` / `as i64` |
+//! | `nan-unsafe-compare` | no `partial_cmp().unwrap()`, no bare float `==` |
+//! | `nondeterminism` | no wall clocks / unseeded RNGs in simulation crates |
+//!
+//! Violations can be waved through inline (`// mira-lint:
+//! allow(<rule>)` on the offending line or the one above) or
+//! grandfathered in bulk via `lint-allow.toml` budgets
+//! ([`allowlist`]). The binary walks `crates/*/src/**/*.rs` and exits
+//! nonzero on any unallowed finding; `tests/lint_gate.rs` runs the same
+//! engine under `cargo test`, so the gate cannot be skipped.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use allowlist::{gate, Allowlist, Gated};
+pub use rules::{check_file, Finding, Rule};
+
+/// Scan one source string as though it lived at `path` (which decides
+/// crate-specific rules). Used by the binary, the gate test, and rule
+/// fixtures.
+#[must_use]
+pub fn scan_source(path: &Path, source: &str) -> Vec<Finding> {
+    check_file(path, &lexer::analyze(source))
+}
+
+/// All `.rs` files under `crates/*/src`, workspace-relative, sorted.
+///
+/// # Errors
+/// Returns any I/O error hit while walking (a vanished dir mid-walk).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    for file in &mut files {
+        if let Ok(rel) = file.strip_prefix(root) {
+            *file = rel.to_path_buf();
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root`.
+///
+/// # Errors
+/// Returns the first unreadable file or directory.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in workspace_sources(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+/// Locate the workspace root: walk upward from `start` until a
+/// directory holding both `Cargo.toml` and `crates/` appears.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(candidate) = dir {
+        if candidate.join("Cargo.toml").is_file() && candidate.join("crates").is_dir() {
+            return Some(candidate.to_path_buf());
+        }
+        dir = candidate.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_source_applies_path_sensitive_rules() {
+        let src = "pub fn t(&self) -> f64 { self.v as f64 }\n";
+        let cooling = scan_source(Path::new("crates/cooling/src/x.rs"), src);
+        assert_eq!(cooling.len(), 2, "{cooling:?}"); // raw-f64 + lossy-cast
+        let nn = scan_source(Path::new("crates/nn/src/x.rs"), src);
+        assert_eq!(nn.len(), 1, "{nn:?}"); // lossy-cast only
+    }
+
+    #[test]
+    fn find_root_from_nested_dir() {
+        let here = std::env::current_dir().expect("cwd exists");
+        let root = find_workspace_root(&here).expect("inside the workspace");
+        assert!(root.join("crates").is_dir());
+    }
+}

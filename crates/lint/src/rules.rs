@@ -1,0 +1,639 @@
+//! The five domain-invariant rules.
+//!
+//! Each rule scans the line-oriented view produced by [`crate::lexer`]
+//! and emits [`Finding`]s with a stable machine-readable identity
+//! (file, line, rule name) plus a human suggestion. Rules only fire in
+//! library code: `#[cfg(test)]` regions are exempt, and the workspace
+//! walker never feeds `tests/`, `benches/`, or `examples/` files in.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{token_bounded, token_matches, SourceLine};
+
+/// The crates whose public APIs must speak `mira-units` newtypes.
+pub const PHYSICS_CRATES: [&str; 4] = ["cooling", "weather", "facility", "workload"];
+
+/// The crates whose simulation code must stay deterministic.
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "cooling", "weather", "workload", "ras"];
+
+/// Identity of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// Public physics-crate `fn` signatures must use unit newtypes, not
+    /// bare `f64`.
+    RawF64InPublicApi,
+    /// No `unwrap()` / `expect(` / `panic!` in library code.
+    NoUnwrapInLib,
+    /// No lossy `as` casts (`as f64`, `as usize`, `as u32`, `as i64`).
+    LossyCast,
+    /// No `partial_cmp().unwrap()` or bare float `==`.
+    NanUnsafeCompare,
+    /// No wall clocks or unseeded RNGs in simulation crates.
+    Nondeterminism,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::RawF64InPublicApi,
+        Rule::NoUnwrapInLib,
+        Rule::LossyCast,
+        Rule::NanUnsafeCompare,
+        Rule::Nondeterminism,
+    ];
+
+    /// The kebab-case name used in diagnostics, escape hatches, and the
+    /// allowlist.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RawF64InPublicApi => "raw-f64-in-public-api",
+            Rule::NoUnwrapInLib => "no-unwrap-in-lib",
+            Rule::LossyCast => "lossy-cast",
+            Rule::NanUnsafeCompare => "nan-unsafe-compare",
+            Rule::Nondeterminism => "nondeterminism",
+        }
+    }
+
+    /// Parse a rule name as written in an escape hatch or allowlist.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// The remediation hint attached to every diagnostic.
+    #[must_use]
+    pub fn suggestion(self) -> &'static str {
+        match self {
+            Rule::RawF64InPublicApi => {
+                "use a mira-units newtype (Celsius, Fahrenheit, Gpm, Kilowatts, ...) in the public signature"
+            }
+            Rule::NoUnwrapInLib => {
+                "propagate with `?`, return Result/Option, or handle the failure case explicitly"
+            }
+            Rule::LossyCast => {
+                "use From/try_from (or an explicit rounding helper) instead of a lossy `as` cast"
+            }
+            Rule::NanUnsafeCompare => {
+                "use f64::total_cmp for ordering, or compare against an epsilon instead of `==`"
+            }
+            Rule::Nondeterminism => {
+                "thread a seeded StdRng / SimTime through instead; wall clocks and entropy break replay"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as reported (workspace-relative when walked).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What the rule matched, for the message.
+    pub matched: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}; suggestion: {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.matched,
+            self.rule.suggestion()
+        )
+    }
+}
+
+/// Which crate (directory under `crates/`) a path belongs to, if any.
+fn crate_of(path: &Path) -> Option<String> {
+    let mut components = path.components().map(|c| c.as_os_str().to_string_lossy());
+    while let Some(c) = components.next() {
+        if c == "crates" {
+            return components.next().map(std::borrow::Cow::into_owned);
+        }
+    }
+    None
+}
+
+/// Escape hatches present on a line: `// mira-lint: allow(rule, rule)`.
+fn allows_on(raw: &str) -> Vec<String> {
+    let Some(comment) = raw.find("//").map(|i| &raw[i..]) else {
+        return Vec::new();
+    };
+    let Some(tag) = comment.find("mira-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[tag + "mira-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return Vec::new();
+    };
+    let body = &rest[open + "allow(".len()..];
+    let Some(close) = body.find(')') else {
+        return Vec::new();
+    };
+    body[..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// True when `finding` on `lines[idx]` is waved through by an escape
+/// hatch on the same line or the line directly above.
+fn escaped(lines: &[SourceLine], idx: usize, rule: Rule) -> bool {
+    let hit = |raw: &str| allows_on(raw).iter().any(|name| name == rule.name());
+    if hit(&lines[idx].raw) {
+        return true;
+    }
+    idx > 0 && hit(&lines[idx - 1].raw)
+}
+
+/// Run every applicable rule over one analyzed file.
+#[must_use]
+pub fn check_file(path: &Path, lines: &[SourceLine]) -> Vec<Finding> {
+    let crate_name = crate_of(path);
+    let physics = crate_name
+        .as_deref()
+        .is_some_and(|c| PHYSICS_CRATES.contains(&c));
+    let deterministic = crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test_context {
+            continue;
+        }
+        check_unwrap(path, lines, idx, &mut findings);
+        check_lossy_cast(path, lines, idx, &mut findings);
+        check_nan_compare(path, lines, idx, &mut findings);
+        if deterministic {
+            check_nondeterminism(path, lines, idx, &mut findings);
+        }
+        let _ = line;
+    }
+    if physics {
+        check_public_f64(path, lines, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    lines: &[SourceLine],
+    idx: usize,
+    path: &Path,
+    rule: Rule,
+    matched: impl Into<String>,
+) {
+    if escaped(lines, idx, rule) {
+        return;
+    }
+    findings.push(Finding {
+        file: path.to_path_buf(),
+        line: lines[idx].number,
+        rule,
+        matched: matched.into(),
+    });
+}
+
+fn check_unwrap(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Vec<Finding>) {
+    let code = &lines[idx].code;
+    for pos in token_matches(code, "unwrap") {
+        if code[pos..].starts_with("unwrap()") {
+            push(
+                findings,
+                lines,
+                idx,
+                path,
+                Rule::NoUnwrapInLib,
+                "`unwrap()` in library code",
+            );
+        }
+    }
+    for pos in token_matches(code, "expect") {
+        if code[pos + "expect".len()..].trim_start().starts_with('(') {
+            push(
+                findings,
+                lines,
+                idx,
+                path,
+                Rule::NoUnwrapInLib,
+                "`expect(..)` in library code",
+            );
+        }
+    }
+    for pos in token_matches(code, "panic") {
+        if code[pos + "panic".len()..].starts_with("!(") {
+            push(
+                findings,
+                lines,
+                idx,
+                path,
+                Rule::NoUnwrapInLib,
+                "`panic!` in library code",
+            );
+        }
+    }
+}
+
+/// The cast targets the paper's telemetry/timestamp values flow
+/// through; `as` to any of them silently truncates, wraps, or loses
+/// precision.
+const LOSSY_CAST_TARGETS: [&str; 4] = ["f64", "usize", "u32", "i64"];
+
+fn check_lossy_cast(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Vec<Finding>) {
+    let code = &lines[idx].code;
+    for pos in token_matches(code, "as") {
+        let rest = code[pos + 2..].trim_start();
+        for target in LOSSY_CAST_TARGETS {
+            if rest.starts_with(target)
+                && !rest[target.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c == '_' || c.is_ascii_alphanumeric())
+            {
+                push(
+                    findings,
+                    lines,
+                    idx,
+                    path,
+                    Rule::LossyCast,
+                    format!("lossy `as {target}` cast"),
+                );
+            }
+        }
+    }
+}
+
+fn check_nan_compare(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Vec<Finding>) {
+    let code = &lines[idx].code;
+
+    // `partial_cmp(..).unwrap()` / `.expect(..)`, allowing the call to
+    // continue on the next line.
+    if let Some(pos) = code.find("partial_cmp") {
+        if token_bounded(code, pos, "partial_cmp".len()) {
+            let tail = &code[pos..];
+            let continuation = lines.get(idx + 1).map_or("", |l| l.code.as_str());
+            let joined = format!("{} {}", tail, continuation.trim_start());
+            if joined.contains(".unwrap()") || joined.contains(".expect(") {
+                push(
+                    findings,
+                    lines,
+                    idx,
+                    path,
+                    Rule::NanUnsafeCompare,
+                    "`partial_cmp(..).unwrap()` panics on NaN",
+                );
+            }
+        }
+    }
+
+    // Bare float `==` / `!=`: a float literal adjacent to the operator.
+    for op in ["==", "!="] {
+        let mut start = 0;
+        while let Some(found) = code[start..].find(op) {
+            let pos = start + found;
+            start = pos + op.len();
+            // Skip `<=`, `>=`, `!=` handled separately, and pattern
+            // arms `=>`.
+            if op == "==" && pos > 0 && matches!(code.as_bytes()[pos - 1], b'<' | b'>' | b'!') {
+                continue;
+            }
+            let left = code[..pos].trim_end();
+            let right = code[pos + op.len()..].trim_start();
+            if ends_with_float_literal(left) || starts_with_float_literal(right) {
+                push(
+                    findings,
+                    lines,
+                    idx,
+                    path,
+                    Rule::NanUnsafeCompare,
+                    format!("bare float `{op}` comparison"),
+                );
+            }
+        }
+    }
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    let token_start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+        .map_or(0, |i| i + 1);
+    is_float_literal(&s[token_start..])
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let token_end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+        .unwrap_or(s.len());
+    is_float_literal(&s[..token_end])
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let mut digits = false;
+    let mut dot = false;
+    for c in token.chars() {
+        match c {
+            '0'..='9' | '_' => digits = true,
+            '.' => dot = true,
+            // Type suffixes (`1.0f64`) and exponents (`1e9`).
+            'f' | 'e' if digits => {}
+            _ => return false,
+        }
+    }
+    digits && (dot || token.contains('e'))
+}
+
+/// Calls that smuggle wall-clock time or OS entropy into simulation
+/// code, breaking the `tests/determinism.rs` replay contract.
+const NONDETERMINISM_PATTERNS: [(&str, &str); 6] = [
+    ("SystemTime::now", "wall-clock read in simulation code"),
+    ("Instant::now", "wall-clock read in simulation code"),
+    ("thread_rng", "unseeded thread-local RNG in simulation code"),
+    ("from_entropy", "OS-entropy RNG seeding in simulation code"),
+    ("from_os_rng", "OS-entropy RNG seeding in simulation code"),
+    ("rand::rng", "unseeded global RNG in simulation code"),
+];
+
+fn check_nondeterminism(
+    path: &Path,
+    lines: &[SourceLine],
+    idx: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let code = &lines[idx].code;
+    for (pattern, message) in NONDETERMINISM_PATTERNS {
+        let mut search = 0;
+        while let Some(found) = code[search..].find(pattern) {
+            let pos = search + found;
+            search = pos + pattern.len();
+            // Token-bound the trailing edge so `rand::rng` does not
+            // also fire on `rand::rngs::StdRng` paths.
+            let bounded = !code[pos + pattern.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c == '_' || c == ':' || c.is_ascii_alphanumeric());
+            if bounded {
+                push(findings, lines, idx, path, Rule::Nondeterminism, message);
+                break;
+            }
+        }
+    }
+}
+
+/// `pub fn` signatures in physics crates must not expose bare `f64`.
+fn check_public_f64(path: &Path, lines: &[SourceLine], findings: &mut Vec<Finding>) {
+    let mut idx = 0;
+    while idx < lines.len() {
+        let line = &lines[idx];
+        if line.in_test_context {
+            idx += 1;
+            continue;
+        }
+        let code = &line.code;
+        let Some(pub_pos) = token_matches(code, "pub").next() else {
+            idx += 1;
+            continue;
+        };
+        let after_pub = code[pub_pos + 3..].trim_start();
+        // `pub(crate)` / `pub(super)` / `pub(in ..)` are not public API.
+        if after_pub.starts_with('(') {
+            idx += 1;
+            continue;
+        }
+        // Allow qualifiers between `pub` and `fn`.
+        let mut sig_head = after_pub;
+        for qualifier in ["const ", "async ", "unsafe ", "extern \"C\" "] {
+            sig_head = sig_head.trim_start_matches(qualifier);
+        }
+        if !(sig_head.starts_with("fn ") || sig_head == "fn") {
+            idx += 1;
+            continue;
+        }
+
+        // Collect the signature: from `fn` to the body `{` or a `;`.
+        let mut signature = String::new();
+        let mut end = idx;
+        'collect: for (offset, sig_line) in lines[idx..].iter().enumerate().take(16) {
+            let text = if offset == 0 {
+                &sig_line.code[pub_pos..]
+            } else {
+                sig_line.code.as_str()
+            };
+            for (ci, c) in text.char_indices() {
+                if c == '{' || c == ';' {
+                    signature.push_str(&text[..ci]);
+                    end = idx + offset;
+                    break 'collect;
+                }
+            }
+            signature.push_str(text);
+            signature.push(' ');
+            end = idx + offset;
+        }
+
+        if token_matches(&signature, "f64").next().is_some() {
+            push(
+                findings,
+                lines,
+                idx,
+                path,
+                Rule::RawF64InPublicApi,
+                "bare `f64` in public physics-crate signature",
+            );
+        }
+        idx = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::analyze;
+    use std::path::Path;
+
+    fn findings_in(fake_path: &str, src: &str) -> Vec<Finding> {
+        check_file(Path::new(fake_path), &analyze(src))
+    }
+
+    const LIB: &str = "crates/cooling/src/fixture.rs";
+
+    #[test]
+    fn unwrap_fires_in_lib_code() {
+        let found = findings_in(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::NoUnwrapInLib);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let found = findings_in(
+            LIB,
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f(x: Option<u8>) -> u8 { x.unwrap() }
+}
+";
+        assert!(findings_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_exempt() {
+        let src = "// call .unwrap() later\nconst HINT: &str = \"x.unwrap()\";\n";
+        assert!(findings_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_same_line_and_line_above() {
+        let same =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // mira-lint: allow(no-unwrap-in-lib)\n";
+        assert!(findings_in(LIB, same).is_empty());
+        let above =
+            "// mira-lint: allow(no-unwrap-in-lib)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(findings_in(LIB, above).is_empty());
+        let wrong_rule =
+            "// mira-lint: allow(lossy-cast)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(findings_in(LIB, wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn expect_and_panic_fire() {
+        let found = findings_in(LIB, "fn f() { g().expect(\"boom\"); panic!(\"no\"); }\n");
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::NoUnwrapInLib));
+    }
+
+    #[test]
+    fn lossy_casts_fire_per_target() {
+        let found = findings_in(
+            LIB,
+            "fn f(n: u64) { let _ = (n as f64, n as usize, n as u32, n as i64); }\n",
+        );
+        assert_eq!(found.len(), 4);
+        assert!(found.iter().all(|f| f.rule == Rule::LossyCast));
+    }
+
+    #[test]
+    fn benign_casts_do_not_fire() {
+        let found = findings_in(LIB, "fn f(n: u8) { let _ = n as u64; let _ = n as i32; }\n");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires_including_multiline() {
+        let one = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let found = findings_in(LIB, one);
+        // Fires both as a NaN hazard and as a lib-code unwrap.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|f| f.rule == Rule::NanUnsafeCompare));
+        assert!(found.iter().any(|f| f.rule == Rule::NoUnwrapInLib));
+        let two =
+            "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b)\n        .expect(\"finite\"); }\n";
+        let found = findings_in(LIB, two);
+        assert_eq!(found.len(), 2, "{found:?}"); // nan-unsafe + no-unwrap on line 2
+        assert!(found.iter().any(|f| f.rule == Rule::NanUnsafeCompare));
+    }
+
+    #[test]
+    fn float_equality_fires() {
+        let found = findings_in(LIB, "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::NanUnsafeCompare);
+        let found = findings_in(LIB, "fn f(x: f64) -> bool { 1.5e3 != x }\n");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn integer_equality_does_not_fire() {
+        assert!(findings_in(LIB, "fn f(x: u64) -> bool { x == 10 }\n").is_empty());
+        assert!(findings_in(LIB, "fn f(x: bool) -> bool { x != true }\n").is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_fires_only_in_simulation_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(findings_in("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(findings_in("crates/ras/src/x.rs", src).len(), 1);
+        assert!(findings_in("crates/cli/src/x.rs", src).is_empty());
+        assert!(findings_in("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_paths_do_not_fire() {
+        let src = "use rand::rngs::StdRng;\nfn f() { let _ = StdRng::seed_from_u64(7); }\n";
+        assert!(findings_in("crates/weather/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires() {
+        let src = "fn f() { let mut r = rand::rng(); }\n";
+        assert_eq!(findings_in("crates/workload/src/x.rs", src).len(), 1);
+        let src = "fn f() { let mut r = thread_rng(); }\n";
+        assert_eq!(findings_in("crates/cooling/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn public_f64_fires_in_physics_crates_only() {
+        let src = "pub fn temperature(&self) -> f64 { self.t }\n";
+        let found = findings_in("crates/cooling/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::RawF64InPublicApi);
+        assert!(findings_in("crates/timeseries/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_private_and_newtype_signatures_pass() {
+        let private = "pub(crate) fn helper(x: f64) -> f64 { x }\n";
+        assert!(findings_in("crates/weather/src/x.rs", private).is_empty());
+        let typed = "pub fn temperature(&self) -> Celsius { self.t }\n";
+        assert!(findings_in("crates/cooling/src/x.rs", typed).is_empty());
+    }
+
+    #[test]
+    fn multiline_public_signature_is_scanned() {
+        let src = "\
+pub fn blend(
+    a: Celsius,
+    weight: f64,
+) -> Celsius {
+    a
+}
+";
+        let found = findings_in("crates/facility/src/x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn findings_render_file_line_rule() {
+        let found = findings_in(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        let rendered = found[0].to_string();
+        assert!(rendered.starts_with("crates/cooling/src/fixture.rs:1: [no-unwrap-in-lib]"));
+        assert!(rendered.contains("suggestion:"));
+    }
+}

@@ -143,8 +143,7 @@ impl GaussianProcess {
             }
             v
         };
-        let var = (self.kernel(query, query) - v.iter().map(|x| x * x).sum::<f64>())
-            .max(1e-12);
+        let var = (self.kernel(query, query) - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
         (mean, var)
     }
 }
@@ -218,7 +217,11 @@ impl BayesianOptimizer {
 
     /// Runs up to `budget` objective evaluations (maximization) and
     /// returns the best configuration found.
-    pub fn optimize<F: FnMut(&[f64]) -> f64>(&mut self, mut objective: F, budget: usize) -> Vec<f64> {
+    pub fn optimize<F: FnMut(&[f64]) -> f64>(
+        &mut self,
+        mut objective: F,
+        budget: usize,
+    ) -> Vec<f64> {
         let budget = budget.min(self.space.len()).max(1);
         // Two random seeds points, then GP-guided.
         let n_init = 2.min(budget);
@@ -272,7 +275,11 @@ impl BayesianOptimizer {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
-        let ymin = self.observed_y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ymin = self
+            .observed_y
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let scale = (ymax - ymin).max(1e-9);
         let ys: Vec<f64> = self.observed_y.iter().map(|y| (y - ymin) / scale).collect();
         gp.fit(&self.observed_x, &ys);
@@ -286,8 +293,7 @@ impl BayesianOptimizer {
                 (cfg.clone(), expected_improvement(mean, var, best))
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(cfg, _)| cfg)
-            .unwrap_or_else(|| self.pick_random_unobserved())
+            .map_or_else(|| self.pick_random_unobserved(), |(cfg, _)| cfg)
     }
 }
 

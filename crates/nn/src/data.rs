@@ -19,7 +19,11 @@ impl Dataset {
     /// Panics if lengths differ or rows have inconsistent widths.
     #[must_use]
     pub fn new(features: Vec<Vec<f64>>, labels: Vec<f64>) -> Self {
-        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         if let Some(first) = features.first() {
             let w = first.len();
             assert!(

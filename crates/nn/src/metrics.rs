@@ -102,6 +102,7 @@ impl BinaryMetrics {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if p + r == 0.0 {
             0.0
         } else {

@@ -77,7 +77,11 @@ impl Mlp {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == widths.len() { output } else { hidden };
+                let act = if i + 2 == widths.len() {
+                    output
+                } else {
+                    hidden
+                };
                 Dense::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 7919))
             })
             .collect();
@@ -243,7 +247,11 @@ impl<'a> TrainSession<'a> {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "empty training set");
         for xi in x {
-            assert_eq!(xi.len(), self.network.input_size(), "feature width mismatch");
+            assert_eq!(
+                xi.len(),
+                self.network.input_size(),
+                "feature width mismatch"
+            );
         }
 
         // Fisher-Yates shuffle.
@@ -394,7 +402,11 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(outcome.epochs_run < 500, "ran {} epochs", outcome.epochs_run);
+        assert!(
+            outcome.epochs_run < 500,
+            "ran {} epochs",
+            outcome.epochs_run
+        );
         assert_eq!(outcome.validation_loss.len(), outcome.epochs_run);
         // Restored weights are the best-validation ones: evaluating on
         // the flipped labels matches the minimum recorded loss.

@@ -148,8 +148,7 @@ impl CusumDetector {
             det.outlet.reset();
             det.flow.reset();
             let start = end - window;
-            let predicted =
-                (0..n).any(|k| det.push(&provider.sample(rack, start + step * k)));
+            let predicted = (0..n).any(|k| det.push(&provider.sample(rack, start + step * k)));
             metrics.record(predicted, positive);
         }
         metrics

@@ -12,6 +12,7 @@ use mira_cooling::CoolantMonitorSample;
 use mira_facility::RackId;
 use mira_nn::Dataset;
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 use crate::features::FeatureConfig;
 
@@ -42,7 +43,7 @@ pub trait TelemetryProvider {
         }
         let mut out = [0.0; 6];
         for (o, col) in out.iter_mut().zip(columns.iter_mut()) {
-            col.sort_by(|a, b| a.total_cmp(b));
+            col.sort_by(f64::total_cmp);
             *o = col[col.len() / 2];
         }
         out
@@ -116,10 +117,13 @@ impl DatasetBuilder {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            let j = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+            let j =
+                convert::usize_from_u64(state.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1));
             order.swap(i, j);
         }
-        let cut = ((self.all_cmfs.len() as f64) * train_fraction).round() as usize;
+        let cut = convert::usize_from_f64_round(
+            convert::f64_from_usize(self.all_cmfs.len()) * train_fraction,
+        );
         assert!(
             cut >= 1 && cut < self.all_cmfs.len(),
             "split leaves a side empty"
@@ -214,7 +218,8 @@ impl DatasetBuilder {
         let span = self.production.1 - self.production.0;
         // Oversample candidates: some get rejected near CMFs.
         let candidates = needed * 2 + 8;
-        let stride = Duration::from_seconds(span.as_seconds() / candidates as i64);
+        let stride =
+            Duration::from_seconds(span.as_seconds() / convert::i64_from_usize(candidates));
         let salt = self
             .negative_salt
             .wrapping_mul(0xD131_0BA6_98DF_B5AC)
@@ -225,13 +230,19 @@ impl DatasetBuilder {
             let mut h = salt.wrapping_add((k as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
             h = (h ^ (h >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
             h ^= h >> 31;
-            let jitter = Duration::from_seconds((h % (stride.as_seconds().max(1) as u64)) as i64);
-            let end = self.production.0 + self.features.window + stride * k as i64 + jitter;
+            let jitter = Duration::from_seconds(convert::i64_from_u64(
+                h % (stride.as_seconds().max(1) as u64),
+            ));
+            let end = self.production.0
+                + self.features.window
+                + stride * convert::i64_from_usize(k)
+                + jitter;
             k += 1;
             if end >= self.production.1 {
                 continue;
             }
-            let rack = RackId::from_index(((h >> 32) % RackId::COUNT as u64) as usize);
+            let rack = convert::usize_from_u64((h >> 32) % RackId::COUNT as u64);
+            let rack = RackId::from_index(rack);
             // Clean negatives: no CMF on this rack within the horizon
             // after the window, nor during the window itself.
             if self.cmf_within(rack, end, self.features.window + lead)
@@ -287,7 +298,8 @@ impl DatasetBuilder {
             // (b) A maintenance-Monday afternoon on a rotating healthy
             // rack: the window spans the 9 AM drain and burner handoff.
             let monday = next_monday_after(
-                self.production.0 + Duration::from_days(7 * (i as i64 + 1) % 2100),
+                self.production.0
+                    + Duration::from_days(7 * (convert::i64_from_usize(i) + 1) % 2100),
             ) + Duration::from_hours(15);
             let other = RackId::from_index((i * 13 + 5) % RackId::COUNT);
             if monday < self.production.1

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_cooling::CoolantMonitorSample;
 use mira_timeseries::Duration;
+use mira_units::convert;
 
 /// How raw channel values become features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,11 +93,13 @@ impl FeatureConfig {
             return None;
         }
         // Segment means per channel.
-        let seg_len = window.len() as f64 / self.segments as f64;
+        let seg_len =
+            convert::f64_from_usize(window.len()) / convert::f64_from_usize(self.segments);
         let mut seg_means = vec![[0.0f64; 6]; self.segments];
         let mut seg_counts = vec![0u32; self.segments];
         for (i, ch) in window.iter().enumerate() {
-            let seg = ((i as f64 / seg_len) as usize).min(self.segments - 1);
+            let seg = convert::usize_from_f64_floor(convert::f64_from_usize(i) / seg_len)
+                .min(self.segments - 1);
             for c in 0..6 {
                 seg_means[seg][c] += ch[c];
             }
@@ -125,8 +128,9 @@ impl FeatureConfig {
                 }
             }
             FeatureMode::Levels => {
-                let last = seg_means.last().expect("segments exist");
-                features.extend_from_slice(last);
+                if let Some(last) = seg_means.last() {
+                    features.extend_from_slice(last);
+                }
             }
         }
         Some(features)

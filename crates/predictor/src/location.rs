@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::Duration;
+use mira_units::convert;
 
 use crate::dataset::{DatasetBuilder, TelemetryProvider};
 use crate::pipeline::CmfPredictor;
@@ -110,12 +111,12 @@ impl<'a> LocationPredictor<'a> {
         TopKAccuracy {
             k,
             hit_rate: if events > 0 {
-                hits as f64 / events as f64
+                convert::f64_from_usize(hits) / convert::f64_from_usize(events)
             } else {
                 0.0
             },
             mean_rank: if events > 0 {
-                rank_sum as f64 / events as f64
+                convert::f64_from_usize(rank_sum) / convert::f64_from_usize(events)
             } else {
                 0.0
             },

@@ -150,7 +150,8 @@ impl CmfPredictor {
     /// Probability that a CMF is coming, for a raw feature vector.
     #[must_use]
     pub fn predict(&self, features: &[f64]) -> f64 {
-        self.network.predict(&self.standardizer.transform_row(features))
+        self.network
+            .predict(&self.standardizer.transform_row(features))
     }
 
     /// Metrics over a raw (un-standardized) dataset.
@@ -180,6 +181,23 @@ impl CmfPredictor {
         self.evaluate(&data)
     }
 
+    /// Evaluates at a specific lead time and an explicit decision
+    /// threshold — the deployed operating point (e.g. the operator
+    /// console's alert threshold), where the paper's "false positives
+    /// need to be minimized" constraint actually binds.
+    #[must_use]
+    pub fn evaluate_at_threshold<P: TelemetryProvider>(
+        &self,
+        provider: &P,
+        builder: &DatasetBuilder,
+        lead: Duration,
+        threshold: f64,
+    ) -> BinaryMetrics {
+        let data = builder.build(provider, lead);
+        let probs: Vec<f64> = data.features().iter().map(|f| self.predict(f)).collect();
+        BinaryMetrics::from_predictions_at(&probs, data.labels(), threshold)
+    }
+
     /// The Fig. 13 sweep: metrics at each lead time.
     #[must_use]
     pub fn lead_time_sweep<P: TelemetryProvider>(
@@ -200,7 +218,11 @@ impl CmfPredictor {
     /// 5-fold (or k-fold) cross validation on a dataset; returns one
     /// metric set per fold.
     #[must_use]
-    pub fn cross_validate(data: &Dataset, k: usize, config: &PredictorConfig) -> Vec<BinaryMetrics> {
+    pub fn cross_validate(
+        data: &Dataset,
+        k: usize,
+        config: &PredictorConfig,
+    ) -> Vec<BinaryMetrics> {
         KFold::new(k, config.seed ^ 0xF01D)
             .splits(data)
             .into_iter()

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_nn::BinaryMetrics;
 use mira_timeseries::Duration;
-use mira_units::{Fahrenheit, Gpm};
+use mira_units::{convert, Fahrenheit, Gpm};
 
 use crate::dataset::{DatasetBuilder, TelemetryProvider};
 
@@ -80,7 +80,7 @@ impl ThresholdDetector {
         let mut metrics = BinaryMetrics::new();
         for (rack, end, positive) in builder.sample_points(lead) {
             let predicted = (0..probe_samples.max(1)).any(|k| {
-                let sample = provider.sample(rack, end - step * k as i64);
+                let sample = provider.sample(rack, end - step * convert::i64_from_usize(k));
                 self.warns(&sample)
             });
             metrics.record(predicted, positive);

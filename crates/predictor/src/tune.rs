@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use mira_nn::{BayesianOptimizer, Dataset};
+use mira_units::convert;
 
 use crate::pipeline::{CmfPredictor, PredictorConfig};
 
@@ -54,7 +55,11 @@ impl ArchitectureSearch {
         for &a in &self.layer1 {
             for &b in &self.layer2 {
                 for &c in &self.layer3 {
-                    out.push(vec![a as f64, b as f64, c as f64]);
+                    out.push(vec![
+                        convert::f64_from_usize(a),
+                        convert::f64_from_usize(b),
+                        convert::f64_from_usize(c),
+                    ]);
                 }
             }
         }
@@ -75,7 +80,10 @@ pub fn tune_architecture(
     let best = bo.optimize(
         |cfg| {
             let config = PredictorConfig {
-                hidden: cfg.iter().map(|&w| w as usize).collect(),
+                hidden: cfg
+                    .iter()
+                    .map(|&w| convert::usize_from_f64_round(w))
+                    .collect(),
                 epochs,
                 seed,
                 ..PredictorConfig::default()
@@ -88,9 +96,21 @@ pub fn tune_architecture(
     let observations = bo
         .observations()
         .into_iter()
-        .map(|(cfg, score)| (cfg.iter().map(|&w| w as usize).collect(), score))
+        .map(|(cfg, score)| {
+            (
+                cfg.iter()
+                    .map(|&w| convert::usize_from_f64_round(w))
+                    .collect(),
+                score,
+            )
+        })
         .collect();
-    (best.iter().map(|&w| w as usize).collect(), observations)
+    (
+        best.iter()
+            .map(|&w| convert::usize_from_f64_round(w))
+            .collect(),
+        observations,
+    )
 }
 
 #[cfg(test)]

@@ -198,9 +198,8 @@ mod tests {
         }
         let total: u32 = counts.values().sum();
         assert!(total > 1000, "need statistics, got {total}");
-        let share = |k: FailureKind| {
-            f64::from(counts.get(&k).copied().unwrap_or(0)) / f64::from(total)
-        };
+        let share =
+            |k: FailureKind| f64::from(counts.get(&k).copied().unwrap_or(0)) / f64::from(total);
         assert!((0.45..0.55).contains(&share(FailureKind::AcToDcPower)));
         assert!(share(FailureKind::Process) < 0.05);
         assert!(share(FailureKind::Bqc) > share(FailureKind::ClockCard));

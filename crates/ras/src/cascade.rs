@@ -62,9 +62,7 @@ impl CascadePlanner {
     /// following hour.
     #[must_use]
     pub fn render(&self, incident: &ScheduledIncident) -> StormIncident {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ incident.time.epoch_seconds() as u64,
-        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ incident.time.epoch_seconds() as u64);
         let mut messages = Vec::new();
 
         for (i, &rack) in incident.affected.iter().enumerate() {
@@ -82,8 +80,7 @@ impl CascadePlanner {
             ));
 
             // Warn-level flood from this rack over the next hour.
-            let burst = self.messages_per_rack
-                + rng.random_range(0..self.messages_per_rack / 2);
+            let burst = self.messages_per_rack + rng.random_range(0..self.messages_per_rack / 2);
             for _ in 0..burst {
                 let dt = Duration::from_seconds(rng.random_range(0..3600));
                 messages.push(RasEvent::warn(

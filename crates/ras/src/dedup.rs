@@ -94,11 +94,7 @@ impl FailureDeduplicator {
     /// the counted failures.
     #[must_use]
     pub fn filter(&mut self, events: &[RasEvent]) -> Vec<RasEvent> {
-        events
-            .iter()
-            .filter(|e| self.admit(e))
-            .copied()
-            .collect()
+        events.iter().filter(|e| self.admit(e)).copied().collect()
     }
 }
 

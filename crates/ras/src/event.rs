@@ -8,9 +8,7 @@ use mira_facility::RackId;
 use mira_timeseries::SimTime;
 
 /// Severity of a RAS event.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Low-risk situation worth recording.
     Warn,
@@ -28,9 +26,7 @@ impl fmt::Display for Severity {
 }
 
 /// The failure classes Mira's RAS log distinguishes (Fig. 14b).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FailureKind {
     /// Coolant monitor failure: the dew point approached the data-center
     /// temperature (condensation risk); solenoid valve closed and power
@@ -168,7 +164,10 @@ mod tests {
             RasEvent::fatal(t, r, FailureKind::CoolantMonitor).severity,
             Severity::Fatal
         );
-        assert_eq!(RasEvent::warn(t, r, FailureKind::Bql).severity, Severity::Warn);
+        assert_eq!(
+            RasEvent::warn(t, r, FailureKind::Bql).severity,
+            Severity::Warn
+        );
     }
 
     #[test]

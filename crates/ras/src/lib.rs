@@ -44,10 +44,10 @@ pub mod log;
 pub mod schedule;
 
 pub use aftermath::AftermathModel;
-pub use hazard::{PhaseRates, WeibullFit};
 pub use availability::RackAvailability;
 pub use cascade::{CascadePlanner, StormIncident};
 pub use dedup::FailureDeduplicator;
 pub use event::{FailureKind, RasEvent, Severity};
+pub use hazard::{PhaseRates, WeibullFit};
 pub use log::RasLog;
 pub use schedule::CmfSchedule;

@@ -204,10 +204,7 @@ impl CmfSchedule {
     }
 
     /// Incidents whose epicenter or cascade includes `rack`.
-    pub fn incidents_affecting(
-        &self,
-        rack: RackId,
-    ) -> impl Iterator<Item = &ScheduledIncident> {
+    pub fn incidents_affecting(&self, rack: RackId) -> impl Iterator<Item = &ScheduledIncident> {
         self.incidents
             .iter()
             .filter(move |i| i.affected.contains(&rack))

@@ -251,6 +251,7 @@ impl CalendarBins {
     #[must_use]
     pub fn monthly_change_from_january(&self) -> Option<Vec<f64>> {
         let jan = self.months[0].median();
+        // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if self.months[0].count() == 0 || jan == 0.0 {
             return None;
         }
@@ -269,6 +270,7 @@ impl CalendarBins {
     #[must_use]
     pub fn non_monday_uplift(&self) -> Option<f64> {
         let monday = &self.weekdays[Weekday::Monday.index()];
+        // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if monday.count() == 0 || monday.median() == 0.0 {
             return None;
         }
@@ -281,6 +283,7 @@ impl CalendarBins {
             num += bin.median() * bin.count() as f64;
             den += bin.count() as f64;
         }
+        // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if den == 0.0 {
             return None;
         }

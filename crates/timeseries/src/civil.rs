@@ -12,9 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A month of the civil year.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Month {
     January = 1,
@@ -136,9 +134,7 @@ impl fmt::Display for Month {
 }
 
 /// A day of the week.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Weekday {
     Monday = 0,
@@ -211,9 +207,7 @@ pub fn is_leap_year(year: i32) -> bool {
 /// let theta = Date::new(2016, 7, 1);
 /// assert_eq!(theta.weekday(), Weekday::Friday);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Date {
     year: i32,
     month: Month,
@@ -284,7 +278,11 @@ impl Date {
         let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
         let year = i32::try_from(y + i64::from(m <= 2)).expect("year out of i32 range");
-        Self::new(year, u8::try_from(m).expect("month fits u8"), u8::try_from(d).expect("day fits u8"))
+        Self::new(
+            year,
+            u8::try_from(m).expect("month fits u8"),
+            u8::try_from(d).expect("day fits u8"),
+        )
     }
 
     /// The weekday of this date (1970-01-01 was a Thursday).
@@ -313,14 +311,18 @@ impl Date {
 
 impl fmt::Display for Date {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:04}-{:02}-{:02}", self.year, self.month.number(), self.day)
+        write!(
+            f,
+            "{:04}-{:02}-{:02}",
+            self.year,
+            self.month.number(),
+            self.day
+        )
     }
 }
 
 /// A civil date and time-of-day (no timezone; the facility clock).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DateTime {
     date: Date,
     hour: u8,
@@ -441,8 +443,8 @@ mod tests {
 
     #[test]
     fn six_year_span_length() {
-        let days = Date::new(2020, 1, 1).days_since_epoch()
-            - Date::new(2014, 1, 1).days_since_epoch();
+        let days =
+            Date::new(2020, 1, 1).days_since_epoch() - Date::new(2014, 1, 1).days_since_epoch();
         // 2014..2019 inclusive: 4*365 + 2*366 (2016, plus... wait 2016 only).
         // 2014,2015,2017,2018,2019 are 365; 2016 is 366.
         assert_eq!(days, 5 * 365 + 366);
@@ -470,7 +472,12 @@ mod tests {
             .collect();
         assert_eq!(
             season,
-            vec![Month::January, Month::February, Month::March, Month::December]
+            vec![
+                Month::January,
+                Month::February,
+                Month::March,
+                Month::December
+            ]
         );
     }
 

@@ -118,6 +118,7 @@ impl RollingWindow {
     #[must_use]
     pub fn relative_delta(&self) -> Option<f64> {
         let oldest = self.oldest()?;
+        // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if oldest == 0.0 {
             return None;
         }

@@ -144,11 +144,7 @@ impl TimeSeries {
     #[must_use]
     pub fn trend_per_day(&self) -> Option<LinearFit> {
         let t0 = self.times.first()?;
-        let x: Vec<f64> = self
-            .times
-            .iter()
-            .map(|&t| (t - *t0).as_days())
-            .collect();
+        let x: Vec<f64> = self.times.iter().map(|&t| (t - *t0).as_days()).collect();
         linear_fit(&x, &self.values)
     }
 
@@ -218,12 +214,7 @@ mod tests {
 
     fn ramp(n: i64) -> TimeSeries {
         (0..n)
-            .map(|i| {
-                (
-                    SimTime::from_epoch_seconds(i * 300),
-                    i as f64,
-                )
-            })
+            .map(|i| (SimTime::from_epoch_seconds(i * 300), i as f64))
             .collect()
     }
 

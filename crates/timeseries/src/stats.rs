@@ -222,7 +222,7 @@ impl P2Quantile {
         self.count += 1;
         if self.count <= 5 {
             self.initial.push(x);
-            self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.initial.sort_by(f64::total_cmp);
             if self.count == 5 {
                 self.q.copy_from_slice(&self.initial);
             }
@@ -333,14 +333,24 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     let mx = x.iter().sum::<f64>() / n;
     let my = y.iter().sum::<f64>() / n;
     let sxx: f64 = x.iter().map(|&xi| (xi - mx).powi(2)).sum();
+    // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
     if sxx == 0.0 {
         return None;
     }
-    let sxy: f64 = x.iter().zip(y).map(|(&xi, &yi)| (xi - mx) * (yi - my)).sum();
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| (xi - mx) * (yi - my))
+        .sum();
     let syy: f64 = y.iter().map(|&yi| (yi - my).powi(2)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LinearFit {
         slope,
         intercept,
@@ -378,7 +388,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -414,6 +424,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
         sxx += (xi - mx).powi(2);
         syy += (yi - my).powi(2);
     }
+    // Exact-zero divide guards. mira-lint: allow(nan-unsafe-compare)
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }
@@ -463,12 +474,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Option<f64> {
 ///
 /// Returns `None` when the correlation itself is undefined.
 #[must_use]
-pub fn spearman_permutation_pvalue(
-    x: &[f64],
-    y: &[f64],
-    rounds: u32,
-    seed: u64,
-) -> Option<f64> {
+pub fn spearman_permutation_pvalue(x: &[f64], y: &[f64], rounds: u32, seed: u64) -> Option<f64> {
     let observed = spearman(x, y)?.abs();
     let mut shuffled: Vec<f64> = y.to_vec();
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -498,7 +504,7 @@ pub fn spearman_permutation_pvalue(
 /// Assigns 1-based mid-ranks, averaging ties.
 fn midranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut ranks = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -663,7 +669,10 @@ mod tests {
 
     #[test]
     fn midranks_average_ties() {
-        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            midranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Documented numeric conversions between counts, indices, and `f64`.
+//!
+//! A bare `as` cast silently truncates, wraps, or rounds; `mira-lint`'s
+//! `lossy-cast` rule flags every one of them. These helpers are the
+//! sanctioned alternative: each contains exactly one cast, states the
+//! domain over which it is exact, and debug-asserts that domain, so call
+//! sites document their intent instead of sprinkling `as`.
+
+/// An integer count as an `f64`.
+///
+/// Exact for counts below 2^53 (~9e15). Every count in this workspace —
+/// samples, racks, failures, epochs — is far below that, which the
+/// debug assertion pins down.
+#[must_use]
+pub fn f64_from_usize(n: usize) -> f64 {
+    debug_assert!(n < (1_usize << 53), "count {n} exceeds exact f64 range");
+    // Exact below 2^53, asserted above. mira-lint: allow(lossy-cast)
+    n as f64
+}
+
+/// An unsigned 64-bit count as an `f64`.
+///
+/// Exact for counts below 2^53, debug-asserted.
+#[must_use]
+pub fn f64_from_u64(n: u64) -> f64 {
+    debug_assert!(n < (1_u64 << 53), "count {n} exceeds exact f64 range");
+    // Exact below 2^53, asserted above. mira-lint: allow(lossy-cast)
+    n as f64
+}
+
+/// A signed 64-bit value (epoch seconds, offsets) as an `f64`.
+///
+/// Exact for magnitudes below 2^53, debug-asserted. Epoch seconds stay
+/// below 2^35 until the year 3058.
+#[must_use]
+pub fn f64_from_i64(n: i64) -> f64 {
+    debug_assert!(
+        n.unsigned_abs() < (1_u64 << 53),
+        "value {n} exceeds exact f64 range"
+    );
+    // Exact below 2^53 magnitude, asserted above. mira-lint: allow(lossy-cast)
+    n as f64
+}
+
+/// A 32-bit count as an `f64` (always exact).
+#[must_use]
+pub fn f64_from_u32(n: u32) -> f64 {
+    f64::from(n)
+}
+
+/// A `u64` as a `usize` index (saturating on 32-bit targets).
+///
+/// Every 64-bit target this workspace runs on makes this exact; the
+/// saturation only matters on hypothetical 32-bit hosts.
+#[must_use]
+pub fn usize_from_u64(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// A `usize` count as an `i64` (saturating above `i64::MAX`).
+#[must_use]
+pub fn i64_from_usize(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// A `u64` as an `i64` (saturating above `i64::MAX`).
+#[must_use]
+pub fn i64_from_u64(n: u64) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// Floor of a non-negative `f64` as a `usize` index.
+///
+/// NaN and negative inputs clamp to 0; values beyond `usize::MAX` clamp
+/// to `usize::MAX`. Intended for bin/index computations where the input
+/// is a finite non-negative quantity by construction.
+#[must_use]
+pub fn usize_from_f64_floor(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "index from NaN");
+    debug_assert!(x >= 0.0, "index from negative {x}");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x as usize
+}
+
+/// Nearest-integer rounding of an `f64` to a `usize`.
+///
+/// NaN and negative inputs clamp to 0; out-of-range values saturate.
+#[must_use]
+pub fn usize_from_f64_round(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "count from NaN");
+    debug_assert!(x >= -0.5, "count from negative {x}");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x.round() as usize
+}
+
+/// Floor of an `f64` as an `i64` (saturating at the `i64` range, NaN → 0).
+#[must_use]
+pub fn i64_from_f64_floor(x: f64) -> i64 {
+    debug_assert!(!x.is_nan(), "integer from NaN");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x.floor() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        assert_eq!(f64_from_usize(0), 0.0);
+        assert_eq!(f64_from_usize(48), 48.0);
+        assert_eq!(f64_from_u64(630_000), 630_000.0);
+        assert_eq!(f64_from_i64(-86_400), -86_400.0);
+        assert_eq!(f64_from_u32(u32::MAX), 4_294_967_295.0);
+    }
+
+    #[test]
+    fn floor_and_round_behave() {
+        assert_eq!(usize_from_f64_floor(3.99), 3);
+        assert_eq!(usize_from_f64_round(3.5), 4);
+        assert_eq!(i64_from_f64_floor(-2.5), -3);
+        assert_eq!(i64_from_f64_floor(7.9), 7);
+    }
+
+    #[test]
+    fn saturation_edges() {
+        // Release builds must clamp rather than wrap.
+        assert_eq!(usize_from_f64_floor(f64::MAX), usize::MAX);
+        assert_eq!(i64_from_f64_floor(f64::MAX), i64::MAX);
+        assert_eq!(i64_from_f64_floor(f64::MIN), i64::MIN);
+    }
+}

@@ -40,6 +40,18 @@ impl Gpm {
         self.0 * 3.785_411_784
     }
 
+    /// Converts to litres per second.
+    #[must_use]
+    pub fn to_litres_per_second(self) -> f64 {
+        self.to_litres_per_minute() / 60.0
+    }
+
+    /// Creates a flow rate from litres per second.
+    #[must_use]
+    pub fn from_litres_per_second(lps: f64) -> Self {
+        Self(lps * 60.0 / 3.785_411_784)
+    }
+
     /// Coolant mass flow in kg/s, assuming water density 0.997 kg/L.
     ///
     /// Used by the heat-exchanger model to convert heat load into a coolant

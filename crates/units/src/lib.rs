@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convert;
 pub mod energy;
 pub mod flow;
 pub mod humidity;
@@ -33,6 +34,6 @@ pub mod temperature;
 pub use energy::KilowattHours;
 pub use flow::Gpm;
 pub use humidity::{condensation_margin, dew_point, RelHumidity};
-pub use power::{Kilowatts, Megawatts};
+pub use power::{Kilowatts, Megawatts, Watts};
 pub use ratio::{Percent, Ratio};
 pub use temperature::{Celsius, Fahrenheit};

@@ -15,6 +15,41 @@ use crate::energy::KilowattHours;
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct Kilowatts(f64);
 
+/// Power in watts — the scale of heat flowing into a rack's coolant
+/// loop.
+///
+/// Heat-transfer formulas (`Q = m_dot * c_p * dT`) work in SI watts, so the
+/// thermal side of the workspace carries `Watts` and converts to
+/// [`Kilowatts`] only at the electrical boundary.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Creates a heat flow from raw watts.
+    #[must_use]
+    pub const fn new(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Returns the raw value in watts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kilowatts.
+    #[must_use]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts(self.0 / 1000.0)
+    }
+}
+
+impl From<Watts> for Kilowatts {
+    fn from(w: Watts) -> Self {
+        w.to_kilowatts()
+    }
+}
+
 /// Power in megawatts — the scale of the whole system.
 ///
 /// Mira is provisioned for 6 MW and averaged ≈4 MW total load; the
@@ -61,6 +96,19 @@ impl Kilowatts {
     #[must_use]
     pub fn for_hours(self, hours: f64) -> KilowattHours {
         KilowattHours::new(self.0 * hours)
+    }
+
+    /// Converts to BTU per hour (1 kW = 3412.142 BTU/h), the unit
+    /// chiller capacity is quoted in.
+    #[must_use]
+    pub fn to_btu_per_hour(self) -> f64 {
+        self.0 * 3_412.142
+    }
+
+    /// Creates a power value from BTU per hour.
+    #[must_use]
+    pub fn from_btu_per_hour(btu_h: f64) -> Self {
+        Self(btu_h / 3_412.142)
     }
 
     /// Returns the larger of two readings.
@@ -153,6 +201,7 @@ macro_rules! impl_power_ops {
 }
 
 impl_power_ops!(Kilowatts);
+impl_power_ops!(Watts);
 impl_power_ops!(Megawatts);
 
 impl fmt::Display for Kilowatts {

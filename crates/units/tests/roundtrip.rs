@@ -1,0 +1,100 @@
+//! Property tests for the unit conversions the workspace leans on:
+//! °C↔°F, GPM↔L/s, and kW↔BTU/h round-trip within float tolerance over
+//! the physically plausible ranges, and the non-finite edges (NaN, ±inf)
+//! propagate instead of silently turning into numbers.
+
+use proptest::prelude::*;
+
+use mira_units::{Celsius, Fahrenheit, Gpm, Kilowatts};
+
+/// Relative-ish tolerance: absolute for small magnitudes, relative for
+/// large ones.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn fahrenheit_celsius_round_trip(f in -200.0f64..400.0) {
+        let back = Fahrenheit::new(f).to_celsius().to_fahrenheit();
+        prop_assert!(close(back.value(), f), "{f} -> {}", back.value());
+    }
+
+    #[test]
+    fn celsius_fahrenheit_round_trip(c in -150.0f64..250.0) {
+        let back = Celsius::new(c).to_fahrenheit().to_celsius();
+        prop_assert!(close(back.value(), c), "{c} -> {}", back.value());
+    }
+
+    #[test]
+    fn gpm_litres_per_second_round_trip(gpm in 0.0f64..5_000.0) {
+        let back = Gpm::from_litres_per_second(Gpm::new(gpm).to_litres_per_second());
+        prop_assert!(close(back.value(), gpm), "{gpm} -> {}", back.value());
+    }
+
+    #[test]
+    fn litres_per_second_gpm_round_trip(lps in 0.0f64..300.0) {
+        let back = Gpm::from_litres_per_second(lps).to_litres_per_second();
+        prop_assert!(close(back, lps), "{lps} -> {back}");
+    }
+
+    #[test]
+    fn kilowatts_btu_round_trip(kw in 0.0f64..20_000.0) {
+        let back = Kilowatts::from_btu_per_hour(Kilowatts::new(kw).to_btu_per_hour());
+        prop_assert!(close(back.value(), kw), "{kw} -> {}", back.value());
+    }
+
+    #[test]
+    fn btu_kilowatts_round_trip(btu in 0.0f64..1.0e7) {
+        let back = Kilowatts::from_btu_per_hour(btu).to_btu_per_hour();
+        prop_assert!(close(back, btu), "{btu} -> {back}");
+    }
+
+    #[test]
+    fn conversions_preserve_ordering(a in -100.0f64..300.0, b in -100.0f64..300.0) {
+        // Affine conversions with positive slope never reorder readings.
+        let (fa, fb) = (Fahrenheit::new(a), Fahrenheit::new(b));
+        prop_assert_eq!(a < b, fa.to_celsius().value() < fb.to_celsius().value());
+    }
+}
+
+#[test]
+fn known_anchor_points() {
+    assert!(close(Fahrenheit::new(32.0).to_celsius().value(), 0.0));
+    assert!(close(Fahrenheit::new(212.0).to_celsius().value(), 100.0));
+    assert!(close(Celsius::new(-40.0).to_fahrenheit().value(), -40.0));
+    // 1250 GPM (Mira's loop) is about 78.9 L/s.
+    assert!((Gpm::new(1250.0).to_litres_per_second() - 78.862).abs() < 0.01);
+    // One ton of refrigeration is 12,000 BTU/h ≈ 3.517 kW.
+    assert!((Kilowatts::from_btu_per_hour(12_000.0).value() - 3.5168).abs() < 1e-3);
+}
+
+#[test]
+fn nan_propagates_through_conversions() {
+    assert!(Fahrenheit::new(f64::NAN).to_celsius().value().is_nan());
+    assert!(Celsius::new(f64::NAN).to_fahrenheit().value().is_nan());
+    assert!(Gpm::new(f64::NAN).to_litres_per_second().is_nan());
+    assert!(Gpm::from_litres_per_second(f64::NAN).value().is_nan());
+    assert!(Kilowatts::new(f64::NAN).to_btu_per_hour().is_nan());
+    assert!(Kilowatts::from_btu_per_hour(f64::NAN).value().is_nan());
+}
+
+#[test]
+fn infinities_stay_infinite_with_sign() {
+    assert_eq!(
+        Fahrenheit::new(f64::INFINITY).to_celsius().value(),
+        f64::INFINITY
+    );
+    assert_eq!(
+        Fahrenheit::new(f64::NEG_INFINITY).to_celsius().value(),
+        f64::NEG_INFINITY
+    );
+    assert_eq!(
+        Gpm::new(f64::INFINITY).to_litres_per_second(),
+        f64::INFINITY
+    );
+    assert_eq!(
+        Kilowatts::new(f64::NEG_INFINITY).to_btu_per_hour(),
+        f64::NEG_INFINITY
+    );
+}

@@ -118,7 +118,11 @@ impl ChicagoClimate {
         // Rare excursions: air-cooling faults and extreme weather push the
         // room several degrees up for a few days.
         let e = self.excursion.sample(secs);
-        let excursion = if e > 0.72 { (e - 0.72) / 0.28 * 7.5 } else { 0.0 };
+        let excursion = if e > 0.72 {
+            (e - 0.72) / 0.28 * 7.5
+        } else {
+            0.0
+        };
         Fahrenheit::new(base + drift + jitter + excursion)
     }
 

@@ -81,7 +81,9 @@ impl ValueNoise {
         let mut norm = 0.0;
         for o in 0..octaves {
             let layer = ValueNoise {
-                seed: self.seed.wrapping_add(u64::from(o).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                seed: self
+                    .seed
+                    .wrapping_add(u64::from(o).wrapping_mul(0x5851_F42D_4C95_7F2D)),
                 period: self.period / f64::from(1u32 << o),
             };
             total += layer.sample(t) * amplitude;

@@ -225,7 +225,10 @@ mod tests {
             min = min.min(m.sample(t).utilization);
             t += Duration::from_hours(1);
         }
-        assert!(min < 0.62, "expected at least one deep transient, min {min}");
+        assert!(
+            min < 0.62,
+            "expected at least one deep transient, min {min}"
+        );
     }
 
     #[test]

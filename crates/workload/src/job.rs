@@ -177,7 +177,11 @@ impl JobGenerator {
         };
 
         let long = midplanes >= 8 || self.rng.random::<f64>() < 0.2;
-        let queue = if long { Queue::ProdLong } else { Queue::ProdShort };
+        let queue = if long {
+            Queue::ProdLong
+        } else {
+            Queue::ProdShort
+        };
         let hours = if long {
             6.0 + self.rng.random::<f64>() * 18.0
         } else {

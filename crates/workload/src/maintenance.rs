@@ -57,10 +57,7 @@ impl MaintenanceSchedule {
     #[must_use]
     pub fn window_duration(&self, monday: Date) -> Duration {
         let week = (monday.days_since_epoch() - 4).div_euclid(7) as u64;
-        let h = week
-            .wrapping_mul(0x2545_F491_4F6C_DD1D)
-            .rotate_left(23)
-            % 5; // 0..=4
+        let h = week.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(23) % 5; // 0..=4
         Duration::from_hours(6 + h as i64)
     }
 

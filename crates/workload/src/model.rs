@@ -69,8 +69,7 @@ impl WorkloadModel {
     pub fn rack_load_with(&self, t: SimTime, rack: RackId, demand: &SystemDemand) -> RackLoad {
         let f = self.profile.factors(rack);
         let wobble = self.profile.placement_wobble(rack, t);
-        let utilization =
-            (demand.utilization * f.utilization_factor * wobble).clamp(0.0, 1.0);
+        let utilization = (demand.utilization * f.utilization_factor * wobble).clamp(0.0, 1.0);
         // During maintenance every rack runs the same burner mix, so the
         // per-rack intensity structure disappears.
         let intensity = if demand.in_maintenance {

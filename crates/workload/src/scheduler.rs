@@ -258,8 +258,7 @@ impl BackfillScheduler {
             // reservation, or not touch the head's queue partition.
             let head_partition_disjoint = candidate.queue != head.queue
                 && (candidate.queue == Queue::ProdLong) != (head.queue == Queue::ProdLong);
-            let ok = fits
-                && (now + candidate.walltime <= shadow || head_partition_disjoint);
+            let ok = fits && (now + candidate.walltime <= shadow || head_partition_disjoint);
             if ok {
                 let job = self.queue.remove(i).expect("index in range");
                 self.start(job, now, true);

@@ -151,7 +151,11 @@ mod tests {
     #[test]
     fn anchors_match_fig6() {
         let p = RackUsageProfile::mira(1);
-        assert_eq!(p.utilization_leader(), RackId::new(0, 10), "(0, A) leads util");
+        assert_eq!(
+            p.utilization_leader(),
+            RackId::new(0, 10),
+            "(0, A) leads util"
+        );
         assert_eq!(p.power_leader(), RackId::new(0, 13), "(0, D) leads power");
         // (2, D) is the utilization floor.
         let floor = RackId::all()

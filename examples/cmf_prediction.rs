@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example cmf_prediction`.
 
 use mira_core::{
-    analysis, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
-    SimConfig, Simulation,
+    analysis, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig, SimConfig,
+    Simulation,
 };
 use mira_predictor::FeatureMode;
 

@@ -34,7 +34,10 @@ fn main() {
         "\nDecember-March season savings: {:.0} kWh (paper potential: 2,174,040 kWh)",
         report.season_saved.value()
     );
-    println!("total saved over sweep: {:.0} kWh", report.total_saved.value());
+    println!(
+        "total saved over sweep: {:.0} kWh",
+        report.total_saved.value()
+    );
 
     // Monthly texture: where the free cooling happens.
     println!("\nmean economizer duty by month (2015):");

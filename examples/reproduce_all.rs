@@ -15,21 +15,32 @@ fn main() {
         Duration::from_hours(1)
     };
 
-    println!("== reproduce_all: seed 2014, sweep step {} h ==", step.as_hours());
+    println!(
+        "== reproduce_all: seed 2014, sweep step {} h ==",
+        step.as_hours()
+    );
     println!("building six-year telemetry summary...");
     let summary = sim.summarize(step);
 
     let fig2 = analysis::fig2_yearly_trends(&summary);
-    println!("\n[Fig 2] power 2014 {:.2} MW -> 2019 {:.2} MW (paper ~2.5 -> ~2.9)",
-        fig2.power_by_year[0].mean, fig2.power_by_year[5].mean);
-    println!("[Fig 2] utilization 2014 {:.1}% -> 2019 {:.1}% (paper ~80 -> ~93)",
-        fig2.utilization_by_year[0].mean, fig2.utilization_by_year[5].mean);
+    println!(
+        "\n[Fig 2] power 2014 {:.2} MW -> 2019 {:.2} MW (paper ~2.5 -> ~2.9)",
+        fig2.power_by_year[0].mean, fig2.power_by_year[5].mean
+    );
+    println!(
+        "[Fig 2] utilization 2014 {:.1}% -> 2019 {:.1}% (paper ~80 -> ~93)",
+        fig2.utilization_by_year[0].mean, fig2.utilization_by_year[5].mean
+    );
 
     let fig3 = analysis::fig3_coolant_trends(&summary);
-    println!("[Fig 3] flow {:.0} -> {:.0} GPM at Theta (paper 1250 -> 1300)",
-        fig3.flow_before_theta, fig3.flow_after_theta);
-    println!("[Fig 3] sigmas: flow {:.1} GPM (41), inlet {:.2} F (0.61), outlet {:.2} F (0.71)",
-        fig3.flow_stddev, fig3.inlet_stddev, fig3.outlet_stddev);
+    println!(
+        "[Fig 3] flow {:.0} -> {:.0} GPM at Theta (paper 1250 -> 1300)",
+        fig3.flow_before_theta, fig3.flow_after_theta
+    );
+    println!(
+        "[Fig 3] sigmas: flow {:.1} GPM (41), inlet {:.2} F (0.61), outlet {:.2} F (0.71)",
+        fig3.flow_stddev, fig3.inlet_stddev, fig3.outlet_stddev
+    );
 
     let fig4 = analysis::fig4_monthly_profile(&summary);
     let dec = fig4.power.last().unwrap().median;
@@ -45,46 +56,78 @@ fn main() {
         fig5.outlet_uplift * 100.0, fig5.flow_uplift * 100.0, fig5.inlet_uplift * 100.0);
 
     let fig6 = analysis::fig6_rack_power_util(&summary);
-    println!("[Fig 6] power leader {} ((0, D)), util leader {} ((0, A)), floor {} ((2, D))",
-        fig6.power_leader, fig6.utilization_leader, fig6.utilization_floor);
-    println!("[Fig 6] power spread {:.1}% (<=15), power-util correlation {:.2} (0.45)",
-        fig6.power_spread * 100.0, fig6.power_utilization_correlation);
+    println!(
+        "[Fig 6] power leader {} ((0, D)), util leader {} ((0, A)), floor {} ((2, D))",
+        fig6.power_leader, fig6.utilization_leader, fig6.utilization_floor
+    );
+    println!(
+        "[Fig 6] power spread {:.1}% (<=15), power-util correlation {:.2} (0.45)",
+        fig6.power_spread * 100.0,
+        fig6.power_utilization_correlation
+    );
 
     let fig7 = analysis::fig7_rack_coolant(&summary);
-    println!("[Fig 7] spreads: flow {:.1}% (<=11), inlet {:.1}% (<=1), outlet {:.1}% (<=3)",
-        fig7.flow_spread * 100.0, fig7.inlet_spread * 100.0, fig7.outlet_spread * 100.0);
+    println!(
+        "[Fig 7] spreads: flow {:.1}% (<=11), inlet {:.1}% (<=1), outlet {:.1}% (<=3)",
+        fig7.flow_spread * 100.0,
+        fig7.inlet_spread * 100.0,
+        fig7.outlet_spread * 100.0
+    );
 
     let fig8 = analysis::fig8_ambient_trends(&summary);
-    println!("[Fig 8] DC temp sigma {:.2} F (2.48), range {:.0}-{:.0} (76-90)",
-        fig8.temperature_stddev, fig8.temperature_range.0, fig8.temperature_range.1);
-    println!("[Fig 8] DC humidity sigma {:.2} RH (3.66), range {:.0}-{:.0} (28-37)",
-        fig8.humidity_stddev, fig8.humidity_range.0, fig8.humidity_range.1);
+    println!(
+        "[Fig 8] DC temp sigma {:.2} F (2.48), range {:.0}-{:.0} (76-90)",
+        fig8.temperature_stddev, fig8.temperature_range.0, fig8.temperature_range.1
+    );
+    println!(
+        "[Fig 8] DC humidity sigma {:.2} RH (3.66), range {:.0}-{:.0} (28-37)",
+        fig8.humidity_stddev, fig8.humidity_range.0, fig8.humidity_range.1
+    );
 
     let fig9 = analysis::fig9_rack_ambient(&summary);
-    println!("[Fig 9] humidity hotspot {} ((1, 8)); spreads humidity {:.0}% (36), temp {:.0}% (11)",
-        fig9.humidity_hotspot, fig9.humidity_spread * 100.0, fig9.temperature_spread * 100.0);
+    println!(
+        "[Fig 9] humidity hotspot {} ((1, 8)); spreads humidity {:.0}% (36), temp {:.0}% (11)",
+        fig9.humidity_hotspot,
+        fig9.humidity_spread * 100.0,
+        fig9.temperature_spread * 100.0
+    );
 
     let fig10 = analysis::fig10_cmf_timeline(&sim);
-    println!("[Fig 10] total {} CMFs (361), 2016 share {:.0}% (40), longest gap {:.0} d (>730)",
-        fig10.total, fig10.share_2016 * 100.0, fig10.longest_gap_days);
+    println!(
+        "[Fig 10] total {} CMFs (361), 2016 share {:.0}% (40), longest gap {:.0} d (>730)",
+        fig10.total,
+        fig10.share_2016 * 100.0,
+        fig10.longest_gap_days
+    );
 
     let fig11 = analysis::fig11_cmf_by_rack(&sim, &summary);
-    println!("[Fig 11] max {} at {} (14 at (1, 8)); min {} at {} (5 at (2, 7))",
-        fig11.max_count, fig11.max_rack, fig11.min_count, fig11.min_rack);
-    println!("[Fig 11] correlations: util {:.2} (-0.21), outlet {:.2} (-0.06), humidity {:.2} (0.06)",
-        fig11.correlation_utilization, fig11.correlation_outlet, fig11.correlation_humidity);
+    println!(
+        "[Fig 11] max {} at {} (14 at (1, 8)); min {} at {} (5 at (2, 7))",
+        fig11.max_count, fig11.max_rack, fig11.min_count, fig11.min_rack
+    );
+    println!(
+        "[Fig 11] correlations: util {:.2} (-0.21), outlet {:.2} (-0.06), humidity {:.2} (0.06)",
+        fig11.correlation_utilization, fig11.correlation_outlet, fig11.correlation_humidity
+    );
 
     let leads: Vec<Duration> = (0..=12).map(|k| Duration::from_minutes(k * 30)).collect();
     let fig12 = analysis::fig12_cmf_leadup(&sim, &leads, usize::MAX);
     let at = |h: f64| {
-        fig12.points.iter().find(|p| (p.lead.as_hours() - h).abs() < 1e-9).unwrap()
+        fig12
+            .points
+            .iter()
+            .find(|p| (p.lead.as_hours() - h).abs() < 1e-9)
+            .unwrap()
     };
     println!("[Fig 12] inlet trough {:+.1}% near 2 h (paper up to -7); outlet {:+.1}% at 3 h (-5); flow {:+.1}% at 1 h (0)",
         (at(2.0).inlet_rel - 1.0) * 100.0,
         (at(3.0).outlet_rel - 1.0) * 100.0,
         (at(1.0).flow_rel - 1.0) * 100.0);
 
-    println!("\n[Fig 13] training the 12-12-6 predictor on all {} failures...", fig10.total);
+    println!(
+        "\n[Fig 13] training the 12-12-6 predictor on all {} failures...",
+        fig10.total
+    );
     let config = PredictorConfig {
         epochs: if fast { 20 } else { 50 },
         ..PredictorConfig::default()
@@ -106,14 +149,27 @@ fn main() {
     println!("[Fig 13] (paper: 87% at 6 h -> 97% at 30 min; fpr 6% -> 1.2%)");
 
     let fig14 = analysis::fig14_post_cmf(&sim);
-    println!("[Fig 14] rate ratios: 6h/3h {:.2} (<0.75), 48h/3h {:.2} (~0.10)",
-        fig14.ratio_6h_over_3h, fig14.ratio_48h_over_3h);
-    let ac = fig14.type_mix.iter().find(|(k, _)| k.tag() == "AC-DC").unwrap().1;
+    println!(
+        "[Fig 14] rate ratios: 6h/3h {:.2} (<0.75), 48h/3h {:.2} (~0.10)",
+        fig14.ratio_6h_over_3h, fig14.ratio_48h_over_3h
+    );
+    let ac = fig14
+        .type_mix
+        .iter()
+        .find(|(k, _)| k.tag() == "AC-DC")
+        .unwrap()
+        .1;
     println!("[Fig 14] AC-to-DC share {:.0}% (50)", ac * 100.0);
 
     for (i, ex) in analysis::fig15_storm_examples(&sim, 3).iter().enumerate() {
-        println!("[Fig 15] storm {}: epicenter {}, {} racks, {} follow-ons at mean distance {:.1}",
-            i + 1, ex.epicenter, ex.cascade.len(), ex.followons.len(), ex.mean_followon_distance);
+        println!(
+            "[Fig 15] storm {}: epicenter {}, {} racks, {} follow-ons at mean distance {:.1}",
+            i + 1,
+            ex.epicenter,
+            ex.cascade.len(),
+            ex.followons.len(),
+            ex.mean_followon_distance
+        );
     }
 
     let energy = analysis::free_cooling_report(&summary);

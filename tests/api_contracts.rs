@@ -8,7 +8,7 @@ fn assert_send_sync<T: Send + Sync>() {}
 
 #[test]
 fn core_types_are_send_and_sync() {
-    assert_send_sync::<mira_core::Simulation>();
+    assert_send_sync::<Simulation>();
     assert_send_sync::<mira_core::TelemetryEngine>();
     assert_send_sync::<mira_core::SweepSummary>();
     assert_send_sync::<mira_core::CoolantMonitorSample>();

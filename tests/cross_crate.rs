@@ -1,8 +1,8 @@
 //! Cross-crate integration: the pieces cooperating the way the paper's
 //! operations did.
 
-use mira_core::{Date, Duration, RackId, SimConfig, SimTime, Simulation, TelemetryProvider};
 use mira_cooling::AlarmThresholds;
+use mira_core::{Date, Duration, RackId, SimConfig, SimTime, Simulation, TelemetryProvider};
 use mira_ras::{FailureDeduplicator, RackAvailability};
 use mira_workload::{BackfillScheduler, JobGenerator};
 

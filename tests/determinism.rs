@@ -11,7 +11,10 @@ fn same_seed_bitwise_identical_world() {
     assert_eq!(a.ras_log(), b.ras_log());
 
     let t = SimTime::from_date(Date::new(2016, 8, 15)) + Duration::from_hours(10);
-    assert_eq!(a.telemetry().observe_all(t).1, b.telemetry().observe_all(t).1);
+    assert_eq!(
+        a.telemetry().observe_all(t).1,
+        b.telemetry().observe_all(t).1
+    );
 
     let span = (
         SimTime::from_date(Date::new(2015, 6, 1)),
@@ -37,7 +40,10 @@ fn different_seeds_differ_but_keep_invariants() {
         b.schedule().incidents()[0].time
     );
     let t = SimTime::from_date(Date::new(2018, 3, 3));
-    assert_ne!(a.telemetry().observe_all(t).1, b.telemetry().observe_all(t).1);
+    assert_ne!(
+        a.telemetry().observe_all(t).1,
+        b.telemetry().observe_all(t).1
+    );
 
     // ...but the measured ground truth does not.
     for sim in [&a, &b] {
@@ -60,9 +66,7 @@ fn telemetry_is_pure_random_access() {
 
     // Sampling out of order, repeatedly, gives identical records.
     let first = sim.telemetry().sample(rack, t);
-    let _ = sim
-        .telemetry()
-        .sample(rack, t - Duration::from_days(400));
+    let _ = sim.telemetry().sample(rack, t - Duration::from_days(400));
     let again = sim.telemetry().sample(rack, t);
     assert_eq!(first, again);
 }

@@ -17,8 +17,9 @@ fn trained(sim: &Simulation, events: usize) -> (CmfPredictor, DatasetBuilder) {
         sim.telemetry(),
         &builder,
         &PredictorConfig {
-            epochs: 30,
+            epochs: 60,
             seed: 5,
+            hard_negatives: true,
             ..PredictorConfig::default()
         },
     );
@@ -96,7 +97,11 @@ fn failure_record_is_clustered_not_bathtub() {
     assert!(!rates.is_bathtub());
     // The Theta phase (2016 = phase 2 of 6) is the peak or near it.
     let peak = rates.peak_phase();
-    assert!(peak == 2 || peak == 5, "peak phase {peak}: {:?}", rates.per_day);
+    assert!(
+        peak == 2 || peak == 5,
+        "peak phase {peak}: {:?}",
+        rates.per_day
+    );
 }
 
 #[test]
@@ -114,7 +119,11 @@ fn elastic_pool_fills_capability_drains() {
 fn checkpoint_economics_reward_the_real_predictor() {
     let sim = Simulation::new(SimConfig::with_seed(104));
     let (predictor, builder) = trained(&sim, 150);
-    let metrics = predictor.evaluate_at(sim.telemetry(), &builder, Duration::from_hours(3));
+    // Price the policy at the deployed operating point: checkpoints are
+    // gated by console alerts, which fire at the console's 0.9
+    // threshold, not at the classifier's raw 0.5 cut.
+    let metrics =
+        predictor.evaluate_at_threshold(sim.telemetry(), &builder, Duration::from_hours(3), 0.9);
     assert!(metrics.recall() > 0.8, "recall {}", metrics.recall());
 
     let report = compare_policies(

@@ -1,0 +1,72 @@
+//! Tier-1 gate: `cargo test` fails when any mira-lint rule is violated
+//! without an inline escape hatch or an allowlist budget.
+//!
+//! This runs the same engine as `cargo run -p mira-lint` (no
+//! subprocess, so it works wherever the test binary runs), over the
+//! same inputs: every `crates/*/src/**/*.rs` file, gated through the
+//! checked-in `lint-allow.toml`.
+
+use std::path::Path;
+
+use mira_lint::{gate, scan_workspace, Allowlist};
+
+fn workspace_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/lint at compile time of this test.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    mira_lint::find_workspace_root(manifest).expect("test runs inside the workspace")
+}
+
+#[test]
+fn workspace_is_lint_clean_modulo_allowlist() {
+    let root = workspace_root();
+    let findings = scan_workspace(&root).expect("workspace sources are readable");
+
+    let allowlist_path = root.join("lint-allow.toml");
+    let allowlist = if allowlist_path.is_file() {
+        let text = std::fs::read_to_string(&allowlist_path).expect("allowlist is readable");
+        Allowlist::parse(&text).expect("lint-allow.toml parses")
+    } else {
+        Allowlist::default()
+    };
+
+    let gated = gate(findings, &allowlist);
+    if !gated.rejected.is_empty() {
+        let mut message = format!(
+            "{} mira-lint finding(s) not covered by lint-allow.toml:\n",
+            gated.rejected.len()
+        );
+        for finding in &gated.rejected {
+            message.push_str(&format!("  {finding}\n"));
+        }
+        message.push_str(
+            "fix the sites, add `// mira-lint: allow(<rule>)` with a justification, \
+             or (for pre-existing code only) bump lint-allow.toml",
+        );
+        panic!("{message}");
+    }
+}
+
+#[test]
+fn allowlist_budgets_are_not_inflated() {
+    // The allowlist is a ratchet: entries whose file is already clean
+    // must be dropped, not kept as headroom for regressions.
+    let root = workspace_root();
+    let allowlist_path = root.join("lint-allow.toml");
+    if !allowlist_path.is_file() {
+        return;
+    }
+    let text = std::fs::read_to_string(&allowlist_path).expect("allowlist is readable");
+    let allowlist = Allowlist::parse(&text).expect("lint-allow.toml parses");
+    let findings = scan_workspace(&root).expect("workspace sources are readable");
+    let gated = gate(findings, &allowlist);
+
+    let dead: Vec<_> = gated
+        .slack
+        .iter()
+        .filter(|(_, _, _, actual)| *actual == 0)
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "allowlist entries with zero remaining findings — delete them: {dead:?}"
+    );
+}

@@ -28,7 +28,11 @@ fn check_seed(seed: u64) {
 
     // Fig. 5 Monday effect, power harder than utilization.
     let fig5 = analysis::fig5_weekday_profile(&summary);
-    assert!(fig5.power_uplift > 0.02, "seed {seed}: {}", fig5.power_uplift);
+    assert!(
+        fig5.power_uplift > 0.02,
+        "seed {seed}: {}",
+        fig5.power_uplift
+    );
     assert!(
         fig5.power_uplift > fig5.utilization_uplift,
         "seed {seed}: power dips harder"

@@ -62,10 +62,20 @@ fn six_year_anchor_suite() {
     );
     // Inlet ~64 F, outlet ~79 F throughout.
     for row in &fig3.inlet_by_year {
-        assert!((62.5..67.5).contains(&row.mean), "inlet {} in {}", row.mean, row.year);
+        assert!(
+            (62.5..67.5).contains(&row.mean),
+            "inlet {} in {}",
+            row.mean,
+            row.year
+        );
     }
     for row in &fig3.outlet_by_year {
-        assert!((76.0..83.0).contains(&row.mean), "outlet {} in {}", row.mean, row.year);
+        assert!(
+            (76.0..83.0).contains(&row.mean),
+            "outlet {} in {}",
+            row.mean,
+            row.year
+        );
     }
     // The 2016 Theta heat bump: inlet mean 2016 above 2015.
     assert!(fig3.inlet_by_year[2].mean > fig3.inlet_by_year[1].mean);
@@ -107,12 +117,19 @@ fn six_year_anchor_suite() {
         fig5.outlet_uplift
     );
     assert!(fig5.flow_uplift.abs() < 0.008, "flow flat across weekdays");
-    assert!(fig5.inlet_uplift.abs() < 0.008, "inlet flat across weekdays");
+    assert!(
+        fig5.inlet_uplift.abs() < 0.008,
+        "inlet flat across weekdays"
+    );
 
     // ---- Fig. 6: rack power/utilization. ----
     let fig6 = analysis::fig6_rack_power_util(&summary);
     assert_eq!(fig6.power_leader, RackId::new(0, 13), "(0, D) leads power");
-    assert_eq!(fig6.utilization_leader, RackId::new(0, 10), "(0, A) leads util");
+    assert_eq!(
+        fig6.utilization_leader,
+        RackId::new(0, 10),
+        "(0, A) leads util"
+    );
     assert_eq!(fig6.utilization_floor, RackId::new(2, 13), "(2, D) floor");
     assert!(
         (0.06..0.20).contains(&fig6.power_spread),
@@ -133,7 +150,11 @@ fn six_year_anchor_suite() {
         "flow spread {} (paper up to 11 %)",
         fig7.flow_spread
     );
-    assert!(fig7.inlet_spread < 0.02, "inlet spread {}", fig7.inlet_spread);
+    assert!(
+        fig7.inlet_spread < 0.02,
+        "inlet spread {}",
+        fig7.inlet_spread
+    );
     assert!(
         (0.005..0.06).contains(&fig7.outlet_spread),
         "outlet spread {} (paper up to 3 %)",
@@ -154,8 +175,16 @@ fn six_year_anchor_suite() {
     );
     let (tmin, tmax) = fig8.temperature_range;
     assert!(tmin > 70.0 && tmax < 95.0, "temp range {tmin}..{tmax}");
-    let aug = fig8.humidity_monthly.iter().find(|r| r.month == Month::August).unwrap();
-    let feb = fig8.humidity_monthly.iter().find(|r| r.month == Month::February).unwrap();
+    let aug = fig8
+        .humidity_monthly
+        .iter()
+        .find(|r| r.month == Month::August)
+        .unwrap();
+    let feb = fig8
+        .humidity_monthly
+        .iter()
+        .find(|r| r.month == Month::February)
+        .unwrap();
     assert!(aug.median > feb.median + 2.0, "summer humidity bulge");
 
     // ---- Fig. 9: rack ambient. ----
@@ -188,9 +217,12 @@ fn six_year_anchor_suite() {
         .counts
         .iter()
         .enumerate()
-        .all(|(i, &c)| c <= 9
-            || RackId::from_index(i) == RackId::new(1, 8)));
-    assert!(fig11.correlation_utilization < 0.1, "util corr {}", fig11.correlation_utilization);
+        .all(|(i, &c)| c <= 9 || RackId::from_index(i) == RackId::new(1, 8)));
+    assert!(
+        fig11.correlation_utilization < 0.1,
+        "util corr {}",
+        fig11.correlation_utilization
+    );
     assert!(fig11.correlation_outlet.abs() < 0.4);
     assert!(fig11.correlation_humidity.abs() < 0.4);
 
@@ -201,7 +233,11 @@ fn six_year_anchor_suite() {
 
     // ---- Free cooling: seasonal savings exist and are plausibly sized. ----
     let energy = analysis::free_cooling_report(&summary);
-    assert!(energy.season_saved.value() > 5.0e5, "{}", energy.season_saved);
+    assert!(
+        energy.season_saved.value() > 5.0e5,
+        "{}",
+        energy.season_saved
+    );
     assert!(energy.total_saved.value() > energy.season_saved.value() * 0.9);
 }
 
@@ -228,11 +264,23 @@ fn fig12_leadup_full_population() {
             .unwrap()
     };
     // Inlet: ~-7 % trough hours before, recovery at the event.
-    assert!((0.91..0.95).contains(&at(2.0).inlet_rel), "{}", at(2.0).inlet_rel);
+    assert!(
+        (0.91..0.95).contains(&at(2.0).inlet_rel),
+        "{}",
+        at(2.0).inlet_rel
+    );
     assert!(at(0.0).inlet_rel > at(1.0).inlet_rel, "late snap-back");
     // Outlet: ~-5 % three hours out.
-    assert!((0.93..0.97).contains(&at(3.0).outlet_rel), "{}", at(3.0).outlet_rel);
+    assert!(
+        (0.93..0.97).contains(&at(3.0).outlet_rel),
+        "{}",
+        at(3.0).outlet_rel
+    );
     // Flow: flat until late, collapsing at the event.
-    assert!((0.98..1.02).contains(&at(1.0).flow_rel), "{}", at(1.0).flow_rel);
+    assert!(
+        (0.98..1.02).contains(&at(1.0).flow_rel),
+        "{}",
+        at(1.0).flow_rel
+    );
     assert!(at(0.0).flow_rel < 0.8, "{}", at(0.0).flow_rel);
 }

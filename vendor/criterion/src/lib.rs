@@ -1,0 +1,185 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the real criterion
+//! is unavailable. This crate keeps the `crates/bench` harness
+//! compiling and runnable: each `bench_function` runs a short warm-up,
+//! then a fixed measurement pass, and prints mean wall-clock time per
+//! iteration (plus throughput when configured). There is no statistical
+//! analysis, outlier rejection, or HTML report — it is a smoke-bench,
+//! good for "did this get 10x slower" comparisons only.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also used to scale iteration count so fast
+        // routines get enough samples and slow ones stay bounded.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed();
+        let target = Duration::from_millis(200);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("bench {name:<40} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let mut line = format!("bench {name:<40} {:>12.3} us/iter", per_iter * 1e6);
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!("  {rate:>14.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                line.push_str(&format!("  {:>14.1} MiB/s", rate / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(name, None);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Record the amount of work one iteration represents.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(name, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: bundle benchmark functions under one
+/// group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_chain_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("inner", |b| b.iter(|| black_box(1u64 << 20)));
+        group.finish();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` surface this workspace touches:
+//! the `Serialize` / `Deserialize` trait names and their derives.
+//!
+//! The workspace derives these on domain types for downstream API
+//! completeness but never invokes a serializer (there is no
+//! `serde_json` in the tree), so marker traits plus no-op derive macros
+//! are sufficient to keep everything compiling without network access.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

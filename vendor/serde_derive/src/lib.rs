@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline `serde` stand-in. The workspace derives these traits for
+//! API-completeness but never calls a serializer, so expanding to
+//! nothing keeps every annotated type compiling without pulling in the
+//! real (network-only) serde machinery.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
