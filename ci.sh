@@ -18,4 +18,12 @@ cargo run -q -p mira-lint
 echo "==> cargo test"
 cargo test -q
 
+# The parallel sweep must be thread-count invariant: run the
+# determinism suite with the executor pinned to 1 and then 4 workers.
+echo "==> determinism under MIRA_SWEEP_THREADS=1"
+MIRA_SWEEP_THREADS=1 cargo test -q -p mira-core --test determinism
+
+echo "==> determinism under MIRA_SWEEP_THREADS=4"
+MIRA_SWEEP_THREADS=4 cargo test -q -p mira-core --test determinism
+
 echo "ci: all gates green"

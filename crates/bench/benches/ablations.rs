@@ -17,11 +17,12 @@ use mira_timeseries::{Date, SimTime};
 /// to zero is equivalent to charging the avoided power as spent).
 fn economizer_ablation(c: &mut Criterion) {
     let sim = simulation();
-    let summary = sim.summarize_span(
-        SimTime::from_date(Date::new(2015, 1, 1)),
-        SimTime::from_date(Date::new(2016, 1, 1)),
-        Duration::from_hours(1),
-    );
+    let summary = sim
+        .summarize(
+            SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2016, 1, 1)),
+            Duration::from_hours(1),
+        )
+        .expect("valid span");
     let report = mira_core::analysis::free_cooling_report(&summary);
     let with = report.chiller_by_year[0].1.value();
     let without = with + report.saved_by_year[0].1.value();
@@ -41,11 +42,13 @@ fn economizer_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_year_energy_accounting", |b| {
         b.iter(|| {
-            let s = sim.summarize_span(
-                SimTime::from_date(Date::new(2015, 1, 1)),
-                SimTime::from_date(Date::new(2015, 3, 1)),
-                Duration::from_hours(2),
-            );
+            let s = sim
+                .summarize(
+                    SimTime::from_date(Date::new(2015, 1, 1))
+                        ..SimTime::from_date(Date::new(2015, 3, 1)),
+                    Duration::from_hours(2),
+                )
+                .expect("valid span");
             let _ = mira_core::analysis::free_cooling_report(&s).total_saved;
         });
     });

@@ -40,22 +40,22 @@ fn sweeps(c: &mut Criterion) {
     group.throughput(Throughput::Elements(7 * 288 * 48));
     group.bench_function("one_week_at_300s", |b| {
         b.iter(|| {
-            let _ = sim.summarize_span(
-                from,
-                from + Duration::from_days(7),
+            sim.summarize(
+                from..from + Duration::from_days(7),
                 Duration::from_minutes(5),
-            );
+            )
+            .expect("valid span")
         });
     });
     // One year at 1 h (the resolution the figure harness uses).
     group.throughput(Throughput::Elements(365 * 24 * 48));
     group.bench_function("one_year_at_1h", |b| {
         b.iter(|| {
-            let _ = sim.summarize_span(
-                from,
-                from + Duration::from_days(365),
+            sim.summarize(
+                from..from + Duration::from_days(365),
                 Duration::from_hours(1),
-            );
+            )
+            .expect("valid span")
         });
     });
     group.finish();

@@ -1,0 +1,52 @@
+//! Parallel sweep scaling: the same six-year plan at 1/2/4/8 workers.
+//!
+//! Every configuration produces a bit-identical `SweepSummary` (the
+//! plan shards by calendar month and merges chronologically), so this
+//! group measures pure wall-clock scaling, not accuracy trade-offs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mira_bench::simulation;
+use mira_core::{Duration, FullSpan};
+
+fn sweep_scaling(c: &mut Criterion) {
+    let sim = simulation();
+    let step = Duration::from_hours(6);
+    // 2191 days at 4 samples/day, 48 racks each.
+    let steps = 2191u64 * 4;
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(steps * 48));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("six_years_6h_t{threads}"), |b| {
+            b.iter(|| {
+                sim.sweep_plan(FullSpan)
+                    .step(step)
+                    .threads(threads)
+                    .summary()
+                    .expect("non-empty span")
+            });
+        });
+    }
+    group.finish();
+
+    // The week-long 300 s sweep the CLI export path uses, at auto
+    // threads (single shard: stays sequential by construction).
+    let from = mira_core::SimTime::from_date(mira_core::Date::new(2016, 3, 1));
+    let mut group = c.benchmark_group("sweep_fine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(7 * 288 * 48));
+    group.bench_function("one_week_at_300s_auto", |b| {
+        b.iter(|| {
+            sim.sweep_plan(from..from + Duration::from_days(7))
+                .step(Duration::from_minutes(5))
+                .summary()
+                .expect("non-empty span")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use std::sync::OnceLock;
 
-use mira_core::{Duration, SimConfig, Simulation, SweepSummary};
+use mira_core::{Duration, FullSpan, SimConfig, Simulation, SweepSummary};
 
 /// The benchmark seed: fixed so printed figures are reproducible.
 pub const BENCH_SEED: u64 = 2014;
@@ -23,7 +23,13 @@ pub fn simulation() -> &'static Simulation {
 /// benchmarked separately in the `simulation` bench).
 pub fn six_year_summary() -> &'static SweepSummary {
     static SUMMARY: OnceLock<SweepSummary> = OnceLock::new();
-    SUMMARY.get_or_init(|| simulation().summarize(Duration::from_hours(1)))
+    SUMMARY.get_or_init(
+        || match simulation().summarize(FullSpan, Duration::from_hours(1)) {
+            Ok(summary) => summary,
+            // The configured six-year span is never empty.
+            Err(e) => unreachable!("six-year sweep failed: {e}"),
+        },
+    )
 }
 
 /// Pretty-prints a labelled series of `(label, value)` rows.

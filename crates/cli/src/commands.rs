@@ -4,8 +4,8 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 
 use mira_core::{
-    analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, PredictorConfig,
-    RackId, SimConfig, Simulation, TelemetryProvider,
+    analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, FullSpan,
+    PredictorConfig, RackId, SimConfig, Simulation, TelemetryProvider,
 };
 
 use crate::args::{err, parse_datetime, ArgMap, CliError};
@@ -25,10 +25,14 @@ COMMANDS:
   ras      [--out ras.csv] [--raw] counted (or raw) RAS events as CSV
   predict  [--lead-hours 3] [--events 150] [--epochs 30]
                                    train the CMF predictor, print metrics
-  report   [--fast]                regenerate every figure (paper vs measured)
+  report   [--fast] [--threads N]  regenerate every figure (paper vs measured)
 
 GLOBAL FLAGS:
   --seed <u64>                     world seed (default 2014)
+
+  --threads 0 (the default) picks automatically: the MIRA_SWEEP_THREADS
+  environment variable if set, otherwise all available cores. Any
+  thread count produces bit-identical results.
 ";
 
 fn simulation(args: &ArgMap) -> Result<Simulation, CliError> {
@@ -165,7 +169,7 @@ pub fn predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `mira-ops report [--fast]`
+/// `mira-ops report [--fast] [--threads N]`
 pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(args)?;
     let step = if args.switch("fast") {
@@ -173,8 +177,14 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         Duration::from_hours(1)
     };
+    let threads: usize = args.get_parsed("threads", 0usize)?;
     writeln!(out, "sweeping six years at {} h steps...", step.as_hours()).map_err(io_err)?;
-    let summary = sim.summarize(step);
+    let summary = sim
+        .sweep_plan(FullSpan)
+        .step(step)
+        .threads(threads)
+        .summary()
+        .map_err(|e| err(format!("sweep failed: {e}")))?;
 
     let fig2 = analysis::fig2_yearly_trends(&summary);
     writeln!(

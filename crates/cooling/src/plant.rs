@@ -139,6 +139,13 @@ impl FreeCoolingLedger {
         self.chiller_energy += load.chiller_power.for_hours(hours);
     }
 
+    /// Merges another ledger into this one (energies are additive, so
+    /// ledgers over disjoint spans combine exactly).
+    pub fn merge(&mut self, other: &FreeCoolingLedger) {
+        self.saved += other.saved;
+        self.chiller_energy += other.chiller_energy;
+    }
+
     /// Total chiller energy avoided by the economizer.
     #[must_use]
     pub fn saved(&self) -> KilowattHours {

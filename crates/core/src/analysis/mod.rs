@@ -20,9 +20,13 @@
 //! | Fig. 13 | [`fig13_predictor_sweep`] |
 //! | Fig. 14 | [`fig14_post_cmf`] |
 //! | Fig. 15 | [`fig15_storm_examples`] |
+//!
+//! [`full_report`] runs all of them (minus the expensive Fig. 13
+//! predictor sweep) against one simulation and one sweep summary.
 
 mod failures;
 mod prediction;
+mod report;
 mod spatial;
 mod temporal;
 
@@ -31,6 +35,7 @@ pub use failures::{
     Fig14, Fig15StormExample, LeadupPoint,
 };
 pub use prediction::{fig13_predictor_sweep, Fig13};
+pub use report::{full_report, FigureReport};
 pub use spatial::{
     fig11_cmf_by_rack, fig6_rack_power_util, fig7_rack_coolant, fig9_rack_ambient, Fig11, Fig6,
     Fig7, Fig9,

@@ -1,0 +1,141 @@
+//! The unified figure report: every paper figure from one sweep.
+
+use serde::{Deserialize, Serialize};
+
+use mira_timeseries::Duration;
+
+use crate::simulation::Simulation;
+use crate::summary::SweepSummary;
+
+use super::{
+    failures, prediction, spatial, temporal, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15StormExample,
+    Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, FreeCoolingReport,
+};
+
+/// All paper figures reproduced from one simulation + one sweep.
+///
+/// Figures 2–9 read the [`SweepSummary`]; Figures 10–15 read the
+/// simulation's RAS log, schedule, and telemetry directly. The
+/// predictor sweep (Fig. 13) is orders of magnitude more expensive than
+/// everything else, so [`full_report`] leaves it `None`; fill it with
+/// [`FigureReport::with_predictor`] when needed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Fig. 2 — yearly power/utilization trends.
+    pub fig2: Fig2,
+    /// Fig. 3 — coolant trends around the Theta integration.
+    pub fig3: Fig3,
+    /// Fig. 4 — monthly profiles.
+    pub fig4: Fig4,
+    /// Fig. 5 — weekday profiles (Monday maintenance).
+    pub fig5: Fig5,
+    /// Fig. 6 — per-rack power and utilization.
+    pub fig6: Fig6,
+    /// Fig. 7 — per-rack coolant spreads.
+    pub fig7: Fig7,
+    /// Fig. 8 — ambient temperature/humidity trends.
+    pub fig8: Fig8,
+    /// Fig. 9 — per-rack ambient conditions.
+    pub fig9: Fig9,
+    /// Fig. 10 — CMF timeline by year.
+    pub fig10: Fig10,
+    /// Fig. 11 — CMFs by rack vs. operating conditions.
+    pub fig11: Fig11,
+    /// Fig. 12 — telemetry lead-up to CMFs.
+    pub fig12: Fig12,
+    /// Fig. 13 — predictor lead-time sweep (`None` unless filled via
+    /// [`FigureReport::with_predictor`]).
+    pub fig13: Option<Fig13>,
+    /// Fig. 14 — post-CMF failure-rate windows.
+    pub fig14: Fig14,
+    /// Fig. 15 — multi-rack failure-storm examples.
+    pub fig15: Vec<Fig15StormExample>,
+    /// The free-cooling energy ledger (the paper's §VII numbers).
+    pub free_cooling: FreeCoolingReport,
+}
+
+impl FigureReport {
+    /// Runs the Fig. 13 predictor sweep (expensive) and stores it.
+    #[must_use]
+    pub fn with_predictor(
+        mut self,
+        sim: &Simulation,
+        config: &mira_predictor::PredictorConfig,
+        max_events: usize,
+    ) -> Self {
+        self.fig13 = Some(prediction::fig13_predictor_sweep(
+            sim,
+            &leadup_leads(),
+            max_events,
+            config,
+        ));
+        self
+    }
+}
+
+/// The lead times Figs. 12 and 13 probe: 0 to 6 h in 30-minute steps.
+fn leadup_leads() -> Vec<Duration> {
+    (0..=12).map(|k| Duration::from_minutes(30 * k)).collect()
+}
+
+/// Reproduces every figure (except the optional predictor sweep) from
+/// one simulation and one already-computed sweep summary.
+///
+/// ```no_run
+/// use mira_core::{analysis, Duration, FullSpan, SimConfig, Simulation};
+///
+/// let sim = Simulation::new(SimConfig::default());
+/// let summary = sim
+///     .sweep_plan(FullSpan)
+///     .step(Duration::from_hours(1))
+///     .summary()
+///     .expect("non-empty span");
+/// let report = analysis::full_report(&sim, &summary);
+/// assert_eq!(report.fig10.total, 361);
+/// ```
+#[must_use]
+pub fn full_report(sim: &Simulation, summary: &SweepSummary) -> FigureReport {
+    FigureReport {
+        fig2: temporal::fig2_yearly_trends(summary),
+        fig3: temporal::fig3_coolant_trends(summary),
+        fig4: temporal::fig4_monthly_profile(summary),
+        fig5: temporal::fig5_weekday_profile(summary),
+        fig6: spatial::fig6_rack_power_util(summary),
+        fig7: spatial::fig7_rack_coolant(summary),
+        fig8: temporal::fig8_ambient_trends(summary),
+        fig9: spatial::fig9_rack_ambient(summary),
+        fig10: failures::fig10_cmf_timeline(sim),
+        fig11: spatial::fig11_cmf_by_rack(sim, summary),
+        fig12: failures::fig12_cmf_leadup(sim, &leadup_leads(), usize::MAX),
+        fig13: None,
+        fig14: failures::fig14_post_cmf(sim),
+        fig15: failures::fig15_storm_examples(sim, 3),
+        free_cooling: temporal::free_cooling_report(summary),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimConfig;
+    use mira_timeseries::Date;
+
+    #[test]
+    fn report_covers_every_figure() {
+        let sim = Simulation::new(SimConfig::with_seed(41));
+        let summary = sim
+            .summarize(
+                mira_timeseries::SimTime::from_date(Date::new(2015, 1, 1))
+                    ..mira_timeseries::SimTime::from_date(Date::new(2015, 7, 1)),
+                Duration::from_hours(6),
+            )
+            .expect("non-empty span");
+        let report = full_report(&sim, &summary);
+        assert_eq!(report.fig10.total, 361);
+        assert_eq!(report.fig2.power_by_year.len(), 1);
+        assert_eq!(report.fig12.points.len(), 13);
+        assert_eq!(report.fig15.len(), 3);
+        assert!(report.fig13.is_none());
+        assert!(report.free_cooling.total_saved.value() > 0.0);
+    }
+}

@@ -229,11 +229,13 @@ mod tests {
         let sim = Simulation::new(SimConfig::with_seed(42));
         // Spatial structure is time-invariant: three months at 4 h steps
         // is plenty for rack means.
-        let summary = sim.summarize_span(
-            SimTime::from_date(Date::new(2015, 2, 1)),
-            SimTime::from_date(Date::new(2015, 5, 1)),
-            Duration::from_hours(4),
-        );
+        let summary = sim
+            .summarize(
+                SimTime::from_date(Date::new(2015, 2, 1))
+                    ..SimTime::from_date(Date::new(2015, 5, 1)),
+                Duration::from_hours(4),
+            )
+            .expect("valid span");
         (sim, summary)
     }
 

@@ -267,11 +267,11 @@ mod tests {
     fn year_summary() -> SweepSummary {
         // One full year at 3 h steps: fast but seasonally complete.
         let sim = Simulation::new(SimConfig::with_seed(41));
-        sim.summarize_span(
-            SimTime::from_date(Date::new(2015, 1, 1)),
-            SimTime::from_date(Date::new(2016, 1, 1)),
+        sim.summarize(
+            SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2016, 1, 1)),
             Duration::from_hours(3),
         )
+        .expect("valid span")
     }
 
     #[test]

@@ -39,13 +39,31 @@
 //! assert_eq!(fig10.total, 361);
 //!
 //! // Temporal figures aggregate a telemetry sweep (a short one here).
-//! let summary = sim.summarize_span(
-//!     SimTime::from_date(Date::new(2015, 1, 1)),
-//!     SimTime::from_date(Date::new(2015, 2, 1)),
-//!     Duration::from_hours(6),
-//! );
+//! // Spans are anything span-like: `FullSpan`, a `(from, to)` tuple,
+//! // or a `from..to` range.
+//! let summary = sim
+//!     .summarize(
+//!         SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2015, 2, 1)),
+//!         Duration::from_hours(6),
+//!     )
+//!     .expect("non-empty span");
 //! let fig2 = analysis::fig2_yearly_trends(&summary);
 //! assert_eq!(fig2.power_by_year.len(), 1);
+//! ```
+//!
+//! Long sweeps parallelize without changing the result — see
+//! [`sweep::SweepPlan`]:
+//!
+//! ```no_run
+//! use mira_core::{Duration, FullSpan, SimConfig, Simulation};
+//!
+//! let sim = Simulation::new(SimConfig::default());
+//! let summary = sim
+//!     .sweep_plan(FullSpan)
+//!     .step(Duration::from_hours(1))
+//!     .threads(4) // bit-for-bit identical to .threads(1)
+//!     .summary()
+//!     .expect("non-empty span");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,15 +75,18 @@ pub mod mitigation;
 pub mod operator;
 pub mod simulation;
 pub mod summary;
+pub mod sweep;
 pub mod telemetry;
 pub mod timeline;
 
+pub use analysis::{full_report, FigureReport};
 pub use mitigation::{
     compare_policies, evaluate_policy, CheckpointPolicy, MitigationCosts, MitigationReport,
 };
 pub use operator::{Alert, AlertLog, ConsoleConfig, ConsoleScore, OperatorConsole};
-pub use simulation::{SimConfig, Simulation};
+pub use simulation::{SimConfig, SimConfigBuilder, Simulation};
 pub use summary::{ChannelAggregate, RackAggregate, SweepSummary};
+pub use sweep::{FullSpan, Recorder, SweepError, SweepPlan, SweepSpan, SweepStep};
 pub use telemetry::{RackTruth, SystemSnapshot, TelemetryEngine};
 pub use timeline::OperationalTimeline;
 

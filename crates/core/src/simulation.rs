@@ -7,6 +7,7 @@ use mira_ras::{CmfSchedule, RasLog};
 use mira_timeseries::{Date, Duration, SimTime};
 
 use crate::summary::SweepSummary;
+use crate::sweep::{SweepError, SweepPlan, SweepSpan};
 use crate::telemetry::TelemetryEngine;
 
 /// Simulation configuration.
@@ -40,10 +41,63 @@ impl SimConfig {
         }
     }
 
+    /// A builder starting from the defaults.
+    ///
+    /// ```
+    /// use mira_core::SimConfig;
+    /// use mira_timeseries::Date;
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .seed(99)
+    ///     .start(Date::new(2015, 1, 1))
+    ///     .end(Date::new(2016, 1, 1))
+    ///     .build();
+    /// assert_eq!(cfg.seed, 99);
+    /// ```
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
     /// The simulated span as instants.
     #[must_use]
     pub fn span(&self) -> (SimTime, SimTime) {
         (SimTime::from_date(self.start), SimTime::from_date(self.end))
+    }
+}
+
+/// Builder for [`SimConfig`], starting from the defaults.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the first simulated day.
+    #[must_use]
+    pub fn start(mut self, start: Date) -> Self {
+        self.config.start = start;
+        self
+    }
+
+    /// Sets the first day after the simulation.
+    #[must_use]
+    pub fn end(mut self, end: Date) -> Self {
+        self.config.end = end;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> SimConfig {
+        self.config
     }
 }
 
@@ -149,17 +203,48 @@ impl Simulation {
         }
     }
 
-    /// Sweeps the whole configured span at `step` and aggregates.
+    /// A [`SweepPlan`] over `span` — anything span-like:
+    /// [`crate::FullSpan`], a `(from, to)` tuple, or a `from..to` range.
+    /// Configure step and threads on the plan, then call
+    /// [`SweepPlan::summary`] or [`SweepPlan::run`].
     #[must_use]
-    pub fn summarize(&self, step: Duration) -> SweepSummary {
-        let (from, to) = self.config.span();
-        SweepSummary::sweep(&self.engine, from, to, step)
+    pub fn sweep_plan(&self, span: impl Into<SweepSpan>) -> SweepPlan<'_> {
+        let (from, to) = span.into().resolve(self.config.span());
+        SweepPlan::new(&self.engine, from, to)
+    }
+
+    /// Sweeps `span` at `step` and aggregates.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::EmptySpan`] when the span is empty,
+    /// [`SweepError::NonPositiveStep`] when the step is not positive.
+    pub fn summarize(
+        &self,
+        span: impl Into<SweepSpan>,
+        step: Duration,
+    ) -> Result<SweepSummary, SweepError> {
+        self.sweep_plan(span).step(step).summary()
     }
 
     /// Sweeps an arbitrary sub-span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is empty or the step non-positive.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use summarize((from, to), step), which returns Result instead of panicking"
+    )]
     #[must_use]
     pub fn summarize_span(&self, from: SimTime, to: SimTime, step: Duration) -> SweepSummary {
-        SweepSummary::sweep(&self.engine, from, to, step)
+        assert!(from < to, "empty sweep span");
+        assert!(step.as_seconds() > 0, "step must be positive");
+        match self.summarize((from, to), step) {
+            Ok(summary) => summary,
+            // The asserts above rule out both error cases.
+            Err(e) => unreachable!("validated sweep failed: {e}"),
+        }
     }
 }
 

@@ -8,17 +8,21 @@ use mira_facility::RackId;
 use mira_timeseries::{CalendarBins, Duration, SimTime, TimeSeries, Welford};
 use mira_units::{convert, KilowattHours};
 
-use crate::telemetry::{SystemSnapshot, TelemetryEngine};
+use crate::sweep::{Recorder, SweepStep};
+use crate::telemetry::TelemetryEngine;
 
 /// Calendar bins plus a weekly-mean series for one system-level channel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChannelAggregate {
     /// Calendar-keyed statistics (yearly/monthly/weekday bins).
     pub bins: CalendarBins,
-    /// Weekly-mean time series (for trend fits and plotting).
+    /// Weekly-mean time series (for trend fits and plotting). Rebuilt
+    /// from the per-week accumulators on finish; empty on unfinished
+    /// partials.
     pub weekly: TimeSeries,
-    week_acc: Welford,
-    week_start: Option<SimTime>,
+    /// One accumulator per calendar week (keyed by the global 7-day
+    /// grid), kept sorted by week start.
+    weeks: Vec<(SimTime, Welford)>,
 }
 
 impl Default for ChannelAggregate {
@@ -34,40 +38,72 @@ impl ChannelAggregate {
         Self {
             bins: CalendarBins::new(),
             weekly: TimeSeries::new(),
-            week_acc: Welford::new(),
-            week_start: None,
+            weeks: Vec::new(),
         }
     }
 
     fn push(&mut self, t: SimTime, value: f64) {
         self.bins.push(t, value);
+        // Week key on a global 7-day grid — a pure function of t, so
+        // shard boundaries never shift which week a sample lands in.
         let week =
             SimTime::from_epoch_seconds(t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400);
-        match self.week_start {
-            Some(ws) if ws == week => {}
-            Some(ws) => {
-                if !self.week_acc.is_empty() {
-                    self.weekly.push(ws, self.week_acc.mean());
-                }
-                self.week_acc = Welford::new();
-                self.week_start = Some(week);
+        match self.weeks.last_mut() {
+            Some((ws, acc)) if *ws == week => acc.push(value),
+            Some((ws, _)) if *ws < week => {
+                let mut acc = Welford::new();
+                acc.push(value);
+                self.weeks.push((week, acc));
             }
-            None => self.week_start = Some(week),
+            _ => {
+                // Out-of-chronological-order push (never happens on the
+                // sweep path, but keep the structure correct).
+                let at = self.weeks.partition_point(|(ws, _)| *ws < week);
+                if let Some(entry) = self.weeks.get_mut(at).filter(|(ws, _)| *ws == week) {
+                    entry.1.push(value);
+                } else {
+                    let mut acc = Welford::new();
+                    acc.push(value);
+                    self.weeks.insert(at, (week, acc));
+                }
+            }
         }
-        self.week_acc.push(value);
+    }
+
+    /// Absorbs an aggregate covering the span after this one's. The
+    /// boundary week (if a calendar week straddles the shard cut) is
+    /// pooled via [`Welford::merge`].
+    pub fn merge(&mut self, later: &ChannelAggregate) {
+        self.bins.merge(&later.bins);
+        for (week, acc) in &later.weeks {
+            match self.weeks.last_mut() {
+                Some((ws, mine)) if *ws == *week => mine.merge(acc),
+                Some((ws, _)) if *ws < *week => self.weeks.push((*week, *acc)),
+                _ => {
+                    let at = self.weeks.partition_point(|(ws, _)| *ws < *week);
+                    if let Some(entry) = self.weeks.get_mut(at).filter(|(ws, _)| *ws == *week) {
+                        entry.1.merge(acc);
+                    } else {
+                        self.weeks.insert(at, (*week, *acc));
+                    }
+                }
+            }
+        }
     }
 
     fn finish(&mut self) {
-        if let (Some(ws), false) = (self.week_start, self.week_acc.is_empty()) {
-            self.weekly.push(ws, self.week_acc.mean());
-            self.week_acc = Welford::new();
-            self.week_start = None;
+        let mut weekly = TimeSeries::new();
+        for (week, acc) in &self.weeks {
+            if !acc.is_empty() {
+                weekly.push(*week, acc.mean());
+            }
         }
+        self.weekly = weekly;
     }
 }
 
 /// Per-rack lifetime statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RackAggregate {
     /// Rack power (kW).
     pub power: Welford,
@@ -85,8 +121,22 @@ pub struct RackAggregate {
     pub ambient_humidity: Welford,
 }
 
+impl RackAggregate {
+    /// Pools another rack aggregate into this one (channel-wise
+    /// [`Welford::merge`]).
+    pub fn merge(&mut self, later: &RackAggregate) {
+        self.power.merge(&later.power);
+        self.utilization.merge(&later.utilization);
+        self.flow.merge(&later.flow);
+        self.inlet.merge(&later.inlet);
+        self.outlet.merge(&later.outlet);
+        self.ambient_temperature.merge(&later.ambient_temperature);
+        self.ambient_humidity.merge(&later.ambient_humidity);
+    }
+}
+
 /// The full six-year (or any-span) sweep summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSummary {
     /// Sampling step used.
     pub step: Duration,
@@ -121,19 +171,14 @@ pub struct SweepSummary {
 }
 
 impl SweepSummary {
-    /// Runs a sweep over `[from, to)` at `step` and aggregates.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span is empty or the step non-positive.
+    /// An empty summary for `span` at `step` — the [`Recorder`] seed
+    /// that sweep shards fold into. `span` is carried as metadata; it
+    /// is not validated against the instants actually recorded.
     #[must_use]
-    pub fn sweep(engine: &TelemetryEngine, from: SimTime, to: SimTime, step: Duration) -> Self {
-        assert!(from < to, "empty sweep span");
-        assert!(step.as_seconds() > 0, "step must be positive");
-
-        let mut summary = Self {
+    pub fn empty(span: (SimTime, SimTime), step: Duration) -> Self {
+        Self {
             step,
-            span: (from, to),
+            span,
             power_mw: ChannelAggregate::new(),
             utilization_pct: ChannelAggregate::new(),
             flow_gpm: ChannelAggregate::new(),
@@ -148,25 +193,64 @@ impl SweepSummary {
                 .collect(),
             yearly_energy: Vec::new(),
             season_saved: KilowattHours::new(0.0),
-        };
-
-        let mut t = from;
-        while t < to {
-            let snap = engine.snapshot(t);
-            summary.ingest(engine, &snap);
-            t += step;
         }
-        summary.power_mw.finish();
-        summary.utilization_pct.finish();
-        summary.flow_gpm.finish();
-        summary.inlet_f.finish();
-        summary.outlet_f.finish();
-        summary.dc_temp_f.finish();
-        summary.dc_rh.finish();
-        summary
     }
 
-    fn ingest(&mut self, engine: &TelemetryEngine, snap: &SystemSnapshot) {
+    /// Runs a sequential sweep over `[from, to)` at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is empty or the step non-positive.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SweepPlan (or Simulation::summarize), which returns Result instead of panicking"
+    )]
+    #[must_use]
+    pub fn sweep(engine: &TelemetryEngine, from: SimTime, to: SimTime, step: Duration) -> Self {
+        assert!(from < to, "empty sweep span");
+        assert!(step.as_seconds() > 0, "step must be positive");
+        match crate::sweep::SweepPlan::new(engine, from, to)
+            .step(step)
+            .threads(1)
+            .summary()
+        {
+            Ok(summary) => summary,
+            // The asserts above rule out both error cases.
+            Err(e) => unreachable!("validated sweep failed: {e}"),
+        }
+    }
+
+    /// Absorbs a summary covering the span immediately after this
+    /// one's: channels, pooled statistics, per-rack aggregates, and the
+    /// yearly energy ledgers all merge; the span extends to cover both.
+    pub fn merge(&mut self, later: &SweepSummary) {
+        self.power_mw.merge(&later.power_mw);
+        self.utilization_pct.merge(&later.utilization_pct);
+        self.flow_gpm.merge(&later.flow_gpm);
+        self.inlet_f.merge(&later.inlet_f);
+        self.outlet_f.merge(&later.outlet_f);
+        self.dc_temp_f.merge(&later.dc_temp_f);
+        self.dc_rh.merge(&later.dc_rh);
+        self.dc_temp_all_racks.merge(&later.dc_temp_all_racks);
+        self.dc_rh_all_racks.merge(&later.dc_rh_all_racks);
+        for (mine, theirs) in self.racks.iter_mut().zip(&later.racks) {
+            mine.merge(theirs);
+        }
+        for (year, ledger) in &later.yearly_energy {
+            match self.yearly_energy.iter_mut().find(|(y, _)| y == year) {
+                Some((_, mine)) => mine.merge(ledger),
+                None => {
+                    let at = self.yearly_energy.partition_point(|(y, _)| y < year);
+                    self.yearly_energy.insert(at, (*year, *ledger));
+                }
+            }
+        }
+        self.season_saved += later.season_saved;
+        self.span = (self.span.0.min(later.span.0), self.span.1.max(later.span.1));
+    }
+
+    fn ingest(&mut self, sweep_step: &SweepStep) {
+        let snap = &sweep_step.snapshot;
         let t = snap.time;
         let mut power_kw = 0.0;
         let mut util = 0.0;
@@ -177,8 +261,8 @@ impl SweepSummary {
         let mut dc_h = 0.0;
 
         for rack in RackId::all() {
-            let truth = engine.rack_truth(rack, snap);
-            let sample = engine.observe(rack, snap);
+            let truth = &sweep_step.truths[rack.index()];
+            let sample = &sweep_step.samples[rack.index()];
             let agg = &mut self.racks[rack.index()];
             agg.power.push(sample.power.value());
             agg.utilization.push(truth.utilization);
@@ -238,6 +322,33 @@ impl SweepSummary {
     pub fn rack_means<F: Fn(&RackAggregate) -> &Welford>(&self, f: F) -> Vec<f64> {
         self.racks.iter().map(|r| f(r).mean()).collect()
     }
+
+    fn finish_channels(&mut self) {
+        self.power_mw.finish();
+        self.utilization_pct.finish();
+        self.flow_gpm.finish();
+        self.inlet_f.finish();
+        self.outlet_f.finish();
+        self.dc_temp_f.finish();
+        self.dc_rh.finish();
+    }
+}
+
+impl Recorder for SweepSummary {
+    type Output = SweepSummary;
+
+    fn record(&mut self, step: &SweepStep) {
+        self.ingest(step);
+    }
+
+    fn merge(&mut self, later: Self) {
+        SweepSummary::merge(self, &later);
+    }
+
+    fn finish(mut self) -> SweepSummary {
+        self.finish_channels();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -250,12 +361,14 @@ mod tests {
         let schedule = CmfSchedule::generate(31);
         let log = RasLog::assemble(&schedule, 31);
         let engine = TelemetryEngine::new(31, &schedule, &log);
-        SweepSummary::sweep(
+        crate::sweep::SweepPlan::new(
             &engine,
             SimTime::from_date(Date::new(2015, 3, 1)),
             SimTime::from_date(Date::new(2015, 5, 1)),
-            Duration::from_hours(2),
         )
+        .step(Duration::from_hours(2))
+        .summary()
+        .expect("valid span")
     }
 
     #[test]

@@ -304,8 +304,22 @@ impl TelemetryEngine {
     #[must_use]
     pub fn observe(&self, rack: RackId, snap: &SystemSnapshot) -> CoolantMonitorSample {
         let truth = self.rack_truth(rack, snap);
+        self.observe_truth(rack, snap.time, &truth)
+    }
+
+    /// The coolant-monitor record for `rack` given its already-computed
+    /// ground truth at `t` — lets sweep callers reuse one truth for
+    /// both the truth-based and observed channels instead of deriving
+    /// it twice.
+    #[must_use]
+    pub fn observe_truth(
+        &self,
+        rack: RackId,
+        t: SimTime,
+        truth: &RackTruth,
+    ) -> CoolantMonitorSample {
         self.monitors[rack.index()].observe(
-            snap.time,
+            t,
             truth.ambient_temperature,
             truth.ambient_humidity,
             truth.flow,

@@ -13,7 +13,7 @@ use crate::stats::{P2Quantile, Welford};
 use crate::time::SimTime;
 
 /// Combined mean/median summary of one calendar bin.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BinSummary {
     welford: Welford,
     median: P2Quantile,
@@ -38,6 +38,13 @@ impl BinSummary {
     fn push(&mut self, x: f64) {
         self.welford.push(x);
         self.median.push(x);
+    }
+
+    /// Merges another bin into this one ([`Welford::merge`] exactly,
+    /// [`P2Quantile::merge`] approximately).
+    pub fn merge(&mut self, other: &BinSummary) {
+        self.welford.merge(&other.welford);
+        self.median.merge(&other.median);
     }
 
     /// Number of observations in the bin.
@@ -134,7 +141,7 @@ pub struct WeekdayProfile {
 /// assert_eq!(bins.overall().count(), 1000);
 /// assert!(!bins.yearly().is_empty());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CalendarBins {
     overall: BinSummary,
     years: Vec<(i32, BinSummary)>,
@@ -180,6 +187,34 @@ impl CalendarBins {
         self.months[date.month().index()].push(value);
         self.weekdays[date.weekday().index()].push(value);
         self.hours[usize::from(dt.hour())].push(value);
+    }
+
+    /// Merges another aggregation into this one, bin by bin.
+    ///
+    /// Year rows present on either side are kept (merged where both
+    /// have them); month/weekday/hour bins combine element-wise. Means,
+    /// counts, and extremes merge exactly; medians approximately (see
+    /// [`P2Quantile::merge`]).
+    pub fn merge(&mut self, other: &CalendarBins) {
+        self.overall.merge(&other.overall);
+        for (year, bin) in &other.years {
+            match self.years.iter_mut().find(|(y, _)| y == year) {
+                Some((_, mine)) => mine.merge(bin),
+                None => {
+                    let at = self.years.partition_point(|(y, _)| y < year);
+                    self.years.insert(at, (*year, bin.clone()));
+                }
+            }
+        }
+        for (mine, theirs) in self.months.iter_mut().zip(&other.months) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.weekdays.iter_mut().zip(&other.weekdays) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.hours.iter_mut().zip(&other.hours) {
+            mine.merge(theirs);
+        }
     }
 
     /// Summary over all observations.

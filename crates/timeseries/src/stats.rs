@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use mira_units::convert;
+
 /// Online mean/variance accumulator (Welford's algorithm).
 ///
 /// Numerically stable for long streams; merging two accumulators is
@@ -170,7 +172,7 @@ impl FromIterator<f64> for Welford {
 /// Estimates a single quantile with O(1) memory — the workhorse behind
 /// per-calendar-bin medians. Exact for the first five observations, then
 /// maintains five markers adjusted with piecewise-parabolic interpolation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct P2Quantile {
     p: f64,
     /// Marker heights.
@@ -270,6 +272,100 @@ impl P2Quantile {
                 self.n[i] += d;
             }
         }
+    }
+
+    /// Merges another estimator for the *same* quantile into this one.
+    ///
+    /// P² is not exactly mergeable: each side keeps only five markers.
+    /// While either side is still in its exact (≤ 5 observations)
+    /// start-up phase the merge replays the buffered values and stays
+    /// exact. Beyond that the interior markers are combined by
+    /// count-weighted interpolation and the extremes by min/max, which
+    /// keeps the estimate inside the observed range and is a close
+    /// approximation when the two sides sample similar distributions
+    /// (the calendar-sharded sweep case). The operation is
+    /// deterministic: merging the same states always yields the same
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators target different quantiles.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            self.p.total_cmp(&other.p).is_eq(),
+            "cannot merge estimators for different quantiles"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if other.count <= 5 {
+            // The right side still buffers raw values: replay them.
+            for &x in &other.initial {
+                self.push(x);
+            }
+            return;
+        }
+        if self.count <= 5 {
+            // Only the left side buffers raw values: adopt the larger
+            // state, then replay our buffer into it.
+            let mine = std::mem::take(&mut self.initial);
+            *self = other.clone();
+            for x in mine {
+                self.push(x);
+            }
+            return;
+        }
+
+        // Both sides are past start-up: five markers each. Extremes
+        // combine exactly; interior markers by count-weighted blend.
+        let wa = convert::f64_from_u64(self.count);
+        let wb = convert::f64_from_u64(other.count);
+        let total = wa + wb;
+        let mut q = [0.0; 5];
+        q[0] = self.q[0].min(other.q[0]);
+        q[4] = self.q[4].max(other.q[4]);
+        for ((slot, &a), &b) in q[1..4].iter_mut().zip(&self.q[1..4]).zip(&other.q[1..4]) {
+            *slot = (a * wa + b * wb) / total;
+        }
+        // Restore the monotone-marker invariant the adjustment step
+        // relies on.
+        for i in 1..5 {
+            if q[i] < q[i - 1] {
+                q[i] = q[i - 1];
+            }
+        }
+
+        self.count += other.count;
+        self.q = q;
+        // Reset actual and desired positions to the closed-form desired
+        // positions for the combined count, as if the markers had landed
+        // exactly where the algorithm wants them.
+        let nf = convert::f64_from_u64(self.count);
+        for i in 0..5 {
+            self.np[i] = 1.0 + (nf - 1.0) * self.dn[i];
+        }
+        self.n[0] = 1.0;
+        self.n[4] = nf;
+        for i in 1..4 {
+            self.n[i] = self.np[i].round();
+        }
+        // Positions must stay strictly increasing (both counts were > 5,
+        // so there is room).
+        for i in 1..4 {
+            if self.n[i] <= self.n[i - 1] {
+                self.n[i] = self.n[i - 1] + 1.0;
+            }
+        }
+        for i in (1..4).rev() {
+            if self.n[i] >= self.n[i + 1] {
+                self.n[i] = self.n[i + 1] - 1.0;
+            }
+        }
+        self.initial.clear();
     }
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {

@@ -1,0 +1,176 @@
+//! Merge laws for the streaming aggregates: partitioned folds must
+//! agree with a single stream, and merging must be associative.
+//!
+//! Counts, minima, and maxima are integer- or order-exact, so they are
+//! compared exactly. Means and variances go through floating-point
+//! folds whose rounding depends on association, so they are compared to
+//! tight tolerances instead.
+
+use proptest::prelude::*;
+
+use mira_timeseries::{P2Quantile, Welford};
+
+fn fold(values: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &v in values {
+        w.push(v);
+    }
+    w
+}
+
+/// Bounded, NaN-free samples: rounding-error bounds below assume a
+/// bounded domain.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e3..1.0e3f64, 0..max_len)
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Splitting a stream at any point and merging the two partial
+    /// accumulators agrees with folding the whole stream.
+    #[test]
+    fn welford_merge_agrees_with_single_stream(
+        values in samples(200),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let cut = ((values.len() as f64) * cut_frac) as usize;
+        let (left, right) = values.split_at(cut.min(values.len()));
+
+        let whole = fold(&values);
+        let mut merged = fold(left);
+        merged.merge(&fold(right));
+
+        prop_assert_eq!(merged.count(), whole.count());
+        if !values.is_empty() {
+            prop_assert_eq!(merged.min(), whole.min());
+            prop_assert_eq!(merged.max(), whole.max());
+            prop_assert!(
+                close(merged.mean(), whole.mean(), 1e-12),
+                "mean {} vs {}", merged.mean(), whole.mean()
+            );
+            prop_assert!(
+                close(merged.stddev(), whole.stddev(), 1e-9),
+                "stddev {} vs {}", merged.stddev(), whole.stddev()
+            );
+        }
+    }
+
+    /// (a ⊔ b) ⊔ c agrees with a ⊔ (b ⊔ c) on a three-way partition.
+    #[test]
+    fn welford_merge_is_associative(
+        a in samples(80),
+        b in samples(80),
+        c in samples(80),
+    ) {
+        let (wa, wb, wc) = (fold(&a), fold(&b), fold(&c));
+
+        let mut left = wa;
+        left.merge(&wb);
+        left.merge(&wc);
+
+        let mut right_tail = wb;
+        right_tail.merge(&wc);
+        let mut right = wa;
+        right.merge(&right_tail);
+
+        prop_assert_eq!(left.count(), right.count());
+        if left.count() > 0 {
+            prop_assert_eq!(left.min(), right.min());
+            prop_assert_eq!(left.max(), right.max());
+            prop_assert!(
+                close(left.mean(), right.mean(), 1e-12),
+                "mean {} vs {}", left.mean(), right.mean()
+            );
+            prop_assert!(
+                close(left.stddev(), right.stddev(), 1e-9),
+                "stddev {} vs {}", left.stddev(), right.stddev()
+            );
+        }
+    }
+
+    /// Merging empty accumulators from either side is the identity.
+    #[test]
+    fn welford_empty_is_identity(values in samples(100)) {
+        let whole = fold(&values);
+
+        let mut left = Welford::new();
+        left.merge(&whole);
+        prop_assert_eq!(&left, &whole);
+
+        let mut right = whole;
+        right.merge(&Welford::new());
+        prop_assert_eq!(&right, &whole);
+    }
+
+    /// The P² merge is deterministic, count-exact, and keeps its
+    /// estimate inside the pooled sample range. (P² itself is an
+    /// approximation, so no exactness claim is made on the value.)
+    #[test]
+    fn p2_merge_is_deterministic_and_bounded(
+        a in samples(120),
+        b in samples(120),
+        p in 0.1..0.9f64,
+    ) {
+        let fold_p2 = |values: &[f64]| {
+            let mut q = P2Quantile::new(p);
+            for &v in values {
+                q.push(v);
+            }
+            q
+        };
+
+        let mut merged = fold_p2(&a);
+        merged.merge(&fold_p2(&b));
+        let mut again = fold_p2(&a);
+        again.merge(&fold_p2(&b));
+        prop_assert_eq!(&merged, &again, "merge must be deterministic");
+
+        let total = a.len() + b.len();
+        prop_assert_eq!(merged.count(), total as u64);
+        if total > 0 {
+            let lo = a.iter().chain(&b).copied().fold(f64::INFINITY, f64::min);
+            let hi = a.iter().chain(&b).copied().fold(f64::NEG_INFINITY, f64::max);
+            let v = merged.value();
+            prop_assert!(
+                (lo..=hi).contains(&v),
+                "estimate {v} outside pooled range [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// When the right side is still in P²'s exact start-up phase (≤ 5
+    /// samples), merging replays its buffered samples — which the
+    /// start-up phase keeps sorted — so the result equals pushing those
+    /// sorted samples into the left estimator directly.
+    #[test]
+    fn p2_merge_replays_small_sides_exactly(
+        a in samples(120),
+        b in samples(5),
+        p in 0.1..0.9f64,
+    ) {
+        let fold_p2 = |values: &[f64]| {
+            let mut q = P2Quantile::new(p);
+            for &v in values {
+                q.push(v);
+            }
+            q
+        };
+
+        let mut merged = fold_p2(&a);
+        merged.merge(&fold_p2(&b));
+
+        let mut sorted_b = b.clone();
+        sorted_b.sort_by(f64::total_cmp);
+        let mut single = fold_p2(&a);
+        for &v in &sorted_b {
+            single.push(v);
+        }
+        prop_assert_eq!(merged.value(), single.value());
+        prop_assert_eq!(merged.count(), single.count());
+    }
+}

@@ -69,6 +69,16 @@ pub fn i64_from_u64(n: u64) -> i64 {
     i64::try_from(n).unwrap_or(i64::MAX)
 }
 
+/// A non-negative `i64` (a step count, an index) as a `usize`.
+///
+/// Negative inputs clamp to 0, which the debug assertion flags; exact
+/// for every non-negative value on 64-bit targets.
+#[must_use]
+pub fn usize_from_i64(n: i64) -> usize {
+    debug_assert!(n >= 0, "index from negative {n}");
+    usize::try_from(n).unwrap_or(0)
+}
+
 /// Floor of a non-negative `f64` as a `usize` index.
 ///
 /// NaN and negative inputs clamp to 0; values beyond `usize::MAX` clamp
@@ -112,6 +122,12 @@ mod tests {
         assert_eq!(f64_from_u64(630_000), 630_000.0);
         assert_eq!(f64_from_i64(-86_400), -86_400.0);
         assert_eq!(f64_from_u32(u32::MAX), 4_294_967_295.0);
+    }
+
+    #[test]
+    fn usize_from_i64_clamps_negatives() {
+        assert_eq!(usize_from_i64(42), 42);
+        assert_eq!(usize_from_i64(0), 0);
     }
 
     #[test]

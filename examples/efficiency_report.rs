@@ -14,11 +14,12 @@ fn main() {
 
     // Two representative years at hourly resolution.
     println!("sweeping 2015-2016 at 1 h steps...");
-    let summary = sim.summarize_span(
-        SimTime::from_date(Date::new(2015, 1, 1)),
-        SimTime::from_date(Date::new(2017, 1, 1)),
-        Duration::from_hours(1),
-    );
+    let summary = sim
+        .summarize(
+            SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2017, 1, 1)),
+            Duration::from_hours(1),
+        )
+        .expect("non-empty span");
     let report = analysis::free_cooling_report(&summary);
 
     println!("\nyear | economizer saved (kWh) | chillers spent (kWh)");

@@ -30,12 +30,16 @@ fn main() {
     );
 
     // Sweep one quarter of telemetry and look at the system channels.
+    // `sweep_plan` shards the span by calendar month and fans it over
+    // worker threads; any thread count gives bit-identical results.
     println!("\nsweeping 2015 Q1 telemetry (300 s coolant-monitor cadence)...");
-    let summary = sim.summarize_span(
-        SimTime::from_date(Date::new(2015, 1, 1)),
-        SimTime::from_date(Date::new(2015, 4, 1)),
-        Duration::from_minutes(5),
-    );
+    let summary = sim
+        .sweep_plan(
+            SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2015, 4, 1)),
+        )
+        .step(Duration::from_minutes(5))
+        .summary()
+        .expect("non-empty span");
     let power = summary.power_mw.bins.overall();
     let flow = summary.flow_gpm.bins.overall();
     let inlet = summary.inlet_f.bins.overall();

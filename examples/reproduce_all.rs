@@ -4,7 +4,7 @@
 //! Run with `cargo run --release --example reproduce_all`.
 //! Pass `--fast` to use 6 h sweep steps and fewer training epochs.
 
-use mira_core::{analysis, Duration, PredictorConfig, SimConfig, Simulation};
+use mira_core::{analysis, Duration, FullSpan, PredictorConfig, SimConfig, Simulation};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
@@ -19,10 +19,16 @@ fn main() {
         "== reproduce_all: seed 2014, sweep step {} h ==",
         step.as_hours()
     );
-    println!("building six-year telemetry summary...");
-    let summary = sim.summarize(step);
+    println!("building six-year telemetry summary (parallel, month-sharded)...");
+    let summary = sim
+        .sweep_plan(FullSpan)
+        .step(step)
+        .summary()
+        .expect("non-empty span");
+    // One shared pass feeds every summary-driven figure.
+    let report = analysis::full_report(&sim, &summary);
 
-    let fig2 = analysis::fig2_yearly_trends(&summary);
+    let fig2 = &report.fig2;
     println!(
         "\n[Fig 2] power 2014 {:.2} MW -> 2019 {:.2} MW (paper ~2.5 -> ~2.9)",
         fig2.power_by_year[0].mean, fig2.power_by_year[5].mean
@@ -32,7 +38,7 @@ fn main() {
         fig2.utilization_by_year[0].mean, fig2.utilization_by_year[5].mean
     );
 
-    let fig3 = analysis::fig3_coolant_trends(&summary);
+    let fig3 = &report.fig3;
     println!(
         "[Fig 3] flow {:.0} -> {:.0} GPM at Theta (paper 1250 -> 1300)",
         fig3.flow_before_theta, fig3.flow_after_theta
@@ -42,7 +48,7 @@ fn main() {
         fig3.flow_stddev, fig3.inlet_stddev, fig3.outlet_stddev
     );
 
-    let fig4 = analysis::fig4_monthly_profile(&summary);
+    let fig4 = &report.fig4;
     let dec = fig4.power.last().unwrap().median;
     let may = fig4.power[4].median;
     println!("[Fig 4] power median May {may:.2} MW vs December {dec:.2} MW (paper: December peak)");
@@ -50,12 +56,12 @@ fn main() {
     let aug_inlet = fig4.inlet[7].median;
     println!("[Fig 4] inlet January {jan_inlet:.2} F vs August {aug_inlet:.2} F (paper: winter warmer, free cooling)");
 
-    let fig5 = analysis::fig5_weekday_profile(&summary);
+    let fig5 = &report.fig5;
     println!("[Fig 5] non-Monday uplifts: power {:+.1}% (paper ~6), util {:+.1}% (~1.5), outlet {:+.1}% (~2), flow {:+.2}% (~0), inlet {:+.2}% (~0)",
         fig5.power_uplift * 100.0, fig5.utilization_uplift * 100.0,
         fig5.outlet_uplift * 100.0, fig5.flow_uplift * 100.0, fig5.inlet_uplift * 100.0);
 
-    let fig6 = analysis::fig6_rack_power_util(&summary);
+    let fig6 = &report.fig6;
     println!(
         "[Fig 6] power leader {} ((0, D)), util leader {} ((0, A)), floor {} ((2, D))",
         fig6.power_leader, fig6.utilization_leader, fig6.utilization_floor
@@ -66,7 +72,7 @@ fn main() {
         fig6.power_utilization_correlation
     );
 
-    let fig7 = analysis::fig7_rack_coolant(&summary);
+    let fig7 = &report.fig7;
     println!(
         "[Fig 7] spreads: flow {:.1}% (<=11), inlet {:.1}% (<=1), outlet {:.1}% (<=3)",
         fig7.flow_spread * 100.0,
@@ -74,7 +80,7 @@ fn main() {
         fig7.outlet_spread * 100.0
     );
 
-    let fig8 = analysis::fig8_ambient_trends(&summary);
+    let fig8 = &report.fig8;
     println!(
         "[Fig 8] DC temp sigma {:.2} F (2.48), range {:.0}-{:.0} (76-90)",
         fig8.temperature_stddev, fig8.temperature_range.0, fig8.temperature_range.1
@@ -84,7 +90,7 @@ fn main() {
         fig8.humidity_stddev, fig8.humidity_range.0, fig8.humidity_range.1
     );
 
-    let fig9 = analysis::fig9_rack_ambient(&summary);
+    let fig9 = &report.fig9;
     println!(
         "[Fig 9] humidity hotspot {} ((1, 8)); spreads humidity {:.0}% (36), temp {:.0}% (11)",
         fig9.humidity_hotspot,
@@ -92,7 +98,7 @@ fn main() {
         fig9.temperature_spread * 100.0
     );
 
-    let fig10 = analysis::fig10_cmf_timeline(&sim);
+    let fig10 = &report.fig10;
     println!(
         "[Fig 10] total {} CMFs (361), 2016 share {:.0}% (40), longest gap {:.0} d (>730)",
         fig10.total,
@@ -100,7 +106,7 @@ fn main() {
         fig10.longest_gap_days
     );
 
-    let fig11 = analysis::fig11_cmf_by_rack(&sim, &summary);
+    let fig11 = &report.fig11;
     println!(
         "[Fig 11] max {} at {} (14 at (1, 8)); min {} at {} (5 at (2, 7))",
         fig11.max_count, fig11.max_rack, fig11.min_count, fig11.min_rack
@@ -110,8 +116,7 @@ fn main() {
         fig11.correlation_utilization, fig11.correlation_outlet, fig11.correlation_humidity
     );
 
-    let leads: Vec<Duration> = (0..=12).map(|k| Duration::from_minutes(k * 30)).collect();
-    let fig12 = analysis::fig12_cmf_leadup(&sim, &leads, usize::MAX);
+    let fig12 = &report.fig12;
     let at = |h: f64| {
         fig12
             .points
@@ -148,7 +153,7 @@ fn main() {
     }
     println!("[Fig 13] (paper: 87% at 6 h -> 97% at 30 min; fpr 6% -> 1.2%)");
 
-    let fig14 = analysis::fig14_post_cmf(&sim);
+    let fig14 = &report.fig14;
     println!(
         "[Fig 14] rate ratios: 6h/3h {:.2} (<0.75), 48h/3h {:.2} (~0.10)",
         fig14.ratio_6h_over_3h, fig14.ratio_48h_over_3h
@@ -161,7 +166,7 @@ fn main() {
         .1;
     println!("[Fig 14] AC-to-DC share {:.0}% (50)", ac * 100.0);
 
-    for (i, ex) in analysis::fig15_storm_examples(&sim, 3).iter().enumerate() {
+    for (i, ex) in report.fig15.iter().enumerate() {
         println!(
             "[Fig 15] storm {}: epicenter {}, {} racks, {} follow-ons at mean distance {:.1}",
             i + 1,
@@ -172,7 +177,7 @@ fn main() {
         );
     }
 
-    let energy = analysis::free_cooling_report(&summary);
+    let energy = &report.free_cooling;
     println!("\n[energy] Dec-Mar economizer savings {:.2} GWh over six seasons (paper potential 2.17 GWh/season at 100% duty)",
         energy.season_saved.value() / 1e6);
 }

@@ -31,11 +31,12 @@ fn main() {
 
     println!("== spatial hotspots (Figs. 6, 7, 9) ==");
     println!("sweeping six months of telemetry for rack means...");
-    let summary = sim.summarize_span(
-        SimTime::from_date(Date::new(2015, 1, 1)),
-        SimTime::from_date(Date::new(2015, 7, 1)),
-        Duration::from_hours(2),
-    );
+    let summary = sim
+        .summarize(
+            SimTime::from_date(Date::new(2015, 1, 1))..SimTime::from_date(Date::new(2015, 7, 1)),
+            Duration::from_hours(2),
+        )
+        .expect("non-empty span");
 
     let fig6 = analysis::fig6_rack_power_util(&summary);
     heatmap("rack power (Fig. 6a)", "kW", &fig6.power_kw);

@@ -84,7 +84,7 @@ proptest! {
         let from = SimTime::from_date(Date::new(2014, 1, 1)) + Duration::from_days(start_day);
         let to = from + Duration::from_hours(hours);
         let step = Duration::from_hours(3);
-        let summary = sim().summarize_span(from, to, step);
+        let summary = sim().summarize(from..to, step).expect("valid span");
 
         // Recompute the mean system power directly.
         let mut total = 0.0;
@@ -103,6 +103,41 @@ proptest! {
             "direct {direct} vs summary {via_summary}"
         );
         prop_assert_eq!(u64::from(n), summary.power_mw.bins.overall().count());
+    }
+
+    #[test]
+    fn summary_merge_agrees_with_whole_sweep(
+        start_day in 0i64..2000,
+        left_steps in 8i64..80,
+        right_steps in 8i64..80,
+    ) {
+        let step = Duration::from_hours(3);
+        // The cut must sit on the whole sweep's sample grid, otherwise
+        // the two halves would sample different instants than the
+        // single sweep.
+        let from = SimTime::from_date(Date::new(2014, 1, 1)) + Duration::from_days(start_day);
+        let cut = from + step * left_steps;
+        let to = cut + step * right_steps;
+
+        let whole = sim().summarize(from..to, step).expect("valid span");
+        let mut merged = sim().summarize(from..cut, step).expect("valid span");
+        merged.merge(&sim().summarize(cut..to, step).expect("valid span"));
+
+        // Counts, spans, and ledger shape are exact under merge.
+        prop_assert_eq!(merged.span, whole.span);
+        prop_assert_eq!(
+            merged.power_mw.bins.overall().count(),
+            whole.power_mw.bins.overall().count()
+        );
+        prop_assert_eq!(merged.racks[11].power.count(), whole.racks[11].power.count());
+        prop_assert_eq!(merged.yearly_energy.len(), whole.yearly_energy.len());
+        // Moments agree to rounding error (merge re-associates folds).
+        let dm = merged.flow_gpm.bins.overall().mean() - whole.flow_gpm.bins.overall().mean();
+        prop_assert!(dm.abs() < 1e-9, "merged mean off by {dm}");
+        let ds = merged.dc_temp_all_racks.stddev() - whole.dc_temp_all_racks.stddev();
+        prop_assert!(ds.abs() < 1e-9, "merged stddev off by {ds}");
+        let saved = merged.season_saved.value() - whole.season_saved.value();
+        prop_assert!(saved.abs() < 1e-6, "season savings off by {saved}");
     }
 
     #[test]

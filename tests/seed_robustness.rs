@@ -2,11 +2,13 @@
 //! seed, not just the calibrated demo seed. A quick (6 h step) sweep per
 //! seed checks the load-bearing anchors.
 
-use mira_core::{analysis, Duration, RackId, SimConfig, Simulation};
+use mira_core::{analysis, Duration, FullSpan, RackId, SimConfig, Simulation};
 
 fn check_seed(seed: u64) {
     let sim = Simulation::new(SimConfig::with_seed(seed));
-    let summary = sim.summarize(Duration::from_hours(6));
+    let summary = sim
+        .summarize(FullSpan, Duration::from_hours(6))
+        .expect("non-empty span");
 
     // Fig. 2 directions.
     let fig2 = analysis::fig2_yearly_trends(&summary);

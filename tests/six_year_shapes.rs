@@ -5,13 +5,17 @@
 //! assertion is a band around the paper's number wide enough for seed
 //! noise but tight enough that a broken model fails.
 
-use mira_core::{analysis, Duration, RackId, SimConfig, Simulation};
+use mira_core::{analysis, Duration, FullSpan, RackId, SimConfig, Simulation};
 use mira_timeseries::Month;
 
 /// One shared world + six-year summary for every check in this file.
+/// The sweep runs in parallel — the month-sharded plan makes that
+/// bit-identical to a sequential pass.
 fn world() -> (Simulation, mira_core::SweepSummary) {
     let sim = Simulation::new(SimConfig::with_seed(2014));
-    let summary = sim.summarize(Duration::from_hours(1));
+    let summary = sim
+        .summarize(FullSpan, Duration::from_hours(1))
+        .expect("non-empty span");
     (sim, summary)
 }
 
