@@ -15,6 +15,31 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> mira-lint"
 cargo run -q -p mira-lint
 
+# Allowlist drift gate: regenerating from the current findings must
+# reproduce the committed lint-allow.toml exactly. Catches both stale
+# budgets (fixed sites whose entries were never ratcheted down) and
+# hand-edits that no longer match reality.
+echo "==> mira-lint allowlist drift"
+fresh_allowlist="$(mktemp)"
+trap 'rm -f "$fresh_allowlist"' EXIT
+cargo run -q -p mira-lint -- --write-allowlist --allowlist "$fresh_allowlist" >/dev/null
+if ! diff -u lint-allow.toml "$fresh_allowlist"; then
+  echo "ci: lint-allow.toml drifted; run: cargo run -p mira-lint -- --write-allowlist" >&2
+  exit 1
+fi
+
+# The sharded scan must be worker-count invariant: the full JSON
+# document (findings, order, bytes) may not change between 1 and 4
+# lint threads.
+echo "==> mira-lint determinism under MIRA_LINT_THREADS=1 vs 4"
+lint_one="$(MIRA_LINT_THREADS=1 cargo run -q -p mira-lint -- --format json)"
+lint_four="$(MIRA_LINT_THREADS=4 cargo run -q -p mira-lint -- --format json)"
+if [ "$lint_one" != "$lint_four" ]; then
+  echo "ci: mira-lint JSON differs between 1 and 4 threads" >&2
+  diff <(printf '%s' "$lint_one") <(printf '%s' "$lint_four") >&2 || true
+  exit 1
+fi
+
 echo "==> cargo test"
 cargo test -q
 

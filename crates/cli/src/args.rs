@@ -44,12 +44,11 @@ impl ArgMap {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked");
+                match iter.next_if(|next| !next.starts_with("--")) {
+                    Some(value) => {
                         out.flags.insert(key.to_string(), value);
                     }
-                    _ => out.switches.push(key.to_string()),
+                    None => out.switches.push(key.to_string()),
                 }
             } else {
                 out.positional.push(arg);

@@ -18,8 +18,10 @@ use mira_timeseries::Duration;
 
 /// Piecewise-linear interpolation over `(lead_hours, factor)` knots,
 /// with `lead_hours` descending toward the failure at 0.
+// knots.len() >= 2 is asserted; windows(2) pairs have exactly two
+// elements. mira-lint: allow(panic-reachability)
 fn interp(knots: &[(f64, f64)], lead_hours: f64) -> f64 {
-    debug_assert!(knots.len() >= 2);
+    assert!(knots.len() >= 2, "interp needs at least two knots");
     if lead_hours >= knots[0].0 {
         return knots[0].1;
     }

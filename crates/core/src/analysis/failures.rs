@@ -38,6 +38,8 @@ pub fn fig10_cmf_timeline(sim: &Simulation) -> Fig10 {
     times.sort();
     let longest_gap_days = times
         .windows(2)
+        // windows(2) pairs have exactly two elements.
+        // mira-lint: allow(panic-reachability)
         .map(|w| (w[1] - w[0]).as_days())
         .fold(0.0, f64::max);
 
@@ -127,6 +129,8 @@ pub struct Fig14 {
 
 /// Fig. 14.
 #[must_use]
+// rate_windows gets one row per element of the five-entry windows_h;
+// the literal indices stay below that. mira-lint: allow(panic-reachability)
 pub fn fig14_post_cmf(sim: &Simulation) -> Fig14 {
     let windows_h = [3.0, 6.0, 12.0, 24.0, 48.0];
     let incidents = sim.schedule().incidents();

@@ -61,6 +61,8 @@ pub struct Fig6 {
 
 /// Fig. 6.
 #[must_use]
+// RackId::row() < 3 by contract, matching the fixed [f64; 3] row bins.
+// mira-lint: allow(panic-reachability)
 pub fn fig6_rack_power_util(summary: &SweepSummary) -> Fig6 {
     let power_kw = summary.rack_means(|r| &r.power);
     let utilization = summary.rack_means(|r| &r.utilization);

@@ -215,7 +215,9 @@ impl AlertLog {
                 .min_by_key(|(_, a)| a.time);
             match best {
                 Some((idx, alert)) => {
-                    used[idx] = true;
+                    if let Some(flag) = used.get_mut(idx) {
+                        *flag = true;
+                    }
                     warned.push((failure_time, rack, failure_time - alert.time));
                 }
                 None => missed.push((failure_time, rack)),
@@ -229,6 +231,8 @@ impl AlertLog {
             .iter()
             .enumerate()
             .filter(|(idx, a)| {
+                // used has one flag per alert; idx comes from the same
+                // enumerate. mira-lint: allow(panic-reachability)
                 !used[*idx]
                     && !failures
                         .iter()

@@ -304,6 +304,8 @@ impl SweepSummary {
                 at
             }
         };
+        // idx is a found or just-inserted position in yearly_energy.
+        // mira-lint: allow(panic-reachability)
         let ledger = &mut self.yearly_energy[idx].1;
         let plant_load = mira_cooling::PlantLoad {
             supply_temperature: snap.supply_temperature,

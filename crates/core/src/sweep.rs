@@ -303,9 +303,11 @@ impl<'e> SweepPlan<'e> {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(bounds) = shards.get(i) else { break };
+                        let (Some(bounds), Some(slot)) = (shards.get(i), slots.get(i)) else {
+                            break;
+                        };
                         let recorder = run_shard(bounds);
-                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(recorder);
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(recorder);
                     });
                 }
             });

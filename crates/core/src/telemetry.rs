@@ -184,8 +184,8 @@ impl TelemetryEngine {
             .map(|r| self.availability.is_up(r, t))
             .collect();
         let mut valve_open = [true; RackId::COUNT];
-        for (i, up) in rack_up.iter().enumerate() {
-            valve_open[i] = *up;
+        for (slot, up) in valve_open.iter_mut().zip(&rack_up) {
+            *slot = *up;
         }
 
         // System heat load drives the plant.

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mira_units::Fahrenheit;
+use mira_units::{convert, Fahrenheit};
 
 use crate::rack::RackId;
 
@@ -69,7 +69,7 @@ impl AirflowMap {
                 // Deterministic per-rack jitter from the cable layout
                 // (fixed wiring, so a hash, not an RNG).
                 let h = (rack.index() as u64).wrapping_mul(0xD131_0BA6_98DF_B5AC);
-                let jitter = ((h >> 16) & 0xFFFF) as f64 / 65_535.0 - 0.5; // [-0.5, 0.5]
+                let jitter = convert::f64_from_u64((h >> 16) & 0xFFFF) / 65_535.0 - 0.5; // [-0.5, 0.5]
 
                 let mut airflow = 1.0 - end_airflow_penalty + jitter * 0.06;
                 let mut humidity_factor = 1.0 + end_humidity + jitter * 0.04;

@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use mira_units::convert;
+
 use crate::rack::RackId;
 
 /// Clock-signal dependency tree over the 48 compute racks.
@@ -74,8 +76,10 @@ impl ClockTree {
             let h = (rack.index() as u64)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .rotate_left(17);
-            let pick = (h as usize + leader_cursor) % leaders.len();
+            let pick = convert::usize_from_u64(h).wrapping_add(leader_cursor) % leaders.len();
             leader_cursor += 1;
+            // pick is reduced mod leaders.len(), which is non-zero:
+            // row 0 always has leaders. mira-lint: allow(panic-reachability)
             parents[rack.index()] = Some(leaders[pick]);
         }
         parents[master.index()] = None;

@@ -35,6 +35,8 @@ pub struct RackId {
 
 impl RackId {
     /// Total number of compute racks.
+    // u8 → usize widening cannot lose values; `as` is required in
+    // const context. mira-lint: allow(lossy-cast)
     pub const COUNT: usize = (ROWS as usize) * (COLUMNS as usize);
 
     /// Creates a rack id.
@@ -76,9 +78,11 @@ impl RackId {
     #[must_use]
     pub fn from_index(index: usize) -> Self {
         assert!(index < Self::COUNT, "rack index out of range: {index}");
+        // index < COUNT bounds both digits well inside u8, so the
+        // fallbacks are unreachable.
         Self {
-            row: u8::try_from(index / usize::from(COLUMNS)).expect("row fits u8"),
-            column: u8::try_from(index % usize::from(COLUMNS)).expect("column fits u8"),
+            row: u8::try_from(index / usize::from(COLUMNS)).unwrap_or(0),
+            column: u8::try_from(index % usize::from(COLUMNS)).unwrap_or(0),
         }
     }
 

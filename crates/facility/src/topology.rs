@@ -20,6 +20,8 @@ pub const NODES_PER_BOARD: u32 = 32;
 pub const NODES_PER_RACK: u32 = MIDPLANES_PER_RACK * NODE_BOARDS_PER_MIDPLANE * NODES_PER_BOARD;
 
 /// Nodes in the whole system (48 racks).
+// RackId::COUNT is 48, well inside u32; `as` is required in const
+// context. mira-lint: allow(lossy-cast)
 pub const TOTAL_NODES: u32 = NODES_PER_RACK * RackId::COUNT as u32;
 
 /// Cores usable for computation per node (18 on the A2 die, 16 active).

@@ -251,6 +251,7 @@ mod tests {
             line,
             rule,
             matched: "x".to_owned(),
+            chain: Vec::new(),
         }
     }
 

@@ -38,7 +38,11 @@ enum State {
 
 /// Blank out comments and literal bodies, preserving length and
 /// newlines so byte offsets and line numbers survive.
-fn scrub(source: &str) -> String {
+///
+/// Exposed so [`crate::parser`] can tokenize the same comment-free
+/// view the line rules match against.
+#[must_use]
+pub fn scrub(source: &str) -> String {
     let bytes = source.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut state = State::Code;
@@ -60,20 +64,36 @@ fn scrub(source: &str) -> String {
                     state = State::Str;
                     out.push(b'"');
                     i += 1;
-                } else if b == b'r' && !prev_is_ident(&out) {
-                    // Possible raw string: r"..." or r#"..."#.
+                } else if (b == b'r' || b == b'b') && !prev_is_ident(&out) {
+                    // Possible prefixed literal: r"..." / r#"..."# raw
+                    // strings, b"..." byte strings, br#"..."# raw byte
+                    // strings, b'x' byte chars. The prefix bytes pass
+                    // through untouched; the literal body is blanked by
+                    // the state the prefix selects.
                     let mut j = i + 1;
-                    let mut hashes = 0u8;
-                    while bytes.get(j) == Some(&b'#') {
-                        hashes += 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
                         j += 1;
                     }
-                    if bytes.get(j) == Some(&b'"') {
+                    let raw = j > i + 1 || b == b'r';
+                    let mut hashes = 0u8;
+                    while raw && bytes.get(j) == Some(&b'#') {
+                        hashes = hashes.saturating_add(1);
+                        j += 1;
+                    }
+                    if raw && bytes.get(j) == Some(&b'"') {
                         state = State::RawStr(hashes);
                         while i <= j {
                             out.push(bytes[i]);
                             i += 1;
                         }
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        state = State::Str;
+                        out.extend_from_slice(b"b\"");
+                        i += 2;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                        state = State::CharLit;
+                        out.extend_from_slice(b"b'");
+                        i += 2;
                     } else {
                         out.push(b);
                         i += 1;

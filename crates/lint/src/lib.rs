@@ -4,7 +4,8 @@
 //! a single unit mix-up, silent `NaN`, or nondeterministic RNG call
 //! invalidates every downstream figure. This crate machine-enforces the
 //! conventions the workspace relies on, with zero registry dependencies
-//! (a hand-rolled scanner in [`lexer`], not `syn`):
+//! (a hand-rolled scanner in [`lexer`] and item parser in [`parser`],
+//! not `syn`):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -13,6 +14,17 @@
 //! | `lossy-cast` | no `as f64` / `as usize` / `as u32` / `as i64` |
 //! | `nan-unsafe-compare` | no `partial_cmp().unwrap()`, no bare float `==` |
 //! | `nondeterminism` | no wall clocks / unseeded RNGs in simulation crates |
+//! | `panic-reachability` | no panic site reachable from audited public fns |
+//! | `unit-flow` | no raw unit `f64` crossing crates untagged |
+//! | `determinism-taint` | no nondeterminism reachable from sweep/summary |
+//! | `deprecated-call` | no in-workspace calls to deprecated shims |
+//!
+//! The first five are *line* rules; the last four are *semantic* rules
+//! that run over a workspace [`index::SymbolIndex`] and
+//! [`callgraph::CallGraph`] built by [`parser`]. Files are scanned in
+//! parallel (`MIRA_LINT_THREADS`, same shard-claim discipline as
+//! `mira-core::sweep`) and findings merge in deterministic file order,
+//! so output is byte-identical at any worker count.
 //!
 //! Violations can be waved through inline (`// mira-lint:
 //! allow(<rule>)` on the offending line or the one above) or
@@ -22,19 +34,43 @@
 //! engine under `cargo test`, so the gate cannot be skipped.
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
 pub use allowlist::{gate, Allowlist, Gated};
-pub use rules::{check_file, Finding, Rule};
+pub use callgraph::CallGraph;
+pub use index::SymbolIndex;
+pub use rules::{check_file, semantic_findings, Finding, Rule};
+
+/// Environment variable pinning the scan worker count.
+pub const THREADS_ENV: &str = "MIRA_LINT_THREADS";
+
+/// Worker count: `MIRA_LINT_THREADS` if set to a positive integer,
+/// otherwise available parallelism capped at 8. The cap keeps the
+/// file-claim loop from drowning in spawn overhead on big hosts; the
+/// merge is deterministic at any value.
+#[must_use]
+pub fn effective_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get().min(8)))
+}
 
 /// Scan one source string as though it lived at `path` (which decides
-/// crate-specific rules). Used by the binary, the gate test, and rule
-/// fixtures.
+/// crate-specific rules). Line rules only — semantic rules need the
+/// whole workspace; see [`Workspace::scan`].
 #[must_use]
 pub fn scan_source(path: &Path, source: &str) -> Vec<Finding> {
     check_file(path, &lexer::analyze(source))
@@ -79,17 +115,165 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scan the whole workspace rooted at `root`.
+/// Everything the scan needs, loaded into memory: sources and crate
+/// manifests, both workspace-relative.
+#[derive(Debug)]
+pub struct Workspace {
+    /// `(relative path, contents)` of every `crates/*/src/**/*.rs`,
+    /// sorted by path.
+    pub sources: Vec<(PathBuf, String)>,
+    /// `(relative path, contents)` of every `crates/*/Cargo.toml`.
+    pub manifests: Vec<(PathBuf, String)>,
+}
+
+impl Workspace {
+    /// Load a workspace from disk.
+    ///
+    /// # Errors
+    /// Returns the first unreadable file or directory.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut sources = Vec::new();
+        for rel in workspace_sources(root)? {
+            let text = fs::read_to_string(root.join(&rel))?;
+            sources.push((rel, text));
+        }
+        let mut manifests = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+        dirs.sort();
+        for dir in dirs {
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let text = fs::read_to_string(&manifest)?;
+                let rel = manifest
+                    .strip_prefix(root)
+                    .map_or_else(|_| manifest.clone(), Path::to_path_buf);
+                manifests.push((rel, text));
+            }
+        }
+        Ok(Workspace { sources, manifests })
+    }
+
+    /// Build a workspace from in-memory files (fixtures, tests). `.rs`
+    /// entries become sources; `Cargo.toml` entries become manifests.
+    #[must_use]
+    pub fn from_files(files: Vec<(PathBuf, String)>) -> Workspace {
+        let mut sources = Vec::new();
+        let mut manifests = Vec::new();
+        for (rel, text) in files {
+            if rel.extension().is_some_and(|e| e == "rs") {
+                sources.push((rel, text));
+            } else if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
+                manifests.push((rel, text));
+            }
+        }
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        manifests.sort_by(|a, b| a.0.cmp(&b.0));
+        Workspace { sources, manifests }
+    }
+
+    /// Run every rule with `threads` workers. The per-file pass
+    /// (lexing, line rules, parsing) is sharded exactly like
+    /// `mira-core::sweep` — workers claim file indices from an atomic
+    /// counter — and results merge in file order, so findings are
+    /// byte-identical at any worker count. The semantic pass is
+    /// single-threaded over the merged index (it is a small fraction of
+    /// the work).
+    #[must_use]
+    pub fn scan(&self, threads: usize) -> Vec<Finding> {
+        let per_file = scan_files_sharded(&self.sources, threads.max(1));
+
+        let mut findings = Vec::new();
+        let mut parsed = Vec::with_capacity(per_file.len());
+        for (mut file_findings, parsed_file) in per_file {
+            findings.append(&mut file_findings);
+            parsed.push(parsed_file);
+        }
+
+        let index = SymbolIndex::build(parsed, &self.manifests);
+
+        // The per-file pass cannot see `#[cfg(test)] mod x;` pointing
+        // at a sibling file; the index can. Drop line findings from
+        // files it proved test-only so both layers agree on scope.
+        let test_paths: std::collections::BTreeSet<&Path> = index
+            .test_files
+            .iter()
+            .map(|&i| index.files[i].rel.as_path())
+            .collect();
+        findings.retain(|f| !test_paths.contains(f.file.as_path()));
+
+        let graph = CallGraph::build(&index);
+        findings.extend(semantic_findings(&index, &graph));
+
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.matched).cmp(&(&b.file, b.line, b.rule, &b.matched))
+        });
+        findings
+    }
+}
+
+type FilePass = (Vec<Finding>, parser::ParsedFile);
+
+fn scan_file(rel: &Path, text: &str) -> FilePass {
+    let lines = lexer::analyze(text);
+    let findings = check_file(rel, &lines);
+    let parsed = parser::parse_file(rel, text, &lines, &rules::UNIT_TYPES);
+    (findings, parsed)
+}
+
+/// The deterministic shard scan: `workers` threads claim file indices
+/// from a shared counter; each result lands in its file's slot; the
+/// merge reads slots in file order.
+fn scan_files_sharded(sources: &[(PathBuf, String)], threads: usize) -> Vec<FilePass> {
+    let workers = threads.min(sources.len()).max(1);
+    let slots: Vec<Mutex<Option<FilePass>>> = sources.iter().map(|_| Mutex::new(None)).collect();
+
+    if workers > 1 {
+        let cursor = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((rel, text)) = sources.get(i) else {
+                        break;
+                    };
+                    let pass = scan_file(rel, text);
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(pass);
+                    }
+                });
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let inner = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Single-threaded mode, or a slot a worker failed to fill:
+            // compute inline so the scan never silently drops a file.
+            inner.unwrap_or_else(|| scan_file(&sources[i].0, &sources[i].1))
+        })
+        .collect()
+}
+
+/// Scan the whole workspace rooted at `root` with [`effective_threads`]
+/// workers.
 ///
 /// # Errors
 /// Returns the first unreadable file or directory.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for rel in workspace_sources(root)? {
-        let source = fs::read_to_string(root.join(&rel))?;
-        findings.extend(scan_source(&rel, &source));
-    }
-    Ok(findings)
+    Ok(Workspace::load(root)?.scan(effective_threads()))
 }
 
 /// Locate the workspace root: walk upward from `start` until a
@@ -104,6 +288,69 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = candidate.parent();
     }
     None
+}
+
+/// Render gated results as JSON with a fixed key order and sorted
+/// findings, so output is byte-stable across runs and worker counts
+/// (asserted by the golden-file test).
+#[must_use]
+pub fn render_json(gated: &Gated, allowlist_entries: usize) -> String {
+    let mut out = String::from("{\n  \"rejected\": [");
+    for (i, finding) in gated.rejected.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!(
+            "      \"file\": {},\n",
+            json_str(&finding.file.to_string_lossy().replace('\\', "/"))
+        ));
+        out.push_str(&format!("      \"line\": {},\n", finding.line));
+        out.push_str(&format!(
+            "      \"rule\": {},\n",
+            json_str(finding.rule.name())
+        ));
+        out.push_str(&format!(
+            "      \"message\": {},\n",
+            json_str(&finding.matched)
+        ));
+        out.push_str(&format!(
+            "      \"suggestion\": {},\n",
+            json_str(finding.rule.suggestion())
+        ));
+        let chain: Vec<String> = finding.chain.iter().map(|c| json_str(c)).collect();
+        out.push_str(&format!("      \"chain\": [{}]\n", chain.join(", ")));
+        out.push_str("    }");
+    }
+    if gated.rejected.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    out.push_str(&format!(",\n  \"grandfathered\": {},", gated.grandfathered));
+    out.push_str(&format!(
+        "\n  \"allowlist_entries\": {allowlist_entries}\n}}\n"
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (std-only).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -124,5 +371,73 @@ mod tests {
         let here = std::env::current_dir().expect("cwd exists");
         let root = find_workspace_root(&here).expect("inside the workspace");
         assert!(root.join("crates").is_dir());
+    }
+
+    fn fixture_workspace() -> Workspace {
+        Workspace::from_files(vec![
+            (
+                PathBuf::from("crates/alpha/Cargo.toml"),
+                "[package]\nname = \"mira-alpha\"\n[dependencies]\nmira-beta.workspace = true\n"
+                    .to_owned(),
+            ),
+            (
+                PathBuf::from("crates/beta/Cargo.toml"),
+                "[package]\nname = \"mira-beta\"\n".to_owned(),
+            ),
+            (
+                PathBuf::from("crates/alpha/src/lib.rs"),
+                "pub fn touch(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n".to_owned(),
+            ),
+            (
+                PathBuf::from("crates/beta/src/lib.rs"),
+                "pub fn scale(n: u64) -> f64 {\n    n as f64\n}\n".to_owned(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn workspace_scan_is_thread_count_invariant() {
+        let ws = fixture_workspace();
+        let one = ws.scan(1);
+        let four = ws.scan(4);
+        assert_eq!(one, four);
+        assert!(!one.is_empty());
+        // Sorted by (file, line, rule).
+        let keys: Vec<_> = one
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn render_json_escapes_and_is_stable() {
+        let gated = Gated {
+            rejected: vec![Finding {
+                file: PathBuf::from("crates/a/src/x.rs"),
+                line: 3,
+                rule: Rule::NoUnwrapInLib,
+                matched: "`unwrap()` in \"library\" code".to_owned(),
+                chain: vec!["a".to_owned(), "b".to_owned()],
+            }],
+            grandfathered: 2,
+            slack: Vec::new(),
+        };
+        let json = render_json(&gated, 5);
+        assert!(json.contains("\"rule\": \"no-unwrap-in-lib\""));
+        assert!(json.contains("\\\"library\\\""));
+        assert!(json.contains("\"chain\": [\"a\", \"b\"]"));
+        assert!(json.contains("\"grandfathered\": 2"));
+        assert!(json.contains("\"allowlist_entries\": 5"));
+        assert_eq!(json, render_json(&gated, 5), "rendering is deterministic");
+    }
+
+    #[test]
+    fn render_json_empty_rejected_is_compact() {
+        let gated = Gated::default();
+        let json = render_json(&gated, 0);
+        assert!(json.contains("\"rejected\": []"));
     }
 }

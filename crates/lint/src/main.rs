@@ -1,26 +1,35 @@
 //! The `mira-lint` command.
 //!
 //! ```text
-//! mira-lint [--root <dir>] [--allowlist <file>] [--write-allowlist] [--quiet]
+//! mira-lint [--root <dir>] [--allowlist <file>] [--write-allowlist]
+//!           [--format text|json] [--threads <n>] [--explain <rule>]
+//!           [--quiet]
 //! ```
 //!
-//! Walks `crates/*/src/**/*.rs`, runs every rule, filters through the
-//! allowlist, prints one `file:line: [rule] message; suggestion: ...`
-//! per unallowed finding, and exits 1 when any remain (2 on usage or
-//! I/O errors). `--write-allowlist` instead regenerates
-//! `lint-allow.toml` from the current findings, grandfathering the
-//! status quo so the budget can only ratchet down from there.
+//! Walks `crates/*/src/**/*.rs`, runs every rule (line rules in
+//! parallel shards, semantic rules over the merged symbol index),
+//! filters through the allowlist, prints one `file:line: [rule]
+//! message; suggestion: ...` per unallowed finding, and exits 1 when
+//! any remain (2 on usage or I/O errors). `--write-allowlist` instead
+//! regenerates `lint-allow.toml` from the current findings,
+//! grandfathering the status quo so the budget can only ratchet down
+//! from there. `--format json` emits the machine-readable document
+//! (byte-stable across `--threads` values); `--explain <rule>` prints
+//! the long-form rationale for one rule.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mira_lint::{gate, scan_workspace, Allowlist};
+use mira_lint::{gate, render_json, Allowlist, Rule, Workspace};
 
 struct Options {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     write_allowlist: bool,
     quiet: bool,
+    json: bool,
+    threads: Option<usize>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +38,9 @@ fn parse_args() -> Result<Options, String> {
         allowlist: None,
         write_allowlist: false,
         quiet: false,
+        json: false,
+        threads: None,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,11 +56,36 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--write-allowlist" => options.write_allowlist = true,
+            "--format" => {
+                let format = args.next().ok_or("--format needs `text` or `json`")?;
+                options.json = match format.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a positive integer")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--threads needs a positive integer, got `{n}`"))?;
+                if n == 0 {
+                    return Err("--threads needs a positive integer".to_owned());
+                }
+                options.threads = Some(n);
+            }
+            "--explain" => {
+                options.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
             "--quiet" | "-q" => options.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "mira-lint: domain-invariant static analysis for the mira workspace\n\n\
-                     USAGE: mira-lint [--root <dir>] [--allowlist <file>] [--write-allowlist] [--quiet]"
+                     USAGE: mira-lint [--root <dir>] [--allowlist <file>] [--write-allowlist]\n\
+                     \x20                [--format text|json] [--threads <n>] [--explain <rule>]\n\
+                     \x20                [--quiet]\n\n\
+                     RULES: {}",
+                    Rule::ALL.map(Rule::name).join(", ")
                 );
                 std::process::exit(0);
             }
@@ -61,6 +98,17 @@ fn parse_args() -> Result<Options, String> {
 fn run() -> Result<ExitCode, String> {
     let options = parse_args()?;
 
+    if let Some(name) = &options.explain {
+        let rule = Rule::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown rule `{name}`; rules are: {}",
+                Rule::ALL.map(Rule::name).join(", ")
+            )
+        })?;
+        println!("{}", rule.explain());
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let root = match options.root {
         Some(root) => root,
         None => {
@@ -70,7 +118,10 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
-    let findings = scan_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let workspace =
+        Workspace::load(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let threads = options.threads.unwrap_or_else(mira_lint::effective_threads);
+    let findings = workspace.scan(threads);
 
     let allowlist_path = options
         .allowlist
@@ -98,21 +149,25 @@ fn run() -> Result<ExitCode, String> {
 
     let gated = gate(findings, &allowlist);
 
-    for finding in &gated.rejected {
-        println!("{finding}");
-    }
-    if !options.quiet {
-        for (rule, file, budget, actual) in &gated.slack {
+    if options.json {
+        print!("{}", render_json(&gated, allowlist.len()));
+    } else {
+        for finding in &gated.rejected {
+            println!("{finding}");
+        }
+        if !options.quiet {
+            for (rule, file, budget, actual) in &gated.slack {
+                println!(
+                    "note: allowlist slack: [{rule}] {file} budget {budget}, found {actual} — ratchet it down"
+                );
+            }
             println!(
-                "note: allowlist slack: [{rule}] {file} budget {budget}, found {actual} — ratchet it down"
+                "mira-lint: {} finding(s) rejected, {} grandfathered across {} allowlist entr(ies)",
+                gated.rejected.len(),
+                gated.grandfathered,
+                allowlist.len()
             );
         }
-        println!(
-            "mira-lint: {} finding(s) rejected, {} grandfathered across {} allowlist entr(ies)",
-            gated.rejected.len(),
-            gated.grandfathered,
-            allowlist.len()
-        );
     }
     if gated.rejected.is_empty() {
         Ok(ExitCode::SUCCESS)

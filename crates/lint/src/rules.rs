@@ -1,21 +1,58 @@
-//! The five domain-invariant rules.
+//! The nine domain-invariant rules.
 //!
-//! Each rule scans the line-oriented view produced by [`crate::lexer`]
-//! and emits [`Finding`]s with a stable machine-readable identity
-//! (file, line, rule name) plus a human suggestion. Rules only fire in
-//! library code: `#[cfg(test)]` regions are exempt, and the workspace
-//! walker never feeds `tests/`, `benches/`, or `examples/` files in.
+//! Five *line* rules scan the line-oriented view produced by
+//! [`crate::lexer`]; four *semantic* rules run over the workspace
+//! [`SymbolIndex`] and [`CallGraph`] and can see across files and
+//! crates. Every rule emits [`Finding`]s with a stable
+//! machine-readable identity (file, line, rule name) plus a human
+//! suggestion. Rules only fire in library code: `#[cfg(test)]` regions
+//! and test-only files are exempt, and the workspace walker never
+//! feeds `tests/`, `benches/`, or `examples/` files in.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{resolve_call, CallGraph};
+use crate::index::{FnId, SymbolIndex};
 use crate::lexer::{token_bounded, token_matches, SourceLine};
+use crate::parser::{DetHazard, PanicSite, ParsedFile, Vis};
 
 /// The crates whose public APIs must speak `mira-units` newtypes.
 pub const PHYSICS_CRATES: [&str; 4] = ["cooling", "weather", "facility", "workload"];
 
 /// The crates whose simulation code must stay deterministic.
 pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "cooling", "weather", "workload", "ras"];
+
+/// The crates whose *public* fns must not reach a panic site.
+pub const PANIC_AUDITED_CRATES: [&str; 3] = ["core", "cooling", "timeseries"];
+
+/// The `mira-units` newtypes whose raw `f64` payload the `unit-flow`
+/// rule tracks.
+pub const UNIT_TYPES: [&str; 10] = [
+    "Celsius",
+    "Fahrenheit",
+    "Gpm",
+    "KilowattHours",
+    "Kilowatts",
+    "Megawatts",
+    "Percent",
+    "Ratio",
+    "RelHumidity",
+    "Watts",
+];
+
+/// Crates whose public APIs are dimension-agnostic by design: raw `f64`
+/// flowing into them is not a unit hazard. `units` owns the newtypes;
+/// `timeseries` is generic statistics over dimensionless samples.
+pub const DIMENSIONLESS_SINK_CRATES: [&str; 2] = ["units", "timeseries"];
+
+/// The one file allowed to spawn threads: the deterministic sweep
+/// executor (`std::thread::scope` + shard merge).
+pub const SANCTIONED_EXECUTOR_FILE: &str = "crates/core/src/sweep.rs";
+
+/// Files whose fns are the roots of the determinism-taint analysis.
+pub const DETERMINISM_ROOT_FILES: [&str; 2] =
+    ["crates/core/src/sweep.rs", "crates/core/src/summary.rs"];
 
 /// Identity of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,16 +68,28 @@ pub enum Rule {
     NanUnsafeCompare,
     /// No wall clocks or unseeded RNGs in simulation crates.
     Nondeterminism,
+    /// No panic site reachable from an audited crate's public fn.
+    PanicReachability,
+    /// No raw `f64` escaped from a unit newtype crossing crates.
+    UnitFlow,
+    /// No nondeterminism source reachable from sweep/summary code.
+    DeterminismTaint,
+    /// No in-workspace calls to `#[deprecated]` shims.
+    DeprecatedCall,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::RawF64InPublicApi,
         Rule::NoUnwrapInLib,
         Rule::LossyCast,
         Rule::NanUnsafeCompare,
         Rule::Nondeterminism,
+        Rule::PanicReachability,
+        Rule::UnitFlow,
+        Rule::DeterminismTaint,
+        Rule::DeprecatedCall,
     ];
 
     /// The kebab-case name used in diagnostics, escape hatches, and the
@@ -53,6 +102,10 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::NanUnsafeCompare => "nan-unsafe-compare",
             Rule::Nondeterminism => "nondeterminism",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::UnitFlow => "unit-flow",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::DeprecatedCall => "deprecated-call",
         }
     }
 
@@ -81,6 +134,109 @@ impl Rule {
             Rule::Nondeterminism => {
                 "thread a seeded StdRng / SimTime through instead; wall clocks and entropy break replay"
             }
+            Rule::PanicReachability => {
+                "break the chain: return Result/Option at the panic site, or discharge it with an inline allow stating why it cannot fire"
+            }
+            Rule::UnitFlow => {
+                "pass the newtype itself across the crate boundary, or route the raw value through mira_units::convert"
+            }
+            Rule::DeterminismTaint => {
+                "keep wall clocks, hash-order iteration, and thread spawning out of the sweep path; only the sweep executor may use threads"
+            }
+            Rule::DeprecatedCall => {
+                "migrate to the replacement named in the #[deprecated] note; the shim is scheduled for removal"
+            }
+        }
+    }
+
+    /// The long-form documentation shown by `mira-lint --explain`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::RawF64InPublicApi => {
+                "raw-f64-in-public-api (line rule)\n\n\
+                 Public `fn` signatures in the physics crates (cooling, weather,\n\
+                 facility, workload) must not expose bare `f64`. The paper's analyses\n\
+                 mix Fahrenheit/Celsius, kW/MW, and gpm; a bare float at a crate\n\
+                 boundary is exactly how a unit mix-up slips in. Use the mira-units\n\
+                 newtypes (Celsius, Watts, Gpm, ...) instead."
+            }
+            Rule::NoUnwrapInLib => {
+                "no-unwrap-in-lib (line rule)\n\n\
+                 `unwrap()`, `expect(..)`, and `panic!` are forbidden in library\n\
+                 code. A six-year simulated campaign must not abort at hour five\n\
+                 because a corner case chose to panic; propagate errors with `?` or\n\
+                 handle them. `#[cfg(test)]` code is exempt."
+            }
+            Rule::LossyCast => {
+                "lossy-cast (line rule)\n\n\
+                 Bare `as` casts to f64/usize/u32/i64 silently truncate, wrap, or\n\
+                 round. Telemetry counters and epoch timestamps flow through these\n\
+                 types; use the documented helpers in `mira_units::convert`, which\n\
+                 state and debug-assert their exact domain."
+            }
+            Rule::NanUnsafeCompare => {
+                "nan-unsafe-compare (line rule)\n\n\
+                 `partial_cmp(..).unwrap()` panics on NaN, and bare float `==`\n\
+                 silently mis-handles it. Sensor streams contain NaN gaps; use\n\
+                 `f64::total_cmp` for ordering and epsilon comparison for equality."
+            }
+            Rule::Nondeterminism => {
+                "nondeterminism (line rule)\n\n\
+                 Simulation crates (core, cooling, weather, workload, ras) must not\n\
+                 read wall clocks or unseeded RNGs. Every figure in the paper\n\
+                 reproduction must replay bit-for-bit from a seed; `Instant::now`,\n\
+                 `thread_rng`, and friends break that contract."
+            }
+            Rule::PanicReachability => {
+                "panic-reachability (semantic rule)\n\n\
+                 Any call path from a *public* fn of mira-core, mira-cooling, or\n\
+                 mira-timeseries to a panic site (`unwrap()`, `expect(..)`,\n\
+                 `panic!`, slice/array indexing) in non-test code is a finding; the\n\
+                 full call chain is shown. Unlike no-unwrap-in-lib, this rule\n\
+                 follows calls across files and crates, so a panic buried three\n\
+                 crates deep still taints the public entry point.\n\n\
+                 Indexing with `container[id.index()]` is sanctioned: the `index()`\n\
+                 contract bounds the value by construction. A panic site can be\n\
+                 discharged with `// mira-lint: allow(panic-reachability)` on (or\n\
+                 above) the site when it is provably unreachable; the same comment\n\
+                 on (or above) a `fn` line discharges every site in that body —\n\
+                 use it for functions whose indexing is bounded throughout.\n\n\
+                 The call graph is an over-approximation (name-based resolution;\n\
+                 see DESIGN.md), so a reported chain may include edges the compiler\n\
+                 would not take — verify before suppressing."
+            }
+            Rule::UnitFlow => {
+                "unit-flow (semantic rule)\n\n\
+                 A raw f64 extracted from a mira-units newtype (via `.0` inside\n\
+                 mira-units, or `.value()` anywhere) must not flow into *another*\n\
+                 crate's public fn as a bare argument: at that boundary the number\n\
+                 has silently lost its unit. Pass the newtype across, or go through\n\
+                 `mira_units::convert`. Escapes into `units` itself and into\n\
+                 `timeseries` (dimension-agnostic statistics) are sanctioned.\n\n\
+                 Tracking is per-function and token-level: direct arguments and\n\
+                 single-assignment locals are seen; flows through fields, returns,\n\
+                 or collections are not (see DESIGN.md)."
+            }
+            Rule::DeterminismTaint => {
+                "determinism-taint (semantic rule)\n\n\
+                 Fns defined in the sweep/summary modules of mira-core must not\n\
+                 reach — through any call chain — HashMap/HashSet iteration,\n\
+                 `Instant::now`, `SystemTime`, or thread spawning. These are the\n\
+                 fns the determinism test suite pins bit-for-bit across\n\
+                 MIRA_SWEEP_THREADS settings; hash-order iteration or a wall clock\n\
+                 anywhere beneath them reorders merges between runs. The sweep\n\
+                 executor itself (crates/core/src/sweep.rs) is the one sanctioned\n\
+                 thread-spawning site."
+            }
+            Rule::DeprecatedCall => {
+                "deprecated-call (semantic rule)\n\n\
+                 In-workspace calls to our own `#[deprecated]` shims\n\
+                 (`Simulation::summarize_span`, `SweepSummary::sweep`) are\n\
+                 findings. rustc only warns downstream crates, and warnings rot;\n\
+                 this rule keeps the workspace itself at zero uses so the shims can\n\
+                 be deleted on schedule (see CHANGELOG.md)."
+            }
         }
     }
 }
@@ -102,6 +258,9 @@ pub struct Finding {
     pub rule: Rule,
     /// What the rule matched, for the message.
     pub matched: String,
+    /// For reachability rules: the call chain from the reported fn to
+    /// the offending site, as display names. Empty for line rules.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -130,7 +289,7 @@ fn crate_of(path: &Path) -> Option<String> {
 }
 
 /// Escape hatches present on a line: `// mira-lint: allow(rule, rule)`.
-fn allows_on(raw: &str) -> Vec<String> {
+pub(crate) fn allows_on(raw: &str) -> Vec<String> {
     let Some(comment) = raw.find("//").map(|i| &raw[i..]) else {
         return Vec::new();
     };
@@ -209,6 +368,7 @@ fn push(
         line: lines[idx].number,
         rule,
         matched: matched.into(),
+        chain: Vec::new(),
     });
 }
 
@@ -462,6 +622,244 @@ fn check_public_f64(path: &Path, lines: &[SourceLine], findings: &mut Vec<Findin
     }
 }
 
+// ---------------------------------------------------------------------
+// Semantic rules: run over the symbol index and call graph.
+
+/// True when an inline `// mira-lint: allow(<rule>)` hatch covers
+/// `line` (same line or the one above) in `file`.
+fn sem_allowed(file: &ParsedFile, line: usize, rule: Rule) -> bool {
+    let hit = |l: &usize| {
+        file.allows
+            .get(l)
+            .is_some_and(|names| names.iter().any(|n| n == rule.name()))
+    };
+    hit(&line) || (line > 1 && hit(&(line - 1)))
+}
+
+/// Run the four semantic rules over the whole workspace.
+#[must_use]
+pub fn semantic_findings(index: &SymbolIndex, graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_panic_reachability(index, graph, &mut findings);
+    check_unit_flow(index, &mut findings);
+    check_determinism_taint(index, graph, &mut findings);
+    check_deprecated_call(index, &mut findings);
+    findings
+}
+
+/// The first undischarged panic site of a non-test fn, if any.
+fn live_panic(index: &SymbolIndex, id: FnId) -> Option<&PanicSite> {
+    if index.is_test_fn(id) {
+        return None;
+    }
+    let file = &index.files[index.file_of(id)];
+    let item = index.fn_at(id);
+    // An allow on the `fn` line discharges the whole body — the hatch
+    // for functions whose indexing is bounded by construction
+    // throughout (e.g. literal indices into fixed-size marker arrays).
+    if sem_allowed(file, item.line, Rule::PanicReachability) {
+        return None;
+    }
+    item.panics
+        .iter()
+        .find(|p| !sem_allowed(file, p.line, Rule::PanicReachability))
+}
+
+fn check_panic_reachability(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in index.fn_ids() {
+        if !PANIC_AUDITED_CRATES.contains(&index.crate_of(root)) || index.is_test_fn(root) {
+            continue;
+        }
+        let item = index.fn_at(root);
+        if item.vis != Vis::Pub {
+            continue;
+        }
+        let root_file = &index.files[index.file_of(root)];
+        if sem_allowed(root_file, item.line, Rule::PanicReachability) {
+            continue;
+        }
+        let Some(chain) = graph.first_chain_to(root, &|id| live_panic(index, id).is_some()) else {
+            continue;
+        };
+        let Some(&sink) = chain.last() else { continue };
+        let Some(site) = live_panic(index, sink) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&id| index.fn_at(id).display_name())
+            .collect();
+        let sink_file = &index.files[index.file_of(sink)];
+        findings.push(Finding {
+            file: root_file.rel.clone(),
+            line: item.line,
+            rule: Rule::PanicReachability,
+            matched: format!(
+                "public `{}` can reach a panic: {} (`{}` at {}:{})",
+                item.display_name(),
+                names.join(" -> "),
+                site.what,
+                sink_file.rel.display(),
+                site.line
+            ),
+            chain: names,
+        });
+    }
+}
+
+/// The first undischarged determinism hazard of a non-test fn, if any.
+/// Thread spawning inside the sanctioned executor file is exempt.
+fn live_hazard(index: &SymbolIndex, id: FnId) -> Option<&DetHazard> {
+    if index.is_test_fn(id) {
+        return None;
+    }
+    let file = &index.files[index.file_of(id)];
+    let in_executor = path_slashes(&file.rel) == SANCTIONED_EXECUTOR_FILE;
+    index.fn_at(id).hazards.iter().find(|h| {
+        if in_executor && h.what == "thread spawn/scope" {
+            return false;
+        }
+        !sem_allowed(file, h.line, Rule::DeterminismTaint)
+    })
+}
+
+fn path_slashes(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
+fn check_determinism_taint(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in index.fn_ids() {
+        let root_file = &index.files[index.file_of(root)];
+        let rel = path_slashes(&root_file.rel);
+        if !DETERMINISM_ROOT_FILES.contains(&rel.as_str()) || index.is_test_fn(root) {
+            continue;
+        }
+        let item = index.fn_at(root);
+        if sem_allowed(root_file, item.line, Rule::DeterminismTaint) {
+            continue;
+        }
+        let Some(chain) = graph.first_chain_to(root, &|id| live_hazard(index, id).is_some()) else {
+            continue;
+        };
+        let Some(&sink) = chain.last() else { continue };
+        let Some(hazard) = live_hazard(index, sink) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&id| index.fn_at(id).display_name())
+            .collect();
+        let sink_file = &index.files[index.file_of(sink)];
+        findings.push(Finding {
+            file: root_file.rel.clone(),
+            line: item.line,
+            rule: Rule::DeterminismTaint,
+            matched: format!(
+                "sweep-path fn `{}` reaches a nondeterminism source: {} ({} at {}:{})",
+                item.display_name(),
+                names.join(" -> "),
+                hazard.what,
+                sink_file.rel.display(),
+                hazard.line
+            ),
+            chain: names,
+        });
+    }
+}
+
+fn check_unit_flow(index: &SymbolIndex, findings: &mut Vec<Finding>) {
+    for caller in index.fn_ids() {
+        if index.is_test_fn(caller) {
+            continue;
+        }
+        let file_idx = index.file_of(caller);
+        let file = &index.files[file_idx];
+        let caller_dir = index.crate_of(caller).to_owned();
+        let item = index.fn_at(caller);
+        for call in &item.calls {
+            let Some(escaped_from) = &call.raw_unit else {
+                continue;
+            };
+            if sem_allowed(file, call.line, Rule::UnitFlow) {
+                continue;
+            }
+            let mut candidates = Vec::new();
+            resolve_call(
+                index,
+                &caller_dir,
+                file_idx,
+                item.self_type.as_deref(),
+                &call.kind,
+                &mut candidates,
+            );
+            let Some(&callee) = candidates.iter().find(|&&id| {
+                let dir = index.crate_of(id);
+                dir != caller_dir
+                    && !DIMENSIONLESS_SINK_CRATES.contains(&dir)
+                    && index.fn_at(id).vis == Vis::Pub
+                    && !index.is_test_fn(id)
+            }) else {
+                continue;
+            };
+            let callee_name = index.fn_at(callee).display_name();
+            let callee_dir = index.crate_of(callee);
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: call.line,
+                rule: Rule::UnitFlow,
+                matched: format!(
+                    "raw f64 from unit value `{escaped_from}` flows into `mira_{callee_dir}::{callee_name}` without mira_units::convert"
+                ),
+                chain: vec![item.display_name(), format!("mira_{callee_dir}::{callee_name}")],
+            });
+        }
+    }
+}
+
+fn check_deprecated_call(index: &SymbolIndex, findings: &mut Vec<Finding>) {
+    for caller in index.fn_ids() {
+        if index.is_test_fn(caller) {
+            continue;
+        }
+        let file_idx = index.file_of(caller);
+        let file = &index.files[file_idx];
+        let caller_dir = index.crate_of(caller).to_owned();
+        let item = index.fn_at(caller);
+        // Deprecated shims may call each other while they wind down.
+        if item.deprecated {
+            continue;
+        }
+        for call in &item.calls {
+            if sem_allowed(file, call.line, Rule::DeprecatedCall) {
+                continue;
+            }
+            let mut candidates = Vec::new();
+            resolve_call(
+                index,
+                &caller_dir,
+                file_idx,
+                item.self_type.as_deref(),
+                &call.kind,
+                &mut candidates,
+            );
+            let Some(&callee) = candidates
+                .iter()
+                .find(|&&id| index.fn_at(id).deprecated && !index.is_test_fn(id))
+            else {
+                continue;
+            };
+            let callee_name = index.fn_at(callee).display_name();
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: call.line,
+                rule: Rule::DeprecatedCall,
+                matched: format!("`{}` calls deprecated `{callee_name}`", item.display_name()),
+                chain: vec![item.display_name(), callee_name],
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,5 +1033,169 @@ pub fn blend(
         let rendered = found[0].to_string();
         assert!(rendered.starts_with("crates/cooling/src/fixture.rs:1: [no-unwrap-in-lib]"));
         assert!(rendered.contains("suggestion:"));
+    }
+
+    #[test]
+    fn every_rule_has_name_and_explain() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+            assert!(rule.explain().starts_with(rule.name()), "{}", rule.name());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Semantic rules over mini-workspaces.
+
+    fn semantic(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files = sources
+            .iter()
+            .map(|(rel, src)| {
+                crate::parser::parse_file(Path::new(rel), src, &analyze(src), &UNIT_TYPES)
+            })
+            .collect();
+        let index = SymbolIndex::build(files, &[]);
+        let graph = CallGraph::build(&index);
+        semantic_findings(&index, &graph)
+    }
+
+    #[test]
+    fn panic_reachability_crosses_files_with_chain() {
+        let found = semantic(&[
+            (
+                "crates/core/src/api.rs",
+                "pub fn entry() {\n    crate::deep::helper();\n}\n",
+            ),
+            (
+                "crates/core/src/deep.rs",
+                "pub(crate) fn helper() {\n    inner();\n}\nfn inner() {\n    let x: Option<u8> = None;\n    let _ = x.unwrap();\n}\n",
+            ),
+        ]);
+        let reach: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == Rule::PanicReachability)
+            .collect();
+        assert_eq!(reach.len(), 1, "{found:?}");
+        assert_eq!(reach[0].file, Path::new("crates/core/src/api.rs"));
+        assert_eq!(reach[0].line, 1);
+        assert_eq!(reach[0].chain, vec!["entry", "helper", "inner"]);
+        assert!(reach[0].matched.contains("unwrap()"));
+        assert!(reach[0].matched.contains("crates/core/src/deep.rs:6"));
+    }
+
+    #[test]
+    fn panic_reachability_skips_unaudited_and_private() {
+        let unaudited = semantic(&[(
+            "crates/nn/src/lib.rs",
+            "pub fn entry(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        assert!(unaudited.iter().all(|f| f.rule != Rule::PanicReachability));
+        let private = semantic(&[(
+            "crates/core/src/lib.rs",
+            "pub(crate) fn entry(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )]);
+        assert!(private.iter().all(|f| f.rule != Rule::PanicReachability));
+    }
+
+    #[test]
+    fn panic_reachability_discharged_at_source() {
+        let found = semantic(&[(
+            "crates/timeseries/src/lib.rs",
+            "pub fn entry(x: Option<u8>) -> u8 {\n    // length checked above. mira-lint: allow(panic-reachability)\n    x.unwrap()\n}\n",
+        )]);
+        assert!(found.iter().all(|f| f.rule != Rule::PanicReachability));
+    }
+
+    #[test]
+    fn panic_reachability_discharged_at_fn_line() {
+        let found = semantic(&[(
+            "crates/timeseries/src/lib.rs",
+            "pub fn entry(q: &[f64; 5]) -> f64 {\n    pick(q)\n}\n\
+             // markers array is always length 5. mira-lint: allow(panic-reachability)\n\
+             fn pick(q: &[f64; 5]) -> f64 {\n    q[2] + q[4]\n}\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::PanicReachability),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn unit_flow_flags_cross_crate_raw_escape() {
+        let found = semantic(&[
+            (
+                "crates/core/src/lib.rs",
+                "use mira_units::Celsius;\npub(crate) fn push(t: Celsius) {\n    mira_cooling::ingest(t.value());\n}\n",
+            ),
+            ("crates/cooling/src/lib.rs", "pub fn ingest(x: f64) {}\n"),
+        ]);
+        let flow: Vec<_> = found.iter().filter(|f| f.rule == Rule::UnitFlow).collect();
+        assert_eq!(flow.len(), 1, "{found:?}");
+        assert_eq!(flow[0].line, 3);
+        assert!(flow[0].matched.contains("mira_cooling::ingest"));
+    }
+
+    #[test]
+    fn unit_flow_sanctions_same_crate_and_dimensionless_sinks() {
+        let found = semantic(&[
+            (
+                "crates/core/src/lib.rs",
+                "use mira_units::Watts;\npub(crate) fn push(p: Watts) {\n    local(p.value());\n    mira_timeseries::record(p.value());\n}\nfn local(x: f64) {}\n",
+            ),
+            ("crates/timeseries/src/lib.rs", "pub fn record(x: f64) {}\n"),
+        ]);
+        assert!(found.iter().all(|f| f.rule != Rule::UnitFlow), "{found:?}");
+    }
+
+    #[test]
+    fn determinism_taint_reaches_through_calls() {
+        let found = semantic(&[
+            (
+                "crates/core/src/summary.rs",
+                "pub fn merge() {\n    crate::telemetry::stamp();\n}\n",
+            ),
+            (
+                "crates/core/src/telemetry.rs",
+                "pub(crate) fn stamp() {\n    let _ = std::time::Instant::now();\n}\n",
+            ),
+        ]);
+        let taint: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == Rule::DeterminismTaint)
+            .collect();
+        assert_eq!(taint.len(), 1, "{found:?}");
+        assert_eq!(taint[0].file, Path::new("crates/core/src/summary.rs"));
+        assert!(taint[0].matched.contains("Instant::now"));
+    }
+
+    #[test]
+    fn determinism_taint_sanctions_the_executor_spawn() {
+        let found = semantic(&[(
+            "crates/core/src/sweep.rs",
+            "pub fn run() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::DeterminismTaint),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn deprecated_call_flags_live_code_only() {
+        let live = semantic(&[(
+            "crates/core/src/lib.rs",
+            "#[deprecated(note = \"use summarize\")]\npub fn summarize_span() {}\npub(crate) fn caller() {\n    summarize_span();\n}\n",
+        )]);
+        let dep: Vec<_> = live
+            .iter()
+            .filter(|f| f.rule == Rule::DeprecatedCall)
+            .collect();
+        assert_eq!(dep.len(), 1, "{live:?}");
+        assert_eq!(dep[0].line, 4);
+
+        let test_only = semantic(&[(
+            "crates/core/src/lib.rs",
+            "#[deprecated]\npub fn old() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        crate::old();\n    }\n}\n",
+        )]);
+        assert!(test_only.iter().all(|f| f.rule != Rule::DeprecatedCall));
     }
 }

@@ -1,0 +1,5 @@
+//! Fixture crate: clean code plus one string that must not trip rules.
+
+pub fn describe() -> &'static str {
+    "calling unwrap() here would be bad, but this is a string"
+}

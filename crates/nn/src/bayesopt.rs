@@ -7,6 +7,7 @@
 //! expected improvement as the acquisition function over a finite
 //! candidate set.
 
+use mira_units::convert;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,7 +68,7 @@ impl GaussianProcess {
         assert!(!x.is_empty(), "cannot fit on no observations");
         let n = x.len();
         self.x = x.to_vec();
-        self.y_mean = y.iter().sum::<f64>() / n as f64;
+        self.y_mean = y.iter().sum::<f64>() / convert::f64_from_usize(n);
 
         // K + σ²I.
         let mut k = vec![0.0; n * n];
@@ -120,6 +121,8 @@ impl GaussianProcess {
     ///
     /// Panics if the GP has not been fitted.
     #[must_use]
+    // Triangular-solve index arithmetic stays inside the n×n packed
+    // factor built by `fit`. mira-lint: allow(panic-reachability)
     pub fn predict(&self, query: &[f64]) -> (f64, f64) {
         assert!(!self.x.is_empty(), "predict before fit");
         let n = self.x.len();
@@ -237,14 +240,14 @@ impl BayesianOptimizer {
             self.observed_x.push(cfg);
             self.observed_y.push(y);
         }
+        // The warm-up loops above guarantee at least one observation.
         let best_idx = self
             .observed_y
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("observations exist");
-        self.observed_x[best_idx].clone()
+            .map_or(0, |(i, _)| i);
+        self.observed_x.get(best_idx).cloned().unwrap_or_default()
     }
 
     /// The `(configuration, score)` observations so far.

@@ -1,5 +1,6 @@
 //! Dataset handling: splits, standardization, k-fold cross validation.
 
+use mira_units::convert;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -102,7 +103,12 @@ impl Dataset {
     }
 
     /// Builds a dataset from a subset of row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
     #[must_use]
+    // Documented contract panic. mira-lint: allow(panic-reachability)
     pub fn select(&self, indices: &[usize]) -> Dataset {
         Dataset {
             features: indices.iter().map(|&i| self.features[i].clone()).collect(),
@@ -127,7 +133,10 @@ impl Dataset {
             let end = if k + 1 == ratios.len() {
                 self.len()
             } else {
-                start + ((r / total) * self.len() as f64).round() as usize
+                start
+                    + convert::usize_from_f64_round(
+                        (r / total) * convert::f64_from_usize(self.len()),
+                    )
             }
             .min(self.len());
             let idx: Vec<usize> = (start..end).collect();
@@ -155,7 +164,7 @@ impl Standardizer {
     pub fn fit(data: &Dataset) -> Self {
         assert!(!data.is_empty(), "cannot fit on empty dataset");
         let w = data.width();
-        let n = data.len() as f64;
+        let n = convert::f64_from_usize(data.len());
         let mut means = vec![0.0; w];
         for row in data.features() {
             for (m, &x) in means.iter_mut().zip(row) {

@@ -1,5 +1,6 @@
 //! Fully-connected layers.
 
+use mira_units::convert;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -31,7 +32,7 @@ impl Dense {
         assert!(inputs > 0, "layer needs at least one input");
         assert!(outputs > 0, "layer needs at least one output");
         let mut rng = StdRng::seed_from_u64(seed);
-        let scale = (2.0 / inputs as f64).sqrt();
+        let scale = (2.0 / convert::f64_from_usize(inputs)).sqrt();
         let weights = (0..inputs * outputs)
             .map(|_| gaussian(&mut rng) * scale)
             .collect();
@@ -75,6 +76,8 @@ impl Dense {
     /// Panics if `input.len() != self.inputs()`.
     #[must_use]
     #[allow(clippy::needless_range_loop)] // row-major weight indexing
+                                          // weights.len() == outputs * inputs and out.len() == outputs by
+                                          // construction. mira-lint: allow(panic-reachability)
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
         assert_eq!(input.len(), self.inputs, "input size mismatch");
         let mut out = self.biases.clone();
@@ -96,6 +99,8 @@ impl Dense {
     /// `grad_out` = ∂L/∂(activated output), accumulates parameter
     /// gradients into `grads` and returns ∂L/∂input.
     #[must_use]
+    // Row-major index arithmetic stays inside the outputs × inputs
+    // weight block, as in `forward`. mira-lint: allow(panic-reachability)
     pub fn backward(
         &self,
         input: &[f64],

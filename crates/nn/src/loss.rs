@@ -1,5 +1,6 @@
 //! Loss functions.
 
+use mira_units::convert;
 use serde::{Deserialize, Serialize};
 
 /// A scalar loss over predictions and targets.
@@ -53,7 +54,7 @@ impl Loss {
             .zip(targets)
             .map(|(&p, &t)| self.value(p, t))
             .sum::<f64>()
-            / predictions.len() as f64
+            / convert::f64_from_usize(predictions.len())
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use mira_units::convert;
+
 use serde::{Deserialize, Serialize};
 
 /// Confusion-matrix counts and the metrics derived from them.
@@ -143,7 +145,7 @@ pub fn roc_auc(scores: &[f64], targets: &[f64]) -> Option<f64> {
         while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
             j += 1;
         }
-        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        let midrank = convert::f64_from_usize(i + j) / 2.0 + 1.0;
         for &k in &idx[i..=j] {
             if targets[k] >= 0.5 {
                 rank_sum_pos += midrank;
@@ -157,15 +159,15 @@ pub fn roc_auc(scores: &[f64], targets: &[f64]) -> Option<f64> {
     if n_pos == 0 || n_neg == 0 {
         return None;
     }
-    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
-    Some(u / (n_pos as f64 * n_neg as f64))
+    let u = rank_sum_pos - convert::f64_from_u64(n_pos * (n_pos + 1)) / 2.0;
+    Some(u / (convert::f64_from_u64(n_pos) * convert::f64_from_u64(n_neg)))
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
     } else {
-        num as f64 / den as f64
+        convert::f64_from_u64(num) / convert::f64_from_u64(den)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The multi-layer perceptron and its training loop.
 
+use mira_units::convert;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,8 @@ impl Mlp {
                 } else {
                     hidden
                 };
+                // windows(2) pairs have exactly two elements.
+                // mira-lint: allow(panic-reachability)
                 Dense::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 7919))
             })
             .collect();
@@ -97,7 +100,8 @@ impl Mlp {
     /// Number of input features.
     #[must_use]
     pub fn input_size(&self) -> usize {
-        self.layers[0].inputs()
+        // The constructor guarantees at least one layer.
+        self.layers.first().map_or(0, Dense::inputs)
     }
 
     /// Total trainable parameters.
@@ -122,7 +126,13 @@ impl Mlp {
     /// Network output for an input (first output unit for scalar heads).
     #[must_use]
     pub fn predict(&self, input: &[f64]) -> f64 {
-        self.forward_all(input).last().expect("layers exist")[0]
+        // The constructor guarantees at least one layer with at least
+        // one output unit, so the fallback is unreachable.
+        self.forward_all(input)
+            .last()
+            .and_then(|out| out.first())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Binary decision at threshold 0.5.
@@ -243,6 +253,9 @@ impl<'a> TrainSession<'a> {
     }
 
     /// Runs one shuffled epoch; returns the mean training loss.
+    // Row indices are a permutation of 0..x.len() (asserted non-empty);
+    // layer indices stay below the per-layer state vectors built in
+    // `new`. mira-lint: allow(panic-reachability)
     fn run_epoch(&mut self, x: &[Vec<f64>], y: &[f64], config: &TrainConfig) -> f64 {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "empty training set");
@@ -267,7 +280,8 @@ impl<'a> TrainSession<'a> {
             let mut grads: Vec<DenseGrads> = net.layers.iter().map(Dense::zero_grads).collect();
             for &idx in batch {
                 let outs = net.forward_all(&x[idx]);
-                let pred = outs.last().expect("layers")[0];
+                // Same non-empty-network guarantee as `predict`.
+                let pred = outs.last().and_then(|o| o.first()).copied().unwrap_or(0.0);
                 epoch_loss += config.loss.value(pred, y[idx]);
                 let mut grad = vec![config.loss.gradient(pred, y[idx])];
                 // Wider heads would need a vector loss; scalar here.
@@ -276,7 +290,7 @@ impl<'a> TrainSession<'a> {
                     grad = net.layers[li].backward(input, &outs[li], &grad, &mut grads[li]);
                 }
             }
-            let scale = 1.0 / batch.len() as f64;
+            let scale = 1.0 / convert::f64_from_usize(batch.len());
             for (li, g) in grads.iter_mut().enumerate() {
                 g.scale(scale);
                 let wstep = self.wstates[li].step(config.optimizer, &g.weights);
@@ -284,7 +298,7 @@ impl<'a> TrainSession<'a> {
                 net.layers[li].apply_update(&wstep, &bstep);
             }
         }
-        epoch_loss / x.len() as f64
+        epoch_loss / convert::f64_from_usize(x.len())
     }
 }
 

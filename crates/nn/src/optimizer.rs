@@ -62,6 +62,8 @@ impl OptimizerState {
     ///
     /// Panics if `grads.len()` differs from the state size.
     #[must_use]
+    // The size assert bounds every enumerate() index into m/v.
+    // mira-lint: allow(panic-reachability)
     pub fn step(&mut self, optimizer: Optimizer, grads: &[f64]) -> Vec<f64> {
         assert_eq!(grads.len(), self.m.len(), "gradient size mismatch");
         self.t += 1;

@@ -88,6 +88,8 @@ impl FeatureConfig {
     /// per timestep). For [`FeatureMode::DifferentialDeltas`] the rows
     /// must already be rack-over-median ratios.
     #[must_use]
+    // seg is clamped to segments - 1 and channel indices stay in the
+    // fixed [f64; 6] rows. mira-lint: allow(panic-reachability)
     pub fn extract_rows(&self, window: &[[f64; 6]]) -> Option<Vec<f64>> {
         if window.len() < self.segments.max(2) {
             return None;

@@ -121,6 +121,8 @@ impl CmfPredictor {
         assert!(data.len() >= 10, "dataset too small: {}", data.len());
         let shuffled = data.shuffled(config.seed ^ 0x5871_70CD);
         let parts = shuffled.split(&[3.0, 1.0, 1.0]);
+        // split() returns one part per weight: exactly three here.
+        // mira-lint: allow(panic-reachability)
         let (train, test, validation) = (&parts[0], &parts[1], &parts[2]);
 
         let standardizer = Standardizer::fit(train);

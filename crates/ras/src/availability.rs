@@ -72,10 +72,9 @@ impl RackAvailability {
     pub fn is_up(&self, rack: RackId, t: SimTime) -> bool {
         let intervals = &self.outages[rack.index()];
         let idx = intervals.partition_point(|&(s, _)| s <= t);
-        if idx == 0 {
+        let Some(&(_, end)) = idx.checked_sub(1).and_then(|i| intervals.get(i)) else {
             return true;
-        }
-        let (_, end) = intervals[idx - 1];
+        };
         t >= end
     }
 

@@ -144,7 +144,7 @@ impl PhaseRates {
             return false;
         }
         let first = self.per_day[0];
-        let last = *self.per_day.last().expect("non-empty");
+        let last = self.per_day.last().copied().unwrap_or(first);
         let interior_max = self.per_day[1..self.per_day.len() - 1]
             .iter()
             .copied()
@@ -159,8 +159,7 @@ impl PhaseRates {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("non-empty")
+            .map_or(0, |(i, _)| i)
     }
 }
 

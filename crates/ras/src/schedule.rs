@@ -96,6 +96,8 @@ impl CmfSchedule {
                 // Epicenter weighted by remaining quota.
                 let total_q: u32 = with_quota.iter().map(|r| quota[r.index()]).sum();
                 let mut pick = rng.random_range(0..total_q);
+                // with_quota is non-empty: m == 0 broke out above.
+                // mira-lint: allow(panic-reachability)
                 let mut epicenter = with_quota[0];
                 for &r in &with_quota {
                     let q = quota[r.index()];

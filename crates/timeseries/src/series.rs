@@ -101,10 +101,12 @@ impl TimeSeries {
     #[must_use]
     pub fn slice(&self, from: SimTime, to: SimTime) -> TimeSeries {
         let start = self.times.partition_point(|&t| t < from);
-        let end = self.times.partition_point(|&t| t < to);
+        // An inverted window (`to < from`) yields an empty series
+        // rather than an inverted range.
+        let end = self.times.partition_point(|&t| t < to).max(start);
         TimeSeries {
-            times: self.times[start..end].to_vec(),
-            values: self.values[start..end].to_vec(),
+            times: self.times.get(start..end).unwrap_or(&[]).to_vec(),
+            values: self.values.get(start..end).unwrap_or(&[]).to_vec(),
         }
     }
 
@@ -112,11 +114,8 @@ impl TimeSeries {
     #[must_use]
     pub fn at_or_before(&self, t: SimTime) -> Option<(SimTime, f64)> {
         let idx = self.times.partition_point(|&ts| ts <= t);
-        if idx == 0 {
-            None
-        } else {
-            Some((self.times[idx - 1], self.values[idx - 1]))
-        }
+        let i = idx.checked_sub(1)?;
+        Some((*self.times.get(i)?, *self.values.get(i)?))
     }
 
     /// Mean of all readings (0 when empty).

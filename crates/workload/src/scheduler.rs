@@ -180,6 +180,8 @@ impl BackfillScheduler {
     }
 
     /// Free midplane slots available to `queue` right now.
+    // mp < MIDPLANES_PER_RACK matches the busy table's row width.
+    // mira-lint: allow(panic-reachability)
     fn free_slots(&self, queue: Queue) -> Vec<(RackId, u8)> {
         let mut out = Vec::new();
         for rack in RackId::all() {
@@ -195,6 +197,8 @@ impl BackfillScheduler {
         out
     }
 
+    // Allocation slots come from free_slots, built against the same
+    // busy table. mira-lint: allow(panic-reachability)
     fn start(&mut self, job: Job, now: SimTime, backfilled: bool) {
         let slots = self.free_slots(job.queue);
         debug_assert!(slots.len() >= job.midplanes as usize);
@@ -204,6 +208,7 @@ impl BackfillScheduler {
             self.busy[rack.index()][usize::from(mp)] = true;
         }
         let ends = now + job.walltime;
+        let waited = (now - job.submitted).as_seconds().max(0);
         self.running.push(RunningJob {
             job,
             started: now,
@@ -215,14 +220,13 @@ impl BackfillScheduler {
         } else {
             self.stats.started_fcfs += 1;
         }
-        self.stats.total_wait_seconds += (now
-            - self.running.last().expect("just pushed").job.submitted)
-            .as_seconds()
-            .max(0);
+        self.stats.total_wait_seconds += waited;
     }
 
     /// Advances the scheduler to `now`: completes finished jobs, starts
     /// FCFS-eligible jobs, then backfills.
+    // Midplane slots come from free_slots/allocations, which are built
+    // against the same busy table. mira-lint: allow(panic-reachability)
     pub fn step(&mut self, now: SimTime) {
         // Complete.
         let (done, keep): (Vec<RunningJob>, Vec<RunningJob>) =
@@ -237,12 +241,13 @@ impl BackfillScheduler {
 
         // FCFS: start from the head while it fits.
         while let Some(head) = self.queue.front() {
-            if self.free_slots(head.queue).len() >= head.midplanes as usize {
-                let job = self.queue.pop_front().expect("head exists");
-                self.start(job, now, false);
-            } else {
+            if self.free_slots(head.queue).len() < head.midplanes as usize {
                 break;
             }
+            let Some(job) = self.queue.pop_front() else {
+                break;
+            };
+            self.start(job, now, false);
         }
 
         // EASY backfill behind a blocked head.
@@ -260,7 +265,9 @@ impl BackfillScheduler {
                 && (candidate.queue == Queue::ProdLong) != (head.queue == Queue::ProdLong);
             let ok = fits && (now + candidate.walltime <= shadow || head_partition_disjoint);
             if ok {
-                let job = self.queue.remove(i).expect("index in range");
+                let Some(job) = self.queue.remove(i) else {
+                    break;
+                };
                 self.start(job, now, true);
             } else {
                 i += 1;

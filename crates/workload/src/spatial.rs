@@ -126,7 +126,8 @@ impl RackUsageProfile {
                     .utilization_factor
                     .total_cmp(&self.factors(*b).utilization_factor)
             })
-            .expect("racks exist")
+            // RackId::all() always yields 48 racks.
+            .unwrap_or_else(|| RackId::from_index(0))
     }
 
     /// The rack with the highest expected power (`util × intensity`).
@@ -139,7 +140,8 @@ impl RackUsageProfile {
                 (fa.utilization_factor * fa.intensity_factor)
                     .total_cmp(&(fb.utilization_factor * fb.intensity_factor))
             })
-            .expect("racks exist")
+            // RackId::all() always yields 48 racks.
+            .unwrap_or_else(|| RackId::from_index(0))
     }
 }
 
