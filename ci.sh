@@ -51,4 +51,18 @@ MIRA_SWEEP_THREADS=1 cargo test -q -p mira-core --test determinism
 echo "==> determinism under MIRA_SWEEP_THREADS=4"
 MIRA_SWEEP_THREADS=4 cargo test -q -p mira-core --test determinism
 
+# The observability layer has the same contract: the deterministic
+# metrics snapshot must be byte-identical at any worker count.
+echo "==> obs metrics determinism under MIRA_SWEEP_THREADS=1"
+MIRA_SWEEP_THREADS=1 cargo test -q -p mira-core --test obs_golden
+
+echo "==> obs metrics determinism under MIRA_SWEEP_THREADS=4"
+MIRA_SWEEP_THREADS=4 cargo test -q -p mira-core --test obs_golden
+
+# Disabled instrumentation must cost nothing: the bench exits nonzero
+# when the obs-off sweep runs more than 2% slower than the plain one
+# (override with MIRA_OBS_OVERHEAD_LIMIT_PCT).
+echo "==> obs overhead gate"
+cargo bench -q -p mira-bench --bench obs_overhead
+
 echo "ci: all gates green"

@@ -1,0 +1,116 @@
+//! Observability overhead: the same sweep plain, instrumented-but-off,
+//! and instrumented-on.
+//!
+//! The obs layer's contract is that a disabled recorder costs nothing
+//! measurable: `summarize_observed(.., ObsMode::Off)` folds one extra
+//! branch per step next to the summary recorder. The `gate` section
+//! below enforces that contract — it interleaves min-of-N timings of
+//! the plain and obs-off paths and fails the process when the obs-off
+//! overhead exceeds the limit (default 2%, override with
+//! `MIRA_OBS_OVERHEAD_LIMIT_PCT`), so `ci.sh` can run this bench as a
+//! regression gate.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use mira_bench::simulation;
+use mira_core::{Date, Duration, ObsMode, SimTime, Simulation};
+
+fn span() -> (SimTime, SimTime) {
+    (
+        SimTime::from_date(Date::new(2016, 3, 1)),
+        SimTime::from_date(Date::new(2016, 7, 1)),
+    )
+}
+
+const STEP_HOURS: i64 = 6;
+
+fn run_plain(sim: &Simulation) {
+    let (from, to) = span();
+    let summary = sim
+        .sweep_plan(from..to)
+        .step(Duration::from_hours(STEP_HOURS))
+        .threads(1)
+        .summary()
+        .expect("non-empty span");
+    black_box(summary);
+}
+
+fn run_observed(sim: &Simulation, mode: ObsMode) {
+    let observed = sim
+        .summarize_observed(span(), Duration::from_hours(STEP_HOURS), 1, mode)
+        .expect("non-empty span");
+    black_box(observed);
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let sim = simulation();
+    // 122 days at 4 instants/day, 48 racks each.
+    let steps = 122u64 * 4;
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(steps * 48));
+    group.bench_function("plain_summary", |b| b.iter(|| run_plain(sim)));
+    group.bench_function("observed_off", |b| {
+        b.iter(|| run_observed(sim, ObsMode::Off));
+    });
+    group.bench_function("observed_on", |b| {
+        b.iter(|| run_observed(sim, ObsMode::On));
+    });
+    group.finish();
+}
+
+/// Best-of-`reps` seconds per call of `f`, `iters` calls per rep.
+fn best_seconds_per_call<F: FnMut()>(reps: usize, iters: u32, f: &mut F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
+}
+
+fn overhead_gate(_c: &mut Criterion) {
+    let sim = simulation();
+    let limit_pct: f64 = std::env::var("MIRA_OBS_OVERHEAD_LIMIT_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    // Warm both paths, then interleave the timed reps so drift in
+    // machine load hits both sides equally; min-of-reps discards the
+    // noisy samples.
+    run_plain(sim);
+    run_observed(sim, ObsMode::Off);
+    const REPS: usize = 10;
+    const ITERS: u32 = 4;
+    let mut plain = f64::INFINITY;
+    let mut off = f64::INFINITY;
+    for _ in 0..REPS {
+        plain = plain.min(best_seconds_per_call(1, ITERS, &mut || run_plain(sim)));
+        off = off.min(best_seconds_per_call(1, ITERS, &mut || {
+            run_observed(sim, ObsMode::Off);
+        }));
+    }
+
+    let overhead_pct = (off - plain) / plain * 100.0;
+    println!(
+        "obs-overhead gate: plain={:.3} ms, obs-off={:.3} ms, overhead={overhead_pct:+.2}% \
+         (limit {limit_pct:.2}%)",
+        plain * 1e3,
+        off * 1e3,
+    );
+    if overhead_pct > limit_pct {
+        eprintln!("obs-overhead gate FAILED: disabled instrumentation must be free");
+        std::process::exit(1);
+    }
+    println!("obs-overhead gate: OK");
+}
+
+criterion_group!(benches, obs_overhead, overhead_gate);
+criterion_main!(benches);

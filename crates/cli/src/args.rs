@@ -5,21 +5,75 @@ use std::fmt;
 
 use mira_timeseries::{Date, DateTime, SimTime};
 
-/// A user-facing CLI error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+/// A user-facing CLI error, carrying enough structure to derive the
+/// process exit code from the cause instead of string matching.
+#[derive(Debug)]
+pub enum CliError {
+    /// The user asked for something malformed (bad flag, bad date,
+    /// unknown command). The message is the full user-facing text.
+    Usage(String),
+    /// A `mira-core` operation failed; the cause chain is preserved.
+    Core(mira_core::Error),
+    /// An I/O operation outside mira-core failed (writing output,
+    /// creating a file).
+    Io {
+        /// What the CLI was doing, e.g. `cannot create out.csv`.
+        context: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Core(e) => e.fmt(f),
+            CliError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Core(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
-/// Convenience constructor.
+impl From<mira_core::Error> for CliError {
+    fn from(e: mira_core::Error) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl CliError {
+    /// The process exit code for this error, derived from the error
+    /// structure: `2` usage, `3` sweep, `4` archive parse, `5` archive
+    /// I/O, `6` CLI-side I/O, `1` anything else.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        use mira_core::archive::ArchiveError;
+        use mira_core::Error;
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Core(Error::Sweep(_)) => 3,
+            CliError::Core(Error::Archive(ArchiveError::Parse { .. })) => 4,
+            CliError::Core(Error::Archive(ArchiveError::Io(_))) => 5,
+            // `mira_core::Error` is non_exhaustive; future causes fall
+            // back to the generic failure code.
+            CliError::Core(_) => 1,
+            CliError::Io { .. } => 6,
+        }
+    }
+}
+
+/// Convenience constructor for usage errors.
 pub fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::Usage(msg.into())
 }
 
 /// Parsed `--key value` flags plus positional arguments.
@@ -220,5 +274,35 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(err("boom").to_string(), "boom");
+        let e = CliError::Io {
+            context: "cannot create x.csv".to_string(),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.to_string().starts_with("cannot create x.csv: "));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_cause() {
+        use mira_core::archive::ArchiveError;
+        use std::error::Error as _;
+
+        assert_eq!(err("bad flag").exit_code(), 2);
+        let sweep = CliError::from(mira_core::Error::Sweep(mira_core::SweepError::EmptySpan));
+        assert_eq!(sweep.exit_code(), 3);
+        assert!(sweep.source().is_some(), "cause chain preserved");
+        let parse = CliError::from(mira_core::Error::Archive(ArchiveError::Parse {
+            line: 1,
+            message: "bad".to_string(),
+        }));
+        assert_eq!(parse.exit_code(), 4);
+        let archive_io = CliError::from(mira_core::Error::Archive(ArchiveError::Io(
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        )));
+        assert_eq!(archive_io.exit_code(), 5);
+        let cli_io = CliError::Io {
+            context: "output error".to_string(),
+            source: std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"),
+        };
+        assert_eq!(cli_io.exit_code(), 6);
     }
 }

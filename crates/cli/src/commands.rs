@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 
 use mira_core::{
-    analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, FullSpan,
+    analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, FullSpan, ObsMode,
     PredictorConfig, RackId, SimConfig, Simulation, TelemetryProvider,
 };
 
@@ -25,7 +25,10 @@ COMMANDS:
   ras      [--out ras.csv] [--raw] counted (or raw) RAS events as CSV
   predict  [--lead-hours 3] [--events 150] [--epochs 30]
                                    train the CMF predictor, print metrics
-  report   [--fast] [--threads N]  regenerate every figure (paper vs measured)
+  report   [--fast] [--threads N] [--metrics json|text]
+                                   regenerate every figure (paper vs measured);
+                                   --metrics appends the observability report
+                                   (deterministic snapshot + wall timings)
 
 GLOBAL FLAGS:
   --seed <u64>                     world seed (default 2014)
@@ -106,12 +109,10 @@ pub fn export(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
 
     let rows = match args.get("out") {
         Some(path) => {
-            let file = File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
-            archive::export_sweep(sim.telemetry(), from, to, step, BufWriter::new(file))
-                .map_err(|e| err(e.to_string()))?
+            let file = File::create(path).map_err(|e| create_err(path, e))?;
+            archive::export_sweep(sim.telemetry(), from, to, step, BufWriter::new(file))?
         }
-        None => archive::export_sweep(sim.telemetry(), from, to, step, &mut *out)
-            .map_err(|e| err(e.to_string()))?,
+        None => archive::export_sweep(sim.telemetry(), from, to, step, &mut *out)?,
     };
     if args.get("out").is_some() {
         writeln!(out, "wrote {rows} telemetry rows").map_err(io_err)?;
@@ -129,11 +130,10 @@ pub fn ras(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let rows = match args.get("out") {
         Some(path) => {
-            let file = File::create(path).map_err(|e| err(format!("cannot create {path}: {e}")))?;
-            archive::write_ras_csv(BufWriter::new(file), events.iter())
-                .map_err(|e| err(e.to_string()))?
+            let file = File::create(path).map_err(|e| create_err(path, e))?;
+            archive::write_ras_csv(BufWriter::new(file), events.iter())?
         }
-        None => archive::write_ras_csv(&mut *out, events.iter()).map_err(|e| err(e.to_string()))?,
+        None => archive::write_ras_csv(&mut *out, events.iter())?,
     };
     if args.get("out").is_some() {
         writeln!(out, "wrote {rows} RAS events").map_err(io_err)?;
@@ -169,7 +169,14 @@ pub fn predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `mira-ops report [--fast] [--threads N]`
+/// How `report --metrics` renders the observability report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Text,
+}
+
+/// `mira-ops report [--fast] [--threads N] [--metrics json|text]`
 pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(args)?;
     let step = if args.switch("fast") {
@@ -178,13 +185,20 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         Duration::from_hours(1)
     };
     let threads: usize = args.get_parsed("threads", 0usize)?;
+    let metrics = match args.get("metrics") {
+        None => None,
+        Some("json") => Some(MetricsFormat::Json),
+        Some("text") => Some(MetricsFormat::Text),
+        Some(other) => return Err(err(format!("--metrics must be json or text, got {other}"))),
+    };
     writeln!(out, "sweeping six years at {} h steps...", step.as_hours()).map_err(io_err)?;
-    let summary = sim
-        .sweep_plan(FullSpan)
-        .step(step)
-        .threads(threads)
-        .summary()
-        .map_err(|e| err(format!("sweep failed: {e}")))?;
+    let mode = if metrics.is_some() {
+        ObsMode::On
+    } else {
+        ObsMode::Off
+    };
+    let observed = sim.summarize_observed(FullSpan, step, threads, mode)?;
+    let summary = observed.summary;
 
     let fig2 = analysis::fig2_yearly_trends(&summary);
     writeln!(
@@ -227,6 +241,15 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .map_err(io_err)?;
     writeln!(out, "(run the reproduce_all example for the full report)").map_err(io_err)?;
+    match metrics {
+        Some(MetricsFormat::Json) => {
+            writeln!(out, "{}", observed.report.to_json()).map_err(io_err)?;
+        }
+        Some(MetricsFormat::Text) => {
+            write!(out, "{}", observed.report.to_text()).map_err(io_err)?;
+        }
+        None => {}
+    }
     Ok(())
 }
 
@@ -244,7 +267,17 @@ pub fn run(command: &str, args: &ArgMap, out: &mut dyn Write) -> Result<(), CliE
 }
 
 fn io_err(e: std::io::Error) -> CliError {
-    err(format!("output error: {e}"))
+    CliError::Io {
+        context: "output error".to_string(),
+        source: e,
+    }
+}
+
+fn create_err(path: &str, e: std::io::Error) -> CliError {
+    CliError::Io {
+        context: format!("cannot create {path}"),
+        source: e,
+    }
 }
 
 #[cfg(test)]
@@ -318,5 +351,13 @@ mod tests {
     fn unknown_command_shows_usage() {
         let e = run_cmd("frobnicate", &[]).unwrap_err();
         assert!(e.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn report_rejects_unknown_metrics_format() {
+        // Validated before the (expensive) sweep starts.
+        let e = run_cmd("report", &["--metrics", "xml"]).unwrap_err();
+        assert!(e.to_string().contains("json or text"));
+        assert_eq!(e.exit_code(), 2);
     }
 }

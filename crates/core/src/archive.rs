@@ -16,6 +16,7 @@ use mira_ras::{FailureKind, RasEvent, Severity};
 use mira_timeseries::{Duration, SimTime};
 use mira_units::{Fahrenheit, Gpm, Kilowatts, RelHumidity};
 
+use crate::error::Error;
 use crate::telemetry::TelemetryEngine;
 
 /// Errors arising when reading an archive.
@@ -73,7 +74,7 @@ pub const RAS_HEADER: &str = "time,rack,kind,severity";
 pub fn write_telemetry_csv<W: Write>(
     mut w: W,
     samples: impl IntoIterator<Item = CoolantMonitorSample>,
-) -> Result<usize, ArchiveError> {
+) -> Result<usize, Error> {
     writeln!(w, "{TELEMETRY_HEADER}")?;
     let mut rows = 0;
     for s in samples {
@@ -98,11 +99,11 @@ pub fn write_telemetry_csv<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`ArchiveError::Parse`] on malformed rows and
-/// [`ArchiveError::Io`] on reader failures.
+/// Returns [`Error::Archive`] carrying [`ArchiveError::Parse`] on
+/// malformed rows and [`ArchiveError::Io`] on reader failures.
 // Field indices stay below the checked 9-field count.
 // mira-lint: allow(panic-reachability)
-pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>, ArchiveError> {
+pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>, Error> {
     let mut out = Vec::new();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
@@ -125,7 +126,7 @@ pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>,
         let rack_str = format!("{},{}", fields[1], fields[2]);
         let rack =
             RackId::parse(&rack_str).map_err(|e| parse_err(lineno, &format!("bad rack: {e}")))?;
-        let num = |i: usize| -> Result<f64, ArchiveError> {
+        let num = |i: usize| -> Result<f64, Error> {
             fields[i]
                 .trim()
                 .parse()
@@ -164,7 +165,7 @@ pub fn export_sweep<W: Write>(
     to: SimTime,
     step: Duration,
     mut w: W,
-) -> Result<usize, ArchiveError> {
+) -> Result<usize, Error> {
     assert!(from < to, "empty export span");
     assert!(step.as_seconds() > 0, "step must be positive");
     writeln!(w, "{TELEMETRY_HEADER}")?;
@@ -200,7 +201,7 @@ pub fn export_sweep<W: Write>(
 pub fn write_ras_csv<'a, W: Write>(
     mut w: W,
     events: impl IntoIterator<Item = &'a RasEvent>,
-) -> Result<usize, ArchiveError> {
+) -> Result<usize, Error> {
     writeln!(w, "{RAS_HEADER}")?;
     let mut rows = 0;
     for e in events {
@@ -221,10 +222,11 @@ pub fn write_ras_csv<'a, W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`ArchiveError::Parse`] on malformed rows.
+/// Returns [`Error::Archive`] carrying [`ArchiveError::Parse`] on
+/// malformed rows.
 // Field indices stay below the checked 5-field count.
 // mira-lint: allow(panic-reachability)
-pub fn read_ras_csv<R: BufRead>(r: R) -> Result<Vec<RasEvent>, ArchiveError> {
+pub fn read_ras_csv<R: BufRead>(r: R) -> Result<Vec<RasEvent>, Error> {
     let mut out = Vec::new();
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
@@ -267,11 +269,11 @@ pub fn read_ras_csv<R: BufRead>(r: R) -> Result<Vec<RasEvent>, ArchiveError> {
     Ok(out)
 }
 
-fn parse_err(line: usize, message: &str) -> ArchiveError {
-    ArchiveError::Parse {
+fn parse_err(line: usize, message: &str) -> Error {
+    Error::Archive(ArchiveError::Parse {
         line,
         message: message.to_string(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -339,7 +341,7 @@ mod tests {
         let bad = format!("{TELEMETRY_HEADER}\n123,(0, zz),1,2,3,4,5,6\n");
         let err = read_telemetry_csv(bad.as_bytes()).unwrap_err();
         match err {
-            ArchiveError::Parse { line, .. } => assert_eq!(line, 2),
+            Error::Archive(ArchiveError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("wrong error: {other}"),
         }
         let bad_header = "nope\n";

@@ -1,0 +1,97 @@
+//! The unified `mira-core` error type.
+//!
+//! Every fallible public operation in this crate reports through
+//! [`Error`], with the domain-specific enums ([`SweepError`],
+//! [`ArchiveError`]) kept as payloads so callers can still match the
+//! precise cause. `From` impls let internal `?` call sites and
+//! downstream wrappers convert without ceremony, and
+//! [`std::error::Error::source`] exposes the underlying cause chain
+//! (down to the `std::io::Error` inside a failed archive read).
+
+use std::fmt;
+use std::io;
+
+use crate::archive::ArchiveError;
+use crate::sweep::SweepError;
+
+/// Any error a `mira-core` operation can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A sweep could not run (bad span or step).
+    Sweep(SweepError),
+    /// Archive I/O or parsing failed.
+    Archive(ArchiveError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sweep(e) => e.fmt(f),
+            Error::Archive(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sweep(e) => Some(e),
+            Error::Archive(e) => Some(e),
+        }
+    }
+}
+
+impl From<SweepError> for Error {
+    fn from(e: SweepError) -> Self {
+        Error::Sweep(e)
+    }
+}
+
+impl From<ArchiveError> for Error {
+    fn from(e: ArchiveError) -> Self {
+        Error::Archive(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Archive(ArchiveError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_delegates_to_the_cause() {
+        let e = Error::from(SweepError::EmptySpan);
+        assert_eq!(e.to_string(), SweepError::EmptySpan.to_string());
+        let e = Error::from(ArchiveError::Parse {
+            line: 3,
+            message: "bad number".to_string(),
+        });
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn source_chains_to_the_domain_error_and_below() {
+        let e = Error::from(SweepError::NonPositiveStep);
+        let cause = e.source().expect("sweep cause");
+        assert_eq!(cause.to_string(), "sweep step must be positive");
+
+        let io = io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed");
+        let e = Error::from(io);
+        let archive = e.source().expect("archive cause");
+        let inner = archive.source().expect("io cause");
+        assert!(inner.to_string().contains("pipe closed"));
+    }
+
+    #[test]
+    fn io_errors_land_under_archive() {
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(matches!(e, Error::Archive(ArchiveError::Io(_))));
+    }
+}

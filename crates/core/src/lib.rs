@@ -71,7 +71,9 @@
 
 pub mod analysis;
 pub mod archive;
+pub mod error;
 pub mod mitigation;
+pub mod obs;
 pub mod operator;
 pub mod simulation;
 pub mod summary;
@@ -80,9 +82,11 @@ pub mod telemetry;
 pub mod timeline;
 
 pub use analysis::{full_report, FigureReport};
+pub use error::Error;
 pub use mitigation::{
     compare_policies, evaluate_policy, CheckpointPolicy, MitigationCosts, MitigationReport,
 };
+pub use obs::{ObservedSweep, SweepObsRecorder};
 pub use operator::{Alert, AlertLog, ConsoleConfig, ConsoleScore, OperatorConsole};
 pub use simulation::{SimConfig, SimConfigBuilder, Simulation};
 pub use summary::{ChannelAggregate, RackAggregate, SweepSummary};
@@ -94,6 +98,7 @@ pub use timeline::OperationalTimeline;
 // one dependency.
 pub use mira_cooling::{CoolantMonitorSample, PrecursorSignature};
 pub use mira_facility::{Machine, RackId};
+pub use mira_obs::{ObsMode, ObsReport};
 pub use mira_predictor::{
     CmfPredictor, DatasetBuilder, FeatureConfig, PredictorConfig, TelemetryProvider,
 };

@@ -6,8 +6,9 @@ use mira_facility::{Machine, RackId};
 use mira_ras::{CmfSchedule, RasLog};
 use mira_timeseries::{Date, Duration, SimTime};
 
+use crate::error::Error;
 use crate::summary::SweepSummary;
-use crate::sweep::{SweepError, SweepPlan, SweepSpan};
+use crate::sweep::{SweepPlan, SweepSpan};
 use crate::telemetry::TelemetryEngine;
 
 /// Simulation configuration.
@@ -217,34 +218,14 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// [`SweepError::EmptySpan`] when the span is empty,
-    /// [`SweepError::NonPositiveStep`] when the step is not positive.
+    /// [`Error::Sweep`] when the span is empty or the step is not
+    /// positive.
     pub fn summarize(
         &self,
         span: impl Into<SweepSpan>,
         step: Duration,
-    ) -> Result<SweepSummary, SweepError> {
+    ) -> Result<SweepSummary, Error> {
         self.sweep_plan(span).step(step).summary()
-    }
-
-    /// Sweeps an arbitrary sub-span.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span is empty or the step non-positive.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use summarize((from, to), step), which returns Result instead of panicking"
-    )]
-    #[must_use]
-    pub fn summarize_span(&self, from: SimTime, to: SimTime, step: Duration) -> SweepSummary {
-        assert!(from < to, "empty sweep span");
-        assert!(step.as_seconds() > 0, "step must be positive");
-        match self.summarize((from, to), step) {
-            Ok(summary) => summary,
-            // The asserts above rule out both error cases.
-            Err(e) => unreachable!("validated sweep failed: {e}"),
-        }
     }
 }
 

@@ -9,7 +9,6 @@ use mira_timeseries::{CalendarBins, Duration, SimTime, TimeSeries, Welford};
 use mira_units::{convert, KilowattHours};
 
 use crate::sweep::{Recorder, SweepStep};
-use crate::telemetry::TelemetryEngine;
 
 /// Calendar bins plus a weekly-mean series for one system-level channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -196,30 +195,6 @@ impl SweepSummary {
         }
     }
 
-    /// Runs a sequential sweep over `[from, to)` at `step`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the span is empty or the step non-positive.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SweepPlan (or Simulation::summarize), which returns Result instead of panicking"
-    )]
-    #[must_use]
-    pub fn sweep(engine: &TelemetryEngine, from: SimTime, to: SimTime, step: Duration) -> Self {
-        assert!(from < to, "empty sweep span");
-        assert!(step.as_seconds() > 0, "step must be positive");
-        match crate::sweep::SweepPlan::new(engine, from, to)
-            .step(step)
-            .threads(1)
-            .summary()
-        {
-            Ok(summary) => summary,
-            // The asserts above rule out both error cases.
-            Err(e) => unreachable!("validated sweep failed: {e}"),
-        }
-    }
-
     /// Absorbs a summary covering the span immediately after this
     /// one's: channels, pooled statistics, per-rack aggregates, and the
     /// yearly energy ledgers all merge; the span extends to cover both.
@@ -356,6 +331,7 @@ impl Recorder for SweepSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::TelemetryEngine;
     use mira_ras::{CmfSchedule, RasLog};
     use mira_timeseries::Date;
 

@@ -32,6 +32,7 @@ use mira_facility::RackId;
 use mira_timeseries::{Date, Duration, SimTime};
 use mira_units::convert;
 
+use crate::error::Error;
 use crate::summary::SweepSummary;
 use crate::telemetry::{RackTruth, SystemSnapshot, TelemetryEngine};
 
@@ -267,18 +268,19 @@ impl<'e> SweepPlan<'e> {
     ///
     /// # Errors
     ///
-    /// [`SweepError::EmptySpan`] when `from >= to`;
-    /// [`SweepError::NonPositiveStep`] when the step is not positive.
-    pub fn run<R, F>(&self, factory: F) -> Result<R::Output, SweepError>
+    /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] when
+    /// `from >= to`, or [`SweepError::NonPositiveStep`] when the step is
+    /// not positive.
+    pub fn run<R, F>(&self, factory: F) -> Result<R::Output, Error>
     where
         R: Recorder + Send,
         F: Fn() -> R + Sync,
     {
         if self.step.as_seconds() <= 0 {
-            return Err(SweepError::NonPositiveStep);
+            return Err(SweepError::NonPositiveStep.into());
         }
         if self.from >= self.to {
-            return Err(SweepError::EmptySpan);
+            return Err(SweepError::EmptySpan.into());
         }
 
         let shards = month_shards(self.from, self.to, self.step);
@@ -329,7 +331,7 @@ impl<'e> SweepPlan<'e> {
         match merged {
             Some(recorder) => Ok(recorder.finish()),
             // Unreachable: a non-empty span always yields >= 1 shard.
-            None => Err(SweepError::EmptySpan),
+            None => Err(SweepError::EmptySpan.into()),
         }
     }
 
@@ -338,7 +340,7 @@ impl<'e> SweepPlan<'e> {
     /// # Errors
     ///
     /// Same conditions as [`SweepPlan::run`].
-    pub fn summary(&self) -> Result<SweepSummary, SweepError> {
+    pub fn summary(&self) -> Result<SweepSummary, Error> {
         let span = (self.from, self.to);
         let step = self.step;
         self.run(|| SweepSummary::empty(span, step))
@@ -366,7 +368,7 @@ impl<'e> SweepPlan<'e> {
 /// calendar-month shards: shard boundaries sit at the first grid index
 /// at or after each first-of-month inside the span. Depends only on
 /// `(from, to, step)` — never on the worker count.
-fn month_shards(from: SimTime, to: SimTime, step: Duration) -> Vec<(usize, usize)> {
+pub(crate) fn month_shards(from: SimTime, to: SimTime, step: Duration) -> Vec<(usize, usize)> {
     let step_s = step.as_seconds();
     let total_s = (to - from).as_seconds();
     // Number of grid points in [from, to): ceil(total / step).
@@ -460,12 +462,12 @@ mod tests {
         let err = SweepPlan::new(&e, t(2015, 2, 1), t(2015, 1, 1))
             .summary()
             .unwrap_err();
-        assert_eq!(err, SweepError::EmptySpan);
+        assert!(matches!(err, Error::Sweep(SweepError::EmptySpan)));
         let err = SweepPlan::new(&e, t(2015, 1, 1), t(2015, 2, 1))
             .step(Duration::ZERO)
             .summary()
             .unwrap_err();
-        assert_eq!(err, SweepError::NonPositiveStep);
+        assert!(matches!(err, Error::Sweep(SweepError::NonPositiveStep)));
         assert_eq!(err.to_string(), "sweep step must be positive");
     }
 

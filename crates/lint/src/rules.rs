@@ -43,8 +43,9 @@ pub const UNIT_TYPES: [&str; 10] = [
 
 /// Crates whose public APIs are dimension-agnostic by design: raw `f64`
 /// flowing into them is not a unit hazard. `units` owns the newtypes;
-/// `timeseries` is generic statistics over dimensionless samples.
-pub const DIMENSIONLESS_SINK_CRATES: [&str; 2] = ["units", "timeseries"];
+/// `timeseries` is generic statistics over dimensionless samples; `obs`
+/// records metric values whose unit lives in the metric key.
+pub const DIMENSIONLESS_SINK_CRATES: [&str; 3] = ["units", "timeseries", "obs"];
 
 /// The one file allowed to spawn threads: the deterministic sweep
 /// executor (`std::thread::scope` + shard merge).
@@ -212,8 +213,9 @@ impl Rule {
                  mira-units, or `.value()` anywhere) must not flow into *another*\n\
                  crate's public fn as a bare argument: at that boundary the number\n\
                  has silently lost its unit. Pass the newtype across, or go through\n\
-                 `mira_units::convert`. Escapes into `units` itself and into\n\
-                 `timeseries` (dimension-agnostic statistics) are sanctioned.\n\n\
+                 `mira_units::convert`. Escapes into `units` itself, into\n\
+                 `timeseries` (dimension-agnostic statistics), and into `obs`\n\
+                 (metrics keyed by name, unit in the key) are sanctioned.\n\n\
                  Tracking is per-function and token-level: direct arguments and\n\
                  single-assignment locals are seen; flows through fields, returns,\n\
                  or collections are not (see DESIGN.md)."
@@ -231,11 +233,11 @@ impl Rule {
             }
             Rule::DeprecatedCall => {
                 "deprecated-call (semantic rule)\n\n\
-                 In-workspace calls to our own `#[deprecated]` shims\n\
-                 (`Simulation::summarize_span`, `SweepSummary::sweep`) are\n\
+                 In-workspace calls to our own `#[deprecated]` shims are\n\
                  findings. rustc only warns downstream crates, and warnings rot;\n\
-                 this rule keeps the workspace itself at zero uses so the shims can\n\
-                 be deleted on schedule (see CHANGELOG.md)."
+                 this rule keeps the workspace itself at zero uses so shims can\n\
+                 be deleted on schedule (see CHANGELOG.md — the 0.2.0 sweep-API\n\
+                 shims have already been removed this way)."
             }
         }
     }

@@ -55,5 +55,5 @@ pub use data::{Dataset, KFold, Standardizer};
 pub use layer::Dense;
 pub use loss::Loss;
 pub use metrics::{roc_auc, BinaryMetrics};
-pub use network::{Mlp, TrainConfig};
+pub use network::{Mlp, TrainConfig, TrainOutcome};
 pub use optimizer::Optimizer;

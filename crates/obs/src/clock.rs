@@ -1,0 +1,82 @@
+//! Injectable wall-time sources.
+//!
+//! Instrumented code never names `std::time` directly — it reads
+//! nanoseconds through a [`Clock`] it was handed. That keeps every
+//! simulation crate clean under `mira-lint`'s `nondeterminism` and
+//! `determinism-taint` rules: the one genuine wall-clock read in the
+//! workspace is [`WallClock::nanos`], which lives here, outside the
+//! deterministic crates, and feeds only the nondeterministic
+//! [`crate::Timings`] section of a report.
+
+/// A monotonic nanosecond source.
+pub trait Clock {
+    /// Nanoseconds elapsed since an arbitrary fixed origin.
+    fn nanos(&self) -> u64;
+}
+
+/// The real monotonic clock, measured from construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManualClock {
+    now: std::cell::Cell<u64>,
+}
+
+impl ManualClock {
+    /// A clock stopped at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.set(self.now.get().saturating_add(nanos));
+    }
+}
+
+impl Clock for ManualClock {
+    fn nanos(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::default();
+        let a = c.nanos();
+        let b = c.nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_by_hand() {
+        let c = ManualClock::new();
+        assert_eq!(c.nanos(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.nanos(), 12);
+    }
+}

@@ -1,0 +1,164 @@
+//! The collecting [`Sink`]: accumulates metrics, span tallies, and
+//! wall-clock timings behind an injected [`Clock`].
+
+use crate::clock::{Clock, WallClock};
+use crate::metrics::MetricsPartial;
+use crate::report::{ObsReport, SpanStats, Timings};
+use crate::sink::Sink;
+
+/// An open span awaiting its end.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    name: &'static str,
+    begin_step: u64,
+    begin_nanos: u64,
+}
+
+/// A live collector. Implements [`Sink`] with `enabled() == true`;
+/// convert into an [`ObsReport`] with [`Collector::into_report`].
+///
+/// Span discipline is a stack: `span_end(name, ..)` closes the
+/// innermost open span with that name. An unmatched end is dropped;
+/// spans still open at [`Collector::into_report`] are discarded (their
+/// partial time never lands anywhere — a span is only reported once it
+/// closes).
+#[derive(Debug, Clone)]
+pub struct Collector<C: Clock = WallClock> {
+    clock: C,
+    metrics: MetricsPartial,
+    open: Vec<OpenSpan>,
+    spans: std::collections::BTreeMap<&'static str, SpanStats>,
+    timings: Timings,
+}
+
+impl Collector<WallClock> {
+    /// A collector timing against the real monotonic clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_clock(WallClock::default())
+    }
+}
+
+impl Default for Collector<WallClock> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Clock> Collector<C> {
+    /// A collector timing against `clock` (inject a
+    /// [`crate::ManualClock`] in tests).
+    #[must_use]
+    pub fn with_clock(clock: C) -> Self {
+        Self {
+            clock,
+            metrics: MetricsPartial::new(),
+            open: Vec::new(),
+            spans: std::collections::BTreeMap::new(),
+            timings: Timings::new(),
+        }
+    }
+
+    /// The metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsPartial {
+        &self.metrics
+    }
+
+    /// Finishes collection. Open spans are discarded.
+    #[must_use]
+    pub fn into_report(self) -> ObsReport {
+        ObsReport {
+            metrics: self.metrics,
+            spans: self.spans,
+            timings: self.timings,
+        }
+    }
+}
+
+impl<C: Clock> Sink for Collector<C> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&mut self, key: &'static str, n: u64) {
+        self.metrics.add(key, n);
+    }
+
+    fn gauge(&mut self, key: &'static str, value: f64) {
+        self.metrics.gauge(key, value);
+    }
+
+    fn observe(&mut self, key: &'static str, bounds: &'static [f64], value: f64) {
+        self.metrics.observe(key, bounds, value);
+    }
+
+    fn span_begin(&mut self, name: &'static str, step: u64) {
+        self.open.push(OpenSpan {
+            name,
+            begin_step: step,
+            begin_nanos: self.clock.nanos(),
+        });
+    }
+
+    fn span_end(&mut self, name: &'static str, step: u64) {
+        let Some(at) = self.open.iter().rposition(|s| s.name == name) else {
+            return;
+        };
+        let open = self.open.remove(at);
+        let entry = self.spans.entry(name).or_default();
+        entry.count += 1;
+        entry.steps += step.saturating_sub(open.begin_step);
+        let elapsed = self.clock.nanos().saturating_sub(open.begin_nanos);
+        self.timings.record(name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn spans_pair_by_name_and_nest() {
+        let clock = ManualClock::new();
+        let mut c = Collector::with_clock(clock.clone());
+        c.span_begin("outer", 0);
+        c.clock.advance(100);
+        c.span_begin("inner", 4);
+        c.clock.advance(50);
+        c.span_end("inner", 6);
+        c.clock.advance(25);
+        c.span_end("outer", 10);
+        let report = c.into_report();
+        assert_eq!(report.spans["inner"], SpanStats { count: 1, steps: 2 });
+        assert_eq!(
+            report.spans["outer"],
+            SpanStats {
+                count: 1,
+                steps: 10
+            }
+        );
+        assert_eq!(report.timings.nanos("inner"), Some(50));
+        assert_eq!(report.timings.nanos("outer"), Some(175));
+    }
+
+    #[test]
+    fn unmatched_end_is_dropped_and_open_spans_discarded() {
+        let mut c = Collector::with_clock(ManualClock::new());
+        c.span_end("never-opened", 3);
+        c.span_begin("left-open", 0);
+        let report = c.into_report();
+        assert!(report.spans.is_empty());
+        assert!(report.timings.is_empty());
+    }
+
+    #[test]
+    fn collector_is_an_enabled_sink() {
+        let mut c = Collector::with_clock(ManualClock::new());
+        assert!(c.enabled());
+        c.add("k", 2);
+        assert_eq!(c.metrics().counter("k"), Some(2));
+    }
+}

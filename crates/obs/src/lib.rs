@@ -1,0 +1,77 @@
+//! Deterministic observability for the `mira-ops` workspace.
+//!
+//! Production telemetry stacks live or die on a cheap, always-on
+//! instrumentation layer with a uniform data model. This crate is that
+//! layer for the simulator itself, split along the workspace's one
+//! non-negotiable axis — determinism:
+//!
+//! - **Metrics** ([`MetricsPartial`]): counters, gauges, and
+//!   fixed-bucket histograms against `&'static str` keys. A partial is
+//!   a *mergeable* accumulator: sweep shards each fold their own, and
+//!   merging in chronological shard order reproduces a single
+//!   sequential fold — bit-for-bit identical snapshots for any worker
+//!   count, exactly like the aggregation stack in `mira-core`.
+//! - **Spans** ([`SpanStats`] via [`Collector`]): scoped regions keyed
+//!   to *sim-time* (step index). The deterministic half (entry counts,
+//!   sim-steps covered) lives in the byte-stable snapshot; wall-clock
+//!   durations are read through an injectable [`Clock`] and land in a
+//!   separate, explicitly nondeterministic [`Timings`] section that the
+//!   byte-stability gate never compares.
+//!
+//! The only wall-clock read in the crate is [`WallClock::nanos`];
+//! instrumented code elsewhere in the workspace never names a wall
+//! clock, which keeps it clean under `mira-lint`'s `nondeterminism`
+//! and `determinism-taint` rules.
+//!
+//! Instrumented hot paths take a generic [`Sink`]; the provided
+//! [`NoopSink`] compiles every hook down to nothing, so observability
+//! costs nothing when it is off.
+//!
+//! ```
+//! use mira_obs::{Collector, ManualClock, Sink};
+//!
+//! let mut obs = Collector::with_clock(ManualClock::new());
+//! obs.add("demo.events", 3);
+//! obs.gauge("demo.level", 0.5);
+//! obs.span_begin("demo.region", 0);
+//! obs.span_end("demo.region", 10);
+//! let report = obs.into_report();
+//! assert_eq!(report.metrics.counter("demo.events"), Some(3));
+//! assert!(report.deterministic_json().contains("demo.region"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collector;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use collector::Collector;
+pub use metrics::{Histogram, MetricValue, MetricsPartial};
+pub use report::{ObsReport, SpanStats, Timings};
+pub use sink::{NoopSink, Sink};
+
+/// Whether instrumentation is live. Recorder-style integrations that
+/// cannot take a generic [`Sink`] parameter branch on this once per
+/// hook; the disabled arm does no work at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Collect nothing (the zero-cost default).
+    #[default]
+    Off,
+    /// Collect metrics and spans.
+    On,
+}
+
+impl ObsMode {
+    /// `true` when instrumentation is live.
+    #[must_use]
+    #[inline]
+    pub fn is_on(self) -> bool {
+        matches!(self, ObsMode::On)
+    }
+}

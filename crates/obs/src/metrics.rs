@@ -1,0 +1,360 @@
+//! Mergeable metric accumulators: counters, gauges, histograms.
+//!
+//! # Merge discipline
+//!
+//! [`MetricsPartial::merge`] absorbs a partial covering the span
+//! *after* this one's, mirroring the sweep executor's chronological
+//! shard merge. Counters and histogram bucket counts are integer folds
+//! and therefore associative exactly; gauge and histogram sums are
+//! floating-point folds whose bits depend on association — but the
+//! executor always merges in the same shard order regardless of worker
+//! count, so snapshots stay byte-identical across
+//! `MIRA_SWEEP_THREADS` settings.
+//!
+//! # Conflicts
+//!
+//! Keys are `&'static str`, fixed at the call site, so two call sites
+//! disagreeing on a key's kind (or a histogram's bucket bounds) is a
+//! programming error. The accumulator must not panic on the sweep hot
+//! path, so conflicts are resolved *left-biased* — the existing value
+//! wins, the conflicting operation is dropped — and tallied under the
+//! reserved [`CONFLICT_KEY`] counter so the bug is visible in every
+//! snapshot instead of aborting a six-year sweep.
+
+use std::collections::BTreeMap;
+
+use mira_units::convert;
+
+/// Counter bumped whenever an operation or merge is dropped because a
+/// key was already registered with a different kind or bucket bounds.
+pub const CONFLICT_KEY: &str = "obs.conflicts";
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bucket edges,
+/// plus one implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        let bucket = self.bounds.iter().take_while(|b| value > **b).count();
+        if let Some(c) = self.counts.get_mut(bucket) {
+            *c += 1;
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn same_bounds(&self, bounds: &[f64]) -> bool {
+        self.bounds.len() == bounds.len()
+            && self
+                .bounds
+                .iter()
+                .zip(bounds)
+                .all(|(a, b)| a.total_cmp(b).is_eq())
+    }
+
+    fn absorb(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Inclusive upper bucket edges (the overflow bucket is implicit).
+    #[must_use]
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds.len() + 1` entries, the
+    /// last being the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// One metric accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing event count.
+    Counter(u64),
+    /// A sampled level, kept as a count-weighted blend.
+    Gauge {
+        /// Sum of all samples.
+        sum: f64,
+        /// Number of samples.
+        count: u64,
+    },
+    /// A fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// A mergeable bag of metrics, keyed by static strings in
+/// deterministic (lexicographic) order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsPartial {
+    values: BTreeMap<&'static str, MetricValue>,
+}
+
+impl MetricsPartial {
+    /// An empty partial.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps the counter `key` by `n`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        let hit = match self.values.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => {
+                *c += n;
+                true
+            }
+            _ => false,
+        };
+        if !hit {
+            self.conflict();
+        }
+    }
+
+    /// Samples the gauge `key`.
+    pub fn gauge(&mut self, key: &'static str, value: f64) {
+        let hit = match self
+            .values
+            .entry(key)
+            .or_insert(MetricValue::Gauge { sum: 0.0, count: 0 })
+        {
+            MetricValue::Gauge { sum, count } => {
+                *sum += value;
+                *count += 1;
+                true
+            }
+            _ => false,
+        };
+        if !hit {
+            self.conflict();
+        }
+    }
+
+    /// Observes `value` into the histogram `key` with the given bucket
+    /// `bounds` (inclusive upper edges; an overflow bucket is added).
+    pub fn observe(&mut self, key: &'static str, bounds: &'static [f64], value: f64) {
+        let hit = match self
+            .values
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) if h.same_bounds(bounds) => {
+                h.push(value);
+                true
+            }
+            _ => false,
+        };
+        if !hit {
+            self.conflict();
+        }
+    }
+
+    fn conflict(&mut self) {
+        if let MetricValue::Counter(c) = self
+            .values
+            .entry(CONFLICT_KEY)
+            .or_insert(MetricValue::Counter(0))
+        {
+            *c += 1;
+        }
+    }
+
+    /// Absorbs a partial covering the span after this one's. Counters
+    /// and histogram buckets add; gauges blend count-weighted; kind or
+    /// bound mismatches are dropped left-biased and tallied under
+    /// [`CONFLICT_KEY`].
+    pub fn merge(&mut self, later: &MetricsPartial) {
+        for (key, theirs) in &later.values {
+            if !self.values.contains_key(key) {
+                self.values.insert(key, theirs.clone());
+                continue;
+            }
+            let hit = match (self.values.get_mut(key), theirs) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                    *a += b;
+                    true
+                }
+                (
+                    Some(MetricValue::Gauge { sum, count }),
+                    MetricValue::Gauge { sum: s2, count: c2 },
+                ) => {
+                    *sum += s2;
+                    *count += c2;
+                    true
+                }
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b))
+                    if a.same_bounds(b.bounds) =>
+                {
+                    a.absorb(b);
+                    true
+                }
+                _ => false,
+            };
+            if !hit {
+                self.conflict();
+            }
+        }
+    }
+
+    /// The counter `key`, if recorded.
+    #[must_use]
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.values.get(key) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The gauge `key` as `(count, mean)`, if recorded.
+    #[must_use]
+    pub fn gauge_stats(&self, key: &str) -> Option<(u64, f64)> {
+        match self.values.get(key) {
+            Some(MetricValue::Gauge { sum, count }) if *count > 0 => {
+                Some((*count, *sum / convert::f64_from_u64(*count)))
+            }
+            _ => None,
+        }
+    }
+
+    /// The histogram `key`, if recorded.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        match self.values.get(key) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates keys and values in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[f64] = &[1.0, 2.0, 4.0];
+
+    #[test]
+    fn counters_add() {
+        let mut m = MetricsPartial::new();
+        m.add("a", 2);
+        m.add("a", 3);
+        assert_eq!(m.counter("a"), Some(5));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_blend_count_weighted() {
+        let mut m = MetricsPartial::new();
+        m.gauge("g", 1.0);
+        m.gauge("g", 3.0);
+        let (count, mean) = m.gauge_stats("g").unwrap();
+        assert_eq!(count, 2);
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_edges() {
+        let mut m = MetricsPartial::new();
+        for v in [0.5, 1.0, 1.5, 4.0, 9.0] {
+            m.observe("h", BOUNDS, v);
+        }
+        let h = m.histogram("h").unwrap();
+        // <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {4.0}; overflow: {9.0}.
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_fold() {
+        let mut whole = MetricsPartial::new();
+        let mut left = MetricsPartial::new();
+        let mut right = MetricsPartial::new();
+        for (i, v) in [0.5, 1.5, 2.5, 5.0].iter().enumerate() {
+            whole.add("n", 1);
+            whole.gauge("g", *v);
+            whole.observe("h", BOUNDS, *v);
+            let part = if i < 2 { &mut left } else { &mut right };
+            part.add("n", 1);
+            part.gauge("g", *v);
+            part.observe("h", BOUNDS, *v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn kind_conflicts_are_dropped_and_tallied() {
+        let mut m = MetricsPartial::new();
+        m.add("k", 1);
+        m.gauge("k", 2.0); // wrong kind: dropped.
+        assert_eq!(m.counter("k"), Some(1));
+        assert_eq!(m.counter(CONFLICT_KEY), Some(1));
+
+        let mut other = MetricsPartial::new();
+        other.gauge("k", 1.0);
+        m.merge(&other);
+        assert_eq!(m.counter("k"), Some(1), "merge conflict keeps left");
+        assert_eq!(m.counter(CONFLICT_KEY), Some(2));
+    }
+
+    #[test]
+    fn bound_mismatch_is_a_conflict() {
+        const OTHER: &[f64] = &[10.0];
+        let mut m = MetricsPartial::new();
+        m.observe("h", BOUNDS, 1.0);
+        m.observe("h", OTHER, 1.0);
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+        assert_eq!(m.counter(CONFLICT_KEY), Some(1));
+    }
+}

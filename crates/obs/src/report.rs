@@ -1,0 +1,338 @@
+//! Snapshot documents: the byte-stable deterministic half and the
+//! explicitly nondeterministic wall-clock half.
+//!
+//! [`ObsReport::deterministic_json`] renders metrics and span tallies
+//! only — that document is proven byte-identical across
+//! `MIRA_SWEEP_THREADS` settings by the determinism gates.
+//! [`ObsReport::to_json`] appends the [`Timings`] section, which holds
+//! wall-clock durations and is excluded from every byte-stability
+//! comparison.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, MetricsPartial};
+
+/// The deterministic half of a span: how often it ran and how much
+/// sim-time (in step indices) it covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of begin/end pairs.
+    pub count: u64,
+    /// Total sim-steps between begins and ends.
+    pub steps: u64,
+}
+
+impl SpanStats {
+    /// Adds a later span's tallies into this one.
+    pub fn merge(&mut self, later: SpanStats) {
+        self.count += later.count;
+        self.steps += later.steps;
+    }
+}
+
+/// Wall-clock durations, separated from the deterministic snapshot.
+/// Values depend on the machine, the scheduler, and the worker count —
+/// byte-stability gates must never compare them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timings {
+    entries: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl Timings {
+    /// Empty timings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one measured duration under `key`.
+    pub fn record(&mut self, key: &'static str, nanos: u64) {
+        let entry = self.entries.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.saturating_add(nanos);
+    }
+
+    /// Absorbs another timing table (counts and nanos add).
+    pub fn merge(&mut self, later: &Timings) {
+        for (key, (count, nanos)) in &later.entries {
+            let entry = self.entries.entry(key).or_insert((0, 0));
+            entry.0 += count;
+            entry.1 = entry.1.saturating_add(*nanos);
+        }
+    }
+
+    /// Total nanoseconds recorded under `key`, if any.
+    #[must_use]
+    pub fn nanos(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).map(|(_, n)| *n)
+    }
+
+    /// Whether nothing was timed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn render_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (key, (count, nanos))) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":{{\"count\":{count},\"nanos\":{nanos}}}");
+        }
+        out.push('}');
+    }
+}
+
+/// A finished observability report: merged metrics, span tallies, and
+/// the nondeterministic timings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// Merged deterministic metrics.
+    pub metrics: MetricsPartial,
+    /// Deterministic span tallies, keyed by span name.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Wall-clock durations (nondeterministic; excluded from the
+    /// byte-stability gates).
+    pub timings: Timings,
+}
+
+impl ObsReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds span tallies under `name`.
+    pub fn record_span(&mut self, name: &'static str, stats: SpanStats) {
+        self.spans.entry(name).or_default().merge(stats);
+    }
+
+    /// Absorbs a report covering the span after this one's.
+    pub fn merge(&mut self, later: &ObsReport) {
+        self.metrics.merge(&later.metrics);
+        for (name, stats) in &later.spans {
+            self.spans.entry(name).or_default().merge(*stats);
+        }
+        self.timings.merge(&later.timings);
+    }
+
+    /// Whether nothing at all was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.spans.is_empty() && self.timings.is_empty()
+    }
+
+    /// The byte-stable document: metrics and span tallies, rendered in
+    /// deterministic key order, with no wall-clock content. Identical
+    /// at any sweep worker count.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        let mut first = true;
+        for (key, value) in self.metrics.iter() {
+            if let MetricValue::Counter(c) = value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{key}\":{c}");
+            }
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (key, value) in self.metrics.iter() {
+            if let MetricValue::Gauge { sum, count } = value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\"{key}\":{{\"count\":{count},\"sum\":{}}}",
+                    json_f64(*sum)
+                );
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (key, value) in self.metrics.iter() {
+            if let MetricValue::Histogram(h) = value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{key}\":{{\"bounds\":[");
+                for (i, b) in h.bounds().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_f64(*b));
+                }
+                out.push_str("],\"counts\":[");
+                for (i, c) in h.counts().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                let _ = write!(
+                    out,
+                    "],\"count\":{},\"sum\":{}}}",
+                    h.count(),
+                    json_f64(h.sum())
+                );
+            }
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, stats)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"steps\":{}}}",
+                stats.count, stats.steps
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// The full document: the deterministic snapshot plus the
+    /// nondeterministic `timings` section.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"deterministic\":");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\"timings\":");
+        self.timings.render_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// A human-readable rendering of the full report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.metrics.iter() {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "counter    {key} = {c}");
+                }
+                MetricValue::Gauge { sum, count } => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        *sum / mira_units::convert::f64_from_u64(*count)
+                    };
+                    let _ = writeln!(out, "gauge      {key} = {mean:.4} (n={count})");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram  {key}: n={} sum={:.3} buckets={:?}",
+                        h.count(),
+                        h.sum(),
+                        h.counts()
+                    );
+                }
+            }
+        }
+        for (name, stats) in &self.spans {
+            let _ = writeln!(
+                out,
+                "span       {name}: count={} steps={}",
+                stats.count, stats.steps
+            );
+        }
+        for (key, (count, nanos)) in &self.timings.entries {
+            let _ = writeln!(
+                out,
+                "timing     {key}: count={count} wall={:.3} ms",
+                mira_units::convert::f64_from_u64(*nanos) / 1.0e6
+            );
+        }
+        out
+    }
+}
+
+/// JSON-renders an `f64` deterministically: Rust's shortest round-trip
+/// formatting for finite values, `null` for non-finite ones (JSON has
+/// no NaN/∞ literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ObsReport {
+        let mut r = ObsReport::new();
+        r.metrics.add("b.count", 2);
+        r.metrics.add("a.count", 1);
+        r.metrics.gauge("g.level", 1.5);
+        r.metrics.observe("h.dist", &[1.0, 2.0], 1.5);
+        r.record_span(
+            "sweep.run",
+            SpanStats {
+                count: 1,
+                steps: 10,
+            },
+        );
+        r.timings.record("sweep.wall", 1_500_000);
+        r
+    }
+
+    #[test]
+    fn deterministic_json_is_sorted_and_timing_free() {
+        let json = sample_report().deterministic_json();
+        assert!(json.find("a.count").unwrap() < json.find("b.count").unwrap());
+        assert!(json.contains("\"spans\":{\"sweep.run\":{\"count\":1,\"steps\":10}}"));
+        assert!(!json.contains("timings"));
+        assert!(!json.contains("nanos"));
+    }
+
+    #[test]
+    fn full_json_appends_timings() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"timings\":{\"sweep.wall\":{\"count\":1,\"nanos\":1500000}}"));
+        assert!(json.starts_with("{\"deterministic\":{"));
+    }
+
+    #[test]
+    fn merge_adds_spans_and_timings() {
+        let mut a = sample_report();
+        let b = sample_report();
+        a.merge(&b);
+        assert_eq!(a.spans["sweep.run"].count, 2);
+        assert_eq!(a.spans["sweep.run"].steps, 20);
+        assert_eq!(a.timings.nanos("sweep.wall"), Some(3_000_000));
+        assert_eq!(a.metrics.counter("a.count"), Some(2));
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_kind() {
+        let text = sample_report().to_text();
+        for needle in ["counter", "gauge", "histogram", "span", "timing"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

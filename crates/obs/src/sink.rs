@@ -1,0 +1,120 @@
+//! The instrumentation hook surface.
+//!
+//! Hot loops take a generic `&mut impl Sink` and call the hooks
+//! unconditionally; with [`NoopSink`] every hook is an empty `#[inline]`
+//! body the optimizer erases, so the instrumented and plain code paths
+//! compile to the same loop. Uninstrumented convenience wrappers
+//! delegate with a `NoopSink`.
+
+/// Receiver of instrumentation events.
+///
+/// Every method has an empty default body, so a sink only implements
+/// what it collects. Implementors that do collect should override
+/// [`Sink::enabled`] to `true` so call sites can skip building
+/// expensive event payloads.
+pub trait Sink {
+    /// Whether this sink records anything. Call sites may use this to
+    /// skip computing expensive metric inputs.
+    #[inline]
+    #[must_use]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Bumps the counter `key` by `n`.
+    #[inline]
+    fn add(&mut self, key: &'static str, n: u64) {
+        let _ = (key, n);
+    }
+
+    /// Samples the gauge `key`.
+    #[inline]
+    fn gauge(&mut self, key: &'static str, value: f64) {
+        let _ = (key, value);
+    }
+
+    /// Observes `value` into the histogram `key` bucketed by `bounds`.
+    #[inline]
+    fn observe(&mut self, key: &'static str, bounds: &'static [f64], value: f64) {
+        let _ = (key, bounds, value);
+    }
+
+    /// Opens the span `name` at sim-step `step`.
+    #[inline]
+    fn span_begin(&mut self, name: &'static str, step: u64) {
+        let _ = (name, step);
+    }
+
+    /// Closes the innermost open span `name` at sim-step `step`.
+    #[inline]
+    fn span_end(&mut self, name: &'static str, step: u64) {
+        let _ = (name, step);
+    }
+}
+
+/// The zero-cost disabled sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {}
+
+/// Forwarding, so instrumented fns can be handed `&mut sink` without
+/// consuming the caller's sink.
+impl<S: Sink + ?Sized> Sink for &mut S {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn add(&mut self, key: &'static str, n: u64) {
+        (**self).add(key, n);
+    }
+
+    #[inline]
+    fn gauge(&mut self, key: &'static str, value: f64) {
+        (**self).gauge(key, value);
+    }
+
+    #[inline]
+    fn observe(&mut self, key: &'static str, bounds: &'static [f64], value: f64) {
+        (**self).observe(key, bounds, value);
+    }
+
+    #[inline]
+    fn span_begin(&mut self, name: &'static str, step: u64) {
+        (**self).span_begin(name, step);
+    }
+
+    #[inline]
+    fn span_end(&mut self, name: &'static str, step: u64) {
+        (**self).span_end(name, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.add("k", 1);
+        s.gauge("g", 1.0);
+        s.observe("h", &[1.0], 0.5);
+        s.span_begin("sp", 0);
+        s.span_end("sp", 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        fn use_sink<S: Sink>(mut s: S) {
+            assert!(!s.enabled());
+            s.add("k", 1);
+            s.span_begin("sp", 0);
+        }
+        let mut s = NoopSink;
+        use_sink(&mut s);
+    }
+}

@@ -1,0 +1,201 @@
+//! Merge laws for [`MetricsPartial`]: partitioned folds must agree
+//! with a single stream, and merging must be associative.
+//!
+//! Counters and histogram bucket counts are integer folds, so they are
+//! compared exactly — including across re-association. Gauge and
+//! histogram sums are floating-point folds whose bits depend on
+//! association, so the associativity law compares them to a tight
+//! tolerance while the count-weighted blend (counts, bucket shapes) is
+//! exact.
+
+use proptest::prelude::*;
+
+use mira_obs::MetricsPartial;
+
+const BOUNDS: &[f64] = &[-500.0, -50.0, 0.0, 50.0, 500.0];
+
+const COUNTER_KEYS: [&str; 3] = ["c.a", "c.b", "c.c"];
+const GAUGE_KEYS: [&str; 2] = ["g.a", "g.b"];
+const HIST_KEYS: [&str; 2] = ["h.a", "h.b"];
+
+/// One recorded operation over a small key alphabet so streams collide
+/// on keys often.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(&'static str, u64),
+    Gauge(&'static str, f64),
+    Observe(&'static str, f64),
+}
+
+/// Decodes a sampled integer into an op. The vendored proptest stand-in
+/// has no `prop_oneof!`/`select`, so one integer strategy fans out over
+/// kind, key, and payload instead.
+fn decode(n: u64) -> Op {
+    let value = ((n / 7) % 2_000_000) as f64 / 1000.0 - 1000.0;
+    match n % 7 {
+        0 => Op::Add(COUNTER_KEYS[0], n % 100),
+        1 => Op::Add(COUNTER_KEYS[1], n % 100),
+        2 => Op::Add(COUNTER_KEYS[2], n % 100),
+        3 => Op::Gauge(GAUGE_KEYS[0], value),
+        4 => Op::Gauge(GAUGE_KEYS[1], value),
+        5 => Op::Observe(HIST_KEYS[0], value),
+        _ => Op::Observe(HIST_KEYS[1], value),
+    }
+}
+
+fn ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u64..4_000_000_000).prop_map(decode), 0..max_len)
+}
+
+fn fold(ops: &[Op]) -> MetricsPartial {
+    let mut m = MetricsPartial::new();
+    for op in ops {
+        match op {
+            Op::Add(key, n) => m.add(key, *n),
+            Op::Gauge(key, v) => m.gauge(key, *v),
+            Op::Observe(key, v) => m.observe(key, BOUNDS, *v),
+        }
+    }
+    m
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Integer-exact content must match exactly; float folds to tolerance.
+fn assert_equivalent(a: &MetricsPartial, b: &MetricsPartial) {
+    for key in COUNTER_KEYS {
+        assert_eq!(a.counter(key), b.counter(key), "counter {key}");
+    }
+    for key in GAUGE_KEYS {
+        let (sa, sb) = (a.gauge_stats(key), b.gauge_stats(key));
+        assert_eq!(sa.is_some(), sb.is_some(), "gauge presence {key}");
+        if let (Some((ca, ma)), Some((cb, mb))) = (sa, sb) {
+            assert_eq!(ca, cb, "gauge count {key}");
+            assert!(close(ma, mb, 1e-12), "gauge mean {key}: {ma} vs {mb}");
+        }
+    }
+    for key in HIST_KEYS {
+        let (ha, hb) = (a.histogram(key), b.histogram(key));
+        assert_eq!(ha.is_some(), hb.is_some(), "histogram presence {key}");
+        if let (Some(ha), Some(hb)) = (ha, hb) {
+            assert_eq!(ha.counts(), hb.counts(), "histogram buckets {key}");
+            assert_eq!(ha.count(), hb.count(), "histogram count {key}");
+            assert!(
+                close(ha.sum(), hb.sum(), 1e-12),
+                "histogram sum {key}: {} vs {}",
+                ha.sum(),
+                hb.sum()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Splitting a stream at any point and merging the two partials
+    /// agrees with the single-stream fold: exactly on every integer
+    /// tally, and to rounding error on float sums (the merge adds two
+    /// pre-summed partials, which re-associates the float additions).
+    #[test]
+    fn split_merge_matches_single_fold(
+        stream in ops(120),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        let (left_ops, right_ops) = stream.split_at(cut.min(stream.len()));
+
+        let whole = fold(&stream);
+        let mut merged = fold(left_ops);
+        merged.merge(&fold(right_ops));
+
+        assert_equivalent(&merged, &whole);
+    }
+
+    /// The sweep executor's byte-stability invariant in miniature: with
+    /// a FIXED partition merged in chronological order, the result is
+    /// bit-for-bit identical no matter how many times (or on which
+    /// "worker") each partial was computed — the merge is a pure
+    /// function of the partition, not of scheduling.
+    #[test]
+    fn fixed_partition_merge_is_bitwise_deterministic(
+        stream in ops(120),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let cut = ((stream.len() as f64) * cut_frac) as usize;
+        let (left_ops, right_ops) = stream.split_at(cut.min(stream.len()));
+
+        // "Worker A" and "worker B" each compute the shards
+        // independently; chronological merge of the same partition must
+        // agree bitwise.
+        let mut run_a = fold(left_ops);
+        run_a.merge(&fold(right_ops));
+        let mut run_b = fold(left_ops);
+        run_b.merge(&fold(right_ops));
+
+        prop_assert_eq!(run_a, run_b);
+    }
+
+    /// Merging is associative: (a ⊕ b) ⊕ c ~ a ⊕ (b ⊕ c). Counters and
+    /// histogram bucket counts are exact; gauge/histogram sums agree to
+    /// rounding error (re-association of float adds).
+    #[test]
+    fn merge_is_associative(
+        a in ops(60),
+        b in ops(60),
+        c in ops(60),
+    ) {
+        let (a, b, c) = (fold(&a), fold(&b), fold(&c));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        assert_equivalent(&left, &right);
+    }
+
+    /// The gauge blend is count-weighted: merging partials with n₁ and
+    /// n₂ samples yields mean (n₁m₁ + n₂m₂)/(n₁+n₂), not (m₁+m₂)/2.
+    #[test]
+    fn gauge_blend_is_count_weighted(
+        xs in proptest::collection::vec(-1.0e3..1.0e3f64, 1..40),
+        ys in proptest::collection::vec(-1.0e3..1.0e3f64, 1..40),
+    ) {
+        let mut a = MetricsPartial::new();
+        for &x in &xs {
+            a.gauge("g.a", x);
+        }
+        let mut b = MetricsPartial::new();
+        for &y in &ys {
+            b.gauge("g.a", y);
+        }
+        a.merge(&b);
+
+        let (count, mean) = a.gauge_stats("g.a").expect("gauge present");
+        prop_assert_eq!(count as usize, xs.len() + ys.len());
+        let expected =
+            (xs.iter().sum::<f64>() + ys.iter().sum::<f64>()) / ((xs.len() + ys.len()) as f64);
+        prop_assert!(close(mean, expected, 1e-12), "{} vs {}", mean, expected);
+    }
+
+    /// Merging an empty partial in either direction is the identity.
+    #[test]
+    fn empty_is_identity(stream in ops(80)) {
+        let folded = fold(&stream);
+
+        let mut left = MetricsPartial::new();
+        left.merge(&folded);
+        prop_assert_eq!(&left, &folded);
+
+        let mut right = folded.clone();
+        right.merge(&MetricsPartial::new());
+        prop_assert_eq!(&right, &folded);
+    }
+}

@@ -69,6 +69,14 @@ pub fn i64_from_u64(n: u64) -> i64 {
     i64::try_from(n).unwrap_or(i64::MAX)
 }
 
+/// A `usize` count as a `u64`. Lossless on every supported target
+/// (`usize` is at most 64 bits); the saturation only matters on
+/// hypothetical 128-bit hosts.
+#[must_use]
+pub fn u64_from_usize(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// A non-negative `i64` (a step count, an index) as a `usize`.
 ///
 /// Negative inputs clamp to 0, which the debug assertion flags; exact

@@ -22,14 +22,36 @@ fn core_types_are_send_and_sync() {
     assert_send_sync::<mira_weather::ChicagoClimate>();
     assert_send_sync::<mira_workload::WorkloadModel>();
     assert_send_sync::<mira_workload::BackfillScheduler>();
+    assert_send_sync::<mira_core::ObsReport>();
+    assert_send_sync::<mira_obs::Collector>();
 }
 
 #[test]
 fn errors_implement_std_error_and_are_sendable() {
     fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<mira_facility::ParseRackIdError>();
+    assert_error::<mira_core::SweepError>();
     assert_error::<mira_core::archive::ArchiveError>();
+    assert_error::<mira_core::Error>();
     assert_error::<mira_ops_cli::CliError>();
+}
+
+#[test]
+fn unified_error_preserves_the_cause_chain() {
+    use std::error::Error as _;
+
+    let err = mira_core::Error::from(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        "missing.csv",
+    ));
+    // Error -> ArchiveError -> io::Error, walkable via source().
+    let archive = err.source().expect("archive cause");
+    let io = archive.source().expect("io cause");
+    assert!(io.to_string().contains("missing.csv"));
+
+    let sweep = mira_core::Error::from(mira_core::SweepError::EmptySpan);
+    assert!(matches!(sweep, mira_core::Error::Sweep(_)));
+    assert!(sweep.source().is_some());
 }
 
 #[test]

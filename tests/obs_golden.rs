@@ -1,0 +1,93 @@
+//! Golden determinism gate for the observability layer: the
+//! deterministic metrics snapshot of an instrumented quarter-span sweep
+//! must be byte-identical no matter how many sweep workers run it.
+//!
+//! `ci.sh` runs this test under `MIRA_SWEEP_THREADS=1` and `=4`; the
+//! env-resolved run (`threads = 0`) is asserted against explicit
+//! per-call thread counts here, so both knobs are covered.
+//!
+//! Wall-clock timings are nondeterministic by design and live outside
+//! `ObsReport::deterministic_json`; a `ManualClock` keeps even the
+//! timings section stable in this test.
+
+use mira_core::obs::keys;
+use mira_core::{ObsMode, SimConfig, Simulation};
+use mira_obs::ManualClock;
+use mira_timeseries::{Date, Duration, SimTime};
+
+fn quarter() -> (SimTime, SimTime) {
+    (
+        SimTime::from_date(Date::new(2016, 1, 1)),
+        SimTime::from_date(Date::new(2016, 4, 1)),
+    )
+}
+
+#[test]
+fn quarter_span_metrics_are_byte_identical_across_thread_counts() {
+    let sim = Simulation::new(SimConfig::with_seed(2016));
+    let span = quarter();
+    let step = Duration::from_hours(3);
+    let clock = ManualClock::new();
+
+    let base = sim
+        .summarize_observed_with_clock(span, step, 1, ObsMode::On, &clock)
+        .expect("valid span");
+    let golden = base.report.deterministic_json();
+    assert!(!base.report.is_empty(), "instrumented sweep must report");
+
+    // Explicit worker counts, plus 0 = resolve from MIRA_SWEEP_THREADS
+    // (ci.sh runs this binary under both =1 and =4).
+    for threads in [2, 4, 0] {
+        let other = sim
+            .summarize_observed_with_clock(span, step, threads, ObsMode::On, &clock)
+            .expect("valid span");
+        assert_eq!(
+            other.report.deterministic_json(),
+            golden,
+            "threads={threads}"
+        );
+        assert_eq!(other.summary, base.summary, "threads={threads}");
+    }
+}
+
+#[test]
+fn quarter_span_metrics_carry_the_expected_shape() {
+    let sim = Simulation::new(SimConfig::with_seed(2016));
+    let (from, to) = quarter();
+    let step = Duration::from_hours(3);
+    let clock = ManualClock::new();
+    let report = sim
+        .summarize_observed_with_clock((from, to), step, 4, ObsMode::On, &clock)
+        .expect("valid span")
+        .report;
+
+    // Q1 2016 (leap year): 91 days at 8 instants/day, 48 racks each.
+    let steps = (31 + 29 + 31) * 8;
+    assert_eq!(report.metrics.counter(keys::SIM_STEPS), Some(steps));
+    assert_eq!(report.metrics.counter(keys::SIM_SAMPLES), Some(steps * 48));
+    assert_eq!(report.metrics.counter(keys::SWEEP_SHARDS), Some(3));
+    assert_eq!(report.metrics.counter(keys::SWEEP_MERGES), Some(2));
+    assert_eq!(
+        report.metrics.counter("obs.conflicts"),
+        None,
+        "metric vocabulary must be conflict-free"
+    );
+    // Every rack that went down came back up or is still down at the
+    // end; transitions can never exceed valve actuations.
+    let down = report
+        .metrics
+        .counter(keys::RAS_CMF_TRANSITIONS)
+        .unwrap_or(0);
+    let up = report
+        .metrics
+        .counter(keys::RAS_RACK_RECOVERIES)
+        .unwrap_or(0);
+    let valves = report
+        .metrics
+        .counter(keys::COOLING_VALVE_ACTUATIONS)
+        .unwrap_or(0);
+    assert_eq!(down + up, valves, "each rack edge actuates one valve");
+    // The deterministic snapshot never contains wall-clock data.
+    let json = report.deterministic_json();
+    assert!(!json.contains("timings"), "timings stay out of the gate");
+}
