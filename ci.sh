@@ -65,4 +65,16 @@ MIRA_SWEEP_THREADS=4 cargo test -q -p mira-core --test obs_golden
 echo "==> obs overhead gate"
 cargo bench -q -p mira-bench --bench obs_overhead
 
+# Allocation regression gate: the smoke-span sweep bench exits nonzero
+# when allocs/step climbs above the baseline recorded in
+# BENCH_sweep.json. Wall time is machine-dependent and only reported;
+# the alloc count is deterministic, so it gates. Run against a scratch
+# copy so the per-run timing keys never dirty the committed file.
+echo "==> sweep alloc regression gate (smoke span)"
+bench_scratch="$(mktemp)"
+cp BENCH_sweep.json "$bench_scratch"
+MIRA_BENCH_SPAN=smoke MIRA_BENCH_OUT="$bench_scratch" \
+  cargo bench -q -p mira-bench --bench sweep_baseline
+rm -f "$bench_scratch"
+
 echo "ci: all gates green"

@@ -1,0 +1,244 @@
+//! Tracked sweep benchmark: times the telemetry sweep, measures heap
+//! allocations per step with a counting global allocator, and records
+//! the numbers in `BENCH_sweep.json` so future changes have a perf
+//! trajectory to compare against.
+//!
+//! This is not a criterion bench: it needs to own the global allocator
+//! and to write a machine-readable file, so it drives its own timing.
+//!
+//! Environment:
+//! - `MIRA_BENCH_SPAN`: `full` (default, the configured six years) or
+//!   `smoke` (a fixed 3-month window — the ci.sh gate).
+//! - `MIRA_BENCH_OUT`: output path (default `<repo>/BENCH_sweep.json`).
+//! - `MIRA_BENCH_RESET_BASELINE=1`: re-record the `baseline_*` keys
+//!   from this run instead of preserving the committed ones.
+//!
+//! The process exits non-zero when allocations per step regress above
+//! the recorded baseline (plus a 0.5 allocs/step tolerance), which is
+//! what lets ci.sh run the smoke span as a regression gate. Wall time
+//! is recorded but not gated — CI wall clocks are too noisy to fail on.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mira_bench::simulation;
+use mira_core::{Date, Duration, SimTime, Simulation};
+
+/// Forwards to the system allocator, counting every allocation (alloc,
+/// zeroed alloc, and realloc — each is one trip into the allocator).
+#[derive(Debug)]
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// How many allocs/step above baseline still passes: absorbs amortized
+/// `Vec` growth in the recorders without letting a real per-step
+/// allocation (always ≥ 1.0) slip through.
+const ALLOC_TOLERANCE: f64 = 0.5;
+
+const STEP: Duration = Duration::from_minutes(5);
+
+struct SpanChoice {
+    name: &'static str,
+    from: SimTime,
+    to: SimTime,
+}
+
+fn resolve_span(sim: &Simulation) -> SpanChoice {
+    match std::env::var("MIRA_BENCH_SPAN").as_deref() {
+        Ok("smoke") => SpanChoice {
+            name: "smoke",
+            from: SimTime::from_date(Date::new(2016, 3, 1)),
+            to: SimTime::from_date(Date::new(2016, 6, 1)),
+        },
+        _ => {
+            let (from, to) = sim.config().span();
+            SpanChoice {
+                name: "full",
+                from,
+                to,
+            }
+        }
+    }
+}
+
+/// Grid size of `[from, to)` at `STEP` — mirrors the sweep executor.
+fn grid_steps(from: SimTime, to: SimTime) -> u64 {
+    let step_s = STEP.as_seconds();
+    let total_s = (to - from).as_seconds();
+    u64::try_from((total_s + step_s - 1) / step_s).unwrap_or(0)
+}
+
+fn run_sweep(sim: &Simulation, from: SimTime, to: SimTime, threads: usize) {
+    let summary = sim
+        .sweep_plan(from..to)
+        .step(STEP)
+        .threads(threads)
+        .summary()
+        .expect("non-empty bench span");
+    std::hint::black_box(summary);
+}
+
+fn main() {
+    let sim = simulation();
+    let span = resolve_span(sim);
+    let steps = grid_steps(span.from, span.to);
+    println!(
+        "sweep bench: span={} steps={steps} step={}s",
+        span.name,
+        STEP.as_seconds()
+    );
+
+    // Warm-up: populate lazy engine state so the timed run measures the
+    // steady-state loop, not first-touch construction.
+    run_sweep(sim, span.from, span.from + STEP * 32, 1);
+
+    // Single-threaded timed run, with the allocation counter around it.
+    let alloc_before = allocations();
+    let t1_start = Instant::now();
+    run_sweep(sim, span.from, span.to, 1);
+    let t1_wall = t1_start.elapsed().as_secs_f64();
+    let allocs_full = allocations() - alloc_before;
+
+    // Allocations over the first half of the same grid: the difference
+    // isolates the steady-state per-step cost from per-sweep setup and
+    // finish work (shard list, recorder construction, time-series
+    // assembly), which the half-span run pays too.
+    let half_steps = steps / 2;
+    let mid = span.from + STEP * i64::try_from(half_steps).unwrap_or(i64::MAX);
+    let alloc_before = allocations();
+    run_sweep(sim, span.from, mid, 1);
+    let allocs_half = allocations() - alloc_before;
+    #[allow(clippy::cast_precision_loss)] // step counts are far below 2^52
+    let allocs_per_step =
+        allocs_full.saturating_sub(allocs_half) as f64 / (steps - half_steps) as f64;
+
+    // Four workers. The shard plan is identical, so the result is
+    // bit-for-bit the same; only wall time may differ (on a single-core
+    // container t4 ≈ t1).
+    let t4_start = Instant::now();
+    run_sweep(sim, span.from, span.to, 4);
+    let t4_wall = t4_start.elapsed().as_secs_f64();
+
+    #[allow(clippy::cast_precision_loss)]
+    let steps_per_second = steps as f64 / t1_wall;
+    println!(
+        "sweep bench: t1={t1_wall:.3}s t4={t4_wall:.3}s {steps_per_second:.0} steps/s \
+         {allocs_per_step:.4} allocs/step"
+    );
+
+    let out_path = out_path();
+    let mut doc = read_flat_json(&out_path);
+    doc.insert("schema".to_string(), "1".to_string());
+    let set = |doc: &mut BTreeMap<String, String>, key: &str, value: f64| {
+        doc.insert(format!("{}_{key}", span.name), format!("{value:.6}"));
+    };
+    #[allow(clippy::cast_precision_loss)]
+    set(&mut doc, "steps", steps as f64);
+    #[allow(clippy::cast_precision_loss)]
+    set(&mut doc, "step_seconds", STEP.as_seconds() as f64);
+    set(&mut doc, "t1_wall_seconds", t1_wall);
+    set(&mut doc, "t4_wall_seconds", t4_wall);
+    set(&mut doc, "steps_per_second_t1", steps_per_second);
+    set(&mut doc, "allocs_per_step", allocs_per_step);
+
+    // Baseline keys persist across runs (first run seeds them; reset
+    // re-records) so later runs have something to regress against.
+    let reset = std::env::var("MIRA_BENCH_RESET_BASELINE").as_deref() == Ok("1");
+    let baseline_alloc_key = format!("baseline_{}_allocs_per_step", span.name);
+    let baseline_wall_key = format!("baseline_{}_t1_wall_seconds", span.name);
+    let prior_baseline: Option<f64> = doc.get(&baseline_alloc_key).and_then(|v| v.parse().ok());
+    if reset || prior_baseline.is_none() {
+        doc.insert(baseline_alloc_key, format!("{allocs_per_step:.6}"));
+        doc.insert(baseline_wall_key, format!("{t1_wall:.6}"));
+    }
+
+    write_flat_json(&out_path, &doc);
+    println!("sweep bench: wrote {}", out_path.display());
+
+    if let Some(baseline) = prior_baseline {
+        if !reset && allocs_per_step > baseline + ALLOC_TOLERANCE {
+            eprintln!(
+                "sweep bench FAILED: {allocs_per_step:.4} allocs/step exceeds recorded \
+                 baseline {baseline:.4} (+{ALLOC_TOLERANCE} tolerance)"
+            );
+            std::process::exit(1);
+        }
+        println!("sweep bench: alloc gate OK ({allocs_per_step:.4} <= {baseline:.4} + {ALLOC_TOLERANCE})");
+    }
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MIRA_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // <repo>/BENCH_sweep.json, anchored on this crate's manifest.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
+}
+
+/// Reads a flat `{"key": value}` JSON object previously written by
+/// [`write_flat_json`] (one pair per line). Unknown keys are preserved
+/// so hand-annotated entries survive updates. Returns empty on any
+/// read/parse miss — the bench then simply rewrites the file.
+fn read_flat_json(path: &PathBuf) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        if !key.is_empty() && !value.is_empty() {
+            out.insert(key.to_string(), value.to_string());
+        }
+    }
+    out
+}
+
+fn write_flat_json(path: &PathBuf, doc: &BTreeMap<String, String>) {
+    let mut text = String::from("{\n");
+    for (i, (key, value)) in doc.iter().enumerate() {
+        let comma = if i + 1 == doc.len() { "" } else { "," };
+        text.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    text.push_str("}\n");
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("sweep bench: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

@@ -42,7 +42,7 @@ pub mod pump;
 
 pub use exchanger::HeatExchanger;
 pub use monitor::{AlarmThresholds, CoolantMonitor, CoolantMonitorSample, MonitorAlarm};
-pub use network::FlowNetwork;
+pub use network::{FlowCursor, FlowNetwork};
 pub use plant::{ChilledWaterPlant, PlantLoad};
 pub use precursor::PrecursorSignature;
 pub use pump::{LoopHydraulics, PumpCurve};

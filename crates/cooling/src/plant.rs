@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Duration, SimTime};
 use mira_units::{convert, Fahrenheit, KilowattHours, Kilowatts, Watts};
-use mira_weather::ValueNoise;
+use mira_weather::{NoiseCursor, ValueNoise};
 
 /// Cooling capacity of one chiller tower in refrigeration tons.
 pub const CHILLER_TONS: f64 = 1500.0;
@@ -92,6 +92,27 @@ impl ChilledWaterPlant {
         heat_load: Watts,
         supply_uplift: Fahrenheit,
     ) -> PlantLoad {
+        self.respond_with(
+            t,
+            free_cooling_fraction,
+            heat_load,
+            supply_uplift,
+            &mut NoiseCursor::default(),
+        )
+    }
+
+    /// [`Self::respond`] through a control-noise cursor; bit-identical
+    /// to the cold path from any prior cursor state.
+    #[must_use]
+    // Dimensionless economizer fraction. mira-lint: allow(raw-f64-in-public-api)
+    pub fn respond_with(
+        &self,
+        t: SimTime,
+        free_cooling_fraction: f64,
+        heat_load: Watts,
+        supply_uplift: Fahrenheit,
+        cursor: &mut NoiseCursor,
+    ) -> PlantLoad {
         let free = free_cooling_fraction.clamp(0.0, 1.0);
         let load_kw = heat_load.to_kilowatts().value().max(0.0);
         let utilization = (load_kw / self.capacity_kw().value()).clamp(0.0, 1.0);
@@ -103,7 +124,7 @@ impl ChilledWaterPlant {
 
         let noise = self
             .control_noise
-            .sample(convert::f64_from_i64(t.epoch_seconds()))
+            .sample_with(convert::f64_from_i64(t.epoch_seconds()), cursor)
             * 0.2;
         let supply =
             self.setpoint + self.economizer_penalty * free + supply_uplift + Fahrenheit::new(noise);
@@ -246,6 +267,27 @@ mod tests {
         let mut ledger = FreeCoolingLedger::new();
         ledger.record(&load, Duration::from_days(122));
         assert!((ledger.saved().value() - 2_174_040.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn cursor_response_is_bit_identical() {
+        let p = ChilledWaterPlant::mira(99);
+        let mut cursor = NoiseCursor::default();
+        let mut t = t0();
+        for step in 0..500 {
+            let free = f64::from(step % 11) / 10.0;
+            let load = Watts::new(2.0e6 + f64::from(step) * 1.0e3);
+            let uplift = Fahrenheit::new(if step > 300 { 2.0 } else { 0.0 });
+            let warm = p.respond_with(t, free, load, uplift, &mut cursor);
+            assert_eq!(warm, p.respond(t, free, load, uplift));
+            t += Duration::from_minutes(5);
+        }
+        // A jump far outside the cached noise cell must invalidate.
+        let t = t0() + Duration::from_days(900);
+        assert_eq!(
+            p.respond_with(t, 0.3, Watts::new(3.0e6), Fahrenheit::new(0.0), &mut cursor),
+            p.respond(t, 0.3, Watts::new(3.0e6), Fahrenheit::new(0.0))
+        );
     }
 
     #[test]

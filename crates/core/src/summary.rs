@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_cooling::plant::FreeCoolingLedger;
 use mira_facility::RackId;
-use mira_timeseries::{CalendarBins, Duration, SimTime, TimeSeries, Welford};
+use mira_timeseries::{CalendarBins, CivilParts, Duration, SimTime, TimeSeries, Welford};
 use mira_units::{convert, KilowattHours};
 
 use crate::sweep::{Recorder, SweepStep};
@@ -41,8 +41,8 @@ impl ChannelAggregate {
         }
     }
 
-    fn push(&mut self, t: SimTime, value: f64) {
-        self.bins.push(t, value);
+    fn push(&mut self, t: SimTime, parts: CivilParts, value: f64) {
+        self.bins.push_parts(parts, value);
         // Week key on a global 7-day grid — a pure function of t, so
         // shard boundaries never shift which week a sample lands in.
         let week =
@@ -227,6 +227,10 @@ impl SweepSummary {
     fn ingest(&mut self, sweep_step: &SweepStep) {
         let snap = &sweep_step.snapshot;
         let t = snap.time;
+        // The step carries the civil decomposition of `t`, so the seven
+        // channel pushes and the energy ledger share one calendar
+        // derivation instead of re-deriving it each.
+        let parts = sweep_step.civil;
         let mut power_kw = 0.0;
         let mut util = 0.0;
         let mut flow = 0.0;
@@ -258,16 +262,16 @@ impl SweepSummary {
             dc_h += sample.dc_humidity.value();
         }
         let n = convert::f64_from_usize(RackId::COUNT);
-        self.power_mw.push(t, power_kw / 1000.0);
-        self.utilization_pct.push(t, util / n * 100.0);
-        self.flow_gpm.push(t, flow);
-        self.inlet_f.push(t, inlet / n);
-        self.outlet_f.push(t, outlet / n);
-        self.dc_temp_f.push(t, dc_t / n);
-        self.dc_rh.push(t, dc_h / n);
+        self.power_mw.push(t, parts, power_kw / 1000.0);
+        self.utilization_pct.push(t, parts, util / n * 100.0);
+        self.flow_gpm.push(t, parts, flow);
+        self.inlet_f.push(t, parts, inlet / n);
+        self.outlet_f.push(t, parts, outlet / n);
+        self.dc_temp_f.push(t, parts, dc_t / n);
+        self.dc_rh.push(t, parts, dc_h / n);
 
         // Energy accounting.
-        let year = t.date().year();
+        let year = parts.date.year();
         let idx = match self.yearly_energy.iter().position(|(y, _)| *y == year) {
             Some(i) => i,
             None => {
@@ -289,7 +293,7 @@ impl SweepSummary {
             avoided_power: snap.avoided_power,
         };
         ledger.record(&plant_load, self.step);
-        if t.date().month().is_free_cooling_season() {
+        if parts.date.month().is_free_cooling_season() {
             self.season_saved += snap.avoided_power.for_hours(self.step.as_hours());
         }
     }

@@ -28,8 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use mira_cooling::CoolantMonitorSample;
-use mira_facility::RackId;
-use mira_timeseries::{Date, Duration, SimTime};
+use mira_timeseries::{CivilParts, Date, Duration, SimTime};
 use mira_units::convert;
 
 use crate::error::Error;
@@ -115,6 +114,10 @@ impl SweepSpan {
 pub struct SweepStep {
     /// The shared per-instant state.
     pub snapshot: SystemSnapshot,
+    /// Civil-calendar decomposition of the instant (a pure function of
+    /// [`SystemSnapshot::time`]), so calendar-keyed recorders bin
+    /// without re-deriving the date.
+    pub civil: CivilParts,
     /// Ground-truth physical state per rack (index = [`RackId::index`]).
     pub truths: Vec<RackTruth>,
     /// Coolant-monitor observations per rack.
@@ -126,20 +129,14 @@ impl TelemetryEngine {
     /// truth + observation per rack (the truth is *not* recomputed for
     /// the observation, unlike calling [`TelemetryEngine::rack_truth`]
     /// and [`TelemetryEngine::observe`] separately).
+    ///
+    /// One-shot convenience over [`TelemetryEngine::sweep_step_into`];
+    /// loops should build a [`crate::SweepScratch`] once and reuse it.
     #[must_use]
     pub fn sweep_step(&self, t: SimTime) -> SweepStep {
-        let snapshot = self.snapshot(t);
-        let truths: Vec<RackTruth> = RackId::all()
-            .map(|r| self.rack_truth(r, &snapshot))
-            .collect();
-        let samples = RackId::all()
-            .map(|r| self.observe_truth(r, t, &truths[r.index()]))
-            .collect();
-        SweepStep {
-            snapshot,
-            truths,
-            samples,
-        }
+        let mut scratch = self.sweep_scratch();
+        self.sweep_step_into(t, &mut scratch);
+        scratch.into_step()
     }
 }
 
@@ -289,9 +286,12 @@ impl<'e> SweepPlan<'e> {
         let (from, step) = (self.from, self.step);
         let run_shard = |&(lo, hi): &(usize, usize)| -> R {
             let mut recorder = factory();
+            // One scratch per shard: steady-state folds allocate nothing.
+            let mut scratch = engine.sweep_scratch();
             for k in lo..hi {
                 let t = from + step * convert::i64_from_usize(k);
-                recorder.record(&engine.sweep_step(t));
+                engine.sweep_step_into(t, &mut scratch);
+                recorder.record(scratch.step());
             }
             recorder
         };
@@ -409,6 +409,7 @@ pub(crate) fn month_shards(from: SimTime, to: SimTime, step: Duration) -> Vec<(u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mira_facility::RackId;
     use mira_ras::{CmfSchedule, RasLog};
 
     fn engine() -> TelemetryEngine {

@@ -7,21 +7,25 @@
 //! windows around failures without replaying history), and two
 //! simulations with the same seed agree bit-for-bit.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
 use serde::{Deserialize, Serialize};
 
 use mira_cooling::{
-    ChilledWaterPlant, CoolantMonitor, CoolantMonitorSample, FlowNetwork, HeatExchanger,
-    PrecursorSignature,
+    ChilledWaterPlant, CoolantMonitor, CoolantMonitorSample, FlowCursor, FlowNetwork,
+    HeatExchanger, PrecursorSignature,
 };
 use mira_facility::{BulkPowerModule, Machine, RackId};
 use mira_predictor::TelemetryProvider;
 use mira_ras::schedule::CmfSchedule;
-use mira_ras::{RackAvailability, RasLog};
-use mira_timeseries::{Duration, SimTime};
+use mira_ras::{AvailabilityCursor, RackAvailability, RasLog};
+use mira_timeseries::{CivilDayCache, Duration, SimTime};
 use mira_units::{convert, Fahrenheit, Gpm, Kilowatts, RelHumidity, Watts};
-use mira_weather::{ChicagoClimate, WeatherSample};
-use mira_workload::{SystemDemand, WorkloadModel};
+use mira_weather::{ChicagoClimate, ClimateCursor, FractalCursor, NoiseCursor, WeatherSample};
+use mira_workload::{SystemDemand, WorkloadCursor, WorkloadModel};
 
+use crate::sweep::SweepStep;
 use crate::timeline::OperationalTimeline;
 
 /// The physical (pre-sensor) state of one rack at one instant.
@@ -72,12 +76,66 @@ pub struct SystemSnapshot {
     pub rack_up: Vec<bool>,
 }
 
+/// Memo key for the hydraulic solve: the exact inputs of
+/// [`FlowNetwork::distribute`], so a hit can only ever return the value
+/// the cold path would compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HydroKey {
+    t: i64,
+    setpoint_bits: u64,
+    valves: u64,
+}
+
+impl HydroKey {
+    fn new(t: SimTime, setpoint: Gpm, valve_open: &[bool; RackId::COUNT]) -> Self {
+        let valves =
+            valve_open.iter().enumerate().fold(
+                0u64,
+                |mask, (i, &open)| {
+                    if open {
+                        mask | (1u64 << i)
+                    } else {
+                        mask
+                    }
+                },
+            );
+        Self {
+            t: t.epoch_seconds(),
+            setpoint_bits: setpoint.value().to_bits(),
+            valves,
+        }
+    }
+}
+
+/// Cached next-CMF lookups per rack, each with the validity window
+/// between the neighbouring CMF instants.
+///
+/// The cached answer for a rack holds for every `t` strictly after the
+/// previous CMF and at or before the next one — window edges are pure
+/// functions of the engine's (immutable) per-rack CMF lists, so
+/// [`TelemetryEngine::next_cmf_cached`] is bit-identical to
+/// [`TelemetryEngine::next_cmf`] from any prior cursor state.
+#[derive(Debug, Clone)]
+pub struct CmfCursor {
+    windows: Vec<Option<(SimTime, SimTime, Option<SimTime>)>>,
+}
+
 /// The telemetry engine.
 #[derive(Debug)]
 pub struct TelemetryEngine {
     /// Memoized floor medians (differential features ask for the same
     /// instant once per rack; telemetry is pure, so caching is safe).
-    median_cache: std::sync::Mutex<std::collections::HashMap<i64, [f64; 6]>>,
+    median_cache: Mutex<std::collections::HashMap<i64, [f64; 6]>>,
+    /// Single-entry memo for the hydraulic solve, keyed on its exact
+    /// inputs. Random-access callers ([`TelemetryProvider::sample`]
+    /// probes 48 racks at one instant through 48 snapshots) hit it; the
+    /// scratch sweep path solves exactly once per step and never reads
+    /// it.
+    hydro_memo: Mutex<Option<(HydroKey, Vec<Gpm>)>>,
+    /// Hydraulic-solve memo hits since construction.
+    hydro_hits: AtomicU64,
+    /// Hydraulic solves actually performed since construction.
+    hydro_misses: AtomicU64,
     seed: u64,
     climate: ChicagoClimate,
     workload: WorkloadModel,
@@ -116,7 +174,10 @@ impl TelemetryEngine {
         }
 
         Self {
-            median_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+            median_cache: Mutex::new(std::collections::HashMap::new()),
+            hydro_memo: Mutex::new(None),
+            hydro_hits: AtomicU64::new(0),
+            hydro_misses: AtomicU64::new(0),
             seed,
             climate: ChicagoClimate::new(seed),
             workload: WorkloadModel::new(seed),
@@ -174,6 +235,51 @@ impl TelemetryEngine {
         times.get(idx).copied()
     }
 
+    /// Builds an empty cursor for [`Self::next_cmf_cached`].
+    #[must_use]
+    pub fn cmf_cursor(&self) -> CmfCursor {
+        CmfCursor {
+            windows: vec![None; self.cmf_times.len()],
+        }
+    }
+
+    /// [`Self::next_cmf`] through the cursor: answers from the cached
+    /// window between neighbouring CMFs when `t` still falls inside it.
+    #[must_use]
+    pub fn next_cmf_cached(
+        &self,
+        rack: RackId,
+        t: SimTime,
+        cursor: &mut CmfCursor,
+    ) -> Option<SimTime> {
+        if let Some((lo, hi, next)) = cursor.windows[rack.index()] {
+            if lo < t && t <= hi {
+                return next;
+            }
+        }
+        let times = &self.cmf_times[rack.index()];
+        let idx = times.partition_point(|&ct| ct < t);
+        let lo = idx
+            .checked_sub(1)
+            .and_then(|i| times.get(i))
+            .copied()
+            .unwrap_or(SimTime::from_epoch_seconds(i64::MIN));
+        let next = times.get(idx).copied();
+        let hi = next.unwrap_or(SimTime::from_epoch_seconds(i64::MAX));
+        cursor.windows[rack.index()] = Some((lo, hi, next));
+        next
+    }
+
+    /// Hydraulic-solve memo counters `(hits, misses)` accumulated since
+    /// the engine was built. A miss is a solve actually performed.
+    #[must_use]
+    pub fn hydro_cache_stats(&self) -> (u64, u64) {
+        (
+            self.hydro_hits.load(Ordering::Relaxed),
+            self.hydro_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Computes the shared per-instant state.
     #[must_use]
     pub fn snapshot(&self, t: SimTime) -> SystemSnapshot {
@@ -193,14 +299,12 @@ impl TelemetryEngine {
             .bpm
             .heat_to_coolant_watts(demand.utilization, demand.intensity)
             * convert::f64_from_usize(RackId::COUNT);
-        let free = self.climate.free_cooling_fraction(t);
+        let free = ChicagoClimate::free_cooling_fraction_of(weather.outdoor_temperature);
         let plant = self
             .plant
             .respond(t, free, heat_watts, self.timeline.supply_uplift(t));
 
-        let flows = self
-            .network
-            .distribute(t, self.effective_setpoint(t, &demand), &valve_open);
+        let flows = self.distribute_memo(t, self.effective_setpoint(t, &demand), &valve_open);
 
         SystemSnapshot {
             time: t,
@@ -215,18 +319,63 @@ impl TelemetryEngine {
         }
     }
 
+    /// The hydraulic solve behind [`Self::snapshot`], memoized on its
+    /// exact inputs. The memo holds one entry: random access probes the
+    /// same instant repeatedly (48 racks per [`TelemetryProvider`]
+    /// sample), while a sweep never revisits an instant and pays one
+    /// solve per step.
+    fn distribute_memo(
+        &self,
+        t: SimTime,
+        setpoint: Gpm,
+        valve_open: &[bool; RackId::COUNT],
+    ) -> Vec<Gpm> {
+        let key = HydroKey::new(t, setpoint, valve_open);
+        {
+            let memo = self
+                .hydro_memo
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some((cached, flows)) = memo.as_ref() {
+                if *cached == key {
+                    self.hydro_hits.fetch_add(1, Ordering::Relaxed);
+                    return flows.clone();
+                }
+            }
+        }
+        self.hydro_misses.fetch_add(1, Ordering::Relaxed);
+        let flows = self.network.distribute(t, setpoint, valve_open);
+        *self
+            .hydro_memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some((key, flows.clone()));
+        flows
+    }
+
     /// The operator-trimmed loop setpoint: the structural 1,250/1,300
     /// GPM level, a small seasonal uplift tracking the second-half
     /// utilization surge (Fig. 4c), and slow operator adjustments.
     #[must_use]
     pub fn effective_setpoint(&self, t: SimTime, demand: &SystemDemand) -> Gpm {
+        self.effective_setpoint_with(t, demand, &mut self.flow_ops_noise.fractal_cursor(2))
+    }
+
+    /// [`Self::effective_setpoint`] through an operator-noise cursor;
+    /// bit-identical to the cold path from any prior cursor state.
+    #[must_use]
+    pub fn effective_setpoint_with(
+        &self,
+        t: SimTime,
+        demand: &SystemDemand,
+        cursor: &mut FractalCursor,
+    ) -> Gpm {
         let base = self.timeline.flow_setpoint(t);
         // Operators conservatively raise flow as utilization climbs:
         // ≈ +1 % at peak-season load.
         let seasonal = 1.0 + 0.013 * (demand.utilization - 0.80).max(0.0) / 0.13;
         let ops = self
             .flow_ops_noise
-            .fractal(convert::f64_from_i64(t.epoch_seconds()), 2)
+            .fractal_with(convert::f64_from_i64(t.epoch_seconds()), cursor)
             * 30.0;
         (base * seasonal + Gpm::new(ops)).saturating()
     }
@@ -300,6 +449,73 @@ impl TelemetryEngine {
         }
     }
 
+    /// [`Self::rack_truth`] through the workload and CMF cursors;
+    /// bit-identical to the cold path from any prior cursor state.
+    fn rack_truth_cached(
+        &self,
+        rack: RackId,
+        snap: &SystemSnapshot,
+        workload: &mut WorkloadCursor,
+        cmf: &mut CmfCursor,
+    ) -> RackTruth {
+        let t = snap.time;
+        let air = self.machine.airflow().at(rack);
+        let ambient_temperature = snap.weather.indoor_temperature + air.temperature_offset;
+        let ambient_humidity =
+            RelHumidity::new(snap.weather.indoor_humidity.value() * air.humidity_factor);
+
+        let up = snap.rack_up[rack.index()];
+        let load = if up {
+            self.workload
+                .rack_load_cached(t, rack, &snap.demand, workload)
+        } else {
+            mira_workload::RackLoad {
+                utilization: 0.0,
+                intensity: 0.0,
+            }
+        };
+
+        let mut flow = snap.flows[rack.index()];
+        let mut inlet = snap.supply_temperature;
+
+        if let Some(cmf_at) = self.next_cmf_cached(rack, t, cmf) {
+            let lead = cmf_at - t;
+            if lead <= self.signature.horizon() {
+                let severity = self
+                    .signature
+                    .event_severity(rack.index(), cmf_at.epoch_seconds());
+                inlet =
+                    inlet * PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
+                flow = flow * PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
+            }
+        }
+
+        let power = if up {
+            self.bpm.draw(load.utilization, load.intensity)
+        } else {
+            Kilowatts::new(1.5)
+        };
+        let heat = if up {
+            self.bpm
+                .heat_to_coolant_watts(load.utilization, load.intensity)
+        } else {
+            Watts::new(0.0)
+        };
+        let outlet = self.exchanger.outlet_temperature(inlet, flow, heat);
+
+        RackTruth {
+            utilization: load.utilization,
+            intensity: load.intensity,
+            ambient_temperature,
+            ambient_humidity,
+            flow,
+            inlet,
+            outlet,
+            power,
+            is_up: up,
+        }
+    }
+
     /// The coolant-monitor record for `rack` given a snapshot.
     #[must_use]
     pub fn observe(&self, rack: RackId, snap: &SystemSnapshot) -> CoolantMonitorSample {
@@ -330,17 +546,164 @@ impl TelemetryEngine {
     }
 
     /// Samples all 48 racks at `t` (one snapshot, 48 observations).
+    ///
+    /// Shares the sweep scratch path with
+    /// [`TelemetryEngine::sweep_step`]: the snapshot, ground truths and
+    /// observations are computed exactly once each.
     #[must_use]
     pub fn observe_all(&self, t: SimTime) -> (SystemSnapshot, Vec<CoolantMonitorSample>) {
-        let snap = self.snapshot(t);
-        let samples = RackId::all().map(|r| self.observe(r, &snap)).collect();
-        (snap, samples)
+        let step = self.sweep_step(t);
+        (step.snapshot, step.samples)
+    }
+
+    /// Builds the reusable per-worker scratch for
+    /// [`Self::sweep_step_into`].
+    #[must_use]
+    pub fn sweep_scratch(&self) -> SweepScratch {
+        let origin = SimTime::from_epoch_seconds(0);
+        SweepScratch {
+            step: SweepStep {
+                snapshot: SystemSnapshot {
+                    time: origin,
+                    weather: WeatherSample {
+                        outdoor_temperature: Fahrenheit::new(0.0),
+                        outdoor_humidity: RelHumidity::new(0.0),
+                        outdoor_dew_point: Fahrenheit::new(0.0),
+                        indoor_temperature: Fahrenheit::new(0.0),
+                        indoor_humidity: RelHumidity::new(0.0),
+                    },
+                    demand: SystemDemand {
+                        utilization: 0.0,
+                        intensity: 0.0,
+                        in_maintenance: false,
+                    },
+                    supply_temperature: Fahrenheit::new(0.0),
+                    free_cooling_fraction: 0.0,
+                    chiller_power: Kilowatts::new(0.0),
+                    avoided_power: Kilowatts::new(0.0),
+                    flows: Vec::with_capacity(RackId::COUNT),
+                    rack_up: Vec::with_capacity(RackId::COUNT),
+                },
+                civil: origin.civil_parts(),
+                truths: Vec::with_capacity(RackId::COUNT),
+                samples: Vec::with_capacity(RackId::COUNT),
+            },
+            civil: CivilDayCache::default(),
+            climate: self.climate.cursor(),
+            workload: self.workload.cursor(),
+            avail: self.availability.cursor(),
+            cmf: self.cmf_cursor(),
+            plant: NoiseCursor::default(),
+            setpoint_ops: self.flow_ops_noise.fractal_cursor(2),
+            flow: self.network.flow_cursor(),
+            valve_open: [true; RackId::COUNT],
+        }
+    }
+
+    /// Computes the full [`SweepStep`] at `t` into `scratch`, reusing
+    /// its buffers and cursors: zero heap allocation per step once the
+    /// scratch is warm, and bit-identical to [`Self::sweep_step`].
+    ///
+    /// Every cache consulted here (noise-lattice cursors, the civil-day
+    /// decomposition, availability and CMF windows) is keyed on pure
+    /// inputs, so the result never depends on what the scratch was last
+    /// used for.
+    pub fn sweep_step_into(&self, t: SimTime, scratch: &mut SweepScratch) {
+        let SweepScratch {
+            step,
+            civil,
+            climate,
+            workload,
+            avail,
+            cmf,
+            plant,
+            setpoint_ops,
+            flow,
+            valve_open,
+        } = scratch;
+
+        let parts = civil.resolve(t);
+        let weather = self.climate.sample_with(t, climate);
+        let demand = self.workload.system_demand_with(t, parts.date, workload);
+        self.availability.fill_up_mask(t, avail, valve_open);
+
+        let heat_watts = self
+            .bpm
+            .heat_to_coolant_watts(demand.utilization, demand.intensity)
+            * convert::f64_from_usize(RackId::COUNT);
+        let free = ChicagoClimate::free_cooling_fraction_of(weather.outdoor_temperature);
+        let plant_load =
+            self.plant
+                .respond_with(t, free, heat_watts, self.timeline.supply_uplift(t), plant);
+        let setpoint = self.effective_setpoint_with(t, &demand, setpoint_ops);
+
+        // The sweep grid never revisits an instant, so this is always a
+        // fresh solve — counted as a memo miss to keep the hit-rate
+        // metric honest about work actually performed.
+        self.hydro_misses.fetch_add(1, Ordering::Relaxed);
+        let snap = &mut step.snapshot;
+        self.network
+            .distribute_into(t, setpoint, valve_open, flow, &mut snap.flows);
+        snap.rack_up.clear();
+        snap.rack_up.extend_from_slice(valve_open);
+        snap.time = t;
+        snap.weather = weather;
+        snap.demand = demand;
+        snap.supply_temperature = plant_load.supply_temperature;
+        snap.free_cooling_fraction = plant_load.free_cooling_fraction;
+        snap.chiller_power = plant_load.chiller_power;
+        snap.avoided_power = plant_load.avoided_power;
+        step.civil = parts;
+
+        step.truths.clear();
+        step.samples.clear();
+        for rack in RackId::all() {
+            let truth = self.rack_truth_cached(rack, &step.snapshot, workload, cmf);
+            step.samples.push(self.observe_truth(rack, t, &truth));
+            step.truths.push(truth);
+        }
     }
 
     /// The seed the engine was built with.
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+}
+
+/// Reusable per-worker state for the allocation-free sweep path: the
+/// [`SweepStep`] buffers plus every model cursor, threaded through
+/// [`TelemetryEngine::sweep_step_into`].
+///
+/// One scratch per sequential fold (the parallel executor builds one
+/// per shard). All cached values are pure functions of their inputs, so
+/// reusing a scratch across arbitrary instants — even non-monotone ones
+/// — produces exactly the cold-path bits.
+#[derive(Debug, Clone)]
+pub struct SweepScratch {
+    step: SweepStep,
+    civil: CivilDayCache,
+    climate: ClimateCursor,
+    workload: WorkloadCursor,
+    avail: AvailabilityCursor,
+    cmf: CmfCursor,
+    plant: NoiseCursor,
+    setpoint_ops: FractalCursor,
+    flow: FlowCursor,
+    valve_open: [bool; RackId::COUNT],
+}
+
+impl SweepScratch {
+    /// The most recently computed step.
+    #[must_use]
+    pub fn step(&self) -> &SweepStep {
+        &self.step
+    }
+
+    /// Consumes the scratch, keeping only the last computed step.
+    #[must_use]
+    pub fn into_step(self) -> SweepStep {
+        self.step
     }
 }
 
@@ -359,7 +722,7 @@ impl TelemetryProvider for TelemetryEngine {
         if let Some(hit) = self
             .median_cache
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
         {
             return *hit;
@@ -380,7 +743,7 @@ impl TelemetryProvider for TelemetryEngine {
         let mut cache = self
             .median_cache
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+            .unwrap_or_else(PoisonError::into_inner);
         // Bounded: the whole six years at 300 s is ~630k instants; cap
         // well below that and reset rather than evict.
         if cache.len() > 400_000 {
@@ -394,7 +757,10 @@ impl TelemetryProvider for TelemetryEngine {
 impl Clone for TelemetryEngine {
     fn clone(&self) -> Self {
         Self {
-            median_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+            median_cache: Mutex::new(std::collections::HashMap::new()),
+            hydro_memo: Mutex::new(None),
+            hydro_hits: AtomicU64::new(0),
+            hydro_misses: AtomicU64::new(0),
             seed: self.seed,
             climate: self.climate,
             workload: self.workload.clone(),

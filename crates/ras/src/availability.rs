@@ -19,6 +19,21 @@ pub struct RackAvailability {
     outages: Vec<Vec<(SimTime, SimTime)>>,
 }
 
+/// Cached per-rack up/down verdicts with their validity windows, for the
+/// sweep hot path (which asks about all 48 racks every 300 s while
+/// outage boundaries are hours or days apart).
+///
+/// Each cached verdict holds for `from <= t < until`, where the window
+/// edges are outage-interval boundaries — pure functions of the tracker's
+/// interval list — so [`RackAvailability::is_up_cached`] is bit-identical
+/// to [`RackAvailability::is_up`] from any prior cursor state. Build the
+/// cursor *after* all outages are recorded: mutating the tracker does not
+/// invalidate outstanding cursors.
+#[derive(Debug, Clone)]
+pub struct AvailabilityCursor {
+    windows: Vec<Option<(SimTime, SimTime, bool)>>,
+}
+
 /// Worst-case recovery after a coolant monitor failure.
 pub const CMF_RECOVERY: Duration = Duration::from_hours(6);
 
@@ -76,6 +91,58 @@ impl RackAvailability {
             return true;
         };
         t >= end
+    }
+
+    /// Builds an empty cursor for [`Self::is_up_cached`].
+    #[must_use]
+    pub fn cursor(&self) -> AvailabilityCursor {
+        AvailabilityCursor {
+            windows: vec![None; self.outages.len()],
+        }
+    }
+
+    /// [`Self::is_up`] through the cursor: answers from the cached
+    /// validity window when `t` still falls inside it, re-deriving the
+    /// window from the interval list otherwise. Bit-identical to the
+    /// uncached path as long as the tracker is not mutated after the
+    /// cursor is built.
+    #[must_use]
+    pub fn is_up_cached(&self, rack: RackId, t: SimTime, cursor: &mut AvailabilityCursor) -> bool {
+        if let Some((from, until, up)) = cursor.windows[rack.index()] {
+            if from <= t && t < until {
+                return up;
+            }
+        }
+        let intervals = &self.outages[rack.index()];
+        let idx = intervals.partition_point(|&(s, _)| s <= t);
+        let until = intervals
+            .get(idx)
+            .map_or(SimTime::from_epoch_seconds(i64::MAX), |&(s, _)| s);
+        let window = match idx.checked_sub(1).and_then(|i| intervals.get(i)) {
+            None => (SimTime::from_epoch_seconds(i64::MIN), until, true),
+            Some(&(start, end)) => {
+                if t >= end {
+                    (end, until, true)
+                } else {
+                    (start, end, false)
+                }
+            }
+        };
+        cursor.windows[rack.index()] = Some(window);
+        window.2
+    }
+
+    /// Fills `out[i]` with the up/down verdict of rack `i` at `t`,
+    /// through the cursor.
+    pub fn fill_up_mask(
+        &self,
+        t: SimTime,
+        cursor: &mut AvailabilityCursor,
+        out: &mut [bool; RackId::COUNT],
+    ) {
+        for rack in RackId::all() {
+            out[rack.index()] = self.is_up_cached(rack, t, cursor);
+        }
     }
 
     /// Number of racks up at `t`.
@@ -170,6 +237,38 @@ mod tests {
         a.mark_non_cmf(r, t0() + Duration::from_hours(1));
         assert!(!a.is_up(r, t0() + Duration::from_hours(5)));
         assert_eq!(a.total_downtime(r), Duration::from_hours(6));
+    }
+
+    #[test]
+    fn cursor_path_matches_is_up_everywhere() {
+        let mut a = RackAvailability::new();
+        let hit = RackId::new(0, 3);
+        let twice = RackId::new(1, 7);
+        a.mark_cmf(hit, t0() + Duration::from_hours(10));
+        a.mark_cmf(twice, t0() + Duration::from_hours(2));
+        a.mark_non_cmf(twice, t0() + Duration::from_days(2));
+        let mut cursor = a.cursor();
+        let mut mask = [false; RackId::COUNT];
+        // Fine forward walk across every boundary, then jumps (backwards,
+        // far future) that must invalidate the cached windows cleanly.
+        let mut t = t0() - Duration::from_hours(1);
+        let end = t0() + Duration::from_days(3);
+        while t < end {
+            a.fill_up_mask(t, &mut cursor, &mut mask);
+            for rack in RackId::all() {
+                assert_eq!(mask[rack.index()], a.is_up(rack, t), "{rack} at {t}");
+            }
+            t += Duration::from_minutes(5);
+        }
+        for jump in [
+            t0() - Duration::from_days(365),
+            t0() + Duration::from_hours(11),
+            t0() + Duration::from_days(600),
+        ] {
+            for rack in RackId::all() {
+                assert_eq!(a.is_up_cached(rack, jump, &mut cursor), a.is_up(rack, jump));
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod log;
 pub mod schedule;
 
 pub use aftermath::AftermathModel;
-pub use availability::RackAvailability;
+pub use availability::{AvailabilityCursor, RackAvailability};
 pub use cascade::{CascadePlanner, StormIncident};
 pub use dedup::FailureDeduplicator;
 pub use event::{FailureKind, RasEvent, Severity};

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::civil::{Month, Weekday};
 use crate::stats::{P2Quantile, Welford};
-use crate::time::SimTime;
+use crate::time::{CivilParts, SimTime};
 
 /// Combined mean/median summary of one calendar bin.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -170,14 +170,22 @@ impl CalendarBins {
     }
 
     /// Adds one timestamped observation to every bin it belongs to.
-    // month/weekday `.index()` and `hour()` are bounded by their types'
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        self.push_parts(t.civil_parts(), value);
+    }
+
+    /// [`Self::push`] with the civil decomposition already in hand.
+    ///
+    /// The sweep hot path decomposes each instant once (through a
+    /// [`crate::CivilDayCache`]) and feeds the same [`CivilParts`] to
+    /// every channel's bins, instead of re-deriving the date per channel
+    /// per step. `push(t, v)` is exactly `push_parts(t.civil_parts(), v)`.
+    // month/weekday `.index()` and `hour` are bounded by their types'
     // contracts; the bin vectors are built with matching lengths.
     // mira-lint: allow(panic-reachability)
-    pub fn push(&mut self, t: SimTime, value: f64) {
-        let dt = t.to_datetime();
-        let date = dt.date();
+    pub fn push_parts(&mut self, parts: CivilParts, value: f64) {
         self.overall.push(value);
-        let year = date.year();
+        let year = parts.date.year();
         match self.years.iter_mut().find(|(y, _)| *y == year) {
             Some((_, bin)) => bin.push(value),
             None => {
@@ -187,9 +195,9 @@ impl CalendarBins {
                 self.years.sort_by_key(|(y, _)| *y);
             }
         }
-        self.months[date.month().index()].push(value);
-        self.weekdays[date.weekday().index()].push(value);
-        self.hours[usize::from(dt.hour())].push(value);
+        self.months[parts.date.month().index()].push(value);
+        self.weekdays[parts.weekday.index()].push(value);
+        self.hours[usize::from(parts.hour)].push(value);
     }
 
     /// Merges another aggregation into this one, bin by bin.

@@ -50,4 +50,4 @@ pub use stats::{
     autocorrelation, linear_fit, mean, median, pearson, percentile, spearman,
     spearman_permutation_pvalue, stddev, LinearFit, P2Quantile, Welford,
 };
-pub use time::{Duration, SimTime};
+pub use time::{CivilDayCache, CivilParts, Duration, SimTime, YearCursor};

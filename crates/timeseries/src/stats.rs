@@ -51,7 +51,7 @@ impl Welford {
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
+        self.mean += delta / convert::f64_from_u64(self.count);
         let delta2 = x - self.mean;
         self.m2 += delta * delta2;
         self.min = self.min.min(x);
@@ -67,8 +67,8 @@ impl Welford {
             *self = *other;
             return;
         }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
+        let n1 = convert::f64_from_u64(self.count);
+        let n2 = convert::f64_from_u64(other.count);
         let delta = other.mean - self.mean;
         let total = n1 + n2;
         self.mean += delta * n2 / total;
@@ -106,7 +106,7 @@ impl Welford {
         if self.count == 0 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            self.m2 / convert::f64_from_u64(self.count)
         }
     }
 
@@ -116,7 +116,7 @@ impl Welford {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / (self.count - 1) as f64
+            self.m2 / convert::f64_from_u64(self.count - 1)
         }
     }
 
@@ -435,7 +435,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     if x.len() != y.len() || x.len() < 2 {
         return None;
     }
-    let n = x.len() as f64;
+    let n = convert::f64_from_usize(x.len());
     let mx = x.iter().sum::<f64>() / n;
     let my = y.iter().sum::<f64>() / n;
     let sxx: f64 = x.iter().map(|&xi| (xi - mx).powi(2)).sum();
@@ -470,7 +470,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
+        xs.iter().sum::<f64>() / convert::f64_from_usize(xs.len())
     }
 }
 
@@ -497,13 +497,13 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let rank = p / 100.0 * convert::f64_from_usize(sorted.len() - 1);
+    let lo = convert::usize_from_f64_floor(rank);
+    let hi = convert::usize_from_f64_ceil(rank);
     if lo == hi {
         sorted[lo]
     } else {
-        let frac = rank - lo as f64;
+        let frac = rank - convert::f64_from_usize(lo);
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
@@ -598,7 +598,7 @@ pub fn spearman_permutation_pvalue(x: &[f64], y: &[f64], rounds: u32, seed: u64)
     let mut hits = 0u32;
     for _ in 0..rounds {
         for i in (1..shuffled.len()).rev() {
-            let j = (next() % (i as u64 + 1)) as usize;
+            let j = convert::usize_from_u64(next() % (convert::u64_from_usize(i) + 1));
             shuffled.swap(i, j);
         }
         if let Some(r) = spearman(x, &shuffled) {
@@ -625,7 +625,7 @@ fn midranks(xs: &[f64]) -> Vec<f64> {
             j += 1;
         }
         // Average of 1-based ranks i+1 ..= j+1.
-        let avg = (i + j) as f64 / 2.0 + 1.0;
+        let avg = convert::f64_from_usize(i + j) / 2.0 + 1.0;
         for &k in &idx[i..=j] {
             ranks[k] = avg;
         }

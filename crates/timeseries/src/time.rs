@@ -3,9 +3,10 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+use mira_units::convert;
 use serde::{Deserialize, Serialize};
 
-use crate::civil::{Date, DateTime};
+use crate::civil::{Date, DateTime, Weekday};
 
 /// An instant on the facility clock, stored as whole seconds since the
 /// Unix epoch.
@@ -77,12 +78,106 @@ impl SimTime {
     /// Drives the seasonal components of the weather model.
     #[must_use]
     pub fn year_fraction(self) -> f64 {
+        self.year_fraction_with(&mut YearCursor::default())
+    }
+
+    /// [`Self::year_fraction`] with a memo of the current civil year's
+    /// epoch-second bounds.
+    ///
+    /// The cached bounds are a pure function of the year containing
+    /// `self`, and the cursor is consulted only when `self` falls inside
+    /// the cached year, so the result is bit-identical to
+    /// `year_fraction` from any prior cursor state.
+    #[must_use]
+    pub fn year_fraction_with(self, cursor: &mut YearCursor) -> f64 {
+        if !cursor.primed || self.0 < cursor.start || self.0 >= cursor.end {
+            let date = self.to_datetime().date();
+            let year_start = SimTime::from_date(Date::new(date.year(), 1, 1));
+            let year_end = SimTime::from_date(Date::new(date.year() + 1, 1, 1));
+            *cursor = YearCursor {
+                start: year_start.0,
+                end: year_end.0,
+                primed: true,
+            };
+        }
+        let span = convert::f64_from_i64(cursor.end - cursor.start);
+        (convert::f64_from_i64(self.0 - cursor.start) / span).clamp(0.0, 1.0 - f64::EPSILON)
+    }
+
+    /// The civil-calendar facts of this instant that the aggregation hot
+    /// path bins on, decomposed once instead of once per consumer.
+    #[must_use]
+    pub fn civil_parts(self) -> CivilParts {
         let dt = self.to_datetime();
         let date = dt.date();
-        let year_start = SimTime::from_date(Date::new(date.year(), 1, 1));
-        let year_end = SimTime::from_date(Date::new(date.year() + 1, 1, 1));
-        let span = (year_end.0 - year_start.0) as f64;
-        ((self.0 - year_start.0) as f64 / span).clamp(0.0, 1.0 - f64::EPSILON)
+        CivilParts {
+            date,
+            weekday: date.weekday(),
+            hour: dt.hour(),
+        }
+    }
+}
+
+/// Memo for [`SimTime::year_fraction_with`]: the epoch-second bounds of
+/// the most recently resolved civil year.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YearCursor {
+    start: i64,
+    end: i64,
+    primed: bool,
+}
+
+/// Civil-calendar decomposition of one instant: the facts calendar
+/// binning needs ([`Date`], weekday, hour), derived once per instant.
+///
+/// Produced by [`SimTime::civil_parts`] (cold) or
+/// [`CivilDayCache::resolve`] (day-level memo); both yield identical
+/// values for the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilParts {
+    /// The civil date.
+    pub date: Date,
+    /// Weekday of `date`.
+    pub weekday: Weekday,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+}
+
+/// Day-level memo for civil decomposition: caches the `Date` and weekday
+/// of the most recently resolved day, so consecutive instants within one
+/// civil day skip the days-to-date conversion entirely.
+///
+/// The cached pair is a pure function of the day index, so
+/// [`CivilDayCache::resolve`] equals [`SimTime::civil_parts`] bit-for-bit
+/// from any prior cache state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CivilDayCache {
+    cached: Option<(i64, Date, Weekday)>,
+}
+
+impl CivilDayCache {
+    /// Decomposes `t`, reusing the cached date when the civil day is
+    /// unchanged.
+    pub fn resolve(&mut self, t: SimTime) -> CivilParts {
+        let secs = t.epoch_seconds();
+        let day = secs.div_euclid(86_400);
+        let (date, weekday) = match self.cached {
+            Some((d, date, weekday)) if d == day => (date, weekday),
+            _ => {
+                let date = Date::from_days_since_epoch(day);
+                let weekday = date.weekday();
+                self.cached = Some((day, date, weekday));
+                (date, weekday)
+            }
+        };
+        let sod = secs.rem_euclid(86_400);
+        // sod / 3600 is in [0, 23]; the fallback is unreachable.
+        let hour = u8::try_from(sod / 3600).unwrap_or(0);
+        CivilParts {
+            date,
+            weekday,
+            hour,
+        }
     }
 }
 
@@ -123,19 +218,19 @@ impl Duration {
     /// The duration as fractional minutes.
     #[must_use]
     pub fn as_minutes(self) -> f64 {
-        self.0 as f64 / 60.0
+        convert::f64_from_i64(self.0) / 60.0
     }
 
     /// The duration as fractional hours.
     #[must_use]
     pub fn as_hours(self) -> f64 {
-        self.0 as f64 / 3600.0
+        convert::f64_from_i64(self.0) / 3600.0
     }
 
     /// The duration as fractional days.
     #[must_use]
     pub fn as_days(self) -> f64 {
-        self.0 as f64 / 86_400.0
+        convert::f64_from_i64(self.0) / 86_400.0
     }
 
     /// Absolute value.
@@ -291,7 +386,42 @@ mod tests {
         assert_eq!(Duration::from_seconds(61).to_string(), "00:01:01");
     }
 
+    #[test]
+    fn civil_parts_match_datetime() {
+        let t = SimTime::from_date(Date::new(2016, 7, 1)) + Duration::from_hours(13);
+        let parts = t.civil_parts();
+        assert_eq!(parts.date, Date::new(2016, 7, 1));
+        assert_eq!(parts.weekday, Weekday::Friday);
+        assert_eq!(parts.hour, 13);
+    }
+
     proptest! {
+        #[test]
+        fn day_cache_matches_cold_decomposition(base in -2_000_000_000i64..2_000_000_000, steps in 1usize..200) {
+            // One shared cache across a monotone walk with a coarse step
+            // exercises both the hit and the day-crossing path.
+            let mut cache = CivilDayCache::default();
+            let mut t = SimTime::from_epoch_seconds(base);
+            for _ in 0..steps {
+                prop_assert_eq!(cache.resolve(t), t.civil_parts());
+                t += Duration::from_minutes(300);
+            }
+            // A backwards jump must invalidate, not replay, the cache.
+            let back = t - Duration::from_days(400);
+            prop_assert_eq!(cache.resolve(back), back.civil_parts());
+        }
+
+        #[test]
+        fn year_cursor_matches_cold_year_fraction(base in -2_000_000_000i64..2_000_000_000, steps in 1usize..200) {
+            let mut cursor = YearCursor::default();
+            let mut t = SimTime::from_epoch_seconds(base);
+            for _ in 0..steps {
+                let cached = t.year_fraction_with(&mut cursor);
+                prop_assert_eq!(cached.to_bits(), t.year_fraction().to_bits());
+                t += Duration::from_hours(501);
+            }
+        }
+
         #[test]
         fn since_is_inverse_of_add(base in -1_000_000_000i64..1_000_000_000, delta in -1_000_000i64..1_000_000) {
             let t = SimTime::from_epoch_seconds(base);

@@ -100,6 +100,18 @@ pub fn usize_from_f64_floor(x: f64) -> usize {
     x as usize
 }
 
+/// Ceiling of a non-negative `f64` as a `usize` index.
+///
+/// NaN and negative inputs clamp to 0; values beyond `usize::MAX` clamp
+/// to `usize::MAX`.
+#[must_use]
+pub fn usize_from_f64_ceil(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "index from NaN");
+    debug_assert!(x >= 0.0, "index from negative {x}");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x.ceil() as usize
+}
+
 /// Nearest-integer rounding of an `f64` to a `usize`.
 ///
 /// NaN and negative inputs clamp to 0; out-of-range values saturate.
@@ -112,11 +124,25 @@ pub fn usize_from_f64_round(x: f64) -> usize {
 }
 
 /// Floor of an `f64` as an `i64` (saturating at the `i64` range, NaN → 0).
+///
+/// Implemented as truncate-and-adjust rather than `x.floor() as i64`:
+/// on baseline x86-64 (no SSE4.1 `roundsd`) `f64::floor` is a libm
+/// call, and this sits under every noise sample on the sweep hot path.
+/// The result is identical for every input — truncation rounds toward
+/// zero, so only negative non-integers need the `-1` adjustment, and
+/// both paths saturate the same way at the `i64` range.
 #[must_use]
 pub fn i64_from_f64_floor(x: f64) -> i64 {
     debug_assert!(!x.is_nan(), "integer from NaN");
     // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
-    x.floor() as i64
+    let t = x as i64;
+    // Exact below 2^53 magnitude; above it f64 holds integers only and
+    // the comparison is false. mira-lint: allow(lossy-cast)
+    if t as f64 > x {
+        t.saturating_sub(1)
+    } else {
+        t
+    }
 }
 
 #[cfg(test)]
@@ -141,9 +167,33 @@ mod tests {
     #[test]
     fn floor_and_round_behave() {
         assert_eq!(usize_from_f64_floor(3.99), 3);
+        assert_eq!(usize_from_f64_ceil(3.01), 4);
+        assert_eq!(usize_from_f64_ceil(3.0), 3);
         assert_eq!(usize_from_f64_round(3.5), 4);
         assert_eq!(i64_from_f64_floor(-2.5), -3);
         assert_eq!(i64_from_f64_floor(7.9), 7);
+    }
+
+    #[test]
+    fn integer_floor_matches_libm_floor() {
+        // The truncate-and-adjust floor must equal `x.floor() as i64`
+        // everywhere, including exact integers, negatives, and values
+        // near the f64 integer-precision edge.
+        let mut probes = vec![
+            0.0, -0.0, 1.0, -1.0, 0.5, -0.5, 2.999, -2.999, 1e-300, -1e-300,
+        ];
+        for k in -2000..2000 {
+            probes.push(f64::from(k) * 0.37);
+            probes.push(f64::from(k) * 86_400.123);
+        }
+        probes.push(9_007_199_254_740_991.0); // 2^53 - 1
+        probes.push(-9_007_199_254_740_991.0);
+        for x in probes {
+            // The reference implementation this replaced.
+            // mira-lint: allow(lossy-cast)
+            let reference = x.floor() as i64;
+            assert_eq!(i64_from_f64_floor(x), reference, "at {x}");
+        }
     }
 
     #[test]

@@ -4,10 +4,27 @@ use std::f64::consts::TAU;
 
 use serde::{Deserialize, Serialize};
 
-use mira_timeseries::SimTime;
-use mira_units::{dew_point, Fahrenheit, RelHumidity};
+use mira_timeseries::{SimTime, YearCursor};
+use mira_units::{convert, dew_point, Fahrenheit, RelHumidity};
 
-use crate::noise::ValueNoise;
+use crate::noise::{FractalCursor, NoiseCursor, ValueNoise};
+
+/// Cursor bundle for [`ChicagoClimate::sample_with`]: the year-fraction
+/// memo plus one noise cursor per noise call site.
+///
+/// Every cached value is a pure function of `(seed, cell)` or of the
+/// civil year, so cursor-assisted sampling is bit-identical to the cold
+/// path from any prior cursor state.
+#[derive(Debug, Clone)]
+pub struct ClimateCursor {
+    year: YearCursor,
+    synoptic: FractalCursor,
+    moisture: FractalCursor,
+    drift: NoiseCursor,
+    jitter: FractalCursor,
+    excursion: NoiseCursor,
+    indoor_moisture: FractalCursor,
+}
 
 /// Outdoor and indoor conditions at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,6 +97,79 @@ impl ChicagoClimate {
         }
     }
 
+    /// Builds the cursor bundle for [`Self::sample_with`].
+    #[must_use]
+    pub fn cursor(&self) -> ClimateCursor {
+        ClimateCursor {
+            year: YearCursor::default(),
+            synoptic: self.synoptic.fractal_cursor(3),
+            moisture: self.moisture.fractal_cursor(3),
+            drift: NoiseCursor::default(),
+            jitter: self.synoptic.fractal_cursor(2),
+            excursion: NoiseCursor::default(),
+            indoor_moisture: self.moisture.fractal_cursor(3),
+        }
+    }
+
+    /// [`Self::sample`] through a [`ClimateCursor`]: bit-identical to
+    /// the cold path, but the year-fraction bounds, the civil hour, and
+    /// the noise lattice hashes are memoized at their natural cadence
+    /// (yearly, daily, multi-day) instead of being re-derived per call.
+    #[must_use]
+    pub fn sample_with(&self, t: SimTime, cursor: &mut ClimateCursor) -> WeatherSample {
+        let secs = convert::f64_from_i64(t.epoch_seconds());
+        let yf = t.year_fraction_with(&mut cursor.year);
+
+        // Outdoor temperature: same terms as `outdoor_temperature`, with
+        // the hour-of-day derived from seconds-of-day arithmetic — the
+        // integer hour/minute/second values match `to_datetime`'s fields
+        // exactly, so the fractional hour is bit-identical.
+        let seasonal = 51.0 - 26.0 * (TAU * (yf - 0.055)).cos();
+        let sod = t.epoch_seconds().rem_euclid(86_400);
+        let hod = convert::f64_from_i64(sod / 3600)
+            + convert::f64_from_i64((sod % 3600) / 60) / 60.0
+            + convert::f64_from_i64(sod % 60) / 3600.0;
+        let diurnal = 8.0 * (TAU * (hod - 9.0) / 24.0).sin();
+        let synoptic = self.synoptic.fractal_with(secs, &mut cursor.synoptic) * 12.0;
+        let outdoor_temperature = Fahrenheit::new(seasonal + diurnal + synoptic);
+
+        // Outdoor humidity, as in `outdoor_humidity`.
+        let rh_seasonal = 3.0 * (TAU * (yf - 0.10)).cos();
+        let rh_noise = self.moisture.fractal_with(secs, &mut cursor.moisture) * 14.0;
+        let outdoor_humidity = RelHumidity::new(68.0 + rh_seasonal + rh_noise);
+
+        // Indoor temperature, as in `indoor_temperature`.
+        let base = 80.3 + 1.2 * (TAU * (yf - 0.57)).cos();
+        let drift = self.indoor_drift.sample_with(secs, &mut cursor.drift) * 1.6;
+        let jitter = self
+            .synoptic
+            .fractal_with(secs * 1.7 + 1.0e7, &mut cursor.jitter)
+            * 0.9;
+        let e = self.excursion.sample_with(secs, &mut cursor.excursion);
+        let excursion = if e > 0.72 {
+            (e - 0.72) / 0.28 * 7.5
+        } else {
+            0.0
+        };
+        let indoor_temperature = Fahrenheit::new(base + drift + jitter + excursion);
+
+        // Indoor humidity, as in `indoor_humidity`.
+        let ih_seasonal = 32.3 + 3.4 * (TAU * (yf - 0.55)).cos();
+        let ih_noise = self
+            .moisture
+            .fractal_with(secs + 3.0e8, &mut cursor.indoor_moisture)
+            * 1.9;
+        let indoor_humidity = RelHumidity::new(ih_seasonal + ih_noise);
+
+        WeatherSample {
+            outdoor_temperature,
+            outdoor_humidity,
+            outdoor_dew_point: dew_point(outdoor_temperature, outdoor_humidity),
+            indoor_temperature,
+            indoor_humidity,
+        }
+    }
+
     /// Outdoor dry-bulb temperature at `t`.
     #[must_use]
     pub fn outdoor_temperature(&self, t: SimTime) -> Fahrenheit {
@@ -142,7 +232,16 @@ impl ChicagoClimate {
     /// in between.
     #[must_use]
     pub fn free_cooling_fraction(&self, t: SimTime) -> f64 {
-        let temp = self.outdoor_temperature(t).value();
+        Self::free_cooling_fraction_of(self.outdoor_temperature(t))
+    }
+
+    /// [`Self::free_cooling_fraction`] from an outdoor temperature
+    /// already in hand: lets the snapshot hot path reuse the temperature
+    /// it just sampled instead of recomputing it.
+    #[must_use]
+    // Dimensionless economizer fraction. mira-lint: allow(raw-f64-in-public-api)
+    pub fn free_cooling_fraction_of(outdoor_temperature: Fahrenheit) -> f64 {
+        let temp = outdoor_temperature.value();
         let lo = FULL_FREE_COOLING_BELOW.value();
         let hi = NO_FREE_COOLING_ABOVE.value();
         ((hi - temp) / (hi - lo)).clamp(0.0, 1.0)
@@ -249,6 +348,40 @@ mod tests {
         let s = c.sample(t);
         assert_eq!(s.outdoor_temperature, c.outdoor_temperature(t));
         assert!(s.outdoor_dew_point <= s.outdoor_temperature);
+    }
+
+    #[test]
+    fn cursor_sampling_is_bit_identical() {
+        let c = ChicagoClimate::new(2014);
+        let mut cursor = c.cursor();
+        // A fine 300 s sweep (mostly cache hits, crossing hour/day/cell
+        // boundaries) and a set of jumps (year boundaries, backwards).
+        let mut t = SimTime::from_date(Date::new(2015, 12, 28));
+        for _ in 0..(10 * 288) {
+            assert_eq!(c.sample_with(t, &mut cursor), c.sample(t));
+            t += Duration::from_minutes(5);
+        }
+        for date in [
+            Date::new(2014, 1, 1),
+            Date::new(2019, 12, 31),
+            Date::new(2016, 2, 29),
+            Date::new(2016, 7, 1),
+            Date::new(2014, 1, 1),
+        ] {
+            let t = at(date);
+            assert_eq!(c.sample_with(t, &mut cursor), c.sample(t));
+        }
+    }
+
+    #[test]
+    fn free_cooling_fraction_of_matches_timed_path() {
+        let c = ChicagoClimate::new(7);
+        let mut t = SimTime::from_date(Date::new(2015, 1, 1));
+        for _ in 0..500 {
+            let via_temp = ChicagoClimate::free_cooling_fraction_of(c.outdoor_temperature(t));
+            assert_eq!(via_temp.to_bits(), c.free_cooling_fraction(t).to_bits());
+            t += Duration::from_hours(7);
+        }
     }
 
     #[test]

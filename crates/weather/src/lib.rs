@@ -27,5 +27,5 @@
 pub mod climate;
 pub mod noise;
 
-pub use climate::{ChicagoClimate, WeatherSample};
-pub use noise::ValueNoise;
+pub use climate::{ChicagoClimate, ClimateCursor, WeatherSample};
+pub use noise::{FractalBank, FractalCursor, NoiseCursor, ValueNoise};

@@ -7,7 +7,74 @@
 //! smoothstep, so `noise(t)` is a deterministic, C¹-continuous function of
 //! `t` alone.
 
+use mira_units::convert;
 use serde::{Deserialize, Serialize};
+
+/// Memo for one [`ValueNoise`] call site: the two lattice hashes around
+/// the most recently sampled cell.
+///
+/// A sweep advancing in 300 s steps crosses a multi-day lattice cell
+/// once every few thousand samples, so nearly every [`ValueNoise::sample_with`]
+/// call reuses the cached pair and skips both avalanche hashes. The
+/// cache is keyed on the integer cell index, and the cached values are a
+/// pure function of `(seed, cell)`, so cursor-assisted sampling returns
+/// bit-identical results to [`ValueNoise::sample`] from any prior cursor
+/// state — the cursor can be shared across sweeps, carried across shard
+/// boundaries, or start cold without affecting a single output bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoiseCursor {
+    cell: i64,
+    lo: f64,
+    hi: f64,
+    primed: bool,
+}
+
+/// Cursor bank for one [`ValueNoise::fractal`] call site: each octave's
+/// derived layer plus its own [`NoiseCursor`].
+///
+/// Build once per call site with [`ValueNoise::fractal_cursor`]; the
+/// layers are derived exactly as [`ValueNoise::fractal`] derives them,
+/// so [`ValueNoise::fractal_with`] is bit-identical to `fractal`.
+#[derive(Debug, Clone)]
+pub struct FractalCursor {
+    layers: Vec<(ValueNoise, NoiseCursor)>,
+}
+
+impl FractalCursor {
+    /// Number of octaves this cursor serves.
+    #[must_use]
+    pub fn octaves(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Cursor bank for *many* call sites (lanes) of the same
+/// [`ValueNoise::fractal`] source — e.g. one lane per rack.
+///
+/// A `Vec<FractalCursor>` scatters each lane's cursors across its own
+/// heap allocation; the bank keeps every lane's [`NoiseCursor`]s in one
+/// contiguous buffer (lane-major) and derives the octave layers once,
+/// since they are identical for every lane. Sampling through a lane is
+/// bit-identical to [`ValueNoise::fractal`] from any prior bank state.
+#[derive(Debug, Clone)]
+pub struct FractalBank {
+    layers: Vec<ValueNoise>,
+    cursors: Vec<NoiseCursor>,
+}
+
+impl FractalBank {
+    /// Number of octaves per lane.
+    #[must_use]
+    pub fn octaves(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of lanes in the bank.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.cursors.len() / self.layers.len().max(1)
+    }
+}
 
 /// One-dimensional, seeded value noise over a time axis measured in
 /// seconds.
@@ -59,12 +126,14 @@ impl ValueNoise {
     #[must_use]
     pub fn sample(&self, t: f64) -> f64 {
         let x = t / self.period;
-        let i = x.floor();
-        let frac = x - i;
-        let i = i as i64;
+        // Integer floor (not `f64::floor`, a libm call on baseline
+        // x86-64); `x - cell` equals `x - x.floor()` exactly since the
+        // cell is the floor value reconstructed losslessly.
+        let cell = convert::i64_from_f64_floor(x);
+        let frac = x - convert::f64_from_i64(cell);
         // Smoothstep interpolation keeps the derivative continuous.
         let s = frac * frac * (3.0 - 2.0 * frac);
-        self.lattice(i) * (1.0 - s) + self.lattice(i + 1) * s
+        self.lattice(cell) * (1.0 - s) + self.lattice(cell + 1) * s
     }
 
     /// Sum of `octaves` noise layers, each halving the period and the
@@ -87,6 +156,120 @@ impl ValueNoise {
                 period: self.period / f64::from(1u32 << o),
             };
             total += layer.sample(t) * amplitude;
+            norm += amplitude;
+            amplitude *= 0.5;
+        }
+        total / norm
+    }
+
+    /// [`Self::sample`] with a per-call-site memo of the two lattice
+    /// values around the current cell. Bit-identical to `sample` for any
+    /// prior cursor state (see [`NoiseCursor`]).
+    #[must_use]
+    // Raw seconds axis, same contract as `sample`. mira-lint: allow(raw-f64-in-public-api)
+    pub fn sample_with(&self, t: f64, cursor: &mut NoiseCursor) -> f64 {
+        let x = t / self.period;
+        // Same integer floor as [`Self::sample`] — no libm call.
+        let cell = convert::i64_from_f64_floor(x);
+        let frac = x - convert::f64_from_i64(cell);
+        if !cursor.primed || cursor.cell != cell {
+            *cursor = NoiseCursor {
+                cell,
+                lo: self.lattice(cell),
+                hi: self.lattice(cell + 1),
+                primed: true,
+            };
+        }
+        // Same smoothstep arithmetic as `sample`, with the lattice
+        // hashes read from the cursor.
+        let s = frac * frac * (3.0 - 2.0 * frac);
+        cursor.lo * (1.0 - s) + cursor.hi * s
+    }
+
+    /// Builds the cursor bank for [`Self::fractal_with`], deriving the
+    /// per-octave layers exactly as [`Self::fractal`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is zero (same contract as `fractal`).
+    #[must_use]
+    pub fn fractal_cursor(&self, octaves: u32) -> FractalCursor {
+        assert!(octaves > 0, "need at least one octave");
+        let layers = (0..octaves)
+            .map(|o| {
+                let layer = ValueNoise {
+                    seed: self
+                        .seed
+                        .wrapping_add(u64::from(o).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                    period: self.period / f64::from(1u32 << o),
+                };
+                (layer, NoiseCursor::default())
+            })
+            .collect();
+        FractalCursor { layers }
+    }
+
+    /// [`Self::fractal`] through a pre-built cursor bank; bit-identical
+    /// to `fractal(t, cursor.octaves())` for any prior cursor state.
+    #[must_use]
+    // Raw seconds axis, same contract as `fractal`. mira-lint: allow(raw-f64-in-public-api)
+    pub fn fractal_with(&self, t: f64, cursor: &mut FractalCursor) -> f64 {
+        debug_assert!(!cursor.layers.is_empty(), "need at least one octave");
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut norm = 0.0;
+        for (layer, cur) in &mut cursor.layers {
+            total += layer.sample_with(t, cur) * amplitude;
+            norm += amplitude;
+            amplitude *= 0.5;
+        }
+        total / norm
+    }
+
+    /// Builds a [`FractalBank`] with `lanes` independent cursor lanes,
+    /// deriving the per-octave layers exactly as [`Self::fractal`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is zero (same contract as `fractal`).
+    #[must_use]
+    pub fn fractal_bank(&self, octaves: u32, lanes: usize) -> FractalBank {
+        assert!(octaves > 0, "need at least one octave");
+        let layers: Vec<ValueNoise> = (0..octaves)
+            .map(|o| ValueNoise {
+                seed: self
+                    .seed
+                    .wrapping_add(u64::from(o).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                period: self.period / f64::from(1u32 << o),
+            })
+            .collect();
+        FractalBank {
+            cursors: vec![NoiseCursor::default(); layers.len() * lanes],
+            layers,
+        }
+    }
+
+    /// [`Self::fractal`] through one lane of a pre-built bank;
+    /// bit-identical to `fractal(t, bank.octaves())` for any prior bank
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of the bank's range.
+    #[must_use]
+    // Raw seconds axis, same contract as `fractal`. mira-lint: allow(raw-f64-in-public-api)
+    pub fn fractal_with_lane(&self, t: f64, bank: &mut FractalBank, lane: usize) -> f64 {
+        let octaves = bank.layers.len();
+        // Documented panic contract: `lane` must be below `bank.lanes()`,
+        // and every bank is built with one lane per caller-side slot
+        // (rack), so in-tree callers index with `rack.index()` into a
+        // 48-lane bank. mira-lint: allow(panic-reachability)
+        let cursors = &mut bank.cursors[lane * octaves..(lane + 1) * octaves];
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut norm = 0.0;
+        for (layer, cur) in bank.layers.iter().zip(cursors) {
+            total += layer.sample_with(t, cur) * amplitude;
             norm += amplitude;
             amplitude *= 0.5;
         }
@@ -139,6 +322,50 @@ mod tests {
     #[should_panic(expected = "at least one octave")]
     fn fractal_rejects_zero_octaves() {
         let _ = ValueNoise::new(0, 1.0).fractal(0.0, 0);
+    }
+
+    #[test]
+    fn cursor_sampling_is_bit_identical() {
+        let n = ValueNoise::new(77, 3600.0);
+        let mut cur = NoiseCursor::default();
+        let mut fcur = n.fractal_cursor(3);
+        // Fine steps (many cache hits) and coarse jumps (many cell
+        // crossings, including backwards and across zero).
+        for k in -5_000i64..5_000 {
+            let t = k as f64 * 97.3;
+            assert_eq!(n.sample(t).to_bits(), n.sample_with(t, &mut cur).to_bits());
+            assert_eq!(
+                n.fractal(t, 3).to_bits(),
+                n.fractal_with(t, &mut fcur).to_bits()
+            );
+        }
+        for k in [-40i64, 13, -7, 0, 40, 39, -40] {
+            let t = k as f64 * 86_400.0 * 11.0;
+            assert_eq!(n.sample(t).to_bits(), n.sample_with(t, &mut cur).to_bits());
+            assert_eq!(
+                n.fractal(t, 3).to_bits(),
+                n.fractal_with(t, &mut fcur).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bank_lanes_are_bit_identical_and_independent() {
+        let n = ValueNoise::new(77, 3600.0);
+        let mut bank = n.fractal_bank(2, 4);
+        assert_eq!(bank.octaves(), 2);
+        assert_eq!(bank.lanes(), 4);
+        // Lanes sample interleaved at distinct phases (as racks do), and
+        // each must match the cold path at its own phase.
+        for k in -2_000i64..2_000 {
+            for lane in 0..4usize {
+                let t = k as f64 * 211.7 + lane as f64 * 4.321e6;
+                assert_eq!(
+                    n.fractal(t, 2).to_bits(),
+                    n.fractal_with_lane(t, &mut bank, lane).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,25 @@
 use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Date, Month, SimTime};
-use mira_weather::ValueNoise;
+use mira_units::convert;
+use mira_weather::{FractalCursor, NoiseCursor, ValueNoise};
 
 use crate::maintenance::MaintenanceSchedule;
+
+/// Cursor bundle for [`DemandModel::sample_with`]: noise cursors for the
+/// four demand noise streams plus the production-period bounds.
+///
+/// Every cached value is a pure function of the model's constants or of
+/// `(seed, lattice cell)`, so cursor-assisted sampling is bit-identical
+/// to [`DemandModel::sample`] from any prior cursor state.
+#[derive(Debug, Clone)]
+pub struct DemandCursor {
+    progress: Option<(i64, i64)>,
+    util: FractalCursor,
+    drop: NoiseCursor,
+    drain: NoiseCursor,
+    intensity: FractalCursor,
+}
 
 /// The system-wide workload state at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,6 +140,73 @@ impl DemandModel {
         if in_maintenance {
             // Drain user jobs; burner jobs keep nodes nominally busy but
             // nearly idle in CPU terms.
+            util *= 0.91;
+            intensity = 0.24;
+        }
+
+        SystemDemand {
+            utilization: util.clamp(0.0, 1.0),
+            intensity: intensity.clamp(0.0, 1.0),
+            in_maintenance,
+        }
+    }
+
+    /// Builds the cursor bundle for [`Self::sample_with`].
+    #[must_use]
+    pub fn cursor(&self) -> DemandCursor {
+        DemandCursor {
+            progress: None,
+            util: self.util_noise.fractal_cursor(3),
+            drop: NoiseCursor::default(),
+            drain: NoiseCursor::default(),
+            intensity: self.intensity_noise.fractal_cursor(2),
+        }
+    }
+
+    /// [`Self::sample`] with the civil date of `t` already in hand and a
+    /// [`DemandCursor`] memoizing the noise lattice values; bit-identical
+    /// to the cold path.
+    ///
+    /// `date` must be the civil date of `t` (the sweep hot path derives
+    /// it once per step and shares it across consumers).
+    #[must_use]
+    pub fn sample_with(&self, t: SimTime, date: Date, cursor: &mut DemandCursor) -> SystemDemand {
+        let secs = convert::f64_from_i64(t.epoch_seconds());
+        let (start, end) = *cursor.progress.get_or_insert_with(|| {
+            (
+                SimTime::from_date(production_start()).epoch_seconds(),
+                SimTime::from_date(Date::new(2020, 1, 1)).epoch_seconds(),
+            )
+        });
+        let progress = (convert::f64_from_i64(t.epoch_seconds() - start)
+            / convert::f64_from_i64(end - start))
+        .clamp(0.0, 1.0);
+        let month = date.month();
+
+        let mut util = (0.81 + 0.135 * progress) * Self::month_factor(month);
+        util += self.util_noise.fractal_with(secs, &mut cursor.util) * 0.025;
+
+        let d = self.drop_noise.sample_with(secs, &mut cursor.drop);
+        if d > 0.66 {
+            util *= 1.0 - (d - 0.66) / 0.34 * 0.40;
+        }
+        let drain = self
+            .drain_noise
+            .sample_with(secs + 5.0e7, &mut cursor.drain);
+        if drain > 0.78 {
+            util *= 1.0 - (drain - 0.78) / 0.22 * 0.18;
+        }
+
+        let mut intensity = 0.66
+            + 0.085 * progress
+            + if month.is_second_half() { 0.008 } else { 0.0 }
+            + self
+                .intensity_noise
+                .fractal_with(secs + 9.0e7, &mut cursor.intensity)
+                * 0.02;
+
+        let in_maintenance = self.maintenance.in_window_on(date, t);
+        if in_maintenance {
             util *= 0.91;
             intensity = 0.24;
         }

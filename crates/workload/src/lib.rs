@@ -32,10 +32,10 @@ pub mod model;
 pub mod scheduler;
 pub mod spatial;
 
-pub use demand::{DemandModel, SystemDemand};
+pub use demand::{DemandCursor, DemandModel, SystemDemand};
 pub use elastic::{hole_filling_experiment, ElasticPool, HoleFillingReport};
 pub use job::{Job, JobGenerator, Program};
 pub use maintenance::MaintenanceSchedule;
-pub use model::{RackLoad, WorkloadModel};
+pub use model::{RackLoad, WorkloadCursor, WorkloadModel};
 pub use scheduler::{BackfillScheduler, SchedulerStats};
-pub use spatial::RackUsageProfile;
+pub use spatial::{RackUsageProfile, WobbleCursor};

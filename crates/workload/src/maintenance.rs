@@ -64,7 +64,13 @@ impl MaintenanceSchedule {
     /// Whether `t` falls inside a maintenance window.
     #[must_use]
     pub fn in_window(&self, t: SimTime) -> bool {
-        let date = t.date();
+        self.in_window_on(t.date(), t)
+    }
+
+    /// [`Self::in_window`] with the civil date of `t` already in hand
+    /// (the sweep hot path derives it once per step).
+    #[must_use]
+    pub fn in_window_on(&self, date: Date, t: SimTime) -> bool {
         if !self.is_maintenance_monday(date) {
             return false;
         }

@@ -3,10 +3,22 @@
 use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
-use mira_timeseries::SimTime;
+use mira_timeseries::{Date, SimTime};
 
-use crate::demand::{DemandModel, SystemDemand};
-use crate::spatial::RackUsageProfile;
+use crate::demand::{DemandCursor, DemandModel, SystemDemand};
+use crate::spatial::{RackUsageProfile, WobbleCursor};
+
+/// Cursor bundle for the workload hot path: the system-demand cursor
+/// plus the per-rack placement-wobble bank.
+///
+/// Built by [`WorkloadModel::cursor`]; every cached value is a pure
+/// function of model constants and lattice cells, so the cursor path is
+/// bit-identical to the cold path from any prior state.
+#[derive(Debug, Clone)]
+pub struct WorkloadCursor {
+    demand: DemandCursor,
+    wobble: WobbleCursor,
+}
 
 /// The workload state of one rack at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,6 +101,53 @@ impl WorkloadModel {
         let demand = self.system_demand(t);
         self.rack_load_with(t, rack, &demand)
     }
+
+    /// Builds the cursor bundle for the cached sampling path.
+    #[must_use]
+    pub fn cursor(&self) -> WorkloadCursor {
+        WorkloadCursor {
+            demand: self.demand.cursor(),
+            wobble: self.profile.wobble_cursor(),
+        }
+    }
+
+    /// [`Self::system_demand`] through the cursor, with the civil date
+    /// of `t` already in hand; bit-identical to the cold path.
+    #[must_use]
+    pub fn system_demand_with(
+        &self,
+        t: SimTime,
+        date: Date,
+        cursor: &mut WorkloadCursor,
+    ) -> SystemDemand {
+        self.demand.sample_with(t, date, &mut cursor.demand)
+    }
+
+    /// [`Self::rack_load_with`] through the rack's wobble cursor;
+    /// bit-identical to the cold path.
+    #[must_use]
+    pub fn rack_load_cached(
+        &self,
+        t: SimTime,
+        rack: RackId,
+        demand: &SystemDemand,
+        cursor: &mut WorkloadCursor,
+    ) -> RackLoad {
+        let f = self.profile.factors(rack);
+        let wobble = self
+            .profile
+            .placement_wobble_with(rack, t, &mut cursor.wobble);
+        let utilization = (demand.utilization * f.utilization_factor * wobble).clamp(0.0, 1.0);
+        let intensity = if demand.in_maintenance {
+            demand.intensity
+        } else {
+            (demand.intensity * f.intensity_factor).clamp(0.0, 1.0)
+        };
+        RackLoad {
+            utilization,
+            intensity,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +193,42 @@ mod tests {
             "rack mean {mean} vs system {}",
             d.utilization
         );
+    }
+
+    #[test]
+    fn cursor_path_is_bit_identical() {
+        let wl = WorkloadModel::new(2014);
+        let mut cursor = wl.cursor();
+        // A fine sweep crossing maintenance Mondays, then jumps
+        // (backwards, across years) that must invalidate cleanly.
+        let mut t = SimTime::from_date(Date::new(2015, 1, 1));
+        for _ in 0..(4 * 288) {
+            let date = t.date();
+            let cold = wl.system_demand(t);
+            assert_eq!(wl.system_demand_with(t, date, &mut cursor), cold);
+            for rack in RackId::all() {
+                assert_eq!(
+                    wl.rack_load_cached(t, rack, &cold, &mut cursor),
+                    wl.rack_load_with(t, rack, &cold)
+                );
+            }
+            t += Duration::from_minutes(15);
+        }
+        for date in [
+            Date::new(2014, 1, 1),
+            Date::new(2019, 12, 31),
+            Date::new(2016, 2, 29),
+            Date::new(2014, 6, 2),
+        ] {
+            let t = SimTime::from_date(date) + Duration::from_hours(10);
+            let cold = wl.system_demand(t);
+            assert_eq!(wl.system_demand_with(t, t.date(), &mut cursor), cold);
+            let r = RackId::new(1, 7);
+            assert_eq!(
+                wl.rack_load_cached(t, r, &cold, &mut cursor),
+                wl.rack_load_with(t, r, &cold)
+            );
+        }
     }
 
     #[test]

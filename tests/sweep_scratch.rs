@@ -1,0 +1,180 @@
+//! Equivalence of the reusable-scratch sweep hot path with the cold
+//! per-step path.
+//!
+//! Every cursor and memo inside [`mira_core::SweepScratch`] is keyed on
+//! pure function inputs, so a warm scratch must reproduce the cold path
+//! bit for bit — including across the July 2016 Theta-integration
+//! boundary of the operational timeline, where the supply-temperature
+//! uplift and the valve/outage pattern both change shape.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use mira_core::obs::keys;
+use mira_core::{Date, Duration, ObsMode, Recorder, SimConfig, SimTime, Simulation, SweepSummary};
+
+fn sim() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::new(SimConfig::with_seed(0x5CA7)))
+}
+
+fn at(date: Date) -> SimTime {
+    SimTime::from_date(date)
+}
+
+/// A warm scratch equals a cold step at every probed instant. The probe
+/// order deliberately jumps backwards across the Theta boundary so any
+/// stale validity window would be caught.
+fn assert_scratch_matches_cold(times: &[SimTime]) {
+    let engine = sim().telemetry();
+    let mut scratch = engine.sweep_scratch();
+    for &t in times {
+        engine.sweep_step_into(t, &mut scratch);
+        let cold = engine.sweep_step(t);
+        assert_eq!(*scratch.step(), cold, "scratch diverged at {t:?}");
+        // `PartialEq` on f64 conflates 0.0 with -0.0; the debug
+        // rendering does not, so compare that too.
+        assert_eq!(format!("{:?}", scratch.step()), format!("{cold:?}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random spans straddling the July 2016 Theta event: a single
+    /// scratch walked forward across the boundary, then jumped back
+    /// before it, agrees with the uncached path exactly.
+    #[test]
+    fn scratch_survives_theta_boundary(
+        start_day in 0i64..55,
+        step_minutes in 5i64..720,
+        revisit_day in 0i64..50,
+    ) {
+        let theta = at(Date::new(2016, 7, 1));
+        let from = at(Date::new(2016, 5, 5)) + Duration::from_hours(24 * start_day);
+        let step = Duration::from_minutes(step_minutes);
+        let mut times = Vec::new();
+        // Walk forward until a couple of steps past the boundary.
+        let mut t = from;
+        while t <= theta + step + step {
+            times.push(t);
+            t += step;
+        }
+        // Jump back to before the boundary with the same warm scratch.
+        times.push(at(Date::new(2016, 5, 1)) + Duration::from_hours(24 * revisit_day));
+        // And forward again, past the uplift ramp.
+        times.push(at(Date::new(2016, 9, 15)));
+        assert_scratch_matches_cold(&times);
+    }
+}
+
+/// The same walk, deterministically, across the other timeline edges:
+/// span start, year boundaries, and the 2019 decommission wind-down.
+#[test]
+fn scratch_matches_cold_at_timeline_edges() {
+    let day = Duration::from_hours(24);
+    let times = [
+        at(Date::new(2014, 1, 1)),
+        at(Date::new(2014, 1, 1)) + Duration::from_minutes(5),
+        at(Date::new(2014, 12, 31)) + Duration::from_hours(23),
+        at(Date::new(2015, 1, 1)),
+        at(Date::new(2016, 6, 30)) + Duration::from_hours(23),
+        at(Date::new(2016, 7, 1)),
+        at(Date::new(2016, 7, 1)) + day,
+        at(Date::new(2014, 3, 3)), // far backwards jump
+        at(Date::new(2019, 12, 31)) + Duration::from_hours(23),
+    ];
+    assert_scratch_matches_cold(&times);
+}
+
+/// A quarter-long sweep through the plan (warm scratch per shard) must
+/// produce the exact same `SweepSummary` as hand-folding cold steps.
+#[test]
+fn plan_summary_equals_cold_fold_over_theta_quarter() {
+    let from = at(Date::new(2016, 6, 1));
+    let to = at(Date::new(2016, 9, 1));
+    let step = Duration::from_hours(2);
+
+    let planned = sim()
+        .sweep_plan((from, to))
+        .step(step)
+        .threads(1)
+        .summary()
+        .expect("non-empty span");
+
+    // Replicate the plan's calendar-month shard-and-merge structure
+    // (it is a pure function of the span, identical at every thread
+    // count) but feed it cold per-step results instead of the warm
+    // scratch the executor uses.
+    let engine = sim().telemetry();
+    let mut partials: Vec<SweepSummary> = Vec::new();
+    let mut month = u8::MAX;
+    let mut t = from;
+    while t < to {
+        let step_result = engine.sweep_step(t);
+        let m = step_result.civil.date.month().number();
+        if m != month {
+            partials.push(SweepSummary::empty((from, to), step));
+            month = m;
+        }
+        partials
+            .last_mut()
+            .expect("pushed above")
+            .record(&step_result);
+        t += step;
+    }
+    let mut cold = partials.remove(0);
+    for later in partials {
+        Recorder::merge(&mut cold, later);
+    }
+    let cold = Recorder::finish(cold);
+
+    assert_eq!(planned, cold);
+}
+
+/// The hydraulic-solve memo counters are a pure function of the sweep
+/// plan: one miss per grid step, no hits (the scratch path solves
+/// in-place), at every thread count. Random-access snapshots are where
+/// the memo earns its hits.
+#[test]
+fn hydro_counters_count_solves_not_luck() {
+    // Fresh simulation: counters are engine-global and the shared
+    // `sim()` is probed concurrently by the other tests.
+    let sim = Simulation::new(SimConfig::with_seed(99));
+    let span = (at(Date::new(2015, 2, 1)), at(Date::new(2015, 2, 8)));
+    let step = Duration::from_hours(1);
+
+    for threads in [1usize, 4] {
+        let observed = sim
+            .summarize_observed(span, step, threads, ObsMode::On)
+            .expect("non-empty span");
+        let steps = observed.report.metrics.counter(keys::SIM_STEPS);
+        assert_eq!(
+            observed
+                .report
+                .metrics
+                .counter(keys::COOLING_HYDRO_CACHE_MISSES),
+            steps,
+            "sweep path solves exactly once per step"
+        );
+        assert_eq!(
+            observed
+                .report
+                .metrics
+                .counter(keys::COOLING_HYDRO_CACHE_HITS),
+            Some(0),
+            "sweep path never consults the memo"
+        );
+    }
+
+    // Random access at a repeated instant hits the memo.
+    let (h0, m0) = sim.telemetry().hydro_cache_stats();
+    let t = at(Date::new(2015, 3, 15));
+    let a = sim.telemetry().snapshot(t);
+    let b = sim.telemetry().snapshot(t);
+    assert_eq!(a, b);
+    let (h1, m1) = sim.telemetry().hydro_cache_stats();
+    assert_eq!(m1 - m0, 1, "first snapshot solves");
+    assert_eq!(h1 - h0, 1, "second snapshot reuses the solve");
+}
