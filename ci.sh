@@ -13,7 +13,16 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> mira-lint"
+lint_start_ns="$(date +%s%N)"
 cargo run -q -p mira-lint
+lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+# Wall-time budget is advisory: timing is machine-dependent, so a slow
+# scan warns instead of failing. Tune via MIRA_LINT_TIME_BUDGET_MS.
+lint_budget_ms="${MIRA_LINT_TIME_BUDGET_MS:-15000}"
+echo "    mira-lint scan: ${lint_ms} ms (budget ${lint_budget_ms} ms, warn-only)"
+if [ "$lint_ms" -gt "$lint_budget_ms" ]; then
+  echo "ci: WARNING: mira-lint scan exceeded its wall-time budget" >&2
+fi
 
 # Allowlist drift gate: regenerating from the current findings must
 # reproduce the committed lint-allow.toml exactly. Catches both stale
@@ -21,7 +30,8 @@ cargo run -q -p mira-lint
 # hand-edits that no longer match reality.
 echo "==> mira-lint allowlist drift"
 fresh_allowlist="$(mktemp)"
-trap 'rm -f "$fresh_allowlist"' EXIT
+lint_cache="$(mktemp -u)"
+trap 'rm -f "$fresh_allowlist" "$lint_cache"' EXIT
 cargo run -q -p mira-lint -- --write-allowlist --allowlist "$fresh_allowlist" >/dev/null
 if ! diff -u lint-allow.toml "$fresh_allowlist"; then
   echo "ci: lint-allow.toml drifted; run: cargo run -p mira-lint -- --write-allowlist" >&2
@@ -39,6 +49,31 @@ if [ "$lint_one" != "$lint_four" ]; then
   diff <(printf '%s' "$lint_one") <(printf '%s' "$lint_four") >&2 || true
   exit 1
 fi
+
+# Cache invariance: a cold scan, the scan that populates the cache,
+# and a fully warm scan must all emit the same bytes. A cache that
+# changes findings is worse than no cache.
+echo "==> mira-lint cache invariance (cold vs populate vs warm)"
+lint_cold="$(cargo run -q -p mira-lint -- --format json)"
+lint_populate="$(cargo run -q -p mira-lint -- --format json --cache-file "$lint_cache")"
+lint_warm="$(cargo run -q -p mira-lint -- --format json --cache-file "$lint_cache")"
+if [ "$lint_cold" != "$lint_populate" ] || [ "$lint_cold" != "$lint_warm" ]; then
+  echo "ci: mira-lint cached scan differs from cold scan" >&2
+  diff <(printf '%s' "$lint_cold") <(printf '%s' "$lint_warm") >&2 || true
+  exit 1
+fi
+
+# Every shipped rule must have a non-empty --explain text.
+echo "==> mira-lint --explain smoke (12 rules)"
+for rule in raw-f64-in-public-api no-unwrap-in-lib lossy-cast \
+  nan-unsafe-compare nondeterminism panic-reachability unit-flow \
+  determinism-taint deprecated-call alloc-in-hot-path cache-purity \
+  shared-state-escape; do
+  if ! cargo run -q -p mira-lint -- --explain "$rule" | grep -q .; then
+    echo "ci: --explain $rule produced no output" >&2
+    exit 1
+  fi
+done
 
 echo "==> cargo test"
 cargo test -q

@@ -8,6 +8,8 @@ use mira_core::{
     PredictorConfig, RackId, SimConfig, Simulation, TelemetryProvider,
 };
 
+use mira_units::convert;
+
 use crate::args::{err, parse_datetime, ArgMap, CliError};
 
 /// Top-level usage text.
@@ -52,7 +54,7 @@ pub fn failures(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(
             out,
             "  {year}: {count:>3}  {}",
-            "#".repeat(*count as usize / 4)
+            "#".repeat(convert::usize_from_u32(*count) / 4)
         )
         .map_err(io_err)?;
     }

@@ -113,6 +113,9 @@ impl FlowNetwork {
 
     /// Builds the cursor bank for [`Self::distribute_into`].
     #[must_use]
+    // Cursor-bank constructor: allocates the per-rack buffers once per
+    // worker (via sweep_scratch), never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn flow_cursor(&self) -> FlowCursor {
         FlowCursor {
             per_rack: vec![NoiseCursor::default(); self.conductance.len()],

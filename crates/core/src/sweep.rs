@@ -268,6 +268,10 @@ impl<'e> SweepPlan<'e> {
     /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] when
     /// `from >= to`, or [`SweepError::NonPositiveStep`] when the step is
     /// not positive.
+    // Per-sweep setup only: the shard list, result slots, and recorder
+    // vector are built once per run; the per-step k-loop folds through a
+    // reused SweepScratch and allocates nothing (BENCH_sweep.json gates
+    // this). mira-lint: allow(alloc-in-hot-path)
     pub fn run<R, F>(&self, factory: F) -> Result<R::Output, Error>
     where
         R: Recorder + Send,
@@ -368,6 +372,9 @@ impl<'e> SweepPlan<'e> {
 /// calendar-month shards: shard boundaries sit at the first grid index
 /// at or after each first-of-month inside the span. Depends only on
 /// `(from, to, step)` — never on the worker count.
+// Runs once per sweep to cut the grid into shards; the boundary vector
+// is proportional to span months, not step count, and this is never
+// called from the per-step loop. mira-lint: allow(alloc-in-hot-path)
 pub(crate) fn month_shards(from: SimTime, to: SimTime, step: Duration) -> Vec<(usize, usize)> {
     let step_s = step.as_seconds();
     let total_s = (to - from).as_seconds();

@@ -237,6 +237,9 @@ impl TelemetryEngine {
 
     /// Builds an empty cursor for [`Self::next_cmf_cached`].
     #[must_use]
+    // Cursor constructor: one window vector per worker (via
+    // sweep_scratch), never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn cmf_cursor(&self) -> CmfCursor {
         CmfCursor {
             windows: vec![None; self.cmf_times.len()],
@@ -559,6 +562,9 @@ impl TelemetryEngine {
     /// Builds the reusable per-worker scratch for
     /// [`Self::sweep_step_into`].
     #[must_use]
+    // This *is* the scratch constructor: it allocates the reusable
+    // buffers exactly once per worker so the per-step fold doesn't
+    // have to. mira-lint: allow(alloc-in-hot-path)
     pub fn sweep_scratch(&self) -> SweepScratch {
         let origin = SimTime::from_epoch_seconds(0);
         SweepScratch {

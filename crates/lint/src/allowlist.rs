@@ -249,6 +249,7 @@ mod tests {
         Finding {
             file: PathBuf::from(file),
             line,
+            column: 1,
             rule,
             matched: "x".to_owned(),
             chain: Vec::new(),

@@ -1,0 +1,482 @@
+//! Incremental scan cache: per-file content-hash keyed line findings
+//! plus the previous run's final findings, persisted as JSON (default
+//! `target/mira-lint-cache.json`).
+//!
+//! Two levels of reuse:
+//!
+//! * **Full hit** — every (path, hash) pair matches the stored digest:
+//!   the stored final findings are returned verbatim, no lexing at
+//!   all. Verbatim storage (not recomputation) is what makes the
+//!   cached run *byte-identical* to the cold one, which ci.sh gates.
+//! * **Partial hit** — unchanged files skip their line rules; they are
+//!   still lexed and parsed, because the semantic pass needs the
+//!   whole-workspace symbol index no matter what changed. Cached line
+//!   findings are the *raw* `check_file` output, before the
+//!   index-driven test-file retain — that filter depends on every
+//!   other file, so it must rerun per scan.
+//!
+//! The cache self-invalidates when [`RULE_VERSION`] moves (bump it on
+//! any change to rule logic or the finding format) and on any parse
+//! error — a corrupt cache degrades to a cold scan, never to wrong
+//! findings.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json_str;
+use crate::rules::{Finding, Rule};
+
+/// Bump on any change to rule logic, finding fields, or this file's
+/// format; every persisted cache from an older version is discarded.
+pub const RULE_VERSION: u32 = 3;
+
+/// FNV-1a 64-bit content hash — stable across platforms and runs
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+#[must_use]
+pub fn content_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One persisted scan: the file digest it was computed from, raw
+/// per-file line findings, and the final merged findings.
+#[derive(Debug, Clone, Default)]
+pub struct ScanCache {
+    /// `(workspace-relative path with `/` separators, content hash,
+    /// raw line findings)` per file, in scan (path) order.
+    pub files: Vec<(String, u64, Vec<Finding>)>,
+    /// The run's final findings, post-semantic-pass and sort.
+    pub final_findings: Vec<Finding>,
+}
+
+impl ScanCache {
+    /// Package a finished scan for storage.
+    #[must_use]
+    pub fn new(
+        digest: &[(String, u64)],
+        raw: Vec<Vec<Finding>>,
+        final_findings: Vec<Finding>,
+    ) -> ScanCache {
+        let files = digest
+            .iter()
+            .zip(raw)
+            .map(|((path, hash), findings)| (path.clone(), *hash, findings))
+            .collect();
+        ScanCache {
+            files,
+            final_findings,
+        }
+    }
+
+    /// Does the stored digest exactly match `digest` (same files, same
+    /// order, same hashes)?
+    #[must_use]
+    pub fn matches(&self, digest: &[(String, u64)]) -> bool {
+        self.files.len() == digest.len()
+            && self
+                .files
+                .iter()
+                .zip(digest)
+                .all(|((p, h, _), (dp, dh))| p == dp && h == dh)
+    }
+
+    /// The stored raw line findings for `path`, if its content hash
+    /// still matches.
+    #[must_use]
+    pub fn line_findings_for(&self, path: &str, hash: u64) -> Option<&[Finding]> {
+        self.files
+            .iter()
+            .find(|(p, h, _)| p == path && *h == hash)
+            .map(|(_, _, findings)| findings.as_slice())
+    }
+
+    /// Load a cache written by [`ScanCache::store`]. `None` on a
+    /// missing file, a version mismatch, or any parse error.
+    #[must_use]
+    pub fn load(path: &Path) -> Option<ScanCache> {
+        let text = fs::read_to_string(path).ok()?;
+        let value = JsonParser::parse(&text)?;
+        let obj = value.as_obj()?;
+        let version = obj_get(obj, "rule_version")?.as_u64()?;
+        if version != u64::from(RULE_VERSION) {
+            return None;
+        }
+        let mut files = Vec::new();
+        for entry in obj_get(obj, "files")?.as_arr()? {
+            let entry = entry.as_obj()?;
+            let path = obj_get(entry, "path")?.as_str()?.to_owned();
+            let hash = u64::from_str_radix(obj_get(entry, "hash")?.as_str()?, 16).ok()?;
+            let findings = parse_findings(obj_get(entry, "findings")?)?;
+            files.push((path, hash, findings));
+        }
+        let final_findings = parse_findings(obj_get(obj, "final")?)?;
+        Some(ScanCache {
+            files,
+            final_findings,
+        })
+    }
+
+    /// Persist as JSON, creating parent directories as needed.
+    ///
+    /// # Errors
+    /// Any underlying filesystem error (callers treat store failures as
+    /// best-effort).
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+
+    fn render(&self) -> String {
+        let mut out = format!("{{\n  \"rule_version\": {RULE_VERSION},\n  \"files\": [");
+        for (i, (path, hash, findings)) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"path\": {}, ", json_str(path)));
+            out.push_str(&format!("\"hash\": \"{hash:016x}\", "));
+            out.push_str(&format!("\"findings\": {}}}", render_findings(findings)));
+        }
+        if !self.files.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"final\": ");
+        out.push_str(&render_findings(&self.final_findings));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn render_findings(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let chain: Vec<String> = f.chain.iter().map(|c| json_str(c)).collect();
+        out.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"column\": {}, \"rule\": {}, \"message\": {}, \"chain\": [{}]}}",
+            json_str(&f.file.to_string_lossy().replace('\\', "/")),
+            f.line,
+            f.column,
+            json_str(f.rule.name()),
+            json_str(&f.matched),
+            chain.join(", ")
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn parse_findings(value: &Json) -> Option<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for entry in value.as_arr()? {
+        let obj = entry.as_obj()?;
+        let mut chain = Vec::new();
+        for c in obj_get(obj, "chain")?.as_arr()? {
+            chain.push(c.as_str()?.to_owned());
+        }
+        findings.push(Finding {
+            file: PathBuf::from(obj_get(obj, "file")?.as_str()?),
+            line: usize::try_from(obj_get(obj, "line")?.as_u64()?).ok()?,
+            column: usize::try_from(obj_get(obj, "column")?.as_u64()?).ok()?,
+            rule: Rule::from_name(obj_get(obj, "rule")?.as_str()?)?,
+            matched: obj_get(obj, "message")?.as_str()?.to_owned(),
+            chain,
+        });
+    }
+    Some(findings)
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader for exactly the subset this module writes
+// (objects, arrays, strings, unsigned integers). std-only by design.
+
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn obj_get<'v>(obj: &'v [(String, Json)], key: &str) -> Option<&'v Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Option<Json> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.ws();
+        (parser.pos == parser.bytes.len()).then_some(value)
+    }
+
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.ws();
+        (self.bytes.get(self.pos) == Some(&b)).then(|| self.pos += 1)
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        (self.bytes.get(self.pos) == Some(&b'"')).then_some(())?;
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (findings may carry
+                    // non-ASCII source excerpts).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Json::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_finding(line: usize) -> Finding {
+        Finding {
+            file: PathBuf::from("crates/a/src/x.rs"),
+            line,
+            column: 5,
+            rule: Rule::LossyCast,
+            matched: "lossy `as f64` cast with \"quotes\"".to_owned(),
+            chain: vec!["f".to_owned(), "g".to_owned()],
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_input_sensitive() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+        // FNV-1a reference vector for the empty string.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk() {
+        let digest = vec![
+            ("crates/a/src/x.rs".to_owned(), content_hash("one")),
+            ("crates/b/src/y.rs".to_owned(), content_hash("two")),
+        ];
+        let cache = ScanCache::new(
+            &digest,
+            vec![vec![sample_finding(3)], Vec::new()],
+            vec![sample_finding(3), sample_finding(9)],
+        );
+        let dir = std::env::temp_dir().join("mira-lint-cache-test");
+        let path = dir.join("roundtrip.json");
+        cache.store(&path).expect("cache writes");
+        let loaded = ScanCache::load(&path).expect("cache reloads");
+        fs::remove_file(&path).ok();
+
+        assert!(loaded.matches(&digest));
+        assert_eq!(loaded.final_findings, cache.final_findings);
+        assert_eq!(
+            loaded.line_findings_for("crates/a/src/x.rs", content_hash("one")),
+            Some(&[sample_finding(3)][..])
+        );
+        assert_eq!(
+            loaded.line_findings_for("crates/a/src/x.rs", content_hash("changed")),
+            None,
+            "stale hash misses"
+        );
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let cache = ScanCache::new(&[], Vec::new(), Vec::new());
+        let rendered = cache.render().replace(
+            &format!("\"rule_version\": {RULE_VERSION}"),
+            "\"rule_version\": 1",
+        );
+        let dir = std::env::temp_dir().join("mira-lint-cache-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stale-version.json");
+        fs::write(&path, rendered).expect("write stale cache");
+        assert!(ScanCache::load(&path).is_none());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_none() {
+        let dir = std::env::temp_dir().join("mira-lint-cache-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.json");
+        fs::write(&path, "{\"rule_version\": ").expect("write corrupt cache");
+        assert!(ScanCache::load(&path).is_none());
+        fs::remove_file(&path).ok();
+        assert!(ScanCache::load(Path::new("/nonexistent/cache.json")).is_none());
+    }
+
+    #[test]
+    fn digest_mismatch_is_detected() {
+        let digest = vec![("a.rs".to_owned(), 1u64), ("b.rs".to_owned(), 2u64)];
+        let cache = ScanCache::new(&digest, vec![Vec::new(), Vec::new()], Vec::new());
+        assert!(cache.matches(&digest));
+        let renamed = vec![("a.rs".to_owned(), 1u64), ("c.rs".to_owned(), 2u64)];
+        assert!(!cache.matches(&renamed));
+        let edited = vec![("a.rs".to_owned(), 1u64), ("b.rs".to_owned(), 3u64)];
+        assert!(!cache.matches(&edited));
+        let removed = vec![("a.rs".to_owned(), 1u64)];
+        assert!(!cache.matches(&removed));
+    }
+}

@@ -25,10 +25,12 @@ use std::collections::{BTreeSet, VecDeque};
 use crate::index::{FnId, SymbolIndex};
 use crate::parser::CallKind;
 
-/// Method names so common on std types that name-only resolution would
-/// drown the graph in false edges; calls to them never resolve to
-/// workspace methods.
-const METHOD_STOPLIST: [&str; 38] = [
+/// Method names so common — on std types, or as workspace accessor /
+/// builder idioms (`.step()` is an accessor on `SweepScratch`, a
+/// builder setter on `SweepPlan`, and a simulation tick on two other
+/// types) — that name-only resolution would drown the graph in false
+/// edges; calls to them never resolve to workspace methods.
+const METHOD_STOPLIST: [&str; 39] = [
     "abs",
     "as_ref",
     "as_str",
@@ -62,6 +64,7 @@ const METHOD_STOPLIST: [&str; 38] = [
     "push",
     "rev",
     "split",
+    "step",
     "sum",
     "to_owned",
     "to_string",

@@ -1,0 +1,810 @@
+//! Dataflow-lite intraprocedural analysis over fn-body token streams.
+//!
+//! One extra pass per function body, walking the same scrubbed token
+//! stream the parser already produced. It maintains a *binding table* —
+//! local name → coarse type class — fed by parameter type annotations,
+//! `let` type ascriptions, and `Type::ctor(..)` initializers, and uses
+//! it to answer the questions the three hot-path rules ask:
+//!
+//! * **Allocation sites** (`alloc-in-hot-path`): heap-container
+//!   constructors (`Vec::new`, `String::with_capacity`, `Box::new`,
+//!   ...), allocating macros (`format!`, `vec!`), allocating methods
+//!   (`.to_string()`, `.collect()`, ...), `.clone()` on a receiver the
+//!   table resolves to a heap-owning local, and `.push(..)` onto a
+//!   *locally built* heap buffer. Pushes onto parameters, fields, and
+//!   destructured scratch (`scratch.truths.push(..)`) are sanctioned —
+//!   that is exactly the `SweepScratch` reuse idiom the rule protects.
+//! * **Purity hazards** (`cache-purity`): interior-mutable types,
+//!   locks, atomics, `thread_local!`, local `static` items, wall-clock
+//!   reads, nondeterministic RNG seeding, and I/O. Sites with
+//!   [`PuritySite::shared`] set are the subset the
+//!   `shared-state-escape` rule cares about.
+//! * **Receiver-typed hash iteration** (`determinism-taint`): an
+//!   iteration method only counts as a hash-order hazard when its
+//!   receiver *resolves* to a `HashMap`/`HashSet` binding, or when the
+//!   method name alone implies a keyed container (`.keys()`,
+//!   `.values()`) and the body mentions a hash type. This replaces the
+//!   earlier per-body heuristic ("a hash type appears somewhere AND an
+//!   iteration method appears somewhere"), which fired on functions
+//!   that looked up a `HashMap` but iterated a `Vec`.
+//!
+//! Approximations, deliberately: the table is flat (shadowing takes
+//! the last writer; block scoping is ignored), field types are opaque
+//! (`self.buf.push(..)` never resolves), and flows through returns or
+//! collections are invisible. Every consumer of these facts treats an
+//! unresolved receiver conservatively in whichever direction keeps the
+//! rule's false positives down; see `DESIGN.md` §10.
+
+use std::collections::BTreeMap;
+
+use crate::parser::{DetHazard, FnItem, Tok, Token};
+
+/// Coarse type classification for a local binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindClass {
+    /// Heap-owning std container or smart pointer, hash-ordered.
+    Hash,
+    /// Heap-owning std container or smart pointer, deterministic order.
+    Heap,
+    /// A `mira-units` newtype.
+    Unit,
+    /// Annotated with something else (known, but none of the above).
+    Other,
+}
+
+/// Where a binding came from — pushes onto locally built buffers are
+/// allocation-adjacent; pushes onto parameters are the scratch-reuse
+/// idiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Function parameter (caller-owned storage).
+    Param,
+    /// `let`-bound local.
+    Local,
+}
+
+/// One allocation site in a function body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// 1-based line.
+    pub line: usize,
+    /// What was matched (`Vec::with_capacity`, `format! macro`, ...).
+    pub what: String,
+}
+
+/// One purity hazard in a function body.
+#[derive(Debug, Clone)]
+pub struct PuritySite {
+    /// 1-based line.
+    pub line: usize,
+    /// What was matched.
+    pub what: &'static str,
+    /// Interior-mutable or static state that must not be reachable
+    /// from sweep worker closures (`shared-state-escape`); locks and
+    /// atomics are excluded — they are the sanctioned slot-per-shard
+    /// discipline.
+    pub shared: bool,
+}
+
+/// Heap-owning std types whose constructors allocate.
+const HEAP_TYPES: [&str; 13] = [
+    "Arc",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "HashMap",
+    "HashSet",
+    "OsString",
+    "PathBuf",
+    "Rc",
+    "String",
+    "Vec",
+    "VecDeque",
+];
+
+/// The subset of [`HEAP_TYPES`] with nondeterministic iteration order.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Constructor-ish associated fns on [`HEAP_TYPES`] that allocate (or
+/// stand for an allocation the rule should pin to a source line).
+const CTOR_METHODS: [&str; 5] = ["default", "from", "from_iter", "new", "with_capacity"];
+
+/// Method calls that allocate regardless of receiver.
+const ALLOC_METHODS: [&str; 6] = [
+    "collect",
+    "into_owned",
+    "repeat",
+    "to_owned",
+    "to_string",
+    "to_vec",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Iteration methods that make `HashMap`/`HashSet` order observable.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "drain",
+    "into_iter",
+    "into_keys",
+    "iter",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// The subset of [`HASH_ITER_METHODS`] whose name alone implies a
+/// keyed container — used as a fallback when the receiver does not
+/// resolve (fields, call results).
+const KEYED_ITER_METHODS: [&str; 4] = ["into_keys", "keys", "values", "values_mut"];
+
+/// Interior-mutable cell types: state that mutates through `&self`,
+/// invisible to the borrow checker's exclusivity and to the sweep's
+/// merge-order reasoning.
+const INTERIOR_MUT_TYPES: [&str; 6] = [
+    "Cell",
+    "LazyLock",
+    "OnceCell",
+    "OnceLock",
+    "RefCell",
+    "UnsafeCell",
+];
+
+/// Lock types: impure (observable cross-call state) but *not* shared
+/// hazards — the sweep executor's slot-per-shard Mutex discipline is
+/// sanctioned.
+const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
+
+fn interior_mut_what(name: &str) -> &'static str {
+    match name {
+        "Cell" => "interior mutability (Cell)",
+        "RefCell" => "interior mutability (RefCell)",
+        "UnsafeCell" => "interior mutability (UnsafeCell)",
+        "OnceCell" => "interior mutability (OnceCell)",
+        "OnceLock" => "interior mutability (OnceLock)",
+        _ => "interior mutability (LazyLock)",
+    }
+}
+
+/// Classify a list of type identifiers (from an annotation or a
+/// parameter type).
+fn classify_idents<S: AsRef<str>>(idents: &[S], unit_types: &[&str]) -> BindClass {
+    if idents.iter().any(|s| HASH_TYPES.contains(&s.as_ref())) {
+        BindClass::Hash
+    } else if idents.iter().any(|s| HEAP_TYPES.contains(&s.as_ref())) {
+        BindClass::Heap
+    } else if idents.iter().any(|s| unit_types.contains(&s.as_ref())) {
+        BindClass::Unit
+    } else {
+        BindClass::Other
+    }
+}
+
+/// Is `ident :: target` at position `i` (the leading ident)?
+fn path_to(toks: &[Token], i: usize, target: &str) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::P(b':')))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::P(b':')))
+        && matches!(&toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(s)) if *s == target)
+}
+
+fn punct_at(toks: &[Token], i: usize, b: u8) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::P(p)) if *p == b)
+}
+
+fn ident_str(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Does a call-paren follow token `i` (the method name), skipping an
+/// optional turbofish `::<..>`?
+fn call_paren_follows(toks: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    if punct_at(toks, j, b':') && punct_at(toks, j + 1, b':') && punct_at(toks, j + 2, b'<') {
+        let mut depth = 0usize;
+        j += 2;
+        while j < toks.len() {
+            if punct_at(toks, j, b'<') {
+                depth += 1;
+            } else if punct_at(toks, j, b'>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    punct_at(toks, j, b'(')
+}
+
+/// The declared target class of a `.collect()` at `i`, when the
+/// statement names one: a turbofish (`.collect::<Welford>()`) or a
+/// `let x: Type = ...` ascription at the statement head. `None` when
+/// no concrete target is named (`::<_>`, tail expressions, chains
+/// crossing block boundaries) — callers stay conservative and keep the
+/// site. A named target that is not a known container suppresses it:
+/// collecting into a `FromIterator` accumulator like `Welford` is a
+/// streaming fold, not an allocation.
+fn collect_target_class(toks: &[Token], i: usize, unit_types: &[&str]) -> Option<BindClass> {
+    // Turbofish: `.collect::<Type<..>>()`.
+    if punct_at(toks, i + 1, b':') && punct_at(toks, i + 2, b':') && punct_at(toks, i + 3, b'<') {
+        let mut depth = 0usize;
+        let mut j = i + 3;
+        let mut heads: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            if punct_at(toks, j, b'<') {
+                depth += 1;
+            } else if punct_at(toks, j, b'>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(s) = ident_str(toks, j) {
+                if s != "_" {
+                    heads.push(s);
+                }
+            }
+            j += 1;
+        }
+        if heads.is_empty() {
+            return None; // `::<_>` names nothing concrete.
+        }
+        return Some(classify_idents(&heads, unit_types));
+    }
+    // `let [mut] x: Type = ... .collect();` — walk back to the
+    // statement head. Any intervening `{`/`}`/`;` (closure blocks,
+    // earlier statements) ends the scan conservatively.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if punct_at(toks, j, b';') || punct_at(toks, j, b'{') || punct_at(toks, j, b'}') {
+            j += 1;
+            break;
+        }
+    }
+    if ident_str(toks, j) != Some("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if ident_str(toks, k) == Some("mut") {
+        k += 1;
+    }
+    // Pattern must be a simple ident followed by a `:` ascription.
+    if ident_str(toks, k).is_none() || !punct_at(toks, k + 1, b':') || punct_at(toks, k + 2, b':') {
+        return None;
+    }
+    let mut heads: Vec<&str> = Vec::new();
+    let mut m = k + 2;
+    while m < i {
+        if punct_at(toks, m, b'=') && !punct_at(toks, m + 1, b'=') {
+            break;
+        }
+        if let Some(s) = ident_str(toks, m) {
+            if s != "_" {
+                heads.push(s);
+            }
+        }
+        m += 1;
+    }
+    if heads.is_empty() {
+        None
+    } else {
+        Some(classify_idents(&heads, unit_types))
+    }
+}
+
+/// The simple-identifier receiver of the method at `i` (`x.m(..)` with
+/// `i` on `m`), or `None` for chained/field receivers (`a.b.m(..)`,
+/// `f().m(..)`).
+fn simple_receiver(toks: &[Token], i: usize) -> Option<&str> {
+    if i < 2 || !punct_at(toks, i - 1, b'.') {
+        return None;
+    }
+    let recv = ident_str(toks, i - 2)?;
+    // `self.x.m(..)` / `a.b.m(..)`: the ident before `.m` is a field.
+    if i >= 3 && punct_at(toks, i - 3, b'.') {
+        return None;
+    }
+    Some(recv)
+}
+
+/// A deferred hash-iteration candidate, resolved after the whole body
+/// is seen (the hash-type mention may come later than the call).
+struct IterCandidate {
+    line: usize,
+    method_implies_keys: bool,
+    /// `Some(class)` when the receiver resolved in the binding table.
+    receiver: Option<BindClass>,
+}
+
+/// Run the dataflow-lite pass over one body (`toks` is the same slice
+/// [`crate::parser`] hands to its body scanner: from the opening `{`
+/// to just before the matching `}`). Fills [`FnItem::allocs`],
+/// [`FnItem::impurities`], and appends receiver-typed hash-iteration
+/// hazards to [`FnItem::hazards`].
+#[allow(clippy::too_many_lines)]
+pub fn analyze(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
+    let mut bindings: BTreeMap<String, (BindClass, Origin)> = BTreeMap::new();
+    for (name, ty) in &item.params {
+        let Some(name) = name else { continue };
+        let class = classify_idents(ty, unit_types);
+        if class != BindClass::Other {
+            bindings.insert(name.clone(), (class, Origin::Param));
+        }
+    }
+
+    let mut saw_hash_mention = false;
+    let mut iter_candidates: Vec<IterCandidate> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let line = toks[i].line;
+        let Tok::Ident(word) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        let word = word.as_str();
+
+        if HASH_TYPES.contains(&word) {
+            saw_hash_mention = true;
+        }
+
+        // `let [mut] name [: Type] [= init]` — extend the binding
+        // table. Pattern lets (`let Some(x) = ..`, destructuring) are
+        // skipped: only simple-identifier bindings resolve.
+        if word == "let" {
+            let mut j = i + 1;
+            while ident_str(toks, j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = ident_str(toks, j) {
+                let after = j + 1;
+                // `:` (not `::`) → annotated; `=` → initializer only.
+                let annotated = punct_at(toks, after, b':') && !punct_at(toks, after + 1, b':');
+                let assigned = punct_at(toks, after, b'=') && !punct_at(toks, after + 1, b'=');
+                if annotated || assigned {
+                    let mut class = BindClass::Other;
+                    let mut k = after;
+                    if annotated {
+                        let mut ann: Vec<&str> = Vec::new();
+                        k += 1;
+                        while k < toks.len() {
+                            match &toks[k].tok {
+                                Tok::P(b'=' | b';') => break,
+                                Tok::Ident(t) => {
+                                    ann.push(t.as_str());
+                                    k += 1;
+                                }
+                                _ => k += 1,
+                            }
+                        }
+                        class = classify_idents(&ann, unit_types);
+                    }
+                    // `= Type::ctor(..)` / `= vec![..]` initializers.
+                    if class == BindClass::Other && punct_at(toks, k, b'=') {
+                        if let Some(head) = ident_str(toks, k + 1) {
+                            if punct_at(toks, k + 2, b':') && punct_at(toks, k + 3, b':') {
+                                class = classify_idents(&[head], unit_types);
+                            } else if head == "vec" && punct_at(toks, k + 2, b'!') {
+                                class = BindClass::Heap;
+                            }
+                        }
+                    }
+                    if class != BindClass::Other {
+                        bindings.insert(name.to_owned(), (class, Origin::Local));
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // --- Allocation sites -----------------------------------------
+
+        // `Vec::new(..)`, `String::with_capacity(..)`, `Box::new(..)`.
+        if HEAP_TYPES.contains(&word) {
+            if let Some(method) = ident_str(toks, i + 3) {
+                if punct_at(toks, i + 1, b':')
+                    && punct_at(toks, i + 2, b':')
+                    && CTOR_METHODS.contains(&method)
+                    && call_paren_follows(toks, i + 3)
+                {
+                    item.allocs.push(AllocSite {
+                        line,
+                        what: format!("{word}::{method}"),
+                    });
+                }
+            }
+        }
+
+        // `format!(..)` / `vec![..]`.
+        if ALLOC_MACROS.contains(&word)
+            && punct_at(toks, i + 1, b'!')
+            && (punct_at(toks, i + 2, b'(') || punct_at(toks, i + 2, b'['))
+        {
+            item.allocs.push(AllocSite {
+                line,
+                what: format!("{word}! macro"),
+            });
+        }
+
+        let is_method = i >= 1 && punct_at(toks, i - 1, b'.');
+        if is_method && call_paren_follows(toks, i) {
+            // `.to_string()` / `.collect::<Vec<_>>()` / ... A collect
+            // whose named target is not a container (e.g. a `Welford`
+            // accumulator) folds without allocating and is skipped.
+            if ALLOC_METHODS.contains(&word) {
+                let folds_in_place = word == "collect"
+                    && matches!(
+                        collect_target_class(toks, i, unit_types),
+                        Some(BindClass::Unit | BindClass::Other)
+                    );
+                if !folds_in_place {
+                    item.allocs.push(AllocSite {
+                        line,
+                        what: format!(".{word}()"),
+                    });
+                }
+            }
+            // `.clone()` on a receiver known to own heap storage.
+            if word == "clone" {
+                if let Some((class, _)) = simple_receiver(toks, i).and_then(|r| bindings.get(r)) {
+                    if matches!(class, BindClass::Heap | BindClass::Hash) {
+                        item.allocs.push(AllocSite {
+                            line,
+                            what: ".clone() of heap-owning value".to_owned(),
+                        });
+                    }
+                }
+            }
+            // `.push(..)` onto a locally built buffer. Params and
+            // fields (unresolved receivers) are the scratch-reuse
+            // idiom and stay exempt.
+            if word == "push" {
+                if let Some(&(class, Origin::Local)) =
+                    simple_receiver(toks, i).and_then(|r| bindings.get(r))
+                {
+                    if matches!(class, BindClass::Heap | BindClass::Hash) {
+                        item.allocs.push(AllocSite {
+                            line,
+                            what: ".push onto locally built buffer".to_owned(),
+                        });
+                    }
+                }
+            }
+            // Hash iteration: defer — the container mention may come
+            // later in the body.
+            if HASH_ITER_METHODS.contains(&word) {
+                iter_candidates.push(IterCandidate {
+                    line,
+                    method_implies_keys: KEYED_ITER_METHODS.contains(&word),
+                    receiver: simple_receiver(toks, i)
+                        .and_then(|r| bindings.get(r))
+                        .map(|&(class, _)| class),
+                });
+            }
+        }
+
+        // --- Purity hazards -------------------------------------------
+
+        if let Some(what) = INTERIOR_MUT_TYPES
+            .iter()
+            .find(|t| **t == word)
+            .copied()
+            .map(interior_mut_what)
+        {
+            item.impurities.push(PuritySite {
+                line,
+                what,
+                shared: true,
+            });
+        }
+        if LOCK_TYPES.contains(&word) {
+            item.impurities.push(PuritySite {
+                line,
+                what: "lock-based shared state (Mutex/RwLock)",
+                shared: false,
+            });
+        }
+        if word.starts_with("Atomic") && word.len() > "Atomic".len() {
+            item.impurities.push(PuritySite {
+                line,
+                what: "atomic shared state",
+                shared: false,
+            });
+        }
+        match word {
+            "thread_local" if punct_at(toks, i + 1, b'!') => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "thread_local! state",
+                    shared: true,
+                });
+            }
+            "static" => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "static item in fn body",
+                    shared: true,
+                });
+            }
+            "SystemTime" => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "SystemTime wall-clock read",
+                    shared: false,
+                });
+            }
+            "Instant" if path_to(toks, i, "now") => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "Instant::now wall-clock read",
+                    shared: false,
+                });
+            }
+            "thread_rng" | "from_entropy" | "from_os_rng" => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "nondeterministic RNG",
+                    shared: false,
+                });
+            }
+            "rand" if path_to(toks, i, "rng") => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "nondeterministic RNG",
+                    shared: false,
+                });
+            }
+            "File" | "fs" if punct_at(toks, i + 1, b':') && punct_at(toks, i + 2, b':') => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "file I/O",
+                    shared: false,
+                });
+            }
+            "env" if path_to(toks, i, "var") || path_to(toks, i, "vars") => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "environment read",
+                    shared: false,
+                });
+            }
+            "stdin" | "stdout" | "stderr" if punct_at(toks, i + 1, b'(') => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "console I/O",
+                    shared: false,
+                });
+            }
+            "print" | "println" | "eprint" | "eprintln" if punct_at(toks, i + 1, b'!') => {
+                item.impurities.push(PuritySite {
+                    line,
+                    what: "console I/O",
+                    shared: false,
+                });
+            }
+            _ => {}
+        }
+
+        i += 1;
+    }
+
+    // Resolve the deferred hash-iteration candidates.
+    for cand in iter_candidates {
+        let hazard = match cand.receiver {
+            Some(BindClass::Hash) => true,
+            // Receiver resolved to a deterministic container: proof it
+            // is *not* hash iteration (the pre-dataflow heuristic fired
+            // here).
+            Some(BindClass::Heap | BindClass::Unit | BindClass::Other) => false,
+            // Unresolved (field, call result): only the keyed method
+            // names count, and only when a hash type appears in the
+            // body at all.
+            None => cand.method_implies_keys && saw_hash_mention,
+        };
+        if hazard {
+            item.hazards.push(DetHazard {
+                line: cand.line,
+                what: "HashMap/HashSet iteration order",
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::analyze as lex_analyze;
+    use crate::parser::parse_file;
+    use std::path::Path;
+
+    const UNITS: [&str; 2] = ["Celsius", "Watts"];
+
+    fn first_fn(src: &str) -> FnItem {
+        let file = parse_file(
+            Path::new("crates/x/src/lib.rs"),
+            src,
+            &lex_analyze(src),
+            &UNITS,
+        );
+        file.fns.into_iter().next().expect("one fn parsed")
+    }
+
+    fn alloc_whats(src: &str) -> Vec<String> {
+        first_fn(src)
+            .allocs
+            .iter()
+            .map(|a| a.what.clone())
+            .collect()
+    }
+
+    #[test]
+    fn heap_constructors_are_alloc_sites() {
+        let whats = alloc_whats(
+            "fn f() {\n    let v = Vec::with_capacity(4);\n    let s = String::new();\n    let b = Box::new(1);\n}\n",
+        );
+        assert_eq!(whats, vec!["Vec::with_capacity", "String::new", "Box::new"]);
+    }
+
+    #[test]
+    fn alloc_macros_and_methods_fire() {
+        let whats = alloc_whats(
+            "fn f(n: u32) {\n    let s = format!(\"{n}\");\n    let v = vec![1, 2];\n    let t = n.to_string();\n    let c = (0..n).collect::<Vec<_>>();\n}\n",
+        );
+        assert!(whats.contains(&"format! macro".to_owned()));
+        assert!(whats.contains(&"vec! macro".to_owned()));
+        assert!(whats.contains(&".to_string()".to_owned()));
+        assert!(whats.contains(&".collect()".to_owned()), "{whats:?}");
+    }
+
+    #[test]
+    fn clone_fires_only_on_heap_typed_receivers() {
+        let heap = alloc_whats("fn f(v: &Vec<f64>) {\n    let w = v.clone();\n}\n");
+        assert_eq!(heap, vec![".clone() of heap-owning value"]);
+        let copy = alloc_whats("fn f(x: u64) {\n    let y = x.clone();\n}\n");
+        assert!(copy.is_empty(), "{copy:?}");
+        let unknown = alloc_whats("fn f(&self) {\n    let y = self.flows.clone();\n}\n");
+        assert!(unknown.is_empty(), "field receivers stay unresolved");
+    }
+
+    #[test]
+    fn push_exempts_params_and_fields() {
+        // Scratch-reuse idiom: push onto a parameter or a field.
+        let reuse = alloc_whats(
+            "fn f(out: &mut Vec<f64>, scratch: &mut Scratch) {\n    out.push(1.0);\n    scratch.truths.push(2.0);\n}\n",
+        );
+        assert!(reuse.is_empty(), "{reuse:?}");
+        // Locally built buffer: the ctor and the push both pin lines.
+        let local =
+            alloc_whats("fn f() {\n    let mut v: Vec<f64> = Vec::new();\n    v.push(1.0);\n}\n");
+        assert_eq!(local, vec!["Vec::new", ".push onto locally built buffer"]);
+    }
+
+    #[test]
+    fn purity_hazards_detected() {
+        let item = first_fn(
+            "fn f() {\n    let c = RefCell::new(1);\n    let m = Mutex::new(2);\n    let t = std::time::Instant::now();\n    let r = thread_rng();\n    println!(\"x\");\n}\n",
+        );
+        let whats: Vec<_> = item.impurities.iter().map(|p| p.what).collect();
+        assert!(whats.contains(&"interior mutability (RefCell)"));
+        assert!(whats.contains(&"lock-based shared state (Mutex/RwLock)"));
+        assert!(whats.contains(&"Instant::now wall-clock read"));
+        assert!(whats.contains(&"nondeterministic RNG"));
+        assert!(whats.contains(&"console I/O"));
+        let shared: Vec<_> = item.impurities.iter().filter(|p| p.shared).collect();
+        assert_eq!(shared.len(), 1, "only the RefCell is a shared hazard");
+    }
+
+    #[test]
+    fn pure_arithmetic_has_no_hazards() {
+        let item = first_fn("fn f(x: f64) -> f64 {\n    let y = x * 2.0;\n    y + 1.0\n}\n");
+        assert!(item.impurities.is_empty(), "{:?}", item.impurities);
+        assert!(item.allocs.is_empty(), "{:?}", item.allocs);
+    }
+
+    #[test]
+    fn hash_iteration_requires_resolved_or_keyed_receiver() {
+        // Resolved hash receiver: hazard.
+        let hit = first_fn(
+            "fn f() {\n    let m: HashMap<u8, u8> = HashMap::new();\n    for k in m.keys() {}\n}\n",
+        );
+        assert!(hit
+            .hazards
+            .iter()
+            .any(|h| h.what == "HashMap/HashSet iteration order"));
+
+        // The pre-dataflow false positive: a hash type mentioned, but
+        // the iteration runs over a Vec.
+        let fp = first_fn(
+            "fn f(m: &HashMap<u8, u8>) {\n    let v: Vec<u8> = Vec::new();\n    for x in v.iter() {}\n    let _ = m.get(&1);\n}\n",
+        );
+        assert!(
+            fp.hazards.is_empty(),
+            "Vec iteration is not a hash hazard: {:?}",
+            fp.hazards
+        );
+
+        // Unresolved receiver + keyed method + hash mention: hazard.
+        let field = first_fn(
+            "fn f(&self) {\n    let m: HashMap<u8, u8> = HashMap::new();\n    let _ = m.len();\n    for k in self.map.keys() {}\n}\n",
+        );
+        assert!(
+            field
+                .hazards
+                .iter()
+                .any(|h| h.what == "HashMap/HashSet iteration order"),
+            "{:?}",
+            field.hazards
+        );
+
+        // Unresolved receiver + generic method: no hazard without
+        // receiver proof, even with a hash mention.
+        let generic = first_fn(
+            "fn f(&self, m: &HashMap<u8, u8>) {\n    let _ = m.get(&1);\n    for x in self.items.iter() {}\n}\n",
+        );
+        assert!(generic.hazards.is_empty(), "{:?}", generic.hazards);
+    }
+
+    #[test]
+    fn let_else_and_patterns_do_not_bind() {
+        let item = first_fn(
+            "fn f(o: Option<Vec<u8>>) {\n    let Some(v) = o else {\n        return;\n    };\n    let (a, b) = (1, 2);\n    let _ = (a, b, v);\n}\n",
+        );
+        // No spurious allocs or hazards from pattern bindings.
+        assert!(item.allocs.is_empty(), "{:?}", item.allocs);
+    }
+
+    #[test]
+    fn nested_closures_and_turbofish_chains_scan() {
+        let item = first_fn(
+            "fn f(xs: &[u64]) -> Vec<u64> {\n    xs.iter().map(|x| {\n        let inner = move |y: u64| y + 1;\n        inner(*x)\n    }).collect::<Vec<u64>>()\n}\n",
+        );
+        assert_eq!(
+            item.allocs
+                .iter()
+                .map(|a| a.what.as_str())
+                .collect::<Vec<_>>(),
+            vec![".collect()"]
+        );
+    }
+
+    #[test]
+    fn collect_into_non_container_target_is_not_an_alloc() {
+        // Turbofish naming a plain accumulator: streaming fold.
+        let fold = alloc_whats(
+            "fn f(xs: &[f64]) -> f64 {\n    xs.iter().copied().collect::<Welford>().mean()\n}\n",
+        );
+        assert!(fold.is_empty(), "{fold:?}");
+        // Let ascription naming a plain accumulator: same.
+        let ascribed =
+            alloc_whats("fn f(xs: &[f64]) -> f64 {\n    let w: Welford = xs.iter().copied().collect();\n    w.mean()\n}\n");
+        assert!(ascribed.is_empty(), "{ascribed:?}");
+        // Containers keep firing through both spellings.
+        let heap = alloc_whats(
+            "fn f(xs: &[f64]) {\n    let v: Vec<f64> = xs.iter().copied().collect();\n}\n",
+        );
+        assert_eq!(heap, vec![".collect()"]);
+        // No named target at all: conservative, still a site.
+        let bare =
+            alloc_whats("fn f(xs: &[f64]) {\n    let v = xs.iter().copied().collect::<_>();\n}\n");
+        assert_eq!(bare, vec![".collect()"]);
+    }
+
+    #[test]
+    fn static_and_thread_local_are_shared_hazards() {
+        let item = first_fn(
+            "fn f() -> u64 {\n    static SEED: u64 = 7;\n    thread_local! { static TL: u8 = 0; }\n    SEED\n}\n",
+        );
+        assert!(item.impurities.iter().any(|p| p.shared));
+        let whats: Vec<_> = item.impurities.iter().map(|p| p.what).collect();
+        assert!(whats.contains(&"static item in fn body"));
+        assert!(whats.contains(&"thread_local! state"));
+    }
+}

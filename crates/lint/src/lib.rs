@@ -18,13 +18,18 @@
 //! | `unit-flow` | no raw unit `f64` crossing crates untagged |
 //! | `determinism-taint` | no nondeterminism reachable from sweep/summary |
 //! | `deprecated-call` | no in-workspace calls to deprecated shims |
+//! | `alloc-in-hot-path` | no allocation reachable from the sweep hot roots |
+//! | `cache-purity` | fns feeding memo layers are pure |
+//! | `shared-state-escape` | no shared mutable state under spawned work |
 //!
-//! The first five are *line* rules; the last four are *semantic* rules
+//! The first five are *line* rules; the last seven are *semantic* rules
 //! that run over a workspace [`index::SymbolIndex`] and
-//! [`callgraph::CallGraph`] built by [`parser`]. Files are scanned in
+//! [`callgraph::CallGraph`] built by [`parser`] (the last three also
+//! over the per-body facts from [`dataflow`]). Files are scanned in
 //! parallel (`MIRA_LINT_THREADS`, same shard-claim discipline as
 //! `mira-core::sweep`) and findings merge in deterministic file order,
-//! so output is byte-identical at any worker count.
+//! so output is byte-identical at any worker count — and byte-identical
+//! between cold and incremental-cache runs ([`cache`]).
 //!
 //! Violations can be waved through inline (`// mira-lint:
 //! allow(<rule>)` on the offending line or the one above) or
@@ -34,7 +39,9 @@
 //! engine under `cargo test`, so the gate cannot be skipped.
 
 pub mod allowlist;
+pub mod cache;
 pub mod callgraph;
+pub mod dataflow;
 pub mod index;
 pub mod lexer;
 pub mod parser;
@@ -187,8 +194,59 @@ impl Workspace {
     /// the work).
     #[must_use]
     pub fn scan(&self, threads: usize) -> Vec<Finding> {
-        let per_file = scan_files_sharded(&self.sources, threads.max(1));
+        let cached = vec![None; self.sources.len()];
+        self.assemble(scan_files_sharded(&self.sources, threads.max(1), &cached))
+    }
 
+    /// [`Workspace::scan`] with an incremental cache at `cache_path`.
+    ///
+    /// Per-file *line* findings are keyed by content hash: an unchanged
+    /// file skips its line rules (it is still lexed and parsed — the
+    /// semantic pass needs the whole-workspace index either way), and a
+    /// fully unchanged workspace returns the stored final findings
+    /// without scanning at all. Cached and cold results are
+    /// byte-identical (gated in ci.sh); the cache self-invalidates on
+    /// any [`cache::RULE_VERSION`] bump.
+    #[must_use]
+    pub fn scan_with_cache(&self, threads: usize, cache_path: &Path) -> Vec<Finding> {
+        let digest: Vec<(String, u64)> = self
+            .sources
+            .iter()
+            .map(|(rel, text)| {
+                (
+                    rel.to_string_lossy().replace('\\', "/"),
+                    cache::content_hash(text),
+                )
+            })
+            .collect();
+        let prior = cache::ScanCache::load(cache_path);
+        if let Some(cache) = &prior {
+            if cache.matches(&digest) {
+                return cache.final_findings.clone();
+            }
+        }
+        let cached: Vec<Option<Vec<Finding>>> = digest
+            .iter()
+            .map(|(path, hash)| {
+                prior
+                    .as_ref()
+                    .and_then(|c| c.line_findings_for(path, *hash))
+                    .map(<[Finding]>::to_vec)
+            })
+            .collect();
+        let per_file = scan_files_sharded(&self.sources, threads.max(1), &cached);
+        let raw: Vec<Vec<Finding>> = per_file.iter().map(|(f, _)| f.clone()).collect();
+        let findings = self.assemble(per_file);
+        let next = cache::ScanCache::new(&digest, raw, findings.clone());
+        // Best-effort: a read-only target dir degrades to cold scans.
+        let _ = next.store(cache_path);
+        findings
+    }
+
+    /// The post-shard pipeline: merge per-file passes in file order,
+    /// build the index and call graph, run the semantic rules, and sort
+    /// by the total key (file, line, column, rule, message).
+    fn assemble(&self, per_file: Vec<FilePass>) -> Vec<Finding> {
         let mut findings = Vec::new();
         let mut parsed = Vec::with_capacity(per_file.len());
         for (mut file_findings, parsed_file) in per_file {
@@ -212,7 +270,8 @@ impl Workspace {
         findings.extend(semantic_findings(&index, &graph));
 
         findings.sort_by(|a, b| {
-            (&a.file, a.line, a.rule, &a.matched).cmp(&(&b.file, b.line, b.rule, &b.matched))
+            (&a.file, a.line, a.column, a.rule, &a.matched)
+                .cmp(&(&b.file, b.line, b.column, b.rule, &b.matched))
         });
         findings
     }
@@ -220,17 +279,25 @@ impl Workspace {
 
 type FilePass = (Vec<Finding>, parser::ParsedFile);
 
-fn scan_file(rel: &Path, text: &str) -> FilePass {
+/// One file's pass. `cached` short-circuits the line rules only: the
+/// lex + parse still run because the semantic pass needs every file's
+/// items regardless of what changed.
+fn scan_file(rel: &Path, text: &str, cached: Option<&[Finding]>) -> FilePass {
     let lines = lexer::analyze(text);
-    let findings = check_file(rel, &lines);
+    let findings = cached.map_or_else(|| check_file(rel, &lines), <[Finding]>::to_vec);
     let parsed = parser::parse_file(rel, text, &lines, &rules::UNIT_TYPES);
     (findings, parsed)
 }
 
 /// The deterministic shard scan: `workers` threads claim file indices
 /// from a shared counter; each result lands in its file's slot; the
-/// merge reads slots in file order.
-fn scan_files_sharded(sources: &[(PathBuf, String)], threads: usize) -> Vec<FilePass> {
+/// merge reads slots in file order. `cached[i]` carries file `i`'s
+/// cache-hit line findings, when any.
+fn scan_files_sharded(
+    sources: &[(PathBuf, String)],
+    threads: usize,
+    cached: &[Option<Vec<Finding>>],
+) -> Vec<FilePass> {
     let workers = threads.min(sources.len()).max(1);
     let slots: Vec<Mutex<Option<FilePass>>> = sources.iter().map(|_| Mutex::new(None)).collect();
 
@@ -243,7 +310,7 @@ fn scan_files_sharded(sources: &[(PathBuf, String)], threads: usize) -> Vec<File
                     let Some((rel, text)) = sources.get(i) else {
                         break;
                     };
-                    let pass = scan_file(rel, text);
+                    let pass = scan_file(rel, text, cached[i].as_deref());
                     if let Ok(mut slot) = slots[i].lock() {
                         *slot = Some(pass);
                     }
@@ -262,7 +329,7 @@ fn scan_files_sharded(sources: &[(PathBuf, String)], threads: usize) -> Vec<File
             };
             // Single-threaded mode, or a slot a worker failed to fill:
             // compute inline so the scan never silently drops a file.
-            inner.unwrap_or_else(|| scan_file(&sources[i].0, &sources[i].1))
+            inner.unwrap_or_else(|| scan_file(&sources[i].0, &sources[i].1, cached[i].as_deref()))
         })
         .collect()
 }
@@ -306,6 +373,7 @@ pub fn render_json(gated: &Gated, allowlist_entries: usize) -> String {
             json_str(&finding.file.to_string_lossy().replace('\\', "/"))
         ));
         out.push_str(&format!("      \"line\": {},\n", finding.line));
+        out.push_str(&format!("      \"column\": {},\n", finding.column));
         out.push_str(&format!(
             "      \"rule\": {},\n",
             json_str(finding.rule.name())
@@ -335,7 +403,7 @@ pub fn render_json(gated: &Gated, allowlist_entries: usize) -> String {
 }
 
 /// Minimal JSON string escaping (std-only).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -402,10 +470,10 @@ mod tests {
         let four = ws.scan(4);
         assert_eq!(one, four);
         assert!(!one.is_empty());
-        // Sorted by (file, line, rule).
+        // Sorted by (file, line, column, rule).
         let keys: Vec<_> = one
             .iter()
-            .map(|f| (f.file.clone(), f.line, f.rule))
+            .map(|f| (f.file.clone(), f.line, f.column, f.rule))
             .collect();
         let mut sorted = keys.clone();
         sorted.sort();
@@ -418,6 +486,7 @@ mod tests {
             rejected: vec![Finding {
                 file: PathBuf::from("crates/a/src/x.rs"),
                 line: 3,
+                column: 17,
                 rule: Rule::NoUnwrapInLib,
                 matched: "`unwrap()` in \"library\" code".to_owned(),
                 chain: vec!["a".to_owned(), "b".to_owned()],
@@ -427,6 +496,7 @@ mod tests {
         };
         let json = render_json(&gated, 5);
         assert!(json.contains("\"rule\": \"no-unwrap-in-lib\""));
+        assert!(json.contains("\"column\": 17"));
         assert!(json.contains("\\\"library\\\""));
         assert!(json.contains("\"chain\": [\"a\", \"b\"]"));
         assert!(json.contains("\"grandfathered\": 2"));

@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use crate::dataflow::{AllocSite, PuritySite};
 use crate::lexer::{scrub, SourceLine};
 
 /// One lexical token of the scrubbed source.
@@ -242,6 +243,10 @@ pub struct FnItem {
     pub panics: Vec<PanicSite>,
     /// Determinism hazards in the body.
     pub hazards: Vec<DetHazard>,
+    /// Allocation sites in the body (from [`crate::dataflow`]).
+    pub allocs: Vec<AllocSite>,
+    /// Purity hazards in the body (from [`crate::dataflow`]).
+    pub impurities: Vec<PuritySite>,
 }
 
 impl FnItem {
@@ -284,18 +289,6 @@ const KEYWORDS: [&str; 36] = [
 fn is_keyword(name: &str) -> bool {
     KEYWORDS.contains(&name)
 }
-
-/// Iteration methods that make `HashMap`/`HashSet` order observable.
-const HASH_ITER_METHODS: [&str; 8] = [
-    "iter",
-    "into_iter",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "retain",
-    "into_keys",
-];
 
 struct Parser<'a> {
     toks: &'a [Token],
@@ -772,15 +765,15 @@ impl Parser<'_> {
             calls: Vec::new(),
             panics: Vec::new(),
             hazards: Vec::new(),
+            allocs: Vec::new(),
+            impurities: Vec::new(),
         };
 
         if self.is_punct(0, b'{') {
             let close = self.matching_brace(self.pos);
-            scan_body(
-                &self.toks[self.pos..close.min(self.toks.len())],
-                &mut item,
-                self.unit_types,
-            );
+            let body = &self.toks[self.pos..close.min(self.toks.len())];
+            scan_body(body, &mut item, self.unit_types);
+            crate::dataflow::analyze(body, &mut item, self.unit_types);
             self.pos = close.saturating_add(1).min(self.toks.len());
         } else {
             self.pos += 1; // `;`
@@ -868,9 +861,6 @@ fn scan_body(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
     let mut pending_let: Option<(String, usize, bool, bool)> = None;
     let mut brace_depth = 0usize;
 
-    let mut saw_hash_container: Option<usize> = None; // line
-    let mut saw_hash_iteration = false;
-
     let mut i = 0;
     while i < toks.len() {
         let line = toks[i].line;
@@ -956,6 +946,19 @@ fn scan_body(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
                                         }
                                     }
                                 }
+                                // Constructor-typed initializer:
+                                // `let x = Celsius::new(..)` binds a
+                                // unit even without an annotation.
+                                if !unit
+                                    && matches!(toks.get(k).map(|t| &t.tok), Some(Tok::P(b'=')))
+                                    && matches!(toks.get(k + 2).map(|t| &t.tok), Some(Tok::P(b':')))
+                                    && matches!(toks.get(k + 3).map(|t| &t.tok), Some(Tok::P(b':')))
+                                {
+                                    if let Some(Tok::Ident(head)) = toks.get(k + 1).map(|t| &t.tok)
+                                    {
+                                        unit = unit_types.contains(&head.as_str());
+                                    }
+                                }
                                 pending_let = Some((name.clone(), brace_depth, false, unit));
                             }
                         }
@@ -978,16 +981,16 @@ fn scan_body(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
                             what: "thread spawn/scope",
                         });
                     }
-                    "HashMap" | "HashSet" => {
-                        saw_hash_container.get_or_insert(line);
-                    }
                     _ => {}
                 }
-                if HASH_ITER_METHODS.contains(&word.as_str())
-                    && i > 0
-                    && matches!(toks[i - 1].tok, Tok::P(b'.'))
+                // A plain reassignment (`raw = fresh();`, not `==` or
+                // `=>`) overwrites the escaped value: clear the taint
+                // instead of flagging every later use.
+                if tainted.contains(word.as_str())
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::P(b'=')))
+                    && !matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::P(b'=' | b'>')))
                 {
-                    saw_hash_iteration = true;
+                    tainted.remove(word.as_str());
                 }
                 // Raw-unit escape: `x.0` / `x.value()` on a unit-typed
                 // local, or any use of a tainted local.
@@ -1008,15 +1011,8 @@ fn scan_body(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
         }
         i += 1;
     }
-
-    if let Some(line) = saw_hash_container {
-        if saw_hash_iteration {
-            item.hazards.push(DetHazard {
-                line,
-                what: "HashMap/HashSet iteration order",
-            });
-        }
-    }
+    // HashMap/HashSet iteration hazards moved to the receiver-typed
+    // walk in [`crate::dataflow`].
 }
 
 /// Does `x.0` / `x.value()` at token `i` (the `x`) escape a raw f64
@@ -1338,6 +1334,36 @@ mod tests {
             .find(|c| matches!(&c.kind, CallKind::Path(p) if p.contains(&"convert".to_owned())))
             .expect("convert call");
         assert_eq!(conv.raw_unit.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn unit_constructor_let_binds_unit() {
+        // No annotation: the `Celsius::..` initializer types the local.
+        let file = parse(
+            "fn f() {\n    let t = Celsius::from_f64(1.0);\n    other::sink(t.value());\n}\n",
+        );
+        let sink = file.fns[0]
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Path(p) if p.last().is_some_and(|s| s == "sink")))
+            .expect("sink call");
+        assert_eq!(sink.raw_unit.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn taint_clears_on_reassignment() {
+        let file = parse(
+            "fn f(t: Celsius) {\n    let mut raw = t.value();\n    raw = 0.0;\n    other::sink(raw);\n}\n",
+        );
+        let sink = file.fns[0]
+            .calls
+            .iter()
+            .find(|c| matches!(&c.kind, CallKind::Path(p) if p.last().is_some_and(|s| s == "sink")))
+            .expect("sink call");
+        assert!(
+            sink.raw_unit.is_none(),
+            "reassigned local no longer carries the escape: {sink:?}"
+        );
     }
 
     #[test]

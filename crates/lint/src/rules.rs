@@ -1,18 +1,20 @@
-//! The nine domain-invariant rules.
+//! The twelve domain-invariant rules.
 //!
 //! Five *line* rules scan the line-oriented view produced by
-//! [`crate::lexer`]; four *semantic* rules run over the workspace
-//! [`SymbolIndex`] and [`CallGraph`] and can see across files and
-//! crates. Every rule emits [`Finding`]s with a stable
-//! machine-readable identity (file, line, rule name) plus a human
-//! suggestion. Rules only fire in library code: `#[cfg(test)]` regions
-//! and test-only files are exempt, and the workspace walker never
-//! feeds `tests/`, `benches/`, or `examples/` files in.
+//! [`crate::lexer`]; seven *semantic* rules run over the workspace
+//! [`SymbolIndex`] and [`CallGraph`] (three of them additionally over
+//! the per-body facts from [`crate::dataflow`]) and can see across
+//! files and crates. Every rule emits [`Finding`]s with a stable
+//! machine-readable identity (file, line, column, rule name) plus a
+//! human suggestion. Rules only fire in library code: `#[cfg(test)]`
+//! regions and test-only files are exempt, and the workspace walker
+//! never feeds `tests/`, `benches/`, or `examples/` files in.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::callgraph::{resolve_call, CallGraph};
+use crate::dataflow::{AllocSite, PuritySite};
 use crate::index::{FnId, SymbolIndex};
 use crate::lexer::{token_bounded, token_matches, SourceLine};
 use crate::parser::{DetHazard, PanicSite, ParsedFile, Vis};
@@ -55,6 +57,34 @@ pub const SANCTIONED_EXECUTOR_FILE: &str = "crates/core/src/sweep.rs";
 pub const DETERMINISM_ROOT_FILES: [&str; 2] =
     ["crates/core/src/sweep.rs", "crates/core/src/summary.rs"];
 
+/// The sweep engine's hot roots for `alloc-in-hot-path`, named as
+/// (crate, self type, fn). Configured, not inferred: "hot" is a
+/// property of the measured per-step profile (BENCH_sweep.json pins
+/// 0 allocs/step), not something a static walk can discover — see
+/// DESIGN.md §10.
+pub const HOT_ROOT_FNS: [(&str, &str, &str); 2] = [
+    ("core", "SweepPlan", "run"),
+    ("core", "TelemetryEngine", "sweep_step_into"),
+];
+
+/// Crates whose `merge` fns are aggregation hot roots: they run once
+/// per shard pair inside the sweep reduce, at any visibility.
+pub const HOT_MERGE_CRATES: [&str; 3] = ["core", "obs", "timeseries"];
+
+/// (crate, type) pairs whose methods feed memo layers: every key
+/// constructor and every lookup beneath a purity-keyed cache must be a
+/// pure function of its inputs, or the cache silently serves stale or
+/// order-dependent values.
+pub const CACHE_PURE_TYPES: [(&str, &str); 7] = [
+    ("core", "HydroKey"),
+    ("timeseries", "CivilDayCache"),
+    ("timeseries", "CivilParts"),
+    ("weather", "FractalBank"),
+    ("weather", "FractalCursor"),
+    ("weather", "NoiseCursor"),
+    ("weather", "ValueNoise"),
+];
+
 /// Identity of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
@@ -77,11 +107,17 @@ pub enum Rule {
     DeterminismTaint,
     /// No in-workspace calls to `#[deprecated]` shims.
     DeprecatedCall,
+    /// No allocation site reachable from the sweep hot roots.
+    AllocInHotPath,
+    /// Fns feeding memo layers must be pure.
+    CachePurity,
+    /// No interior-mutable/static state reachable from spawned work.
+    SharedStateEscape,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::RawF64InPublicApi,
         Rule::NoUnwrapInLib,
         Rule::LossyCast,
@@ -91,6 +127,9 @@ impl Rule {
         Rule::UnitFlow,
         Rule::DeterminismTaint,
         Rule::DeprecatedCall,
+        Rule::AllocInHotPath,
+        Rule::CachePurity,
+        Rule::SharedStateEscape,
     ];
 
     /// The kebab-case name used in diagnostics, escape hatches, and the
@@ -107,6 +146,9 @@ impl Rule {
             Rule::UnitFlow => "unit-flow",
             Rule::DeterminismTaint => "determinism-taint",
             Rule::DeprecatedCall => "deprecated-call",
+            Rule::AllocInHotPath => "alloc-in-hot-path",
+            Rule::CachePurity => "cache-purity",
+            Rule::SharedStateEscape => "shared-state-escape",
         }
     }
 
@@ -146,6 +188,15 @@ impl Rule {
             }
             Rule::DeprecatedCall => {
                 "migrate to the replacement named in the #[deprecated] note; the shim is scheduled for removal"
+            }
+            Rule::AllocInHotPath => {
+                "reuse a SweepScratch buffer (clear + push through the caller-owned field) or hoist the allocation out of the per-step path"
+            }
+            Rule::CachePurity => {
+                "make the memo-feeding fn a pure function of its arguments; move clocks, RNG, I/O, and mutable statics out to the caller"
+            }
+            Rule::SharedStateEscape => {
+                "pass per-shard state into the closure by value and merge results after join; shared Cell/RefCell/static state breaks the merge order"
             }
         }
     }
@@ -239,6 +290,53 @@ impl Rule {
                  be deleted on schedule (see CHANGELOG.md — the 0.2.0 sweep-API\n\
                  shims have already been removed this way)."
             }
+            Rule::AllocInHotPath => {
+                "alloc-in-hot-path (semantic rule)\n\n\
+                 The sweep engine's measured contract is ~0 heap allocations per\n\
+                 simulated step (BENCH_sweep.json); every buffer is owned by\n\
+                 SweepScratch and reused via clear()+push. This rule walks the\n\
+                 call graph from the configured hot roots (SweepPlan::run,\n\
+                 TelemetryEngine::sweep_step_into, and the `merge` aggregation\n\
+                 fns of core/obs/timeseries) and reports any reachable\n\
+                 allocation site: heap-container constructors (Vec::new,\n\
+                 String::with_capacity, Box::new, ...), `format!`/`vec!`,\n\
+                 allocating methods (.to_string, .collect, .to_vec, ...),\n\
+                 `.clone()` on a heap-typed local, and `.push(..)` onto a\n\
+                 locally built buffer. Pushes onto parameters and fields are\n\
+                 sanctioned — that is the scratch-reuse idiom itself.\n\n\
+                 Hot roots are configured, not inferred: hotness is a property\n\
+                 of the measured per-step profile, not of the source. Bounded\n\
+                 per-sweep setup (shard vectors, scratch construction) is\n\
+                 discharged with `// mira-lint: allow(alloc-in-hot-path)` on\n\
+                 the `fn` line, which covers that body only — reachable callees\n\
+                 are still walked."
+            }
+            Rule::CachePurity => {
+                "cache-purity (semantic rule)\n\n\
+                 The memo layers (HydroKey-keyed hydraulics, NoiseCursor /\n\
+                 FractalBank weather lattices, CivilDayCache calendar lookups)\n\
+                 assume key construction and every transitive callee are pure\n\
+                 functions of their inputs. A wall-clock read, RNG call, I/O,\n\
+                 `static` item, or interior-mutable cell (Cell/RefCell/\n\
+                 thread_local!/Mutex) beneath them makes a cached value depend\n\
+                 on *when* it was computed, so a hit and a miss diverge and the\n\
+                 six-year sweep stops replaying bit-for-bit. This rule walks\n\
+                 the call graph from every method of the configured memo types\n\
+                 and reports the first impure site with its full call chain."
+            }
+            Rule::SharedStateEscape => {
+                "shared-state-escape (semantic rule)\n\n\
+                 The sweep executor's bit-identical parallel merge works\n\
+                 because shards only communicate through their owned results,\n\
+                 merged in a fixed order after join. Interior-mutable state\n\
+                 (Cell/RefCell/OnceCell/thread_local!) or a `static` item\n\
+                 reachable from a fn that spawns threads reintroduces\n\
+                 cross-shard communication whose observed order depends on\n\
+                 scheduling. This rule starts at every fn in mira-core that\n\
+                 spawns or scopes threads and reports reachable shared-state\n\
+                 sites. Mutex/RwLock and atomics are exempt: the executor's\n\
+                 slot-per-shard Mutex discipline is the sanctioned pattern."
+            }
         }
     }
 }
@@ -256,6 +354,9 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line.
     pub line: usize,
+    /// 1-based column of the match for line rules; 0 for semantic
+    /// rules, whose anchor is the whole `fn` item.
+    pub column: usize,
     /// Which rule fired.
     pub rule: Rule,
     /// What the rule matched, for the message.
@@ -267,11 +368,13 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:", self.file.display(), self.line)?;
+        if self.column > 0 {
+            write!(f, "{}:", self.column)?;
+        }
         write!(
             f,
-            "{}:{}: [{}] {}; suggestion: {}",
-            self.file.display(),
-            self.line,
+            " [{}] {}; suggestion: {}",
             self.rule.name(),
             self.matched,
             self.rule.suggestion()
@@ -350,7 +453,7 @@ pub fn check_file(path: &Path, lines: &[SourceLine]) -> Vec<Finding> {
     if physics {
         check_public_f64(path, lines, &mut findings);
     }
-    findings.sort_by_key(|f| (f.line, f.rule));
+    findings.sort_by_key(|f| (f.line, f.column, f.rule));
     findings
 }
 
@@ -358,6 +461,7 @@ fn push(
     findings: &mut Vec<Finding>,
     lines: &[SourceLine],
     idx: usize,
+    pos: usize,
     path: &Path,
     rule: Rule,
     matched: impl Into<String>,
@@ -368,6 +472,7 @@ fn push(
     findings.push(Finding {
         file: path.to_path_buf(),
         line: lines[idx].number,
+        column: pos + 1,
         rule,
         matched: matched.into(),
         chain: Vec::new(),
@@ -382,6 +487,7 @@ fn check_unwrap(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Ve
                 findings,
                 lines,
                 idx,
+                pos,
                 path,
                 Rule::NoUnwrapInLib,
                 "`unwrap()` in library code",
@@ -394,6 +500,7 @@ fn check_unwrap(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Ve
                 findings,
                 lines,
                 idx,
+                pos,
                 path,
                 Rule::NoUnwrapInLib,
                 "`expect(..)` in library code",
@@ -406,6 +513,7 @@ fn check_unwrap(path: &Path, lines: &[SourceLine], idx: usize, findings: &mut Ve
                 findings,
                 lines,
                 idx,
+                pos,
                 path,
                 Rule::NoUnwrapInLib,
                 "`panic!` in library code",
@@ -434,6 +542,7 @@ fn check_lossy_cast(path: &Path, lines: &[SourceLine], idx: usize, findings: &mu
                     findings,
                     lines,
                     idx,
+                    pos,
                     path,
                     Rule::LossyCast,
                     format!("lossy `as {target}` cast"),
@@ -458,6 +567,7 @@ fn check_nan_compare(path: &Path, lines: &[SourceLine], idx: usize, findings: &m
                     findings,
                     lines,
                     idx,
+                    pos,
                     path,
                     Rule::NanUnsafeCompare,
                     "`partial_cmp(..).unwrap()` panics on NaN",
@@ -484,6 +594,7 @@ fn check_nan_compare(path: &Path, lines: &[SourceLine], idx: usize, findings: &m
                     findings,
                     lines,
                     idx,
+                    pos,
                     path,
                     Rule::NanUnsafeCompare,
                     format!("bare float `{op}` comparison"),
@@ -552,7 +663,15 @@ fn check_nondeterminism(
                 .next()
                 .is_some_and(|c| c == '_' || c == ':' || c.is_ascii_alphanumeric());
             if bounded {
-                push(findings, lines, idx, path, Rule::Nondeterminism, message);
+                push(
+                    findings,
+                    lines,
+                    idx,
+                    pos,
+                    path,
+                    Rule::Nondeterminism,
+                    message,
+                );
                 break;
             }
         }
@@ -615,6 +734,7 @@ fn check_public_f64(path: &Path, lines: &[SourceLine], findings: &mut Vec<Findin
                 findings,
                 lines,
                 idx,
+                pub_pos,
                 path,
                 Rule::RawF64InPublicApi,
                 "bare `f64` in public physics-crate signature",
@@ -638,7 +758,7 @@ fn sem_allowed(file: &ParsedFile, line: usize, rule: Rule) -> bool {
     hit(&line) || (line > 1 && hit(&(line - 1)))
 }
 
-/// Run the four semantic rules over the whole workspace.
+/// Run the seven semantic rules over the whole workspace.
 #[must_use]
 pub fn semantic_findings(index: &SymbolIndex, graph: &CallGraph) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -646,6 +766,9 @@ pub fn semantic_findings(index: &SymbolIndex, graph: &CallGraph) -> Vec<Finding>
     check_unit_flow(index, &mut findings);
     check_determinism_taint(index, graph, &mut findings);
     check_deprecated_call(index, &mut findings);
+    check_alloc_in_hot_path(index, graph, &mut findings);
+    check_cache_purity(index, graph, &mut findings);
+    check_shared_state_escape(index, graph, &mut findings);
     findings
 }
 
@@ -695,6 +818,7 @@ fn check_panic_reachability(index: &SymbolIndex, graph: &CallGraph, findings: &m
         findings.push(Finding {
             file: root_file.rel.clone(),
             line: item.line,
+            column: 0,
             rule: Rule::PanicReachability,
             matched: format!(
                 "public `{}` can reach a panic: {} (`{}` at {}:{})",
@@ -755,6 +879,7 @@ fn check_determinism_taint(index: &SymbolIndex, graph: &CallGraph, findings: &mu
         findings.push(Finding {
             file: root_file.rel.clone(),
             line: item.line,
+            column: 0,
             rule: Rule::DeterminismTaint,
             matched: format!(
                 "sweep-path fn `{}` reaches a nondeterminism source: {} ({} at {}:{})",
@@ -808,6 +933,7 @@ fn check_unit_flow(index: &SymbolIndex, findings: &mut Vec<Finding>) {
             findings.push(Finding {
                 file: file.rel.clone(),
                 line: call.line,
+                column: 0,
                 rule: Rule::UnitFlow,
                 matched: format!(
                     "raw f64 from unit value `{escaped_from}` flows into `mira_{callee_dir}::{callee_name}` without mira_units::convert"
@@ -854,11 +980,199 @@ fn check_deprecated_call(index: &SymbolIndex, findings: &mut Vec<Finding>) {
             findings.push(Finding {
                 file: file.rel.clone(),
                 line: call.line,
+                column: 0,
                 rule: Rule::DeprecatedCall,
                 matched: format!("`{}` calls deprecated `{callee_name}`", item.display_name()),
                 chain: vec![item.display_name(), callee_name],
             });
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dataflow-backed hot-path rules.
+
+/// The first undischarged allocation site of a non-test fn, if any. An
+/// allow on the `fn` line discharges that body's sites (the hatch for
+/// bounded per-sweep setup) but, unlike panic-reachability's root
+/// skip, never the callees beneath it — the walk continues past an
+/// allowed fn.
+fn live_alloc(index: &SymbolIndex, id: FnId) -> Option<&AllocSite> {
+    if index.is_test_fn(id) {
+        return None;
+    }
+    let file = &index.files[index.file_of(id)];
+    let item = index.fn_at(id);
+    if sem_allowed(file, item.line, Rule::AllocInHotPath) {
+        return None;
+    }
+    item.allocs
+        .iter()
+        .find(|a| !sem_allowed(file, a.line, Rule::AllocInHotPath))
+}
+
+/// Is `id` one of the configured sweep hot roots?
+fn is_hot_root(index: &SymbolIndex, id: FnId) -> bool {
+    if index.is_test_fn(id) {
+        return false;
+    }
+    let krate = index.crate_of(id);
+    let item = index.fn_at(id);
+    if HOT_ROOT_FNS
+        .iter()
+        .any(|(c, ty, f)| *c == krate && item.self_type.as_deref() == Some(*ty) && item.name == *f)
+    {
+        return true;
+    }
+    item.name == "merge" && HOT_MERGE_CRATES.contains(&krate)
+}
+
+fn check_alloc_in_hot_path(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in index.fn_ids() {
+        if !is_hot_root(index, root) {
+            continue;
+        }
+        let item = index.fn_at(root);
+        let root_file = &index.files[index.file_of(root)];
+        let Some(chain) = graph.first_chain_to(root, &|id| live_alloc(index, id).is_some()) else {
+            continue;
+        };
+        let Some(&sink) = chain.last() else { continue };
+        let Some(site) = live_alloc(index, sink) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&id| index.fn_at(id).display_name())
+            .collect();
+        let sink_file = &index.files[index.file_of(sink)];
+        findings.push(Finding {
+            file: root_file.rel.clone(),
+            line: item.line,
+            column: 0,
+            rule: Rule::AllocInHotPath,
+            matched: format!(
+                "hot-path fn `{}` reaches an allocation: {} (`{}` at {}:{})",
+                item.display_name(),
+                names.join(" -> "),
+                site.what,
+                sink_file.rel.display(),
+                site.line
+            ),
+            chain: names,
+        });
+    }
+}
+
+/// The first undischarged impurity of a non-test fn, if any. Same
+/// fn-line hatch semantics as [`live_alloc`].
+fn live_impurity(
+    index: &SymbolIndex,
+    id: FnId,
+    rule: Rule,
+    shared_only: bool,
+) -> Option<&PuritySite> {
+    if index.is_test_fn(id) {
+        return None;
+    }
+    let file = &index.files[index.file_of(id)];
+    let item = index.fn_at(id);
+    if sem_allowed(file, item.line, rule) {
+        return None;
+    }
+    item.impurities
+        .iter()
+        .filter(|p| !shared_only || p.shared)
+        .find(|p| !sem_allowed(file, p.line, rule))
+}
+
+fn check_cache_purity(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in index.fn_ids() {
+        if index.is_test_fn(root) {
+            continue;
+        }
+        let krate = index.crate_of(root);
+        let item = index.fn_at(root);
+        let feeds_memo = CACHE_PURE_TYPES
+            .iter()
+            .any(|(c, ty)| *c == krate && item.self_type.as_deref() == Some(*ty));
+        if !feeds_memo {
+            continue;
+        }
+        let root_file = &index.files[index.file_of(root)];
+        let Some(chain) = graph.first_chain_to(root, &|id| {
+            live_impurity(index, id, Rule::CachePurity, false).is_some()
+        }) else {
+            continue;
+        };
+        let Some(&sink) = chain.last() else { continue };
+        let Some(site) = live_impurity(index, sink, Rule::CachePurity, false) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&id| index.fn_at(id).display_name())
+            .collect();
+        let sink_file = &index.files[index.file_of(sink)];
+        findings.push(Finding {
+            file: root_file.rel.clone(),
+            line: item.line,
+            column: 0,
+            rule: Rule::CachePurity,
+            matched: format!(
+                "memo-feeding fn `{}` reaches impure state: {} ({} at {}:{})",
+                item.display_name(),
+                names.join(" -> "),
+                site.what,
+                sink_file.rel.display(),
+                site.line
+            ),
+            chain: names,
+        });
+    }
+}
+
+fn check_shared_state_escape(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    for root in index.fn_ids() {
+        if index.is_test_fn(root) || index.crate_of(root) != "core" {
+            continue;
+        }
+        let item = index.fn_at(root);
+        // Roots: fns that hand closures to std::thread::{scope, spawn};
+        // the closure bodies are part of this fn's own walk.
+        if !item.hazards.iter().any(|h| h.what == "thread spawn/scope") {
+            continue;
+        }
+        let root_file = &index.files[index.file_of(root)];
+        let Some(chain) = graph.first_chain_to(root, &|id| {
+            live_impurity(index, id, Rule::SharedStateEscape, true).is_some()
+        }) else {
+            continue;
+        };
+        let Some(&sink) = chain.last() else { continue };
+        let Some(site) = live_impurity(index, sink, Rule::SharedStateEscape, true) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&id| index.fn_at(id).display_name())
+            .collect();
+        let sink_file = &index.files[index.file_of(sink)];
+        findings.push(Finding {
+            file: root_file.rel.clone(),
+            line: item.line,
+            column: 0,
+            rule: Rule::SharedStateEscape,
+            matched: format!(
+                "thread-spawning fn `{}` can reach shared mutable state: {} ({} at {}:{})",
+                item.display_name(),
+                names.join(" -> "),
+                site.what,
+                sink_file.rel.display(),
+                site.line
+            ),
+            chain: names,
+        });
     }
 }
 
@@ -1030,11 +1344,28 @@ pub fn blend(
     }
 
     #[test]
-    fn findings_render_file_line_rule() {
+    fn findings_render_file_line_column_rule() {
         let found = findings_in(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
         let rendered = found[0].to_string();
-        assert!(rendered.starts_with("crates/cooling/src/fixture.rs:1: [no-unwrap-in-lib]"));
+        assert!(
+            rendered.starts_with("crates/cooling/src/fixture.rs:1:31: [no-unwrap-in-lib]"),
+            "{rendered}"
+        );
         assert!(rendered.contains("suggestion:"));
+        // Semantic findings (column 0) keep the file:line anchor.
+        let sem = Finding {
+            file: PathBuf::from("crates/core/src/sweep.rs"),
+            line: 7,
+            column: 0,
+            rule: Rule::AllocInHotPath,
+            matched: "x".into(),
+            chain: Vec::new(),
+        };
+        assert!(
+            sem.to_string()
+                .starts_with("crates/core/src/sweep.rs:7: [alloc-in-hot-path]"),
+            "{sem}"
+        );
     }
 
     #[test]
@@ -1199,5 +1530,164 @@ pub fn blend(
             "#[deprecated]\npub fn old() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        crate::old();\n    }\n}\n",
         )]);
         assert!(test_only.iter().all(|f| f.rule != Rule::DeprecatedCall));
+    }
+
+    // -----------------------------------------------------------------
+    // Dataflow-backed hot-path rules: one positive and one negative
+    // fixture each.
+
+    #[test]
+    fn alloc_in_hot_path_fires_on_injected_vec_new() {
+        // The acceptance fixture: a synthetic Vec::new smuggled beneath
+        // sweep_step_into through a helper.
+        let found = semantic(&[(
+            "crates/core/src/telemetry.rs",
+            "pub struct TelemetryEngine;\n\
+             impl TelemetryEngine {\n\
+                 pub fn sweep_step_into(&self) {\n        helper();\n    }\n\
+             }\n\
+             fn helper() {\n    let v: Vec<f64> = Vec::new();\n    let _ = v;\n}\n",
+        )]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == Rule::AllocInHotPath)
+            .collect();
+        assert_eq!(hits.len(), 1, "{found:?}");
+        assert_eq!(
+            hits[0].chain,
+            vec!["TelemetryEngine::sweep_step_into", "helper"]
+        );
+        assert!(hits[0].matched.contains("Vec::new"));
+        assert!(hits[0].matched.contains("crates/core/src/telemetry.rs:8"));
+    }
+
+    #[test]
+    fn alloc_in_hot_path_sanctions_scratch_reuse() {
+        // Negative fixture: the real kernel shape — clear + push through
+        // caller-owned buffers allocates nothing.
+        let found = semantic(&[(
+            "crates/core/src/telemetry.rs",
+            "pub struct TelemetryEngine;\n\
+             impl TelemetryEngine {\n\
+                 pub fn sweep_step_into(&self, out: &mut Vec<f64>, scratch: &mut SweepScratch) {\n\
+                     out.clear();\n        out.push(1.0);\n        scratch.truths.push(2.0);\n    }\n\
+             }\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::AllocInHotPath),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_in_hot_path_covers_merge_fns_and_fn_line_allow() {
+        let positive = semantic(&[(
+            "crates/timeseries/src/stats.rs",
+            "pub struct Acc;\nimpl Acc {\n    pub fn merge(&mut self, other: &Acc) {\n        let label = format!(\"x\");\n        let _ = label;\n    }\n}\n",
+        )]);
+        assert!(
+            positive.iter().any(|f| f.rule == Rule::AllocInHotPath),
+            "{positive:?}"
+        );
+        // The fn-line hatch discharges the body's bounded setup...
+        let allowed = semantic(&[(
+            "crates/core/src/sweep.rs",
+            "pub struct SweepPlan;\nimpl SweepPlan {\n    // bounded per-sweep setup. mira-lint: allow(alloc-in-hot-path)\n    pub fn run(&self) {\n        let shards: Vec<u8> = Vec::with_capacity(4);\n        let _ = shards;\n    }\n}\n",
+        )]);
+        assert!(
+            allowed.iter().all(|f| f.rule != Rule::AllocInHotPath),
+            "{allowed:?}"
+        );
+        // ...but never the callees beneath it: the walk continues.
+        let beneath = semantic(&[(
+            "crates/core/src/sweep.rs",
+            "pub struct SweepPlan;\nimpl SweepPlan {\n    // bounded per-sweep setup. mira-lint: allow(alloc-in-hot-path)\n    pub fn run(&self) {\n        leak();\n    }\n}\nfn leak() {\n    let s = String::new();\n    let _ = s;\n}\n",
+        )]);
+        assert!(
+            beneath.iter().any(|f| f.rule == Rule::AllocInHotPath),
+            "fn-line allow must not vacate the subtree: {beneath:?}"
+        );
+    }
+
+    #[test]
+    fn cache_purity_fires_on_impure_memo_constructor() {
+        let found = semantic(&[(
+            "crates/core/src/telemetry.rs",
+            "pub struct HydroKey;\nimpl HydroKey {\n    pub fn new() -> Self {\n        stamp();\n        HydroKey\n    }\n}\n\
+             fn stamp() {\n    let _ = std::time::SystemTime::now();\n}\n",
+        )]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == Rule::CachePurity)
+            .collect();
+        assert_eq!(hits.len(), 1, "{found:?}");
+        assert_eq!(hits[0].chain, vec!["HydroKey::new", "stamp"]);
+        assert!(hits[0].matched.contains("SystemTime"));
+    }
+
+    #[test]
+    fn cache_purity_passes_pure_constructor() {
+        let found = semantic(&[(
+            "crates/weather/src/noise.rs",
+            "pub struct NoiseCursor;\nimpl NoiseCursor {\n    pub fn new(seed: u64) -> u64 {\n        mix(seed)\n    }\n}\n\
+             fn mix(z: u64) -> u64 {\n    z.wrapping_mul(7)\n}\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::CachePurity),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn shared_state_escape_fires_on_refcell_under_spawn() {
+        let found = semantic(&[(
+            "crates/core/src/sweep.rs",
+            "pub fn run() {\n    std::thread::scope(|s| {\n        s.spawn(|| tally());\n    });\n}\n\
+             fn tally() {\n    let c = RefCell::new(0u64);\n    let _ = c;\n}\n",
+        )]);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == Rule::SharedStateEscape)
+            .collect();
+        assert_eq!(hits.len(), 1, "{found:?}");
+        assert!(hits[0].matched.contains("RefCell"));
+        assert_eq!(hits[0].chain, vec!["run", "tally"]);
+    }
+
+    #[test]
+    fn shared_state_escape_sanctions_mutex_slots() {
+        // Negative fixture: the executor's slot-per-shard Mutex
+        // discipline is the sanctioned pattern.
+        let found = semantic(&[(
+            "crates/core/src/sweep.rs",
+            "pub fn run() {\n    let slots: Vec<Mutex<u8>> = Vec::new();\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n    let _ = slots;\n}\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::SharedStateEscape),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_taint_requires_receiver_typed_hash_iteration() {
+        // The pre-dataflow false positive: sweep code that *looks up* a
+        // HashMap but iterates a Vec must not fire.
+        let found = semantic(&[(
+            "crates/core/src/summary.rs",
+            "pub fn merge(m: &HashMap<u8, u8>) {\n    let v: Vec<u8> = Vec::new();\n    for x in v.iter() {\n        let _ = m.get(x);\n    }\n}\n",
+        )]);
+        assert!(
+            found.iter().all(|f| f.rule != Rule::DeterminismTaint),
+            "{found:?}"
+        );
+        // A resolved hash receiver still fires.
+        let hit = semantic(&[(
+            "crates/core/src/summary.rs",
+            "pub fn merge() {\n    let m: HashMap<u8, u8> = HashMap::new();\n    for k in m.keys() {\n        let _ = k;\n    }\n}\n",
+        )]);
+        assert!(
+            hit.iter().any(|f| f.rule == Rule::DeterminismTaint),
+            "{hit:?}"
+        );
     }
 }

@@ -1,0 +1,69 @@
+//! Cache-invariance test for the incremental scan cache.
+//!
+//! Runs the real binary over the fixture workspace three times against
+//! the same cache file: cold (no cache), populate (`--cache-file` on an
+//! empty path), and warm (full digest hit). All three runs must produce
+//! byte-identical `--format json` output — the warm run returns the
+//! stored final findings verbatim, so any divergence means the cache is
+//! serving stale or reshaped results. ci.sh gates the same invariant on
+//! the real workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_fixture(cache_file: Option<&Path>) -> (String, Option<i32>) {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_ws");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mira-lint"));
+    cmd.arg("--root")
+        .arg(&fixture)
+        .arg("--format")
+        .arg("json")
+        .env("MIRA_LINT_THREADS", "2");
+    if let Some(path) = cache_file {
+        cmd.arg("--cache-file").arg(path);
+    }
+    let output = cmd.output().expect("mira-lint binary runs");
+    (
+        String::from_utf8(output.stdout).expect("JSON output is UTF-8"),
+        output.status.code(),
+    )
+}
+
+fn scratch_cache_path(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("mira-lint-cache-invariance");
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    dir.join(name)
+}
+
+#[test]
+fn cached_scan_is_byte_identical_to_cold_scan() {
+    let cache = scratch_cache_path("roundtrip.json");
+    let _ = std::fs::remove_file(&cache);
+
+    let (cold, code_cold) = run_fixture(None);
+    let (populate, code_populate) = run_fixture(Some(&cache));
+    assert!(cache.is_file(), "populate run persists the cache");
+    let (warm, code_warm) = run_fixture(Some(&cache));
+
+    assert_eq!(
+        cold, populate,
+        "populating the cache must not change output"
+    );
+    assert_eq!(cold, warm, "a full cache hit must replay the cold output");
+    assert_eq!(code_cold, code_populate);
+    assert_eq!(code_cold, code_warm);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_cold_scan() {
+    let cache = scratch_cache_path("corrupt.json");
+    std::fs::write(&cache, "{ not json").expect("scratch cache is writable");
+
+    let (cold, code_cold) = run_fixture(None);
+    let (recovered, code_recovered) = run_fixture(Some(&cache));
+    assert_eq!(
+        cold, recovered,
+        "corrupt cache must fall back to a cold scan"
+    );
+    assert_eq!(code_cold, code_recovered);
+}

@@ -52,8 +52,11 @@ fn json_output_matches_golden_file() {
 fn json_output_is_byte_identical_across_thread_counts() {
     let (one, code_one) = run_fixture("1");
     let (four, code_four) = run_fixture("4");
+    let (eight, code_eight) = run_fixture("8");
     assert_eq!(one, four, "shard merge must not depend on worker count");
+    assert_eq!(one, eight, "shard merge must not depend on worker count");
     assert_eq!(code_one, code_four);
+    assert_eq!(code_one, code_eight);
     // Sanity: the fixture actually exercises all three layers.
     assert!(one.contains("\"no-unwrap-in-lib\""));
     assert!(one.contains("\"lossy-cast\""));

@@ -162,3 +162,85 @@ fn external_cfg_test_mod_exempts_child_file_from_semantic_rules() {
         "{findings:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Parser/dataflow edge cases the body walk must survive: nested
+// closures, macro-invocation bodies, `let`-`else`, and turbofish
+// method chains. Each runs the full pipeline over a one-file core
+// crate whose `merge` fn is a hot root for `alloc-in-hot-path`.
+
+fn scan_core_lib(src: &str) -> Vec<mira_lint::Finding> {
+    Workspace::from_files(vec![
+        (
+            PathBuf::from("crates/core/Cargo.toml"),
+            "[package]\nname = \"mira-core\"\n".to_owned(),
+        ),
+        (PathBuf::from("crates/core/src/lib.rs"), src.to_owned()),
+    ])
+    .scan(1)
+}
+
+#[test]
+fn alloc_inside_nested_closure_in_macro_arg_is_reachable() {
+    let findings = scan_core_lib(
+        "pub fn merge(xs: &[u64]) -> u64 {\n    let v = vec![xs\n        .iter()\n        .map(|x| {\n            let inner = |y: u64| y + 1;\n            inner(*x)\n        })\n        .sum::<u64>()];\n    v.into_iter().sum()\n}\n",
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::AllocInHotPath && f.matched.contains("vec! macro")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn let_else_does_not_derail_the_body_walk() {
+    // The alloc sits *after* the `let`-`else` diversion; the walk must
+    // reach it.
+    let findings = scan_core_lib(
+        "pub fn merge(o: Option<u8>) -> u64 {\n    let Some(x) = o else {\n        return 0;\n    };\n    let tail: Vec<u8> = Vec::new();\n    u64::from(x) + tail.len() as u64\n}\n",
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::AllocInHotPath && f.matched.contains("Vec::new")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn turbofish_collect_targets_resolve_through_method_chains() {
+    // A turbofish naming a container keeps the site...
+    let heap = scan_core_lib(
+        "pub fn merge(xs: &[u64]) -> Vec<u64> {\n    xs.iter().copied().collect::<Vec<u64>>()\n}\n",
+    );
+    assert!(
+        heap.iter()
+            .any(|f| f.rule == Rule::AllocInHotPath && f.matched.contains(".collect()")),
+        "{heap:?}"
+    );
+    // ...while one naming a plain accumulator is a streaming fold.
+    let fold = scan_core_lib(
+        "pub fn merge(xs: &[f64]) -> Welford {\n    xs.iter().copied().collect::<Welford>()\n}\n",
+    );
+    assert!(
+        !fold.iter().any(|f| f.rule == Rule::AllocInHotPath),
+        "{fold:?}"
+    );
+}
+
+#[test]
+fn format_macro_args_stay_inside_the_enclosing_fn() {
+    // Braces inside format! strings and args must not end the fn body
+    // early: the fn after it still parses and its alloc is attributed
+    // to *it*, not to `merge`.
+    let findings = scan_core_lib(
+        "pub fn merge(n: u64) -> String {\n    format!(\"{{{n}}}\")\n}\n\nfn quiet(n: u64) -> u64 {\n    let v = vec![n];\n    v[0]\n}\n",
+    );
+    let hot: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::AllocInHotPath)
+        .collect();
+    assert_eq!(hot.len(), 1, "{hot:?}");
+    assert!(hot[0].matched.contains("format! macro"), "{hot:?}");
+}

@@ -40,6 +40,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    // Constructed once per metric key via `or_insert_with`; steady-state
+    // observes only bump existing buckets, so the bucket vector is
+    // bounded by key cardinality, not by step count.
+    // mira-lint: allow(alloc-in-hot-path)
     fn new(bounds: &'static [f64]) -> Self {
         Self {
             bounds,

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::Duration;
+use mira_units::convert;
 
 use crate::event::{FailureKind, RasEvent};
 use crate::schedule::ScheduledIncident;
@@ -87,7 +88,7 @@ impl AftermathModel {
         let mut rng = StdRng::seed_from_u64(
             self.seed ^ (incident.time.epoch_seconds() as u64).rotate_left(13),
         );
-        let mean = self.mean_per_affected_rack * incident.multiplicity() as f64;
+        let mean = self.mean_per_affected_rack * convert::f64_from_usize(incident.multiplicity());
         let count = sample_poisson(&mut rng, mean);
         let mut events = Vec::with_capacity(count);
         for _ in 0..count {
@@ -98,7 +99,7 @@ impl AftermathModel {
             let rack = RackId::from_index(rng.random_range(0..RackId::COUNT));
             let kind = draw_kind(&mut rng);
             events.push(RasEvent::fatal(
-                incident.time + Duration::from_seconds((tau_h * 3600.0) as i64),
+                incident.time + Duration::from_seconds(convert::i64_from_f64_floor(tau_h * 3600.0)),
                 rack,
                 kind,
             ));

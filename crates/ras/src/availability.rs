@@ -95,6 +95,9 @@ impl RackAvailability {
 
     /// Builds an empty cursor for [`Self::is_up_cached`].
     #[must_use]
+    // Cursor constructor: one window vector per worker (via
+    // sweep_scratch), never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn cursor(&self) -> AvailabilityCursor {
         AvailabilityCursor {
             windows: vec![None; self.outages.len()],

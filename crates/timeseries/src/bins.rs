@@ -6,6 +6,7 @@
 //! all of these in one pass with O(1) memory per bin: a [`Welford`]
 //! accumulator for means/extremes plus a [`P2Quantile`] for the median.
 
+use mira_units::convert;
 use serde::{Deserialize, Serialize};
 
 use crate::civil::{Month, Weekday};
@@ -159,6 +160,9 @@ impl Default for CalendarBins {
 impl CalendarBins {
     /// Creates an empty aggregation.
     #[must_use]
+    // Aggregation constructor: the fixed month/weekday/hour bin vectors
+    // are allocated once per recorder at setup, never per step.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn new() -> Self {
         Self {
             overall: BinSummary::new(),
@@ -328,8 +332,8 @@ impl CalendarBins {
         let mut den = 0.0;
         for w in Weekday::ALL.into_iter().skip(1) {
             let bin = &self.weekdays[w.index()];
-            num += bin.median() * bin.count() as f64;
-            den += bin.count() as f64;
+            num += bin.median() * convert::f64_from_u64(bin.count());
+            den += convert::f64_from_u64(bin.count());
         }
         // Exact-zero divide guard. mira-lint: allow(nan-unsafe-compare)
         if den == 0.0 {

@@ -69,7 +69,7 @@ impl Month {
     /// The month's zero-based index (January = 0), handy for array bins.
     #[must_use]
     pub fn index(self) -> usize {
-        self as usize - 1
+        usize::from(self.number()) - 1
     }
 
     /// Whether this month falls in the Chicago free-cooling season
@@ -162,7 +162,7 @@ impl Weekday {
     /// Zero-based index with Monday = 0.
     #[must_use]
     pub fn index(self) -> usize {
-        self as usize
+        usize::from(self as u8)
     }
 
     /// Builds a weekday from its Monday-based index.

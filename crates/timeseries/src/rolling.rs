@@ -6,6 +6,7 @@
 //! [`RollingWindow`] is that buffer, with the delta/mean/extraction
 //! helpers the feature pipeline needs.
 
+use mira_units::convert;
 use serde::{Deserialize, Serialize};
 
 /// A fixed-capacity FIFO window over the most recent readings.
@@ -139,7 +140,7 @@ impl RollingWindow {
         if self.len == 0 {
             return 0.0;
         }
-        self.iter().sum::<f64>() / self.len as f64
+        self.iter().sum::<f64>() / convert::f64_from_usize(self.len)
     }
 
     /// Iterates oldest → newest.

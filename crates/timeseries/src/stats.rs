@@ -194,6 +194,9 @@ impl P2Quantile {
     ///
     /// Panics unless `0 < p < 1`.
     #[must_use]
+    // Estimator constructor: the fixed five-slot warm-up buffer is
+    // allocated once per recorder at setup, never per observation.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
         Self {
@@ -399,9 +402,9 @@ impl P2Quantile {
             return 0.0;
         }
         if self.count <= 5 {
-            // Exact quantile of the sorted buffer (nearest-rank with
-            // linear interpolation).
-            return percentile(&self.initial, self.p * 100.0);
+            // `initial` is kept sorted by `push`, so the exact quantile
+            // interpolates in place — no copy, no allocation.
+            return percentile_sorted(&self.initial, self.p * 100.0);
         }
         self.q[2]
     }
@@ -492,11 +495,21 @@ pub fn stddev(xs: &[f64]) -> f64 {
 // mira-lint: allow(panic-reachability)
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-    if xs.is_empty() {
-        return 0.0;
-    }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over a slice the caller has already sorted — the
+/// allocation-free core, used directly by hot-path estimators whose
+/// buffers are kept sorted (e.g. [`P2Quantile`]'s start-up buffer).
+#[must_use]
+// rank <= len - 1, so floor/ceil indices stay in bounds.
+// mira-lint: allow(panic-reachability)
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let rank = p / 100.0 * convert::f64_from_usize(sorted.len() - 1);
     let lo = convert::usize_from_f64_floor(rank);
     let hi = convert::usize_from_f64_ceil(rank);

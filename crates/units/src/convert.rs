@@ -48,6 +48,13 @@ pub fn f64_from_u32(n: u32) -> f64 {
     f64::from(n)
 }
 
+/// A `u32` count as a `usize` index — lossless on every supported
+/// target (`usize` is at least 32 bits here).
+#[must_use]
+pub fn usize_from_u32(n: u32) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
 /// A `u64` as a `usize` index (saturating on 32-bit targets).
 ///
 /// Every 64-bit target this workspace runs on makes this exact; the

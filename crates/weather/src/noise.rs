@@ -119,7 +119,7 @@ impl ValueNoise {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        (z >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+        convert::f64_from_u64(z >> 11) / 9_007_199_254_740_992.0 * 2.0 - 1.0
     }
 
     /// Samples the noise at time `t` seconds; smooth, in `[-1, 1]`.
@@ -193,6 +193,9 @@ impl ValueNoise {
     ///
     /// Panics if `octaves` is zero (same contract as `fractal`).
     #[must_use]
+    // Cursor constructor: the per-octave layer vector is built once per
+    // worker (via sweep_scratch), never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn fractal_cursor(&self, octaves: u32) -> FractalCursor {
         assert!(octaves > 0, "need at least one octave");
         let layers = (0..octaves)
@@ -233,6 +236,9 @@ impl ValueNoise {
     ///
     /// Panics if `octaves` is zero (same contract as `fractal`).
     #[must_use]
+    // Bank constructor: the layer and cursor vectors are built once per
+    // worker (via sweep_scratch), never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
     pub fn fractal_bank(&self, octaves: u32, lanes: usize) -> FractalBank {
         assert!(octaves > 0, "need at least one octave");
         let layers: Vec<ValueNoise> = (0..octaves)
