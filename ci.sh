@@ -112,4 +112,34 @@ MIRA_BENCH_SPAN=smoke MIRA_BENCH_OUT="$bench_scratch" \
   cargo bench -q -p mira-bench --bench sweep_baseline
 rm -f "$bench_scratch"
 
+# Serve determinism gate: the same scripted NDJSON session, piped
+# through `mira-ops serve` on stdio, must produce byte-identical
+# replies (and shutdown banner) at 1 and 4 sweep threads — the serve
+# layer answers every deterministic query from the same incremental
+# engine the batch executor uses.
+echo "==> serve smoke gate (scripted stdio session, 1 vs 4 threads)"
+serve_script='{"cmd":"ingest","steps":124,"id":1}
+{"cmd":"status","id":2}
+{"cmd":"figure","figure":"fig2","id":3}
+{"cmd":"report","id":4}
+{"cmd":"metrics","id":5}
+{"cmd":"predict","events":40,"epochs":2,"id":6}
+{"cmd":"shutdown","id":7}'
+serve_one="$(printf '%s\n' "$serve_script" | MIRA_SWEEP_THREADS=1 cargo run -q -p mira-ops -- serve --step-min 360)"
+serve_four="$(printf '%s\n' "$serve_script" | MIRA_SWEEP_THREADS=4 cargo run -q -p mira-ops -- serve --step-min 360)"
+if [ "$serve_one" != "$serve_four" ]; then
+  echo "ci: serve replies differ between 1 and 4 sweep threads" >&2
+  diff <(printf '%s' "$serve_one") <(printf '%s' "$serve_four") >&2 || true
+  exit 1
+fi
+if ! printf '%s' "$serve_one" | grep -q '"shutting_down":true'; then
+  echo "ci: serve session did not acknowledge shutdown" >&2
+  exit 1
+fi
+
+# Serve perf snapshot: ingest rate, query throughput, p50/p99 query
+# latency into BENCH_serve.json (report-only; wall time never gates).
+echo "==> serve bench (BENCH_serve.json)"
+cargo bench -q -p mira-bench --bench serve_bench
+
 echo "ci: all gates green"

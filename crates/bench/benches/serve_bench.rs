@@ -1,0 +1,166 @@
+//! Tracked serve benchmark: drives [`mira_serve::ServeState::handle`]
+//! through a scripted NDJSON session and records ingest rate, query
+//! throughput, and query latency quantiles in `BENCH_serve.json`.
+//!
+//! Not a criterion bench: like `sweep_baseline` it writes a
+//! machine-readable file and owns its own timing, so ci.sh can run it
+//! as the serve perf snapshot.
+//!
+//! Environment:
+//! - `MIRA_BENCH_OUT`: output path (default `<repo>/BENCH_serve.json`).
+//! - `MIRA_BENCH_SERVE_STEPS`: total instants to ingest (default 8192
+//!   at the 5-minute grid, ≈ 28 simulated days).
+//!
+//! Latency quantiles are computed exactly (sorted sample) in the bench;
+//! the server's own streaming P² estimates are exposed through the
+//! `metrics` query's `wall` section and printed for cross-checking.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mira_core::{Duration, SimConfig, Simulation};
+use mira_serve::ServeState;
+
+const STEP_MINUTES: i64 = 5;
+const INGEST_CHUNK: usize = 128;
+/// One pass of the query mix; repeated until the sample is stable.
+const QUERY_MIX: [&str; 4] = [
+    "{\"cmd\":\"status\"}",
+    "{\"cmd\":\"metrics\"}",
+    "{\"cmd\":\"figure\",\"figure\":\"fig2\"}",
+    "{\"cmd\":\"report\"}",
+];
+const QUERY_ROUNDS: usize = 50;
+
+fn total_steps() -> usize {
+    std::env::var("MIRA_BENCH_SERVE_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192)
+}
+
+/// Exact quantile of a sorted sample (nearest-rank).
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+#[allow(clippy::cast_sign_loss)]
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let sim = Simulation::new(SimConfig::with_seed(2014));
+    let state = ServeState::new(sim, Duration::from_minutes(STEP_MINUTES)).expect("positive step");
+    let steps = total_steps();
+
+    // Warm-up: first ingest pays lazy engine construction.
+    let reply = state.handle(&format!("{{\"cmd\":\"ingest\",\"steps\":{INGEST_CHUNK}}}"));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    // Ingest phase: append the rest of the grid in fixed chunks.
+    let remaining = steps.saturating_sub(INGEST_CHUNK);
+    let ingest_start = Instant::now();
+    let mut appended = 0usize;
+    while appended < remaining {
+        let chunk = INGEST_CHUNK.min(remaining - appended);
+        let reply = state.handle(&format!("{{\"cmd\":\"ingest\",\"steps\":{chunk}}}"));
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        appended += chunk;
+    }
+    let ingest_wall = ingest_start.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let ingest_rate = remaining as f64 / ingest_wall;
+
+    // Query phase: a fixed mix, each request timed individually.
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(QUERY_ROUNDS * QUERY_MIX.len());
+    let query_start = Instant::now();
+    for _ in 0..QUERY_ROUNDS {
+        for line in QUERY_MIX {
+            let t = Instant::now();
+            let reply = state.handle(line);
+            latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(reply.contains("\"ok\":true"), "{reply}");
+        }
+    }
+    let query_wall = query_start.elapsed().as_secs_f64();
+    let queries = latencies_us.len();
+    #[allow(clippy::cast_precision_loss)]
+    let query_rate = queries as f64 / query_wall;
+    latencies_us.sort_by(f64::total_cmp);
+    let p50 = quantile(&latencies_us, 0.50);
+    let p99 = quantile(&latencies_us, 0.99);
+
+    // Cross-check: the server's own streaming estimates, for the log.
+    let wall_reply = state.handle("{\"cmd\":\"metrics\",\"wall\":true}");
+    assert!(wall_reply.contains("query_p50_us"), "{wall_reply}");
+
+    println!(
+        "serve bench: ingest {ingest_rate:.0} steps/s | {query_rate:.0} queries/s | \
+         p50 {p50:.0} us | p99 {p99:.0} us ({queries} queries, {steps} steps)"
+    );
+
+    let out_path = out_path();
+    let mut doc = read_flat_json(&out_path);
+    doc.insert("schema".to_string(), "1".to_string());
+    let mut set = |key: &str, value: f64| {
+        doc.insert(key.to_string(), format!("{value:.6}"));
+    };
+    #[allow(clippy::cast_precision_loss)]
+    {
+        set("steps_ingested", steps as f64);
+        set("step_seconds", (STEP_MINUTES * 60) as f64);
+        set("queries", queries as f64);
+    }
+    set("ingest_wall_seconds", ingest_wall);
+    set("ingest_steps_per_second", ingest_rate);
+    set("query_wall_seconds", query_wall);
+    set("queries_per_second", query_rate);
+    set("query_p50_us", p50);
+    set("query_p99_us", p99);
+    write_flat_json(&out_path, &doc);
+    println!("serve bench: wrote {}", out_path.display());
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MIRA_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+/// Flat `{"key": value}` reader matching `sweep_baseline` — unknown
+/// keys survive updates; any read/parse miss yields an empty map.
+fn read_flat_json(path: &PathBuf) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        if !key.is_empty() && !value.is_empty() {
+            out.insert(key.to_string(), value.to_string());
+        }
+    }
+    out
+}
+
+fn write_flat_json(path: &PathBuf, doc: &BTreeMap<String, String>) {
+    let mut text = String::from("{\n");
+    for (i, (key, value)) in doc.iter().enumerate() {
+        let comma = if i + 1 == doc.len() { "" } else { "," };
+        text.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    text.push_str("}\n");
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("serve bench: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

@@ -76,6 +76,53 @@ pub fn err(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+/// Output rendering shared by every subcommand that offers a choice:
+/// `report --metrics`, `export --format`, and the `serve` shutdown
+/// banner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Machine-readable JSON (NDJSON where the output is row-oriented).
+    Json,
+    /// Human-readable text (CSV where the output is row-oriented).
+    Text,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(OutputFormat::Json),
+            "text" => Ok(OutputFormat::Text),
+            other => Err(format!("must be json or text, got {other}")),
+        }
+    }
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OutputFormat::Json => "json",
+            OutputFormat::Text => "text",
+        })
+    }
+}
+
+impl OutputFormat {
+    /// Reads an optional `--<key> json|text` flag.
+    ///
+    /// # Errors
+    ///
+    /// A usage error naming the flag when the value is neither `json`
+    /// nor `text`.
+    pub fn from_flag(args: &ArgMap, key: &str) -> Result<Option<OutputFormat>, CliError> {
+        match args.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|e| err(format!("--{key} {e}"))),
+        }
+    }
+}
+
 /// Parsed `--key value` flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ArgMap {
@@ -269,6 +316,25 @@ mod tests {
         assert_eq!(midnight.to_datetime().hour(), 0);
         assert!(parse_datetime("2016-07-01 25:00").is_err());
         assert!(parse_datetime("2016-07-01 09").is_err());
+    }
+
+    #[test]
+    fn output_format_round_trips_and_rejects() {
+        assert_eq!("json".parse(), Ok(OutputFormat::Json));
+        assert_eq!("text".parse(), Ok(OutputFormat::Text));
+        assert_eq!(OutputFormat::Json.to_string(), "json");
+        assert!("csv".parse::<OutputFormat>().is_err());
+
+        let a = parse(&["--format", "json"]);
+        assert_eq!(
+            OutputFormat::from_flag(&a, "format").unwrap(),
+            Some(OutputFormat::Json)
+        );
+        assert_eq!(OutputFormat::from_flag(&a, "metrics").unwrap(), None);
+        let bad = parse(&["--format", "xml"]);
+        let e = OutputFormat::from_flag(&bad, "format").unwrap_err();
+        assert!(e.to_string().contains("--format must be json or text"));
+        assert_eq!(e.exit_code(), 2);
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The `mira-ops` subcommands.
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufRead, BufWriter, Write};
 
 use mira_core::{
     analysis, archive, CmfPredictor, DatasetBuilder, Duration, FeatureConfig, FullSpan, ObsMode,
     PredictorConfig, RackId, SimConfig, Simulation, TelemetryProvider,
 };
+use mira_serve::{serve_stdio, serve_tcp, ServeState};
 
 use mira_units::convert;
 
-use crate::args::{err, parse_datetime, ArgMap, CliError};
+use crate::args::{err, parse_datetime, ArgMap, CliError, OutputFormat};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -23,7 +24,8 @@ COMMANDS:
   sample   --rack \"(1, 8)\" --time \"2016-07-04 12:00\"
                                    one coolant-monitor record
   export   --from 2015-01-01 --to 2015-01-08 [--step-min 5] [--out telemetry.csv]
-                                   telemetry sweep as CSV
+           [--format json|text]    telemetry sweep as CSV (text, the default)
+                                   or newline-delimited JSON
   ras      [--out ras.csv] [--raw] counted (or raw) RAS events as CSV
   predict  [--lead-hours 3] [--events 150] [--epochs 30]
                                    train the CMF predictor, print metrics
@@ -31,6 +33,13 @@ COMMANDS:
                                    regenerate every figure (paper vs measured);
                                    --metrics appends the observability report
                                    (deterministic snapshot + wall timings)
+  serve    [--step-min 5] [--tcp HOST:PORT] [--format json|text]
+                                   long-running analytics service: ingest
+                                   telemetry incrementally and answer
+                                   newline-delimited JSON queries (status,
+                                   metrics, figure, report, predict, ingest,
+                                   shutdown) on stdio and optionally TCP;
+                                   --format picks the shutdown banner style
 
 GLOBAL FLAGS:
   --seed <u64>                     world seed (default 2014)
@@ -108,13 +117,22 @@ pub fn export(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(err("--step-min must be positive"));
     }
     let step = Duration::from_minutes(step_min);
+    let format = OutputFormat::from_flag(args, "format")?.unwrap_or(OutputFormat::Text);
 
-    let rows = match args.get("out") {
-        Some(path) => {
+    let engine = sim.telemetry();
+    let rows = match (args.get("out"), format) {
+        (Some(path), OutputFormat::Text) => {
             let file = File::create(path).map_err(|e| create_err(path, e))?;
-            archive::export_sweep(sim.telemetry(), from, to, step, BufWriter::new(file))?
+            archive::export_sweep(engine, from, to, step, BufWriter::new(file))?
         }
-        None => archive::export_sweep(sim.telemetry(), from, to, step, &mut *out)?,
+        (Some(path), OutputFormat::Json) => {
+            let file = File::create(path).map_err(|e| create_err(path, e))?;
+            archive::export_sweep_ndjson(engine, from, to, step, BufWriter::new(file))?
+        }
+        (None, OutputFormat::Text) => archive::export_sweep(engine, from, to, step, &mut *out)?,
+        (None, OutputFormat::Json) => {
+            archive::export_sweep_ndjson(engine, from, to, step, &mut *out)?
+        }
     };
     if args.get("out").is_some() {
         writeln!(out, "wrote {rows} telemetry rows").map_err(io_err)?;
@@ -171,13 +189,6 @@ pub fn predict(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// How `report --metrics` renders the observability report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MetricsFormat {
-    Json,
-    Text,
-}
-
 /// `mira-ops report [--fast] [--threads N] [--metrics json|text]`
 pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let sim = simulation(args)?;
@@ -187,12 +198,7 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
         Duration::from_hours(1)
     };
     let threads: usize = args.get_parsed("threads", 0usize)?;
-    let metrics = match args.get("metrics") {
-        None => None,
-        Some("json") => Some(MetricsFormat::Json),
-        Some("text") => Some(MetricsFormat::Text),
-        Some(other) => return Err(err(format!("--metrics must be json or text, got {other}"))),
-    };
+    let metrics = OutputFormat::from_flag(args, "metrics")?;
     writeln!(out, "sweeping six years at {} h steps...", step.as_hours()).map_err(io_err)?;
     let mode = if metrics.is_some() {
         ObsMode::On
@@ -244,13 +250,77 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(io_err)?;
     writeln!(out, "(run the reproduce_all example for the full report)").map_err(io_err)?;
     match metrics {
-        Some(MetricsFormat::Json) => {
+        Some(OutputFormat::Json) => {
             writeln!(out, "{}", observed.report.to_json()).map_err(io_err)?;
         }
-        Some(MetricsFormat::Text) => {
+        Some(OutputFormat::Text) => {
             write!(out, "{}", observed.report.to_text()).map_err(io_err)?;
         }
         None => {}
+    }
+    Ok(())
+}
+
+/// `mira-ops serve [--step-min 5] [--tcp HOST:PORT] [--format json|text]`
+pub fn serve(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    serve_with_input(args, stdin.lock(), out)
+}
+
+/// [`serve`] with an injectable request stream, so scripted sessions
+/// (tests, the CI smoke gate) can drive it without a real stdin.
+pub fn serve_with_input<R: BufRead>(
+    args: &ArgMap,
+    input: R,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let sim = simulation(args)?;
+    let step_min: i64 = args.get_parsed("step-min", 5i64)?;
+    if step_min <= 0 {
+        return Err(err("--step-min must be positive"));
+    }
+    let banner = OutputFormat::from_flag(args, "format")?.unwrap_or(OutputFormat::Text);
+    let state = ServeState::new(sim, Duration::from_minutes(step_min))?;
+
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let tcp_worker = match args.get("tcp") {
+            Some(addr) => {
+                let listener = std::net::TcpListener::bind(addr).map_err(|e| CliError::Io {
+                    context: format!("cannot bind {addr}"),
+                    source: e,
+                })?;
+                let state = &state;
+                Some(scope.spawn(move || serve_tcp(state, &listener)))
+            }
+            None => None,
+        };
+        // The stdio loop runs on this thread; EOF or a shutdown request
+        // flips the shared flag and the TCP acceptor drains out.
+        serve_stdio(&state, input, &mut *out).map_err(io_err)?;
+        if let Some(worker) = tcp_worker {
+            worker
+                .join()
+                .map_err(|_| err("tcp worker panicked"))?
+                .map_err(io_err)?;
+        }
+        Ok(())
+    })?;
+
+    // The shutdown banner: deterministic totals (a scripted session
+    // replays byte-identically), formatted per --format.
+    let queries = state.queries_served();
+    let steps = state.steps_ingested();
+    match banner {
+        OutputFormat::Json => writeln!(
+            out,
+            "{{\"served\":true,\"queries_served\":{queries},\"steps_ingested\":{steps}}}"
+        )
+        .map_err(io_err)?,
+        OutputFormat::Text => writeln!(
+            out,
+            "serve: answered {queries} queries, ingested {steps} steps"
+        )
+        .map_err(io_err)?,
     }
     Ok(())
 }
@@ -264,6 +334,7 @@ pub fn run(command: &str, args: &ArgMap, out: &mut dyn Write) -> Result<(), CliE
         "ras" => ras(args, out),
         "predict" => predict(args, out),
         "report" => report(args, out),
+        "serve" => serve(args, out),
         other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
     }
 }
@@ -360,6 +431,97 @@ mod tests {
         // Validated before the (expensive) sweep starts.
         let e = run_cmd("report", &["--metrics", "xml"]).unwrap_err();
         assert!(e.to_string().contains("json or text"));
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn export_format_json_emits_ndjson() {
+        let text = run_cmd(
+            "export",
+            &[
+                "--from",
+                "2015-03-01",
+                "--to",
+                "2015-03-01 01:00",
+                "--step-min",
+                "30",
+                "--format",
+                "json",
+            ],
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Same row count as the CSV export, but no header line and
+        // every line is a standalone JSON object.
+        assert_eq!(lines.len(), 2 * 48);
+        for line in &lines {
+            let row = mira_serve::Json::parse(line).expect("valid json row");
+            assert!(row.get("time").is_some());
+            assert!(row.get("power_kw").is_some());
+        }
+    }
+
+    #[test]
+    fn export_rejects_unknown_format() {
+        let e = run_cmd(
+            "export",
+            &[
+                "--from",
+                "2015-03-01",
+                "--to",
+                "2015-03-02",
+                "--format",
+                "csv",
+            ],
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("json or text"));
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    fn run_serve(extra: &[&str], script: &str) -> Result<String, CliError> {
+        let mut argv = vec!["--step-min", "360"];
+        argv.extend_from_slice(extra);
+        let map = ArgMap::parse(argv.iter().map(ToString::to_string))?;
+        let mut out = Vec::new();
+        serve_with_input(&map, script.as_bytes(), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn serve_scripted_session_replies_and_banners() {
+        let script = "{\"cmd\":\"ingest\",\"steps\":8,\"id\":1}\n\
+                      {\"cmd\":\"status\",\"id\":2}\n\
+                      {\"cmd\":\"shutdown\",\"id\":3}\n";
+        let text = run_serve(&[], script).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"ok\":true") && lines[0].contains("\"ingested\":8"));
+        assert!(lines[1].contains("\"steps_ingested\":8"));
+        assert!(lines[2].contains("\"shutting_down\":true"));
+        assert_eq!(lines[3], "serve: answered 3 queries, ingested 8 steps");
+    }
+
+    #[test]
+    fn serve_json_banner_and_determinism() {
+        let script = "{\"cmd\":\"ingest\",\"steps\":4}\n{\"cmd\":\"metrics\"}\n";
+        let first = run_serve(&["--format", "json"], script).unwrap();
+        let second = run_serve(&["--format", "json"], script).unwrap();
+        // EOF (no explicit shutdown) also lands the banner, and the
+        // whole scripted transcript is byte-identical across runs.
+        assert_eq!(first, second);
+        assert!(first
+            .lines()
+            .last()
+            .is_some_and(|l| l == "{\"served\":true,\"queries_served\":2,\"steps_ingested\":4}"));
+    }
+
+    #[test]
+    fn serve_rejects_nonpositive_step() {
+        let map = ArgMap::parse(["--step-min", "0"].iter().map(ToString::to_string)).unwrap();
+        let mut out = Vec::new();
+        let e = serve_with_input(&map, &b""[..], &mut out).unwrap_err();
+        assert!(e.to_string().contains("positive"));
         assert_eq!(e.exit_code(), 2);
     }
 }

@@ -193,6 +193,52 @@ pub fn export_sweep<W: Write>(
     Ok(rows)
 }
 
+/// Streams a telemetry sweep as newline-delimited JSON: one object per
+/// coolant-monitor sample, with the same fields (and the same `{:.3}`
+/// channel rounding) as the CSV columns of [`export_sweep`], so the two
+/// formats carry identical information row for row.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+///
+/// # Panics
+///
+/// Panics if the span is empty or the step non-positive.
+pub fn export_sweep_ndjson<W: Write>(
+    engine: &TelemetryEngine,
+    from: SimTime,
+    to: SimTime,
+    step: Duration,
+    mut w: W,
+) -> Result<usize, Error> {
+    assert!(from < to, "empty export span");
+    assert!(step.as_seconds() > 0, "step must be positive");
+    let mut rows = 0;
+    let mut t = from;
+    while t < to {
+        let (_, samples) = engine.observe_all(t);
+        for s in samples {
+            writeln!(
+                w,
+                "{{\"time\":{},\"rack\":\"{}\",\"dc_temp_f\":{:.3},\"dc_rh\":{:.3},\
+                 \"flow_gpm\":{:.3},\"inlet_f\":{:.3},\"outlet_f\":{:.3},\"power_kw\":{:.3}}}",
+                s.time.epoch_seconds(),
+                s.rack,
+                s.dc_temperature.value(),
+                s.dc_humidity.value(),
+                s.flow.value(),
+                s.inlet.value(),
+                s.outlet.value(),
+                s.power.value(),
+            )?;
+            rows += 1;
+        }
+        t += step;
+    }
+    Ok(rows)
+}
+
 /// Writes RAS events as CSV.
 ///
 /// # Errors
@@ -323,6 +369,42 @@ mod tests {
         assert_eq!(rows, 4 * 48);
         let back = read_telemetry_csv(buf.as_slice()).unwrap();
         assert_eq!(back.len(), rows);
+    }
+
+    #[test]
+    fn ndjson_export_mirrors_csv_row_for_row() {
+        let s = sim();
+        let from = SimTime::from_date(Date::new(2015, 4, 1));
+        let to = from + Duration::from_hours(1);
+        let step = Duration::from_minutes(30);
+
+        let mut csv = Vec::new();
+        let csv_rows = export_sweep(s.telemetry(), from, to, step, &mut csv).unwrap();
+        let mut nd = Vec::new();
+        let nd_rows = export_sweep_ndjson(s.telemetry(), from, to, step, &mut nd).unwrap();
+        assert_eq!(csv_rows, nd_rows);
+
+        let csv = String::from_utf8(csv).unwrap();
+        let nd = String::from_utf8(nd).unwrap();
+        // NDJSON has no header line; every data row carries the same
+        // rounded values as its CSV counterpart.
+        assert_eq!(nd.lines().count(), csv.lines().count() - 1);
+        for (csv_line, nd_line) in csv.lines().skip(1).zip(nd.lines()) {
+            assert!(
+                nd_line.starts_with('{') && nd_line.ends_with('}'),
+                "{nd_line}"
+            );
+            let mut fields = csv_line.splitn(8, ',');
+            let epoch = fields.next().unwrap();
+            assert!(nd_line.contains(&format!("\"time\":{epoch},")), "{nd_line}");
+            // The rack id itself contains a comma ("(0, A)"), so grab
+            // the numeric tail for the channel columns instead.
+            let power = csv_line.rsplit(',').next().unwrap();
+            assert!(
+                nd_line.contains(&format!("\"power_kw\":{power}}}")),
+                "{nd_line}"
+            );
+        }
     }
 
     #[test]

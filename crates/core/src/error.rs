@@ -24,6 +24,35 @@ pub enum Error {
     Archive(ArchiveError),
 }
 
+impl Error {
+    /// The process exit code this error maps to — the same taxonomy the
+    /// `mira-ops` CLI uses (`3` sweep, `4` archive parse, `5` archive
+    /// I/O; usage errors are the CLI's own `2`).
+    /// Long-running frontends (`mira-ops serve`) embed this in
+    /// structured error replies so scripted clients branch on the same
+    /// codes a batch invocation would exit with.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Sweep(_) => 3,
+            Error::Archive(ArchiveError::Parse { .. }) => 4,
+            Error::Archive(ArchiveError::Io(_)) => 5,
+        }
+    }
+
+    /// A short stable label for the error class (`"sweep"`,
+    /// `"archive-parse"`, `"archive-io"`), paired with
+    /// [`Error::exit_code`] in structured replies.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Sweep(_) => "sweep",
+            Error::Archive(ArchiveError::Parse { .. }) => "archive-parse",
+            Error::Archive(ArchiveError::Io(_)) => "archive-io",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -87,6 +116,19 @@ mod tests {
         let archive = e.source().expect("archive cause");
         let inner = archive.source().expect("io cause");
         assert!(inner.to_string().contains("pipe closed"));
+    }
+
+    #[test]
+    fn exit_codes_and_kinds_follow_the_cause() {
+        let sweep = Error::from(SweepError::EmptySpan);
+        assert_eq!((sweep.exit_code(), sweep.kind()), (3, "sweep"));
+        let parse = Error::from(ArchiveError::Parse {
+            line: 1,
+            message: "bad".to_string(),
+        });
+        assert_eq!((parse.exit_code(), parse.kind()), (4, "archive-parse"));
+        let io = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!((io.exit_code(), io.kind()), (5, "archive-io"));
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! The incremental sweep engine: append telemetry instants as they
+//! arrive and read the running aggregate at any point — byte-identical
+//! to a cold batch sweep of everything ingested so far.
+//!
+//! # Equivalence to the batch path
+//!
+//! [`crate::SweepPlan::run`] cuts the grid into calendar-month shards,
+//! folds each shard into a fresh recorder, and merges the partials in
+//! chronological order: `((s₀ ⊕ s₁) ⊕ s₂) ⊕ …`. Floating-point merge is
+//! not associative, so *any* byte-identical incremental scheme must
+//! replay that exact association. [`IncrementalSweep`] therefore keeps
+//! two recorders:
+//!
+//! - a **prefix** — the chronological fold of every *completed*
+//!   calendar-month shard, and
+//! - an **open shard** — the fold of the month currently being
+//!   ingested.
+//!
+//! Appending the first instant of a new calendar month merges the open
+//! shard into the prefix (one [`Recorder::merge`], same as the batch
+//! executor performs for that seam) and starts a fresh shard. A query
+//! clones both, merges the open clone after the prefix clone, and
+//! finishes — reproducing the batch fold of `[from, ingested_to)` bit
+//! for bit without touching the running state. Appends are strictly
+//! grid-ordered ([`crate::SweepError::MisalignedAppend`] otherwise), so
+//! the association can never drift from the batch plan's.
+//!
+//! Queries cost one clone of the running state, not a recompute: the
+//! aggregate state is bounded (calendar bins, per-rack Welfords, one
+//! accumulator per elapsed week), so a query on six years of ingested
+//! telemetry costs the same as on six days.
+//!
+//! ```
+//! use mira_core::{IncrementalSweep, SimConfig, Simulation};
+//! use mira_timeseries::{Date, Duration, SimTime};
+//!
+//! let sim = Simulation::new(SimConfig::with_seed(7));
+//! let from = SimTime::from_date(Date::new(2015, 1, 1));
+//! let step = Duration::from_hours(6);
+//! let mut inc = IncrementalSweep::builder(from)
+//!     .step(step)
+//!     .build()
+//!     .expect("positive step");
+//! // Ingest January; the summary matches a cold batch sweep exactly.
+//! inc.ingest(sim.telemetry(), 31 * 4).expect("aligned");
+//! let to = SimTime::from_date(Date::new(2015, 2, 1));
+//! let batch = sim.summarize((from, to), step).expect("non-empty");
+//! assert_eq!(inc.summary().expect("non-empty"), batch);
+//! ```
+
+use mira_obs::{ObsMode, ObsReport};
+use mira_timeseries::{Date, Duration, SimTime};
+use mira_units::convert;
+
+use crate::analysis::{full_report, FigureReport};
+use crate::error::Error;
+use crate::obs::{keys, record_executor_shape, ObservedSweep, SweepObsRecorder};
+use crate::simulation::Simulation;
+use crate::summary::SweepSummary;
+use crate::sweep::{Recorder, SweepError, SweepStep};
+use crate::telemetry::{SweepScratch, TelemetryEngine};
+
+/// One shard's running state: the summary and its riding obs recorder,
+/// folded together exactly like the batch executor's tuple recorder.
+type ShardState = (SweepSummary, SweepObsRecorder);
+
+/// Builder for [`IncrementalSweep`], mirroring
+/// [`crate::SimConfig::builder`] / [`crate::SweepPlan`] conventions.
+///
+/// ```
+/// use mira_core::IncrementalSweep;
+/// use mira_timeseries::{Date, Duration, SimTime};
+///
+/// let inc = IncrementalSweep::builder(SimTime::from_date(Date::new(2016, 7, 1)))
+///     .step(Duration::from_minutes(5))
+///     .build()
+///     .expect("positive step");
+/// assert_eq!(inc.steps_ingested(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalSweepBuilder {
+    from: SimTime,
+    step: Duration,
+    mode: ObsMode,
+}
+
+impl IncrementalSweepBuilder {
+    /// Sets the sampling step (default 5 minutes, like
+    /// [`crate::SweepPlan`]).
+    #[must_use]
+    pub fn step(mut self, step: Duration) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Sets the observability mode (default [`ObsMode::On`]: the obs
+    /// recorder rides the same fold, so a server can answer `metrics`
+    /// without a second pass).
+    #[must_use]
+    pub fn obs(mut self, mode: ObsMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::NonPositiveStep`] when
+    /// the step is zero or negative.
+    pub fn build(self) -> Result<IncrementalSweep, Error> {
+        if self.step.as_seconds() <= 0 {
+            return Err(SweepError::NonPositiveStep.into());
+        }
+        let first = self.from.date();
+        let mut inc = IncrementalSweep {
+            from: self.from,
+            step: self.step,
+            mode: self.mode,
+            next_k: 0,
+            shard_start: 0,
+            cursor_year: first.year(),
+            cursor_month: first.month().number(),
+            next_boundary: 0,
+            prefix: None,
+            open: None,
+            scratch: None,
+        };
+        inc.advance_boundary();
+        Ok(inc)
+    }
+}
+
+/// A running sweep aggregate that grows one grid instant at a time.
+///
+/// Construct via [`IncrementalSweep::builder`] (or
+/// [`Simulation::incremental_sweep`]), feed it with
+/// [`IncrementalSweep::append_step`] or the
+/// [`IncrementalSweep::ingest`] convenience, and read
+/// [`IncrementalSweep::summary`] / [`IncrementalSweep::observed`] /
+/// [`IncrementalSweep::figures`] at any point. See the [module
+/// docs](self) for why the results are byte-identical to the batch
+/// path.
+#[derive(Debug, Clone)]
+pub struct IncrementalSweep {
+    from: SimTime,
+    step: Duration,
+    mode: ObsMode,
+    /// Grid index of the next expected instant (= instants ingested).
+    next_k: usize,
+    /// Grid index where the open shard began.
+    shard_start: usize,
+    /// Calendar cursor trailing the month-boundary scan.
+    cursor_year: i32,
+    cursor_month: u8,
+    /// Grid index at which the open shard rolls into the prefix.
+    next_boundary: usize,
+    /// Chronological fold of all completed calendar-month shards.
+    prefix: Option<ShardState>,
+    /// The calendar-month shard currently being ingested.
+    open: Option<ShardState>,
+    /// Reused fold scratch for [`IncrementalSweep::ingest`].
+    scratch: Option<SweepScratch>,
+}
+
+impl IncrementalSweep {
+    /// A builder for an engine whose grid starts at `from`.
+    #[must_use]
+    pub fn builder(from: SimTime) -> IncrementalSweepBuilder {
+        IncrementalSweepBuilder {
+            from,
+            step: Duration::from_minutes(5),
+            mode: ObsMode::On,
+        }
+    }
+
+    /// The sampling step.
+    #[must_use]
+    pub fn step(&self) -> Duration {
+        self.step
+    }
+
+    /// Instants ingested so far.
+    #[must_use]
+    pub fn steps_ingested(&self) -> u64 {
+        convert::u64_from_usize(self.next_k)
+    }
+
+    /// The next grid instant an append must carry:
+    /// `from + step · steps_ingested`.
+    #[must_use]
+    pub fn next_time(&self) -> SimTime {
+        self.from + self.step * convert::i64_from_usize(self.next_k)
+    }
+
+    /// The ingested span `[from, next_time)`. Empty until the first
+    /// append.
+    #[must_use]
+    pub fn span(&self) -> (SimTime, SimTime) {
+        (self.from, self.next_time())
+    }
+
+    /// Finds the next shard-boundary grid index after `shard_start`:
+    /// the first-of-month scan from [`crate::sweep`]'s `month_shards`,
+    /// with the same ceil rounding and the same strictly-increasing
+    /// rule (a step longer than a month skips boundaries that land on
+    /// an already-started shard).
+    fn advance_boundary(&mut self) {
+        let step_s = self.step.as_seconds();
+        loop {
+            self.cursor_month += 1;
+            if self.cursor_month > 12 {
+                self.cursor_month = 1;
+                self.cursor_year += 1;
+            }
+            let boundary = SimTime::from_date(Date::new(self.cursor_year, self.cursor_month, 1));
+            let offset = (boundary - self.from).as_seconds();
+            let idx = convert::usize_from_i64((offset + step_s - 1) / step_s);
+            if idx > self.shard_start {
+                self.next_boundary = idx;
+                return;
+            }
+        }
+    }
+
+    /// A fresh shard seed. The span is a placeholder: the batch
+    /// executor seeds every shard with the full plan span, which only
+    /// survives into the output's `span` metadata field — queries patch
+    /// it to the ingested span before finishing.
+    fn fresh_shard(&self) -> ShardState {
+        (
+            SweepSummary::empty((self.from, self.from), self.step),
+            SweepObsRecorder::new(self.mode),
+        )
+    }
+
+    /// Merges the open shard into the prefix — the exact chronological
+    /// merge the batch executor performs at this month seam.
+    fn roll_shard(&mut self) {
+        if let Some(open) = self.open.take() {
+            match self.prefix.as_mut() {
+                Some(acc) => acc.merge(open),
+                None => self.prefix = Some(open),
+            }
+        }
+        self.shard_start = self.next_boundary;
+        self.advance_boundary();
+    }
+
+    /// Folds one instant into the running state. The step must carry
+    /// exactly [`IncrementalSweep::next_time`] — the engine accepts the
+    /// grid in order, never sparse or shuffled, because the batch
+    /// association it replays is defined on the contiguous grid.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::MisalignedAppend`] when
+    /// `step` is not at the expected grid instant.
+    pub fn append_step(&mut self, step: &SweepStep) -> Result<(), Error> {
+        let expected = self.next_time();
+        if step.snapshot.time != expected {
+            return Err(SweepError::MisalignedAppend {
+                expected,
+                got: step.snapshot.time,
+            }
+            .into());
+        }
+        if self.next_k == self.next_boundary {
+            self.roll_shard();
+        }
+        if self.open.is_none() {
+            self.open = Some(self.fresh_shard());
+        }
+        if let Some(open) = self.open.as_mut() {
+            open.record(step);
+        }
+        self.next_k += 1;
+        Ok(())
+    }
+
+    /// Computes and appends the next `steps` grid instants from
+    /// `engine`, reusing one [`SweepScratch`] across calls (zero
+    /// steady-state allocation, like the batch executor's per-shard
+    /// fold). Always pass the same engine: the scratch carries cursors
+    /// into it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] if an append misaligns (cannot happen from this
+    /// path; the contract is inherited from
+    /// [`IncrementalSweep::append_step`]).
+    pub fn ingest(&mut self, engine: &TelemetryEngine, steps: usize) -> Result<(), Error> {
+        let mut scratch = match self.scratch.take() {
+            Some(s) => s,
+            None => engine.sweep_scratch(),
+        };
+        for _ in 0..steps {
+            let t = self.next_time();
+            engine.sweep_step_into(t, &mut scratch);
+            if let Err(e) = self.append_step(scratch.step()) {
+                self.scratch = Some(scratch);
+                return Err(e);
+            }
+        }
+        self.scratch = Some(scratch);
+        Ok(())
+    }
+
+    /// Clones prefix and open shard and replays the final chronological
+    /// merge, yielding the recorder state a batch run over the ingested
+    /// span would hold just before `finish`.
+    fn folded(&self) -> Result<ShardState, Error> {
+        let mut acc = match (&self.prefix, &self.open) {
+            (Some(prefix), Some(open)) => {
+                let mut acc = prefix.clone();
+                acc.merge(open.clone());
+                acc
+            }
+            (Some(prefix), None) => prefix.clone(),
+            (None, Some(open)) => open.clone(),
+            (None, None) => return Err(SweepError::EmptySpan.into()),
+        };
+        // The batch path seeds every shard with the full plan span;
+        // patch the metadata to the ingested span.
+        acc.0.span = self.span();
+        Ok(acc)
+    }
+
+    /// The aggregate over everything ingested, byte-identical to
+    /// [`Simulation::summarize`] over `[from, next_time)` at any thread
+    /// count. The running state is untouched; ingest can continue.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] before the
+    /// first append.
+    pub fn summary(&self) -> Result<SweepSummary, Error> {
+        let (summary, _) = Recorder::finish(self.folded()?);
+        Ok(summary)
+    }
+
+    /// Summary plus the [`ObsReport`] gathered on the same fold —
+    /// deterministically identical to
+    /// [`Simulation::summarize_observed`] over the ingested span,
+    /// except that the nondeterministic `timings` section stays empty
+    /// (a long-running caller times its own ingest; see `mira-serve`).
+    ///
+    /// The hydraulic-memo counters are emitted from the sweep-path
+    /// contract (one solve per instant, no memo hits — what
+    /// `tests/sweep_scratch.rs` pins for the batch path) rather than
+    /// from engine-global counters, so reports stay deterministic even
+    /// while other queries hit the same engine concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] before the
+    /// first append.
+    pub fn observed(&self) -> Result<ObservedSweep, Error> {
+        let (summary, mut report) = Recorder::finish(self.folded()?);
+        if self.mode.is_on() {
+            let (from, to) = self.span();
+            record_executor_shape(&mut report.metrics, from, to, self.step);
+            report.metrics.add(keys::COOLING_HYDRO_CACHE_HITS, 0);
+            report
+                .metrics
+                .add(keys::COOLING_HYDRO_CACHE_MISSES, self.steps_ingested());
+        }
+        Ok(ObservedSweep { summary, report })
+    }
+
+    /// The observability report alone (see
+    /// [`IncrementalSweep::observed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] before the
+    /// first append.
+    pub fn obs_report(&self) -> Result<ObsReport, Error> {
+        Ok(self.observed()?.report)
+    }
+
+    /// All paper figures over the ingested span, byte-identical to
+    /// [`full_report`] on a cold batch summary of the same span.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::EmptySpan`] before the
+    /// first append.
+    pub fn figures(&self, sim: &Simulation) -> Result<FigureReport, Error> {
+        Ok(full_report(sim, &self.summary()?))
+    }
+}
+
+impl Simulation {
+    /// An [`IncrementalSweep`] starting at this simulation's configured
+    /// start, ready to [`IncrementalSweep::ingest`] from
+    /// [`Simulation::telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sweep`] carrying [`SweepError::NonPositiveStep`] when
+    /// the step is not positive.
+    pub fn incremental_sweep(&self, step: Duration) -> Result<IncrementalSweep, Error> {
+        IncrementalSweep::builder(self.config().span().0)
+            .step(step)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimConfig;
+
+    fn t(y: i32, m: u8, d: u8) -> SimTime {
+        SimTime::from_date(Date::new(y, m, d))
+    }
+
+    #[test]
+    fn builder_validates_step() {
+        let err = IncrementalSweep::builder(t(2015, 1, 1))
+            .step(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Sweep(SweepError::NonPositiveStep)));
+    }
+
+    #[test]
+    fn empty_engine_reports_empty_span() {
+        let inc = IncrementalSweep::builder(t(2015, 1, 1)).build().unwrap();
+        assert!(matches!(
+            inc.summary().unwrap_err(),
+            Error::Sweep(SweepError::EmptySpan)
+        ));
+    }
+
+    #[test]
+    fn misaligned_append_is_rejected() {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        let step = Duration::from_hours(6);
+        let mut inc = IncrementalSweep::builder(t(2015, 1, 1))
+            .step(step)
+            .build()
+            .unwrap();
+        inc.ingest(sim.telemetry(), 3).unwrap();
+        // Re-appending the last instant (one step behind the cursor).
+        let mut scratch = sim.telemetry().sweep_scratch();
+        sim.telemetry()
+            .sweep_step_into(t(2015, 1, 1) + step * 2, &mut scratch);
+        let err = inc.append_step(scratch.step()).unwrap_err();
+        match err {
+            Error::Sweep(SweepError::MisalignedAppend { expected, got }) => {
+                assert_eq!(expected, t(2015, 1, 1) + step * 3);
+                assert_eq!(got, t(2015, 1, 1) + step * 2);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // The engine state is untouched; the aligned instant still lands.
+        assert_eq!(inc.steps_ingested(), 3);
+        inc.ingest(sim.telemetry(), 1).unwrap();
+        assert_eq!(inc.steps_ingested(), 4);
+    }
+
+    #[test]
+    fn matches_batch_across_month_seams() {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        let from = t(2015, 1, 15);
+        let step = Duration::from_hours(4);
+        let mut inc = IncrementalSweep::builder(from).step(step).build().unwrap();
+        // Ingest in ragged chunks crossing the Feb and Mar seams.
+        let mut total = 0usize;
+        for chunk in [40usize, 1, 97, 13, 250, 5] {
+            inc.ingest(sim.telemetry(), chunk).unwrap();
+            total += chunk;
+            let to = from + step * convert::i64_from_usize(total);
+            let batch = sim.summarize((from, to), step).unwrap();
+            assert_eq!(inc.summary().unwrap(), batch, "after {total} steps");
+        }
+    }
+
+    #[test]
+    fn observed_matches_batch_deterministic_json() {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        let from = t(2016, 5, 20);
+        let step = Duration::from_hours(3);
+        let mut inc = IncrementalSweep::builder(from).step(step).build().unwrap();
+        let steps = 60 * 8; // 60 days at 8 samples/day: crosses 2 seams.
+        inc.ingest(sim.telemetry(), steps).unwrap();
+        let to = from + step * convert::i64_from_usize(steps);
+        let batch = sim
+            .summarize_observed((from, to), step, 1, ObsMode::On)
+            .unwrap();
+        let observed = inc.observed().unwrap();
+        assert_eq!(observed.summary, batch.summary);
+        assert_eq!(
+            observed.report.deterministic_json(),
+            batch.report.deterministic_json()
+        );
+    }
+
+    #[test]
+    fn obs_off_rides_free_and_still_matches() {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        let from = t(2015, 3, 1);
+        let step = Duration::from_hours(6);
+        let mut inc = IncrementalSweep::builder(from)
+            .step(step)
+            .obs(ObsMode::Off)
+            .build()
+            .unwrap();
+        inc.ingest(sim.telemetry(), 31 * 4).unwrap();
+        let observed = inc.observed().unwrap();
+        assert!(observed.report.is_empty());
+        let to = from + step * convert::i64_from_usize(31 * 4);
+        assert_eq!(observed.summary, sim.summarize((from, to), step).unwrap());
+    }
+
+    #[test]
+    fn simulation_convenience_starts_at_config_start() {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        let inc = sim.incremental_sweep(Duration::from_hours(6)).unwrap();
+        assert_eq!(inc.next_time(), sim.config().span().0);
+    }
+}

@@ -72,6 +72,7 @@
 pub mod analysis;
 pub mod archive;
 pub mod error;
+pub mod incremental;
 pub mod mitigation;
 pub mod obs;
 pub mod operator;
@@ -83,6 +84,7 @@ pub mod timeline;
 
 pub use analysis::{full_report, FigureReport};
 pub use error::Error;
+pub use incremental::{IncrementalSweep, IncrementalSweepBuilder};
 pub use mitigation::{
     compare_policies, evaluate_policy, CheckpointPolicy, MitigationCosts, MitigationReport,
 };

@@ -22,7 +22,7 @@
 //! `timings` section.
 
 use mira_obs::{Clock, MetricsPartial, ObsMode, ObsReport, SpanStats, WallClock};
-use mira_timeseries::Duration;
+use mira_timeseries::{Duration, SimTime};
 use mira_units::convert;
 
 use crate::error::Error;
@@ -88,6 +88,33 @@ const UTILIZATION_BOUNDS: &[f64] = &[25.0, 50.0, 75.0, 90.0];
 
 /// Shard-size histogram bounds (grid steps per calendar-month shard).
 const SHARD_STEP_BOUNDS: &[f64] = &[100.0, 1_000.0, 10_000.0, 100_000.0];
+
+/// Records the executor-shape metrics for a sweep over
+/// `[from, to)` at `step`: shard count, chronological merges, and the
+/// shard-size distribution. The shard plan is a pure function of the
+/// span and step — never of the worker count or of how the fold was
+/// actually scheduled — so both the batch executor and the incremental
+/// engine emit byte-identical values for the same span.
+pub(crate) fn record_executor_shape(
+    metrics: &mut MetricsPartial,
+    from: SimTime,
+    to: SimTime,
+    step: Duration,
+) {
+    let shards = month_shards(from, to, step);
+    metrics.add(keys::SWEEP_SHARDS, convert::u64_from_usize(shards.len()));
+    metrics.add(
+        keys::SWEEP_MERGES,
+        convert::u64_from_usize(shards.len().saturating_sub(1)),
+    );
+    for (lo, hi) in &shards {
+        metrics.observe(
+            keys::SWEEP_SHARD_STEPS,
+            SHARD_STEP_BOUNDS,
+            convert::f64_from_usize(hi - lo),
+        );
+    }
+}
 
 /// Rack and economizer state at one edge of a recorded range, kept so
 /// merging can count the transitions that straddle a shard seam.
@@ -311,23 +338,7 @@ impl Simulation {
         let elapsed = clock.nanos().saturating_sub(begin);
 
         if mode.is_on() {
-            // Executor-shape metrics: the shard plan is a pure function
-            // of (from, to, step), so these stay deterministic.
-            let shards = month_shards(from, to, step);
-            report
-                .metrics
-                .add(keys::SWEEP_SHARDS, convert::u64_from_usize(shards.len()));
-            report.metrics.add(
-                keys::SWEEP_MERGES,
-                convert::u64_from_usize(shards.len().saturating_sub(1)),
-            );
-            for (lo, hi) in &shards {
-                report.metrics.observe(
-                    keys::SWEEP_SHARD_STEPS,
-                    SHARD_STEP_BOUNDS,
-                    convert::f64_from_usize(hi - lo),
-                );
-            }
+            record_executor_shape(&mut report.metrics, from, to, step);
             // Hydraulic-memo traffic attributable to this sweep. The
             // scratch path solves once per step (a miss each) and never
             // consults the memo, so the deltas are pure functions of
@@ -393,6 +404,9 @@ mod tests {
             let mut partial = SweepObsRecorder::new(ObsMode::On);
             for k in lo..hi {
                 let at = span.0 + step * convert::i64_from_usize(k);
+                // Deliberately the deprecated one-shot: the hand fold
+                // must not share scratch state across shards.
+                #[allow(deprecated)]
                 partial.record(&sim.telemetry().sweep_step(at));
             }
             match merged.as_mut() {

@@ -47,6 +47,14 @@ pub enum SweepError {
     EmptySpan,
     /// The sampling step is zero or negative.
     NonPositiveStep,
+    /// An incremental append skipped or repeated a grid instant: the
+    /// engine only accepts the next instant on the sample grid.
+    MisalignedAppend {
+        /// The next grid instant the engine expects.
+        expected: SimTime,
+        /// The instant actually appended.
+        got: SimTime,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -54,6 +62,10 @@ impl std::fmt::Display for SweepError {
         match self {
             SweepError::EmptySpan => write!(f, "sweep span is empty (from >= to)"),
             SweepError::NonPositiveStep => write!(f, "sweep step must be positive"),
+            SweepError::MisalignedAppend { expected, got } => write!(
+                f,
+                "misaligned append: expected grid instant {expected}, got {got}"
+            ),
         }
     }
 }
@@ -132,6 +144,9 @@ impl TelemetryEngine {
     ///
     /// One-shot convenience over [`TelemetryEngine::sweep_step_into`];
     /// loops should build a [`crate::SweepScratch`] once and reuse it.
+    #[deprecated(note = "allocates a fresh scratch per call; reuse a SweepScratch via \
+                sweep_scratch()/sweep_step_into, or feed an IncrementalSweep \
+                via IncrementalSweep::ingest")]
     #[must_use]
     pub fn sweep_step(&self, t: SimTime) -> SweepStep {
         let mut scratch = self.sweep_scratch();
@@ -514,6 +529,8 @@ mod tests {
     }
 
     #[test]
+    // The one-shot entry point stays correct while deprecated.
+    #[allow(deprecated)]
     fn sweep_step_matches_piecewise_queries() {
         let e = engine();
         let at = t(2017, 6, 15) + Duration::from_hours(7);

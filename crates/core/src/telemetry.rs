@@ -551,11 +551,13 @@ impl TelemetryEngine {
     /// Samples all 48 racks at `t` (one snapshot, 48 observations).
     ///
     /// Shares the sweep scratch path with
-    /// [`TelemetryEngine::sweep_step`]: the snapshot, ground truths and
-    /// observations are computed exactly once each.
+    /// [`TelemetryEngine::sweep_step_into`]: the snapshot, ground
+    /// truths and observations are computed exactly once each.
     #[must_use]
     pub fn observe_all(&self, t: SimTime) -> (SystemSnapshot, Vec<CoolantMonitorSample>) {
-        let step = self.sweep_step(t);
+        let mut scratch = self.sweep_scratch();
+        self.sweep_step_into(t, &mut scratch);
+        let step = scratch.into_step();
         (step.snapshot, step.samples)
     }
 

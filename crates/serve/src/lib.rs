@@ -1,0 +1,42 @@
+//! Long-running analytics service over the incremental sweep engine.
+//!
+//! `mira-serve` is the library behind `mira-ops serve`: a std-only,
+//! multi-threaded server that ingests telemetry grid instants into a
+//! [`mira_core::IncrementalSweep`] while answering queries over the
+//! running aggregate — `status`, `metrics`, `figure`, `report`,
+//! `predict`, `ingest`, `shutdown` — as newline-delimited JSON over
+//! stdio and/or TCP (see [`protocol`] for the wire format).
+//!
+//! Determinism is the design constraint carried over from the batch
+//! CLI: every reply except explicitly wall-clock material (the
+//! `"wall"` metrics section) is a pure function of the request
+//! sequence, so a scripted session replays byte-identically at any
+//! `MIRA_SWEEP_THREADS` setting and any number of connections — that
+//! is the CI smoke gate. Under the hood the incremental engine is
+//! byte-identical to a cold batch sweep of the ingested span, and
+//! queries cost one clone of bounded state rather than a recompute.
+//!
+//! ```
+//! use mira_core::{Duration, SimConfig, Simulation};
+//! use mira_serve::ServeState;
+//!
+//! let sim = Simulation::new(SimConfig::with_seed(7));
+//! let state = ServeState::new(sim, Duration::from_hours(6)).expect("positive step");
+//! let reply = state.handle("{\"cmd\":\"ingest\",\"steps\":4,\"id\":1}");
+//! assert!(reply.contains("\"steps_ingested\":4"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod stats;
+
+pub use json::{Json, JsonError};
+pub use protocol::{parse_request, Request};
+pub use server::{serve_stdio, serve_tcp};
+pub use state::ServeState;
+pub use stats::ServeStats;

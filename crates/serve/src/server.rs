@@ -1,0 +1,186 @@
+//! Transport loops: newline-delimited JSON over stdio and TCP.
+//!
+//! Both loops share one [`ServeState`]; any mix of stdio and TCP
+//! clients can ingest and query concurrently. A `shutdown` request (or
+//! stdin EOF) flips the shared flag; every loop notices within one
+//! poll interval and drains out, so the process exits cleanly with all
+//! replies flushed.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration as StdDuration;
+
+use crate::state::ServeState;
+
+/// How often blocked readers and the acceptor re-check the shutdown
+/// flag.
+const POLL_INTERVAL: StdDuration = StdDuration::from_millis(50);
+
+/// Serves requests line-by-line from `reader`, writing one reply line
+/// each to `writer`. Returns after a `shutdown` request or EOF; EOF
+/// also requests global shutdown so companion TCP loops drain.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_stdio<R: BufRead, W: Write>(
+    state: &ServeState,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = state.handle(&line);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if state.is_shutdown() {
+            return Ok(());
+        }
+    }
+    state.request_shutdown();
+    Ok(())
+}
+
+/// Accepts TCP connections on `listener` until shutdown, serving each
+/// on its own thread against the shared state. Connection threads are
+/// scoped: the call returns only after every client has drained.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection errors
+/// only end that connection.
+pub fn serve_tcp(state: &ServeState, listener: &TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    scope.spawn(move || {
+                        // A failed client connection only ends that
+                        // client; the server keeps accepting.
+                        let _ = serve_connection(state, stream);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if state.is_shutdown() {
+                        return Ok(());
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}
+
+/// Serves one TCP client. Read timeouts poll the shutdown flag so the
+/// connection drains promptly when another client stops the server.
+fn serve_connection(state: &ServeState, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // On timeout, any partial line already read stays in `line`
+        // and the next pass appends to it — no bytes are lost.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let reply = state.handle(line.trim_end());
+                    writer.write_all(reply.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                line.clear();
+                if state.is_shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.is_shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_core::{Duration, SimConfig, Simulation};
+    use std::io::Cursor;
+
+    fn state() -> ServeState {
+        let sim = Simulation::new(SimConfig::with_seed(7));
+        ServeState::new(sim, Duration::from_hours(6)).expect("positive step")
+    }
+
+    #[test]
+    fn stdio_session_replies_per_line_and_stops_on_shutdown() {
+        let s = state();
+        let input = "\
+{\"cmd\":\"ingest\",\"steps\":8,\"id\":1}\n\
+\n\
+{\"cmd\":\"status\",\"id\":2}\n\
+{\"cmd\":\"shutdown\",\"id\":3}\n\
+{\"cmd\":\"status\",\"id\":4}\n";
+        let mut out = Vec::new();
+        serve_stdio(&s, Cursor::new(input), &mut out).expect("io");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        // The blank line is skipped; the post-shutdown request is never
+        // read.
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"ingested\":8"));
+        assert!(lines[1].contains("\"steps_ingested\":8"));
+        assert!(lines[2].contains("\"shutting_down\":true"));
+        assert!(s.is_shutdown());
+    }
+
+    #[test]
+    fn stdio_eof_requests_shutdown() {
+        let s = state();
+        let mut out = Vec::new();
+        serve_stdio(&s, Cursor::new("{\"cmd\":\"status\"}\n"), &mut out).expect("io");
+        assert!(s.is_shutdown(), "EOF must stop companion loops");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpListener;
+
+        let s = state();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_tcp(&s, &listener));
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+
+            writer
+                .write_all(b"{\"cmd\":\"ingest\",\"steps\":4,\"id\":1}\n")
+                .expect("write");
+            reader.read_line(&mut reply).expect("read");
+            assert!(reply.contains("\"ingested\":4"), "{reply}");
+
+            reply.clear();
+            writer
+                .write_all(b"{\"cmd\":\"shutdown\",\"id\":2}\n")
+                .expect("write");
+            reader.read_line(&mut reply).expect("read");
+            assert!(reply.contains("\"shutting_down\":true"), "{reply}");
+
+            server.join().expect("join").expect("serve_tcp");
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! Server self-observation: deterministic request counters plus
+//! wall-clock latency quantiles.
+//!
+//! The two halves mirror the split `mira_obs::ObsReport` enforces:
+//! counters (requests per command, steps ingested) are pure functions
+//! of the request sequence and merge into the deterministic metrics
+//! snapshot — the CI byte-identity gate compares them across thread
+//! counts — while latency (P² quantiles over per-query wall time,
+//! total ingest/query nanoseconds) only appears when a client asks for
+//! `{"cmd":"metrics","wall":true}`.
+
+use mira_obs::MetricsPartial;
+use mira_timeseries::P2Quantile;
+use mira_units::convert;
+
+use crate::json::Json;
+
+/// Deterministic metric key: total requests handled.
+pub const QUERIES_SERVED: &str = "serve.queries_served";
+/// Deterministic metric key: grid instants ingested.
+pub const STEPS_INGESTED: &str = "serve.steps_ingested";
+/// Deterministic metric key: requests that failed to decode.
+pub const QUERIES_INVALID: &str = "serve.queries.invalid";
+
+/// Running server statistics. Lives behind one mutex in
+/// [`crate::state::ServeState`]; every method is cheap (a counter bump
+/// or two P² pushes).
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    metrics: MetricsPartial,
+    query_us_p50: P2Quantile,
+    query_us_p99: P2Quantile,
+    ingest_nanos: u64,
+    query_nanos: u64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            metrics: MetricsPartial::new(),
+            query_us_p50: P2Quantile::median(),
+            query_us_p99: P2Quantile::new(0.99),
+            ingest_nanos: 0,
+            query_nanos: 0,
+        }
+    }
+
+    /// Counts one decoded request under its per-command key. Called
+    /// *before* dispatch, so a `metrics` reply's snapshot includes the
+    /// query that produced it — making the reply a deterministic
+    /// function of the request sequence.
+    pub fn note_request(&mut self, command_key: &'static str) {
+        self.metrics.add(QUERIES_SERVED, 1);
+        self.metrics.add(command_key, 1);
+    }
+
+    /// Counts one request that failed to decode.
+    pub fn note_invalid(&mut self) {
+        self.metrics.add(QUERIES_SERVED, 1);
+        self.metrics.add(QUERIES_INVALID, 1);
+    }
+
+    /// Counts grid instants appended by a successful ingest.
+    pub fn note_ingested(&mut self, steps: u64) {
+        self.metrics.add(STEPS_INGESTED, steps);
+    }
+
+    /// Records the wall time an ingest request spent appending.
+    pub fn note_ingest_wall(&mut self, nanos: u64) {
+        self.ingest_nanos = self.ingest_nanos.saturating_add(nanos);
+    }
+
+    /// Records one request's wall time (every command, ingest included).
+    pub fn note_query_wall(&mut self, nanos: u64) {
+        self.query_nanos = self.query_nanos.saturating_add(nanos);
+        let micros = convert::f64_from_u64(nanos) / 1_000.0;
+        self.query_us_p50.push(micros);
+        self.query_us_p99.push(micros);
+    }
+
+    /// The deterministic counters, ready to merge into an
+    /// [`mira_obs::ObsReport`]'s metrics.
+    #[must_use]
+    pub fn deterministic(&self) -> &MetricsPartial {
+        &self.metrics
+    }
+
+    /// Requests handled so far (invalid ones included).
+    #[must_use]
+    pub fn queries_served(&self) -> u64 {
+        self.metrics.counter(QUERIES_SERVED).unwrap_or(0)
+    }
+
+    /// The nondeterministic latency section for
+    /// `{"cmd":"metrics","wall":true}` replies. Never part of the
+    /// byte-identity comparison.
+    #[must_use]
+    pub fn wall_json(&self) -> Json {
+        Json::obj(vec![
+            ("query_p50_us", Json::Num(self.query_us_p50.value())),
+            ("query_p99_us", Json::Num(self.query_us_p99.value())),
+            ("query_wall_nanos", Json::from(self.query_nanos)),
+            ("ingest_wall_nanos", Json::from(self.ingest_nanos)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_deterministic_and_latency_is_separate() {
+        let mut a = ServeStats::new();
+        let mut b = ServeStats::new();
+        for stats in [&mut a, &mut b] {
+            stats.note_request("serve.queries.status");
+            stats.note_request("serve.queries.ingest");
+            stats.note_ingested(288);
+            stats.note_invalid();
+        }
+        // Different wall timings...
+        a.note_query_wall(1_000);
+        b.note_query_wall(9_999_999);
+        // ...do not perturb the deterministic counters.
+        let render = |s: &ServeStats| {
+            let mut r = mira_obs::ObsReport::new();
+            r.metrics.merge(s.deterministic());
+            r.deterministic_json()
+        };
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(a.deterministic().counter(QUERIES_SERVED), Some(3));
+        assert_eq!(a.deterministic().counter(STEPS_INGESTED), Some(288));
+        assert_eq!(a.deterministic().counter(QUERIES_INVALID), Some(1));
+        assert_eq!(a.queries_served(), 3);
+    }
+
+    #[test]
+    fn wall_json_tracks_quantiles() {
+        let mut s = ServeStats::new();
+        for n in 1..=100u64 {
+            s.note_query_wall(n * 1_000); // 1..=100 us
+        }
+        s.note_ingest_wall(5_000);
+        let wall = s.wall_json();
+        let p50 = wall.get("query_p50_us").and_then(Json::as_f64).unwrap();
+        let p99 = wall.get("query_p99_us").and_then(Json::as_f64).unwrap();
+        assert!((40.0..=60.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > 90.0, "p99 {p99}");
+        assert_eq!(
+            wall.get("ingest_wall_nanos").and_then(Json::as_u64),
+            Some(5_000)
+        );
+    }
+}

@@ -130,6 +130,31 @@ pub fn usize_from_f64_round(x: f64) -> usize {
     x.round() as usize
 }
 
+/// Nearest-integer rounding of an `f64` to a `u32` count.
+///
+/// NaN and negative inputs clamp to 0; values beyond `u32::MAX`
+/// saturate. Intended for small counts (midplanes, jobs) produced by
+/// scaling a fraction.
+#[must_use]
+pub fn u32_from_f64_round(x: f64) -> u32 {
+    debug_assert!(!x.is_nan(), "count from NaN");
+    debug_assert!(x >= -0.5, "count from negative {x}");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x.round() as u32
+}
+
+/// Floor of a non-negative `f64` as a `u32` count.
+///
+/// NaN and negative inputs clamp to 0; values beyond `u32::MAX`
+/// saturate.
+#[must_use]
+pub fn u32_from_f64_floor(x: f64) -> u32 {
+    debug_assert!(!x.is_nan(), "count from NaN");
+    debug_assert!(x >= 0.0, "count from negative {x}");
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x as u32
+}
+
 /// Floor of an `f64` as an `i64` (saturating at the `i64` range, NaN → 0).
 ///
 /// Implemented as truncate-and-adjust rather than `x.floor() as i64`:

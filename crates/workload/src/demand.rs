@@ -81,7 +81,9 @@ impl DemandModel {
     pub fn production_progress(t: SimTime) -> f64 {
         let start = SimTime::from_date(production_start());
         let end = SimTime::from_date(Date::new(2020, 1, 1));
-        ((t - start).as_seconds() as f64 / (end - start).as_seconds() as f64).clamp(0.0, 1.0)
+        (convert::f64_from_i64((t - start).as_seconds())
+            / convert::f64_from_i64((end - start).as_seconds()))
+        .clamp(0.0, 1.0)
     }
 
     /// Allocation-year seasonal factor on utilization for a month.
@@ -110,7 +112,7 @@ impl DemandModel {
     /// Samples the system demand at `t`.
     #[must_use]
     pub fn sample(&self, t: SimTime) -> SystemDemand {
-        let secs = t.epoch_seconds() as f64;
+        let secs = convert::f64_from_i64(t.epoch_seconds());
         let progress = Self::production_progress(t);
         let month = t.date().month();
 

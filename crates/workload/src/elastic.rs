@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::Queue;
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 use crate::job::{Job, JobGenerator, Program};
 use crate::scheduler::{BackfillScheduler, TOTAL_MIDPLANES};
@@ -49,9 +50,10 @@ impl ElasticPool {
     /// current occupancy.
     #[must_use]
     pub fn occupied(&self, scheduler: &BackfillScheduler) -> u32 {
-        let busy = (scheduler.utilization() * f64::from(TOTAL_MIDPLANES)).round() as u32;
+        let busy =
+            convert::u32_from_f64_round(scheduler.utilization() * f64::from(TOTAL_MIDPLANES));
         let free = TOTAL_MIDPLANES - busy.min(TOTAL_MIDPLANES);
-        (f64::from(free) * self.fill_fraction.clamp(0.0, 1.0)).floor() as u32
+        convert::u32_from_f64_floor(f64::from(free) * self.fill_fraction.clamp(0.0, 1.0))
     }
 
     /// Combined utilization with elastic fill.

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::Queue;
 use mira_timeseries::{Duration, Month, SimTime};
+use mira_units::convert;
 
 /// Allocation program a job belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -130,7 +131,7 @@ impl JobGenerator {
             }
         } else {
             let g: f64 = self.sample_gaussian();
-            (expected + g * expected.sqrt()).max(0.0).round() as u32
+            convert::u32_from_f64_round((expected + g * expected.sqrt()).max(0.0))
         };
         (0..count).map(|_| self.draw_job(t)).collect()
     }
@@ -194,7 +195,7 @@ impl JobGenerator {
             program,
             queue,
             midplanes,
-            walltime: Duration::from_seconds((hours * 3600.0) as i64),
+            walltime: Duration::from_seconds(convert::i64_from_f64_floor(hours * 3600.0)),
             intensity,
             submitted: t,
         };

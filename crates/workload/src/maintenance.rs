@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Date, Duration, SimTime, Weekday};
+use mira_units::convert;
 
 /// Deterministic biweekly Monday maintenance windows.
 ///
@@ -56,9 +57,11 @@ impl MaintenanceSchedule {
     /// 6–10 h, varying deterministically week to week.
     #[must_use]
     pub fn window_duration(&self, monday: Date) -> Duration {
-        let week = (monday.days_since_epoch() - 4).div_euclid(7) as u64;
+        let week = (monday.days_since_epoch() - 4)
+            .div_euclid(7)
+            .cast_unsigned();
         let h = week.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(23) % 5; // 0..=4
-        Duration::from_hours(6 + h as i64)
+        Duration::from_hours(6 + convert::i64_from_u64(h))
     }
 
     /// Whether `t` falls inside a maintenance window.
@@ -83,7 +86,7 @@ impl MaintenanceSchedule {
     #[must_use]
     pub fn duty_cycle(&self) -> f64 {
         // Mean window of 8 h on every cadence-th Monday.
-        8.0 / (24.0 * 7.0 * self.cadence_weeks as f64)
+        8.0 / (24.0 * 7.0 * convert::f64_from_i64(self.cadence_weeks))
     }
 }
 

@@ -31,6 +31,9 @@ fn assert_scratch_matches_cold(times: &[SimTime]) {
     let mut scratch = engine.sweep_scratch();
     for &t in times {
         engine.sweep_step_into(t, &mut scratch);
+        // The deprecated one-shot is exactly the cold reference needed
+        // here: a fresh scratch per call.
+        #[allow(deprecated)]
         let cold = engine.sweep_step(t);
         assert_eq!(*scratch.step(), cold, "scratch diverged at {t:?}");
         // `PartialEq` on f64 conflates 0.0 with -0.0; the debug
@@ -112,6 +115,8 @@ fn plan_summary_equals_cold_fold_over_theta_quarter() {
     let mut month = u8::MAX;
     let mut t = from;
     while t < to {
+        // Cold per-step reference, deliberately not scratch-warm.
+        #[allow(deprecated)]
         let step_result = engine.sweep_step(t);
         let m = step_result.civil.date.month().number();
         if m != month {
