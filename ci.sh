@@ -18,6 +18,8 @@ cargo run -q -p mira-lint
 lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
 # Wall-time budget is advisory: timing is machine-dependent, so a slow
 # scan warns instead of failing. Tune via MIRA_LINT_TIME_BUDGET_MS.
+# Re-measured with the v4 concurrency pass: ~0.35 s debug on the CI
+# box, so 15 s still leaves an order of magnitude of headroom.
 lint_budget_ms="${MIRA_LINT_TIME_BUDGET_MS:-15000}"
 echo "    mira-lint scan: ${lint_ms} ms (budget ${lint_budget_ms} ms, warn-only)"
 if [ "$lint_ms" -gt "$lint_budget_ms" ]; then
@@ -39,14 +41,17 @@ if ! diff -u lint-allow.toml "$fresh_allowlist"; then
 fi
 
 # The sharded scan must be worker-count invariant: the full JSON
-# document (findings, order, bytes) may not change between 1 and 4
-# lint threads.
-echo "==> mira-lint determinism under MIRA_LINT_THREADS=1 vs 4"
+# document (findings, order, bytes) may not change between 1, 4, and
+# 8 lint threads. Together with the cache gate below this covers
+# RULE_VERSION 4 (the v4 concurrency rules run under both gates).
+echo "==> mira-lint determinism under MIRA_LINT_THREADS=1 vs 4 vs 8"
 lint_one="$(MIRA_LINT_THREADS=1 cargo run -q -p mira-lint -- --format json)"
 lint_four="$(MIRA_LINT_THREADS=4 cargo run -q -p mira-lint -- --format json)"
-if [ "$lint_one" != "$lint_four" ]; then
-  echo "ci: mira-lint JSON differs between 1 and 4 threads" >&2
+lint_eight="$(MIRA_LINT_THREADS=8 cargo run -q -p mira-lint -- --format json)"
+if [ "$lint_one" != "$lint_four" ] || [ "$lint_one" != "$lint_eight" ]; then
+  echo "ci: mira-lint JSON differs across 1/4/8 threads" >&2
   diff <(printf '%s' "$lint_one") <(printf '%s' "$lint_four") >&2 || true
+  diff <(printf '%s' "$lint_one") <(printf '%s' "$lint_eight") >&2 || true
   exit 1
 fi
 
@@ -64,11 +69,12 @@ if [ "$lint_cold" != "$lint_populate" ] || [ "$lint_cold" != "$lint_warm" ]; the
 fi
 
 # Every shipped rule must have a non-empty --explain text.
-echo "==> mira-lint --explain smoke (12 rules)"
+echo "==> mira-lint --explain smoke (17 rules)"
 for rule in raw-f64-in-public-api no-unwrap-in-lib lossy-cast \
   nan-unsafe-compare nondeterminism panic-reachability unit-flow \
   determinism-taint deprecated-call alloc-in-hot-path cache-purity \
-  shared-state-escape; do
+  shared-state-escape lock-order guard-across-blocking \
+  guard-across-panic atomic-ordering unjoined-thread; do
   if ! cargo run -q -p mira-lint -- --explain "$rule" | grep -q .; then
     echo "ci: --explain $rule produced no output" >&2
     exit 1

@@ -309,7 +309,7 @@ pub fn serve_with_input<R: BufRead>(
     // The shutdown banner: deterministic totals (a scripted session
     // replays byte-identically), formatted per --format.
     let queries = state.queries_served();
-    let steps = state.steps_ingested();
+    let steps = state.ingested_steps();
     match banner {
         OutputFormat::Json => writeln!(
             out,

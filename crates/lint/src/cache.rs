@@ -29,7 +29,7 @@ use crate::rules::{Finding, Rule};
 
 /// Bump on any change to rule logic, finding fields, or this file's
 /// format; every persisted cache from an older version is discarded.
-pub const RULE_VERSION: u32 = 3;
+pub const RULE_VERSION: u32 = 4;
 
 /// FNV-1a 64-bit content hash — stable across platforms and runs
 /// (unlike `DefaultHasher`, which is randomly keyed per process).

@@ -1,0 +1,559 @@
+//! The five concurrency-discipline rules (v4).
+//!
+//! All five run over the per-body concurrency facts collected by
+//! [`crate::dataflow::concurrency_facts`] (guard spans, atomic-ordering
+//! sites, spawn sites, blocking sites), lifted interprocedurally
+//! through the [`CallGraph`]:
+//!
+//! * `lock-order` — a workspace lock-acquisition graph (edge `A -> B`
+//!   when `B` is acquired, directly or through any call chain, while a
+//!   guard on `A` is live) is checked for cycles; a cycle is a deadlock
+//!   inversion and both witness sites are reported with full chains.
+//! * `guard-across-blocking` — a guard live across a blocking call
+//!   (socket/console I/O, `accept`, `recv`, `join`, `sleep`), directly
+//!   or through a call chain, serializes every other acquirer behind
+//!   that I/O.
+//! * `guard-across-panic` — a guard live across a panic-reachable call
+//!   poisons the lock if the panic fires; reuses the panic-reachability
+//!   facts.
+//! * `atomic-ordering` — per-site sanction list: `SeqCst` anywhere
+//!   (blanket strongest-ordering hides the real protocol), `Relaxed`
+//!   stores (publish nothing), and `Relaxed` loads gating an
+//!   `if`/`while` (control flow on unsynchronized state) are findings;
+//!   `Relaxed` counters and explicit acquire/release pairs pass.
+//! * `unjoined-thread` — `thread::spawn` handles must be `.join()`ed
+//!   (chained or via the bound handle) or explicitly allowed;
+//!   `thread::scope` joins by construction and never fires.
+//!
+//! Lock identity is the receiver ident of the acquiring call, qualified
+//! by crate (`serve::stats` for `self.stats.lock()` in mira-serve) so
+//! same-named fields in different crates stay distinct. Guards acquired
+//! through guard-returning workspace helpers (return type names a
+//! `MutexGuard`/`RwLockReadGuard`/`RwLockWriteGuard`) are resolved to
+//! the helper's own primary acquisition. The call graph is the same
+//! name-based over-approximation the other semantic rules use — see
+//! DESIGN.md §12 for the approximations and false-positive policy.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::{resolve_call, CallGraph};
+use crate::dataflow::{AcqKind, BlockingSite, GuardSpan, GUARD_TYPES};
+use crate::index::{FnId, SymbolIndex};
+use crate::rules::{live_panic, sem_allowed, Finding, Rule};
+
+/// One lock-order edge's witness: where the inner acquisition happens.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    /// Fn holding the outer guard.
+    holder: FnId,
+    /// Line of the inner acquisition (or of the call reaching it).
+    line: usize,
+    /// Display chain from the holder to the inner acquisition.
+    chain: Vec<String>,
+}
+
+/// Run all five concurrency rules over the workspace.
+pub(crate) fn check(index: &SymbolIndex, graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let guard_fns = guard_returning_fns(index);
+    let spans = effective_spans(index, &guard_fns);
+    let locks = transitive_locks(index, graph, &spans);
+
+    check_lock_order(index, &spans, &locks, findings);
+    check_guard_across(index, graph, &spans, findings);
+    check_atomic_ordering(index, findings);
+    check_unjoined_thread(index, findings);
+}
+
+/// Crate-qualified lock identity for a receiver ident.
+fn qualify(dir: &str, lock: &str) -> String {
+    format!("{dir}::{lock}")
+}
+
+/// Map from guard-returning workspace fns (return type names a guard
+/// type) to the qualified lock identity of their primary acquisition.
+fn guard_returning_fns(index: &SymbolIndex) -> BTreeMap<FnId, (String, AcqKind)> {
+    let mut out = BTreeMap::new();
+    for id in index.fn_ids() {
+        if index.is_test_fn(id) {
+            continue;
+        }
+        let item = index.fn_at(id);
+        if !item.ret.iter().any(|t| GUARD_TYPES.contains(&t.as_str())) {
+            continue;
+        }
+        // Primary acquisition: the first direct (non-via-call) span.
+        if let Some(g) = item.guards.iter().find(|g| !g.via_call) {
+            out.insert(id, (qualify(index.crate_of(id), &g.lock), g.kind));
+        }
+    }
+    out
+}
+
+/// Per-fn guard spans with crate-qualified lock identities and
+/// `via_call` spans resolved through the guard-returning fn map.
+/// Unresolvable `via_call` candidates (the helper is not a
+/// guard-returning workspace fn) are dropped. Test fns have no spans.
+fn effective_spans(
+    index: &SymbolIndex,
+    guard_fns: &BTreeMap<FnId, (String, AcqKind)>,
+) -> Vec<Vec<GuardSpan>> {
+    let mut out: Vec<Vec<GuardSpan>> = Vec::new();
+    for id in index.fn_ids() {
+        let mut spans = Vec::new();
+        if !index.is_test_fn(id) {
+            let dir = index.crate_of(id);
+            let item = index.fn_at(id);
+            for g in &item.guards {
+                if g.via_call {
+                    // `g.lock` holds the helper method name; resolve it
+                    // like any call site and take the id-lowest
+                    // guard-returning candidate for determinism.
+                    let mut candidates = Vec::new();
+                    resolve_call(
+                        index,
+                        dir,
+                        index.file_of(id),
+                        item.self_type.as_deref(),
+                        &crate::parser::CallKind::Method(g.lock.clone()),
+                        &mut candidates,
+                    );
+                    candidates.sort_unstable();
+                    if let Some((lock, kind)) =
+                        candidates.iter().find_map(|c| guard_fns.get(c)).cloned()
+                    {
+                        spans.push(GuardSpan {
+                            lock,
+                            kind,
+                            ..g.clone()
+                        });
+                    }
+                } else {
+                    spans.push(GuardSpan {
+                        lock: qualify(dir, &g.lock),
+                        ..g.clone()
+                    });
+                }
+            }
+        }
+        out.push(spans);
+    }
+    out
+}
+
+/// Fixpoint: the set of qualified locks each fn may acquire, directly
+/// or through any call chain.
+fn transitive_locks(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    spans: &[Vec<GuardSpan>],
+) -> Vec<BTreeSet<String>> {
+    let mut locks: Vec<BTreeSet<String>> = spans
+        .iter()
+        .map(|s| s.iter().map(|g| g.lock.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in index.fn_ids() {
+            let mut add: Vec<String> = Vec::new();
+            for &callee in graph.callees(id) {
+                for l in &locks[callee] {
+                    if !locks[id].contains(l) {
+                        add.push(l.clone());
+                    }
+                }
+            }
+            for l in add {
+                changed |= locks[id].insert(l);
+            }
+        }
+        if !changed {
+            return locks;
+        }
+    }
+}
+
+/// Build the lock-acquisition graph and report every cycle once.
+fn check_lock_order(
+    index: &SymbolIndex,
+    spans: &[Vec<GuardSpan>],
+    locks: &[BTreeSet<String>],
+    findings: &mut Vec<Finding>,
+) {
+    // Edge (outer, inner) -> witnesses in fn-id order, so an allow on
+    // one witness site does not hide the others.
+    let mut edges: BTreeMap<(String, String), Vec<EdgeWitness>> = BTreeMap::new();
+    for id in index.fn_ids() {
+        let item = index.fn_at(id);
+        for outer in &spans[id] {
+            // Direct: another acquisition while this guard is live.
+            for inner in &spans[id] {
+                if outer.covers(inner.line) {
+                    edges
+                        .entry((outer.lock.clone(), inner.lock.clone()))
+                        .or_default()
+                        .push(EdgeWitness {
+                            holder: id,
+                            line: inner.line,
+                            chain: vec![item.display_name()],
+                        });
+                }
+            }
+            // Interprocedural: a call inside the span whose callee may
+            // acquire further locks.
+            for call in &item.calls {
+                if !outer.covers(call.line) {
+                    continue;
+                }
+                for callee in resolved(index, id, &call.kind) {
+                    for inner in &locks[callee] {
+                        edges
+                            .entry((outer.lock.clone(), inner.clone()))
+                            .or_default()
+                            .push(EdgeWitness {
+                                holder: id,
+                                line: call.line,
+                                chain: vec![
+                                    item.display_name(),
+                                    index.fn_at(callee).display_name(),
+                                ],
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    let adjacency: BTreeMap<&str, BTreeSet<&str>> =
+        edges
+            .keys()
+            .fold(BTreeMap::new(), |mut adj, (outer, inner)| {
+                adj.entry(outer.as_str())
+                    .or_default()
+                    .insert(inner.as_str());
+                adj
+            });
+
+    for ((outer, inner), witnesses) in &edges {
+        let cycle = if outer == inner {
+            // Re-entrant acquisition: self-deadlock on a Mutex.
+            Some(vec![outer.clone(), inner.clone()])
+        } else if *outer < *inner {
+            // Report each two-lock cycle once, from its lexically-first
+            // edge; the reverse path proves the inversion.
+            path_between(&adjacency, inner, outer).map(|mut p| {
+                let mut cycle = vec![outer.clone()];
+                cycle.append(&mut p);
+                cycle
+            })
+        } else {
+            None
+        };
+        let Some(cycle) = cycle else { continue };
+        let Some(witness) = witnesses.iter().find(|w| {
+            let file = &index.files[index.file_of(w.holder)];
+            let item = index.fn_at(w.holder);
+            !sem_allowed(file, w.line, Rule::LockOrder)
+                && !sem_allowed(file, item.line, Rule::LockOrder)
+        }) else {
+            continue;
+        };
+        let file = &index.files[index.file_of(witness.holder)];
+        let item = index.fn_at(witness.holder);
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: witness.line,
+            column: 0,
+            rule: Rule::LockOrder,
+            matched: format!(
+                "`{}` acquires `{inner}` while holding `{outer}` ({}), closing the cycle {}",
+                item.display_name(),
+                witness.chain.join(" -> "),
+                cycle.join(" -> "),
+            ),
+            chain: cycle,
+        });
+    }
+}
+
+/// BFS path from `from` to `to` over the lock graph, inclusive of both
+/// endpoints; `None` when unreachable.
+fn path_between(
+    adjacency: &BTreeMap<&str, BTreeSet<&str>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(at) = queue.pop_front() {
+        for &next in adjacency.get(at).into_iter().flatten() {
+            if next == from || parent.contains_key(next) {
+                continue;
+            }
+            parent.insert(next, at);
+            if next == to {
+                let mut path = vec![next.to_owned()];
+                let mut walk = at;
+                loop {
+                    path.push(walk.to_owned());
+                    match parent.get(walk) {
+                        Some(&up) => walk = up,
+                        None => break,
+                    }
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+/// The first undischarged blocking site of a non-test fn, if any.
+fn live_blocking(index: &SymbolIndex, id: FnId) -> Option<&BlockingSite> {
+    if index.is_test_fn(id) {
+        return None;
+    }
+    let file = &index.files[index.file_of(id)];
+    index
+        .fn_at(id)
+        .blocking
+        .iter()
+        .find(|b| !sem_allowed(file, b.line, Rule::GuardAcrossBlocking))
+}
+
+/// `guard-across-blocking` and `guard-across-panic`: one finding per
+/// guard (its first hit), anchored at the acquisition line.
+fn check_guard_across(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    spans: &[Vec<GuardSpan>],
+    findings: &mut Vec<Finding>,
+) {
+    for id in index.fn_ids() {
+        if spans[id].is_empty() {
+            continue;
+        }
+        let file = &index.files[index.file_of(id)];
+        let item = index.fn_at(id);
+        for guard in &spans[id] {
+            let held = if guard.name.is_empty() {
+                format!("guard on `{}`", guard.lock)
+            } else {
+                format!("guard `{}` on `{}`", guard.name, guard.lock)
+            };
+
+            // Blocking: a direct site inside the span beats a chain.
+            if !sem_allowed(file, guard.line, Rule::GuardAcrossBlocking)
+                && !sem_allowed(file, item.line, Rule::GuardAcrossBlocking)
+            {
+                if let Some(b) = item.blocking.iter().find(|b| {
+                    guard.covers(b.line) && !sem_allowed(file, b.line, Rule::GuardAcrossBlocking)
+                }) {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line: guard.line,
+                        column: 0,
+                        rule: Rule::GuardAcrossBlocking,
+                        matched: format!(
+                            "{held} in `{}` is held across `{}` at line {}",
+                            item.display_name(),
+                            b.what,
+                            b.line
+                        ),
+                        chain: vec![item.display_name()],
+                    });
+                } else if let Some((names, site)) = first_reached(index, graph, id, guard, &|t| {
+                    live_blocking(index, t).map(|b| (b.line, b.what.clone()))
+                }) {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line: guard.line,
+                        column: 0,
+                        rule: Rule::GuardAcrossBlocking,
+                        matched: format!(
+                            "{held} in `{}` is held across a call that can block: {} (`{}` at {})",
+                            item.display_name(),
+                            names.join(" -> "),
+                            site.1,
+                            site.0,
+                        ),
+                        chain: names,
+                    });
+                }
+            }
+
+            // Panic: a poisoned lock wedges every later acquirer.
+            if sem_allowed(file, guard.line, Rule::GuardAcrossPanic)
+                || sem_allowed(file, item.line, Rule::GuardAcrossPanic)
+            {
+                continue;
+            }
+            if let Some(p) = item.panics.iter().find(|p| {
+                guard.covers(p.line) && !sem_allowed(file, p.line, Rule::GuardAcrossPanic)
+            }) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: guard.line,
+                    column: 0,
+                    rule: Rule::GuardAcrossPanic,
+                    matched: format!(
+                        "{held} in `{}` is held across `{}` at line {}; a panic there poisons the lock",
+                        item.display_name(),
+                        p.what,
+                        p.line
+                    ),
+                    chain: vec![item.display_name()],
+                });
+            } else if let Some((names, site)) = first_reached(index, graph, id, guard, &|t| {
+                live_panic(index, t).map(|p| (p.line, p.what.to_owned()))
+            }) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: guard.line,
+                    column: 0,
+                    rule: Rule::GuardAcrossPanic,
+                    matched: format!(
+                        "{held} in `{}` is held across a panic-reachable call: {} (`{}` at {}); \
+                         a panic there poisons the lock",
+                        item.display_name(),
+                        names.join(" -> "),
+                        site.1,
+                        site.0,
+                    ),
+                    chain: names,
+                });
+            }
+        }
+    }
+}
+
+/// The first call inside `guard`'s span (call-site order) whose chain
+/// reaches a target fn, as (display chain from holder, (line, what)).
+fn first_reached(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    holder: FnId,
+    guard: &GuardSpan,
+    target: &dyn Fn(FnId) -> Option<(usize, String)>,
+) -> Option<(Vec<String>, (usize, String))> {
+    let item = index.fn_at(holder);
+    for call in &item.calls {
+        if !guard.covers(call.line) {
+            continue;
+        }
+        for callee in resolved(index, holder, &call.kind) {
+            let Some(chain) = graph.first_chain_to(callee, &|t| target(t).is_some()) else {
+                continue;
+            };
+            let Some(&sink) = chain.last() else { continue };
+            let Some(site) = target(sink) else { continue };
+            let sink_file = &index.files[index.file_of(sink)];
+            let mut names = vec![item.display_name()];
+            names.extend(chain.iter().map(|&t| index.fn_at(t).display_name()));
+            return Some((
+                names,
+                (site.0, format!("{} at {}", site.1, sink_file.rel.display())),
+            ));
+        }
+    }
+    None
+}
+
+/// Resolve one call site into id-sorted candidate callees, test fns
+/// and self-calls excluded (mirrors [`CallGraph::build`]).
+fn resolved(index: &SymbolIndex, caller: FnId, kind: &crate::parser::CallKind) -> Vec<FnId> {
+    let mut out = Vec::new();
+    resolve_call(
+        index,
+        index.crate_of(caller),
+        index.file_of(caller),
+        index.fn_at(caller).self_type.as_deref(),
+        kind,
+        &mut out,
+    );
+    out.retain(|&c| c != caller && !index.is_test_fn(c));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Per-site atomic-ordering sanction list.
+fn check_atomic_ordering(index: &SymbolIndex, findings: &mut Vec<Finding>) {
+    for id in index.fn_ids() {
+        if index.is_test_fn(id) {
+            continue;
+        }
+        let file = &index.files[index.file_of(id)];
+        let item = index.fn_at(id);
+        for site in &item.orderings {
+            let verdict = match site.ordering.as_str() {
+                "SeqCst" => Some(
+                    "`SeqCst` is the blanket strongest ordering; name the actual protocol \
+                     (`Acquire` load / `Release` store) instead",
+                ),
+                "Relaxed" if site.op == "store" => {
+                    Some("a `Relaxed` store publishes nothing to other threads")
+                }
+                "Relaxed" if site.op == "load" && site.gates_branch => {
+                    Some("a `Relaxed` load gating control flow reads unsynchronized state")
+                }
+                _ => None,
+            };
+            let Some(why) = verdict else { continue };
+            if sem_allowed(file, site.line, Rule::AtomicOrdering)
+                || sem_allowed(file, item.line, Rule::AtomicOrdering)
+            {
+                continue;
+            }
+            let op = if site.op.is_empty() {
+                "atomic op".to_owned()
+            } else {
+                format!("`{}`", site.op)
+            };
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: site.line,
+                column: 0,
+                rule: Rule::AtomicOrdering,
+                matched: format!(
+                    "{op} with `Ordering::{}` in `{}`: {why}",
+                    site.ordering,
+                    item.display_name()
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Every `thread::spawn` handle must be joined or allowed.
+fn check_unjoined_thread(index: &SymbolIndex, findings: &mut Vec<Finding>) {
+    for id in index.fn_ids() {
+        if index.is_test_fn(id) {
+            continue;
+        }
+        let file = &index.files[index.file_of(id)];
+        let item = index.fn_at(id);
+        for spawn in &item.spawns {
+            if spawn.joined
+                || sem_allowed(file, spawn.line, Rule::UnjoinedThread)
+                || sem_allowed(file, item.line, Rule::UnjoinedThread)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: spawn.line,
+                column: 0,
+                rule: Rule::UnjoinedThread,
+                matched: format!(
+                    "`thread::spawn` in `{}` whose JoinHandle is never joined; \
+                     panics in the detached thread are silently lost",
+                    item.display_name()
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+}

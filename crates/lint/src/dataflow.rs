@@ -48,6 +48,9 @@ pub enum BindClass {
     Heap,
     /// A `mira-units` newtype.
     Unit,
+    /// A lock guard (`MutexGuard`, `RwLockReadGuard`, `RwLockWriteGuard`
+    /// annotation, or a `lock()/read()/write()` initializer).
+    Guard,
     /// Annotated with something else (known, but none of the above).
     Other,
 }
@@ -84,6 +87,85 @@ pub struct PuritySite {
     /// atomics are excluded — they are the sanctioned slot-per-shard
     /// discipline.
     pub shared: bool,
+}
+
+/// How a lock was acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `Mutex::lock` (exclusive).
+    Lock,
+    /// `RwLock::read` (shared).
+    Read,
+    /// `RwLock::write` (exclusive).
+    Write,
+}
+
+/// One lock acquisition in a fn body: a `let`-bound guard live until
+/// `end_line` (end of scope, `drop(guard)`, or a shadowing rebind), or
+/// a statement temporary (`end_line == line`).
+#[derive(Debug, Clone)]
+pub struct GuardSpan {
+    /// Binding name; empty for temporaries and `match` scrutinees.
+    pub name: String,
+    /// Lock identity: the receiver ident of the acquiring call
+    /// (`"stats"` for `self.stats.lock()`), or — when [`Self::via_call`]
+    /// — the helper method name pending interprocedural resolution.
+    pub lock: String,
+    /// Acquired through a call to a guard-returning workspace fn
+    /// (`self.lock_stats()`); resolved by the concurrency pass.
+    pub via_call: bool,
+    /// Acquisition mode (placeholder [`AcqKind::Lock`] while
+    /// [`Self::via_call`] is unresolved).
+    pub kind: AcqKind,
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// 1-based last line on which the guard is live.
+    pub end_line: usize,
+}
+
+impl GuardSpan {
+    /// Whether a body line falls inside the live span, excluding the
+    /// acquisition line itself (same-statement chains are not "across"
+    /// the guard).
+    #[must_use]
+    pub fn covers(&self, line: usize) -> bool {
+        line > self.line && line <= self.end_line
+    }
+}
+
+/// One `Ordering::X` argument to an atomic operation.
+#[derive(Debug, Clone)]
+pub struct OrderingSite {
+    /// 1-based line.
+    pub line: usize,
+    /// `Relaxed` / `Acquire` / `Release` / `AcqRel` / `SeqCst`.
+    pub ordering: String,
+    /// The atomic method consuming it (`load`, `store`, `fetch_add`,
+    /// ...); empty when not attributable.
+    pub op: String,
+    /// The call feeds an `if`/`while` condition directly — a `Relaxed`
+    /// load here gates control flow on unsynchronized state.
+    pub gates_branch: bool,
+}
+
+/// One `thread::spawn(..)` producing a `JoinHandle`.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line.
+    pub line: usize,
+    /// `.join()` was observed — chained on the call or later on the
+    /// `let`-bound handle.
+    pub joined: bool,
+}
+
+/// One potentially blocking call: socket/console I/O, `accept`,
+/// channel `recv`, thread `join`, `sleep`.
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// 1-based line.
+    pub line: usize,
+    /// What was matched (`.read_line()`, `thread::sleep`, ...).
+    pub what: String,
 }
 
 /// Heap-owning std types whose constructors allocate.
@@ -157,6 +239,9 @@ const INTERIOR_MUT_TYPES: [&str; 6] = [
 /// sanctioned.
 const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
 
+/// Guard types, as they appear in annotations and return types.
+pub const GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
 fn interior_mut_what(name: &str) -> &'static str {
     match name {
         "Cell" => "interior mutability (Cell)",
@@ -171,7 +256,9 @@ fn interior_mut_what(name: &str) -> &'static str {
 /// Classify a list of type identifiers (from an annotation or a
 /// parameter type).
 fn classify_idents<S: AsRef<str>>(idents: &[S], unit_types: &[&str]) -> BindClass {
-    if idents.iter().any(|s| HASH_TYPES.contains(&s.as_ref())) {
+    if idents.iter().any(|s| GUARD_TYPES.contains(&s.as_ref())) {
+        BindClass::Guard
+    } else if idents.iter().any(|s| HASH_TYPES.contains(&s.as_ref())) {
         BindClass::Hash
     } else if idents.iter().any(|s| HEAP_TYPES.contains(&s.as_ref())) {
         BindClass::Heap
@@ -395,6 +482,19 @@ pub fn analyze(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
                                 class = BindClass::Heap;
                             }
                         }
+                        // `= <recv>.lock()/.read()/.write()` initializers
+                        // bind guards.
+                        if class == BindClass::Other {
+                            let mut m = k + 1;
+                            while m < toks.len() && !punct_at(toks, m, b';') {
+                                if acquisition_at(toks, m).is_some() && punct_at(toks, m - 1, b'.')
+                                {
+                                    class = BindClass::Guard;
+                                    break;
+                                }
+                                m += 1;
+                            }
+                        }
                     }
                     if class != BindClass::Other {
                         bindings.insert(name.to_owned(), (class, Origin::Local));
@@ -603,7 +703,7 @@ pub fn analyze(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
             // Receiver resolved to a deterministic container: proof it
             // is *not* hash iteration (the pre-dataflow heuristic fired
             // here).
-            Some(BindClass::Heap | BindClass::Unit | BindClass::Other) => false,
+            Some(BindClass::Heap | BindClass::Unit | BindClass::Guard | BindClass::Other) => false,
             // Unresolved (field, call result): only the keyed method
             // names count, and only when a hash type appears in the
             // body at all.
@@ -614,6 +714,471 @@ pub fn analyze(toks: &[Token], item: &mut FnItem, unit_types: &[&str]) {
                 line: cand.line,
                 what: "HashMap/HashSet iteration order",
             });
+        }
+    }
+}
+
+// --- Concurrency facts --------------------------------------------------
+
+/// Result adapters that pass a guard through unchanged — a chain of
+/// these after an acquisition still ends in the statement's binding.
+const GUARD_ADAPTERS: [&str; 6] = [
+    "expect",
+    "into_inner",
+    "map_err",
+    "ok",
+    "unwrap",
+    "unwrap_or_else",
+];
+
+/// Method calls that can block the calling thread.
+const BLOCKING_METHODS: [&str; 10] = [
+    "accept",
+    "connect",
+    "flush",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "write_all",
+    "write_fmt",
+];
+
+/// Std stream handles whose locks are per-thread reentrant and intended
+/// to be held across I/O — never guard hazards.
+const STD_STREAM_LOCKS: [&str; 3] = ["stderr", "stdin", "stdout"];
+
+/// The five atomic memory orderings.
+const ORDERINGS: [&str; 5] = ["AcqRel", "Acquire", "Relaxed", "Release", "SeqCst"];
+
+/// `lock()`/`read()`/`write()` with an *empty* argument list at `i` —
+/// the zero-arg signatures of `Mutex`/`RwLock` acquisition, which is
+/// what keeps `io::Read::read(&mut buf)` and `slice::join(sep)` out.
+fn acquisition_at(toks: &[Token], i: usize) -> Option<AcqKind> {
+    let kind = match ident_str(toks, i) {
+        Some("lock") => AcqKind::Lock,
+        Some("read") => AcqKind::Read,
+        Some("write") => AcqKind::Write,
+        _ => return None,
+    };
+    (punct_at(toks, i + 1, b'(') && punct_at(toks, i + 2, b')')).then_some(kind)
+}
+
+/// Balanced-group-aware receiver of the method at `i`:
+/// `slots[i].lock()` → `slots`, `stdout().lock()` → `stdout`,
+/// `self.stats.lock()` → `stats`.
+fn receiver_ident(toks: &[Token], method: usize) -> Option<&str> {
+    if method < 2 || !punct_at(toks, method - 1, b'.') {
+        return None;
+    }
+    let mut j = method - 2;
+    for (open, close) in [(b'(', b')'), (b'[', b']')] {
+        if punct_at(toks, j, close) {
+            let mut depth = 0usize;
+            loop {
+                if punct_at(toks, j, close) {
+                    depth += 1;
+                } else if punct_at(toks, j, open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+        }
+    }
+    ident_str(toks, j)
+}
+
+/// Index just past the `)` matching the `(` at `i`.
+fn skip_parens(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if punct_at(toks, j, b'(') {
+            depth += 1;
+        } else if punct_at(toks, j, b')') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Where the value produced just before `k` flows, after skipping `?`
+/// and guard-adapter chains.
+enum Flow {
+    /// `;` or `else` ends the statement — a `let` head binds it.
+    Stmt,
+    /// `{` — a `match`/`if let` block consumes it.
+    Block,
+    /// Consumed mid-expression: a temporary.
+    Expr,
+}
+
+fn flow_after(toks: &[Token], mut k: usize) -> Flow {
+    loop {
+        if punct_at(toks, k, b'?') {
+            k += 1;
+        } else if punct_at(toks, k, b'.')
+            && ident_str(toks, k + 1).is_some_and(|m| GUARD_ADAPTERS.contains(&m))
+            && punct_at(toks, k + 2, b'(')
+        {
+            k = skip_parens(toks, k + 2);
+        } else {
+            break;
+        }
+    }
+    if punct_at(toks, k, b';') || ident_str(toks, k) == Some("else") {
+        Flow::Stmt
+    } else if punct_at(toks, k, b'{') {
+        Flow::Block
+    } else {
+        Flow::Expr
+    }
+}
+
+/// Index of the first token of the statement containing `i`.
+fn stmt_start(toks: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        if matches!(&toks[j - 1].tok, Tok::P(b';' | b'{' | b'}')) {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// The binding context of the statement starting at `s`.
+enum Head {
+    /// `let [mut] name =` / `let Pat(name) =`.
+    Let(String),
+    /// `if let` / `while let` — the binding lives in the block.
+    CondLet(String),
+    /// `match <scrutinee> {` — anonymous scrutinee temporary.
+    Match,
+    /// No binding.
+    None,
+}
+
+fn stmt_head(toks: &[Token], s: usize) -> Head {
+    let mut j = s;
+    let conditional = matches!(ident_str(toks, j), Some("if" | "while"));
+    if conditional {
+        j += 1;
+    }
+    if ident_str(toks, j) == Some("match") {
+        return Head::Match;
+    }
+    if ident_str(toks, j) != Some("let") {
+        return Head::None;
+    }
+    j += 1;
+    while ident_str(toks, j) == Some("mut") {
+        j += 1;
+    }
+    let Some(first) = ident_str(toks, j) else {
+        return Head::None;
+    };
+    let name = if punct_at(toks, j + 1, b'(') {
+        // One-level tuple-variant pattern: `Ok(guard)` / `Some(mut g)`.
+        let mut k = j + 2;
+        if ident_str(toks, k) == Some("mut") {
+            k += 1;
+        }
+        match ident_str(toks, k) {
+            Some(inner) if punct_at(toks, k + 1, b')') => inner,
+            _ => return Head::None,
+        }
+    } else {
+        first
+    };
+    if conditional {
+        Head::CondLet(name.to_owned())
+    } else {
+        Head::Let(name.to_owned())
+    }
+}
+
+/// `module :: name (` at `i` (on `name`)?
+fn path_call_on(toks: &[Token], i: usize, module: &str) -> bool {
+    i >= 3
+        && punct_at(toks, i - 1, b':')
+        && punct_at(toks, i - 2, b':')
+        && ident_str(toks, i - 3) == Some(module)
+        && punct_at(toks, i + 1, b'(')
+}
+
+/// The atomic method consuming the `Ordering::` path at `i`, plus
+/// whether that call's receiver chain sits directly under an `if` /
+/// `while` condition (walking back over `.`-chains and `!` only — `&&`
+/// compounds are not seen).
+fn ordering_op(toks: &[Token], i: usize) -> (String, bool) {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].tok {
+            Tok::P(b')') => depth += 1,
+            Tok::P(b'(') => {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                let Some(op) = (j > 0).then(|| ident_str(toks, j - 1)).flatten() else {
+                    return (String::new(), false);
+                };
+                let mut k = j - 1;
+                while k >= 2 && punct_at(toks, k - 1, b'.') && ident_str(toks, k - 2).is_some() {
+                    k -= 2;
+                }
+                let mut b = k;
+                while b > 0 && punct_at(toks, b - 1, b'!') {
+                    b -= 1;
+                }
+                let gates = b > 0 && matches!(ident_str(toks, b - 1), Some("if" | "while"));
+                return (op.to_owned(), gates);
+            }
+            Tok::P(b';' | b'{' | b'}') if depth == 0 => break,
+            _ => {}
+        }
+    }
+    (String::new(), false)
+}
+
+/// Collect guard spans, atomic-ordering sites, spawn sites, and
+/// blocking-call sites for one body. A separate walk from [`analyze`]:
+/// guard lifetimes need brace-depth scope tracking that the flat
+/// binding table deliberately ignores.
+#[allow(clippy::too_many_lines)]
+pub fn concurrency_facts(toks: &[Token], item: &mut FnItem) {
+    let mut depth = 0usize;
+    // (guard index, scope depth) of spans still live.
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    // (spawn index, handle name) of let-bound spawn handles.
+    let mut handles: Vec<(usize, String)> = Vec::new();
+    // Locals bound to `stdout()`/`stdin()`/`stderr()`: locking those is
+    // console buffering, not data-lock acquisition.
+    let mut streams: Vec<String> = Vec::new();
+
+    // Ends every live span named `name` at `line` (drop / shadowing).
+    fn end_named(
+        guards: &mut [GuardSpan],
+        live: &mut Vec<(usize, usize)>,
+        name: &str,
+        line: usize,
+    ) {
+        live.retain(|&(gi, _)| {
+            if guards[gi].name == name {
+                guards[gi].end_line = line;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let mut i = 0;
+    while i < toks.len() {
+        let line = toks[i].line;
+        let Tok::Ident(w) = &toks[i].tok else {
+            if punct_at(toks, i, b'{') {
+                depth += 1;
+            } else if punct_at(toks, i, b'}') {
+                depth = depth.saturating_sub(1);
+                live.retain(|&(gi, d)| {
+                    if d > depth {
+                        item.guards[gi].end_line = line;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            i += 1;
+            continue;
+        };
+        let w = w.as_str();
+        let is_method = i >= 1 && punct_at(toks, i - 1, b'.');
+
+        match w {
+            // A rebind of a live guard's name releases the old guard.
+            "let" => {
+                let mut j = i + 1;
+                while ident_str(toks, j) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = ident_str(toks, j).map(str::to_owned) {
+                    end_named(&mut item.guards, &mut live, &name, line);
+                }
+            }
+            // Explicit early release: `drop(guard)`.
+            "drop" if punct_at(toks, i + 1, b'(') && punct_at(toks, i + 3, b')') => {
+                if let Some(name) = ident_str(toks, i + 2).map(str::to_owned) {
+                    end_named(&mut item.guards, &mut live, &name, line);
+                }
+            }
+            "Ordering" if punct_at(toks, i + 1, b':') && punct_at(toks, i + 2, b':') => {
+                if let Some(ord) = ident_str(toks, i + 3) {
+                    if ORDERINGS.contains(&ord) {
+                        let (op, gates_branch) = ordering_op(toks, i);
+                        item.orderings.push(OrderingSite {
+                            line,
+                            ordering: ord.to_owned(),
+                            op,
+                            gates_branch,
+                        });
+                    }
+                }
+            }
+            // `thread::spawn(..)` — scoped `scope.spawn` is a method
+            // call and never lands here.
+            "spawn" if path_call_on(toks, i, "thread") => {
+                let after = skip_parens(toks, i + 1);
+                let joined = punct_at(toks, after, b'.')
+                    && ident_str(toks, after + 1) == Some("join")
+                    && punct_at(toks, after + 2, b'(');
+                let si = item.spawns.len();
+                item.spawns.push(SpawnSite { line, joined });
+                if !joined {
+                    if let Head::Let(name) | Head::CondLet(name) =
+                        stmt_head(toks, stmt_start(toks, i))
+                    {
+                        handles.push((si, name));
+                    }
+                }
+            }
+            "sleep" if path_call_on(toks, i, "thread") => {
+                item.blocking.push(BlockingSite {
+                    line,
+                    what: "thread::sleep".to_owned(),
+                });
+            }
+            // `let out = stdout();` — remember the alias so a later
+            // `out.lock()` stays exempt like `stdout().lock()`.
+            "stdout" | "stdin" | "stderr"
+                if !is_method && punct_at(toks, i + 1, b'(') && punct_at(toks, i + 2, b')') =>
+            {
+                if let Head::Let(name) | Head::CondLet(name) = stmt_head(toks, stmt_start(toks, i))
+                {
+                    streams.push(name);
+                }
+            }
+            _ => {
+                if let Some(kind) = acquisition_at(toks, i).filter(|_| is_method) {
+                    let recv = receiver_ident(toks, i).unwrap_or("").to_owned();
+                    if !STD_STREAM_LOCKS.contains(&recv.as_str()) && !streams.contains(&recv) {
+                        let flow = flow_after(toks, skip_parens(toks, i + 1));
+                        let head = stmt_head(toks, stmt_start(toks, i));
+                        let bound = match (flow, head) {
+                            (Flow::Stmt | Flow::Block, Head::Let(n)) => Some((n, depth)),
+                            (Flow::Stmt | Flow::Block, Head::CondLet(n)) => Some((n, depth + 1)),
+                            (Flow::Block, Head::Match | Head::None) => {
+                                Some((String::new(), depth + 1))
+                            }
+                            _ => None,
+                        };
+                        let gi = item.guards.len();
+                        let (name, end_line) = match &bound {
+                            Some((n, _)) => (n.clone(), line),
+                            None => (String::new(), line),
+                        };
+                        item.guards.push(GuardSpan {
+                            name,
+                            lock: recv,
+                            via_call: false,
+                            kind,
+                            line,
+                            end_line,
+                        });
+                        if let Some((_, d)) = bound {
+                            live.push((gi, d));
+                        }
+                    }
+                } else if is_method && BLOCKING_METHODS.contains(&w) && call_paren_follows(toks, i)
+                {
+                    item.blocking.push(BlockingSite {
+                        line,
+                        what: format!(".{w}(..)"),
+                    });
+                } else if is_method
+                    && w == "join"
+                    && punct_at(toks, i + 1, b'(')
+                    && punct_at(toks, i + 2, b')')
+                {
+                    // Zero-arg `.join()`: a thread-handle join, not
+                    // `slice::join(sep)`.
+                    item.blocking.push(BlockingSite {
+                        line,
+                        what: "thread join".to_owned(),
+                    });
+                } else if !is_method
+                    && w == "connect"
+                    && i >= 2
+                    && punct_at(toks, i - 1, b':')
+                    && punct_at(toks, i - 2, b':')
+                    && punct_at(toks, i + 1, b'(')
+                {
+                    item.blocking.push(BlockingSite {
+                        line,
+                        what: "::connect(..)".to_owned(),
+                    });
+                } else if is_method && punct_at(toks, i + 1, b'(') && !GUARD_ADAPTERS.contains(&w) {
+                    // A let-bound method-call result is a candidate
+                    // guard acquired through a helper
+                    // (`let g = self.lock_stats();`) — kept only if the
+                    // concurrency pass resolves the method to a
+                    // guard-returning workspace fn.
+                    let flow = flow_after(toks, skip_parens(toks, i + 1));
+                    let head = stmt_head(toks, stmt_start(toks, i));
+                    let bound = match (flow, head) {
+                        (Flow::Stmt | Flow::Block, Head::Let(n)) => Some((n, depth)),
+                        (Flow::Stmt | Flow::Block, Head::CondLet(n)) => Some((n, depth + 1)),
+                        _ => None,
+                    };
+                    if let Some((name, d)) = bound {
+                        let gi = item.guards.len();
+                        item.guards.push(GuardSpan {
+                            name,
+                            lock: w.to_owned(),
+                            via_call: true,
+                            kind: AcqKind::Lock,
+                            line,
+                            end_line: line,
+                        });
+                        live.push((gi, d));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let last_line = toks.last().map_or(0, |t| t.line);
+    for (gi, _) in live {
+        item.guards[gi].end_line = last_line;
+    }
+
+    // Resolve `.join()` on let-bound spawn handles anywhere in the body.
+    for (si, name) in handles {
+        let mut j = 0;
+        while j + 3 < toks.len() {
+            if ident_str(toks, j) == Some(name.as_str())
+                && punct_at(toks, j + 1, b'.')
+                && ident_str(toks, j + 2) == Some("join")
+                && punct_at(toks, j + 3, b'(')
+            {
+                item.spawns[si].joined = true;
+                break;
+            }
+            j += 1;
         }
     }
 }
@@ -806,5 +1371,167 @@ mod tests {
         let whats: Vec<_> = item.impurities.iter().map(|p| p.what).collect();
         assert!(whats.contains(&"static item in fn body"));
         assert!(whats.contains(&"thread_local! state"));
+    }
+
+    // ----- concurrency facts -----
+
+    #[test]
+    fn let_bound_guard_lives_to_scope_end() {
+        let item = first_fn(
+            "fn f(&self) {\n    let g = self.stats.lock().unwrap();\n    g.bump();\n    g.bump();\n}\n",
+        );
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert_eq!((g.name.as_str(), g.lock.as_str()), ("g", "stats"));
+        assert_eq!(g.kind, AcqKind::Lock);
+        assert!(!g.via_call);
+        assert_eq!((g.line, g.end_line), (2, 4));
+        assert!(g.covers(3) && g.covers(4) && !g.covers(2));
+    }
+
+    #[test]
+    fn match_scrutinee_guard_is_an_anonymous_block_span() {
+        // The poisoned-lock recovery idiom: the guard escapes the match
+        // through both arms, so it is live for the whole enclosing
+        // block even though no binding names it at statement level.
+        let item = first_fn(
+            "fn f(&self) -> Guard {\n    match self.sweep.read() {\n        Ok(guard) => guard,\n        Err(poisoned) => poisoned.into_inner(),\n    }\n}\n",
+        );
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert_eq!((g.name.as_str(), g.lock.as_str()), ("", "sweep"));
+        assert_eq!(g.kind, AcqKind::Read);
+        assert!(g.end_line >= 5, "live through the match: {}", g.end_line);
+    }
+
+    #[test]
+    fn if_let_guard_covers_the_block_only() {
+        let item = first_fn(
+            "fn f(&self) {\n    if let Ok(mut slot) = self.slots.lock() {\n        slot.store(1);\n    }\n    self.after();\n}\n",
+        );
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert_eq!((g.name.as_str(), g.lock.as_str()), ("slot", "slots"));
+        assert!(g.covers(3), "body line covered");
+        assert!(!g.covers(5), "line after the block not covered");
+    }
+
+    #[test]
+    fn drop_releases_the_guard_early() {
+        let item = first_fn(
+            "fn f(&self) {\n    let g = self.stats.lock().unwrap();\n    g.bump();\n    drop(g);\n    self.slow_io();\n}\n",
+        );
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert_eq!(g.end_line, 4, "span ends at the drop");
+        assert!(!g.covers(5));
+    }
+
+    #[test]
+    fn shadowing_rebind_ends_the_previous_span() {
+        let item = first_fn(
+            "fn f(&self) {\n    let g = self.a.lock().unwrap();\n    g.bump();\n    let g = self.b.lock().unwrap();\n    g.bump();\n}\n",
+        );
+        assert_eq!(item.guards.len(), 2);
+        assert_eq!(item.guards[0].lock, "a");
+        assert_eq!(item.guards[0].end_line, 4, "shadow ends the first span");
+        assert_eq!(item.guards[1].lock, "b");
+        assert_eq!(item.guards[1].end_line, 5);
+    }
+
+    #[test]
+    fn statement_temporary_covers_nothing() {
+        let item = first_fn(
+            "fn f(&self) {\n    *self.slot.lock().unwrap() = Some(1);\n    self.next();\n}\n",
+        );
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert_eq!((g.line, g.end_line), (2, 2));
+        assert!(!g.covers(3));
+    }
+
+    #[test]
+    fn std_stream_locks_are_exempt() {
+        let item = first_fn(
+            "fn f() {\n    let out = std::io::stdout();\n    let mut h = out.lock();\n    let g = stdout().lock();\n}\n",
+        );
+        assert!(item.guards.is_empty(), "{:?}", item.guards);
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_not_acquisitions() {
+        // `Read::read(&mut buf)` / `Write::write(&buf)` take arguments;
+        // only empty-parens `lock()/read()/write()` acquire directly.
+        // (They remain via-call *candidates*, culled later unless the
+        // method resolves to a guard-returning workspace fn.)
+        let item = first_fn(
+            "fn f(s: &mut TcpStream, buf: &mut [u8]) {\n    let n = s.read(buf).unwrap();\n    let m = s.write(buf).unwrap();\n}\n",
+        );
+        assert!(item.guards.iter().all(|g| g.via_call), "{:?}", item.guards);
+    }
+
+    #[test]
+    fn helper_call_guard_is_a_via_call_candidate() {
+        let item =
+            first_fn("fn f(&self) {\n    let stats = self.lock_stats();\n    stats.bump();\n}\n");
+        assert_eq!(item.guards.len(), 1);
+        let g = &item.guards[0];
+        assert!(g.via_call);
+        assert_eq!(g.lock, "lock_stats", "helper name pending resolution");
+        assert_eq!(g.end_line, 3);
+    }
+
+    #[test]
+    fn scope_spawns_are_exempt_and_bare_spawns_are_tracked() {
+        // thread::scope joins by construction: no spawn site recorded.
+        let scoped = first_fn(
+            "fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| work());\n    });\n}\n",
+        );
+        assert!(scoped.spawns.is_empty(), "{:?}", scoped.spawns);
+
+        let joined = first_fn(
+            "fn f() {\n    let h = std::thread::spawn(|| work());\n    h.join().unwrap();\n}\n",
+        );
+        assert_eq!(joined.spawns.len(), 1);
+        assert!(joined.spawns[0].joined);
+
+        let chained = first_fn("fn f() {\n    std::thread::spawn(|| work()).join().unwrap();\n}\n");
+        assert_eq!(chained.spawns.len(), 1);
+        assert!(chained.spawns[0].joined);
+
+        let detached = first_fn("fn f() {\n    std::thread::spawn(|| work());\n}\n");
+        assert_eq!(detached.spawns.len(), 1);
+        assert!(!detached.spawns[0].joined);
+    }
+
+    #[test]
+    fn ordering_sites_attribute_op_and_branch() {
+        let item = first_fn(
+            "fn f(&self) {\n    self.flag.store(true, Ordering::Release);\n    if self.flag.load(Ordering::Relaxed) {\n        work();\n    }\n    self.count.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        let by_line: Vec<_> = item
+            .orderings
+            .iter()
+            .map(|o| (o.line, o.op.as_str(), o.ordering.as_str(), o.gates_branch))
+            .collect();
+        assert_eq!(
+            by_line,
+            vec![
+                (2, "store", "Release", false),
+                (3, "load", "Relaxed", true),
+                (6, "fetch_add", "Relaxed", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_sites_cover_io_join_and_sleep() {
+        let item = first_fn(
+            "fn f(s: &mut TcpStream, h: JoinHandle<()>) {\n    s.write_all(b\"x\").unwrap();\n    std::thread::sleep(ms);\n    h.join().unwrap();\n}\n",
+        );
+        let whats: Vec<_> = item.blocking.iter().map(|b| b.what.as_str()).collect();
+        assert!(whats.contains(&".write_all(..)"), "{whats:?}");
+        assert!(whats.contains(&"thread::sleep"), "{whats:?}");
+        assert!(whats.contains(&"thread join"), "{whats:?}");
     }
 }

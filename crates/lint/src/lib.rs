@@ -21,11 +21,17 @@
 //! | `alloc-in-hot-path` | no allocation reachable from the sweep hot roots |
 //! | `cache-purity` | fns feeding memo layers are pure |
 //! | `shared-state-escape` | no shared mutable state under spawned work |
+//! | `lock-order` | no cycle in the workspace lock-acquisition graph |
+//! | `guard-across-blocking` | no guard held across blocking I/O |
+//! | `guard-across-panic` | no guard held across a panic-reachable call |
+//! | `atomic-ordering` | orderings name the protocol, no blanket `SeqCst` |
+//! | `unjoined-thread` | every `thread::spawn` handle is joined |
 //!
-//! The first five are *line* rules; the last seven are *semantic* rules
+//! The first five are *line* rules; the rest are *semantic* rules
 //! that run over a workspace [`index::SymbolIndex`] and
-//! [`callgraph::CallGraph`] built by [`parser`] (the last three also
-//! over the per-body facts from [`dataflow`]). Files are scanned in
+//! [`callgraph::CallGraph`] built by [`parser`] (several also over the
+//! per-body facts from [`dataflow`]; the five lock/atomic/thread rules
+//! live in [`concurrency`]). Files are scanned in
 //! parallel (`MIRA_LINT_THREADS`, same shard-claim discipline as
 //! `mira-core::sweep`) and findings merge in deterministic file order,
 //! so output is byte-identical at any worker count — and byte-identical
@@ -41,6 +47,7 @@
 pub mod allowlist;
 pub mod cache;
 pub mod callgraph;
+pub(crate) mod concurrency;
 pub mod dataflow;
 pub mod index;
 pub mod lexer;

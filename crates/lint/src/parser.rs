@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
-use crate::dataflow::{AllocSite, PuritySite};
+use crate::dataflow::{AllocSite, BlockingSite, GuardSpan, OrderingSite, PuritySite, SpawnSite};
 use crate::lexer::{scrub, SourceLine};
 
 /// One lexical token of the scrubbed source.
@@ -247,6 +247,15 @@ pub struct FnItem {
     pub allocs: Vec<AllocSite>,
     /// Purity hazards in the body (from [`crate::dataflow`]).
     pub impurities: Vec<PuritySite>,
+    /// Lock-guard acquisitions and their live spans (from
+    /// [`crate::dataflow::concurrency_facts`]).
+    pub guards: Vec<GuardSpan>,
+    /// `Ordering::` arguments to atomic operations.
+    pub orderings: Vec<OrderingSite>,
+    /// `thread::spawn` handle sites.
+    pub spawns: Vec<SpawnSite>,
+    /// Potentially blocking calls (I/O, accept, recv, join, sleep).
+    pub blocking: Vec<BlockingSite>,
 }
 
 impl FnItem {
@@ -767,6 +776,10 @@ impl Parser<'_> {
             hazards: Vec::new(),
             allocs: Vec::new(),
             impurities: Vec::new(),
+            guards: Vec::new(),
+            orderings: Vec::new(),
+            spawns: Vec::new(),
+            blocking: Vec::new(),
         };
 
         if self.is_punct(0, b'{') {
@@ -774,6 +787,7 @@ impl Parser<'_> {
             let body = &self.toks[self.pos..close.min(self.toks.len())];
             scan_body(body, &mut item, self.unit_types);
             crate::dataflow::analyze(body, &mut item, self.unit_types);
+            crate::dataflow::concurrency_facts(body, &mut item);
             self.pos = close.saturating_add(1).min(self.toks.len());
         } else {
             self.pos += 1; // `;`

@@ -1,10 +1,11 @@
-//! The twelve domain-invariant rules.
+//! The seventeen domain-invariant rules.
 //!
 //! Five *line* rules scan the line-oriented view produced by
-//! [`crate::lexer`]; seven *semantic* rules run over the workspace
+//! [`crate::lexer`]; twelve *semantic* rules run over the workspace
 //! [`SymbolIndex`] and [`CallGraph`] (three of them additionally over
-//! the per-body facts from [`crate::dataflow`]) and can see across
-//! files and crates. Every rule emits [`Finding`]s with a stable
+//! the per-body facts from [`crate::dataflow`], and the five
+//! concurrency rules in [`crate::concurrency`] over the guard/atomic/
+//! spawn facts) and can see across files and crates. Every rule emits [`Finding`]s with a stable
 //! machine-readable identity (file, line, column, rule name) plus a
 //! human suggestion. Rules only fire in library code: `#[cfg(test)]`
 //! regions and test-only files are exempt, and the workspace walker
@@ -113,11 +114,22 @@ pub enum Rule {
     CachePurity,
     /// No interior-mutable/static state reachable from spawned work.
     SharedStateEscape,
+    /// No cycle in the workspace lock-acquisition graph.
+    LockOrder,
+    /// No guard held across a blocking call.
+    GuardAcrossBlocking,
+    /// No guard held across a panic-reachable call.
+    GuardAcrossPanic,
+    /// No blanket `SeqCst`, `Relaxed` store, or branch-gating
+    /// `Relaxed` load.
+    AtomicOrdering,
+    /// Every `thread::spawn` handle must be joined.
+    UnjoinedThread,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 17] = [
         Rule::RawF64InPublicApi,
         Rule::NoUnwrapInLib,
         Rule::LossyCast,
@@ -130,6 +142,11 @@ impl Rule {
         Rule::AllocInHotPath,
         Rule::CachePurity,
         Rule::SharedStateEscape,
+        Rule::LockOrder,
+        Rule::GuardAcrossBlocking,
+        Rule::GuardAcrossPanic,
+        Rule::AtomicOrdering,
+        Rule::UnjoinedThread,
     ];
 
     /// The kebab-case name used in diagnostics, escape hatches, and the
@@ -149,6 +166,11 @@ impl Rule {
             Rule::AllocInHotPath => "alloc-in-hot-path",
             Rule::CachePurity => "cache-purity",
             Rule::SharedStateEscape => "shared-state-escape",
+            Rule::LockOrder => "lock-order",
+            Rule::GuardAcrossBlocking => "guard-across-blocking",
+            Rule::GuardAcrossPanic => "guard-across-panic",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::UnjoinedThread => "unjoined-thread",
         }
     }
 
@@ -197,6 +219,21 @@ impl Rule {
             }
             Rule::SharedStateEscape => {
                 "pass per-shard state into the closure by value and merge results after join; shared Cell/RefCell/static state breaks the merge order"
+            }
+            Rule::LockOrder => {
+                "pick one acquisition order for the locks in the cycle and take them in that order everywhere, or narrow one guard's scope so the spans never overlap"
+            }
+            Rule::GuardAcrossBlocking => {
+                "drop or scope the guard before the blocking call: copy what you need out, release, then block"
+            }
+            Rule::GuardAcrossPanic => {
+                "shrink the guarded region so no panic-capable call sits under the guard, or make the callee infallible there"
+            }
+            Rule::AtomicOrdering => {
+                "name the protocol: `Acquire` for the consuming load, `Release` for the publishing store; keep `Relaxed` for standalone counters only"
+            }
+            Rule::UnjoinedThread => {
+                "keep the JoinHandle and `.join()` it (or use `thread::scope`, which joins by construction)"
             }
         }
     }
@@ -342,6 +379,73 @@ impl Rule {
                  sites. Mutex/RwLock and atomics are exempt: the executor's\n\
                  slot-per-shard Mutex discipline is the sanctioned pattern."
             }
+            Rule::LockOrder => {
+                "lock-order (semantic rule)\n\n\
+                 A workspace-wide lock-acquisition graph is built: an edge\n\
+                 `A -> B` means some fn acquires lock `B` — directly or through\n\
+                 any call chain — while a guard on `A` is live. A cycle in that\n\
+                 graph is a deadlock inversion: two threads taking the locks in\n\
+                 opposite orders can each hold one and wait forever on the\n\
+                 other. A self-edge (`A -> A`) is re-entrant acquisition, which\n\
+                 deadlocks a Mutex outright. Each cycle is reported once, from\n\
+                 its lexically-first edge, with the full lock chain and the\n\
+                 witness call chain — like panic-reachability's output.\n\n\
+                 Lock identity is the receiver ident of the `lock()`/`read()`/\n\
+                 `write()` call, qualified by crate; guards obtained through a\n\
+                 guard-returning workspace helper resolve to the helper's own\n\
+                 acquisition. Name-based call resolution over-approximates, so\n\
+                 verify a reported cycle before suppressing (DESIGN.md §12)."
+            }
+            Rule::GuardAcrossBlocking => {
+                "guard-across-blocking (semantic rule)\n\n\
+                 A Mutex/RwLock guard held across a blocking call — socket or\n\
+                 console I/O, `accept`, channel `recv`, thread `join`, `sleep`\n\
+                 — serializes every other acquirer behind that I/O: one slow\n\
+                 peer stalls all metric readers. The rule follows calls through\n\
+                 the graph, so a guard held across a helper that eventually\n\
+                 calls `write_all` three crates down is still a finding; the\n\
+                 full chain is shown. `stdin()/stdout()/stderr().lock()` are\n\
+                 exempt (console handles, not data locks), as are guards\n\
+                 dropped (`drop(guard)` or scope end) before the call."
+            }
+            Rule::GuardAcrossPanic => {
+                "guard-across-panic (semantic rule)\n\n\
+                 A guard live across a panic-capable site — an `unwrap()`, an\n\
+                 unbounded index, or any call chain reaching one (the same\n\
+                 facts panic-reachability uses) — poisons the lock if the\n\
+                 panic fires: every later `lock()` returns `Err(PoisonError)`\n\
+                 and a service wedges long after the original bug. Shrink the\n\
+                 guarded region below the panic-capable call, or discharge the\n\
+                 site with an allow stating why it cannot fire. Recovery\n\
+                 helpers (`unwrap_or_else(PoisonError::into_inner)`) are the\n\
+                 complementary defense at the acquisition side."
+            }
+            Rule::AtomicOrdering => {
+                "atomic-ordering (semantic rule)\n\n\
+                 Atomic orderings are checked per site against a sanction\n\
+                 list. `SeqCst` anywhere is a finding: it is the blanket\n\
+                 strongest ordering, and reaching for it instead of naming the\n\
+                 actual acquire/release protocol hides what the atomic\n\
+                 protects (and costs a full fence on weakly-ordered\n\
+                 hardware). A `Relaxed` *store* is a finding — it publishes\n\
+                 nothing, so any flag written with it cannot hand off data.\n\
+                 A `Relaxed` *load* directly gating an `if`/`while` is a\n\
+                 finding — control flow on unsynchronized state. Everything\n\
+                 else passes: `Relaxed` on standalone counters (`fetch_add`\n\
+                 telemetry) and explicit `Acquire`/`Release` pairs are the\n\
+                 sanctioned patterns."
+            }
+            Rule::UnjoinedThread => {
+                "unjoined-thread (semantic rule)\n\n\
+                 Every `thread::spawn` must have its `JoinHandle` joined —\n\
+                 chained on the call or later on the bound handle. A detached\n\
+                 thread outlives the fn that spawned it: panics in it are\n\
+                 silently swallowed, and process exit races its teardown.\n\
+                 `thread::scope` spawns are exempt by construction (the scope\n\
+                 joins on exit); a deliberately detached worker is discharged\n\
+                 with `// mira-lint: allow(unjoined-thread)` and a comment\n\
+                 saying who owns its lifetime."
+            }
         }
     }
 }
@@ -360,7 +464,7 @@ pub struct Finding {
     /// 1-based line.
     pub line: usize,
     /// 1-based column of the match for line rules; 0 for semantic
-    /// rules, whose anchor is the whole `fn` item.
+    /// rules, which anchor on a whole `fn` item or a fact site.
     pub column: usize,
     /// Which rule fired.
     pub rule: Rule,
@@ -754,7 +858,7 @@ fn check_public_f64(path: &Path, lines: &[SourceLine], findings: &mut Vec<Findin
 
 /// True when an inline `// mira-lint: allow(<rule>)` hatch covers
 /// `line` (same line or the one above) in `file`.
-fn sem_allowed(file: &ParsedFile, line: usize, rule: Rule) -> bool {
+pub(crate) fn sem_allowed(file: &ParsedFile, line: usize, rule: Rule) -> bool {
     let hit = |l: &usize| {
         file.allows
             .get(l)
@@ -763,7 +867,7 @@ fn sem_allowed(file: &ParsedFile, line: usize, rule: Rule) -> bool {
     hit(&line) || (line > 1 && hit(&(line - 1)))
 }
 
-/// Run the seven semantic rules over the whole workspace.
+/// Run the twelve semantic rules over the whole workspace.
 #[must_use]
 pub fn semantic_findings(index: &SymbolIndex, graph: &CallGraph) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -774,11 +878,12 @@ pub fn semantic_findings(index: &SymbolIndex, graph: &CallGraph) -> Vec<Finding>
     check_alloc_in_hot_path(index, graph, &mut findings);
     check_cache_purity(index, graph, &mut findings);
     check_shared_state_escape(index, graph, &mut findings);
+    crate::concurrency::check(index, graph, &mut findings);
     findings
 }
 
 /// The first undischarged panic site of a non-test fn, if any.
-fn live_panic(index: &SymbolIndex, id: FnId) -> Option<&PanicSite> {
+pub(crate) fn live_panic(index: &SymbolIndex, id: FnId) -> Option<&PanicSite> {
     if index.is_test_fn(id) {
         return None;
     }

@@ -1,0 +1,87 @@
+//! Fixture crate: deterministic violations of the five concurrency
+//! rules for the golden JSON test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    flag: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Pair {
+    // lock-order: `forward` takes a then b, `backward` takes b then a —
+    // a two-lock inversion cycle.
+    pub fn forward(&self) -> u64 {
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ga - *gb
+    }
+
+    // guard-across-blocking: the guard on `a` is live across console
+    // I/O.
+    pub fn log_total(&self, out: &mut impl std::io::Write) {
+        let ga = match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        out.write_all(b"total\n").ok();
+        let _ = *ga;
+    }
+
+    // guard-across-panic: the guard on `b` is live across a call chain
+    // reaching an unbounded slice index.
+    pub fn with_first(&self, xs: &[u64]) -> u64 {
+        let gb = match self.b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *gb + first(xs)
+    }
+
+    // atomic-ordering: a Relaxed store publishes nothing...
+    pub fn set_ready(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    // ...a Relaxed load must not gate control flow...
+    pub fn spin_wait(&self) {
+        while self.flag.load(Ordering::Relaxed) {
+            std::hint::spin_loop();
+        }
+    }
+
+    // ...and blanket SeqCst hides the real protocol.
+    pub fn bump(&self) -> u64 {
+        self.count.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+// unjoined-thread: the JoinHandle is dropped on the floor.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

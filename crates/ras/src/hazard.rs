@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 /// A fitted Weibull distribution over inter-failure gaps.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,7 +45,7 @@ impl WeibullFit {
         // scale-free and monotone in k — solvable by bisection even for
         // near-degenerate gap sets.
         let ln_raw: Vec<f64> = x.iter().map(|v| v.ln()).collect();
-        let mean_ln = ln_raw.iter().sum::<f64>() / ln_raw.len() as f64;
+        let mean_ln = ln_raw.iter().sum::<f64>() / convert::f64_from_usize(ln_raw.len());
         let ln: Vec<f64> = ln_raw.iter().map(|l| l - mean_ln).collect();
 
         let f = |k: f64| {
@@ -87,7 +88,7 @@ impl WeibullFit {
             .iter()
             .map(|&l| (k * (l - mean_ln)).exp())
             .sum::<f64>()
-            / x.len() as f64;
+            / convert::f64_from_usize(x.len());
         let scale_hours = (mean_ln + sk.ln() / k).exp();
         Some(Self {
             shape: k,
@@ -126,11 +127,13 @@ impl PhaseRates {
         let mut counts = vec![0u32; phases];
         for &t in times {
             if t >= start && t < end {
-                let idx = ((t - start).as_seconds() * phases as i64 / span) as usize;
+                let idx = convert::usize_from_i64(
+                    (t - start).as_seconds() * convert::i64_from_usize(phases) / span,
+                );
                 counts[idx.min(phases - 1)] += 1;
             }
         }
-        let phase_days = span as f64 / 86_400.0 / phases as f64;
+        let phase_days = convert::f64_from_i64(span) / 86_400.0 / convert::f64_from_usize(phases);
         Self {
             per_day: counts.iter().map(|&c| f64::from(c) / phase_days).collect(),
         }

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::RackId;
 use mira_timeseries::{Duration, SimTime};
+use mira_units::convert;
 
 use crate::aftermath::AftermathModel;
 use crate::cascade::CascadePlanner;
@@ -77,10 +78,11 @@ impl RasLog {
     pub fn cmf_by_year(&self, years: std::ops::RangeInclusive<i32>) -> Vec<(i32, u32)> {
         years
             .map(|y| {
-                let n = self
-                    .counted_cmfs()
-                    .filter(|e| e.time.date().year() == y)
-                    .count() as u32;
+                let n = convert::u32_from_usize(
+                    self.counted_cmfs()
+                        .filter(|e| e.time.date().year() == y)
+                        .count(),
+                );
                 (y, n)
             })
             .collect()
@@ -89,12 +91,14 @@ impl RasLog {
     /// Share of counted non-CMF failures by kind.
     #[must_use]
     pub fn non_cmf_type_mix(&self) -> Vec<(FailureKind, f64)> {
-        let total = self.counted_non_cmfs().count() as f64;
+        let total = convert::f64_from_usize(self.counted_non_cmfs().count());
         FailureKind::ALL
             .into_iter()
             .filter(|k| !k.is_cmf())
             .map(|k| {
-                let n = self.counted_non_cmfs().filter(|e| e.kind == k).count() as f64;
+                let n = convert::f64_from_usize(
+                    self.counted_non_cmfs().filter(|e| e.kind == k).count(),
+                );
                 (k, if total > 0.0 { n / total } else { 0.0 })
             })
             .collect()

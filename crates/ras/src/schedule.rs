@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use mira_facility::{ClockTree, RackId};
 use mira_timeseries::{Date, Duration, SimTime};
+use mira_units::convert;
 
 /// One scheduled coolant-monitor incident: an epicenter rack plus the
 /// racks its failure takes down with it.
@@ -85,7 +86,7 @@ impl CmfSchedule {
             let mut year_groups: Vec<(RackId, Vec<RackId>)> = Vec::new();
             while remaining > 0 {
                 // Draw a cascade size, capped by what is left.
-                let m = draw_multiplicity(&mut rng).min(remaining as usize);
+                let m = draw_multiplicity(&mut rng).min(convert::usize_from_u32(remaining));
                 let with_quota: Vec<RackId> =
                     RackId::all().filter(|r| quota[r.index()] > 0).collect();
                 let m = m.min(with_quota.len());
@@ -139,7 +140,7 @@ impl CmfSchedule {
                 for r in &affected {
                     quota[r.index()] -= 1;
                 }
-                remaining -= affected.len() as u32;
+                remaining -= convert::u32_from_usize(affected.len());
                 year_groups.push((epicenter, affected));
             }
 
@@ -150,9 +151,14 @@ impl CmfSchedule {
             let (start, end) = window;
             let span = (end - start).as_seconds();
             for (i, (epicenter, affected)) in year_groups.into_iter().enumerate() {
-                let slot = span / k.max(1) as i64;
-                let jitter = (rng.random::<f64>() * 0.8 * slot as f64) as i64;
-                let time = start + Duration::from_seconds(slot * i as i64 + jitter);
+                let slot = span / convert::i64_from_usize(k.max(1));
+                // The product is non-negative, so floor == truncation and
+                // this matches the former bare `as i64` bit-for-bit.
+                let jitter = convert::i64_from_f64_floor(
+                    rng.random::<f64>() * 0.8 * convert::f64_from_i64(slot),
+                );
+                let time =
+                    start + Duration::from_seconds(slot * convert::i64_from_usize(i) + jitter);
                 incidents.push(ScheduledIncident {
                     time,
                     epicenter,
@@ -173,7 +179,10 @@ impl CmfSchedule {
     /// Total rack-level failures (the paper's 361).
     #[must_use]
     pub fn total_rack_failures(&self) -> u32 {
-        self.incidents.iter().map(|i| i.multiplicity() as u32).sum()
+        self.incidents
+            .iter()
+            .map(|i| convert::u32_from_usize(i.multiplicity()))
+            .sum()
     }
 
     /// Rack failures per calendar year.
@@ -186,7 +195,7 @@ impl CmfSchedule {
                     .incidents
                     .iter()
                     .filter(|i| i.time.date().year() == year)
-                    .map(|i| i.multiplicity() as u32)
+                    .map(|i| convert::u32_from_usize(i.multiplicity()))
                     .sum();
                 (year, count)
             })

@@ -289,6 +289,9 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        // `pos` only ever advances past successfully peeked bytes, so
+        // `pos <= len` and the open range cannot start out of bounds.
+        // mira-lint: allow(panic-reachability)
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -423,7 +426,8 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is &str, so byte
-                    // boundaries are valid).
+                    // boundaries are valid). `pos <= len` as in
+                    // `literal`. mira-lint: allow(panic-reachability)
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                     match s.chars().next() {
@@ -476,6 +480,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // `start <= pos <= len` by construction: both only advance past
+        // peeked bytes. mira-lint: allow(panic-reachability)
         let token = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         token.parse::<f64>().map(Json::Num).map_err(|_| JsonError {

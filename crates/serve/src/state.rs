@@ -89,14 +89,18 @@ impl ServeState {
     }
 
     /// Whether a `shutdown` request has been accepted.
+    ///
+    /// Acquire pairs with the Release store in
+    /// [`Self::request_shutdown`]: a thread that observes the flag also
+    /// observes every write the requester made before raising it.
     #[must_use]
     pub fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shutdown.load(Ordering::Acquire)
     }
 
     /// Requests shutdown without a protocol message (e.g. on EOF).
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::Release);
     }
 
     /// The aggregate over everything ingested so far — what the test
@@ -110,8 +114,14 @@ impl ServeState {
     }
 
     /// Grid instants ingested so far.
+    ///
+    /// Named apart from [`IncrementalSweep::steps_ingested`] on
+    /// purpose: this accessor re-acquires the sweep lock, so calling it
+    /// while already holding the guard would deadlock behind a queued
+    /// writer (the `lock-order` lint resolves method calls by name and
+    /// keeps the two distinguishable this way).
     #[must_use]
-    pub fn steps_ingested(&self) -> u64 {
+    pub fn ingested_steps(&self) -> u64 {
         self.read_sweep().steps_ingested()
     }
 
@@ -142,10 +152,23 @@ impl ServeState {
         }
     }
 
+    /// Unlike [`Self::lock_stats`] — whose monotonic counters are
+    /// valid after any partial update — a panic mid-(re)train can leave
+    /// a half-built cache behind, so recovery here discards it and the
+    /// next `predict` retrains from scratch.
     fn lock_predictor(&self) -> MutexGuard<'_, Option<PredictCache>> {
         match self.predictor.lock() {
             Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
+            Err(poisoned) => {
+                // Discarding the suspect cache makes the state valid
+                // again, so the poison flag is cleared too — otherwise
+                // every later acquisition would re-discard a freshly
+                // trained cache.
+                self.predictor.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
         }
     }
 
@@ -248,16 +271,18 @@ impl ServeState {
                 }
             }
         };
-        let wall_section = {
+        // Copy the wall numbers out under the guard; the JSON is built
+        // after release so no other request waits on rendering.
+        let wall_numbers = {
             let stats = self.lock_stats();
             report.metrics.merge(stats.deterministic());
-            wall.then(|| stats.wall_json())
+            wall.then(|| stats.wall_snapshot())
         };
         // Raw splice keeps the embedded document byte-identical to
         // `ObsReport::deterministic_json` — no parse/re-render drift.
         let mut fields = vec![("metrics", Json::Raw(report.deterministic_json()))];
-        if let Some(section) = wall_section {
-            fields.push(("wall", section));
+        if let Some(snapshot) = wall_numbers {
+            fields.push(("wall", snapshot.to_json()));
         }
         ok_reply(id, fields)
     }
@@ -344,9 +369,14 @@ impl ServeState {
     }
 
     fn predict(&self, id: &Json, lead_hours: i64, events: usize, epochs: usize) -> String {
-        let mut cache = self.lock_predictor();
+        // Training takes seconds; it must not run under the cache
+        // mutex, or every concurrent predict (and the poison-recovery
+        // path) queues behind it. Check-release-train-relock: training
+        // is a pure function of (sim, events, epochs), so two racing
+        // trainers produce identical caches and last-write-wins is
+        // harmless.
         let hit = matches!(
-            cache.as_ref(),
+            self.lock_predictor().as_ref(),
             Some(c) if c.events == events && c.epochs == epochs
         );
         if !hit {
@@ -360,7 +390,7 @@ impl ServeState {
                 ..PredictorConfig::default()
             };
             let (predictor, test) = CmfPredictor::train(self.sim.telemetry(), &builder, &config);
-            *cache = Some(PredictCache {
+            *self.lock_predictor() = Some(PredictCache {
                 events,
                 epochs,
                 trained_events,
@@ -369,6 +399,7 @@ impl ServeState {
                 test,
             });
         }
+        let cache = self.lock_predictor();
         let Some(c) = cache.as_ref() else {
             return usage_error_reply(id, "predictor cache unavailable");
         };
@@ -732,7 +763,7 @@ mod tests {
         assert!(reply.contains("\"kind\":\"usage\""), "{reply}");
         let reply = s.handle("{\"cmd\":\"ingest\",\"steps\":4,\"id\":1}");
         assert!(reply.contains("\"ok\":true"), "{reply}");
-        assert_eq!(s.steps_ingested(), 4);
+        assert_eq!(s.ingested_steps(), 4);
     }
 
     #[test]
@@ -742,6 +773,41 @@ mod tests {
         let reply = s.handle("{\"cmd\":\"shutdown\",\"id\":1}");
         assert!(reply.contains("\"shutting_down\":true"), "{reply}");
         assert!(s.is_shutdown());
+    }
+
+    #[test]
+    fn panicked_writer_does_not_wedge_replies() {
+        let s = state();
+        s.handle("{\"cmd\":\"ingest\",\"steps\":8,\"id\":1}");
+        // Train once so the predictor mutex holds a cache to discard.
+        let predict = "{\"cmd\":\"predict\",\"events\":12,\"epochs\":1,\"lead_hours\":1,\"id\":2}";
+        assert!(s.handle(predict).contains("\"cached\":false"));
+
+        // Poison all three locks: a writer panics while holding each.
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                let _sweep = s.write_sweep();
+                let _stats = s.lock_stats();
+                let _cache = s.lock_predictor();
+                panic!("writer dies mid-update");
+            });
+            assert!(h.join().is_err(), "the writer must have panicked");
+        });
+
+        // Counters survive poisoning (monotonic, valid at any point)...
+        let reply = s.handle("{\"cmd\":\"metrics\",\"id\":3}");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"serve.steps_ingested\":8"), "{reply}");
+        let reply = s.handle("{\"cmd\":\"status\",\"id\":4}");
+        assert!(reply.contains("\"steps_ingested\":8"), "{reply}");
+        // ...but the predictor cache is discarded: a half-built cache
+        // cannot be told from a complete one, so predict retrains.
+        let reply = s.handle(predict);
+        assert!(reply.contains("\"cached\":false"), "{reply}");
+        assert!(reply.contains("\"accuracy\":"), "{reply}");
+        // And ingest keeps appending where it left off.
+        let reply = s.handle("{\"cmd\":\"ingest\",\"steps\":4,\"id\":5}");
+        assert!(reply.contains("\"steps_ingested\":12"), "{reply}");
     }
 
     #[test]

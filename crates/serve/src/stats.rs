@@ -99,16 +99,43 @@ impl ServeStats {
         self.metrics.counter(QUERIES_SERVED).unwrap_or(0)
     }
 
-    /// The nondeterministic latency section for
-    /// `{"cmd":"metrics","wall":true}` replies. Never part of the
-    /// byte-identity comparison.
+    /// The nondeterministic latency numbers for
+    /// `{"cmd":"metrics","wall":true}` replies, as plain data so the
+    /// caller can release the stats mutex before rendering. Never part
+    /// of the byte-identity comparison.
     #[must_use]
-    pub fn wall_json(&self) -> Json {
+    pub fn wall_snapshot(&self) -> WallSnapshot {
+        WallSnapshot {
+            query_p50_us: self.query_us_p50.value(),
+            query_p99_us: self.query_us_p99.value(),
+            query_wall_nanos: self.query_nanos,
+            ingest_wall_nanos: self.ingest_nanos,
+        }
+    }
+}
+
+/// One point-in-time copy of the wall-clock latency numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct WallSnapshot {
+    /// Median per-query wall time, microseconds (P² estimate).
+    pub query_p50_us: f64,
+    /// 99th-percentile per-query wall time, microseconds (P² estimate).
+    pub query_p99_us: f64,
+    /// Total wall nanoseconds across all requests.
+    pub query_wall_nanos: u64,
+    /// Wall nanoseconds ingest requests spent appending.
+    pub ingest_wall_nanos: u64,
+}
+
+impl WallSnapshot {
+    /// The `"wall"` reply section.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("query_p50_us", Json::Num(self.query_us_p50.value())),
-            ("query_p99_us", Json::Num(self.query_us_p99.value())),
-            ("query_wall_nanos", Json::from(self.query_nanos)),
-            ("ingest_wall_nanos", Json::from(self.ingest_nanos)),
+            ("query_p50_us", Json::Num(self.query_p50_us)),
+            ("query_p99_us", Json::Num(self.query_p99_us)),
+            ("query_wall_nanos", Json::from(self.query_wall_nanos)),
+            ("ingest_wall_nanos", Json::from(self.ingest_wall_nanos)),
         ])
     }
 }
@@ -144,13 +171,13 @@ mod tests {
     }
 
     #[test]
-    fn wall_json_tracks_quantiles() {
+    fn wall_snapshot_tracks_quantiles() {
         let mut s = ServeStats::new();
         for n in 1..=100u64 {
             s.note_query_wall(n * 1_000); // 1..=100 us
         }
         s.note_ingest_wall(5_000);
-        let wall = s.wall_json();
+        let wall = s.wall_snapshot().to_json();
         let p50 = wall.get("query_p50_us").and_then(Json::as_f64).unwrap();
         let p99 = wall.get("query_p99_us").and_then(Json::as_f64).unwrap();
         assert!((40.0..=60.0).contains(&p50), "p50 {p50}");

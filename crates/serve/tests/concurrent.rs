@@ -90,7 +90,7 @@ fn concurrent_writers_and_readers_never_tear() {
                     let total = mira_units::convert::u64_from_usize(
                         WRITERS * INGESTS_PER_WRITER * STEPS_PER_INGEST,
                     );
-                    if state.steps_ingested() == total {
+                    if state.ingested_steps() == total {
                         break;
                     }
                     std::thread::yield_now();
@@ -107,7 +107,7 @@ fn concurrent_writers_and_readers_never_tear() {
     // Everything landed...
     let total = WRITERS * INGESTS_PER_WRITER * STEPS_PER_INGEST;
     assert_eq!(
-        state.steps_ingested(),
+        state.ingested_steps(),
         mira_units::convert::u64_from_usize(total)
     );
 

@@ -55,6 +55,22 @@ pub fn usize_from_u32(n: u32) -> usize {
     usize::try_from(n).unwrap_or(usize::MAX)
 }
 
+/// A `usize` count as a `u32` (saturating above `u32::MAX`).
+///
+/// `const` so compile-time counts (rack totals, midplane totals) can use
+/// it in constant expressions; small fleet-shaped counts never saturate.
+#[must_use]
+pub const fn u32_from_usize(n: usize) -> u32 {
+    // Saturate explicitly: `try_from` is not const-stable enough here.
+    // mira-lint: allow(lossy-cast)
+    if n > u32::MAX as usize {
+        u32::MAX
+    } else {
+        // Bounded by the branch above. mira-lint: allow(lossy-cast)
+        n as u32
+    }
+}
+
 /// A `u64` as a `usize` index (saturating on 32-bit targets).
 ///
 /// Every 64-bit target this workspace runs on makes this exact; the
@@ -188,6 +204,14 @@ mod tests {
         assert_eq!(f64_from_u64(630_000), 630_000.0);
         assert_eq!(f64_from_i64(-86_400), -86_400.0);
         assert_eq!(f64_from_u32(u32::MAX), 4_294_967_295.0);
+    }
+
+    #[test]
+    fn u32_from_usize_is_const_and_saturates() {
+        const FORTY_EIGHT: u32 = u32_from_usize(48);
+        assert_eq!(FORTY_EIGHT, 48);
+        assert_eq!(u32_from_usize(0), 0);
+        assert_eq!(u32_from_usize(usize::MAX), u32::MAX);
     }
 
     #[test]

@@ -179,7 +179,10 @@ impl ChicagoClimate {
         let hod = t.to_datetime().hour_of_day();
         // Diurnal trough near 5 AM, peak near 3 PM.
         let diurnal = 8.0 * (TAU * (hod - 9.0) / 24.0).sin();
-        let synoptic = self.synoptic.fractal(t.epoch_seconds() as f64, 3) * 12.0;
+        let synoptic = self
+            .synoptic
+            .fractal(convert::f64_from_i64(t.epoch_seconds()), 3)
+            * 12.0;
         Fahrenheit::new(seasonal + diurnal + synoptic)
     }
 
@@ -192,14 +195,17 @@ impl ChicagoClimate {
         // around 68 % with noise; the seasonal moisture shows up via the
         // dew point computed against the warm summer air.
         let seasonal = 3.0 * (TAU * (yf - 0.10)).cos();
-        let noise = self.moisture.fractal(t.epoch_seconds() as f64, 3) * 14.0;
+        let noise = self
+            .moisture
+            .fractal(convert::f64_from_i64(t.epoch_seconds()), 3)
+            * 14.0;
         RelHumidity::new(68.0 + seasonal + noise)
     }
 
     /// Regulated room-level ambient temperature at `t`.
     #[must_use]
     pub fn indoor_temperature(&self, t: SimTime) -> Fahrenheit {
-        let secs = t.epoch_seconds() as f64;
+        let secs = convert::f64_from_i64(t.epoch_seconds());
         let yf = t.year_fraction();
         // Air handlers hold ≈80-81 °F with a small summer rise.
         let base = 80.3 + 1.2 * (TAU * (yf - 0.57)).cos();
@@ -219,7 +225,7 @@ impl ChicagoClimate {
     /// Room-level relative humidity at `t` (the Fig. 8 28–37 %RH band).
     #[must_use]
     pub fn indoor_humidity(&self, t: SimTime) -> RelHumidity {
-        let secs = t.epoch_seconds() as f64;
+        let secs = convert::f64_from_i64(t.epoch_seconds());
         let yf = t.year_fraction();
         // Summer peak: outdoor moisture infiltrates; winter air is dry.
         let seasonal = 32.3 + 3.4 * (TAU * (yf - 0.55)).cos();

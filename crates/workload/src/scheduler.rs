@@ -48,7 +48,7 @@ const WAIT_HOURS_BOUNDS: &[f64] = &[1.0, 4.0, 12.0, 24.0, 72.0];
 const MIDPLANES_PER_RACK: u32 = 2;
 
 /// Total midplanes on the machine.
-pub const TOTAL_MIDPLANES: u32 = MIDPLANES_PER_RACK * RackId::COUNT as u32;
+pub const TOTAL_MIDPLANES: u32 = MIDPLANES_PER_RACK * convert::u32_from_usize(RackId::COUNT);
 
 /// A running job with its allocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,7 +90,7 @@ impl SchedulerStats {
         if n == 0 {
             Duration::ZERO
         } else {
-            Duration::from_seconds(self.total_wait_seconds / n as i64)
+            Duration::from_seconds(self.total_wait_seconds / convert::i64_from_u64(n))
         }
     }
 }
@@ -206,7 +206,7 @@ impl BackfillScheduler {
         let busy: u32 = self
             .busy
             .iter()
-            .map(|r| r.iter().filter(|&&b| b).count() as u32)
+            .map(|r| convert::u32_from_usize(r.iter().filter(|&&b| b).count()))
             .sum();
         f64::from(busy) / f64::from(TOTAL_MIDPLANES)
     }
@@ -241,9 +241,11 @@ impl BackfillScheduler {
     // busy table. mira-lint: allow(panic-reachability)
     fn start<S: Sink>(&mut self, job: Job, now: SimTime, backfilled: bool, sink: &mut S) {
         let slots = self.free_slots(job.queue);
-        debug_assert!(slots.len() >= job.midplanes as usize);
-        let allocation: Vec<(RackId, u8)> =
-            slots.into_iter().take(job.midplanes as usize).collect();
+        debug_assert!(slots.len() >= convert::usize_from_u32(job.midplanes));
+        let allocation: Vec<(RackId, u8)> = slots
+            .into_iter()
+            .take(convert::usize_from_u32(job.midplanes))
+            .collect();
         for &(rack, mp) in &allocation {
             self.busy[rack.index()][usize::from(mp)] = true;
         }
@@ -295,7 +297,7 @@ impl BackfillScheduler {
 
         // FCFS: start from the head while it fits.
         while let Some(head) = self.queue.front() {
-            if self.free_slots(head.queue).len() < head.midplanes as usize {
+            if self.free_slots(head.queue).len() < convert::usize_from_u32(head.midplanes) {
                 break;
             }
             let Some(job) = self.queue.pop_front() else {
@@ -310,7 +312,8 @@ impl BackfillScheduler {
             let mut i = 1;
             while i < self.queue.len() {
                 let candidate = self.queue[i].clone();
-                let fits = self.free_slots(candidate.queue).len() >= candidate.midplanes as usize;
+                let fits = self.free_slots(candidate.queue).len()
+                    >= convert::usize_from_u32(candidate.midplanes);
                 // EASY rule: a backfilled job must end before the head's
                 // reservation, or not touch the head's queue partition.
                 let head_partition_disjoint = candidate.queue != head.queue
@@ -335,7 +338,7 @@ impl BackfillScheduler {
     /// Earliest time the queue head could start, given running jobs'
     /// declared walltimes.
     fn shadow_time(&self, head: &Job, now: SimTime) -> SimTime {
-        let mut free = self.free_slots(head.queue).len() as u32;
+        let mut free = convert::u32_from_usize(self.free_slots(head.queue).len());
         if free >= head.midplanes {
             return now;
         }
@@ -343,11 +346,12 @@ impl BackfillScheduler {
             .running
             .iter()
             .map(|r| {
-                let relevant = r
-                    .allocation
-                    .iter()
-                    .filter(|(rack, _)| Self::allowed(head.queue, *rack))
-                    .count() as u32;
+                let relevant = convert::u32_from_usize(
+                    r.allocation
+                        .iter()
+                        .filter(|(rack, _)| Self::allowed(head.queue, *rack))
+                        .count(),
+                );
                 (r.ends, relevant)
             })
             .filter(|(_, n)| *n > 0)

@@ -85,14 +85,14 @@ impl RackUsageProfile {
                 }
                 // Small fixed per-rack scatter (user affinity).
                 let h = (rack.index() as u64 + 3).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7);
-                let u = ((h >> 20) & 0xFFFF) as f64 / 65_535.0 - 0.5;
+                let u = convert::f64_from_u64((h >> 20) & 0xFFFF) / 65_535.0 - 0.5;
                 util += u * 0.012;
 
                 // Intensity: hash-distributed job mix, wide enough to pull
                 // the power-utilization correlation down to ≈0.45. Row 0's
                 // long capability jobs run a touch denser.
                 let h2 = (rack.index() as u64 + 11).wrapping_mul(0xB529_7A4D_382E_5E23);
-                let v = ((h2 >> 18) & 0xFFFF) as f64 / 65_535.0; // [0, 1]
+                let v = convert::f64_from_u64((h2 >> 18) & 0xFFFF) / 65_535.0; // [0, 1]
                 let mut intensity = 0.90 + 0.22 * v;
                 if rack.row() == 0 {
                     intensity += 0.015;
@@ -126,7 +126,8 @@ impl RackUsageProfile {
     /// which jobs happen to sit on the rack right now.
     #[must_use]
     pub fn placement_wobble(&self, rack: RackId, t: SimTime) -> f64 {
-        let phase = t.epoch_seconds() as f64 + rack.index() as f64 * 4.321e6;
+        let phase = convert::f64_from_i64(t.epoch_seconds())
+            + convert::f64_from_usize(rack.index()) * 4.321e6;
         1.0 + self.placement_noise.fractal(phase, 2) * 0.045
     }
 
