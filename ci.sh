@@ -148,4 +148,51 @@ fi
 echo "==> serve bench (BENCH_serve.json)"
 cargo bench -q -p mira-bench --bench serve_bench
 
+# Columnar store round-trip gate: pack a CSV export, unpack it, and the
+# bytes must match exactly; a store-backed export over a sub-span must
+# be byte-identical to the simulated export at any sweep thread count.
+echo "==> store round-trip gate (pack -> unpack -> byte-compare)"
+store_dir="$(mktemp -d)"
+cargo run -q -p mira-ops -- export --from 2015-03-01 --to 2015-03-02 \
+  --step-min 30 --out "$store_dir/tele.csv"
+cargo run -q -p mira-ops -- archive pack --in "$store_dir/tele.csv" \
+  --out "$store_dir/tele.mstore" --group-rows 288 >/dev/null
+cargo run -q -p mira-ops -- archive unpack --in "$store_dir/tele.mstore" \
+  --out "$store_dir/back.csv" >/dev/null
+if ! cmp -s "$store_dir/tele.csv" "$store_dir/back.csv"; then
+  echo "ci: columnar unpack is not byte-identical to the packed CSV" >&2
+  exit 1
+fi
+store_span=(--from "2015-03-01 06:00" --to "2015-03-01 18:00")
+export_sim_one="$(MIRA_SWEEP_THREADS=1 cargo run -q -p mira-ops -- export "${store_span[@]}" --step-min 30)"
+export_sim_four="$(MIRA_SWEEP_THREADS=4 cargo run -q -p mira-ops -- export "${store_span[@]}" --step-min 30)"
+export_store="$(cargo run -q -p mira-ops -- export "${store_span[@]}" --store "$store_dir/tele.mstore")"
+if [ "$export_sim_one" != "$export_sim_four" ] || [ "$export_sim_one" != "$export_store" ]; then
+  echo "ci: store-backed export differs from the simulated export" >&2
+  diff <(printf '%s' "$export_sim_one") <(printf '%s' "$export_store") >&2 || true
+  exit 1
+fi
+# Sub-span scans must prune: the day packs into 8 groups of 288 rows
+# (3 hours each), so the 12-hour window may not touch every group.
+scan_stats="$(cargo run -q -p mira-ops -- archive scan --in "$store_dir/tele.mstore" \
+  "${store_span[@]}" --out /dev/null --stats | grep '^scan:')"
+scanned="$(printf '%s' "$scan_stats" | sed -n 's/.* from \([0-9]*\)\/\([0-9]*\) groups.*/\1/p')"
+total="$(printf '%s' "$scan_stats" | sed -n 's/.* from \([0-9]*\)\/\([0-9]*\) groups.*/\2/p')"
+if [ -z "$scanned" ] || [ -z "$total" ] || [ "$scanned" -ge "$total" ]; then
+  echo "ci: sub-span scan did not prune row groups ($scan_stats)" >&2
+  exit 1
+fi
+rm -rf "$store_dir"
+
+# Store perf snapshot: compression ratio and scan throughput vs the CSV
+# backend. The bench itself asserts the >=3x compression floor,
+# backend byte-identity, and zone-map pruning; run against a scratch
+# copy so per-run timing keys never dirty the committed file.
+echo "==> store bench (compression + scan throughput, scratch copy)"
+store_bench_scratch="$(mktemp)"
+cp BENCH_store.json "$store_bench_scratch"
+MIRA_BENCH_STORE_DAYS=2 MIRA_BENCH_OUT="$store_bench_scratch" \
+  cargo bench -q -p mira-bench --bench store_bench
+rm -f "$store_bench_scratch"
+
 echo "ci: all gates green"

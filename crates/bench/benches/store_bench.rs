@@ -1,0 +1,215 @@
+//! Tracked store benchmark: packs a simulated telemetry span into both
+//! the CSV and columnar backends, checks the scans stay byte-identical,
+//! and records compression ratio and scan throughput in
+//! `BENCH_store.json`.
+//!
+//! Not a criterion bench: like `sweep_baseline` it writes a
+//! machine-readable file and owns its own timing, so ci.sh can run it
+//! as the archive perf snapshot and gate on the ≥3× compression claim.
+//!
+//! Environment:
+//! - `MIRA_BENCH_OUT`: output path (default `<repo>/BENCH_store.json`).
+//! - `MIRA_BENCH_STORE_DAYS`: simulated days to archive (default 7 at
+//!   the 5-minute grid — 2016 instants × 48 racks ≈ 97k rows).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mira_core::{archive, Duration, SimConfig, Simulation};
+use mira_store::{Archive, ColumnarArchive, CsvArchive, Projection, TelemetryRecord};
+use mira_timeseries::SimTime;
+
+const STEP_MINUTES: i64 = 5;
+const SCAN_ROUNDS: usize = 5;
+
+fn bench_days() -> i64 {
+    std::env::var("MIRA_BENCH_STORE_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+fn scan_all(ar: &mut dyn Archive, sink: &mut dyn FnMut(&TelemetryRecord)) -> u64 {
+    ar.scan_span(
+        SimTime::from_epoch_seconds(i64::MIN),
+        SimTime::from_epoch_seconds(i64::MAX),
+        Projection::all(),
+        sink,
+    )
+    .expect("scan")
+    .rows_scanned
+}
+
+/// Rows per second over `SCAN_ROUNDS` full scans (best round wins, so
+/// one scheduler hiccup does not sink the number).
+fn scan_rate(ar: &mut dyn Archive) -> f64 {
+    let mut best = f64::MAX;
+    let mut rows = 0u64;
+    for _ in 0..SCAN_ROUNDS {
+        let start = Instant::now();
+        let mut count = 0u64;
+        rows = scan_all(ar, &mut |_| count += 1);
+        assert_eq!(count, rows);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    mira_units::convert::f64_from_u64(rows) / best
+}
+
+fn main() {
+    let sim = Simulation::new(SimConfig::with_seed(2014));
+    let span = sim.config().span();
+    let from = span.0;
+    let to = from + Duration::from_hours(bench_days() * 24);
+    let step = Duration::from_minutes(STEP_MINUTES);
+
+    let dir = std::env::temp_dir().join(format!("mira-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let csv_path = dir.join("tele.csv");
+    let col_path = dir.join("tele.mstore");
+
+    // Materialize the span once, through the same quantizing record
+    // type every export surface uses.
+    let mut rows: Vec<TelemetryRecord> = Vec::new();
+    archive::sweep_records(sim.telemetry(), from, to, step, |rec| -> Result<(), ()> {
+        rows.push(*rec);
+        Ok(())
+    })
+    .expect("sweep");
+    let events = sim.ras_log().counted().to_vec();
+
+    let mut csv = CsvArchive::open(&csv_path).expect("csv open");
+    csv.append_telemetry(&rows).expect("csv append");
+    csv.append_ras(&events).expect("csv ras");
+
+    let pack_start = Instant::now();
+    let mut col = ColumnarArchive::create(&col_path).expect("create");
+    col.append_telemetry(&rows).expect("col append");
+    col.append_ras(&events).expect("col ras");
+    col.flush().expect("flush");
+    let pack_wall = pack_start.elapsed().as_secs_f64();
+
+    // Byte-identity gate: both backends must re-render the same CSV.
+    let mut col_rendered = String::new();
+    scan_all(&mut col, &mut |rec| {
+        col_rendered.push_str(&rec.csv_row());
+        col_rendered.push('\n');
+    });
+    let mut csv_rendered = String::new();
+    scan_all(&mut csv, &mut |rec| {
+        csv_rendered.push_str(&rec.csv_row());
+        csv_rendered.push('\n');
+    });
+    assert_eq!(col_rendered, csv_rendered, "backends diverged byte-wise");
+    drop(col_rendered);
+    drop(csv_rendered);
+
+    let stat = col.stat().expect("stat");
+    let ratio = stat.compression_ratio();
+    assert!(
+        ratio >= 3.0,
+        "compression ratio {ratio:.2} fell below the 3x floor"
+    );
+
+    let col_rate = scan_rate(&mut col);
+    let csv_rate = scan_rate(&mut csv);
+
+    // Pruning check: the middle third of the span must not read every
+    // group (and must read at least one).
+    let hours = bench_days() * 24;
+    let sub = col
+        .scan_span(
+            from + Duration::from_hours(hours / 3),
+            from + Duration::from_hours(hours * 2 / 3),
+            Projection::all(),
+            &mut |_| {},
+        )
+        .expect("sub scan");
+    assert!(
+        sub.groups_scanned > 0 && sub.groups_scanned < sub.groups_total,
+        "sub-span scanned {}/{} groups",
+        sub.groups_scanned,
+        sub.groups_total
+    );
+
+    println!(
+        "store bench: {} rows in {} groups | {:.2}x vs csv | columnar {:.0} rows/s | \
+         csv {:.0} rows/s | sub-span {}/{} groups",
+        stat.rows, stat.groups, ratio, col_rate, csv_rate, sub.groups_scanned, sub.groups_total
+    );
+
+    let out_path = out_path();
+    let mut doc = read_flat_json(&out_path);
+    doc.insert("schema".to_string(), "1".to_string());
+    let mut set = |key: &str, value: f64| {
+        doc.insert(key.to_string(), format!("{value:.6}"));
+    };
+    set("rows", mira_units::convert::f64_from_u64(stat.rows));
+    set("groups", mira_units::convert::f64_from_u64(stat.groups));
+    set(
+        "columnar_bytes",
+        mira_units::convert::f64_from_u64(stat.file_bytes),
+    );
+    set(
+        "csv_bytes",
+        mira_units::convert::f64_from_u64(stat.csv_bytes),
+    );
+    set("compression_ratio", ratio);
+    set("pack_wall_seconds", pack_wall);
+    set("columnar_scan_rows_per_second", col_rate);
+    set("csv_scan_rows_per_second", csv_rate);
+    set("scan_speedup_vs_csv", col_rate / csv_rate);
+    set(
+        "subspan_groups_scanned",
+        mira_units::convert::f64_from_u64(sub.groups_scanned),
+    );
+    set(
+        "subspan_groups_total",
+        mira_units::convert::f64_from_u64(sub.groups_total),
+    );
+    write_flat_json(&out_path, &doc);
+    println!("store bench: wrote {}", out_path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MIRA_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_store.json")
+}
+
+/// Flat `{"key": value}` reader matching `sweep_baseline` — unknown
+/// keys survive updates; any read/parse miss yields an empty map.
+fn read_flat_json(path: &PathBuf) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        if !key.is_empty() && !value.is_empty() {
+            out.insert(key.to_string(), value.to_string());
+        }
+    }
+    out
+}
+
+fn write_flat_json(path: &PathBuf, doc: &BTreeMap<String, String>) {
+    let mut text = String::from("{\n");
+    for (i, (key, value)) in doc.iter().enumerate() {
+        let comma = if i + 1 == doc.len() { "" } else { "," };
+        text.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    text.push_str("}\n");
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("store bench: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

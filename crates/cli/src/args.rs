@@ -50,22 +50,24 @@ impl From<mira_core::Error> for CliError {
     }
 }
 
+impl From<mira_core::StoreError> for CliError {
+    fn from(e: mira_core::StoreError) -> Self {
+        CliError::Core(mira_core::Error::Store(e))
+    }
+}
+
 impl CliError {
     /// The process exit code for this error, derived from the error
-    /// structure: `2` usage, `3` sweep, `4` archive parse, `5` archive
-    /// I/O, `6` CLI-side I/O, `1` anything else.
+    /// structure: `2` usage, `3` sweep, `4` store parse, `5` store
+    /// I/O, `6` CLI-side I/O, `7` store corruption, `1` anything else.
+    ///
+    /// Codes 3–5 and 7 delegate to [`mira_core::Error::exit_code`] so
+    /// batch invocations and `serve` error replies stay in lockstep.
     #[must_use]
     pub fn exit_code(&self) -> u8 {
-        use mira_core::archive::ArchiveError;
-        use mira_core::Error;
         match self {
             CliError::Usage(_) => 2,
-            CliError::Core(Error::Sweep(_)) => 3,
-            CliError::Core(Error::Archive(ArchiveError::Parse { .. })) => 4,
-            CliError::Core(Error::Archive(ArchiveError::Io(_))) => 5,
-            // `mira_core::Error` is non_exhaustive; future causes fall
-            // back to the generic failure code.
-            CliError::Core(_) => 1,
+            CliError::Core(e) => e.exit_code(),
             CliError::Io { .. } => 6,
         }
     }
@@ -349,26 +351,28 @@ mod tests {
 
     #[test]
     fn exit_codes_follow_the_cause() {
-        use mira_core::archive::ArchiveError;
+        use mira_core::StoreError;
         use std::error::Error as _;
 
         assert_eq!(err("bad flag").exit_code(), 2);
         let sweep = CliError::from(mira_core::Error::Sweep(mira_core::SweepError::EmptySpan));
         assert_eq!(sweep.exit_code(), 3);
         assert!(sweep.source().is_some(), "cause chain preserved");
-        let parse = CliError::from(mira_core::Error::Archive(ArchiveError::Parse {
+        let parse = CliError::from(mira_core::Error::Store(StoreError::Parse {
             line: 1,
             message: "bad".to_string(),
         }));
         assert_eq!(parse.exit_code(), 4);
-        let archive_io = CliError::from(mira_core::Error::Archive(ArchiveError::Io(
+        let store_io = CliError::from(mira_core::Error::Store(StoreError::Io(
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
         )));
-        assert_eq!(archive_io.exit_code(), 5);
+        assert_eq!(store_io.exit_code(), 5);
         let cli_io = CliError::Io {
             context: "output error".to_string(),
             source: std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"),
         };
         assert_eq!(cli_io.exit_code(), 6);
+        let corrupt = CliError::from(mira_core::Error::Store(StoreError::corrupt(8, "bad magic")));
+        assert_eq!(corrupt.exit_code(), 7);
     }
 }

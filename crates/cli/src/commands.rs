@@ -11,6 +11,7 @@ use mira_serve::{serve_stdio, serve_tcp, ServeState};
 
 use mira_units::convert;
 
+use crate::archive_cmd::{archive_cmd, scan_into_emitter, RowEmitter};
 use crate::args::{err, parse_datetime, ArgMap, CliError, OutputFormat};
 
 /// Top-level usage text.
@@ -21,24 +22,35 @@ USAGE: mira-ops <command> [flags]
 
 COMMANDS:
   failures                         CMF timeline and per-rack distribution
-  sample   --rack \"(1, 8)\" --time \"2016-07-04 12:00\"
-                                   one coolant-monitor record
+  sample   --rack \"(1, 8)\" --time \"2016-07-04 12:00\" [--store FILE]
+                                   one coolant-monitor record, simulated
+                                   or looked up in a telemetry archive
   export   --from 2015-01-01 --to 2015-01-08 [--step-min 5] [--out telemetry.csv]
-           [--format json|text]    telemetry sweep as CSV (text, the default)
-                                   or newline-delimited JSON
+           [--format json|text] [--store FILE]
+                                   telemetry sweep as CSV (text, the default)
+                                   or newline-delimited JSON; with --store,
+                                   the span is scanned from the archive
+                                   (reading only intersecting blocks)
+                                   instead of re-simulated
+  archive  <pack|unpack|stat|scan> columnar telemetry archive tools
+                                   (`mira-ops archive` for details)
   ras      [--out ras.csv] [--raw] counted (or raw) RAS events as CSV
   predict  [--lead-hours 3] [--events 150] [--epochs 30]
                                    train the CMF predictor, print metrics
-  report   [--fast] [--threads N] [--metrics json|text]
+  report   [--fast] [--threads N] [--metrics json|text] [--store FILE]
                                    regenerate every figure (paper vs measured);
                                    --metrics appends the observability report
-                                   (deterministic snapshot + wall timings)
-  serve    [--step-min 5] [--tcp HOST:PORT] [--format json|text]
+                                   (deterministic snapshot + wall timings);
+                                   --store appends the archive's shape and
+                                   compression summary
+  serve    [--step-min 5] [--tcp HOST:PORT] [--format json|text] [--store FILE]
                                    long-running analytics service: ingest
                                    telemetry incrementally and answer
                                    newline-delimited JSON queries (status,
                                    metrics, figure, report, predict, ingest,
-                                   shutdown) on stdio and optionally TCP;
+                                   replay, shutdown) on stdio and optionally
+                                   TCP; --store attaches a telemetry archive
+                                   so replay queries answer from disk;
                                    --format picks the shutdown banner style
 
 GLOBAL FLAGS:
@@ -87,12 +99,40 @@ pub fn failures(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `mira-ops sample --rack "(1, 8)" --time "2016-07-04 12:00"`
+/// `mira-ops sample --rack "(1, 8)" --time "2016-07-04 12:00" [--store FILE]`
+///
+/// Both sources render through the archived record form (3-decimal
+/// quantization), so a sample served from a packed store is
+/// byte-identical to the simulated one.
 pub fn sample(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
-    let sim = simulation(args)?;
     let rack = RackId::parse(args.require("rack")?).map_err(|e| err(format!("bad --rack: {e}")))?;
     let t = parse_datetime(args.require("time")?)?;
-    let s = TelemetryProvider::sample(sim.telemetry(), rack, t);
+    let rec = match args.get("store") {
+        Some(path) => {
+            let mut ar = mira_store::open_archive(std::path::Path::new(path))?;
+            let mut found: Option<mira_core::TelemetryRecord> = None;
+            ar.scan_span(
+                t,
+                t + Duration::from_seconds(1),
+                mira_core::Projection::all(),
+                &mut |r| {
+                    if r.rack == rack && found.is_none() {
+                        found = Some(*r);
+                    }
+                },
+            )?;
+            found.ok_or_else(|| err(format!("store has no sample for rack {rack} at {t}")))?
+        }
+        None => {
+            let sim = simulation(args)?;
+            mira_core::TelemetryRecord::from_sample(&TelemetryProvider::sample(
+                sim.telemetry(),
+                rack,
+                t,
+            ))
+        }
+    };
+    let s = rec.to_sample();
     writeln!(out, "coolant monitor sample, rack {rack} at {t}:").map_err(io_err)?;
     writeln!(out, "  dc temperature : {}", s.dc_temperature).map_err(io_err)?;
     writeln!(out, "  dc humidity    : {}", s.dc_humidity).map_err(io_err)?;
@@ -104,9 +144,14 @@ pub fn sample(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `mira-ops export --from ... --to ... [--step-min 5] [--out file]`
+/// `mira-ops export --from ... --to ... [--step-min 5] [--out file]
+/// [--format json|text] [--store FILE]`
+///
+/// Without `--store` the span is simulated; with it, the rows are
+/// scanned from a telemetry archive (columnar or CSV), reading only
+/// the row groups that intersect the span. Both paths render through
+/// the same [`RowEmitter`], so their output is byte-identical.
 pub fn export(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
-    let sim = simulation(args)?;
     let from = parse_datetime(args.require("from")?)?;
     let to = parse_datetime(args.require("to")?)?;
     if from >= to {
@@ -119,21 +164,32 @@ pub fn export(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     let step = Duration::from_minutes(step_min);
     let format = OutputFormat::from_flag(args, "format")?.unwrap_or(OutputFormat::Text);
 
-    let engine = sim.telemetry();
-    let rows = match (args.get("out"), format) {
-        (Some(path), OutputFormat::Text) => {
-            let file = File::create(path).map_err(|e| create_err(path, e))?;
-            archive::export_sweep(engine, from, to, step, BufWriter::new(file))?
-        }
-        (Some(path), OutputFormat::Json) => {
-            let file = File::create(path).map_err(|e| create_err(path, e))?;
-            archive::export_sweep_ndjson(engine, from, to, step, BufWriter::new(file))?
-        }
-        (None, OutputFormat::Text) => archive::export_sweep(engine, from, to, step, &mut *out)?,
-        (None, OutputFormat::Json) => {
-            archive::export_sweep_ndjson(engine, from, to, step, &mut *out)?
-        }
+    let sink: Box<dyn Write> = match args.get("out") {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| create_err(path, e))?,
+        )),
+        None => Box::new(&mut *out),
     };
+    let mut emitter = RowEmitter::new(sink, format);
+    match args.get("store") {
+        Some(path) => {
+            let mut ar = mira_store::open_archive(std::path::Path::new(path))?;
+            scan_into_emitter(
+                ar.as_mut(),
+                from,
+                to,
+                mira_core::Projection::all(),
+                &mut emitter,
+            )?;
+        }
+        None => {
+            let sim = simulation(args)?;
+            archive::sweep_records(sim.telemetry(), from, to, step, |rec| emitter.row(rec))
+                .map_err(io_err)?;
+        }
+    }
+    let (sink, rows) = emitter.finish().map_err(io_err)?;
+    drop(sink);
     if args.get("out").is_some() {
         writeln!(out, "wrote {rows} telemetry rows").map_err(io_err)?;
     }
@@ -249,6 +305,22 @@ pub fn report(args: &ArgMap, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .map_err(io_err)?;
     writeln!(out, "(run the reproduce_all example for the full report)").map_err(io_err)?;
+    if let Some(path) = args.get("store") {
+        let mut ar = mira_store::open_archive(std::path::Path::new(path))?;
+        let st = ar.stat()?;
+        match st.time_range {
+            Some((lo, hi)) => writeln!(
+                out,
+                "[Archive] {} rows in {} groups | {} RAS events | {:.2}x vs csv | {lo} .. {hi}",
+                st.rows,
+                st.groups,
+                st.ras_events,
+                st.compression_ratio()
+            )
+            .map_err(io_err)?,
+            None => writeln!(out, "[Archive] empty ({} bytes)", st.file_bytes).map_err(io_err)?,
+        }
+    }
     match metrics {
         Some(OutputFormat::Json) => {
             writeln!(out, "{}", observed.report.to_json()).map_err(io_err)?;
@@ -280,7 +352,10 @@ pub fn serve_with_input<R: BufRead>(
         return Err(err("--step-min must be positive"));
     }
     let banner = OutputFormat::from_flag(args, "format")?.unwrap_or(OutputFormat::Text);
-    let state = ServeState::new(sim, Duration::from_minutes(step_min))?;
+    let mut state = ServeState::new(sim, Duration::from_minutes(step_min))?;
+    if let Some(path) = args.get("store") {
+        state = state.with_store(mira_store::open_archive(std::path::Path::new(path))?);
+    }
 
     std::thread::scope(|scope| -> Result<(), CliError> {
         let tcp_worker = match args.get("tcp") {
@@ -331,6 +406,7 @@ pub fn run(command: &str, args: &ArgMap, out: &mut dyn Write) -> Result<(), CliE
         "failures" => failures(args, out),
         "sample" => sample(args, out),
         "export" => export(args, out),
+        "archive" => archive_cmd(args, out),
         "ras" => ras(args, out),
         "predict" => predict(args, out),
         "report" => report(args, out),
@@ -339,14 +415,14 @@ pub fn run(command: &str, args: &ArgMap, out: &mut dyn Write) -> Result<(), CliE
     }
 }
 
-fn io_err(e: std::io::Error) -> CliError {
+pub(crate) fn io_err(e: std::io::Error) -> CliError {
     CliError::Io {
         context: "output error".to_string(),
         source: e,
     }
 }
 
-fn create_err(path: &str, e: std::io::Error) -> CliError {
+pub(crate) fn create_err(path: &str, e: std::io::Error) -> CliError {
     CliError::Io {
         context: format!("cannot create {path}"),
         source: e,
@@ -514,6 +590,44 @@ mod tests {
             .lines()
             .last()
             .is_some_and(|l| l == "{\"served\":true,\"queries_served\":2,\"steps_ingested\":4}"));
+    }
+
+    #[test]
+    fn serve_replay_answers_from_an_attached_store() {
+        let dir = std::env::temp_dir().join(format!("mira-serve-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let csv = dir.join("tele.csv").display().to_string();
+        run_cmd(
+            "export",
+            &[
+                "--from",
+                "2015-03-01",
+                "--to",
+                "2015-03-01 02:00",
+                "--step-min",
+                "60",
+                "--out",
+                &csv,
+            ],
+        )
+        .unwrap();
+        let store = dir.join("tele.mstore").display().to_string();
+        run_cmd("archive", &["pack", "--in", &csv, "--out", &store]).unwrap();
+
+        let script = "{\"cmd\":\"replay\",\"limit\":2,\"id\":1}\n";
+        let text = run_serve(&["--store", &store], script).unwrap();
+        let first = text.lines().next().unwrap_or_default();
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"returned\":2"), "{first}");
+        assert!(first.contains("\"rows_scanned\":96"), "{first}");
+        assert!(first.contains("\"power_kw\":"), "{first}");
+
+        // Without --store the same query is a usage error.
+        let text = run_serve(&[], script).unwrap();
+        let first = text.lines().next().unwrap_or_default();
+        assert!(first.contains("no archive attached"), "{first}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

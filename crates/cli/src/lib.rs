@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive_cmd;
 pub mod args;
 pub mod commands;
 

@@ -1,4 +1,5 @@
-//! Telemetry and RAS archival: CSV export/import.
+//! Telemetry and RAS archival: CSV export/import, delegating row
+//! parsing and rendering to `mira-store`'s canonical record model.
 //!
 //! The real Mira stored its coolant telemetry in an IBM DB2
 //! environmental database; downstream users of this reproduction need
@@ -6,20 +7,32 @@
 //! coolant-monitor sample (`time,rack,dc_temp_f,dc_rh,flow_gpm,
 //! inlet_f,outlet_f,power_kw`) and one row per RAS event
 //! (`time,rack,kind,severity`), both round-trippable.
+//!
+//! Every row passes through [`mira_store::TelemetryRecord`] — values
+//! quantized to milli-units through the same `{:.3}` rendering the
+//! exports use — so a sweep exported live, a CSV file read back, and a
+//! columnar archive scanned with [`mira_store::Archive::scan_span`]
+//! all produce byte-identical text.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
 use mira_cooling::CoolantMonitorSample;
-use mira_facility::RackId;
-use mira_ras::{FailureKind, RasEvent, Severity};
+use mira_ras::RasEvent;
+use mira_store::csvfile::{parse_ras_row, parse_telemetry_row};
+use mira_store::{ras_csv_row, StoreError, TelemetryRecord};
 use mira_timeseries::{Duration, SimTime};
-use mira_units::{Fahrenheit, Gpm, Kilowatts, RelHumidity};
 
 use crate::error::Error;
 use crate::telemetry::TelemetryEngine;
 
 /// Errors arising when reading an archive.
+#[deprecated(
+    since = "0.1.0",
+    note = "folded into the structured `mira_core::StoreError` \
+            (`Error::Store`); this alias-shaped enum only remains for \
+            downstream `match` arms mid-migration"
+)]
 #[derive(Debug)]
 pub enum ArchiveError {
     /// Underlying I/O failure.
@@ -33,6 +46,17 @@ pub enum ArchiveError {
     },
 }
 
+#[allow(deprecated)]
+impl From<ArchiveError> for StoreError {
+    fn from(e: ArchiveError) -> Self {
+        match e {
+            ArchiveError::Io(e) => StoreError::Io(e),
+            ArchiveError::Parse { line, message } => StoreError::Parse { line, message },
+        }
+    }
+}
+
+#[allow(deprecated)]
 impl fmt::Display for ArchiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -44,6 +68,7 @@ impl fmt::Display for ArchiveError {
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for ArchiveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -53,6 +78,7 @@ impl std::error::Error for ArchiveError {
     }
 }
 
+#[allow(deprecated)]
 impl From<io::Error> for ArchiveError {
     fn from(e: io::Error) -> Self {
         ArchiveError::Io(e)
@@ -60,10 +86,10 @@ impl From<io::Error> for ArchiveError {
 }
 
 /// The telemetry CSV header.
-pub const TELEMETRY_HEADER: &str = "time,rack,dc_temp_f,dc_rh,flow_gpm,inlet_f,outlet_f,power_kw";
+pub const TELEMETRY_HEADER: &str = mira_store::TELEMETRY_HEADER;
 
 /// The RAS CSV header.
-pub const RAS_HEADER: &str = "time,rack,kind,severity";
+pub const RAS_HEADER: &str = mira_store::RAS_HEADER;
 
 /// Writes telemetry samples as CSV (header included). Pass `&mut w` to
 /// keep the writer.
@@ -78,18 +104,7 @@ pub fn write_telemetry_csv<W: Write>(
     writeln!(w, "{TELEMETRY_HEADER}")?;
     let mut rows = 0;
     for s in samples {
-        writeln!(
-            w,
-            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            s.time.epoch_seconds(),
-            s.rack,
-            s.dc_temperature.value(),
-            s.dc_humidity.value(),
-            s.flow.value(),
-            s.inlet.value(),
-            s.outlet.value(),
-            s.power.value(),
-        )?;
+        writeln!(w, "{}", TelemetryRecord::from_sample(&s).csv_row())?;
         rows += 1;
     }
     Ok(rows)
@@ -99,10 +114,8 @@ pub fn write_telemetry_csv<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`Error::Archive`] carrying [`ArchiveError::Parse`] on
-/// malformed rows and [`ArchiveError::Io`] on reader failures.
-// Field indices stay below the checked 9-field count.
-// mira-lint: allow(panic-reachability)
+/// Returns [`Error::Store`] carrying [`StoreError::Parse`] on
+/// malformed rows and [`StoreError::Io`] on reader failures.
 pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>, Error> {
     let mut out = Vec::new();
     for (idx, line) in r.lines().enumerate() {
@@ -117,35 +130,7 @@ pub fn read_telemetry_csv<R: BufRead>(r: R) -> Result<Vec<CoolantMonitorSample>,
         if line.trim().is_empty() {
             continue;
         }
-        // Rack ids contain a comma ("(1, 8)"), so split around them:
-        // time, "(r, c)" spans two comma-fields.
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 9 {
-            return Err(parse_err(lineno, "expected 9 comma fields"));
-        }
-        let rack_str = format!("{},{}", fields[1], fields[2]);
-        let rack =
-            RackId::parse(&rack_str).map_err(|e| parse_err(lineno, &format!("bad rack: {e}")))?;
-        let num = |i: usize| -> Result<f64, Error> {
-            fields[i]
-                .trim()
-                .parse()
-                .map_err(|_| parse_err(lineno, &format!("bad number in field {i}")))
-        };
-        let secs: i64 = fields[0]
-            .trim()
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad timestamp"))?;
-        out.push(CoolantMonitorSample {
-            time: SimTime::from_epoch_seconds(secs),
-            rack,
-            dc_temperature: Fahrenheit::new(num(3)?),
-            dc_humidity: RelHumidity::new(num(4)?),
-            flow: Gpm::new(num(5)?),
-            inlet: Fahrenheit::new(num(6)?),
-            outlet: Fahrenheit::new(num(7)?),
-            power: Kilowatts::new(num(8)?),
-        });
+        out.push(parse_telemetry_row(&line, lineno)?.to_sample());
     }
     Ok(out)
 }
@@ -170,26 +155,11 @@ pub fn export_sweep<W: Write>(
     assert!(step.as_seconds() > 0, "step must be positive");
     writeln!(w, "{TELEMETRY_HEADER}")?;
     let mut rows = 0;
-    let mut t = from;
-    while t < to {
-        let (_, samples) = engine.observe_all(t);
-        for s in samples {
-            writeln!(
-                w,
-                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                s.time.epoch_seconds(),
-                s.rack,
-                s.dc_temperature.value(),
-                s.dc_humidity.value(),
-                s.flow.value(),
-                s.inlet.value(),
-                s.outlet.value(),
-                s.power.value(),
-            )?;
-            rows += 1;
-        }
-        t += step;
-    }
+    sweep_records(engine, from, to, step, |rec| -> Result<(), Error> {
+        writeln!(w, "{}", rec.csv_row())?;
+        rows += 1;
+        Ok(())
+    })?;
     Ok(rows)
 }
 
@@ -215,23 +185,40 @@ pub fn export_sweep_ndjson<W: Write>(
     assert!(from < to, "empty export span");
     assert!(step.as_seconds() > 0, "step must be positive");
     let mut rows = 0;
+    sweep_records(engine, from, to, step, |rec| -> Result<(), Error> {
+        writeln!(w, "{}", rec.ndjson_row())?;
+        rows += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+/// Walks the sweep grid `[from, to)` × all racks in deterministic
+/// order, delivering each sample quantized to its archived record form
+/// — the single row source behind every export and archive surface.
+///
+/// # Errors
+///
+/// Propagates the sink's errors.
+///
+/// # Panics
+///
+/// Panics if the span is empty or the step non-positive.
+pub fn sweep_records<E>(
+    engine: &TelemetryEngine,
+    from: SimTime,
+    to: SimTime,
+    step: Duration,
+    mut sink: impl FnMut(&TelemetryRecord) -> Result<(), E>,
+) -> Result<usize, E> {
+    assert!(from < to, "empty export span");
+    assert!(step.as_seconds() > 0, "step must be positive");
+    let mut rows = 0;
     let mut t = from;
     while t < to {
         let (_, samples) = engine.observe_all(t);
         for s in samples {
-            writeln!(
-                w,
-                "{{\"time\":{},\"rack\":\"{}\",\"dc_temp_f\":{:.3},\"dc_rh\":{:.3},\
-                 \"flow_gpm\":{:.3},\"inlet_f\":{:.3},\"outlet_f\":{:.3},\"power_kw\":{:.3}}}",
-                s.time.epoch_seconds(),
-                s.rack,
-                s.dc_temperature.value(),
-                s.dc_humidity.value(),
-                s.flow.value(),
-                s.inlet.value(),
-                s.outlet.value(),
-                s.power.value(),
-            )?;
+            sink(&TelemetryRecord::from_sample(&s))?;
             rows += 1;
         }
         t += step;
@@ -251,14 +238,7 @@ pub fn write_ras_csv<'a, W: Write>(
     writeln!(w, "{RAS_HEADER}")?;
     let mut rows = 0;
     for e in events {
-        writeln!(
-            w,
-            "{},{},{},{}",
-            e.time.epoch_seconds(),
-            e.rack,
-            e.kind.tag(),
-            e.severity,
-        )?;
+        writeln!(w, "{}", ras_csv_row(e))?;
         rows += 1;
     }
     Ok(rows)
@@ -268,10 +248,8 @@ pub fn write_ras_csv<'a, W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`Error::Archive`] carrying [`ArchiveError::Parse`] on
+/// Returns [`Error::Store`] carrying [`StoreError::Parse`] on
 /// malformed rows.
-// Field indices stay below the checked 5-field count.
-// mira-lint: allow(panic-reachability)
 pub fn read_ras_csv<R: BufRead>(r: R) -> Result<Vec<RasEvent>, Error> {
     let mut out = Vec::new();
     for (idx, line) in r.lines().enumerate() {
@@ -286,37 +264,13 @@ pub fn read_ras_csv<R: BufRead>(r: R) -> Result<Vec<RasEvent>, Error> {
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 5 {
-            return Err(parse_err(lineno, "expected 5 comma fields"));
-        }
-        let secs: i64 = fields[0]
-            .trim()
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad timestamp"))?;
-        let rack = RackId::parse(&format!("{},{}", fields[1], fields[2]))
-            .map_err(|e| parse_err(lineno, &format!("bad rack: {e}")))?;
-        let kind = FailureKind::ALL
-            .into_iter()
-            .find(|k| k.tag() == fields[3].trim())
-            .ok_or_else(|| parse_err(lineno, "unknown failure kind"))?;
-        let severity = match fields[4].trim() {
-            "warn" => Severity::Warn,
-            "fatal" => Severity::Fatal,
-            other => return Err(parse_err(lineno, &format!("unknown severity {other}"))),
-        };
-        out.push(RasEvent {
-            time: SimTime::from_epoch_seconds(secs),
-            rack,
-            kind,
-            severity,
-        });
+        out.push(parse_ras_row(&line, lineno)?);
     }
     Ok(out)
 }
 
 fn parse_err(line: usize, message: &str) -> Error {
-    Error::Archive(ArchiveError::Parse {
+    Error::Store(StoreError::Parse {
         line,
         message: message.to_string(),
     })
@@ -350,6 +304,22 @@ mod tests {
             // CSV keeps three decimals.
             assert!((a.inlet.value() - b.inlet.value()).abs() < 1e-3);
             assert!((a.power.value() - b.power.value()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csv_read_back_re_renders_identically() {
+        // Parse → re-render is byte-identical: the quantization both
+        // directions run through the same canonical text.
+        let s = sim();
+        let t = SimTime::from_date(Date::new(2015, 4, 1));
+        let (_, samples) = s.telemetry().observe_all(t);
+        let mut buf = Vec::new();
+        write_telemetry_csv(&mut buf, samples).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for (idx, line) in text.lines().enumerate().skip(1) {
+            let rec = parse_telemetry_row(line, idx + 1).unwrap();
+            assert_eq!(rec.csv_row(), line);
         }
     }
 
@@ -423,7 +393,7 @@ mod tests {
         let bad = format!("{TELEMETRY_HEADER}\n123,(0, zz),1,2,3,4,5,6\n");
         let err = read_telemetry_csv(bad.as_bytes()).unwrap_err();
         match err {
-            Error::Archive(ArchiveError::Parse { line, .. }) => assert_eq!(line, 2),
+            Error::Store(StoreError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("wrong error: {other}"),
         }
         let bad_header = "nope\n";

@@ -2,16 +2,21 @@
 //!
 //! Every fallible public operation in this crate reports through
 //! [`Error`], with the domain-specific enums ([`SweepError`],
-//! [`ArchiveError`]) kept as payloads so callers can still match the
-//! precise cause. `From` impls let internal `?` call sites and
-//! downstream wrappers convert without ceremony, and
+//! [`mira_store::StoreError`]) kept as payloads so callers can still
+//! match the precise cause. `From` impls let internal `?` call sites
+//! and downstream wrappers convert without ceremony, and
 //! [`std::error::Error::source`] exposes the underlying cause chain
 //! (down to the `std::io::Error` inside a failed archive read).
+//!
+//! Storage faults carry structure: [`StoreError::Parse`] names the
+//! offending CSV line, [`StoreError::Corrupt`] the byte offset,
+//! row-group id, and channel of an undecodable columnar block.
 
 use std::fmt;
 use std::io;
 
-use crate::archive::ArchiveError;
+use mira_store::StoreError;
+
 use crate::sweep::SweepError;
 
 /// Any error a `mira-core` operation can report.
@@ -20,14 +25,15 @@ use crate::sweep::SweepError;
 pub enum Error {
     /// A sweep could not run (bad span or step).
     Sweep(SweepError),
-    /// Archive I/O or parsing failed.
-    Archive(ArchiveError),
+    /// A telemetry archive operation failed (I/O, text parse, or
+    /// columnar corruption — see [`StoreError`] for the structure).
+    Store(StoreError),
 }
 
 impl Error {
     /// The process exit code this error maps to — the same taxonomy the
-    /// `mira-ops` CLI uses (`3` sweep, `4` archive parse, `5` archive
-    /// I/O; usage errors are the CLI's own `2`).
+    /// `mira-ops` CLI uses (`3` sweep, `4` store parse, `5` store I/O,
+    /// `7` store corruption; usage errors are the CLI's own `2`).
     /// Long-running frontends (`mira-ops serve`) embed this in
     /// structured error replies so scripted clients branch on the same
     /// codes a batch invocation would exit with.
@@ -35,20 +41,22 @@ impl Error {
     pub fn exit_code(&self) -> u8 {
         match self {
             Error::Sweep(_) => 3,
-            Error::Archive(ArchiveError::Parse { .. }) => 4,
-            Error::Archive(ArchiveError::Io(_)) => 5,
+            Error::Store(StoreError::Parse { .. }) => 4,
+            Error::Store(StoreError::Io(_)) => 5,
+            Error::Store(StoreError::Corrupt { .. }) => 7,
         }
     }
 
     /// A short stable label for the error class (`"sweep"`,
-    /// `"archive-parse"`, `"archive-io"`), paired with
+    /// `"store-parse"`, `"store-io"`, `"store-corrupt"`), paired with
     /// [`Error::exit_code`] in structured replies.
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             Error::Sweep(_) => "sweep",
-            Error::Archive(ArchiveError::Parse { .. }) => "archive-parse",
-            Error::Archive(ArchiveError::Io(_)) => "archive-io",
+            Error::Store(StoreError::Parse { .. }) => "store-parse",
+            Error::Store(StoreError::Io(_)) => "store-io",
+            Error::Store(StoreError::Corrupt { .. }) => "store-corrupt",
         }
     }
 }
@@ -57,7 +65,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Sweep(e) => e.fmt(f),
-            Error::Archive(e) => e.fmt(f),
+            Error::Store(e) => e.fmt(f),
         }
     }
 }
@@ -66,7 +74,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Sweep(e) => Some(e),
-            Error::Archive(e) => Some(e),
+            Error::Store(e) => Some(e),
         }
     }
 }
@@ -77,15 +85,22 @@ impl From<SweepError> for Error {
     }
 }
 
-impl From<ArchiveError> for Error {
-    fn from(e: ArchiveError) -> Self {
-        Error::Archive(e)
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::archive::ArchiveError> for Error {
+    fn from(e: crate::archive::ArchiveError) -> Self {
+        Error::Store(e.into())
     }
 }
 
 impl From<io::Error> for Error {
     fn from(e: io::Error) -> Self {
-        Error::Archive(ArchiveError::Io(e))
+        Error::Store(StoreError::Io(e))
     }
 }
 
@@ -98,7 +113,7 @@ mod tests {
     fn display_delegates_to_the_cause() {
         let e = Error::from(SweepError::EmptySpan);
         assert_eq!(e.to_string(), SweepError::EmptySpan.to_string());
-        let e = Error::from(ArchiveError::Parse {
+        let e = Error::from(StoreError::Parse {
             line: 3,
             message: "bad number".to_string(),
         });
@@ -113,8 +128,8 @@ mod tests {
 
         let io = io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed");
         let e = Error::from(io);
-        let archive = e.source().expect("archive cause");
-        let inner = archive.source().expect("io cause");
+        let store = e.source().expect("store cause");
+        let inner = store.source().expect("io cause");
         assert!(inner.to_string().contains("pipe closed"));
     }
 
@@ -122,18 +137,31 @@ mod tests {
     fn exit_codes_and_kinds_follow_the_cause() {
         let sweep = Error::from(SweepError::EmptySpan);
         assert_eq!((sweep.exit_code(), sweep.kind()), (3, "sweep"));
-        let parse = Error::from(ArchiveError::Parse {
+        let parse = Error::from(StoreError::Parse {
             line: 1,
             message: "bad".to_string(),
         });
-        assert_eq!((parse.exit_code(), parse.kind()), (4, "archive-parse"));
+        assert_eq!((parse.exit_code(), parse.kind()), (4, "store-parse"));
         let io = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
-        assert_eq!((io.exit_code(), io.kind()), (5, "archive-io"));
+        assert_eq!((io.exit_code(), io.kind()), (5, "store-io"));
+        let corrupt = Error::from(StoreError::corrupt(16, "bad magic"));
+        assert_eq!((corrupt.exit_code(), corrupt.kind()), (7, "store-corrupt"));
     }
 
     #[test]
-    fn io_errors_land_under_archive() {
+    fn io_errors_land_under_store() {
         let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
-        assert!(matches!(e, Error::Archive(ArchiveError::Io(_))));
+        assert!(matches!(e, Error::Store(StoreError::Io(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_archive_error_still_converts() {
+        let e = Error::from(crate::archive::ArchiveError::Parse {
+            line: 9,
+            message: "legacy".to_string(),
+        });
+        assert_eq!((e.exit_code(), e.kind()), (4, "store-parse"));
+        assert!(e.to_string().contains("line 9"));
     }
 }

@@ -105,4 +105,5 @@ pub use mira_predictor::{
     CmfPredictor, DatasetBuilder, FeatureConfig, PredictorConfig, TelemetryProvider,
 };
 pub use mira_ras::{CmfSchedule, FailureKind, RasEvent, RasLog, Severity};
+pub use mira_store::{Archive, ArchiveStat, Projection, ScanStats, StoreError, TelemetryRecord};
 pub use mira_timeseries::{Date, DateTime, Duration, SimTime};

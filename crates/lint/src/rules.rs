@@ -24,10 +24,11 @@ use crate::parser::{DetHazard, PanicSite, ParsedFile, Vis};
 pub const PHYSICS_CRATES: [&str; 4] = ["cooling", "weather", "facility", "workload"];
 
 /// The crates whose simulation code must stay deterministic.
-pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "cooling", "weather", "workload", "ras"];
+pub const DETERMINISTIC_CRATES: [&str; 6] =
+    ["core", "cooling", "weather", "workload", "ras", "store"];
 
 /// The crates whose *public* fns must not reach a panic site.
-pub const PANIC_AUDITED_CRATES: [&str; 3] = ["core", "cooling", "timeseries"];
+pub const PANIC_AUDITED_CRATES: [&str; 4] = ["core", "cooling", "timeseries", "store"];
 
 /// The `mira-units` newtypes whose raw `f64` payload the `unit-flow`
 /// rule tracks.

@@ -61,6 +61,20 @@ pub enum Request {
         /// Grid instants to append.
         steps: usize,
     },
+    /// `{"cmd":"replay"[,"from":EPOCH,"to":EPOCH,"limit":N]}` — stream
+    /// archived telemetry rows from the attached columnar store instead
+    /// of re-simulating. `from`/`to` are epoch seconds bounding the
+    /// half-open span `[from, to)`; omitted bounds mean the full
+    /// archive. At most `limit` rows (default 100) are returned; scan
+    /// statistics always report the true span.
+    Replay {
+        /// Inclusive lower bound, epoch seconds (`None` = archive start).
+        from: Option<u64>,
+        /// Exclusive upper bound, epoch seconds (`None` = archive end).
+        to: Option<u64>,
+        /// Maximum rows in the reply.
+        limit: usize,
+    },
     /// `{"cmd":"shutdown"}` — stop accepting work after replying.
     Shutdown,
 }
@@ -76,6 +90,7 @@ impl Request {
             Request::Report => "serve.queries.report",
             Request::Predict { .. } => "serve.queries.predict",
             Request::Ingest { .. } => "serve.queries.ingest",
+            Request::Replay { .. } => "serve.queries.replay",
             Request::Shutdown => "serve.queries.shutdown",
         }
     }
@@ -139,17 +154,32 @@ pub fn parse_request(line: &str) -> Result<(Request, Json), RequestError> {
         "ingest" => Request::Ingest {
             steps: usize_field_required(&doc, &id, "steps")?,
         },
+        "replay" => Request::Replay {
+            from: optional_u64(&doc, &id, "from")?,
+            to: optional_u64(&doc, &id, "to")?,
+            limit: usize_field(&doc, &id, "limit", 100)?,
+        },
         other => {
             return Err(bad(
                 &id,
                 format!(
                     "unknown cmd {other:?}; expected status, metrics, figure, \
-                     report, predict, ingest, or shutdown"
+                     report, predict, ingest, replay, or shutdown"
                 ),
             ));
         }
     };
     Ok((request, id))
+}
+
+fn optional_u64(doc: &Json, id: &Json, key: &str) -> Result<Option<u64>, RequestError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(id, format!("\"{key}\" must be a non-negative integer"))),
+    }
 }
 
 fn field_u64(doc: &Json, id: &Json, key: &str, default: u64) -> Result<u64, RequestError> {
@@ -250,6 +280,22 @@ mod tests {
                 "{\"cmd\":\"ingest\",\"steps\":12}",
                 Request::Ingest { steps: 12 },
             ),
+            (
+                "{\"cmd\":\"replay\"}",
+                Request::Replay {
+                    from: None,
+                    to: None,
+                    limit: 100,
+                },
+            ),
+            (
+                "{\"cmd\":\"replay\",\"from\":1425168000,\"to\":1425254400,\"limit\":5}",
+                Request::Replay {
+                    from: Some(1_425_168_000),
+                    to: Some(1_425_254_400),
+                    limit: 5,
+                },
+            ),
         ];
         for (line, expected) in cases {
             let (req, id) = parse_request(line).expect(line);
@@ -290,6 +336,8 @@ mod tests {
             "{\"cmd\":\"ingest\",\"steps\":-1}",
             "{\"cmd\":\"ingest\",\"steps\":2.5}",
             "{\"cmd\":\"figure\"}",
+            "{\"cmd\":\"replay\",\"from\":-4}",
+            "{\"cmd\":\"replay\",\"limit\":\"many\"}",
         ] {
             let e = parse_request(line).unwrap_err();
             let reply = usage_error_reply(&e.id, &e.message);

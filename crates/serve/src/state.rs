@@ -20,11 +20,11 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use mira_core::{
-    analysis, CmfPredictor, DatasetBuilder, Duration, Error, FeatureConfig, IncrementalSweep,
-    ObsReport, PredictorConfig, Simulation, SweepSummary,
+    analysis, Archive, CmfPredictor, DatasetBuilder, Duration, Error, FeatureConfig,
+    IncrementalSweep, ObsReport, PredictorConfig, Projection, Simulation, SweepSummary,
 };
 use mira_nn::BinaryMetrics;
-use mira_timeseries::{LinearFit, MonthProfile, WeekdayProfile, YearProfile};
+use mira_timeseries::{LinearFit, MonthProfile, SimTime, WeekdayProfile, YearProfile};
 use mira_units::convert;
 
 use crate::json::Json;
@@ -61,6 +61,7 @@ pub struct ServeState {
     sweep: RwLock<IncrementalSweep>,
     stats: Mutex<ServeStats>,
     predictor: Mutex<Option<PredictCache>>,
+    store: Mutex<Option<Box<dyn Archive + Send>>>,
     shutdown: AtomicBool,
 }
 
@@ -78,8 +79,18 @@ impl ServeState {
             sweep: RwLock::new(sweep),
             stats: Mutex::new(ServeStats::new()),
             predictor: Mutex::new(None),
+            store: Mutex::new(None),
             shutdown: AtomicBool::new(false),
         })
+    }
+
+    /// Attaches a telemetry archive; `replay` queries answer from it
+    /// instead of re-simulating. Builder-style: called before the state
+    /// is shared across connection threads.
+    #[must_use]
+    pub fn with_store(mut self, store: Box<dyn Archive + Send>) -> Self {
+        self.store = Mutex::new(Some(store));
+        self
     }
 
     /// The simulation being served.
@@ -152,6 +163,17 @@ impl ServeState {
         }
     }
 
+    /// The replay store. Scans mutate the archive handle (they commit
+    /// buffered appends and seek), hence a mutex rather than an
+    /// `RwLock`; replay traffic serializes, which matches the
+    /// single-file-handle backend underneath.
+    fn lock_store(&self) -> MutexGuard<'_, Option<Box<dyn Archive + Send>>> {
+        match self.store.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Unlike [`Self::lock_stats`] — whose monotonic counters are
     /// valid after any partial update — a panic mid-(re)train can leave
     /// a half-built cache behind, so recovery here discards it and the
@@ -206,6 +228,7 @@ impl ServeState {
                 events,
                 epochs,
             } => self.predict(id, *lead_hours, *events, *epochs),
+            Request::Replay { from, to, limit } => self.replay(id, *from, *to, *limit),
             Request::Shutdown => {
                 self.request_shutdown();
                 ok_reply(id, vec![("shutting_down", Json::Bool(true))])
@@ -420,6 +443,53 @@ impl ServeState {
                 ("lead_hours", Json::from(lead_hours)),
                 ("test", binary_metrics_json(&c.test)),
                 ("at_lead", binary_metrics_json(&at_lead)),
+            ],
+        )
+    }
+
+    fn replay(&self, id: &Json, from: Option<u64>, to: Option<u64>, limit: usize) -> String {
+        let epoch = |bound: Option<u64>, default: i64| -> SimTime {
+            SimTime::from_epoch_seconds(
+                bound.map_or(default, |v| i64::try_from(v).unwrap_or(i64::MAX)),
+            )
+        };
+        let from_t = epoch(from, i64::MIN);
+        let to_t = epoch(to, i64::MAX);
+        if from_t >= to_t {
+            return usage_error_reply(id, "\"from\" must precede \"to\"");
+        }
+        // Rows are rendered under the store lock (the scan owns the
+        // file handle), but the stats lock is only taken after it is
+        // released — no request ever holds both.
+        let (rows, scan) = {
+            let mut guard = self.lock_store();
+            let Some(store) = guard.as_mut() else {
+                return usage_error_reply(
+                    id,
+                    "no archive attached; start serve with --store <archive.mstore>",
+                );
+            };
+            let mut rows: Vec<Json> = Vec::new();
+            let result = store.scan_span(from_t, to_t, Projection::all(), &mut |rec| {
+                if rows.len() < limit {
+                    rows.push(Json::Raw(rec.ndjson_row()));
+                }
+            });
+            match result {
+                Ok(scan) => (rows, scan),
+                Err(e) => return core_error_reply(id, &Error::from(e)),
+            }
+        };
+        self.lock_stats().note_scan(&scan);
+        ok_reply(
+            id,
+            vec![
+                ("returned", Json::from(convert::u64_from_usize(rows.len()))),
+                ("rows_scanned", Json::from(scan.rows_scanned)),
+                ("groups_scanned", Json::from(scan.groups_scanned)),
+                ("groups_total", Json::from(scan.groups_total)),
+                ("blocks_decoded", Json::from(scan.blocks_decoded)),
+                ("rows", Json::Arr(rows)),
             ],
         )
     }
@@ -808,6 +878,91 @@ mod tests {
         // And ingest keeps appending where it left off.
         let reply = s.handle("{\"cmd\":\"ingest\",\"steps\":4,\"id\":5}");
         assert!(reply.contains("\"steps_ingested\":12"), "{reply}");
+    }
+
+    #[test]
+    fn replay_without_store_is_a_usage_error() {
+        let s = state();
+        let reply = s.handle("{\"cmd\":\"replay\",\"id\":1}");
+        assert!(reply.contains("\"kind\":\"usage\""), "{reply}");
+        assert!(reply.contains("no archive attached"), "{reply}");
+        let reply = s.handle("{\"cmd\":\"replay\",\"from\":10,\"to\":10,\"id\":2}");
+        assert!(reply.contains("\"from\\\" must precede"), "{reply}");
+    }
+
+    /// Builds a small columnar archive: 8 rows per group, 4 groups,
+    /// one row per second starting at epoch 1000.
+    fn packed_store(path: &std::path::Path) -> Box<dyn Archive + Send> {
+        use mira_core::{RackId, TelemetryRecord};
+        let mut ar = mira_store::ColumnarArchive::create(path)
+            .expect("create store")
+            .with_group_rows(8);
+        let rows: Vec<TelemetryRecord> = (0..32i64)
+            .map(|i| TelemetryRecord {
+                time: SimTime::from_epoch_seconds(1000 + i),
+                rack: RackId::new(0, 0),
+                milli: [i * 10, 45_000, 190_000, 62_000, 71_000, i * 7],
+            })
+            .collect();
+        ar.append_telemetry(&rows).expect("append");
+        ar.flush().expect("flush");
+        Box::new(ar)
+    }
+
+    #[test]
+    fn replay_streams_rows_and_prunes_groups() {
+        let dir = std::env::temp_dir().join(format!("mira-serve-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("replay.mstore");
+
+        let s = state().with_store(packed_store(&path));
+        // [1008, 1016) is exactly the second of four 8-row groups.
+        let reply = s.handle("{\"cmd\":\"replay\",\"from\":1008,\"to\":1016,\"id\":1}");
+        assert!(reply.starts_with("{\"ok\":true,\"id\":1,"), "{reply}");
+        assert!(reply.contains("\"returned\":8"), "{reply}");
+        assert!(reply.contains("\"rows_scanned\":8"), "{reply}");
+        assert!(reply.contains("\"groups_scanned\":1"), "{reply}");
+        assert!(reply.contains("\"groups_total\":4"), "{reply}");
+        // Rows are the store's NDJSON rendering, spliced in raw.
+        assert!(
+            reply.contains("\"rack\":\"(0, 0)\"") || reply.contains("\"rack\":"),
+            "{reply}"
+        );
+
+        // The limit caps the reply without hiding the true scan size.
+        let reply = s.handle("{\"cmd\":\"replay\",\"limit\":3,\"id\":2}");
+        assert!(reply.contains("\"returned\":3"), "{reply}");
+        assert!(reply.contains("\"rows_scanned\":32"), "{reply}");
+        assert!(reply.contains("\"groups_scanned\":4"), "{reply}");
+
+        // Scan counters surface in the deterministic metrics snapshot.
+        let reply = s.handle("{\"cmd\":\"ingest\",\"steps\":4,\"id\":3}");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let reply = s.handle("{\"cmd\":\"metrics\",\"id\":4}");
+        assert!(reply.contains("\"serve.queries.replay\":2"), "{reply}");
+        assert!(reply.contains("\"store.rows_scanned\":40"), "{reply}");
+        assert!(reply.contains("\"store.groups_scanned\":5"), "{reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_replies_are_deterministic() {
+        let dir =
+            std::env::temp_dir().join(format!("mira-serve-replay-det-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let script = "{\"cmd\":\"replay\",\"from\":1004,\"to\":1020,\"limit\":50,\"id\":9}";
+        let run = |name: &str| {
+            let path = dir.join(name);
+            let s = state().with_store(packed_store(&path));
+            s.handle(script)
+        };
+        let a = run("a.mstore");
+        let b = run("b.mstore");
+        assert_eq!(a, b);
+        assert!(a.contains("\"returned\":16"), "{a}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

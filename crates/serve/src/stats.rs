@@ -73,6 +73,13 @@ impl ServeStats {
         self.metrics.add(STEPS_INGESTED, steps);
     }
 
+    /// Merges one archive scan's counters under the `store.*` keys, so
+    /// replay traffic shows up in the deterministic metrics snapshot
+    /// (rows scanned, groups pruned, blocks decoded, bytes read).
+    pub fn note_scan(&mut self, scan: &mira_core::ScanStats) {
+        scan.record(&mut self.metrics);
+    }
+
     /// Records the wall time an ingest request spent appending.
     pub fn note_ingest_wall(&mut self, nanos: u64) {
         self.ingest_nanos = self.ingest_nanos.saturating_add(nanos);

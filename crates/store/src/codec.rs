@@ -1,0 +1,232 @@
+//! The integer codecs every column block is built from: LEB128
+//! varints, zigzag sign folding, and delta chains.
+//!
+//! All three compose into the block payload encoding: a column of
+//! `i64` values is stored as `zigzag(v[0]), zigzag(v[1] - v[0]), ...`
+//! with each zigzagged word written as a varint. Deltas use *wrapping*
+//! subtraction so the chain is total over the full `i64` domain
+//! (`i64::MIN - i64::MAX` wraps instead of overflowing); decoding
+//! wraps the additions back, so round-trips are exact everywhere.
+
+/// A decode failure inside one payload, positioned by byte offset so
+/// callers can lift it into a structured corruption error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset within the payload where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+/// Folds a signed value into an unsigned one with the sign in bit 0,
+/// so small-magnitude values of either sign become small varints.
+///
+/// Runs in the `u64` domain (bit-cast via little-endian bytes) because
+/// `i64 << 1` overflows for half the domain.
+#[must_use]
+pub fn zigzag_encode(n: i64) -> u64 {
+    let bits = u64::from_le_bytes(n.to_le_bytes());
+    (bits << 1) ^ (bits >> 63).wrapping_neg()
+}
+
+/// Inverse of [`zigzag_encode`]; total over all of `u64`.
+#[must_use]
+pub fn zigzag_decode(z: u64) -> i64 {
+    i64::from_le_bytes(((z >> 1) ^ (z & 1).wrapping_neg()).to_le_bytes())
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes, 7 payload bits per
+/// byte, high bit = continuation).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let low = u8::try_from(v & 0x7f).unwrap_or(0);
+        v >>= 7;
+        if v == 0 {
+            buf.push(low);
+            return;
+        }
+        buf.push(low | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `*pos`, advancing `*pos` past
+/// it.
+///
+/// # Errors
+///
+/// [`CodecError`] when the payload ends mid-varint or the varint runs
+/// longer than the 10 bytes a `u64` can need (an overlong or corrupt
+/// encoding).
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    let start = *pos;
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(CodecError {
+                offset: start,
+                message: "truncated varint",
+            });
+        };
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(CodecError {
+                offset: start,
+                message: "varint overflows u64",
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError {
+                offset: start,
+                message: "varint longer than 10 bytes",
+            });
+        }
+    }
+}
+
+/// Encodes a column of values as a delta + zigzag + varint stream:
+/// the first value absolute, every later one as a wrapping delta from
+/// its predecessor. Empty columns produce an empty payload.
+pub fn encode_deltas(values: &[i64], out: &mut Vec<u8>) {
+    let mut prev: i64 = 0;
+    let mut first = true;
+    for &v in values {
+        let delta = if first { v } else { v.wrapping_sub(prev) };
+        write_varint(out, zigzag_encode(delta));
+        prev = v;
+        first = false;
+    }
+}
+
+/// Decodes exactly `count` values from a [`encode_deltas`] payload,
+/// appending them to `out`.
+///
+/// # Errors
+///
+/// [`CodecError`] when the payload is truncated, malformed, or carries
+/// trailing bytes beyond the `count` values it claims.
+pub fn decode_deltas(bytes: &[u8], count: usize, out: &mut Vec<i64>) -> Result<(), CodecError> {
+    let mut pos = 0usize;
+    let mut prev: i64 = 0;
+    for i in 0..count {
+        let z = read_varint(bytes, &mut pos)?;
+        let delta = zigzag_decode(z);
+        let value = if i == 0 {
+            delta
+        } else {
+            prev.wrapping_add(delta)
+        };
+        out.push(value);
+        prev = value;
+    }
+    if pos != bytes.len() {
+        return Err(CodecError {
+            offset: pos,
+            message: "trailing bytes after final value",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) {
+        let mut buf = Vec::new();
+        encode_deltas(values, &mut buf);
+        let mut back = Vec::new();
+        decode_deltas(&buf, values.len(), &mut back).expect("decode");
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn zigzag_folds_small_magnitudes_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for n in [
+            0,
+            1,
+            -1,
+            42,
+            -42,
+            i64::MAX,
+            i64::MIN,
+            i64::MAX - 1,
+            i64::MIN + 1,
+        ] {
+            assert_eq!(zigzag_decode(zigzag_encode(n)), n, "{n}");
+        }
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v), "{v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_detects_truncation_and_overflow() {
+        // A continuation bit with nothing after it.
+        let mut pos = 0;
+        let e = read_varint(&[0x80], &mut pos).unwrap_err();
+        assert_eq!(e.message, "truncated varint");
+        // Eleven continuation bytes cannot encode a u64.
+        let mut pos = 0;
+        let e = read_varint(&[0x80; 11], &mut pos).unwrap_err();
+        assert!(e.message.contains("varint"), "{}", e.message);
+        // A tenth byte carrying more than the single remaining bit.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x02);
+        let mut pos = 0;
+        let e = read_varint(&bytes, &mut pos).unwrap_err();
+        assert_eq!(e.message, "varint overflows u64");
+    }
+
+    #[test]
+    fn delta_chain_round_trips_wrapping_extremes() {
+        roundtrip(&[]);
+        roundtrip(&[7]);
+        roundtrip(&[i64::MIN]);
+        roundtrip(&[i64::MAX]);
+        roundtrip(&[i64::MIN, i64::MAX, i64::MIN, 0, -1, 1]);
+        roundtrip(&[5, 4, 3, 100, -100, 0, 0, 0]);
+    }
+
+    #[test]
+    fn delta_decode_rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_deltas(&[1, 2, 3], &mut buf);
+        buf.push(0);
+        let mut out = Vec::new();
+        let e = decode_deltas(&buf, 3, &mut out).unwrap_err();
+        assert_eq!(e.message, "trailing bytes after final value");
+    }
+
+    #[test]
+    fn delta_decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_deltas(&[1, 2, 3], &mut buf);
+        buf.pop();
+        let mut out = Vec::new();
+        assert!(decode_deltas(&buf, 3, &mut out).is_err());
+    }
+}

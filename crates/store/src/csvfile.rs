@@ -1,0 +1,281 @@
+//! The CSV backend: the pre-existing text format behind the same
+//! [`Archive`] trait as the columnar store.
+//!
+//! Telemetry lives at the archive path itself (header plus one
+//! `{:.3}`-rendered row per sample); RAS events live in a `.ras`
+//! sidecar next to it. Text is the storage format, so the
+//! "compression" ratio of this backend is 1.0 by definition — it *is*
+//! the baseline the columnar backend is measured against.
+
+use std::ffi::OsString;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use mira_facility::RackId;
+use mira_ras::{FailureKind, RasEvent, Severity};
+use mira_timeseries::SimTime;
+
+use crate::columnar::ras_csv_row;
+use crate::error::StoreError;
+use crate::record::{milli_from_str, TelemetryRecord, TELEMETRY_HEADER};
+use crate::{Archive, ArchiveStat, Projection, ScanStats, RAS_HEADER};
+
+/// The CSV-file archive backend (telemetry file + `.ras` sidecar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvArchive {
+    path: PathBuf,
+}
+
+impl CsvArchive {
+    /// The telemetry CSV path this archive is backed by.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The RAS sidecar path (`<path>.ras`).
+    #[must_use]
+    pub fn ras_path(&self) -> PathBuf {
+        let mut s: OsString = self.path.as_os_str().to_os_string();
+        s.push(".ras");
+        PathBuf::from(s)
+    }
+
+    fn append_lines(
+        path: &Path,
+        header: &str,
+        lines: impl Iterator<Item = String>,
+    ) -> Result<(), StoreError> {
+        let fresh = std::fs::metadata(path).map_or(true, |m| m.len() == 0);
+        let file = File::options().append(true).create(true).open(path)?;
+        let mut w = BufWriter::new(file);
+        if fresh {
+            writeln!(w, "{header}")?;
+        }
+        for line in lines {
+            writeln!(w, "{line}")?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// Parses one telemetry CSV row (no header) into a record. Channel
+/// fields convert text-to-integer when canonically formatted, so a
+/// parse → re-render round trip is byte-identical.
+///
+/// # Errors
+///
+/// [`StoreError::Parse`] carrying `lineno` on any malformed field.
+pub fn parse_telemetry_row(line: &str, lineno: usize) -> Result<TelemetryRecord, StoreError> {
+    let parse_err = |message: String| StoreError::Parse {
+        line: lineno,
+        message,
+    };
+    // Rack ids contain a comma ("(1, 8)"), so "(r, c)" spans two
+    // comma-fields: 9 fields total.
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 9 {
+        return Err(parse_err("expected 9 comma fields".into()));
+    }
+    let field = |i: usize| fields.get(i).copied().unwrap_or_default();
+    let secs: i64 = field(0)
+        .trim()
+        .parse()
+        .map_err(|_| parse_err("bad timestamp".into()))?;
+    let rack_str = format!("{},{}", field(1), field(2));
+    let rack = RackId::parse(&rack_str).map_err(|e| parse_err(format!("bad rack: {e}")))?;
+    let mut milli = [0i64; 6];
+    for (vi, m) in milli.iter_mut().enumerate() {
+        let raw = field(vi + 3);
+        *m = milli_from_str(raw)
+            .ok_or_else(|| parse_err(format!("bad number in field {}", vi + 3)))?;
+    }
+    Ok(TelemetryRecord {
+        time: SimTime::from_epoch_seconds(secs),
+        rack,
+        milli,
+    })
+}
+
+/// Parses one RAS CSV row (no header) into an event.
+///
+/// # Errors
+///
+/// [`StoreError::Parse`] carrying `lineno` on any malformed field.
+pub fn parse_ras_row(line: &str, lineno: usize) -> Result<RasEvent, StoreError> {
+    let parse_err = |message: String| StoreError::Parse {
+        line: lineno,
+        message,
+    };
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 5 {
+        return Err(parse_err("expected 5 comma fields".into()));
+    }
+    let field = |i: usize| fields.get(i).copied().unwrap_or_default();
+    let secs: i64 = field(0)
+        .trim()
+        .parse()
+        .map_err(|_| parse_err("bad timestamp".into()))?;
+    let rack_str = format!("{},{}", field(1), field(2));
+    let rack = RackId::parse(&rack_str).map_err(|e| parse_err(format!("bad rack: {e}")))?;
+    let kind_tag = field(3).trim();
+    let kind = FailureKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.tag() == kind_tag)
+        .ok_or_else(|| parse_err(format!("unknown failure kind {kind_tag}")))?;
+    let severity = match field(4).trim() {
+        "warn" => Severity::Warn,
+        "fatal" => Severity::Fatal,
+        other => return Err(parse_err(format!("unknown severity {other}"))),
+    };
+    Ok(RasEvent {
+        time: SimTime::from_epoch_seconds(secs),
+        rack,
+        kind,
+        severity,
+    })
+}
+
+/// Walks a CSV file row by row, validating the header and delivering
+/// parsed records; a missing file reads as empty.
+fn for_each_row<T>(
+    path: &Path,
+    header: &str,
+    parse: impl Fn(&str, usize) -> Result<T, StoreError>,
+    mut sink: impl FnMut(T),
+) -> Result<u64, StoreError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let bytes = file.metadata()?.len();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if idx == 0 {
+            if line.trim() != header {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: format!("unexpected header (want {header})"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        sink(parse(&line, lineno)?);
+    }
+    Ok(bytes)
+}
+
+impl Archive for CsvArchive {
+    fn open(path: &Path) -> Result<Self, StoreError> {
+        Ok(CsvArchive {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn append_telemetry(&mut self, rows: &[TelemetryRecord]) -> Result<(), StoreError> {
+        CsvArchive::append_lines(
+            &self.path,
+            TELEMETRY_HEADER,
+            rows.iter().map(TelemetryRecord::csv_row),
+        )
+    }
+
+    fn append_ras(&mut self, events: &[RasEvent]) -> Result<(), StoreError> {
+        CsvArchive::append_lines(&self.ras_path(), RAS_HEADER, events.iter().map(ras_csv_row))
+    }
+
+    fn scan_span(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        _projection: Projection,
+        sink: &mut dyn FnMut(&TelemetryRecord),
+    ) -> Result<ScanStats, StoreError> {
+        let (from_s, to_s) = (from.epoch_seconds(), to.epoch_seconds());
+        let mut stats = ScanStats::default();
+        let bytes = for_each_row(&self.path, TELEMETRY_HEADER, parse_telemetry_row, |rec| {
+            let t = rec.time.epoch_seconds();
+            if t >= from_s && t < to_s {
+                stats.rows_scanned += 1;
+                sink(&rec);
+            }
+        })?;
+        if bytes > 0 {
+            // Text has no block structure: one "group" spanning the
+            // file, every column decoded, every byte read.
+            stats.groups_total = 1;
+            stats.groups_scanned = 1;
+            stats.blocks_decoded = 8;
+            stats.bytes_read = bytes;
+        }
+        Ok(stats)
+    }
+
+    fn ras_events(&mut self) -> Result<Vec<RasEvent>, StoreError> {
+        let mut out = Vec::new();
+        for_each_row(&self.ras_path(), RAS_HEADER, parse_ras_row, |e| out.push(e))?;
+        Ok(out)
+    }
+
+    fn stat(&mut self) -> Result<ArchiveStat, StoreError> {
+        let mut rows = 0u64;
+        let mut time_range: Option<(i64, i64)> = None;
+        let mut zones: Option<[(i64, i64); 6]> = None;
+        let tele_bytes = for_each_row(&self.path, TELEMETRY_HEADER, parse_telemetry_row, |rec| {
+            rows += 1;
+            let t = rec.time.epoch_seconds();
+            time_range = Some(match time_range {
+                None => (t, t),
+                Some((lo, hi)) => (lo.min(t), hi.max(t)),
+            });
+            zones = Some(match zones {
+                None => {
+                    let mut z = [(0i64, 0i64); 6];
+                    for (zi, m) in z.iter_mut().zip(rec.milli.iter()) {
+                        *zi = (*m, *m);
+                    }
+                    z
+                }
+                Some(mut z) => {
+                    for (zi, m) in z.iter_mut().zip(rec.milli.iter()) {
+                        zi.0 = zi.0.min(*m);
+                        zi.1 = zi.1.max(*m);
+                    }
+                    z
+                }
+            });
+        })?;
+        let mut ras_events = 0u64;
+        let ras_bytes = for_each_row(&self.ras_path(), RAS_HEADER, parse_ras_row, |_| {
+            ras_events += 1;
+        })?;
+        let file_bytes = tele_bytes + ras_bytes;
+        Ok(ArchiveStat {
+            rows,
+            ras_events,
+            groups: u64::from(rows > 0),
+            file_bytes,
+            // Text *is* CSV, so the baseline equals the footprint.
+            csv_bytes: file_bytes,
+            time_range: time_range.map(|(lo, hi)| {
+                (
+                    SimTime::from_epoch_seconds(lo),
+                    SimTime::from_epoch_seconds(hi),
+                )
+            }),
+            zones,
+        })
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,130 @@
+//! The structured store error: I/O, text parse, and binary corruption
+//! causes, each carrying enough context to locate the fault.
+
+use std::fmt;
+use std::io;
+
+use crate::record::Channel;
+
+/// Errors arising from any [`crate::Archive`] backend.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed text (CSV) row, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A structurally invalid columnar file: bad magic, truncated
+    /// footer, or an undecodable block.
+    Corrupt {
+        /// Byte offset into the file where the problem was detected.
+        offset: u64,
+        /// Row-group index, when the fault lies inside a group.
+        group: Option<u32>,
+        /// Column whose block failed to decode, when known.
+        channel: Option<Channel>,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl StoreError {
+    /// A corruption error with no group/channel context (header,
+    /// footer, and trailer faults).
+    #[must_use]
+    pub fn corrupt(offset: u64, message: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            offset,
+            group: None,
+            channel: None,
+            message: message.into(),
+        }
+    }
+
+    /// A corruption error positioned inside a row group's column block.
+    #[must_use]
+    pub fn corrupt_block(
+        offset: u64,
+        group: u32,
+        channel: Option<Channel>,
+        message: impl Into<String>,
+    ) -> Self {
+        StoreError::Corrupt {
+            offset,
+            group: Some(group),
+            channel,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Parse { line, message } => {
+                write!(f, "store parse error at line {line}: {message}")
+            }
+            StoreError::Corrupt {
+                offset,
+                group,
+                channel,
+                message,
+            } => {
+                write!(f, "store corrupt at byte {offset}")?;
+                if let Some(g) = group {
+                    write!(f, ", group {g}")?;
+                }
+                if let Some(c) = channel {
+                    write!(f, ", channel {}", c.tag())?;
+                }
+                write!(f, ": {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Parse { .. } | StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_every_context_field() {
+        let e = StoreError::corrupt_block(128, 3, Some(Channel::FlowGpm), "bad varint");
+        let text = e.to_string();
+        assert!(text.contains("byte 128"), "{text}");
+        assert!(text.contains("group 3"), "{text}");
+        assert!(text.contains("flow_gpm"), "{text}");
+        assert!(text.contains("bad varint"), "{text}");
+
+        let e = StoreError::corrupt(0, "bad magic");
+        assert!(!e.to_string().contains("group"), "{e}");
+    }
+
+    #[test]
+    fn io_source_is_walkable() {
+        use std::error::Error as _;
+        let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(StoreError::corrupt(0, "x").source().is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! The in-memory backend: the round-trip oracle the file-backed
+//! backends are tested against, and a cheap store for ephemeral use.
+
+use std::path::Path;
+
+use mira_ras::RasEvent;
+use mira_timeseries::SimTime;
+use mira_units::convert;
+
+use crate::error::StoreError;
+use crate::record::{Projection, TelemetryRecord};
+use crate::{Archive, ArchiveStat, ScanStats};
+
+/// An in-memory archive; `open` ignores its path and starts empty.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemArchive {
+    rows: Vec<TelemetryRecord>,
+    ras: Vec<RasEvent>,
+}
+
+impl MemArchive {
+    /// An empty in-memory archive.
+    #[must_use]
+    pub fn new() -> Self {
+        MemArchive::default()
+    }
+
+    /// Direct access to the stored rows, in append order.
+    #[must_use]
+    pub fn rows(&self) -> &[TelemetryRecord] {
+        &self.rows
+    }
+}
+
+impl Archive for MemArchive {
+    fn open(_path: &Path) -> Result<Self, StoreError> {
+        Ok(MemArchive::new())
+    }
+
+    fn append_telemetry(&mut self, rows: &[TelemetryRecord]) -> Result<(), StoreError> {
+        self.rows.extend_from_slice(rows);
+        Ok(())
+    }
+
+    fn append_ras(&mut self, events: &[RasEvent]) -> Result<(), StoreError> {
+        self.ras.extend_from_slice(events);
+        Ok(())
+    }
+
+    fn scan_span(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        projection: Projection,
+        sink: &mut dyn FnMut(&TelemetryRecord),
+    ) -> Result<ScanStats, StoreError> {
+        let (from_s, to_s) = (from.epoch_seconds(), to.epoch_seconds());
+        let mut stats = ScanStats {
+            groups_total: u64::from(!self.rows.is_empty()),
+            ..ScanStats::default()
+        };
+        if !self.rows.is_empty() {
+            stats.groups_scanned = 1;
+            stats.blocks_decoded = 2 + u64::from(projection.value_count());
+        }
+        for rec in &self.rows {
+            let t = rec.time.epoch_seconds();
+            if t >= from_s && t < to_s {
+                stats.rows_scanned += 1;
+                sink(rec);
+            }
+        }
+        Ok(stats)
+    }
+
+    fn ras_events(&mut self) -> Result<Vec<RasEvent>, StoreError> {
+        Ok(self.ras.clone())
+    }
+
+    fn stat(&mut self) -> Result<ArchiveStat, StoreError> {
+        let mut time_range: Option<(i64, i64)> = None;
+        let mut zones: Option<[(i64, i64); 6]> = None;
+        for rec in &self.rows {
+            let t = rec.time.epoch_seconds();
+            time_range = Some(match time_range {
+                None => (t, t),
+                Some((lo, hi)) => (lo.min(t), hi.max(t)),
+            });
+            zones = Some(match zones {
+                None => {
+                    let mut z = [(0i64, 0i64); 6];
+                    for (zi, m) in z.iter_mut().zip(rec.milli.iter()) {
+                        *zi = (*m, *m);
+                    }
+                    z
+                }
+                Some(mut z) => {
+                    for (zi, m) in z.iter_mut().zip(rec.milli.iter()) {
+                        zi.0 = zi.0.min(*m);
+                        zi.1 = zi.1.max(*m);
+                    }
+                    z
+                }
+            });
+        }
+        Ok(ArchiveStat {
+            rows: convert::u64_from_usize(self.rows.len()),
+            ras_events: convert::u64_from_usize(self.ras.len()),
+            groups: u64::from(!self.rows.is_empty()),
+            file_bytes: 0,
+            csv_bytes: 0,
+            time_range: time_range.map(|(lo, hi)| {
+                (
+                    SimTime::from_epoch_seconds(lo),
+                    SimTime::from_epoch_seconds(hi),
+                )
+            }),
+            zones,
+        })
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}

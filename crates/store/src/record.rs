@@ -1,0 +1,382 @@
+//! The canonical telemetry row model shared by every archive backend.
+//!
+//! Channel values are held as **milli-units** (`i64`, three implied
+//! decimals) derived from the same `{:.3}` rendering the CSV and
+//! NDJSON exports use. Quantizing *through the rendered string* is the
+//! backbone of the byte-identity guarantee: a row written to CSV, a
+//! row packed into the columnar store, and a row re-simulated all pass
+//! through the identical decimal text, so any export path re-renders
+//! the exact same bytes.
+
+use mira_cooling::CoolantMonitorSample;
+use mira_facility::RackId;
+use mira_timeseries::SimTime;
+use mira_units::{convert, Fahrenheit, Gpm, Kilowatts, RelHumidity};
+
+/// One archived column: the two key columns plus the six telemetry
+/// channels, in on-disk block order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Channel {
+    /// Sample timestamp (epoch seconds).
+    Time,
+    /// Rack identity (grid index).
+    Rack,
+    /// Drop ceiling dry-bulb temperature, °F.
+    DcTempF,
+    /// Drop ceiling relative humidity, %RH.
+    DcRh,
+    /// Coolant flow, GPM.
+    FlowGpm,
+    /// Inlet coolant temperature, °F.
+    InletF,
+    /// Outlet coolant temperature, °F.
+    OutletF,
+    /// Rack power, kW.
+    PowerKw,
+}
+
+impl Channel {
+    /// Every column, in on-disk block order.
+    pub const ALL: [Channel; 8] = [
+        Channel::Time,
+        Channel::Rack,
+        Channel::DcTempF,
+        Channel::DcRh,
+        Channel::FlowGpm,
+        Channel::InletF,
+        Channel::OutletF,
+        Channel::PowerKw,
+    ];
+
+    /// The six value channels (everything but the time/rack keys), in
+    /// CSV column order.
+    pub const VALUES: [Channel; 6] = [
+        Channel::DcTempF,
+        Channel::DcRh,
+        Channel::FlowGpm,
+        Channel::InletF,
+        Channel::OutletF,
+        Channel::PowerKw,
+    ];
+
+    /// The stable column tag used in headers, NDJSON keys, and error
+    /// context.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Channel::Time => "time",
+            Channel::Rack => "rack",
+            Channel::DcTempF => "dc_temp_f",
+            Channel::DcRh => "dc_rh",
+            Channel::FlowGpm => "flow_gpm",
+            Channel::InletF => "inlet_f",
+            Channel::OutletF => "outlet_f",
+            Channel::PowerKw => "power_kw",
+        }
+    }
+
+    /// This channel's position in [`Channel::VALUES`], or `None` for
+    /// the time/rack key columns.
+    #[must_use]
+    pub fn value_index(self) -> Option<usize> {
+        Channel::VALUES.iter().position(|c| *c == self)
+    }
+}
+
+/// A channel projection: which value columns a scan must decode. The
+/// time and rack key columns are always included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection {
+    mask: u8,
+}
+
+impl Projection {
+    /// Every channel (the default for full-row exports).
+    #[must_use]
+    pub fn all() -> Self {
+        Projection { mask: 0x3f }
+    }
+
+    /// Keys only: time and rack, no value channels decoded.
+    #[must_use]
+    pub fn keys_only() -> Self {
+        Projection { mask: 0 }
+    }
+
+    /// Just the named channels (time/rack entries are ignored; they
+    /// are always present).
+    #[must_use]
+    pub fn only(channels: &[Channel]) -> Self {
+        let mut mask = 0u8;
+        for ch in channels {
+            if let Some(i) = ch.value_index() {
+                mask |= 1 << i;
+            }
+        }
+        Projection { mask }
+    }
+
+    /// Whether a scan must materialize `channel`. Always true for the
+    /// time/rack keys.
+    #[must_use]
+    pub fn contains(self, channel: Channel) -> bool {
+        match channel.value_index() {
+            None => true,
+            Some(i) => self.mask & (1 << i) != 0,
+        }
+    }
+
+    /// How many value channels this projection decodes.
+    #[must_use]
+    pub fn value_count(self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+impl Default for Projection {
+    fn default() -> Self {
+        Projection::all()
+    }
+}
+
+/// The telemetry CSV header every text surface shares.
+pub const TELEMETRY_HEADER: &str = "time,rack,dc_temp_f,dc_rh,flow_gpm,inlet_f,outlet_f,power_kw";
+
+/// One archived coolant-monitor row: keys plus the six channel values
+/// in milli-units, [`Channel::VALUES`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// Sample timestamp.
+    pub time: SimTime,
+    /// Sampled rack.
+    pub rack: RackId,
+    /// Channel values in milli-units (value × 1000, quantized through
+    /// the `{:.3}` rendering), [`Channel::VALUES`] order.
+    pub milli: [i64; 6],
+}
+
+impl TelemetryRecord {
+    /// Quantizes a live sample into its archived form — the same
+    /// rounding the CSV export applies.
+    #[must_use]
+    pub fn from_sample(s: &CoolantMonitorSample) -> Self {
+        TelemetryRecord {
+            time: s.time,
+            rack: s.rack,
+            milli: [
+                milli_from_f64(s.dc_temperature.value()),
+                milli_from_f64(s.dc_humidity.value()),
+                milli_from_f64(s.flow.value()),
+                milli_from_f64(s.inlet.value()),
+                milli_from_f64(s.outlet.value()),
+                milli_from_f64(s.power.value()),
+            ],
+        }
+    }
+
+    /// Rehydrates the quantized sample (3-decimal precision).
+    #[must_use]
+    pub fn to_sample(&self) -> CoolantMonitorSample {
+        let f = |i: usize| self.milli.get(i).map_or(0.0, |m| f64_from_milli(*m));
+        CoolantMonitorSample {
+            time: self.time,
+            rack: self.rack,
+            dc_temperature: Fahrenheit::new(f(0)),
+            dc_humidity: RelHumidity::new(f(1)),
+            flow: Gpm::new(f(2)),
+            inlet: Fahrenheit::new(f(3)),
+            outlet: Fahrenheit::new(f(4)),
+            power: Kilowatts::new(f(5)),
+        }
+    }
+
+    /// The milli-unit value of one channel (`None` for the time/rack
+    /// key columns, which are not milli-scaled).
+    #[must_use]
+    pub fn value_milli(&self, channel: Channel) -> Option<i64> {
+        channel
+            .value_index()
+            .and_then(|i| self.milli.get(i).copied())
+    }
+
+    /// This row as a CSV line (no trailing newline), byte-identical to
+    /// the `{:.3}`-rendered export row.
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        let m = &self.milli;
+        let f = |i: usize| m.get(i).map_or_else(String::new, |v| format_milli(*v));
+        format!(
+            "{},{},{},{},{},{},{},{}",
+            self.time.epoch_seconds(),
+            self.rack,
+            f(0),
+            f(1),
+            f(2),
+            f(3),
+            f(4),
+            f(5),
+        )
+    }
+
+    /// This row as an NDJSON object (no trailing newline), matching
+    /// the NDJSON telemetry export byte for byte.
+    #[must_use]
+    pub fn ndjson_row(&self) -> String {
+        let m = &self.milli;
+        let f = |i: usize| m.get(i).map_or_else(String::new, |v| format_milli(*v));
+        format!(
+            "{{\"time\":{},\"rack\":\"{}\",\"dc_temp_f\":{},\"dc_rh\":{},\
+             \"flow_gpm\":{},\"inlet_f\":{},\"outlet_f\":{},\"power_kw\":{}}}",
+            self.time.epoch_seconds(),
+            self.rack,
+            f(0),
+            f(1),
+            f(2),
+            f(3),
+            f(4),
+            f(5),
+        )
+    }
+}
+
+/// Quantizes a float to milli-units through its `{:.3}` rendering, so
+/// the quantized integer re-renders to the identical decimal text.
+/// Non-finite values quantize to `0`; magnitudes beyond ±4e15 clamp
+/// (far outside any physical channel range). `-0.0005 < v <= -0.0`
+/// renders as `-0.000` but quantizes to plain `0` (integers carry no
+/// negative zero); [`format_milli`] therefore emits `0.000` — both
+/// export paths share this normalization, so identity still holds.
+#[must_use]
+pub fn milli_from_f64(v: f64) -> i64 {
+    let v = if v.is_finite() {
+        v.clamp(-4.0e15, 4.0e15)
+    } else {
+        0.0
+    };
+    milli_from_canonical(&format!("{v:.3}")).unwrap_or(0)
+}
+
+/// Parses a decimal field into milli-units. Canonical fields
+/// (`[-]digits[.frac]` with at most three fractional digits) convert
+/// exactly, text-to-integer; anything else falls back to an `f64`
+/// parse plus [`milli_from_f64`] quantization. `None` when the field
+/// is not a number at all.
+#[must_use]
+pub fn milli_from_str(s: &str) -> Option<i64> {
+    let t = s.trim();
+    match milli_from_canonical(t) {
+        Some(m) => Some(m),
+        None => t.parse::<f64>().ok().map(milli_from_f64),
+    }
+}
+
+fn milli_from_canonical(t: &str) -> Option<i64> {
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let (int_part, frac_part) = match body.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (body, ""),
+    };
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !digits(int_part) || frac_part.len() > 3 || !(frac_part.is_empty() || digits(frac_part)) {
+        return None;
+    }
+    let int: i64 = int_part.parse().ok()?;
+    let frac: i64 = if frac_part.is_empty() {
+        0
+    } else {
+        format!("{frac_part:0<3}").parse().ok()?
+    };
+    let magnitude = int.checked_mul(1000)?.checked_add(frac)?;
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+/// Renders milli-units exactly as `{:.3}` renders the value they were
+/// quantized from.
+#[must_use]
+pub fn format_milli(m: i64) -> String {
+    let sign = if m < 0 { "-" } else { "" };
+    let a = m.unsigned_abs();
+    format!("{sign}{}.{:03}", a / 1000, a % 1000)
+}
+
+/// The float a milli-unit value decodes to — identical to parsing its
+/// decimal rendering (both are the correctly-rounded double of the
+/// same real number).
+#[must_use]
+pub fn f64_from_milli(m: i64) -> f64 {
+    convert::f64_from_i64(m) / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_milli_matches_float_rendering() {
+        for v in [
+            0.0, 1.0, -1.0, 70.1234, 25.9995, 64.0005, -12.345, 99999.111, 0.001, -0.001,
+        ] {
+            let m = milli_from_f64(v);
+            assert_eq!(format_milli(m), format!("{v:.3}"), "{v}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_band_normalizes() {
+        // {:.3} renders these as "-0.000"; the integer domain folds
+        // them to plain zero and every backend renders "0.000".
+        for v in [-0.0, -0.0004] {
+            assert_eq!(milli_from_f64(v), 0);
+            assert_eq!(format_milli(milli_from_f64(v)), "0.000");
+        }
+    }
+
+    #[test]
+    fn non_finite_quantizes_to_zero() {
+        assert_eq!(milli_from_f64(f64::NAN), 0);
+        assert_eq!(milli_from_f64(f64::INFINITY), 0);
+        assert_eq!(milli_from_f64(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn canonical_fields_parse_exactly() {
+        assert_eq!(milli_from_str("70.123"), Some(70_123));
+        assert_eq!(milli_from_str("-3.5"), Some(-3_500));
+        assert_eq!(milli_from_str("42"), Some(42_000));
+        assert_eq!(milli_from_str(" 0.000 "), Some(0));
+        // Non-canonical but numeric: falls back to float quantization.
+        assert_eq!(milli_from_str("1e3"), Some(1_000_000));
+        assert_eq!(milli_from_str("70.12345"), Some(70_123));
+        assert_eq!(milli_from_str("nope"), None);
+    }
+
+    #[test]
+    fn f64_from_milli_matches_text_parse() {
+        for m in [0i64, 70_123, -12_345, 999_999_999, 1, -1] {
+            let text = format_milli(m);
+            let parsed: f64 = text.parse().expect("decimal");
+            assert_eq!(f64_from_milli(m).to_bits(), parsed.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn projection_masks_value_channels_only() {
+        let p = Projection::only(&[Channel::FlowGpm, Channel::Time]);
+        assert!(p.contains(Channel::Time));
+        assert!(p.contains(Channel::Rack));
+        assert!(p.contains(Channel::FlowGpm));
+        assert!(!p.contains(Channel::PowerKw));
+        assert_eq!(p.value_count(), 1);
+        assert_eq!(Projection::all().value_count(), 6);
+        assert_eq!(Projection::keys_only().value_count(), 0);
+    }
+
+    #[test]
+    fn channel_tags_compose_the_header() {
+        let tags: Vec<&str> = Channel::ALL.iter().map(|c| c.tag()).collect();
+        assert_eq!(tags.join(","), TELEMETRY_HEADER);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the storage codecs: zigzag, LEB128 varint, and
+//! delta encoding round-trip exactly over the full `i64`/`u64` domain,
+//! including the boundary values the columnar format leans on (first
+//! absolute value, negative deltas, `i64::MIN`/`MAX` wrap-around).
+//!
+//! Decoding is also exercised against truncated and trailing-garbage
+//! inputs: every failure must be a structured [`CodecError`], never a
+//! panic.
+
+use proptest::prelude::*;
+
+use mira_store::codec::{
+    decode_deltas, encode_deltas, read_varint, write_varint, zigzag_decode, zigzag_encode,
+};
+
+/// Spread samples across the whole magnitude range: plain draws from
+/// `i64::MIN..=MAX` almost never produce small numbers, but small
+/// deltas are the codec's hot path.
+fn stretch(raw: i64, shift: u32) -> i64 {
+    raw >> (shift % 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn zigzag_round_trips(raw in i64::MIN..=i64::MAX, shift in 0u32..64) {
+        let n = stretch(raw, shift);
+        prop_assert_eq!(zigzag_decode(zigzag_encode(n)), n);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small(n in -1000i64..1000) {
+        // The point of zigzag: |n| ≤ 1000 must encode below 2001, so
+        // the varint stays in two bytes.
+        prop_assert!(zigzag_encode(n) <= 2000);
+    }
+
+    #[test]
+    fn varint_round_trips(raw in 0u64..=u64::MAX, shift in 0u32..64) {
+        let v = raw >> (shift % 64);
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos).expect("round trip"), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_varints_error_not_panic(raw in 0u64..=u64::MAX, cut in 0usize..10) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, raw | (1 << 63)); // force a long encoding
+        let cut = cut.min(buf.len() - 1);
+        let mut pos = 0;
+        let err = read_varint(&buf[..cut], &mut pos).expect_err("truncated");
+        prop_assert!(err.message.contains("truncated"), "{}", err.message);
+    }
+
+    #[test]
+    fn deltas_round_trip(
+        raws in proptest::collection::vec(i64::MIN..=i64::MAX, 0..200),
+        shift in 0u32..64,
+    ) {
+        let values: Vec<i64> = raws.iter().map(|&r| stretch(r, shift)).collect();
+        let mut buf = Vec::new();
+        encode_deltas(&values, &mut buf);
+        let mut out = Vec::new();
+        decode_deltas(&buf, values.len(), &mut out).expect("round trip");
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn delta_payloads_reject_trailing_bytes(
+        raws in proptest::collection::vec(-1_000_000i64..1_000_000, 1..50),
+        garbage in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_deltas(&raws, &mut buf);
+        buf.push(garbage);
+        let mut out = Vec::new();
+        let err = decode_deltas(&buf, raws.len(), &mut out).expect_err("trailing byte");
+        prop_assert!(!err.message.is_empty());
+    }
+}
+
+#[test]
+fn boundary_values_round_trip_exactly() {
+    // Adjacent extremes force the largest possible wrapping deltas.
+    let cases: &[&[i64]] = &[
+        &[],
+        &[0],
+        &[i64::MIN],
+        &[i64::MAX],
+        &[i64::MIN, i64::MAX],
+        &[i64::MAX, i64::MIN],
+        &[i64::MIN, i64::MAX, i64::MIN, 0, i64::MAX],
+        &[0, -1, 1, -2, 2],
+    ];
+    for values in cases {
+        let mut buf = Vec::new();
+        encode_deltas(values, &mut buf);
+        let mut out = Vec::new();
+        decode_deltas(&buf, values.len(), &mut out).unwrap_or_else(|e| {
+            panic!("decode of {values:?} failed: {e:?}");
+        });
+        assert_eq!(&out, values, "{values:?}");
+    }
+    for v in [0, 1, u64::MAX, u64::MAX - 1, 127, 128, 1 << 62] {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos).expect("varint"), v);
+    }
+    for n in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+        assert_eq!(zigzag_decode(zigzag_encode(n)), n);
+    }
+}
+
+#[test]
+fn overlong_varints_are_rejected() {
+    // 11 continuation bytes: any continuation byte at bit 63 already
+    // overflows a u64, so the decoder stops at the 10th byte.
+    let overlong = [0x80u8; 11];
+    let mut pos = 0;
+    let err = read_varint(&overlong, &mut pos).expect_err("overlong");
+    assert!(err.message.contains("overflows"), "{}", err.message);
+
+    // 10 bytes whose top byte overflows 64 bits.
+    let mut overflow = vec![0xFFu8; 9];
+    overflow.push(0x7F);
+    let mut pos = 0;
+    let err = read_varint(&overflow, &mut pos).expect_err("overflow");
+    assert!(err.message.contains("overflows"), "{}", err.message);
+
+    // The canonical u64::MAX encoding (9×0xFF then 0x01) is the
+    // longest VALID varint and must still decode.
+    let mut max = vec![0xFFu8; 9];
+    max.push(0x01);
+    let mut pos = 0;
+    assert_eq!(read_varint(&max, &mut pos).expect("u64::MAX"), u64::MAX);
+}

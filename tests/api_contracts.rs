@@ -31,6 +31,8 @@ fn errors_implement_std_error_and_are_sendable() {
     fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<mira_facility::ParseRackIdError>();
     assert_error::<mira_core::SweepError>();
+    assert_error::<mira_core::StoreError>();
+    #[allow(deprecated)]
     assert_error::<mira_core::archive::ArchiveError>();
     assert_error::<mira_core::Error>();
     assert_error::<mira_ops_cli::CliError>();
@@ -44,9 +46,9 @@ fn unified_error_preserves_the_cause_chain() {
         std::io::ErrorKind::NotFound,
         "missing.csv",
     ));
-    // Error -> ArchiveError -> io::Error, walkable via source().
-    let archive = err.source().expect("archive cause");
-    let io = archive.source().expect("io cause");
+    // Error -> StoreError -> io::Error, walkable via source().
+    let store = err.source().expect("store cause");
+    let io = store.source().expect("io cause");
     assert!(io.to_string().contains("missing.csv"));
 
     let sweep = mira_core::Error::from(mira_core::SweepError::EmptySpan);
