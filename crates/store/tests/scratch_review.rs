@@ -1,0 +1,62 @@
+use mira_store::{Archive, ColumnarArchive};
+
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let low = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 { buf.push(low); return; }
+        buf.push(low | 0x80);
+    }
+}
+
+#[test]
+fn corrupt_huge_ras_payload_len_is_structured_error_not_panic() {
+    let path = std::env::temp_dir().join(format!("rev-huge-{}.mstore", std::process::id()));
+    let mut file: Vec<u8> = Vec::new();
+    file.extend_from_slice(b"MSTORE1\n");
+    let mut footer: Vec<u8> = Vec::new();
+    footer.extend_from_slice(b"FTR1");
+    write_varint(&mut footer, 0); // group_count
+    write_varint(&mut footer, 0); // csv_bytes
+    write_varint(&mut footer, 1); // ras_count
+    write_varint(&mut footer, u64::MAX); // payload_len: huge
+    let flen = footer.len() as u64;
+    file.extend_from_slice(&footer);
+    file.extend_from_slice(&flen.to_le_bytes());
+    file.extend_from_slice(b"MSTOREND");
+    std::fs::write(&path, &file).unwrap();
+    let r = ColumnarArchive::open(&path);
+    let _ = std::fs::remove_file(&path);
+    assert!(r.is_err(), "must be a structured error");
+}
+
+#[test]
+fn readonly_file_scan_works() {
+    use mira_store::{Projection, TelemetryRecord};
+    use mira_facility::RackId;
+    use mira_timeseries::SimTime;
+    let path = std::env::temp_dir().join(format!("rev-ro-{}.mstore", std::process::id()));
+    {
+        let mut ar = ColumnarArchive::create(&path).unwrap();
+        let rows: Vec<TelemetryRecord> = (0..4i64).map(|i| TelemetryRecord {
+            time: SimTime::from_epoch_seconds(1000 + i),
+            rack: RackId::new(0, 0),
+            milli: [0, 0, 0, 0, 0, 0],
+        }).collect();
+        ar.append_telemetry(&rows).unwrap();
+        ar.flush().unwrap();
+    }
+    let mut perms = std::fs::metadata(&path).unwrap().permissions();
+    perms.set_readonly(true);
+    std::fs::set_permissions(&path, perms).unwrap();
+    let r = ColumnarArchive::open(&path);
+    let ok = match r {
+        Ok(mut ar) => ar.scan_span(SimTime::from_epoch_seconds(0), SimTime::from_epoch_seconds(2000), Projection::all(), &mut |_| {}).is_ok(),
+        Err(e) => { eprintln!("open failed: {e}"); false }
+    };
+    let mut perms = std::fs::metadata(&path).unwrap().permissions();
+    perms.set_readonly(false);
+    std::fs::set_permissions(&path, perms).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(ok, "read-only archive should be scannable");
+}
