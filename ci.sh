@@ -108,15 +108,40 @@ cargo bench -q -p mira-bench --bench obs_overhead
 
 # Allocation regression gate: the smoke-span sweep bench exits nonzero
 # when allocs/step climbs above the baseline recorded in
-# BENCH_sweep.json. Wall time is machine-dependent and only reported;
-# the alloc count is deterministic, so it gates. Run against a scratch
-# copy so the per-run timing keys never dirty the committed file.
-echo "==> sweep alloc regression gate (smoke span)"
+# BENCH_sweep.json. The sweep it times runs the batched SoA kernel
+# (`sweep_steps_into` + `record_block`) end to end, so a per-step
+# allocation sneaking into any of the staged passes trips it. Wall
+# time is machine-dependent and only reported; the alloc count is
+# deterministic, so it gates. Run against a scratch copy so the
+# per-run timing keys never dirty the committed file.
+echo "==> sweep alloc regression gate (smoke span, batched kernel)"
 bench_scratch="$(mktemp)"
 cp BENCH_sweep.json "$bench_scratch"
 MIRA_BENCH_SPAN=smoke MIRA_BENCH_OUT="$bench_scratch" \
   cargo bench -q -p mira-bench --bench sweep_baseline
 rm -f "$bench_scratch"
+
+# Sweep throughput floor: the committed BENCH_sweep.json must record
+# the batched SoA kernel at >=2x the 212,048 steps/s array-of-structs
+# baseline, with full-span allocs/step no worse than the 0.0431 it
+# shipped with. These are static checks on the recorded numbers — CI
+# wall clocks are too noisy to re-time the full span here, but the
+# committed record must never regress silently.
+echo "==> sweep throughput floor (recorded full-span numbers)"
+full_sps="$(sed -n 's/.*"full_steps_per_second_t1": \([0-9.]*\).*/\1/p' BENCH_sweep.json)"
+full_aps="$(sed -n 's/.*"full_allocs_per_step": \([0-9.]*\).*/\1/p' BENCH_sweep.json)"
+if [ -z "$full_sps" ] || [ -z "$full_aps" ]; then
+  echo "ci: BENCH_sweep.json is missing recorded full-span keys" >&2
+  exit 1
+fi
+if ! awk -v sps="$full_sps" 'BEGIN { exit !(sps >= 2 * 212048) }'; then
+  echo "ci: recorded full-span ${full_sps} steps/s is below 2x the 212,048 pre-SoA baseline" >&2
+  exit 1
+fi
+if ! awk -v aps="$full_aps" 'BEGIN { exit !(aps <= 0.0431) }'; then
+  echo "ci: recorded full-span ${full_aps} allocs/step exceeds the 0.0431 pre-SoA baseline" >&2
+  exit 1
+fi
 
 # Serve determinism gate: the same scripted NDJSON session, piped
 # through `mira-ops serve` on stdio, must produce byte-identical

@@ -93,6 +93,25 @@ fn resolve_span(sim: &Simulation) -> SpanChoice {
     }
 }
 
+/// Calendar-month cuts of `[from, to)` — the same boundaries the sweep
+/// executor shards on (each bound clamped into the span).
+fn month_bounds(from: SimTime, to: SimTime) -> Vec<(SimTime, SimTime)> {
+    let mut bounds = Vec::new();
+    let mut lo = from;
+    while lo < to {
+        let date = lo.date();
+        let (year, month) = if date.month().number() == 12 {
+            (date.year() + 1, 1)
+        } else {
+            (date.year(), date.month().number() + 1)
+        };
+        let hi = SimTime::from_date(Date::new(year, month, 1)).min(to);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
+
 /// Grid size of `[from, to)` at `STEP` — mirrors the sweep executor.
 fn grid_steps(from: SimTime, to: SimTime) -> u64 {
     let step_s = STEP.as_seconds();
@@ -144,18 +163,51 @@ fn main() {
     let allocs_per_step =
         allocs_full.saturating_sub(allocs_half) as f64 / (steps - half_steps) as f64;
 
-    // Four workers. The shard plan is identical, so the result is
-    // bit-for-bit the same; only wall time may differ (on a single-core
-    // container t4 ≈ t1).
+    // Worker-count scaling: 2, 4, and 8 workers over the identical
+    // shard plan, so every run is bit-for-bit the same result; only
+    // wall time may differ (on a core-starved container tN ≈ t1).
+    let t2_start = Instant::now();
+    run_sweep(sim, span.from, span.to, 2);
+    let t2_wall = t2_start.elapsed().as_secs_f64();
     let t4_start = Instant::now();
     run_sweep(sim, span.from, span.to, 4);
     let t4_wall = t4_start.elapsed().as_secs_f64();
+    let t8_start = Instant::now();
+    run_sweep(sim, span.from, span.to, 8);
+    let t8_wall = t8_start.elapsed().as_secs_f64();
+
+    // Merge overhead: the parallel path folds one recorder per
+    // calendar-month shard and merges them in chronological order on
+    // the calling thread. Reproduce that fold on pre-computed partials
+    // so the merge cost is timed apart from the sweep itself.
+    let partials: Vec<_> = month_bounds(span.from, span.to)
+        .into_iter()
+        .map(|(a, b)| {
+            sim.sweep_plan(a..b)
+                .step(STEP)
+                .threads(1)
+                .summary()
+                .expect("non-empty month shard")
+        })
+        .collect();
+    let shard_count = partials.len();
+    let merge_start = Instant::now();
+    let mut merged = None;
+    for partial in &partials {
+        match merged.as_mut() {
+            Some(acc) => mira_core::SweepSummary::merge(acc, partial),
+            None => merged = Some(partial.clone()),
+        }
+    }
+    std::hint::black_box(&merged);
+    let merge_wall = merge_start.elapsed().as_secs_f64();
 
     #[allow(clippy::cast_precision_loss)]
     let steps_per_second = steps as f64 / t1_wall;
     println!(
-        "sweep bench: t1={t1_wall:.3}s t4={t4_wall:.3}s {steps_per_second:.0} steps/s \
-         {allocs_per_step:.4} allocs/step"
+        "sweep bench: t1={t1_wall:.3}s t2={t2_wall:.3}s t4={t4_wall:.3}s t8={t8_wall:.3}s \
+         {steps_per_second:.0} steps/s {allocs_per_step:.4} allocs/step \
+         merge={merge_wall:.4}s/{shard_count} shards"
     );
 
     let out_path = out_path();
@@ -169,9 +221,14 @@ fn main() {
     #[allow(clippy::cast_precision_loss)]
     set(&mut doc, "step_seconds", STEP.as_seconds() as f64);
     set(&mut doc, "t1_wall_seconds", t1_wall);
+    set(&mut doc, "t2_wall_seconds", t2_wall);
     set(&mut doc, "t4_wall_seconds", t4_wall);
+    set(&mut doc, "t8_wall_seconds", t8_wall);
     set(&mut doc, "steps_per_second_t1", steps_per_second);
     set(&mut doc, "allocs_per_step", allocs_per_step);
+    set(&mut doc, "merge_overhead_seconds", merge_wall);
+    #[allow(clippy::cast_precision_loss)]
+    set(&mut doc, "merge_shards", shard_count as f64);
 
     // Baseline keys persist across runs (first run seeds them; reset
     // re-records) so later runs have something to regress against.

@@ -41,7 +41,9 @@ pub mod precursor;
 pub mod pump;
 
 pub use exchanger::HeatExchanger;
-pub use monitor::{AlarmThresholds, CoolantMonitor, CoolantMonitorSample, MonitorAlarm};
+pub use monitor::{
+    AlarmThresholds, CoolantMonitor, CoolantMonitorSample, MonitorAlarm, MonitorBank,
+};
 pub use network::{FlowCursor, FlowNetwork};
 pub use plant::{ChilledWaterPlant, PlantLoad};
 pub use precursor::PrecursorSignature;

@@ -264,6 +264,130 @@ impl CoolantMonitor {
     }
 }
 
+/// Structure-of-arrays view of a fleet of [`CoolantMonitor`]s for the
+/// batched sweep observation kernel.
+///
+/// Per channel (channel-major rows, one slot per rack) the bank
+/// precomputes the channel-dependent hash prefix
+/// `rack_base ^ channel * K` — the part of [`finish_noise`]'s input that
+/// does not depend on the tick — plus the calibration offset and noise
+/// scale. [`MonitorBank::observe_lanes`] then applies the identical
+/// avalanche tail and calibration arithmetic lane by lane, so every
+/// output bit matches [`CoolantMonitor::observe`].
+#[derive(Debug, Clone)]
+pub struct MonitorBank {
+    lanes: usize,
+    /// `rack_base ^ channel·K` per slot (channel-major).
+    bases: Vec<u64>,
+    /// Additive calibration offset per slot.
+    offsets: Vec<f64>,
+    /// Measurement-noise scale per slot.
+    noise: Vec<f64>,
+    /// Per-lane avalanche scratch for [`Self::observe_lanes`]: keeping
+    /// the integer hash pass and the floating-point calibration pass in
+    /// separate loops lets each vectorize on its own register class.
+    hash: Vec<u64>,
+}
+
+impl MonitorBank {
+    /// Builds the bank over a fleet of monitors (one lane per monitor,
+    /// in slice order).
+    #[must_use]
+    // Bank constructor: builds the channel-major rows once per worker
+    // (via sweep_scratch), never in the per-step fold; `c` indexes the
+    // monitors' fixed `[_; 6]` channel arrays.
+    // mira-lint: allow(alloc-in-hot-path, panic-reachability)
+    pub fn new(monitors: &[CoolantMonitor]) -> Self {
+        let lanes = monitors.len();
+        let mut bases = Vec::with_capacity(6 * lanes);
+        let mut offsets = Vec::with_capacity(6 * lanes);
+        let mut noise = Vec::with_capacity(6 * lanes);
+        for c in 0..6usize {
+            for m in monitors {
+                let rack_base =
+                    m.seed ^ (m.rack.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                bases.push(rack_base ^ (c as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                offsets.push(m.offsets[c]);
+                noise.push(m.noise[c]);
+            }
+        }
+        Self {
+            lanes,
+            bases,
+            offsets,
+            noise,
+            hash: vec![0; lanes],
+        }
+    }
+
+    /// Number of monitor lanes in the bank.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// [`CoolantMonitor::observe`] for every rack at once: `truth[c]`
+    /// holds channel `c`'s ground-truth lanes (in [`Channel`] order) and
+    /// `out[c]` receives the observed readings.
+    ///
+    /// Channel semantics match the sample constructors bit for bit:
+    /// humidity readings are clamped into `[0, 100]` (as
+    /// `RelHumidity::new` does) and flow/power readings are floored at
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane slice differs from `self.lanes()`.
+    // Raw f64 channel lanes; the materialized per-step view re-wraps
+    // them in their unit newtypes. Rows are sized `6 * lanes` by the
+    // constructor, every lane slice is length-asserted, and `c < 6`.
+    // mira-lint: allow(raw-f64-in-public-api, panic-reachability)
+    pub fn observe_lanes(&mut self, t: SimTime, truth: [&[f64]; 6], out: [&mut [f64]; 6]) {
+        let lanes = self.lanes;
+        let tick = t.epoch_seconds() as u64;
+        let tick_term = tick.wrapping_mul(0x1656_67B1_9E37_79F9);
+        for (c, (tr, o)) in truth.into_iter().zip(out).enumerate() {
+            // Documented panic contract: one slot per lane per channel.
+            // mira-lint: allow(panic-reachability)
+            assert_eq!(tr.len(), lanes, "one truth slot per lane");
+            assert_eq!(o.len(), lanes, "one output slot per lane");
+            let row = c * lanes..(c + 1) * lanes;
+            let bases = &self.bases[row.clone()];
+            let offsets = &self.offsets[row.clone()];
+            let noise = &self.noise[row];
+            let hash = &mut self.hash[..lanes];
+            for (h, &b) in hash.iter_mut().zip(bases) {
+                // Avalanche tail of `finish_noise` with the channel
+                // prefix precomputed in `bases`.
+                let mut z = b.wrapping_add(tick_term);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                *h = z >> 11;
+            }
+            for l in 0..lanes {
+                let n = convert::f64_from_u64(hash[l]) / 9_007_199_254_740_992.0 * 2.0 - 1.0;
+                o[l] = tr[l] + offsets[l] + n * noise[l];
+            }
+            match c {
+                // `RelHumidity::new` clamps into [0, 100].
+                1 => {
+                    for v in o.iter_mut() {
+                        *v = v.clamp(0.0, 100.0);
+                    }
+                }
+                // Flow and power are floored at zero by `observe`.
+                2 | 5 => {
+                    for v in o.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Deterministic white noise in `[-1, 1]` keyed by (seed, rack, channel,
 /// tick) — sensor noise that is reproducible across runs.
 fn unit_noise(seed: u64, rack: u64, channel: u64, tick: u64) -> f64 {
@@ -329,6 +453,54 @@ mod tests {
         let a = truth_sample(&m, t);
         let b = truth_sample(&m, t + SAMPLE_INTERVAL);
         assert_ne!(a.inlet, b.inlet);
+    }
+
+    #[test]
+    fn bank_observation_is_bit_identical_to_scalar_observe() {
+        let monitors: Vec<CoolantMonitor> = (0..48)
+            .map(|i| CoolantMonitor::new(RackId::from_index(i), 7))
+            .collect();
+        let mut bank = MonitorBank::new(&monitors);
+        assert_eq!(bank.lanes(), 48);
+        let mut tr = [[0.0f64; 48]; 6];
+        let mut obs = [[0.0f64; 48]; 6];
+        let base_t = SimTime::from_date(Date::new(2015, 5, 1));
+        for k in 0..50i64 {
+            let t = base_t + SAMPLE_INTERVAL * k;
+            // Six parallel rows are written at the same lane index.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..48usize {
+                let x = l as f64;
+                // Includes truths that trip the humidity clamp and the
+                // flow/power zero floor.
+                tr[0][l] = 80.0 + x * 0.1;
+                tr[1][l] = if l % 7 == 0 { 99.9 } else { 33.0 + x };
+                tr[2][l] = if l % 11 == 0 { 0.05 } else { 26.0 };
+                tr[3][l] = 64.0 + x * 0.01;
+                tr[4][l] = 79.0;
+                tr[5][l] = if l % 13 == 0 { 0.1 } else { 58.0 };
+            }
+            let [t0, t1, t2, t3, t4, t5] = &tr;
+            let [o0, o1, o2, o3, o4, o5] = &mut obs;
+            bank.observe_lanes(t, [t0, t1, t2, t3, t4, t5], [o0, o1, o2, o3, o4, o5]);
+            for (l, m) in monitors.iter().enumerate() {
+                let s = m.observe(
+                    t,
+                    Fahrenheit::new(tr[0][l]),
+                    RelHumidity::new(tr[1][l]),
+                    Gpm::new(tr[2][l]),
+                    Fahrenheit::new(tr[3][l]),
+                    Fahrenheit::new(tr[4][l]),
+                    Kilowatts::new(tr[5][l]),
+                );
+                assert_eq!(obs[0][l].to_bits(), s.dc_temperature.value().to_bits());
+                assert_eq!(obs[1][l].to_bits(), s.dc_humidity.value().to_bits());
+                assert_eq!(obs[2][l].to_bits(), s.flow.value().to_bits());
+                assert_eq!(obs[3][l].to_bits(), s.inlet.value().to_bits());
+                assert_eq!(obs[4][l].to_bits(), s.outlet.value().to_bits());
+                assert_eq!(obs[5][l].to_bits(), s.power.value().to_bits());
+            }
+        }
     }
 
     #[test]

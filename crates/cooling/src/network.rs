@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use mira_facility::RackId;
 use mira_timeseries::SimTime;
 use mira_units::{convert, Gpm};
-use mira_weather::{NoiseCursor, ValueNoise};
+use mira_weather::{FractalBank, NoiseCursor, ValueNoise};
 
 /// Per-rack drift-cursor bank plus a reusable weight buffer for the
 /// allocation-free distribution path ([`FlowNetwork::distribute_into`]).
@@ -21,11 +21,15 @@ use mira_weather::{NoiseCursor, ValueNoise};
 /// Each rack samples a distinct phase of the shared drift noise, so each
 /// rack owns its own [`NoiseCursor`]; cached lattice values are pure
 /// functions of `(seed, cell)`, which keeps the cursor path bit-identical
-/// to [`FlowNetwork::distribute`] from any prior cursor state.
+/// to [`FlowNetwork::distribute`] from any prior cursor state. The lane
+/// kernel ([`FlowNetwork::distribute_lanes`]) instead drives a one-octave
+/// [`FractalBank`] — a single-octave fractal is exactly `sample` (unit
+/// amplitude, unit norm), so both cursor forms produce the same bits.
 #[derive(Debug, Clone)]
 pub struct FlowCursor {
     per_rack: Vec<NoiseCursor>,
     weights: Vec<f64>,
+    lanes: FractalBank,
 }
 
 /// The external-loop flow network.
@@ -120,6 +124,7 @@ impl FlowNetwork {
         FlowCursor {
             per_rack: vec![NoiseCursor::default(); self.conductance.len()],
             weights: Vec::with_capacity(self.conductance.len()),
+            lanes: self.drift.fractal_bank(1, self.conductance.len()),
         }
     }
 
@@ -161,6 +166,50 @@ impl FlowNetwork {
             return;
         }
         out.extend(cursor.weights.iter().map(|w| setpoint * (w / total)));
+    }
+
+    /// [`Self::distribute_into`] as a lane kernel: rack `i`'s flow lands
+    /// in `out[i]` in GPM, with the weight buffer living on the stack —
+    /// no heap allocation at all, warm or cold.
+    ///
+    /// Bit-identical to [`Self::distribute`]: drift is the same noise at
+    /// the same per-rack phase (evaluated through the one-octave lane
+    /// bank, which is exactly `sample`), weights apply the same
+    /// conductance/floor expressions in rack order, the total is the
+    /// same lane-order sum, and each lane applies the same
+    /// `setpoint * (w / total)` expression. Drift is evaluated for
+    /// closed-valve lanes too (the scalar path skips them) and then
+    /// masked to zero — a discarded pure value, which cannot perturb any
+    /// other lane, and cursor refills are bit-neutral from any state.
+    // Raw GPM lanes; the materialized per-step view re-wraps them in
+    // `Gpm`. Lane indexing is `enumerate` over same-length `[_; 48]`
+    // rows. mira-lint: allow(raw-f64-in-public-api, panic-reachability)
+    pub fn distribute_lanes(
+        &self,
+        t: SimTime,
+        setpoint: Gpm,
+        valve_open: &[bool; RackId::COUNT],
+        cursor: &mut FlowCursor,
+        out: &mut [f64; RackId::COUNT],
+    ) {
+        let base = convert::f64_from_i64(t.epoch_seconds());
+        cursor.lanes.fractal_lanes_into(base, 8.64e6, out);
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = if valve_open[i] {
+                (self.conductance[i] + *w * 0.012).max(0.05)
+            } else {
+                0.0
+            };
+        }
+        let total: f64 = out.iter().sum();
+        if total <= 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let sp = setpoint.value();
+        for w in out.iter_mut() {
+            *w = sp * (*w / total);
+        }
     }
 
     /// The relative spread `(max − min) / min` of per-rack flow with all
@@ -256,6 +305,13 @@ mod tests {
             assert_eq!(out.len(), cold.len());
             for (a, b) in out.iter().zip(cold.iter()) {
                 assert_eq!(a.value().to_bits(), b.value().to_bits());
+            }
+            // The lane kernel shares the same cursor bank and must agree
+            // bit-for-bit with the cold path too.
+            let mut lanes = [0.0f64; 48];
+            net.distribute_lanes(t, sp, &gate, &mut cursor, &mut lanes);
+            for (a, b) in lanes.iter().zip(cold.iter()) {
+                assert_eq!(a.to_bits(), b.value().to_bits());
             }
             t += mira_timeseries::Duration::from_minutes(5);
         }

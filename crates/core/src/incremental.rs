@@ -57,7 +57,7 @@ use crate::error::Error;
 use crate::obs::{keys, record_executor_shape, ObservedSweep, SweepObsRecorder};
 use crate::simulation::Simulation;
 use crate::summary::SweepSummary;
-use crate::sweep::{Recorder, SweepError, SweepStep};
+use crate::sweep::{Recorder, SweepError, SweepStep, SWEEP_BLOCK};
 use crate::telemetry::{SweepScratch, TelemetryEngine};
 
 /// One shard's running state: the summary and its riding obs recorder,
@@ -279,10 +279,14 @@ impl IncrementalSweep {
     }
 
     /// Computes and appends the next `steps` grid instants from
-    /// `engine`, reusing one [`SweepScratch`] across calls (zero
-    /// steady-state allocation, like the batch executor's per-shard
-    /// fold). Always pass the same engine: the scratch carries cursors
-    /// into it.
+    /// `engine` through the batched kernel
+    /// ([`TelemetryEngine::sweep_steps_into`]), reusing one
+    /// [`SweepScratch`] across calls (zero steady-state allocation,
+    /// like the batch executor's per-shard fold). Blocks are cut at
+    /// calendar-month boundaries so each block folds into exactly one
+    /// shard — the roll into the prefix happens between blocks, exactly
+    /// where the per-step path would perform it. Always pass the same
+    /// engine: the scratch carries cursors into it.
     ///
     /// # Errors
     ///
@@ -294,13 +298,24 @@ impl IncrementalSweep {
             Some(s) => s,
             None => engine.sweep_scratch(),
         };
-        for _ in 0..steps {
-            let t = self.next_time();
-            engine.sweep_step_into(t, &mut scratch);
-            if let Err(e) = self.append_step(scratch.step()) {
-                self.scratch = Some(scratch);
-                return Err(e);
+        let mut remaining = steps;
+        while remaining > 0 {
+            if self.next_k == self.next_boundary {
+                self.roll_shard();
             }
+            if self.open.is_none() {
+                self.open = Some(self.fresh_shard());
+            }
+            let n = remaining
+                .min(SWEEP_BLOCK)
+                .min(self.next_boundary - self.next_k);
+            engine.sweep_steps_into(self.next_time(), self.step, n, &mut scratch);
+            let (block, staging) = scratch.block_parts();
+            if let Some(open) = self.open.as_mut() {
+                open.record_block(block, staging);
+            }
+            self.next_k += n;
+            remaining -= n;
         }
         self.scratch = Some(scratch);
         Ok(())

@@ -93,7 +93,9 @@ pub use operator::{Alert, AlertLog, ConsoleConfig, ConsoleScore, OperatorConsole
 pub use simulation::{SimConfig, SimConfigBuilder, Simulation};
 pub use summary::{ChannelAggregate, RackAggregate, SweepSummary};
 pub use sweep::{FullSpan, Recorder, SweepError, SweepPlan, SweepSpan, SweepStep};
-pub use telemetry::{CmfCursor, RackTruth, SweepScratch, SystemSnapshot, TelemetryEngine};
+pub use telemetry::{
+    CmfCursor, RackTruth, SweepBlock, SweepScratch, SystemSnapshot, TelemetryEngine,
+};
 pub use timeline::OperationalTimeline;
 
 // Re-export the workspace's main types so downstream users need only

@@ -29,6 +29,7 @@ use crate::error::Error;
 use crate::simulation::Simulation;
 use crate::summary::SweepSummary;
 use crate::sweep::{month_shards, Recorder, SweepSpan, SweepStep};
+use crate::telemetry::SweepBlock;
 
 /// Metric keys emitted by the sweep recorder, public so tests and
 /// downstream dashboards reference one vocabulary.
@@ -162,9 +163,27 @@ impl SweepObsRecorder {
     /// into `metrics` — used both for in-shard neighbors and for the
     /// seam between two merged partials.
     fn count_transitions(metrics: &mut MetricsPartial, prev: &EdgeState, cur: &EdgeState) {
+        Self::count_transitions_raw(
+            metrics,
+            &prev.rack_up,
+            prev.economizer_on,
+            &cur.rack_up,
+            cur.economizer_on,
+        );
+    }
+
+    /// Slice-form transition counter — the block path compares adjacent
+    /// availability rows in place without building [`EdgeState`]s.
+    fn count_transitions_raw(
+        metrics: &mut MetricsPartial,
+        prev_up: &[bool],
+        prev_econ: bool,
+        cur_up: &[bool],
+        cur_econ: bool,
+    ) {
         let mut newly_down = 0u64;
         let mut newly_up = 0u64;
-        for (was, is) in prev.rack_up.iter().zip(&cur.rack_up) {
+        for (was, is) in prev_up.iter().zip(cur_up) {
             if *was && !*is {
                 newly_down += 1;
             }
@@ -184,7 +203,7 @@ impl SweepObsRecorder {
         if newly_down + newly_up > 0 {
             metrics.add(keys::COOLING_VALVE_ACTUATIONS, newly_down + newly_up);
         }
-        if prev.economizer_on != cur.economizer_on {
+        if prev_econ != cur_econ {
             metrics.add(keys::COOLING_FREE_COOLING_TRANSITIONS, 1);
         }
     }
@@ -236,6 +255,99 @@ impl Recorder for SweepObsRecorder {
             self.first = Some(edge.clone());
         }
         self.last = Some(edge);
+    }
+
+    /// Lane-direct fold of one batched block: identical metric updates
+    /// to per-step [`Recorder::record`] — counter bumps are exact u64
+    /// sums batched once per block, per-key gauge/histogram samples
+    /// arrive in the same chronological order, and availability
+    /// transitions are counted between adjacent block rows (the block's
+    /// first row against the carried trailing edge) — so the
+    /// deterministic snapshot is byte-identical either way.
+    // Row indexing is bounded: `k < block.len()` with emptiness checked
+    // up front, and adjacent-row reads use `k - 1` only when `k > 0`.
+    // mira-lint: allow(panic-reachability)
+    fn record_block(&mut self, block: &SweepBlock, _staging: &mut SweepStep) {
+        if !self.enabled || block.is_empty() {
+            return;
+        }
+        let n = block.len();
+        let n_u64 = convert::u64_from_usize(n);
+        self.steps += n_u64;
+        self.metrics.add(keys::SIM_STEPS, n_u64);
+        let samples_per_step = convert::u64_from_usize(block.up[0].len());
+        self.metrics
+            .add(keys::SIM_SAMPLES, n_u64 * samples_per_step);
+
+        let econ = |k: usize| block.plants[k].free_cooling_fraction > 0.0;
+        for k in 0..n {
+            let plant = &block.plants[k];
+            let down = block.up[k].iter().filter(|up| !**up).count();
+            self.metrics
+                .gauge(keys::RAS_RACKS_DOWN, convert::f64_from_usize(down));
+            self.metrics
+                .gauge(keys::COOLING_ECONOMIZER_DUTY, plant.free_cooling_fraction);
+            self.metrics
+                .gauge(keys::COOLING_CHILLER_POWER_KW, plant.chiller_power.value());
+
+            let mut power_kw = 0.0;
+            let mut util = 0.0;
+            for (power, u) in block.obs[5][k].iter().zip(&block.util[k]) {
+                power_kw += power;
+                util += u;
+            }
+            let power_mw = power_kw / 1000.0;
+            let util_pct = util / convert::f64_from_usize(block.util[k].len().max(1)) * 100.0;
+            self.metrics.gauge(keys::POWER_SYSTEM_MW, power_mw);
+            self.metrics
+                .observe(keys::POWER_SYSTEM_MW_DIST, POWER_MW_BOUNDS, power_mw);
+            self.metrics.gauge(keys::UTILIZATION_PCT, util_pct);
+            self.metrics
+                .observe(keys::UTILIZATION_PCT_DIST, UTILIZATION_BOUNDS, util_pct);
+
+            if k > 0 {
+                Self::count_transitions_raw(
+                    &mut self.metrics,
+                    &block.up[k - 1],
+                    econ(k - 1),
+                    &block.up[k],
+                    econ(k),
+                );
+            } else if let Some(prev) = &self.last {
+                Self::count_transitions_raw(
+                    &mut self.metrics,
+                    &prev.rack_up,
+                    prev.economizer_on,
+                    &block.up[0],
+                    econ(0),
+                );
+            }
+        }
+
+        if self.first.is_none() {
+            self.first = Some(EdgeState {
+                // One-time leading-edge capture on the first block ever
+                // seen, not per-step. mira-lint: allow(alloc-in-hot-path)
+                rack_up: block.up[0].to_vec(),
+                economizer_on: econ(0),
+            });
+        }
+        // Reuse the trailing edge's buffer: warm blocks allocate nothing.
+        match &mut self.last {
+            Some(last) => {
+                last.rack_up.clear();
+                last.rack_up.extend_from_slice(&block.up[n - 1]);
+                last.economizer_on = econ(n - 1);
+            }
+            None => {
+                self.last = Some(EdgeState {
+                    // One-time trailing-edge seed on the first block ever
+                    // seen, not per-step. mira-lint: allow(alloc-in-hot-path)
+                    rack_up: block.up[n - 1].to_vec(),
+                    economizer_on: econ(n - 1),
+                });
+            }
+        }
     }
 
     fn merge(&mut self, later: Self) {

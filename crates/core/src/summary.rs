@@ -5,10 +5,13 @@ use serde::{Deserialize, Serialize};
 
 use mira_cooling::plant::FreeCoolingLedger;
 use mira_facility::RackId;
-use mira_timeseries::{CalendarBins, CivilParts, Duration, SimTime, TimeSeries, Welford};
+use mira_timeseries::{
+    CalendarBins, CivilParts, Duration, SimTime, TimeSeries, Welford, WelfordRows,
+};
 use mira_units::{convert, KilowattHours};
 
-use crate::sweep::{Recorder, SweepStep};
+use crate::sweep::{Recorder, SweepStep, SWEEP_BLOCK};
+use crate::telemetry::SweepBlock;
 
 /// Calendar bins plus a weekly-mean series for one system-level channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,11 +45,18 @@ impl ChannelAggregate {
     }
 
     fn push(&mut self, t: SimTime, parts: CivilParts, value: f64) {
-        self.bins.push_parts(parts, value);
         // Week key on a global 7-day grid — a pure function of t, so
         // shard boundaries never shift which week a sample lands in.
         let week =
             SimTime::from_epoch_seconds(t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400);
+        self.push_keyed(parts, week, value);
+    }
+
+    /// [`Self::push`] with the week key already derived — the batched
+    /// block fold computes each instant's key once and shares it across
+    /// all seven channels instead of re-deriving it per channel.
+    fn push_keyed(&mut self, parts: CivilParts, week: SimTime, value: f64) {
+        self.bins.push_parts(parts, value);
         match self.weeks.last_mut() {
             Some((ws, acc)) if *ws == week => acc.push(value),
             Some((ws, _)) if *ws < week => {
@@ -298,6 +308,147 @@ impl SweepSummary {
         }
     }
 
+    /// Lane-direct fold of one batched block: the same pushes as
+    /// [`Self::ingest`], reading the block's structure-of-arrays rows
+    /// instead of a materialized [`SweepStep`]. Observed channels come
+    /// from the block's sensor lanes (already clamped/floored by the
+    /// observation pass) and utilization from the truth lane, so every
+    /// pushed value is bit-identical to the per-step path's.
+    ///
+    /// The fold runs in three accumulator-resident passes over the
+    /// block. Interchanging the (instant, accumulator) loops is
+    /// bit-exact because each accumulator only requires *its own*
+    /// values to arrive in chronological order; only accumulators that
+    /// interleave across lanes within one instant (the pooled DC
+    /// stats, the lane sums) keep the per-instant rack-order loop.
+    ///
+    /// 1. Bank-outer per-rack fold through [`WelfordRows`] staging:
+    ///    one 48-lane bank (~2 KB) and the lane rows it reads stay
+    ///    L1-resident for the whole block, instead of cycling all
+    ///    seven banks through cache every instant.
+    /// 2. Per-instant pass for the order-sensitive pooled statistics,
+    ///    the system-level lane sums (staged to a per-block scalar
+    ///    row), the shared week keys, and the energy ledger.
+    /// 3. Channel-outer bins pass: one channel's calendar bins (~7 KB)
+    ///    absorb the whole block's staged scalars while hot, rather
+    ///    than thrashing all seven channels' bins per instant.
+    // Row indexing is `k < len` over rows the executor sized to `len`
+    // and staging rows sized by the assert below; lane indexing is
+    // `l in 0..RackId::COUNT` over `[_; 48]` rows; the year index is a
+    // found-or-just-inserted position. mira-lint: allow(panic-reachability)
+    fn ingest_block(&mut self, block: &SweepBlock) {
+        let len = block.len();
+        assert!(
+            len <= SWEEP_BLOCK,
+            "block of {len} instants exceeds the {SWEEP_BLOCK}-instant staging rows"
+        );
+        macro_rules! fold_bank {
+            ($field:ident, $row:expr) => {{
+                let mut rows =
+                    WelfordRows::<{ RackId::COUNT }>::load(self.racks.iter().map(|r| &r.$field));
+                for k in 0..len {
+                    rows.push_row($row(k));
+                }
+                rows.store(self.racks.iter_mut().map(|r| &mut r.$field));
+            }};
+        }
+        fold_bank!(power, |k: usize| &block.obs[5][k]);
+        fold_bank!(utilization, |k: usize| &block.util[k]);
+        fold_bank!(flow, |k: usize| &block.obs[2][k]);
+        fold_bank!(inlet, |k: usize| &block.obs[3][k]);
+        fold_bank!(outlet, |k: usize| &block.obs[4][k]);
+        fold_bank!(ambient_temperature, |k: usize| &block.obs[0][k]);
+        fold_bank!(ambient_humidity, |k: usize| &block.obs[1][k]);
+
+        let n = convert::f64_from_usize(RackId::COUNT);
+        let mut chan = [[0.0f64; SWEEP_BLOCK]; 7];
+        let mut weeks = [SimTime::from_epoch_seconds(0); SWEEP_BLOCK];
+        for k in 0..len {
+            let t = block.times[k];
+            let parts = block.civils[k];
+            let util_lane = &block.util[k];
+            let dc_t_lane = &block.obs[0][k];
+            let dc_h_lane = &block.obs[1][k];
+            let flow_lane = &block.obs[2][k];
+            let inlet_lane = &block.obs[3][k];
+            let outlet_lane = &block.obs[4][k];
+            let power_lane = &block.obs[5][k];
+
+            let mut power_kw = 0.0;
+            let mut util = 0.0;
+            let mut flow = 0.0;
+            let mut inlet = 0.0;
+            let mut outlet = 0.0;
+            let mut dc_t = 0.0;
+            let mut dc_h = 0.0;
+            for l in 0..RackId::COUNT {
+                self.dc_temp_all_racks.push(dc_t_lane[l]);
+                self.dc_rh_all_racks.push(dc_h_lane[l]);
+
+                power_kw += power_lane[l];
+                util += util_lane[l];
+                flow += flow_lane[l];
+                inlet += inlet_lane[l];
+                outlet += outlet_lane[l];
+                dc_t += dc_t_lane[l];
+                dc_h += dc_h_lane[l];
+            }
+            chan[0][k] = power_kw / 1000.0;
+            chan[1][k] = util / n * 100.0;
+            chan[2][k] = flow;
+            chan[3][k] = inlet / n;
+            chan[4][k] = outlet / n;
+            chan[5][k] = dc_t / n;
+            chan[6][k] = dc_h / n;
+            weeks[k] =
+                SimTime::from_epoch_seconds(t.epoch_seconds().div_euclid(7 * 86_400) * 7 * 86_400);
+
+            // Energy accounting — the block carries the plant response
+            // directly, so no snapshot round-trip is needed.
+            // Chronological pushes land in the newest (last) year row.
+            let year = parts.date.year();
+            let idx = if matches!(self.yearly_energy.last(), Some((y, _)) if *y == year) {
+                self.yearly_energy.len() - 1
+            } else {
+                match self.yearly_energy.iter().position(|(y, _)| *y == year) {
+                    Some(i) => i,
+                    None => {
+                        let at = self.yearly_energy.partition_point(|(y, _)| *y < year);
+                        self.yearly_energy
+                            .insert(at, (year, FreeCoolingLedger::new()));
+                        at
+                    }
+                }
+            };
+            // idx is a found or just-inserted position in yearly_energy.
+            // mira-lint: allow(panic-reachability)
+            let ledger = &mut self.yearly_energy[idx].1;
+            // Qualified call: a bare `.record(..)` name-resolves against
+            // `SweepSummary::record` in mira-lint's call graph, dragging a
+            // spurious allocation chain into the hot-root walk.
+            FreeCoolingLedger::record(ledger, &block.plants[k], self.step);
+            if parts.date.month().is_free_cooling_season() {
+                self.season_saved += block.plants[k]
+                    .avoided_power
+                    .for_hours(self.step.as_hours());
+            }
+        }
+
+        for (agg, vals) in [
+            (&mut self.power_mw, &chan[0]),
+            (&mut self.utilization_pct, &chan[1]),
+            (&mut self.flow_gpm, &chan[2]),
+            (&mut self.inlet_f, &chan[3]),
+            (&mut self.outlet_f, &chan[4]),
+            (&mut self.dc_temp_f, &chan[5]),
+            (&mut self.dc_rh, &chan[6]),
+        ] {
+            for k in 0..len {
+                agg.push_keyed(block.civils[k], weeks[k], vals[k]);
+            }
+        }
+    }
+
     /// Per-rack mean of a channel selected by `f`, in rack-index order.
     #[must_use]
     pub fn rack_means<F: Fn(&RackAggregate) -> &Welford>(&self, f: F) -> Vec<f64> {
@@ -320,6 +471,10 @@ impl Recorder for SweepSummary {
 
     fn record(&mut self, step: &SweepStep) {
         self.ingest(step);
+    }
+
+    fn record_block(&mut self, block: &SweepBlock, _staging: &mut SweepStep) {
+        self.ingest_block(block);
     }
 
     fn merge(&mut self, later: Self) {

@@ -14,13 +14,13 @@ use serde::{Deserialize, Serialize};
 
 use mira_cooling::{
     ChilledWaterPlant, CoolantMonitor, CoolantMonitorSample, FlowCursor, FlowNetwork,
-    HeatExchanger, PrecursorSignature,
+    HeatExchanger, MonitorBank, PlantLoad, PrecursorSignature,
 };
 use mira_facility::{BulkPowerModule, Machine, RackId};
 use mira_predictor::TelemetryProvider;
 use mira_ras::schedule::CmfSchedule;
 use mira_ras::{AvailabilityCursor, RackAvailability, RasLog};
-use mira_timeseries::{CivilDayCache, Duration, SimTime};
+use mira_timeseries::{CivilDayCache, CivilParts, Duration, SimTime};
 use mira_units::{convert, Fahrenheit, Gpm, Kilowatts, RelHumidity, Watts};
 use mira_weather::{ChicagoClimate, ClimateCursor, FractalCursor, NoiseCursor, WeatherSample};
 use mira_workload::{SystemDemand, WorkloadCursor, WorkloadModel};
@@ -452,73 +452,6 @@ impl TelemetryEngine {
         }
     }
 
-    /// [`Self::rack_truth`] through the workload and CMF cursors;
-    /// bit-identical to the cold path from any prior cursor state.
-    fn rack_truth_cached(
-        &self,
-        rack: RackId,
-        snap: &SystemSnapshot,
-        workload: &mut WorkloadCursor,
-        cmf: &mut CmfCursor,
-    ) -> RackTruth {
-        let t = snap.time;
-        let air = self.machine.airflow().at(rack);
-        let ambient_temperature = snap.weather.indoor_temperature + air.temperature_offset;
-        let ambient_humidity =
-            RelHumidity::new(snap.weather.indoor_humidity.value() * air.humidity_factor);
-
-        let up = snap.rack_up[rack.index()];
-        let load = if up {
-            self.workload
-                .rack_load_cached(t, rack, &snap.demand, workload)
-        } else {
-            mira_workload::RackLoad {
-                utilization: 0.0,
-                intensity: 0.0,
-            }
-        };
-
-        let mut flow = snap.flows[rack.index()];
-        let mut inlet = snap.supply_temperature;
-
-        if let Some(cmf_at) = self.next_cmf_cached(rack, t, cmf) {
-            let lead = cmf_at - t;
-            if lead <= self.signature.horizon() {
-                let severity = self
-                    .signature
-                    .event_severity(rack.index(), cmf_at.epoch_seconds());
-                inlet =
-                    inlet * PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
-                flow = flow * PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
-            }
-        }
-
-        let power = if up {
-            self.bpm.draw(load.utilization, load.intensity)
-        } else {
-            Kilowatts::new(1.5)
-        };
-        let heat = if up {
-            self.bpm
-                .heat_to_coolant_watts(load.utilization, load.intensity)
-        } else {
-            Watts::new(0.0)
-        };
-        let outlet = self.exchanger.outlet_temperature(inlet, flow, heat);
-
-        RackTruth {
-            utilization: load.utilization,
-            intensity: load.intensity,
-            ambient_temperature,
-            ambient_humidity,
-            flow,
-            inlet,
-            outlet,
-            power,
-            is_up: up,
-        }
-    }
-
     /// The coolant-monitor record for `rack` given a snapshot.
     #[must_use]
     pub fn observe(&self, rack: RackId, snap: &SystemSnapshot) -> CoolantMonitorSample {
@@ -596,6 +529,7 @@ impl TelemetryEngine {
                 truths: Vec::with_capacity(RackId::COUNT),
                 samples: Vec::with_capacity(RackId::COUNT),
             },
+            block: SweepBlock::with_capacity(crate::sweep::SWEEP_BLOCK),
             civil: CivilDayCache::default(),
             climate: self.climate.cursor(),
             workload: self.workload.cursor(),
@@ -605,6 +539,21 @@ impl TelemetryEngine {
             setpoint_ops: self.flow_ops_noise.fractal_cursor(2),
             flow: self.network.flow_cursor(),
             valve_open: [true; RackId::COUNT],
+            air_temp_offset: {
+                let mut lanes = [0.0; RackId::COUNT];
+                for (r, lane) in self.machine.airflow().iter().zip(lanes.iter_mut()) {
+                    *lane = r.1.temperature_offset.value();
+                }
+                lanes
+            },
+            air_humidity_factor: {
+                let mut lanes = [0.0; RackId::COUNT];
+                for (r, lane) in self.machine.airflow().iter().zip(lanes.iter_mut()) {
+                    *lane = r.1.humidity_factor;
+                }
+                lanes
+            },
+            monitor_bank: MonitorBank::new(&self.monitors),
         }
     }
 
@@ -612,13 +561,57 @@ impl TelemetryEngine {
     /// its buffers and cursors: zero heap allocation per step once the
     /// scratch is warm, and bit-identical to [`Self::sweep_step`].
     ///
-    /// Every cache consulted here (noise-lattice cursors, the civil-day
-    /// decomposition, availability and CMF windows) is keyed on pure
-    /// inputs, so the result never depends on what the scratch was last
-    /// used for.
+    /// This is the batched kernel [`Self::sweep_steps_into`] run over a
+    /// one-instant block, with the per-instant view materialized into
+    /// `scratch.step()`. Every cache consulted (noise-lattice cursors,
+    /// the civil-day decomposition, availability and CMF windows) is
+    /// keyed on pure inputs, so the result never depends on what the
+    /// scratch was last used for.
     pub fn sweep_step_into(&self, t: SimTime, scratch: &mut SweepScratch) {
+        self.sweep_steps_into(t, mira_cooling::monitor::SAMPLE_INTERVAL, 1, scratch);
+        let SweepScratch { step, block, .. } = scratch;
+        block.materialize_into(0, step);
+    }
+
+    /// Computes `len` consecutive [`SweepStep`]s — the grid `from`,
+    /// `from + step`, … — into the scratch's structure-of-arrays
+    /// [`SweepBlock`], the batched sweep hot path.
+    ///
+    /// The work is staged so each pass streams contiguous `[f64; 48]`
+    /// lane rows the compiler can autovectorize:
+    ///
+    /// 1. per-instant scalars (calendar, weather, demand, availability
+    ///    mask, plant response, setpoint) through the shared cursors in
+    ///    chronological order — exactly the order the per-step path
+    ///    advances them;
+    /// 2. hydraulic flow distribution lanes;
+    /// 3. workload lanes (placement wobble, clamps), zeroed on down
+    ///    racks as the scalar path's skip yields exact zeros;
+    /// 4. ambient thermal lanes from the precomputed airflow factors;
+    /// 5. hydraulic truth lanes (supply inlet + distributed flow) with
+    ///    the CMF precursor signature folded in — lanes whose CMF
+    ///    window shows no failure within the signature horizon of the
+    ///    whole block (the overwhelmingly common case) skip the
+    ///    per-step branch entirely;
+    /// 6. power draw, heat and exchanger outlet lanes;
+    /// 7. sensor-noise observation lanes through the [`MonitorBank`].
+    ///
+    /// Every lane expression matches the scalar path's arithmetic and
+    /// evaluation order, so each of the block's per-instant views is
+    /// bit-identical to [`Self::sweep_step_into`] at the same instant;
+    /// no heap allocation happens once the scratch is warm.
+    // Every `[k]` is `k < len` over rows sized by `ensure_len(len)`,
+    // and every `[l]` is `l in 0..RackId::COUNT` over `[_; 48]` rows.
+    // mira-lint: allow(panic-reachability)
+    pub fn sweep_steps_into(
+        &self,
+        from: SimTime,
+        step: Duration,
+        len: usize,
+        scratch: &mut SweepScratch,
+    ) {
         let SweepScratch {
-            step,
+            block,
             civil,
             climate,
             workload,
@@ -628,47 +621,177 @@ impl TelemetryEngine {
             setpoint_ops,
             flow,
             valve_open,
+            air_temp_offset,
+            air_humidity_factor,
+            monitor_bank,
+            ..
         } = scratch;
+        block.ensure_len(len);
+        if len == 0 {
+            return;
+        }
 
-        let parts = civil.resolve(t);
-        let weather = self.climate.sample_with(t, climate);
-        let demand = self.workload.system_demand_with(t, parts.date, workload);
-        self.availability.fill_up_mask(t, avail, valve_open);
+        // The sweep grid never revisits an instant, so every instant is
+        // a fresh hydraulic solve: one batched add keeps the miss
+        // counter honest about work performed without a per-step atomic
+        // RMW. The single-entry `hydro_memo` is never consulted here —
+        // it serves only random-access callers via `snapshot`.
+        self.hydro_misses.fetch_add(len as u64, Ordering::Relaxed);
 
-        let heat_watts = self
-            .bpm
-            .heat_to_coolant_watts(demand.utilization, demand.intensity)
-            * convert::f64_from_usize(RackId::COUNT);
-        let free = ChicagoClimate::free_cooling_fraction_of(weather.outdoor_temperature);
-        let plant_load =
-            self.plant
-                .respond_with(t, free, heat_watts, self.timeline.supply_uplift(t), plant);
-        let setpoint = self.effective_setpoint_with(t, &demand, setpoint_ops);
+        // Pass 1: per-instant scalars.
+        for k in 0..len {
+            let t = from + step * convert::i64_from_usize(k);
+            let parts = civil.resolve(t);
+            let weather = self.climate.sample_with(t, climate);
+            let demand = self.workload.system_demand_with(t, parts.date, workload);
+            self.availability.fill_up_mask(t, avail, valve_open);
+            let heat_watts = self
+                .bpm
+                .heat_to_coolant_watts(demand.utilization, demand.intensity)
+                * convert::f64_from_usize(RackId::COUNT);
+            let free = ChicagoClimate::free_cooling_fraction_of(weather.outdoor_temperature);
+            let plant_load =
+                self.plant
+                    .respond_with(t, free, heat_watts, self.timeline.supply_uplift(t), plant);
+            let setpoint = self.effective_setpoint_with(t, &demand, setpoint_ops);
+            block.times[k] = t;
+            block.civils[k] = parts;
+            block.weathers[k] = weather;
+            block.demands[k] = demand;
+            block.plants[k] = plant_load;
+            block.setpoints[k] = setpoint.value();
+            block.up[k] = *valve_open;
+        }
 
-        // The sweep grid never revisits an instant, so this is always a
-        // fresh solve — counted as a memo miss to keep the hit-rate
-        // metric honest about work actually performed.
-        self.hydro_misses.fetch_add(1, Ordering::Relaxed);
-        let snap = &mut step.snapshot;
-        self.network
-            .distribute_into(t, setpoint, valve_open, flow, &mut snap.flows);
-        snap.rack_up.clear();
-        snap.rack_up.extend_from_slice(valve_open);
-        snap.time = t;
-        snap.weather = weather;
-        snap.demand = demand;
-        snap.supply_temperature = plant_load.supply_temperature;
-        snap.free_cooling_fraction = plant_load.free_cooling_fraction;
-        snap.chiller_power = plant_load.chiller_power;
-        snap.avoided_power = plant_load.avoided_power;
-        step.civil = parts;
+        // Pass 2: hydraulic distribution lanes.
+        for k in 0..len {
+            self.network.distribute_lanes(
+                block.times[k],
+                Gpm::new(block.setpoints[k]),
+                &block.up[k],
+                flow,
+                &mut block.dist_flow[k],
+            );
+        }
 
-        step.truths.clear();
-        step.samples.clear();
-        for rack in RackId::all() {
-            let truth = self.rack_truth_cached(rack, &step.snapshot, workload, cmf);
-            step.samples.push(self.observe_truth(rack, t, &truth));
-            step.truths.push(truth);
+        // Pass 3: workload lanes. Down racks read zero — the scalar
+        // path skips them, and a discarded pure lane value cannot
+        // perturb any other lane.
+        for k in 0..len {
+            self.workload.rack_load_lanes(
+                block.times[k],
+                &block.demands[k],
+                workload,
+                &mut block.util[k],
+                &mut block.intensity[k],
+            );
+            let up = &block.up[k];
+            let (util, intensity) = (&mut block.util[k], &mut block.intensity[k]);
+            for l in 0..RackId::COUNT {
+                if !up[l] {
+                    util[l] = 0.0;
+                    intensity[l] = 0.0;
+                }
+            }
+        }
+
+        // Pass 4: ambient thermal lanes.
+        for k in 0..len {
+            let it = block.weathers[k].indoor_temperature.value();
+            let ih = block.weathers[k].indoor_humidity.value();
+            let (ambient_t, ambient_rh) = (&mut block.ambient_t[k], &mut block.ambient_rh[k]);
+            for l in 0..RackId::COUNT {
+                ambient_t[l] = it + air_temp_offset[l];
+                // `RelHumidity::new` clamps into [0, 100]; the lanes
+                // store the post-clamp value the scalar truth carries.
+                ambient_rh[l] = (ih * air_humidity_factor[l]).clamp(0.0, 100.0);
+            }
+        }
+
+        // Pass 5: hydraulic truth lanes plus the precursor signature.
+        for k in 0..len {
+            block.inlet[k].fill(block.plants[k].supply_temperature.value());
+            block.flow[k] = block.dist_flow[k];
+        }
+        let t_last = block.times[len - 1];
+        for l in 0..RackId::COUNT {
+            let rack = RackId::from_index(l);
+            // One window probe at the block start classifies the whole
+            // lane: the cached CMF window covers (prev, next], so every
+            // instant through `t_last` resolves to the same next CMF,
+            // and if that CMF (if any) is further than the signature
+            // horizon past the block's end, no instant in the block
+            // carries a precursor.
+            let clean = match self.next_cmf_cached(rack, from, cmf) {
+                None => true,
+                Some(cmf_at) => cmf_at - t_last > self.signature.horizon(),
+            };
+            if clean {
+                continue;
+            }
+            for k in 0..len {
+                let t = block.times[k];
+                if let Some(cmf_at) = self.next_cmf_cached(rack, t, cmf) {
+                    let lead = cmf_at - t;
+                    if lead <= self.signature.horizon() {
+                        let severity = self
+                            .signature
+                            .event_severity(rack.index(), cmf_at.epoch_seconds());
+                        block.inlet[k][l] *=
+                            PrecursorSignature::scale(self.signature.inlet_factor(lead), severity);
+                        block.flow[k][l] *=
+                            PrecursorSignature::scale(self.signature.flow_factor(lead), severity);
+                    }
+                }
+            }
+        }
+
+        // Pass 6: power, heat, and exchanger outlet lanes.
+        for k in 0..len {
+            let up = &block.up[k];
+            let (util, intensity) = (&block.util[k], &block.intensity[k]);
+            let (inlet, flow_lane) = (&block.inlet[k], &block.flow[k]);
+            let (power, outlet) = (&mut block.power[k], &mut block.outlet[k]);
+            for l in 0..RackId::COUNT {
+                let (draw, heat) = if up[l] {
+                    (
+                        self.bpm.draw(util[l], intensity[l]).value(),
+                        self.bpm.heat_to_coolant_watts(util[l], intensity[l]),
+                    )
+                } else {
+                    // Power enclosure off: standby draw, no heat.
+                    (1.5, Watts::new(0.0))
+                };
+                power[l] = draw;
+                outlet[l] = self
+                    .exchanger
+                    .outlet_temperature(Fahrenheit::new(inlet[l]), Gpm::new(flow_lane[l]), heat)
+                    .value();
+            }
+        }
+
+        // Pass 7: sensor observation lanes.
+        let [o0, o1, o2, o3, o4, o5] = &mut block.obs;
+        for k in 0..len {
+            monitor_bank.observe_lanes(
+                block.times[k],
+                [
+                    &block.ambient_t[k][..],
+                    &block.ambient_rh[k][..],
+                    &block.flow[k][..],
+                    &block.inlet[k][..],
+                    &block.outlet[k][..],
+                    &block.power[k][..],
+                ],
+                [
+                    &mut o0[k][..],
+                    &mut o1[k][..],
+                    &mut o2[k][..],
+                    &mut o3[k][..],
+                    &mut o4[k][..],
+                    &mut o5[k][..],
+                ],
+            );
         }
     }
 
@@ -690,6 +813,7 @@ impl TelemetryEngine {
 #[derive(Debug, Clone)]
 pub struct SweepScratch {
     step: SweepStep,
+    block: SweepBlock,
     civil: CivilDayCache,
     climate: ClimateCursor,
     workload: WorkloadCursor,
@@ -699,6 +823,12 @@ pub struct SweepScratch {
     setpoint_ops: FractalCursor,
     flow: FlowCursor,
     valve_open: [bool; RackId::COUNT],
+    /// Per-rack airflow temperature offsets (static machine layout).
+    air_temp_offset: [f64; RackId::COUNT],
+    /// Per-rack airflow humidity factors (static machine layout).
+    air_humidity_factor: [f64; RackId::COUNT],
+    /// SoA view of the 48 coolant monitors' calibration constants.
+    monitor_bank: MonitorBank,
 }
 
 impl SweepScratch {
@@ -712,6 +842,228 @@ impl SweepScratch {
     #[must_use]
     pub fn into_step(self) -> SweepStep {
         self.step
+    }
+
+    /// The most recently computed block.
+    #[must_use]
+    pub fn block(&self) -> &SweepBlock {
+        &self.block
+    }
+
+    /// Split-borrow of the block (read) and the per-step staging
+    /// buffer (write), for recorders that materialize per-instant
+    /// views out of a batch.
+    #[must_use]
+    pub fn block_parts(&mut self) -> (&SweepBlock, &mut SweepStep) {
+        (&self.block, &mut self.step)
+    }
+}
+
+/// Structure-of-arrays output of one [`TelemetryEngine::sweep_steps_into`]
+/// batch: per-instant scalars plus contiguous `[f64; 48]` lane rows for
+/// every per-rack quantity, truth and observed.
+///
+/// Recorders either read the lanes directly (the summary and obs
+/// recorders do) or materialize per-instant [`SweepStep`] views with
+/// [`SweepBlock::materialize_into`]; both see exactly the bits the
+/// per-step path produces.
+#[derive(Debug, Clone)]
+pub struct SweepBlock {
+    len: usize,
+    pub(crate) times: Vec<SimTime>,
+    pub(crate) civils: Vec<CivilParts>,
+    pub(crate) weathers: Vec<WeatherSample>,
+    pub(crate) demands: Vec<SystemDemand>,
+    pub(crate) plants: Vec<PlantLoad>,
+    pub(crate) setpoints: Vec<f64>,
+    pub(crate) up: Vec<[bool; RackId::COUNT]>,
+    /// Hydraulic distribution per rack (pre-precursor), GPM.
+    pub(crate) dist_flow: Vec<[f64; RackId::COUNT]>,
+    pub(crate) util: Vec<[f64; RackId::COUNT]>,
+    pub(crate) intensity: Vec<[f64; RackId::COUNT]>,
+    pub(crate) ambient_t: Vec<[f64; RackId::COUNT]>,
+    pub(crate) ambient_rh: Vec<[f64; RackId::COUNT]>,
+    /// Truth flow per rack (post-precursor), GPM.
+    pub(crate) flow: Vec<[f64; RackId::COUNT]>,
+    pub(crate) inlet: Vec<[f64; RackId::COUNT]>,
+    pub(crate) outlet: Vec<[f64; RackId::COUNT]>,
+    pub(crate) power: Vec<[f64; RackId::COUNT]>,
+    /// Observed sensor lanes in channel order (dc-temperature,
+    /// dc-humidity, flow, inlet, outlet, power).
+    pub(crate) obs: [Vec<[f64; RackId::COUNT]>; 6],
+}
+
+impl SweepBlock {
+    /// An empty block with room for `capacity` instants.
+    // Scratch constructor: buffers grow here and in `ensure_len`, once
+    // per worker, never in the per-step fold.
+    // mira-lint: allow(alloc-in-hot-path)
+    fn with_capacity(capacity: usize) -> Self {
+        let mut block = Self {
+            len: 0,
+            times: Vec::new(),
+            civils: Vec::new(),
+            weathers: Vec::new(),
+            demands: Vec::new(),
+            plants: Vec::new(),
+            setpoints: Vec::new(),
+            up: Vec::new(),
+            dist_flow: Vec::new(),
+            util: Vec::new(),
+            intensity: Vec::new(),
+            ambient_t: Vec::new(),
+            ambient_rh: Vec::new(),
+            flow: Vec::new(),
+            inlet: Vec::new(),
+            outlet: Vec::new(),
+            power: Vec::new(),
+            obs: Default::default(),
+        };
+        block.ensure_len(capacity);
+        block.len = 0;
+        block
+    }
+
+    /// Grows the rows to hold `len` instants (one-time, amortized; the
+    /// executor reuses one block per worker) and sets the active
+    /// length. Row contents beyond the previous length are unspecified
+    /// until the kernel passes overwrite them — every pass writes all
+    /// `len` instants, so no stale value survives into a result.
+    // Cold growth only; steady-state blocks never reallocate.
+    // mira-lint: allow(alloc-in-hot-path)
+    fn ensure_len(&mut self, len: usize) {
+        if self.times.len() < len {
+            let origin = SimTime::from_epoch_seconds(0);
+            self.times.resize(len, origin);
+            self.civils.resize(len, origin.civil_parts());
+            self.weathers.resize(
+                len,
+                WeatherSample {
+                    outdoor_temperature: Fahrenheit::new(0.0),
+                    outdoor_humidity: RelHumidity::new(0.0),
+                    outdoor_dew_point: Fahrenheit::new(0.0),
+                    indoor_temperature: Fahrenheit::new(0.0),
+                    indoor_humidity: RelHumidity::new(0.0),
+                },
+            );
+            self.demands.resize(
+                len,
+                SystemDemand {
+                    utilization: 0.0,
+                    intensity: 0.0,
+                    in_maintenance: false,
+                },
+            );
+            self.plants.resize(
+                len,
+                PlantLoad {
+                    supply_temperature: Fahrenheit::new(0.0),
+                    free_cooling_fraction: 0.0,
+                    chiller_power: Kilowatts::new(0.0),
+                    avoided_power: Kilowatts::new(0.0),
+                },
+            );
+            self.setpoints.resize(len, 0.0);
+            self.up.resize(len, [true; RackId::COUNT]);
+            for lanes in [
+                &mut self.dist_flow,
+                &mut self.util,
+                &mut self.intensity,
+                &mut self.ambient_t,
+                &mut self.ambient_rh,
+                &mut self.flow,
+                &mut self.inlet,
+                &mut self.outlet,
+                &mut self.power,
+            ] {
+                lanes.resize(len, [0.0; RackId::COUNT]);
+            }
+            for lanes in &mut self.obs {
+                lanes.resize(len, [0.0; RackId::COUNT]);
+            }
+        }
+        self.len = len;
+    }
+
+    /// Number of instants in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no instants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The instant at block index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is at or past [`Self::len`].
+    #[must_use]
+    // Documented panic contract; the read is at the asserted `k`.
+    // mira-lint: allow(panic-reachability)
+    pub fn time(&self, k: usize) -> SimTime {
+        assert!(k < self.len, "block index out of range");
+        self.times[k]
+    }
+
+    /// Materializes the per-instant view at block index `k` into a
+    /// reusable [`SweepStep`], re-wrapping each lane value in its unit
+    /// newtype. Humidity lanes already carry post-clamp values and flow
+    /// and power observations their zero floor, so the constructors are
+    /// idempotent here and the materialized step is bit-identical to
+    /// the per-step path's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is at or past [`Self::len`].
+    // Documented panic contract; all lane indexing below is over
+    // fixed-size [_; 48] rows. mira-lint: allow(panic-reachability)
+    pub fn materialize_into(&self, k: usize, out: &mut SweepStep) {
+        assert!(k < self.len, "block index out of range");
+        let snap = &mut out.snapshot;
+        snap.time = self.times[k];
+        snap.weather = self.weathers[k];
+        snap.demand = self.demands[k];
+        let plant = self.plants[k];
+        snap.supply_temperature = plant.supply_temperature;
+        snap.free_cooling_fraction = plant.free_cooling_fraction;
+        snap.chiller_power = plant.chiller_power;
+        snap.avoided_power = plant.avoided_power;
+        snap.flows.clear();
+        snap.flows
+            .extend(self.dist_flow[k].iter().map(|&f| Gpm::new(f)));
+        snap.rack_up.clear();
+        snap.rack_up.extend_from_slice(&self.up[k]);
+        out.civil = self.civils[k];
+        out.truths.clear();
+        out.samples.clear();
+        for l in 0..RackId::COUNT {
+            out.truths.push(RackTruth {
+                utilization: self.util[k][l],
+                intensity: self.intensity[k][l],
+                ambient_temperature: Fahrenheit::new(self.ambient_t[k][l]),
+                ambient_humidity: RelHumidity::new(self.ambient_rh[k][l]),
+                flow: Gpm::new(self.flow[k][l]),
+                inlet: Fahrenheit::new(self.inlet[k][l]),
+                outlet: Fahrenheit::new(self.outlet[k][l]),
+                power: Kilowatts::new(self.power[k][l]),
+                is_up: self.up[k][l],
+            });
+            out.samples.push(CoolantMonitorSample {
+                time: self.times[k],
+                rack: RackId::from_index(l),
+                dc_temperature: Fahrenheit::new(self.obs[0][k][l]),
+                dc_humidity: RelHumidity::new(self.obs[1][k][l]),
+                flow: Gpm::new(self.obs[2][k][l]),
+                inlet: Fahrenheit::new(self.obs[3][k][l]),
+                outlet: Fahrenheit::new(self.obs[4][k][l]),
+                power: Kilowatts::new(self.obs[5][k][l]),
+            });
+        }
     }
 }
 

@@ -64,9 +64,11 @@ pub const DETERMINISM_ROOT_FILES: [&str; 2] =
 /// property of the measured per-step profile (BENCH_sweep.json pins
 /// 0 allocs/step), not something a static walk can discover — see
 /// DESIGN.md §10.
-pub const HOT_ROOT_FNS: [(&str, &str, &str); 2] = [
+pub const HOT_ROOT_FNS: [(&str, &str, &str); 4] = [
     ("core", "SweepPlan", "run"),
     ("core", "TelemetryEngine", "sweep_step_into"),
+    ("core", "TelemetryEngine", "sweep_steps_into"),
+    ("core", "SweepSummary", "record_block"),
 ];
 
 /// Crates whose `merge` fns are aggregation hot roots: they run once
@@ -77,10 +79,13 @@ pub const HOT_MERGE_CRATES: [&str; 3] = ["core", "obs", "timeseries"];
 /// constructor and every lookup beneath a purity-keyed cache must be a
 /// pure function of its inputs, or the cache silently serves stale or
 /// order-dependent values.
-pub const CACHE_PURE_TYPES: [(&str, &str); 7] = [
+pub const CACHE_PURE_TYPES: [(&str, &str); 10] = [
+    ("cooling", "MonitorBank"),
     ("core", "HydroKey"),
+    ("core", "SweepBlock"),
     ("timeseries", "CivilDayCache"),
     ("timeseries", "CivilParts"),
+    ("timeseries", "WelfordRows"),
     ("weather", "FractalBank"),
     ("weather", "FractalCursor"),
     ("weather", "NoiseCursor"),

@@ -425,7 +425,10 @@ fn open_columnar(path: &Path) -> Result<ColumnarArchive, StoreError> {
     for column in &mut ras_columns {
         let payload_len = usize_len(next(&footer, &mut pos, footer_start)?);
         let start = pos;
-        let Some(payload) = footer.get(start..start + payload_len) else {
+        let Some(payload) = start
+            .checked_add(payload_len)
+            .and_then(|end| footer.get(start..end))
+        else {
             return Err(corrupt(start, "ras payload extends past footer"));
         };
         column.reserve(ras_count);

@@ -4,7 +4,10 @@ fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let low = (v & 0x7f) as u8;
         v >>= 7;
-        if v == 0 { buf.push(low); return; }
+        if v == 0 {
+            buf.push(low);
+            return;
+        }
         buf.push(low | 0x80);
     }
 }
@@ -32,17 +35,19 @@ fn corrupt_huge_ras_payload_len_is_structured_error_not_panic() {
 
 #[test]
 fn readonly_file_scan_works() {
-    use mira_store::{Projection, TelemetryRecord};
     use mira_facility::RackId;
+    use mira_store::{Projection, TelemetryRecord};
     use mira_timeseries::SimTime;
     let path = std::env::temp_dir().join(format!("rev-ro-{}.mstore", std::process::id()));
     {
         let mut ar = ColumnarArchive::create(&path).unwrap();
-        let rows: Vec<TelemetryRecord> = (0..4i64).map(|i| TelemetryRecord {
-            time: SimTime::from_epoch_seconds(1000 + i),
-            rack: RackId::new(0, 0),
-            milli: [0, 0, 0, 0, 0, 0],
-        }).collect();
+        let rows: Vec<TelemetryRecord> = (0..4i64)
+            .map(|i| TelemetryRecord {
+                time: SimTime::from_epoch_seconds(1000 + i),
+                rack: RackId::new(0, 0),
+                milli: [0, 0, 0, 0, 0, 0],
+            })
+            .collect();
         ar.append_telemetry(&rows).unwrap();
         ar.flush().unwrap();
     }
@@ -51,10 +56,23 @@ fn readonly_file_scan_works() {
     std::fs::set_permissions(&path, perms).unwrap();
     let r = ColumnarArchive::open(&path);
     let ok = match r {
-        Ok(mut ar) => ar.scan_span(SimTime::from_epoch_seconds(0), SimTime::from_epoch_seconds(2000), Projection::all(), &mut |_| {}).is_ok(),
-        Err(e) => { eprintln!("open failed: {e}"); false }
+        Ok(mut ar) => ar
+            .scan_span(
+                SimTime::from_epoch_seconds(0),
+                SimTime::from_epoch_seconds(2000),
+                Projection::all(),
+                &mut |_| {},
+            )
+            .is_ok(),
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            false
+        }
     };
     let mut perms = std::fs::metadata(&path).unwrap().permissions();
+    // Restoring write permission on a temp file that is removed on the
+    // next line; world-writability never outlives the test.
+    #[allow(clippy::permissions_set_readonly_false)]
     perms.set_readonly(false);
     std::fs::set_permissions(&path, perms).unwrap();
     let _ = std::fs::remove_file(&path);

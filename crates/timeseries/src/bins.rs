@@ -190,7 +190,9 @@ impl CalendarBins {
     pub fn push_parts(&mut self, parts: CivilParts, value: f64) {
         self.overall.push(value);
         let year = parts.date.year();
-        match self.years.iter_mut().find(|(y, _)| *y == year) {
+        // Chronological pushes land in the newest (last) year row, so
+        // scan from the back; the match target is unique either way.
+        match self.years.iter_mut().rev().find(|(y, _)| *y == year) {
             Some((_, bin)) => bin.push(value),
             None => {
                 let mut bin = BinSummary::new();

@@ -48,6 +48,6 @@ pub use rolling::RollingWindow;
 pub use series::TimeSeries;
 pub use stats::{
     autocorrelation, linear_fit, mean, median, pearson, percentile, spearman,
-    spearman_permutation_pvalue, stddev, LinearFit, P2Quantile, Welford,
+    spearman_permutation_pvalue, stddev, LinearFit, P2Quantile, Welford, WelfordRows,
 };
 pub use time::{CivilDayCache, CivilParts, Duration, SimTime, YearCursor};

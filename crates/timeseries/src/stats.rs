@@ -151,6 +151,108 @@ impl Welford {
     }
 }
 
+/// Structure-of-arrays staging for `W` independent [`Welford`]
+/// accumulators fed one lane-aligned row at a time.
+///
+/// Each lane's update sequence is exactly [`Welford::push`] — same
+/// expressions, same evaluation order, with the count carried as an
+/// exact-integer `f64` (every `+1.0` below 2⁵³ is lossless) — so the
+/// stored-back accumulators are bit-identical to pushing lane by lane.
+/// The payoff is layout: the five state arrays are contiguous, so the
+/// per-row loop autovectorizes across lanes instead of hopping between
+/// interleaved accumulator structs, and the state stays register/L1
+/// resident for the whole block.
+///
+/// ```
+/// use mira_timeseries::{Welford, WelfordRows};
+/// let mut a = [Welford::new(), Welford::new()];
+/// let mut b = a;
+/// let mut rows = WelfordRows::<2>::load(a.iter());
+/// for row in [[1.0, 10.0], [3.0, 20.0]] {
+///     rows.push_row(&row);
+///     b[0].push(row[0]);
+///     b[1].push(row[1]);
+/// }
+/// rows.store(a.iter_mut());
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WelfordRows<const W: usize> {
+    count: [f64; W],
+    mean: [f64; W],
+    m2: [f64; W],
+    min: [f64; W],
+    max: [f64; W],
+}
+
+impl<const W: usize> WelfordRows<W> {
+    /// Stages exactly `W` accumulators into lane arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the iterator yields exactly `W` accumulators.
+    #[must_use]
+    // Documented contract on a fixed-width staging buffer; every lane
+    // write is at the asserted `l < W`. mira-lint: allow(panic-reachability)
+    pub fn load<'a>(accs: impl IntoIterator<Item = &'a Welford>) -> Self {
+        let mut rows = Self {
+            count: [0.0; W],
+            mean: [0.0; W],
+            m2: [0.0; W],
+            min: [0.0; W],
+            max: [0.0; W],
+        };
+        let mut lanes = 0usize;
+        for (l, acc) in accs.into_iter().enumerate() {
+            assert!(l < W, "more than {W} accumulators");
+            rows.count[l] = convert::f64_from_u64(acc.count);
+            rows.mean[l] = acc.mean;
+            rows.m2[l] = acc.m2;
+            rows.min[l] = acc.min;
+            rows.max[l] = acc.max;
+            lanes = l + 1;
+        }
+        assert_eq!(lanes, W, "fewer than {W} accumulators");
+        rows
+    }
+
+    /// Folds `row[l]` into lane `l`'s accumulator, for every lane.
+    // All indexing is `l in 0..W` over `[f64; W]` lane arrays.
+    // mira-lint: allow(panic-reachability)
+    pub fn push_row(&mut self, row: &[f64; W]) {
+        for (l, &x) in row.iter().enumerate() {
+            self.count[l] += 1.0;
+            let delta = x - self.mean[l];
+            self.mean[l] += delta / self.count[l];
+            let delta2 = x - self.mean[l];
+            self.m2[l] += delta * delta2;
+            self.min[l] = self.min[l].min(x);
+            self.max[l] = self.max[l].max(x);
+        }
+    }
+
+    /// Writes the staged lanes back into exactly `W` accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the iterator yields exactly `W` accumulators.
+    // Documented contract on a fixed-width staging buffer.
+    // mira-lint: allow(panic-reachability)
+    pub fn store<'a>(&self, accs: impl IntoIterator<Item = &'a mut Welford>) {
+        let mut lanes = 0usize;
+        for (l, acc) in accs.into_iter().enumerate() {
+            assert!(l < W, "more than {W} accumulators");
+            acc.count = convert::u64_from_f64_exact(self.count[l]);
+            acc.mean = self.mean[l];
+            acc.m2 = self.m2[l];
+            acc.min = self.min[l];
+            acc.max = self.max[l];
+            lanes = l + 1;
+        }
+        assert_eq!(lanes, W, "fewer than {W} accumulators");
+    }
+}
+
 impl Extend<f64> for Welford {
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for x in iter {
@@ -244,18 +346,21 @@ impl P2Quantile {
             self.q[4] = x;
             3
         } else {
-            let mut k = 0;
-            for i in 0..4 {
-                if self.q[i] <= x && x < self.q[i + 1] {
-                    k = i;
-                    break;
-                }
-            }
-            k
+            // The markers are sorted with q[0] <= x < q[4], so the
+            // first cell with x < q[i+1] is exactly the number of
+            // interior markers at or below x — the same k a first-match
+            // scan finds, without its data-dependent branch (which
+            // mispredicts on nearly every push: the landing cell is
+            // close to uniform).
+            usize::from(x >= self.q[1]) + usize::from(x >= self.q[2]) + usize::from(x >= self.q[3])
         };
 
-        for i in (k + 1)..5 {
-            self.n[i] += 1.0;
+        // Marker positions above the landing cell shift one to the
+        // right. `i > k` contributes +1.0 or +0.0; the counts are
+        // strictly positive, so adding 0.0 is the identity and the
+        // fixed-trip loop stays branch-free.
+        for i in 1..5 {
+            self.n[i] += f64::from(i > k);
         }
         for i in 0..5 {
             self.np[i] += self.dn[i];

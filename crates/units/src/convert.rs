@@ -171,6 +171,23 @@ pub fn u32_from_f64_floor(x: f64) -> u32 {
     x as u32
 }
 
+/// An exact-integer `f64` counter back as a `u64`.
+///
+/// Intended for counters staged through `f64` lanes (batched Welford
+/// folds): counts stay far below 2⁵³, where every increment of 1.0 is
+/// exact, so the round-trip through `f64` is lossless.
+#[must_use]
+pub fn u64_from_f64_exact(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "count from NaN");
+    debug_assert!(x >= 0.0, "count from negative {x}");
+    debug_assert!(
+        x == x.trunc() && x < 9_007_199_254_740_992.0,
+        "non-exact count {x}"
+    );
+    // Saturating float-to-int semantics do the clamping. mira-lint: allow(lossy-cast)
+    x as u64
+}
+
 /// Floor of an `f64` as an `i64` (saturating at the `i64` range, NaN → 0).
 ///
 /// Implemented as truncate-and-adjust rather than `x.floor() as i64`:

@@ -52,14 +52,28 @@ impl FractalCursor {
 /// [`ValueNoise::fractal`] source — e.g. one lane per rack.
 ///
 /// A `Vec<FractalCursor>` scatters each lane's cursors across its own
-/// heap allocation; the bank keeps every lane's [`NoiseCursor`]s in one
-/// contiguous buffer (lane-major) and derives the octave layers once,
-/// since they are identical for every lane. Sampling through a lane is
-/// bit-identical to [`ValueNoise::fractal`] from any prior bank state.
+/// heap allocation; the bank keeps the cursor state in four contiguous
+/// structure-of-arrays buffers (octave-major: slot `o * lanes + lane`)
+/// and derives the octave layers once, since they are identical for
+/// every lane. The layout lets [`FractalBank::fractal_lanes_into`]
+/// stream one octave across all lanes with unit-stride loads, which the
+/// compiler autovectorizes. Sampling through a lane is bit-identical to
+/// [`ValueNoise::fractal`] from any prior bank state.
 #[derive(Debug, Clone)]
 pub struct FractalBank {
     layers: Vec<ValueNoise>,
-    cursors: Vec<NoiseCursor>,
+    lanes: usize,
+    /// Cached cell index per slot (octave-major).
+    cells: Vec<i64>,
+    /// Cached lattice value at `cell` per slot.
+    lo: Vec<f64>,
+    /// Cached lattice value at `cell + 1` per slot.
+    hi: Vec<f64>,
+    /// Whether the slot's cache has been filled at least once.
+    primed: Vec<bool>,
+    /// Per-lane phase/fraction scratch for [`Self::fractal_lanes_into`]
+    /// (holds `x`, then `frac`, between the kernel's passes).
+    frac: Vec<f64>,
 }
 
 impl FractalBank {
@@ -72,7 +86,80 @@ impl FractalBank {
     /// Number of lanes in the bank.
     #[must_use]
     pub fn lanes(&self) -> usize {
-        self.cursors.len() / self.layers.len().max(1)
+        self.lanes
+    }
+
+    /// Evaluates every lane at once: lane `l` samples the fractal at
+    /// phase `base + l * stride`, the exact phase arithmetic the scalar
+    /// per-rack callers use, and the result lands in `out[l]`.
+    ///
+    /// The loop nest is octave-outer / lane-inner so each octave reads
+    /// and writes its own contiguous cursor rows; per lane the octave
+    /// contributions accumulate in the same order as
+    /// [`ValueNoise::fractal`], and the final division by the shared
+    /// norm matches the scalar `total / norm`, so every `out[l]` is
+    /// bit-identical to [`ValueNoise::fractal_with_lane`] at the same
+    /// phase from any prior bank state.
+    ///
+    /// Each octave runs as three lane passes: a branch-free phase pass
+    /// (`x = (base + l·stride) / period`, the divisions vectorize), a
+    /// scalar floor/refill pass whose staleness branch is almost never
+    /// taken (multi-day cells), and a branch-free smoothstep-accumulate
+    /// pass. Staging `x` and `frac` through the scratch row is an exact
+    /// `f64` store/reload, so the split changes no arithmetic — only
+    /// which loop the compiler can vectorize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from `self.lanes()`.
+    // Raw seconds phase axis, same contract as `fractal`. The octave
+    // rows are sized `octaves * lanes` by the constructor, `frac` is
+    // sized `lanes`, the output slice is length-asserted, and every
+    // lane index is `lane < lanes`.
+    // mira-lint: allow(raw-f64-in-public-api, panic-reachability)
+    pub fn fractal_lanes_into(&mut self, base: f64, stride: f64, out: &mut [f64]) {
+        let lanes = self.lanes;
+        // Documented panic contract: the output slice is one slot per
+        // lane. mira-lint: allow(panic-reachability)
+        assert_eq!(out.len(), lanes, "out must have one slot per lane");
+        out.fill(0.0);
+        let mut amplitude = 1.0;
+        let mut norm = 0.0;
+        for (o, layer) in self.layers.iter().enumerate() {
+            let row = o * lanes..(o + 1) * lanes;
+            let cells = &mut self.cells[row.clone()];
+            let lo = &mut self.lo[row.clone()];
+            let hi = &mut self.hi[row.clone()];
+            let primed = &mut self.primed[row];
+            let frac = &mut self.frac[..lanes];
+            for (lane, x) in frac.iter_mut().enumerate() {
+                let t = base + convert::f64_from_usize(lane) * stride;
+                *x = t / layer.period;
+            }
+            for lane in 0..lanes {
+                let x = frac[lane];
+                let cell = convert::i64_from_f64_floor(x);
+                frac[lane] = x - convert::f64_from_i64(cell);
+                if !primed[lane] || cells[lane] != cell {
+                    cells[lane] = cell;
+                    lo[lane] = layer.lattice(cell);
+                    hi[lane] = layer.lattice(cell + 1);
+                    primed[lane] = true;
+                }
+            }
+            for (v, (&f, (&l, &h))) in out
+                .iter_mut()
+                .zip(frac.iter().zip(lo.iter().zip(hi.iter())))
+            {
+                let s = f * f * (3.0 - 2.0 * f);
+                *v += (l * (1.0 - s) + h * s) * amplitude;
+            }
+            norm += amplitude;
+            amplitude *= 0.5;
+        }
+        for v in out.iter_mut() {
+            *v /= norm;
+        }
     }
 }
 
@@ -249,8 +336,14 @@ impl ValueNoise {
                 period: self.period / f64::from(1u32 << o),
             })
             .collect();
+        let slots = layers.len() * lanes;
         FractalBank {
-            cursors: vec![NoiseCursor::default(); layers.len() * lanes],
+            lanes,
+            cells: vec![0; slots],
+            lo: vec![0.0; slots],
+            hi: vec![0.0; slots],
+            primed: vec![false; slots],
+            frac: vec![0.0; lanes],
             layers,
         }
     }
@@ -265,17 +358,29 @@ impl ValueNoise {
     #[must_use]
     // Raw seconds axis, same contract as `fractal`. mira-lint: allow(raw-f64-in-public-api)
     pub fn fractal_with_lane(&self, t: f64, bank: &mut FractalBank, lane: usize) -> f64 {
-        let octaves = bank.layers.len();
         // Documented panic contract: `lane` must be below `bank.lanes()`,
         // and every bank is built with one lane per caller-side slot
         // (rack), so in-tree callers index with `rack.index()` into a
         // 48-lane bank. mira-lint: allow(panic-reachability)
-        let cursors = &mut bank.cursors[lane * octaves..(lane + 1) * octaves];
+        assert!(lane < bank.lanes, "lane out of range");
         let mut total = 0.0;
         let mut amplitude = 1.0;
         let mut norm = 0.0;
-        for (layer, cur) in bank.layers.iter().zip(cursors) {
-            total += layer.sample_with(t, cur) * amplitude;
+        for (o, layer) in bank.layers.iter().enumerate() {
+            let slot = o * bank.lanes + lane;
+            let x = t / layer.period;
+            // Same integer floor and smoothstep as [`Self::sample_with`],
+            // with the two lattice hashes read from the bank's SoA rows.
+            let cell = convert::i64_from_f64_floor(x);
+            let frac = x - convert::f64_from_i64(cell);
+            if !bank.primed[slot] || bank.cells[slot] != cell {
+                bank.cells[slot] = cell;
+                bank.lo[slot] = layer.lattice(cell);
+                bank.hi[slot] = layer.lattice(cell + 1);
+                bank.primed[slot] = true;
+            }
+            let s = frac * frac * (3.0 - 2.0 * frac);
+            total += (bank.lo[slot] * (1.0 - s) + bank.hi[slot] * s) * amplitude;
             norm += amplitude;
             amplitude *= 0.5;
         }
@@ -370,6 +475,44 @@ mod tests {
                     n.fractal(t, 2).to_bits(),
                     n.fractal_with_lane(t, &mut bank, lane).to_bits()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_cold_fractal() {
+        let n = ValueNoise::new(77, 3600.0);
+        let mut bank = n.fractal_bank(2, 4);
+        let stride = 4.321e6;
+        let mut out = [0.0f64; 4];
+        // Fine steps (cache hits), coarse jumps (cell crossings,
+        // backwards and across zero) — cold start included.
+        for k in [-2_000i64, -1_999, -1, 0, 1, 40, 39, -40, 2_000, 2_001] {
+            let base = k as f64 * 211.7;
+            bank.fractal_lanes_into(base, stride, &mut out);
+            for (lane, v) in out.iter().enumerate() {
+                let t = base + lane as f64 * stride;
+                assert_eq!(n.fractal(t, 2).to_bits(), v.to_bits(), "lane {lane} at {t}");
+            }
+        }
+        // Interleaving the batch kernel with scalar lane sampling must
+        // not disturb either path (shared cursor state, pure caches).
+        for k in -500i64..500 {
+            let base = k as f64 * 997.0;
+            if k % 3 == 0 {
+                for lane in 0..4usize {
+                    let t = base + lane as f64 * stride;
+                    assert_eq!(
+                        n.fractal(t, 2).to_bits(),
+                        n.fractal_with_lane(t, &mut bank, lane).to_bits()
+                    );
+                }
+            } else {
+                bank.fractal_lanes_into(base, stride, &mut out);
+                for (lane, v) in out.iter().enumerate() {
+                    let t = base + lane as f64 * stride;
+                    assert_eq!(n.fractal(t, 2).to_bits(), v.to_bits());
+                }
             }
         }
     }

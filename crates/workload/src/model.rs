@@ -148,6 +148,56 @@ impl WorkloadModel {
             intensity,
         }
     }
+
+    /// [`Self::rack_load_cached`] for every rack at once: lane `l`
+    /// receives rack `l`'s utilization and intensity. Bit-identical to
+    /// the scalar path per lane — the wobble lanes share the same cursor
+    /// bank, the clamp expressions match, and the maintenance branch is
+    /// hoisted out of the lane loop (it depends only on the shared
+    /// system demand).
+    ///
+    /// Lanes are computed for every rack regardless of availability;
+    /// callers that zero out down racks (as the sweep does by skipping
+    /// them) discard pure values, which cannot perturb any other lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output slices differ from the rack count.
+    // Raw f64 lanes, same contract as `RackLoad`'s public fields.
+    // mira-lint: allow(raw-f64-in-public-api)
+    pub fn rack_load_lanes(
+        &self,
+        t: SimTime,
+        demand: &SystemDemand,
+        cursor: &mut WorkloadCursor,
+        utilization: &mut [f64],
+        intensity: &mut [f64],
+    ) {
+        // The wobble lanes land in `utilization` first (scratch reuse),
+        // then each lane folds in the static factors.
+        self.profile
+            .placement_wobble_lanes_into(t, &mut cursor.wobble, utilization);
+        let factors = self.profile.factors_slice();
+        // Documented panic contract: one lane per rack.
+        // mira-lint: allow(panic-reachability)
+        assert_eq!(intensity.len(), factors.len(), "one lane per rack");
+        if demand.in_maintenance {
+            // Maintenance flattens the per-rack intensity structure.
+            intensity.fill(demand.intensity);
+            for (u, f) in utilization.iter_mut().zip(factors) {
+                *u = (demand.utilization * f.utilization_factor * *u).clamp(0.0, 1.0);
+            }
+        } else {
+            for ((u, i), f) in utilization
+                .iter_mut()
+                .zip(intensity.iter_mut())
+                .zip(factors)
+            {
+                *u = (demand.utilization * f.utilization_factor * *u).clamp(0.0, 1.0);
+                *i = (demand.intensity * f.intensity_factor).clamp(0.0, 1.0);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +279,33 @@ mod tests {
                 wl.rack_load_with(t, r, &cold)
             );
         }
+    }
+
+    #[test]
+    fn lane_kernel_matches_cached_path_bitwise() {
+        let wl = WorkloadModel::new(2014);
+        let mut lane_cursor = wl.cursor();
+        let mut scalar_cursor = wl.cursor();
+        let mut util = [0.0f64; 48];
+        let mut intensity = [0.0f64; 48];
+        // Fine sweep crossing maintenance Mondays plus jumps; the lane
+        // kernel must match the cached scalar path bit-for-bit.
+        let mut t = SimTime::from_date(Date::new(2016, 1, 1));
+        let mut saw_maintenance = false;
+        for k in 0..(5 * 288) {
+            let date = t.date();
+            let d = wl.system_demand_with(t, date, &mut lane_cursor);
+            assert_eq!(d, wl.system_demand_with(t, date, &mut scalar_cursor));
+            saw_maintenance |= d.in_maintenance;
+            wl.rack_load_lanes(t, &d, &mut lane_cursor, &mut util, &mut intensity);
+            for rack in RackId::all() {
+                let cold = wl.rack_load_cached(t, rack, &d, &mut scalar_cursor);
+                assert_eq!(util[rack.index()].to_bits(), cold.utilization.to_bits());
+                assert_eq!(intensity[rack.index()].to_bits(), cold.intensity.to_bits());
+            }
+            t += Duration::from_minutes(if k % 7 == 0 { 35 } else { 5 });
+        }
+        assert!(saw_maintenance, "sweep should cross a maintenance window");
     }
 
     #[test]

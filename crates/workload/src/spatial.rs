@@ -122,6 +122,11 @@ impl RackUsageProfile {
         self.factors[rack.index()]
     }
 
+    /// The static factors for every rack, in rack-index order.
+    pub(crate) fn factors_slice(&self) -> &[RackFactors] {
+        &self.factors
+    }
+
     /// Temporal placement wobble for a rack at `t`, a multiplier near 1:
     /// which jobs happen to sit on the rack right now.
     #[must_use]
@@ -156,6 +161,29 @@ impl RackUsageProfile {
             .placement_noise
             .fractal_with_lane(phase, &mut cursor.bank, rack.index())
             * 0.045
+    }
+
+    /// [`Self::placement_wobble`] for every rack at once: lane `l` of
+    /// `out` receives rack `l`'s wobble at `t`, bit-identical to the
+    /// scalar path (the per-rack phase offset `l * 4.321e6` is exactly
+    /// the stride the scalar path adds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the profile's rack count.
+    // Dimensionless multipliers, same contract as `placement_wobble`.
+    // mira-lint: allow(raw-f64-in-public-api)
+    pub fn placement_wobble_lanes_into(
+        &self,
+        t: SimTime,
+        cursor: &mut WobbleCursor,
+        out: &mut [f64],
+    ) {
+        let base = convert::f64_from_i64(t.epoch_seconds());
+        cursor.bank.fractal_lanes_into(base, 4.321e6, out);
+        for v in out.iter_mut() {
+            *v = 1.0 + *v * 0.045;
+        }
     }
 
     /// The rack with the highest utilization factor.

@@ -42,8 +42,76 @@ fn assert_scratch_matches_cold(times: &[SimTime]) {
     }
 }
 
+/// The batched kernel partitioned into `block`-sized chunks reproduces
+/// the per-step path bit for bit at every instant of the grid
+/// `[from, from + step·total)`. The per-step reference walks its own
+/// warm scratch in the same chronological order (itself pinned to the
+/// cold path by the tests above), so this transitively pins the batch
+/// path to the cold path too.
+fn assert_batched_matches_per_step(from: SimTime, step: Duration, total: usize, block: usize) {
+    let engine = sim().telemetry();
+    let mut per_step = engine.sweep_scratch();
+    let mut expected = Vec::with_capacity(total);
+    for k in 0..total {
+        let t = from + step * i64::try_from(k).expect("small grid");
+        engine.sweep_step_into(t, &mut per_step);
+        expected.push(per_step.step().clone());
+    }
+
+    let mut scratch = engine.sweep_scratch();
+    let mut k = 0usize;
+    while k < total {
+        let n = (total - k).min(block);
+        let t = from + step * i64::try_from(k).expect("small grid");
+        engine.sweep_steps_into(t, step, n, &mut scratch);
+        let (blk, staging) = scratch.block_parts();
+        assert_eq!(blk.len(), n);
+        for j in 0..n {
+            assert_eq!(blk.time(j), expected[k + j].snapshot.time);
+            blk.materialize_into(j, staging);
+            assert_eq!(
+                *staging,
+                expected[k + j],
+                "block size {block} diverged at grid index {}",
+                k + j
+            );
+            // `PartialEq` on f64 conflates 0.0 with -0.0; the debug
+            // rendering does not, so compare that too.
+            assert_eq!(format!("{staging:?}"), format!("{:?}", expected[k + j]));
+        }
+        k += n;
+    }
+}
+
+/// Deterministic partitions across the hard seams: a grid running from
+/// late June 2016 through mid-July crosses both the calendar-month
+/// shard seam and the July 2016 Theta boundary mid-block for every
+/// partition width, including one block spanning the whole grid.
+#[test]
+fn batched_blocks_match_per_step_across_theta_and_month_seam() {
+    let from = at(Date::new(2016, 6, 25));
+    let step = Duration::from_hours(2);
+    let total = 20 * 12; // 20 days at 12 samples/day.
+    for block in [1usize, 7, 48, total] {
+        assert_batched_matches_per_step(from, step, total, block);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random grids and partition widths near the Theta boundary: any
+    /// chunking of `sweep_steps_into` equals the per-step fold exactly.
+    #[test]
+    fn batched_blocks_match_per_step_anywhere(
+        start_day in 0i64..55,
+        step_minutes in 5i64..720,
+        block in 1usize..64,
+    ) {
+        let from = at(Date::new(2016, 5, 5)) + Duration::from_hours(24 * start_day);
+        let step = Duration::from_minutes(step_minutes);
+        assert_batched_matches_per_step(from, step, 40, block);
+    }
 
     /// Random spans straddling the July 2016 Theta event: a single
     /// scratch walked forward across the boundary, then jumped back
